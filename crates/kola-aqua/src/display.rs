@@ -1,0 +1,69 @@
+//! Pretty printing of AQUA expressions in the paper's notation.
+
+use crate::ast::{CmpOp, Expr};
+use std::fmt;
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Lt => "<",
+            CmpOp::Leq => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Geq => ">=",
+            CmpOp::In => "in",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Extent(s) => write!(f, "{s}"),
+            Expr::Attr(e, a) => write!(f, "{e}.{a}"),
+            Expr::Pair(a, b) => write!(f, "[{a}, {b}]"),
+            Expr::Cmp(op, a, b) => write!(f, "{a} {op} {b}"),
+            Expr::And(a, b) => write!(f, "({a} and {b})"),
+            Expr::Or(a, b) => write!(f, "({a} or {b})"),
+            Expr::Not(a) => write!(f, "(not {a})"),
+            Expr::App(l, s) => write!(f, "app(\\{}. {})({s})", l.var, l.body),
+            Expr::Sel(l, s) => write!(f, "sel(\\{}. {})({s})", l.var, l.body),
+            Expr::Flatten(s) => write!(f, "flatten({s})"),
+            Expr::Join {
+                pred,
+                func,
+                left,
+                right,
+            } => write!(
+                f,
+                "join(\\({}, {}). {}, \\({}, {}). {})([{left}, {right}])",
+                pred.var1, pred.var2, pred.body, func.var1, func.var2, func.body
+            ),
+            Expr::If(p, a, b) => write!(f, "if {p} then {a} else {b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rules::{query_a4, query_t1};
+
+    #[test]
+    fn t1_prints_like_the_paper() {
+        assert_eq!(
+            query_t1().to_string(),
+            "app(\\a. a.city)(app(\\p. p.addr)(P))"
+        );
+    }
+
+    #[test]
+    fn a4_prints_like_the_paper() {
+        assert_eq!(
+            query_a4().to_string(),
+            "app(\\p. [p, sel(\\c. p.age > 25)(p.child)])(P)"
+        );
+    }
+}

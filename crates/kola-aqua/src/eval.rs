@@ -1,0 +1,320 @@
+//! Environment-based evaluation of AQUA expressions.
+//!
+//! This is the semantics of §2's `app`/`sel`/`flatten`/`join` operators,
+//! against the same [`kola::Db`] object store the KOLA evaluator uses — so
+//! "AQUA query Q and KOLA query K agree on database D" is directly testable,
+//! which is how the translators in `kola-frontend` are validated.
+
+use crate::ast::{CmpOp, Expr, Lambda, Lambda2};
+use kola::db::Db;
+use kola::eval::EvalError;
+use kola::value::{Sym, Value, ValueSet};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors from AQUA evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AquaError {
+    /// A free variable had no binding at runtime.
+    UnboundVar(Sym),
+    /// An operator was applied to a value of the wrong shape.
+    Stuck(&'static str),
+    /// Underlying database/semantic error.
+    Kola(EvalError),
+}
+
+impl fmt::Display for AquaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AquaError::UnboundVar(v) => write!(f, "unbound variable {v}"),
+            AquaError::Stuck(w) => write!(f, "stuck at {w}"),
+            AquaError::Kola(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for AquaError {}
+
+impl From<EvalError> for AquaError {
+    fn from(e: EvalError) -> Self {
+        AquaError::Kola(e)
+    }
+}
+
+impl From<kola::db::DbError> for AquaError {
+    fn from(e: kola::db::DbError) -> Self {
+        AquaError::Kola(EvalError::Db(e))
+    }
+}
+
+/// A runtime environment: variable bindings.
+pub type Env = BTreeMap<Sym, Value>;
+
+/// Evaluate an AQUA expression in an environment against a database.
+pub fn eval(db: &Db, env: &Env, e: &Expr) -> Result<Value, AquaError> {
+    match e {
+        Expr::Var(v) => env
+            .get(v)
+            .cloned()
+            .ok_or_else(|| AquaError::UnboundVar(v.clone())),
+        Expr::Lit(v) => Ok(v.clone()),
+        Expr::Extent(name) => Ok(db.extent(name)?),
+        Expr::Attr(e, attr) => {
+            let v = eval(db, env, e)?;
+            Ok(db.get_attr(&v, attr)?)
+        }
+        Expr::Pair(a, b) => Ok(Value::pair(eval(db, env, a)?, eval(db, env, b)?)),
+        Expr::Cmp(op, a, b) => {
+            let a = eval(db, env, a)?;
+            let b = eval(db, env, b)?;
+            let out = match op {
+                CmpOp::Eq => a == b,
+                CmpOp::In => match &b {
+                    Value::Set(s) => s.contains(&a),
+                    _ => return Err(AquaError::Stuck("in on non-set")),
+                },
+                _ => {
+                    let (Value::Int(x), Value::Int(y)) = (&a, &b) else {
+                        return Err(AquaError::Stuck("comparison on non-ints"));
+                    };
+                    match op {
+                        CmpOp::Lt => x < y,
+                        CmpOp::Leq => x <= y,
+                        CmpOp::Gt => x > y,
+                        CmpOp::Geq => x >= y,
+                        _ => unreachable!(),
+                    }
+                }
+            };
+            Ok(Value::Bool(out))
+        }
+        Expr::And(a, b) => {
+            let a = as_bool(eval(db, env, a)?)?;
+            if !a {
+                return Ok(Value::Bool(false));
+            }
+            Ok(Value::Bool(as_bool(eval(db, env, b)?)?))
+        }
+        Expr::Or(a, b) => {
+            let a = as_bool(eval(db, env, a)?)?;
+            if a {
+                return Ok(Value::Bool(true));
+            }
+            Ok(Value::Bool(as_bool(eval(db, env, b)?)?))
+        }
+        Expr::Not(a) => Ok(Value::Bool(!as_bool(eval(db, env, a)?)?)),
+        Expr::App(l, s) => {
+            let set = as_set(eval(db, env, s)?)?;
+            let mut out = ValueSet::new();
+            for x in set.iter() {
+                out.insert(apply(db, env, l, x.clone())?);
+            }
+            Ok(Value::Set(out))
+        }
+        Expr::Sel(l, s) => {
+            let set = as_set(eval(db, env, s)?)?;
+            let mut out = ValueSet::new();
+            for x in set.iter() {
+                if as_bool(apply(db, env, l, x.clone())?)? {
+                    out.insert(x.clone());
+                }
+            }
+            Ok(Value::Set(out))
+        }
+        Expr::Flatten(s) => {
+            let set = as_set(eval(db, env, s)?)?;
+            let mut out = ValueSet::new();
+            for inner in set.iter() {
+                match inner {
+                    Value::Set(s) => {
+                        for v in s.iter() {
+                            out.insert(v.clone());
+                        }
+                    }
+                    _ => return Err(AquaError::Stuck("flatten of non-set element")),
+                }
+            }
+            Ok(Value::Set(out))
+        }
+        Expr::Join {
+            pred,
+            func,
+            left,
+            right,
+        } => {
+            let a = as_set(eval(db, env, left)?)?;
+            let b = as_set(eval(db, env, right)?)?;
+            let mut out = ValueSet::new();
+            for x in a.iter() {
+                for y in b.iter() {
+                    if as_bool(apply2(db, env, pred, x.clone(), y.clone())?)? {
+                        out.insert(apply2(db, env, func, x.clone(), y.clone())?);
+                    }
+                }
+            }
+            Ok(Value::Set(out))
+        }
+        Expr::If(p, a, b) => {
+            if as_bool(eval(db, env, p)?)? {
+                eval(db, env, a)
+            } else {
+                eval(db, env, b)
+            }
+        }
+    }
+}
+
+/// Apply a λ to a value (extends the environment, shadowing).
+pub fn apply(db: &Db, env: &Env, l: &Lambda, v: Value) -> Result<Value, AquaError> {
+    let mut inner = env.clone();
+    inner.insert(l.var.clone(), v);
+    eval(db, &inner, &l.body)
+}
+
+fn apply2(db: &Db, env: &Env, l: &Lambda2, a: Value, b: Value) -> Result<Value, AquaError> {
+    let mut inner = env.clone();
+    inner.insert(l.var1.clone(), a);
+    inner.insert(l.var2.clone(), b);
+    eval(db, &inner, &l.body)
+}
+
+fn as_bool(v: Value) -> Result<bool, AquaError> {
+    v.as_bool().ok_or(AquaError::Stuck("expected bool"))
+}
+
+fn as_set(v: Value) -> Result<ValueSet, AquaError> {
+    match v {
+        Value::Set(s) => Ok(s),
+        _ => Err(AquaError::Stuck("expected set")),
+    }
+}
+
+/// Evaluate a closed AQUA expression.
+pub fn eval_closed(db: &Db, e: &Expr) -> Result<Value, AquaError> {
+    eval(db, &Env::new(), e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Expr as E;
+    use kola::schema::Schema;
+
+    fn db() -> Db {
+        let schema = Schema::paper_schema();
+        let person = schema.class_id("Person").unwrap();
+        let address = schema.class_id("Address").unwrap();
+        let mut db = Db::new(schema);
+        let a0 = db
+            .insert(address, vec![Value::str("Boston"), Value::Int(1)])
+            .unwrap();
+        let a1 = db
+            .insert(address, vec![Value::str("NYC"), Value::Int(2)])
+            .unwrap();
+        let mut people = Vec::new();
+        for (i, (addr, age)) in [(a0, 30i64), (a1, 20)].into_iter().enumerate() {
+            let p = db
+                .insert(
+                    person,
+                    vec![
+                        Value::Obj(addr),
+                        Value::Int(age),
+                        Value::str(&format!("p{i}")),
+                        Value::empty_set(),
+                        Value::empty_set(),
+                        Value::empty_set(),
+                    ],
+                )
+                .unwrap();
+            people.push(Value::Obj(p));
+        }
+        db.bind_extent("P", Value::set(people));
+        db
+    }
+
+    #[test]
+    fn t1_original_query_evaluates() {
+        // app(λa. a.city)(app(λp. p.addr)(P))
+        let db = db();
+        let q = E::app(
+            Lambda::new("a", E::var("a").attr("city")),
+            E::app(Lambda::new("p", E::var("p").attr("addr")), E::extent("P")),
+        );
+        assert_eq!(
+            eval_closed(&db, &q).unwrap(),
+            Value::set([Value::str("Boston"), Value::str("NYC")])
+        );
+    }
+
+    #[test]
+    fn t2_original_query_evaluates() {
+        // app(λx. x.age)(sel(λp. p.age > 25)(P))
+        let db = db();
+        let q = E::app(
+            Lambda::new("x", E::var("x").attr("age")),
+            E::sel(
+                Lambda::new(
+                    "p",
+                    E::cmp(CmpOp::Gt, E::var("p").attr("age"), E::int(25)),
+                ),
+                E::extent("P"),
+            ),
+        );
+        assert_eq!(eval_closed(&db, &q).unwrap(), Value::set([Value::Int(30)]));
+    }
+
+    #[test]
+    fn shadowing_inner_binding_wins() {
+        let db = db();
+        // app(λx. app(λx. x.age)( {x} ))(P) — inner x shadows outer.
+        let q = E::app(
+            Lambda::new(
+                "x",
+                E::app(
+                    Lambda::new("x", E::var("x").attr("age")),
+                    E::app(Lambda::new("y", E::var("y")), E::extent("P")),
+                ),
+            ),
+            E::extent("P"),
+        );
+        assert!(eval_closed(&db, &q).is_ok());
+    }
+
+    #[test]
+    fn unbound_variable_errors() {
+        let db = db();
+        assert_eq!(
+            eval_closed(&db, &E::var("z")),
+            Err(AquaError::UnboundVar(std::sync::Arc::from("z")))
+        );
+    }
+
+    #[test]
+    fn join_evaluates() {
+        let db = db();
+        // join(λ(x,y). x = y, λ(x,y). x)([P, P]) = P
+        let q = Expr::Join {
+            pred: Lambda2::new("x", "y", E::cmp(CmpOp::Eq, E::var("x"), E::var("y"))),
+            func: Lambda2::new("x", "y", E::var("x")),
+            left: Box::new(E::extent("P")),
+            right: Box::new(E::extent("P")),
+        };
+        assert_eq!(eval_closed(&db, &q).unwrap(), db.extent("P").unwrap());
+    }
+
+    #[test]
+    fn flatten_and_if() {
+        let db = db();
+        let q = E::Flatten(Box::new(E::app(
+            Lambda::new("p", E::var("p").attr("child")),
+            E::extent("P"),
+        )));
+        assert_eq!(eval_closed(&db, &q).unwrap(), Value::empty_set());
+        let q = E::If(
+            Box::new(E::cmp(CmpOp::Lt, E::int(1), E::int(2))),
+            Box::new(E::int(10)),
+            Box::new(E::int(20)),
+        );
+        assert_eq!(eval_closed(&db, &q).unwrap(), Value::Int(10));
+    }
+}

@@ -1,0 +1,454 @@
+//! A parser for AQUA's concrete syntax, matching the printer in
+//! [`crate::display`]:
+//!
+//! ```text
+//! app(\p. p.addr.city)(P)
+//! sel(\p. p.age > 25)(P)
+//! flatten(app(\p. p.grgs)(P))
+//! join(\(x, y). x = y, \(x, y). [x, y])([A, B])
+//! if p.age > 25 then [p, p.child] else [p, {}]
+//! ```
+//!
+//! Round trip: `parse(e.to_string()) == e` for every expression the
+//! printer emits (checked by property test).
+
+use crate::ast::{CmpOp, Expr, Lambda, Lambda2};
+use kola::value::{Value, ValueSet};
+use std::fmt;
+
+/// AQUA parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AquaParseError {
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for AquaParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AQUA parse error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for AquaParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    Sym(char),
+    Leq,
+    Geq,
+}
+
+fn lex(src: &str) -> Result<Vec<Tok>, AquaParseError> {
+    let mut out = Vec::new();
+    let b = src.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '<' | '>' if i + 1 < b.len() && b[i + 1] as char == '=' => {
+                out.push(if c == '<' { Tok::Leq } else { Tok::Geq });
+                i += 2;
+            }
+            '(' | ')' | '[' | ']' | '{' | '}' | ',' | '.' | '=' | '<' | '>' | '\\' => {
+                out.push(Tok::Sym(c));
+                i += 1;
+            }
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < b.len() && b[j] as char != '"' {
+                    j += 1;
+                }
+                if j >= b.len() {
+                    return Err(AquaParseError {
+                        msg: "unterminated string".into(),
+                    });
+                }
+                out.push(Tok::Str(src[start..j].to_string()));
+                i = j + 1;
+            }
+            '0'..='9' | '-' => {
+                let start = i;
+                i += 1;
+                while i < b.len() && (b[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let n = src[start..i].parse().map_err(|_| AquaParseError {
+                    msg: format!("bad integer {:?}", &src[start..i]),
+                })?;
+                out.push(Tok::Int(n));
+            }
+            c if c.is_ascii_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < b.len()
+                    && ((b[i] as char).is_ascii_alphanumeric() || b[i] as char == '_')
+                {
+                    i += 1;
+                }
+                out.push(Tok::Ident(src[start..i].to_string()));
+            }
+            other => {
+                return Err(AquaParseError {
+                    msg: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct P {
+    toks: Vec<Tok>,
+    pos: usize,
+    bound: Vec<String>,
+}
+
+const KEYWORDS: &[&str] = &[
+    "app", "sel", "flatten", "join", "if", "then", "else", "and", "or", "not", "in", "T",
+    "F",
+];
+
+impl P {
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, AquaParseError> {
+        Err(AquaParseError { msg: msg.into() })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn eat_sym(&mut self, c: char) -> bool {
+        if self.peek() == Some(&Tok::Sym(c)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, c: char) -> Result<(), AquaParseError> {
+        if self.eat_sym(c) {
+            Ok(())
+        } else {
+            self.err(format!("expected {c:?}, found {:?}", self.peek()))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Ident(s)) = self.peek() {
+            if s == kw {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), AquaParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected {kw}, found {:?}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, AquaParseError> {
+        match self.toks.get(self.pos).cloned() {
+            Some(Tok::Ident(s)) if !KEYWORDS.contains(&s.as_str()) => {
+                self.pos += 1;
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    /// expr := if-expr | or-expr
+    fn expr(&mut self) -> Result<Expr, AquaParseError> {
+        if self.eat_kw("if") {
+            let p = self.expr()?;
+            self.expect_kw("then")?;
+            let a = self.expr()?;
+            self.expect_kw("else")?;
+            let b = self.expr()?;
+            return Ok(Expr::If(Box::new(p), Box::new(a), Box::new(b)));
+        }
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, AquaParseError> {
+        let mut a = self.and_expr()?;
+        while self.eat_kw("or") {
+            let b = self.and_expr()?;
+            a = Expr::Or(Box::new(a), Box::new(b));
+        }
+        Ok(a)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, AquaParseError> {
+        let mut a = self.cmp_expr()?;
+        while self.eat_kw("and") {
+            let b = self.cmp_expr()?;
+            a = Expr::And(Box::new(a), Box::new(b));
+        }
+        Ok(a)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, AquaParseError> {
+        if self.eat_kw("not") {
+            let e = self.cmp_expr()?;
+            return Ok(Expr::Not(Box::new(e)));
+        }
+        let a = self.postfix()?;
+        let op = match self.peek() {
+            Some(Tok::Sym('=')) => Some(CmpOp::Eq),
+            Some(Tok::Sym('<')) => Some(CmpOp::Lt),
+            Some(Tok::Sym('>')) => Some(CmpOp::Gt),
+            Some(Tok::Leq) => Some(CmpOp::Leq),
+            Some(Tok::Geq) => Some(CmpOp::Geq),
+            Some(Tok::Ident(s)) if s == "in" => Some(CmpOp::In),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let b = self.postfix()?;
+            return Ok(Expr::Cmp(op, Box::new(a), Box::new(b)));
+        }
+        Ok(a)
+    }
+
+    /// postfix := atom ('.' ident)*
+    fn postfix(&mut self) -> Result<Expr, AquaParseError> {
+        let mut e = self.atom()?;
+        while self.eat_sym('.') {
+            let attr = self.ident()?;
+            e = Expr::Attr(Box::new(e), std::sync::Arc::from(attr.as_str()));
+        }
+        Ok(e)
+    }
+
+    fn lambda(&mut self) -> Result<Lambda, AquaParseError> {
+        self.expect_sym('(')?;
+        self.expect_sym('\\')?;
+        let var = self.ident()?;
+        self.expect_sym('.')?;
+        self.bound.push(var.clone());
+        let body = self.expr()?;
+        self.bound.pop();
+        self.expect_sym(')')?;
+        Ok(Lambda::new(&var, body))
+    }
+
+    fn lambda2(&mut self) -> Result<Lambda2, AquaParseError> {
+        self.expect_sym('\\')?;
+        self.expect_sym('(')?;
+        let v1 = self.ident()?;
+        self.expect_sym(',')?;
+        let v2 = self.ident()?;
+        self.expect_sym(')')?;
+        self.expect_sym('.')?;
+        self.bound.push(v1.clone());
+        self.bound.push(v2.clone());
+        let body = self.expr()?;
+        self.bound.pop();
+        self.bound.pop();
+        Ok(Lambda2::new(&v1, &v2, body))
+    }
+
+    fn atom(&mut self) -> Result<Expr, AquaParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Int(n)) => {
+                self.pos += 1;
+                Ok(Expr::Lit(Value::Int(n)))
+            }
+            Some(Tok::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::Lit(Value::str(&s)))
+            }
+            Some(Tok::Ident(s)) if s == "T" || s == "F" => {
+                self.pos += 1;
+                Ok(Expr::Lit(Value::Bool(s == "T")))
+            }
+            Some(Tok::Ident(s)) if s == "app" || s == "sel" => {
+                self.pos += 1;
+                let l = self.lambda()?;
+                self.expect_sym('(')?;
+                let src = self.expr()?;
+                self.expect_sym(')')?;
+                Ok(if s == "app" {
+                    Expr::App(l, Box::new(src))
+                } else {
+                    Expr::Sel(l, Box::new(src))
+                })
+            }
+            Some(Tok::Ident(s)) if s == "flatten" => {
+                self.pos += 1;
+                self.expect_sym('(')?;
+                let e = self.expr()?;
+                self.expect_sym(')')?;
+                Ok(Expr::Flatten(Box::new(e)))
+            }
+            Some(Tok::Ident(s)) if s == "join" => {
+                self.pos += 1;
+                self.expect_sym('(')?;
+                let pred = self.lambda2()?;
+                self.expect_sym(',')?;
+                let func = self.lambda2()?;
+                self.expect_sym(')')?;
+                self.expect_sym('(')?;
+                self.expect_sym('[')?;
+                let left = self.expr()?;
+                self.expect_sym(',')?;
+                let right = self.expr()?;
+                self.expect_sym(']')?;
+                self.expect_sym(')')?;
+                Ok(Expr::Join {
+                    pred,
+                    func,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                })
+            }
+            Some(Tok::Ident(s)) if !KEYWORDS.contains(&s.as_str()) => {
+                self.pos += 1;
+                if self.bound.contains(&s) {
+                    Ok(Expr::Var(std::sync::Arc::from(s.as_str())))
+                } else {
+                    Ok(Expr::Extent(std::sync::Arc::from(s.as_str())))
+                }
+            }
+            Some(Tok::Sym('[')) => {
+                self.pos += 1;
+                let a = self.expr()?;
+                self.expect_sym(',')?;
+                let b = self.expr()?;
+                self.expect_sym(']')?;
+                Ok(Expr::Pair(Box::new(a), Box::new(b)))
+            }
+            Some(Tok::Sym('{')) => {
+                self.pos += 1;
+                let mut set = ValueSet::new();
+                if !self.eat_sym('}') {
+                    loop {
+                        match self.toks.get(self.pos).cloned() {
+                            Some(Tok::Int(n)) => {
+                                self.pos += 1;
+                                set.insert(Value::Int(n));
+                            }
+                            Some(Tok::Str(s)) => {
+                                self.pos += 1;
+                                set.insert(Value::str(&s));
+                            }
+                            other => {
+                                return self.err(format!(
+                                    "expected scalar in set literal, found {other:?}"
+                                ))
+                            }
+                        }
+                        if self.eat_sym('}') {
+                            break;
+                        }
+                        self.expect_sym(',')?;
+                    }
+                }
+                Ok(Expr::Lit(Value::Set(set)))
+            }
+            Some(Tok::Sym('(')) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect_sym(')')?;
+                Ok(e)
+            }
+            other => self.err(format!("expected expression, found {other:?}")),
+        }
+    }
+}
+
+/// Parse an AQUA expression.
+pub fn parse_aqua(src: &str) -> Result<Expr, AquaParseError> {
+    let mut p = P {
+        toks: lex(src)?,
+        pos: 0,
+        bound: Vec::new(),
+    };
+    let e = p.expr()?;
+    if p.pos != p.toks.len() {
+        return p.err(format!("trailing input at token {}", p.pos));
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{query_a3, query_a4, query_t1, query_t2};
+
+    #[test]
+    fn parses_figure_queries_from_their_printed_form() {
+        for q in [query_t1(), query_t2(), query_a3(), query_a4()] {
+            let printed = q.to_string();
+            let reparsed = parse_aqua(&printed)
+                .unwrap_or_else(|e| panic!("{printed}: {e}"));
+            assert_eq!(reparsed, q, "{printed}");
+        }
+    }
+
+    #[test]
+    fn parses_basic_forms() {
+        assert_eq!(
+            parse_aqua("app(\\p. p.age)(P)").unwrap(),
+            Expr::app(Lambda::new("p", Expr::var("p").attr("age")), Expr::extent("P"))
+        );
+        assert_eq!(
+            parse_aqua("sel(\\p. p.age > 25)(P)").unwrap().to_string(),
+            "sel(\\p. p.age > 25)(P)"
+        );
+        assert_eq!(
+            parse_aqua("if 1 < 2 then 3 else 4").unwrap().to_string(),
+            "if 1 < 2 then 3 else 4"
+        );
+    }
+
+    #[test]
+    fn join_round_trips() {
+        let src = "join(\\(x, y). x = y, \\(x, y). [x, y])([A, B])";
+        let e = parse_aqua(src).unwrap();
+        assert_eq!(e.to_string(), src);
+    }
+
+    #[test]
+    fn scoping_decides_var_vs_extent() {
+        let e = parse_aqua("app(\\p. q)(P)").unwrap();
+        match &e {
+            Expr::App(l, _) => assert_eq!(*l.body, Expr::extent("q")),
+            _ => panic!(),
+        }
+        let e = parse_aqua("app(\\p. p)(P)").unwrap();
+        match &e {
+            Expr::App(l, _) => assert_eq!(*l.body, Expr::var("p")),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn set_and_bool_literals() {
+        assert_eq!(
+            parse_aqua("{1, 2}").unwrap(),
+            Expr::Lit(Value::set([Value::Int(1), Value::Int(2)]))
+        );
+        assert_eq!(parse_aqua("T").unwrap(), Expr::Lit(Value::Bool(true)));
+        assert_eq!(parse_aqua("{}").unwrap(), Expr::Lit(Value::empty_set()));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_aqua("app(\\p. p)(P) extra").is_err());
+        assert!(parse_aqua("app(\\p p)(P)").is_err());
+        assert!(parse_aqua("sel(\\p. )(P)").is_err());
+        assert!(parse_aqua("{1, [2, 3]}").is_err());
+        assert!(parse_aqua("\"unterminated").is_err());
+    }
+}

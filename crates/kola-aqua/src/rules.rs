@@ -1,0 +1,275 @@
+//! The paper's Figure 1/Figure 2 transformations over AQUA — implemented
+//! the way Starburst/EXODUS-style systems must: as rules whose applicability
+//! checks are **head routines** (code) and whose constructions are **body
+//! routines** (code invoking the variable machinery of [`crate::vars`]).
+//!
+//! Each routine threads a [`Machinery`] counter. The contrast experiment
+//! (E3/E4) shows these counters are non-zero here and identically zero for
+//! the KOLA versions, which are plain pattern rules.
+
+use crate::ast::{Expr, Lambda};
+use crate::vars::{free_vars, substitute, Machinery};
+
+/// T1 of Figure 1: `app(λa. body_a)(app(λp. body_p)(S))` ⇒
+/// `app(λp. body_a[a := body_p])(S)` — composing the two anonymous
+/// functions.
+///
+/// The *head routine* checks the nested-`app` shape; the *body routine*
+/// builds the composed function by capture-avoiding substitution — the
+/// "expression composition" machinery §2.1 says unification alone cannot
+/// express.
+pub fn t1_compose_apps(e: &Expr, m: &mut Machinery) -> Option<Expr> {
+    // Head routine: e must be app(f)(app(g)(S)).
+    let Expr::App(outer, inner) = e else {
+        return None;
+    };
+    let Expr::App(inner_l, source) = &**inner else {
+        return None;
+    };
+    // Body routine: compose outer.body[outer.var := inner.body], keeping
+    // the inner λ's binder. Substitution must be capture-avoiding.
+    let composed_body = substitute(&outer.body, &outer.var, &inner_l.body, m);
+    Some(Expr::App(
+        Lambda {
+            var: inner_l.var.clone(),
+            body: Box::new(composed_body),
+        },
+        source.clone(),
+    ))
+}
+
+/// T2 of Figure 1: `app(λx. x.attr)(sel(λp. p.attr CMP k)(S))` ⇒
+/// `sel(λa. a CMP k)(app(λp. p.attr)(S))` — decomposing the selection
+/// predicate so the projection happens first.
+///
+/// The head routine must *recognize the projected attribute inside the
+/// predicate body* — which requires comparing the two λ-bodies up to their
+/// different bound variables (the "variable renaming" machinery of §2.1).
+pub fn t2_decompose_sel(e: &Expr, m: &mut Machinery) -> Option<Expr> {
+    // Head routine: shape app(λx. P)(sel(λp. C)(S)) where C = Cmp(op, L, R).
+    let Expr::App(proj, inner) = e else {
+        return None;
+    };
+    let Expr::Sel(pred, source) = &**inner else {
+        return None;
+    };
+    let Expr::Cmp(op, lhs, rhs) = &*pred.body else {
+        return None;
+    };
+    // The right side must be a constant (no free variables).
+    if !free_vars(rhs, m).is_empty() {
+        return None;
+    }
+    // Recognize that the predicate's left side is "the same function" as
+    // the projection — i.e. lhs[pred.var := x] == proj.body[proj.var := x].
+    // This needs an α-comparison: rename pred.var to proj.var and compare.
+    let renamed = substitute(lhs, &pred.var, &Expr::Var(proj.var.clone()), m);
+    if renamed != *proj.body {
+        return None;
+    }
+    // Body routine: build sel(λa. a op k)(app(λp. lhs)(S)).
+    let fresh: kola::value::Sym = std::sync::Arc::from("a");
+    Some(Expr::Sel(
+        Lambda {
+            var: fresh.clone(),
+            body: Box::new(Expr::Cmp(
+                *op,
+                Box::new(Expr::Var(fresh)),
+                Box::new((**rhs).clone()),
+            )),
+        },
+        Box::new(Expr::App(
+            Lambda {
+                var: pred.var.clone(),
+                body: Box::new((**lhs).clone()),
+            },
+            source.clone(),
+        )),
+    ))
+}
+
+/// The code-motion transformation of §2.2 (Figure 2's A4):
+/// `app(λp. [p, sel(λc. COND)(p.child)])(P)` ⇒
+/// `app(λp. if COND then [p, p.child] else [p, {}])(P)`,
+/// valid **only when `COND` does not mention the inner variable `c`** —
+/// deciding that requires environmental (free-variable) analysis, the head
+/// routine §2.2 says variable-based rules cannot avoid.
+pub fn code_motion(e: &Expr, m: &mut Machinery) -> Option<Expr> {
+    // Head routine: app(λp. [p, sel(λc. cond)(p.attr)])(P).
+    let Expr::App(outer, source) = e else {
+        return None;
+    };
+    let Expr::Pair(first, second) = &*outer.body else {
+        return None;
+    };
+    if **first != Expr::Var(outer.var.clone()) {
+        return None;
+    }
+    let Expr::Sel(inner, inner_src) = &**second else {
+        return None;
+    };
+    // Environmental analysis: the predicate must not use the inner binder
+    // (otherwise — query A3 — the transformation is invalid).
+    let fv = free_vars(&inner.body, m);
+    if fv.contains(&inner.var) {
+        return None;
+    }
+    // Body routine: hoist the condition.
+    let then_branch = Expr::Pair(first.clone(), inner_src.clone());
+    let else_branch = Expr::Pair(
+        first.clone(),
+        Box::new(Expr::Lit(kola::value::Value::empty_set())),
+    );
+    Some(Expr::App(
+        Lambda {
+            var: outer.var.clone(),
+            body: Box::new(Expr::If(
+                inner.body.clone(),
+                Box::new(then_branch),
+                Box::new(else_branch),
+            )),
+        },
+        source.clone(),
+    ))
+}
+
+/// The paper's Figure 2 query A3 (inner variable used — NOT transformable).
+pub fn query_a3() -> Expr {
+    use crate::ast::CmpOp;
+    Expr::app(
+        Lambda::new(
+            "p",
+            Expr::pair(
+                Expr::var("p"),
+                Expr::sel(
+                    Lambda::new(
+                        "c",
+                        Expr::cmp(CmpOp::Gt, Expr::var("c").attr("age"), Expr::int(25)),
+                    ),
+                    Expr::var("p").attr("child"),
+                ),
+            ),
+        ),
+        Expr::extent("P"),
+    )
+}
+
+/// The paper's Figure 2 query A4 (outer variable used — transformable).
+pub fn query_a4() -> Expr {
+    use crate::ast::CmpOp;
+    Expr::app(
+        Lambda::new(
+            "p",
+            Expr::pair(
+                Expr::var("p"),
+                Expr::sel(
+                    Lambda::new(
+                        "c",
+                        Expr::cmp(CmpOp::Gt, Expr::var("p").attr("age"), Expr::int(25)),
+                    ),
+                    Expr::var("p").attr("child"),
+                ),
+            ),
+        ),
+        Expr::extent("P"),
+    )
+}
+
+/// Figure 1's T1 input: `app(λa. a.city)(app(λp. p.addr)(P))`.
+pub fn query_t1() -> Expr {
+    Expr::app(
+        Lambda::new("a", Expr::var("a").attr("city")),
+        Expr::app(Lambda::new("p", Expr::var("p").attr("addr")), Expr::extent("P")),
+    )
+}
+
+/// Figure 1's T2 input: `app(λx. x.age)(sel(λp. p.age > 25)(P))`.
+pub fn query_t2() -> Expr {
+    use crate::ast::CmpOp;
+    Expr::app(
+        Lambda::new("x", Expr::var("x").attr("age")),
+        Expr::sel(
+            Lambda::new(
+                "p",
+                Expr::cmp(CmpOp::Gt, Expr::var("p").attr("age"), Expr::int(25)),
+            ),
+            Expr::extent("P"),
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::CmpOp;
+
+    #[test]
+    fn t1_composes_and_uses_machinery() {
+        let mut m = Machinery::default();
+        let out = t1_compose_apps(&query_t1(), &mut m).expect("T1 applies");
+        // app(λp. p.addr.city)(P)
+        let want = Expr::app(
+            Lambda::new("p", Expr::var("p").attr("addr").attr("city")),
+            Expr::extent("P"),
+        );
+        assert_eq!(out, want);
+        assert!(m.substitutions > 0, "body routine needs substitution");
+    }
+
+    #[test]
+    fn t2_decomposes_and_uses_machinery() {
+        let mut m = Machinery::default();
+        let out = t2_decompose_sel(&query_t2(), &mut m).expect("T2 applies");
+        let want = Expr::sel(
+            Lambda::new("a", Expr::cmp(CmpOp::Gt, Expr::var("a"), Expr::int(25))),
+            Expr::app(Lambda::new("p", Expr::var("p").attr("age")), Expr::extent("P")),
+        );
+        assert_eq!(out, want);
+        // Needed both variable renaming (α-compare) and analysis.
+        assert!(m.substitutions > 0);
+        assert!(m.free_var_analyses > 0);
+    }
+
+    #[test]
+    fn t2_rejects_mismatched_projection() {
+        // Projection is .addr but the predicate tests .age: head must fail.
+        let mut m = Machinery::default();
+        let q = Expr::app(
+            Lambda::new("x", Expr::var("x").attr("addr")),
+            Expr::sel(
+                Lambda::new(
+                    "p",
+                    Expr::cmp(CmpOp::Gt, Expr::var("p").attr("age"), Expr::int(25)),
+                ),
+                Expr::extent("P"),
+            ),
+        );
+        assert!(t2_decompose_sel(&q, &mut m).is_none());
+    }
+
+    #[test]
+    fn code_motion_applies_to_a4_not_a3() {
+        let mut m = Machinery::default();
+        assert!(code_motion(&query_a4(), &mut m).is_some());
+        assert!(
+            m.free_var_analyses > 0,
+            "distinguishing A4 from A3 requires environmental analysis"
+        );
+        let mut m = Machinery::default();
+        assert!(code_motion(&query_a3(), &mut m).is_none());
+        assert!(
+            m.free_var_analyses > 0,
+            "rejecting A3 also requires environmental analysis"
+        );
+    }
+
+    #[test]
+    fn a3_and_a4_differ_only_in_one_variable() {
+        // The paper's point: the queries are structurally identical up to
+        // one identifier, yet only one is transformable.
+        let a3 = format!("{:?}", query_a3());
+        let a4 = format!("{:?}", query_a4());
+        assert_ne!(a3, a4);
+        assert_eq!(a3.len(), a4.len());
+    }
+}

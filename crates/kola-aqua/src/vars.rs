@@ -1,0 +1,323 @@
+//! Free-variable analysis, α-renaming and capture-avoiding substitution —
+//! the "additional machinery" of §2.1/§2.3.
+//!
+//! None of this exists in the KOLA half of the repository: it is exactly
+//! what a variable-based representation forces on an optimizer. Every entry
+//! point threads a [`Machinery`] counter so experiments can report how much
+//! of this machinery each transformation consumed (experiment E3/E4).
+
+use crate::ast::{Expr, Lambda, Lambda2};
+use kola::value::Sym;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Counters for the variable-handling machinery invoked by AQUA rules.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Machinery {
+    /// Free-variable analyses performed ("environmental analysis", §2.2).
+    pub free_var_analyses: usize,
+    /// α-renamings performed.
+    pub renames: usize,
+    /// Capture-avoiding substitutions performed (expression composition).
+    pub substitutions: usize,
+}
+
+impl Machinery {
+    /// Total machinery invocations.
+    pub fn total(&self) -> usize {
+        self.free_var_analyses + self.renames + self.substitutions
+    }
+}
+
+/// Compute the free variables of an expression.
+pub fn free_vars(e: &Expr, m: &mut Machinery) -> BTreeSet<Sym> {
+    m.free_var_analyses += 1;
+    let mut out = BTreeSet::new();
+    collect(e, &mut BTreeSet::new(), &mut out);
+    out
+}
+
+fn collect(e: &Expr, bound: &mut BTreeSet<Sym>, out: &mut BTreeSet<Sym>) {
+    match e {
+        Expr::Var(v) => {
+            if !bound.contains(v) {
+                out.insert(v.clone());
+            }
+        }
+        Expr::Lit(_) | Expr::Extent(_) => {}
+        Expr::Attr(e, _) | Expr::Not(e) | Expr::Flatten(e) => collect(e, bound, out),
+        Expr::Pair(a, b) | Expr::Cmp(_, a, b) | Expr::And(a, b) | Expr::Or(a, b) => {
+            collect(a, bound, out);
+            collect(b, bound, out);
+        }
+        Expr::App(l, s) | Expr::Sel(l, s) => {
+            let added = bound.insert(l.var.clone());
+            collect(&l.body, bound, out);
+            if added {
+                bound.remove(&l.var);
+            }
+            collect(s, bound, out);
+        }
+        Expr::Join {
+            pred,
+            func,
+            left,
+            right,
+        } => {
+            for l in [pred, func] {
+                let a1 = bound.insert(l.var1.clone());
+                let a2 = bound.insert(l.var2.clone());
+                collect(&l.body, bound, out);
+                if a1 {
+                    bound.remove(&l.var1);
+                }
+                if a2 {
+                    bound.remove(&l.var2);
+                }
+            }
+            collect(left, bound, out);
+            collect(right, bound, out);
+        }
+        Expr::If(p, a, b) => {
+            collect(p, bound, out);
+            collect(a, bound, out);
+            collect(b, bound, out);
+        }
+    }
+}
+
+/// Generate a variable name not occurring in `avoid`.
+pub fn fresh_name(base: &Sym, avoid: &BTreeSet<Sym>, m: &mut Machinery) -> Sym {
+    m.renames += 1;
+    if !avoid.contains(base) {
+        return base.clone();
+    }
+    for i in 0.. {
+        let candidate: Sym = Arc::from(format!("{base}_{i}").as_str());
+        if !avoid.contains(&candidate) {
+            return candidate;
+        }
+    }
+    unreachable!()
+}
+
+/// Capture-avoiding substitution: replace free occurrences of `var` in `e`
+/// by `replacement`, renaming binders as necessary.
+pub fn substitute(e: &Expr, var: &Sym, replacement: &Expr, m: &mut Machinery) -> Expr {
+    m.substitutions += 1;
+    let mut fv_repl = BTreeSet::new();
+    collect(replacement, &mut BTreeSet::new(), &mut fv_repl);
+    subst_inner(e, var, replacement, &fv_repl, m)
+}
+
+fn subst_lambda(
+    l: &Lambda,
+    var: &Sym,
+    replacement: &Expr,
+    fv_repl: &BTreeSet<Sym>,
+    m: &mut Machinery,
+) -> Lambda {
+    if &l.var == var {
+        // Shadowed: substitution stops here.
+        return l.clone();
+    }
+    if fv_repl.contains(&l.var) {
+        // Would capture: α-rename the binder first.
+        let mut avoid = fv_repl.clone();
+        let mut fv_body = BTreeSet::new();
+        collect(&l.body, &mut BTreeSet::new(), &mut fv_body);
+        avoid.extend(fv_body);
+        avoid.insert(var.clone());
+        let fresh = fresh_name(&l.var, &avoid, m);
+        let renamed_body = substitute(&l.body, &l.var, &Expr::Var(fresh.clone()), m);
+        Lambda {
+            var: fresh,
+            body: Box::new(subst_inner(&renamed_body, var, replacement, fv_repl, m)),
+        }
+    } else {
+        Lambda {
+            var: l.var.clone(),
+            body: Box::new(subst_inner(&l.body, var, replacement, fv_repl, m)),
+        }
+    }
+}
+
+fn subst_lambda2(
+    l: &Lambda2,
+    var: &Sym,
+    replacement: &Expr,
+    fv_repl: &BTreeSet<Sym>,
+    m: &mut Machinery,
+) -> Lambda2 {
+    if &l.var1 == var || &l.var2 == var {
+        return l.clone();
+    }
+    if fv_repl.contains(&l.var1) || fv_repl.contains(&l.var2) {
+        // Rename both binders defensively.
+        let mut avoid = fv_repl.clone();
+        let mut fv_body = BTreeSet::new();
+        collect(&l.body, &mut BTreeSet::new(), &mut fv_body);
+        avoid.extend(fv_body);
+        avoid.insert(var.clone());
+        let f1 = fresh_name(&l.var1, &avoid, m);
+        avoid.insert(f1.clone());
+        let f2 = fresh_name(&l.var2, &avoid, m);
+        let body = substitute(&l.body, &l.var1, &Expr::Var(f1.clone()), m);
+        let body = substitute(&body, &l.var2, &Expr::Var(f2.clone()), m);
+        Lambda2 {
+            var1: f1,
+            var2: f2,
+            body: Box::new(subst_inner(&body, var, replacement, fv_repl, m)),
+        }
+    } else {
+        Lambda2 {
+            var1: l.var1.clone(),
+            var2: l.var2.clone(),
+            body: Box::new(subst_inner(&l.body, var, replacement, fv_repl, m)),
+        }
+    }
+}
+
+fn subst_inner(
+    e: &Expr,
+    var: &Sym,
+    replacement: &Expr,
+    fv_repl: &BTreeSet<Sym>,
+    m: &mut Machinery,
+) -> Expr {
+    match e {
+        Expr::Var(v) => {
+            if v == var {
+                replacement.clone()
+            } else {
+                e.clone()
+            }
+        }
+        Expr::Lit(_) | Expr::Extent(_) => e.clone(),
+        Expr::Attr(e, a) => Expr::Attr(
+            Box::new(subst_inner(e, var, replacement, fv_repl, m)),
+            a.clone(),
+        ),
+        Expr::Not(e) => Expr::Not(Box::new(subst_inner(e, var, replacement, fv_repl, m))),
+        Expr::Flatten(e) => {
+            Expr::Flatten(Box::new(subst_inner(e, var, replacement, fv_repl, m)))
+        }
+        Expr::Pair(a, b) => Expr::Pair(
+            Box::new(subst_inner(a, var, replacement, fv_repl, m)),
+            Box::new(subst_inner(b, var, replacement, fv_repl, m)),
+        ),
+        Expr::Cmp(op, a, b) => Expr::Cmp(
+            *op,
+            Box::new(subst_inner(a, var, replacement, fv_repl, m)),
+            Box::new(subst_inner(b, var, replacement, fv_repl, m)),
+        ),
+        Expr::And(a, b) => Expr::And(
+            Box::new(subst_inner(a, var, replacement, fv_repl, m)),
+            Box::new(subst_inner(b, var, replacement, fv_repl, m)),
+        ),
+        Expr::Or(a, b) => Expr::Or(
+            Box::new(subst_inner(a, var, replacement, fv_repl, m)),
+            Box::new(subst_inner(b, var, replacement, fv_repl, m)),
+        ),
+        Expr::App(l, s) => Expr::App(
+            subst_lambda(l, var, replacement, fv_repl, m),
+            Box::new(subst_inner(s, var, replacement, fv_repl, m)),
+        ),
+        Expr::Sel(l, s) => Expr::Sel(
+            subst_lambda(l, var, replacement, fv_repl, m),
+            Box::new(subst_inner(s, var, replacement, fv_repl, m)),
+        ),
+        Expr::Join {
+            pred,
+            func,
+            left,
+            right,
+        } => Expr::Join {
+            pred: subst_lambda2(pred, var, replacement, fv_repl, m),
+            func: subst_lambda2(func, var, replacement, fv_repl, m),
+            left: Box::new(subst_inner(left, var, replacement, fv_repl, m)),
+            right: Box::new(subst_inner(right, var, replacement, fv_repl, m)),
+        },
+        Expr::If(p, a, b) => Expr::If(
+            Box::new(subst_inner(p, var, replacement, fv_repl, m)),
+            Box::new(subst_inner(a, var, replacement, fv_repl, m)),
+            Box::new(subst_inner(b, var, replacement, fv_repl, m)),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{CmpOp, Expr as E};
+
+    #[test]
+    fn free_vars_basic() {
+        let mut m = Machinery::default();
+        let e = E::cmp(CmpOp::Gt, E::var("x").attr("age"), E::var("y"));
+        let fv = free_vars(&e, &mut m);
+        assert_eq!(fv.len(), 2);
+        assert!(fv.contains("x") && fv.contains("y"));
+        assert_eq!(m.free_var_analyses, 1);
+    }
+
+    #[test]
+    fn lambda_binds() {
+        let mut m = Machinery::default();
+        // sel(λc. c.age > p.age)(S): free = {p, S? S is extent-free}
+        let e = E::sel(
+            Lambda::new(
+                "c",
+                E::cmp(CmpOp::Gt, E::var("c").attr("age"), E::var("p").attr("age")),
+            ),
+            E::var("p").attr("child"),
+        );
+        let fv = free_vars(&e, &mut m);
+        assert_eq!(fv.into_iter().collect::<Vec<_>>(), vec![Arc::from("p") as Sym]);
+    }
+
+    #[test]
+    fn substitution_replaces_free_occurrences_only() {
+        let mut m = Machinery::default();
+        // (λx. x) with substitution x := 1 leaves the bound x alone.
+        let e = E::app(Lambda::new("x", E::var("x")), E::var("x"));
+        let out = substitute(&e, &Arc::from("x"), &E::int(1), &mut m);
+        assert_eq!(out, E::app(Lambda::new("x", E::var("x")), E::int(1)));
+        assert!(m.substitutions >= 1);
+    }
+
+    #[test]
+    fn substitution_avoids_capture() {
+        let mut m = Machinery::default();
+        // λy. x  with x := y  must NOT become λy. y.
+        let e = E::sel(Lambda::new("y", E::var("x")), E::extent("S"));
+        let out = substitute(&e, &Arc::from("x"), &E::var("y"), &mut m);
+        match out {
+            Expr::Sel(l, _) => {
+                assert_ne!(&*l.var, "y", "binder must be renamed");
+                assert_eq!(*l.body, E::var("y"), "substituted var stays free");
+            }
+            _ => panic!(),
+        }
+        assert!(m.renames >= 1, "capture avoidance must rename");
+    }
+
+    #[test]
+    fn path_composition_via_substitution() {
+        // The T1 body routine's core: substitute p.addr for a in a.city.
+        let mut m = Machinery::default();
+        let body = E::var("a").attr("city");
+        let out = substitute(&body, &Arc::from("a"), &E::var("p").attr("addr"), &mut m);
+        assert_eq!(out, E::var("p").attr("addr").attr("city"));
+    }
+
+    #[test]
+    fn fresh_name_avoids() {
+        let mut m = Machinery::default();
+        let avoid: BTreeSet<Sym> = [Arc::from("x") as Sym, Arc::from("x_0") as Sym]
+            .into_iter()
+            .collect();
+        let f = fresh_name(&Arc::from("x"), &avoid, &mut m);
+        assert_eq!(&*f, "x_1");
+    }
+}

@@ -1,0 +1,77 @@
+//! Experiment E16 (extension) — §6's deferred duplicate elimination,
+//! measured: the eager set pipeline dedups at the union *and* at the
+//! iterate; the bag pipeline pays one dedup at the end. Prints measured
+//! operation counts and result sizes across scale.
+
+use kola::parse::parse_query;
+use kola_exec::datagen::{generate, DataSpec};
+use kola_exec::{Executor, Mode};
+use kola_rewrite::engine::{rewrite_once_query, Oriented};
+use kola_rewrite::{Catalog, PropDb};
+
+fn main() {
+    let catalog = Catalog::paper();
+    let props = PropDb::new();
+    let rule_b7 = catalog.get("b7").expect("bag rule b7");
+
+    println!("# E16 — deferred duplicate elimination (rule b7)");
+    println!(
+        "{:>6} | {:>12} {:>12} | {:>9} {:>9} {:>10}",
+        "|P|", "eager dedups", "defer dedups", "distinct", "bag total", "dups seen"
+    );
+    for factor in [2usize, 4, 8, 16, 32] {
+        let mut db = generate(&DataSpec::scaled(factor, 21));
+        let people: Vec<kola::Value> = db
+            .extent("P")
+            .expect("generator binds P")
+            .as_set()
+            .expect("P is a set")
+            .iter()
+            .cloned()
+            .collect();
+        let half = people.len() / 2;
+        // Overlapping halves: the union has duplicates to eliminate.
+        db.bind_extent("A", kola::Value::set(people[..(half * 3 / 2).min(people.len())].to_vec()));
+        db.bind_extent("B", kola::Value::set(people[half / 2..].to_vec()));
+
+        let eager = parse_query("iterate(Kp(T), age) ! (A union B)").expect("parses");
+        let rules = [Oriented::fwd(rule_b7)];
+        let deferred = rewrite_once_query(&rules, &eager, &props)
+            .expect("b7 applies")
+            .result;
+
+        let mut e1 = Executor::new(&db, Mode::Naive);
+        let v1 = e1.run(&eager).expect("eager runs");
+        let mut e2 = Executor::new(&db, Mode::Naive);
+        let v2 = e2.run(&deferred).expect("deferred runs");
+        assert_eq!(v1, v2, "plans agree");
+
+        // Inspect the intermediate bag for the duplicate count.
+        let inter = parse_query(
+            "bunion ! [biterate(Kp(T), age) ! bagify ! A, \
+                       biterate(Kp(T), age) ! bagify ! B]",
+        )
+        .expect("parses");
+        let kola::Value::Bag(bag) = kola::eval_query(&db, &inter).expect("runs") else {
+            unreachable!("bunion returns a bag");
+        };
+        assert!(
+            e2.stats.dedup_work() < e1.stats.dedup_work(),
+            "deferral must reduce duplicate-elimination work"
+        );
+        println!(
+            "{:>6} | {:>12} {:>12} | {:>9} {:>9} {:>10}",
+            people.len(),
+            e1.stats.dedup_work(),
+            e2.stats.dedup_work(),
+            bag.distinct(),
+            bag.len(),
+            bag.len() - bag.distinct(),
+        );
+    }
+    println!(
+        "\nthe deferred plan carries multiplicities through the union and\n\
+         projection, eliminating duplicates exactly once at the end — the\n\
+         optimization §6 says bags exist to express."
+    );
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+//! # kola-coko — the COKO rule-block language
+//!
+//! §4.2: "to handle the still large set of rules … we are developing a
+//! language, COKO (Control Of KOLA Optimizations), with which to express
+//! *rule blocks*: sets of rules that are used together, together with
+//! strategies for their firing. Rule blocks correspond to 'conceptual
+//! transformations' … Example rule blocks include 'push selects past
+//! joins' … as well as each of the steps in the hidden join transformation."
+//!
+//! The paper deferred COKO to a later publication; this crate implements it
+//! from that description. A COKO program is a set of named
+//! `TRANSFORMATION`s whose bodies fire catalog rules under strategy
+//! combinators, compiled down to [`kola_rewrite::Strategy`].
+//!
+//! ## Syntax
+//!
+//! ```text
+//! TRANSFORMATION BreakUp
+//! BEGIN
+//!   FIX { [17], [18], [2], [1], [3], [4] }
+//! END
+//!
+//! TRANSFORMATION Untangle
+//! USES BreakUp, BottomOut
+//! BEGIN
+//!   TRY BreakUp ; TRY BottomOut
+//! END
+//! ```
+//!
+//! - `[id]` fires catalog rule `id` once (use `[id-1]` for right-to-left).
+//! - `FIX { … }` applies a rule set exhaustively.
+//! - `REPEAT s`, `TRY s`, `s ; s` (sequence), `s | s` (first that
+//!   succeeds), `{ s }` (grouping).
+//! - A bare name invokes another transformation (declared in `USES`).
+
+pub mod parse;
+pub mod stdlib;
+
+pub use parse::{compile, parse_program, CokoError, Program, Transformation};

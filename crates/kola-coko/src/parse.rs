@@ -1,0 +1,455 @@
+//! COKO parser and compiler (COKO AST → [`Strategy`]).
+
+use kola_rewrite::Strategy;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A COKO parse/compile error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CokoError {
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for CokoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "COKO error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for CokoError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CokoError> {
+    Err(CokoError { msg: msg.into() })
+}
+
+/// A COKO statement (strategy expression).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `[id]` — fire one catalog rule once.
+    Fire(String),
+    /// `FIX { [a], [b], … }` — exhaustively apply a rule set.
+    Fix(Vec<String>),
+    /// `BU { [a], [b], … }` — one bottom-up sweep applying the set at
+    /// every position (children first).
+    BottomUp(Vec<String>),
+    /// `REPEAT s`.
+    Repeat(Box<Stmt>),
+    /// `TRY s`.
+    Try(Box<Stmt>),
+    /// `s ; s ; …`.
+    Seq(Vec<Stmt>),
+    /// `s | s | …`.
+    Choice(Vec<Stmt>),
+    /// Invoke another transformation by name.
+    Call(String),
+}
+
+/// A named COKO transformation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transformation {
+    /// Its name.
+    pub name: String,
+    /// Declared dependencies.
+    pub uses: Vec<String>,
+    /// The body.
+    pub body: Stmt,
+}
+
+/// A COKO program: an ordered set of transformations.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// The transformations, in source order.
+    pub transformations: Vec<Transformation>,
+}
+
+impl Program {
+    /// Look up a transformation by name.
+    pub fn get(&self, name: &str) -> Option<&Transformation> {
+        self.transformations.iter().find(|t| t.name == name)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    RuleRef(String),
+    Semi,
+    Pipe,
+    Comma,
+    LBrace,
+    RBrace,
+}
+
+fn lex(src: &str) -> Result<Vec<Tok>, CokoError> {
+    let mut out = Vec::new();
+    let b = src.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '-' if i + 1 < b.len() && b[i + 1] as char == '-' => {
+                // Line comment.
+                while i < b.len() && b[i] as char != '\n' {
+                    i += 1;
+                }
+            }
+            ';' => {
+                out.push(Tok::Semi);
+                i += 1;
+            }
+            '|' => {
+                out.push(Tok::Pipe);
+                i += 1;
+            }
+            ',' => {
+                out.push(Tok::Comma);
+                i += 1;
+            }
+            '{' => {
+                out.push(Tok::LBrace);
+                i += 1;
+            }
+            '}' => {
+                out.push(Tok::RBrace);
+                i += 1;
+            }
+            '[' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < b.len() && b[j] as char != ']' {
+                    j += 1;
+                }
+                if j >= b.len() {
+                    return err("unterminated rule reference");
+                }
+                out.push(Tok::RuleRef(src[start..j].trim().to_string()));
+                i = j + 1;
+            }
+            c if c.is_ascii_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < b.len()
+                    && ((b[i] as char).is_ascii_alphanumeric() || b[i] as char == '_')
+                {
+                    i += 1;
+                }
+                out.push(Tok::Ident(src[start..i].to_string()));
+            }
+            other => return err(format!("unexpected character {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+struct P {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn ident(&mut self) -> Result<String, CokoError> {
+        match self.toks.get(self.pos).cloned() {
+            Some(Tok::Ident(s)) => {
+                self.pos += 1;
+                Ok(s)
+            }
+            other => err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn transformation(&mut self) -> Result<Transformation, CokoError> {
+        if !self.eat_kw("TRANSFORMATION") {
+            return err(format!(
+                "expected TRANSFORMATION, found {:?}",
+                self.peek()
+            ));
+        }
+        let name = self.ident()?;
+        let mut uses = Vec::new();
+        if self.eat_kw("USES") {
+            uses.push(self.ident()?);
+            while self.eat(&Tok::Comma) {
+                uses.push(self.ident()?);
+            }
+        }
+        if !self.eat_kw("BEGIN") {
+            return err(format!("expected BEGIN in {name}, found {:?}", self.peek()));
+        }
+        let body = self.stmt()?;
+        if !self.eat_kw("END") {
+            return err(format!("expected END in {name}, found {:?}", self.peek()));
+        }
+        Ok(Transformation { name, uses, body })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CokoError> {
+        let mut parts = vec![self.choice()?];
+        while self.eat(&Tok::Semi) {
+            parts.push(self.choice()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one element")
+        } else {
+            Stmt::Seq(parts)
+        })
+    }
+
+    fn choice(&mut self) -> Result<Stmt, CokoError> {
+        let mut parts = vec![self.basic()?];
+        while self.eat(&Tok::Pipe) {
+            parts.push(self.basic()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one element")
+        } else {
+            Stmt::Choice(parts)
+        })
+    }
+
+    fn basic(&mut self) -> Result<Stmt, CokoError> {
+        if self.eat_kw("REPEAT") {
+            return Ok(Stmt::Repeat(Box::new(self.basic()?)));
+        }
+        if self.eat_kw("TRY") {
+            return Ok(Stmt::Try(Box::new(self.basic()?)));
+        }
+        for (kw, ctor) in [
+            ("FIX", Stmt::Fix as fn(Vec<String>) -> Stmt),
+            ("BU", Stmt::BottomUp as fn(Vec<String>) -> Stmt),
+        ] {
+            if self.eat_kw(kw) {
+                if !self.eat(&Tok::LBrace) {
+                    return err(format!("expected {{ after {kw}"));
+                }
+                let mut refs = Vec::new();
+                loop {
+                    match self.toks.get(self.pos).cloned() {
+                        Some(Tok::RuleRef(r)) => {
+                            self.pos += 1;
+                            refs.push(r);
+                        }
+                        other => return err(format!("expected [rule], found {other:?}")),
+                    }
+                    if self.eat(&Tok::RBrace) {
+                        break;
+                    }
+                    if !self.eat(&Tok::Comma) {
+                        return err(format!("expected , or }} in {kw}"));
+                    }
+                }
+                return Ok(ctor(refs));
+            }
+        }
+        if self.eat(&Tok::LBrace) {
+            let s = self.stmt()?;
+            if !self.eat(&Tok::RBrace) {
+                return err("expected }");
+            }
+            return Ok(s);
+        }
+        match self.toks.get(self.pos).cloned() {
+            Some(Tok::RuleRef(r)) => {
+                self.pos += 1;
+                Ok(Stmt::Fire(r))
+            }
+            Some(Tok::Ident(name))
+                if !["END", "TRANSFORMATION"]
+                    .iter()
+                    .any(|k| name.eq_ignore_ascii_case(k)) =>
+            {
+                self.pos += 1;
+                Ok(Stmt::Call(name))
+            }
+            other => err(format!("expected statement, found {other:?}")),
+        }
+    }
+}
+
+/// Parse a COKO program.
+///
+/// ```
+/// let p = kola_coko::parse_program(
+///     "TRANSFORMATION Clean BEGIN FIX { [1], [2] } END").unwrap();
+/// let s = kola_coko::compile(&p, "Clean").unwrap();
+/// assert_eq!(s.to_string(), "fix(1, 2)");
+/// ```
+pub fn parse_program(src: &str) -> Result<Program, CokoError> {
+    let mut p = P {
+        toks: lex(src)?,
+        pos: 0,
+    };
+    let mut transformations = Vec::new();
+    while p.peek().is_some() {
+        transformations.push(p.transformation()?);
+    }
+    if transformations.is_empty() {
+        return err("empty program");
+    }
+    Ok(Program { transformations })
+}
+
+/// Compile one transformation of a program into a [`Strategy`], inlining
+/// calls. Cycles are rejected.
+pub fn compile(program: &Program, name: &str) -> Result<Strategy, CokoError> {
+    let by_name: BTreeMap<&str, &Transformation> = program
+        .transformations
+        .iter()
+        .map(|t| (t.name.as_str(), t))
+        .collect();
+    let t = by_name
+        .get(name)
+        .ok_or_else(|| CokoError {
+            msg: format!("unknown transformation {name}"),
+        })?;
+    let mut stack = vec![name.to_string()];
+    compile_stmt(&by_name, &t.body, &mut stack)
+}
+
+fn compile_stmt(
+    by_name: &BTreeMap<&str, &Transformation>,
+    s: &Stmt,
+    stack: &mut Vec<String>,
+) -> Result<Strategy, CokoError> {
+    Ok(match s {
+        Stmt::Fire(r) => Strategy::Apply(r.clone()),
+        Stmt::Fix(rs) => Strategy::Fix(rs.clone()),
+        Stmt::BottomUp(rs) => Strategy::BottomUp(rs.clone()),
+        Stmt::Repeat(s) => Strategy::Repeat(Box::new(compile_stmt(by_name, s, stack)?)),
+        Stmt::Try(s) => Strategy::Try(Box::new(compile_stmt(by_name, s, stack)?)),
+        Stmt::Seq(ss) => Strategy::Seq(
+            ss.iter()
+                .map(|s| compile_stmt(by_name, s, stack))
+                .collect::<Result<_, _>>()?,
+        ),
+        Stmt::Choice(ss) => Strategy::Choice(
+            ss.iter()
+                .map(|s| compile_stmt(by_name, s, stack))
+                .collect::<Result<_, _>>()?,
+        ),
+        Stmt::Call(name) => {
+            if stack.iter().any(|n| n == name) {
+                return err(format!("recursive transformation {name}"));
+            }
+            let t = by_name.get(name.as_str()).ok_or_else(|| CokoError {
+                msg: format!("unknown transformation {name}"),
+            })?;
+            stack.push(name.clone());
+            let out = compile_stmt(by_name, &t.body, stack)?;
+            stack.pop();
+            out
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_transformation() {
+        let p = parse_program(
+            "TRANSFORMATION Clean BEGIN FIX { [1], [2] } END",
+        )
+        .unwrap();
+        assert_eq!(p.transformations.len(), 1);
+        assert_eq!(
+            p.transformations[0].body,
+            Stmt::Fix(vec!["1".into(), "2".into()])
+        );
+    }
+
+    #[test]
+    fn parses_sequences_and_combinators() {
+        let p = parse_program(
+            "TRANSFORMATION T BEGIN REPEAT [app] ; [19] ; REPEAT [app-1] END",
+        )
+        .unwrap();
+        match &p.transformations[0].body {
+            Stmt::Seq(parts) => {
+                assert_eq!(parts.len(), 3);
+                assert_eq!(parts[1], Stmt::Fire("19".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_choice_and_grouping() {
+        let p = parse_program(
+            "TRANSFORMATION T BEGIN { [1] | [2] } ; TRY [3] END",
+        )
+        .unwrap();
+        match &p.transformations[0].body {
+            Stmt::Seq(parts) => {
+                assert!(matches!(&parts[0], Stmt::Choice(cs) if cs.len() == 2));
+                assert!(matches!(&parts[1], Stmt::Try(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let p = parse_program(
+            "-- cleanup pass\nTRANSFORMATION T BEGIN [1] -- id-right\nEND",
+        )
+        .unwrap();
+        assert_eq!(p.transformations[0].body, Stmt::Fire("1".into()));
+    }
+
+    #[test]
+    fn calls_compile_by_inlining() {
+        let p = parse_program(
+            "TRANSFORMATION A BEGIN [1] END \
+             TRANSFORMATION B USES A BEGIN TRY A END",
+        )
+        .unwrap();
+        let s = compile(&p, "B").unwrap();
+        assert_eq!(s.to_string(), "try 1");
+    }
+
+    #[test]
+    fn recursion_rejected() {
+        let p = parse_program(
+            "TRANSFORMATION A USES B BEGIN B END \
+             TRANSFORMATION B USES A BEGIN A END",
+        )
+        .unwrap();
+        assert!(compile(&p, "A").is_err());
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_program("").is_err());
+        assert!(parse_program("TRANSFORMATION T BEGIN END").is_err());
+        assert!(parse_program("TRANSFORMATION T [1] END").is_err());
+        assert!(parse_program("TRANSFORMATION T BEGIN [1").is_err());
+        let p = parse_program("TRANSFORMATION T BEGIN Unknown END").unwrap();
+        assert!(compile(&p, "T").is_err());
+        assert!(compile(&p, "Nope").is_err());
+    }
+}

@@ -1,0 +1,294 @@
+//! The standard COKO library: the paper's conceptual transformations as
+//! COKO source.
+//!
+//! Each of §4.1's five hidden-join steps is one rule block, plus the
+//! "push selects past joins"-style blocks §4.2 names as examples.
+
+use crate::parse::{compile, parse_program, CokoError, Program};
+use kola_rewrite::Strategy;
+
+/// COKO source for the hidden-join untangling pipeline (§4.1).
+pub const HIDDEN_JOIN_COKO: &str = r#"
+-- Step 1: break the monolithic iterate into a composition chain.
+TRANSFORMATION BreakUp
+BEGIN
+  FIX { [17], [18], [2], [1], [3], [4], [4a], [9], [10], [5], [6] }
+END
+
+-- Step 2: bottom out the (id, Kf(B)) tail into a nest of a join.
+TRANSFORMATION BottomOut
+BEGIN
+  REPEAT [app] ; [19] ; REPEAT [app-1]
+END
+
+-- Step 3: pull nest to the top of the chain.
+TRANSFORMATION PullUpNest
+BEGIN
+  FIX { [20], [21], [4], [2], [1] }
+END
+
+-- Step 4: pull unnests up below the nest.
+TRANSFORMATION PullUpUnnest
+BEGIN
+  FIX { [22], [23] }
+END
+
+-- Step 5: absorb iterates into the join.
+TRANSFORMATION Absorb
+BEGIN
+  FIX { [24], [3], [5], [e32], [1], [2], [e6] }
+END
+
+-- Tidy: <pi1, g.pi2> forms into id * g (Figure 3 notation).
+TRANSFORMATION Tidy
+BEGIN
+  FIX { [e110], [e111], [e112], [e6] }
+END
+
+TRANSFORMATION UntangleHiddenJoin
+USES BreakUp, BottomOut, PullUpNest, PullUpUnnest, Absorb, Tidy
+BEGIN
+  TRY BreakUp ;
+  TRY BottomOut ;
+  TRY PullUpNest ;
+  TRY PullUpUnnest ;
+  TRY Absorb ;
+  TRY Tidy
+END
+"#;
+
+/// COKO source for general-purpose cleanup blocks (§4.2's examples of
+/// "conceptual transformations").
+pub const CLEANUP_COKO: &str = r#"
+-- Identity and projection elimination.
+TRANSFORMATION EliminateIdentities
+BEGIN
+  FIX { [1], [2], [3], [4], [9], [10], [e6] }
+END
+
+-- Constant folding over predicates.
+TRANSFORMATION SimplifyPredicates
+BEGIN
+  FIX { [5], [6], [e32], [e33], [e34], [e35], [e36], [e37], [e38],
+        [e41], [e42], [e43], [e30], [e31] }
+END
+
+-- Fuse cascaded iterations (select/map pipelines into one pass).
+TRANSFORMATION FuseIterates
+BEGIN
+  FIX { [11], [12] }
+END
+
+-- §4.2's named example block: "push selects past joins".
+TRANSFORMATION PushSelectsPastJoins
+BEGIN
+  FIX { [e80], [e81], [5], [e32], [1], [2], [3] }
+END
+
+-- §4.2's named example block: "convert predicates to CNF".
+TRANSFORMATION PredicatesToCNF
+BEGIN
+  FIX { [e41], [e39], [e40], [e49], [e42], [e43] }
+END
+
+TRANSFORMATION Simplify
+USES EliminateIdentities, SimplifyPredicates, FuseIterates
+BEGIN
+  TRY EliminateIdentities ; TRY SimplifyPredicates ; TRY FuseIterates ;
+  TRY EliminateIdentities ; TRY SimplifyPredicates
+END
+"#;
+
+/// Parse the hidden-join library.
+pub fn hidden_join_program() -> Result<Program, CokoError> {
+    parse_program(HIDDEN_JOIN_COKO)
+}
+
+/// The full pipeline as a compiled strategy.
+pub fn untangle_strategy() -> Result<Strategy, CokoError> {
+    compile(&hidden_join_program()?, "UntangleHiddenJoin")
+}
+
+/// Parse the cleanup library.
+pub fn cleanup_program() -> Result<Program, CokoError> {
+    parse_program(CLEANUP_COKO)
+}
+
+/// The simplification block as a compiled strategy.
+pub fn simplify_strategy() -> Result<Strategy, CokoError> {
+    compile(&cleanup_program()?, "Simplify")
+}
+
+/// The "push selects past joins" block §4.2 names.
+pub fn push_selects_strategy() -> Result<Strategy, CokoError> {
+    compile(&cleanup_program()?, "PushSelectsPastJoins")
+}
+
+/// The "convert predicates to CNF" block §4.2 names.
+pub fn cnf_strategy() -> Result<Strategy, CokoError> {
+    compile(&cleanup_program()?, "PredicatesToCNF")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kola_rewrite::engine::Trace;
+    use kola_rewrite::hidden_join::{garage_query_kg1, garage_query_kg2};
+    use kola_rewrite::strategy::Runner;
+    use kola_rewrite::{Catalog, PropDb};
+
+    #[test]
+    fn stdlib_parses_and_compiles() {
+        assert!(untangle_strategy().is_ok());
+        assert!(simplify_strategy().is_ok());
+    }
+
+    #[test]
+    fn coko_untangle_reproduces_figure_3() {
+        let catalog = Catalog::paper();
+        let props = PropDb::new();
+        let runner = Runner::new(&catalog, &props);
+        let strategy = untangle_strategy().unwrap();
+        let mut trace = Trace::new();
+        let (out, _) = runner.run(&strategy, garage_query_kg1(), &mut trace);
+        assert_eq!(out, garage_query_kg2(), "COKO pipeline must match");
+    }
+
+    #[test]
+    fn coko_matches_builtin_pipeline() {
+        // The COKO source and the hand-built Rust pipeline must agree on
+        // arbitrary hidden joins.
+        let catalog = Catalog::paper();
+        let props = PropDb::new();
+        let runner = Runner::new(&catalog, &props);
+        let strategy = untangle_strategy().unwrap();
+        for n in 1..=3 {
+            let q = kola_rewrite::hidden_join::synthetic_hidden_join(n);
+            let mut trace = Trace::new();
+            let (coko_out, _) = runner.run(&strategy, q.clone(), &mut trace);
+            let built_in = kola_rewrite::hidden_join::untangle(&catalog, &props, &q);
+            assert_eq!(coko_out, built_in.query, "depth {n}");
+        }
+    }
+
+    #[test]
+    fn push_selects_past_joins_block() {
+        let catalog = Catalog::paper();
+        let props = PropDb::new();
+        let runner = Runner::new(&catalog, &props);
+        let strategy = push_selects_strategy().unwrap();
+        // A selection after a join gets absorbed into the join predicate.
+        let q = kola::parse::parse_query(
+            "iterate(gt @ (age . pi1, age . pi2), id) . join(Kp(T), id) ! [P, P]",
+        )
+        .unwrap();
+        let mut trace = Trace::new();
+        let (out, _) = runner.run(&strategy, q, &mut trace);
+        assert_eq!(
+            out,
+            kola::parse::parse_query(
+                "join(gt @ (age . pi1, age . pi2), id) ! [P, P]"
+            )
+            .unwrap()
+        );
+    }
+
+    #[test]
+    fn predicates_to_cnf_block() {
+        let catalog = Catalog::paper();
+        let props = PropDb::new();
+        let runner = Runner::new(&catalog, &props);
+        let strategy = cnf_strategy().unwrap();
+        // ~(a | b) | (c & d)  ==>  CNF: conjunction of disjunctions.
+        let q = kola::parse::parse_query(
+            "iterate(~(gt @ (age, Kf(10)) | gt @ (age, Kf(20))) |              (gt @ (age, Kf(30)) & gt @ (age, Kf(40))), id) ! P",
+        )
+        .unwrap();
+        let mut trace = Trace::new();
+        let (out, _) = runner.run(&strategy, q.clone(), &mut trace);
+        // Check the CNF shape structurally: an AND-tree of OR-trees of
+        // literals (atom or negated atom).
+        fn is_literal(p: &kola::Pred) -> bool {
+            match p {
+                kola::Pred::Not(inner) => is_literal(inner) && !matches!(
+                    **inner,
+                    kola::Pred::And(..) | kola::Pred::Or(..) | kola::Pred::Not(..)
+                ),
+                kola::Pred::And(..) | kola::Pred::Or(..) => false,
+                _ => true,
+            }
+        }
+        fn is_clause(p: &kola::Pred) -> bool {
+            match p {
+                kola::Pred::Or(a, b) => is_clause(a) && is_clause(b),
+                other => is_literal(other),
+            }
+        }
+        fn is_cnf(p: &kola::Pred) -> bool {
+            match p {
+                kola::Pred::And(a, b) => is_cnf(a) && is_cnf(b),
+                other => is_clause(other),
+            }
+        }
+        let kola::Query::App(kola::Func::Iterate(pred, _), _) = &out else {
+            panic!("unexpected shape: {out}");
+        };
+        assert!(is_cnf(pred), "not CNF: {out}");
+        // And semantics preserved.
+        let db = kola_exec_free_db();
+        assert_eq!(
+            kola::eval_query(&db, &q).unwrap(),
+            kola::eval_query(&db, &out).unwrap()
+        );
+    }
+
+    fn kola_exec_free_db() -> kola::Db {
+        // A tiny hand-rolled database (the coko crate doesn't depend on
+        // kola-exec).
+        let schema = kola::Schema::paper_schema();
+        let person = schema.class_id("Person").unwrap();
+        let address = schema.class_id("Address").unwrap();
+        let mut db = kola::Db::new(schema);
+        let a = db
+            .insert(address, vec![kola::Value::str("X"), kola::Value::Int(1)])
+            .unwrap();
+        let mut people = Vec::new();
+        for age in [5i64, 15, 25, 35, 45] {
+            let p = db
+                .insert(
+                    person,
+                    vec![
+                        kola::Value::Obj(a),
+                        kola::Value::Int(age),
+                        kola::Value::str(&format!("p{age}")),
+                        kola::Value::empty_set(),
+                        kola::Value::empty_set(),
+                        kola::Value::empty_set(),
+                    ],
+                )
+                .unwrap();
+            people.push(kola::Value::Obj(p));
+        }
+        db.bind_extent("P", kola::Value::set(people));
+        db
+    }
+
+    #[test]
+    fn simplify_block_fuses_figure_4() {
+        let catalog = Catalog::paper();
+        let props = PropDb::new();
+        let runner = Runner::new(&catalog, &props);
+        let strategy = simplify_strategy().unwrap();
+        // T1K: the nested iterates fuse to a single pass.
+        let q = kola::parse::parse_query(
+            "iterate(Kp(T), city) . iterate(Kp(T), addr) ! P",
+        )
+        .unwrap();
+        let mut trace = Trace::new();
+        let (out, _) = runner.run(&strategy, q, &mut trace);
+        assert_eq!(
+            out,
+            kola::parse::parse_query("iterate(Kp(T), city . addr) ! P").unwrap()
+        );
+    }
+}

@@ -1,0 +1,15 @@
+#![warn(missing_docs)]
+//! # kola-frontend — OQL surface language and translators into KOLA
+//!
+//! The paper's [11]: translators from OQL and AQUA into the combinator
+//! algebra. [`oql`] parses a `select/from/where` subset and lowers it to
+//! AQUA; [`to_kola`] compiles AQUA's λ-terms into variable-free KOLA via
+//! explicit environments; [`size`] measures the §4.2 O(mn) translation-size
+//! claim.
+pub mod oql;
+pub mod size;
+pub mod to_kola;
+
+pub use oql::{oql_to_kola, parse_oql, OqlError};
+pub use size::{measure, sweep_query, SizeReport};
+pub use to_kola::{translate_query, TranslateError};

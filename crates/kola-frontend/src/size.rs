@@ -1,0 +1,140 @@
+//! Translation-size measurement — the §4.2 complexity claims.
+//!
+//! The paper: translated queries are **O(mn)** in parse-tree nodes, where
+//! `n` is the size of the input query and `m` the maximum number of
+//! variables simultaneously in scope ("degree of nesting"), and "in our
+//! experience … translated queries are less than twice the size of the
+//! queries they translate". [`measure`] produces the numbers for one query;
+//! the `translation_size` bench sweeps `n × m` and prints the table.
+
+use crate::to_kola::{translate_query, TranslateError};
+use kola_aqua::ast::Expr;
+
+/// Size measurements for one AQUA→KOLA translation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizeReport {
+    /// AQUA parse-tree nodes (the paper's `n`).
+    pub aqua_size: usize,
+    /// Maximum simultaneous variables in scope (the paper's `m`).
+    pub env_depth: usize,
+    /// KOLA parse-tree nodes after translation.
+    pub kola_size: usize,
+}
+
+impl SizeReport {
+    /// The blowup factor `kola_size / aqua_size`.
+    pub fn ratio(&self) -> f64 {
+        self.kola_size as f64 / self.aqua_size as f64
+    }
+}
+
+/// Translate and measure.
+pub fn measure(e: &Expr) -> Result<SizeReport, TranslateError> {
+    let k = translate_query(e)?;
+    Ok(SizeReport {
+        aqua_size: e.size(),
+        env_depth: e.max_env_depth(),
+        kola_size: k.size(),
+    })
+}
+
+/// Build a family member for the `n × m` sweep: a query of nesting depth
+/// `m` whose innermost body is padded with `width` extra conjuncts (so `n`
+/// grows while `m` stays fixed).
+///
+/// Shape (for m = 2, width = w):
+/// `app(λx1. app(λx2. [x1, pad_w(x2)])(x1.child))(P)` where `pad_w` chains
+/// `w` attribute accesses and comparisons referencing the innermost binder.
+pub fn sweep_query(m: usize, width: usize) -> Expr {
+    use kola_aqua::ast::{CmpOp, Lambda};
+    assert!(m >= 1);
+    // Innermost body: a pair referencing every binder, padded with `width`
+    // conjunct-filters on the innermost variable.
+    let innermost = format!("x{m}");
+    let mut body = Expr::var(&innermost);
+    for i in (1..m).rev() {
+        body = Expr::pair(Expr::var(&format!("x{i}")), body);
+    }
+    let source_of = |i: usize| {
+        if i == 1 {
+            Expr::extent("P")
+        } else {
+            Expr::var(&format!("x{}", i - 1)).attr("child")
+        }
+    };
+    // Pad with width-many selections on the innermost level.
+    let mut inner_src = source_of(m);
+    for _ in 0..width {
+        inner_src = Expr::sel(
+            Lambda::new(
+                &innermost,
+                Expr::cmp(
+                    CmpOp::Gt,
+                    Expr::var(&innermost).attr("age"),
+                    Expr::int(25),
+                ),
+            ),
+            inner_src,
+        );
+    }
+    let mut q = Expr::app(Lambda::new(&innermost, body), inner_src);
+    for i in (1..m).rev() {
+        q = Expr::app(Lambda::new(&format!("x{i}"), q), source_of(i));
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_queries_translate_at_all_depths() {
+        for m in 1..=5 {
+            for width in [0, 2, 4] {
+                let q = sweep_query(m, width);
+                let r = measure(&q).unwrap_or_else(|e| {
+                    panic!("m={m} w={width}: {e}")
+                });
+                assert_eq!(r.env_depth, m, "m={m} w={width}");
+                assert!(r.kola_size > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn blowup_less_than_the_paper_bound() {
+        // O(mn): ratio should be bounded by c·m for small constant c.
+        for m in 1..=6 {
+            let q = sweep_query(m, 3);
+            let r = measure(&q).unwrap();
+            assert!(
+                r.ratio() <= 2.0 * m as f64,
+                "m={m}: ratio {} exceeds 2m",
+                r.ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn shallow_queries_blow_up_less_than_2x() {
+        // The paper's empirical claim holds for the m <= 2 queries of its
+        // figures.
+        for (m, w) in [(1, 0), (1, 3), (2, 0), (2, 3)] {
+            let r = measure(&sweep_query(m, w)).unwrap();
+            assert!(
+                r.ratio() < 2.5,
+                "m={m} w={w}: ratio {}",
+                r.ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn figure_queries_measured() {
+        let r = measure(&kola_aqua::rules::query_t1()).unwrap();
+        assert_eq!(r.env_depth, 1);
+        let r = measure(&kola_aqua::rules::query_a4()).unwrap();
+        assert_eq!(r.env_depth, 2);
+    }
+}

@@ -1,0 +1,829 @@
+//! The rewrite engine: congruence traversal, rule application, tracing.
+//!
+//! One primitive does the work: [`rewrite_once`] applies the first rule (in
+//! the given list, in the given orientations) that matches at the
+//! leftmost-outermost position of a query — descending through query nodes,
+//! the functions inside applications, the predicates inside formers, and the
+//! payload queries inside `Kf`/`Cf`/`Cp`. Everything else (fixpoints,
+//! step sequencing, the five-step hidden-join strategy, COKO blocks) is
+//! built from it.
+
+use crate::props::PropDb;
+use crate::rule::{Direction, Precondition, Rule};
+use crate::subst::Subst;
+use kola::term::{Func, Pred, Query};
+use std::fmt;
+
+/// A rule together with the orientation in which to try it.
+#[derive(Clone, Copy)]
+pub struct Oriented<'a> {
+    /// The rule.
+    pub rule: &'a Rule,
+    /// Orientation (forward = printed left-to-right).
+    pub dir: Direction,
+}
+
+impl<'a> Oriented<'a> {
+    /// Forward orientation.
+    pub fn fwd(rule: &'a Rule) -> Self {
+        Oriented {
+            rule,
+            dir: Direction::Forward,
+        }
+    }
+
+    /// Backward orientation (`i⁻¹` in the paper).
+    pub fn bwd(rule: &'a Rule) -> Self {
+        Oriented {
+            rule,
+            dir: Direction::Backward,
+        }
+    }
+}
+
+/// One derivation step: which rule fired, which way, and the whole-query
+/// result (so derivations can be printed exactly like Figures 4 and 6).
+#[derive(Debug, Clone)]
+pub struct Step {
+    /// The id of the rule that fired (e.g. `"11"`).
+    pub rule_id: String,
+    /// Orientation it fired in.
+    pub dir: Direction,
+    /// The query after this step.
+    pub after: Query,
+}
+
+impl Step {
+    /// The paper's notation for the justification: `11` or `12-1`.
+    pub fn justification(&self) -> String {
+        match self.dir {
+            Direction::Forward => self.rule_id.clone(),
+            Direction::Backward => format!("{}-1", self.rule_id),
+        }
+    }
+}
+
+/// A full derivation: the start query and every step taken.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// The steps, in order.
+    pub steps: Vec<Step>,
+}
+
+impl Trace {
+    /// New empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The rule-id justifications in order (e.g. `["11", "6", "5"]`).
+    pub fn justifications(&self) -> Vec<String> {
+        self.steps.iter().map(Step::justification).collect()
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for step in &self.steps {
+            writeln!(f, "  =[{}]=> {}", step.justification(), step.after)?;
+        }
+        Ok(())
+    }
+}
+
+fn preconditions_hold(pre: &[Precondition], s: &Subst, props: &PropDb) -> bool {
+    pre.iter().all(|p| match &p.subject {
+        crate::props::PropTerm::FuncVar(name) => s
+            .funcs
+            .get(name)
+            .map(|f| props.holds(p.prop, f))
+            .unwrap_or(false),
+    })
+}
+
+fn try_rule_func(o: &Oriented, f: &Func, props: &PropDb) -> Option<Func> {
+    let (out, s) = o.rule.apply_func(f, o.dir)?;
+    preconditions_hold(&o.rule.preconditions, &s, props).then_some(out)
+}
+
+fn try_rule_pred(o: &Oriented, p: &Pred, props: &PropDb) -> Option<Pred> {
+    let (out, s) = o.rule.apply_pred(p, o.dir)?;
+    preconditions_hold(&o.rule.preconditions, &s, props).then_some(out)
+}
+
+fn try_rule_query(o: &Oriented, q: &Query, props: &PropDb) -> Option<Query> {
+    let (out, s) = o.rule.apply_query(q, o.dir)?;
+    preconditions_hold(&o.rule.preconditions, &s, props).then_some(out)
+}
+
+/// Result of a single successful application somewhere in a term.
+pub struct Applied<T> {
+    /// The rewritten whole term.
+    pub result: T,
+    /// Which rule fired.
+    pub rule_id: String,
+    /// Orientation.
+    pub dir: Direction,
+}
+
+macro_rules! child {
+    // Rebuild `$outer` with one rewritten child, keeping rule bookkeeping.
+    ($hit:expr, $rebuild:expr) => {
+        if let Some(a) = $hit {
+            let rule_id = a.rule_id;
+            let dir = a.dir;
+            #[allow(clippy::redundant_closure_call)]
+            let result = ($rebuild)(a.result);
+            return Some(Applied {
+                result,
+                rule_id,
+                dir,
+            });
+        }
+    };
+}
+
+/// Apply the first matching rule at the leftmost-outermost position of a
+/// function term (descending into subfunctions, predicates and payloads).
+pub fn rewrite_once_func(
+    rules: &[Oriented],
+    f: &Func,
+    props: &PropDb,
+) -> Option<Applied<Func>> {
+    // Try at root (function-level rules, chain-prefix aware).
+    for o in rules {
+        if let Some(result) = try_rule_func(o, f, props) {
+            return Some(Applied {
+                result,
+                rule_id: o.rule.id.clone(),
+                dir: o.dir,
+            });
+        }
+    }
+    // Descend.
+    match f {
+        Func::Id
+        | Func::Pi1
+        | Func::Pi2
+        | Func::Prim(_)
+        | Func::Flat
+        | Func::Bagify
+        | Func::Dedup
+        | Func::BUnion
+        | Func::BFlat
+        | Func::SetUnion
+        | Func::SetIntersect
+        | Func::SetDiff => None,
+        Func::Compose(a, b) => {
+            let (a, b) = (a.clone(), b.clone());
+            child!(rewrite_once_func(rules, &a, props), |r| Func::Compose(
+                Box::new(r),
+                b.clone()
+            ));
+            child!(rewrite_once_func(rules, &b, props), |r| Func::Compose(
+                a.clone(),
+                Box::new(r)
+            ));
+            None
+        }
+        Func::PairWith(a, b) => {
+            let (a, b) = (a.clone(), b.clone());
+            child!(rewrite_once_func(rules, &a, props), |r| Func::PairWith(
+                Box::new(r),
+                b.clone()
+            ));
+            child!(rewrite_once_func(rules, &b, props), |r| Func::PairWith(
+                a.clone(),
+                Box::new(r)
+            ));
+            None
+        }
+        Func::Times(a, b) => {
+            let (a, b) = (a.clone(), b.clone());
+            child!(rewrite_once_func(rules, &a, props), |r| Func::Times(
+                Box::new(r),
+                b.clone()
+            ));
+            child!(rewrite_once_func(rules, &b, props), |r| Func::Times(
+                a.clone(),
+                Box::new(r)
+            ));
+            None
+        }
+        Func::ConstF(q) => {
+            let q = q.clone();
+            child!(rewrite_once_query(rules, &q, props), |r| Func::ConstF(
+                Box::new(r)
+            ));
+            None
+        }
+        Func::CurryF(g, q) => {
+            let (g, q) = (g.clone(), q.clone());
+            child!(rewrite_once_func(rules, &g, props), |r| Func::CurryF(
+                Box::new(r),
+                q.clone()
+            ));
+            child!(rewrite_once_query(rules, &q, props), |r| Func::CurryF(
+                g.clone(),
+                Box::new(r)
+            ));
+            None
+        }
+        Func::Cond(p, g, h) => {
+            let (p, g, h) = (p.clone(), g.clone(), h.clone());
+            child!(rewrite_once_pred(rules, &p, props), |r| Func::Cond(
+                Box::new(r),
+                g.clone(),
+                h.clone()
+            ));
+            child!(rewrite_once_func(rules, &g, props), |r| Func::Cond(
+                p.clone(),
+                Box::new(r),
+                h.clone()
+            ));
+            child!(rewrite_once_func(rules, &h, props), |r| Func::Cond(
+                p.clone(),
+                g.clone(),
+                Box::new(r)
+            ));
+            None
+        }
+        Func::Iterate(p, g) => {
+            let (p, g) = (p.clone(), g.clone());
+            child!(rewrite_once_pred(rules, &p, props), |r| Func::Iterate(
+                Box::new(r),
+                g.clone()
+            ));
+            child!(rewrite_once_func(rules, &g, props), |r| Func::Iterate(
+                p.clone(),
+                Box::new(r)
+            ));
+            None
+        }
+        Func::Iter(p, g) => {
+            let (p, g) = (p.clone(), g.clone());
+            child!(rewrite_once_pred(rules, &p, props), |r| Func::Iter(
+                Box::new(r),
+                g.clone()
+            ));
+            child!(rewrite_once_func(rules, &g, props), |r| Func::Iter(
+                p.clone(),
+                Box::new(r)
+            ));
+            None
+        }
+        Func::BIterate(p, g) => {
+            let (p, g) = (p.clone(), g.clone());
+            child!(rewrite_once_pred(rules, &p, props), |r| Func::BIterate(
+                Box::new(r),
+                g.clone()
+            ));
+            child!(rewrite_once_func(rules, &g, props), |r| Func::BIterate(
+                p.clone(),
+                Box::new(r)
+            ));
+            None
+        }
+        Func::Join(p, g) => {
+            let (p, g) = (p.clone(), g.clone());
+            child!(rewrite_once_pred(rules, &p, props), |r| Func::Join(
+                Box::new(r),
+                g.clone()
+            ));
+            child!(rewrite_once_func(rules, &g, props), |r| Func::Join(
+                p.clone(),
+                Box::new(r)
+            ));
+            None
+        }
+        Func::Nest(g, h) => {
+            let (g, h) = (g.clone(), h.clone());
+            child!(rewrite_once_func(rules, &g, props), |r| Func::Nest(
+                Box::new(r),
+                h.clone()
+            ));
+            child!(rewrite_once_func(rules, &h, props), |r| Func::Nest(
+                g.clone(),
+                Box::new(r)
+            ));
+            None
+        }
+        Func::Unnest(g, h) => {
+            let (g, h) = (g.clone(), h.clone());
+            child!(rewrite_once_func(rules, &g, props), |r| Func::Unnest(
+                Box::new(r),
+                h.clone()
+            ));
+            child!(rewrite_once_func(rules, &h, props), |r| Func::Unnest(
+                g.clone(),
+                Box::new(r)
+            ));
+            None
+        }
+    }
+}
+
+/// Apply the first matching rule at the leftmost-outermost position of a
+/// predicate term.
+pub fn rewrite_once_pred(
+    rules: &[Oriented],
+    p: &Pred,
+    props: &PropDb,
+) -> Option<Applied<Pred>> {
+    for o in rules {
+        if let Some(result) = try_rule_pred(o, p, props) {
+            return Some(Applied {
+                result,
+                rule_id: o.rule.id.clone(),
+                dir: o.dir,
+            });
+        }
+    }
+    match p {
+        Pred::Eq
+        | Pred::Lt
+        | Pred::Leq
+        | Pred::Gt
+        | Pred::Geq
+        | Pred::In
+        | Pred::PrimP(_)
+        | Pred::ConstP(_) => None,
+        Pred::Oplus(q, f) => {
+            let (q, f) = (q.clone(), f.clone());
+            child!(rewrite_once_pred(rules, &q, props), |r| Pred::Oplus(
+                Box::new(r),
+                f.clone()
+            ));
+            child!(rewrite_once_func(rules, &f, props), |r| Pred::Oplus(
+                q.clone(),
+                Box::new(r)
+            ));
+            None
+        }
+        Pred::And(a, b) => {
+            let (a, b) = (a.clone(), b.clone());
+            child!(rewrite_once_pred(rules, &a, props), |r| Pred::And(
+                Box::new(r),
+                b.clone()
+            ));
+            child!(rewrite_once_pred(rules, &b, props), |r| Pred::And(
+                a.clone(),
+                Box::new(r)
+            ));
+            None
+        }
+        Pred::Or(a, b) => {
+            let (a, b) = (a.clone(), b.clone());
+            child!(rewrite_once_pred(rules, &a, props), |r| Pred::Or(
+                Box::new(r),
+                b.clone()
+            ));
+            child!(rewrite_once_pred(rules, &b, props), |r| Pred::Or(
+                a.clone(),
+                Box::new(r)
+            ));
+            None
+        }
+        Pred::Not(q) => {
+            let q = q.clone();
+            child!(rewrite_once_pred(rules, &q, props), |r| Pred::Not(
+                Box::new(r)
+            ));
+            None
+        }
+        Pred::Conv(q) => {
+            let q = q.clone();
+            child!(rewrite_once_pred(rules, &q, props), |r| Pred::Conv(
+                Box::new(r)
+            ));
+            None
+        }
+        Pred::CurryP(q, payload) => {
+            let (q, payload) = (q.clone(), payload.clone());
+            child!(rewrite_once_pred(rules, &q, props), |r| Pred::CurryP(
+                Box::new(r),
+                payload.clone()
+            ));
+            child!(rewrite_once_query(rules, &payload, props), |r| {
+                Pred::CurryP(q.clone(), Box::new(r))
+            });
+            None
+        }
+    }
+}
+
+/// Apply the first matching rule at the leftmost-outermost position of a
+/// query.
+pub fn rewrite_once_query(
+    rules: &[Oriented],
+    q: &Query,
+    props: &PropDb,
+) -> Option<Applied<Query>> {
+    for o in rules {
+        if let Some(result) = try_rule_query(o, q, props) {
+            return Some(Applied {
+                result,
+                rule_id: o.rule.id.clone(),
+                dir: o.dir,
+            });
+        }
+    }
+    match q {
+        Query::Lit(_) | Query::Extent(_) => None,
+        Query::App(f, inner) => {
+            let (f, inner) = (f.clone(), inner.clone());
+            child!(rewrite_once_func(rules, &f, props), |r| Query::App(
+                r,
+                inner.clone()
+            ));
+            child!(rewrite_once_query(rules, &inner, props), |r| Query::App(
+                f.clone(),
+                Box::new(r)
+            ));
+            None
+        }
+        Query::Test(p, inner) => {
+            let (p, inner) = (p.clone(), inner.clone());
+            child!(rewrite_once_pred(rules, &p, props), |r| Query::Test(
+                r,
+                inner.clone()
+            ));
+            child!(rewrite_once_query(rules, &inner, props), |r| Query::Test(
+                p.clone(),
+                Box::new(r)
+            ));
+            None
+        }
+        Query::PairQ(a, b) => {
+            let (a, b) = (a.clone(), b.clone());
+            child!(rewrite_once_query(rules, &a, props), |r| Query::PairQ(
+                Box::new(r),
+                b.clone()
+            ));
+            child!(rewrite_once_query(rules, &b, props), |r| Query::PairQ(
+                a.clone(),
+                Box::new(r)
+            ));
+            None
+        }
+        Query::Union(a, b) => {
+            let (a, b) = (a.clone(), b.clone());
+            child!(rewrite_once_query(rules, &a, props), |r| Query::Union(
+                Box::new(r),
+                b.clone()
+            ));
+            child!(rewrite_once_query(rules, &b, props), |r| Query::Union(
+                a.clone(),
+                Box::new(r)
+            ));
+            None
+        }
+        Query::Intersect(a, b) => {
+            let (a, b) = (a.clone(), b.clone());
+            child!(rewrite_once_query(rules, &a, props), |r| Query::Intersect(
+                Box::new(r),
+                b.clone()
+            ));
+            child!(rewrite_once_query(rules, &b, props), |r| Query::Intersect(
+                a.clone(),
+                Box::new(r)
+            ));
+            None
+        }
+        Query::Diff(a, b) => {
+            let (a, b) = (a.clone(), b.clone());
+            child!(rewrite_once_query(rules, &a, props), |r| Query::Diff(
+                Box::new(r),
+                b.clone()
+            ));
+            child!(rewrite_once_query(rules, &b, props), |r| Query::Diff(
+                a.clone(),
+                Box::new(r)
+            ));
+            None
+        }
+    }
+}
+
+/// Rewrite a query *bottom-up in one sweep*: children are normalized
+/// first (recursively, to a local fixpoint with `fuel`), then rules are
+/// applied at the node itself until none fires. This is the "apply one or
+/// more rules in succession, and throughout a tree" firing policy §4.2
+/// ascribes to COKO rule blocks (`BU { … }` in the COKO syntax).
+///
+/// Returns the rewritten query and the number of rule applications.
+pub fn rewrite_bottom_up(
+    rules: &[Oriented],
+    q: &Query,
+    props: &PropDb,
+    fuel: usize,
+) -> (Query, usize) {
+    let mut fires = 0;
+    let out = bu_query(rules, q, props, fuel, &mut fires);
+    (out, fires)
+}
+
+fn exhaust_query(
+    rules: &[Oriented],
+    mut q: Query,
+    props: &PropDb,
+    fuel: usize,
+    fires: &mut usize,
+) -> Query {
+    for _ in 0..fuel {
+        let mut fired = false;
+        for o in rules {
+            if let Some(result) = try_rule_query(o, &q, props) {
+                q = result.normalize();
+                *fires += 1;
+                fired = true;
+                break;
+            }
+        }
+        if !fired {
+            break;
+        }
+    }
+    q
+}
+
+fn exhaust_func(
+    rules: &[Oriented],
+    mut f: Func,
+    props: &PropDb,
+    fuel: usize,
+    fires: &mut usize,
+) -> Func {
+    for _ in 0..fuel {
+        let mut fired = false;
+        for o in rules {
+            if let Some(result) = try_rule_func(o, &f, props) {
+                f = result.normalize();
+                *fires += 1;
+                fired = true;
+                break;
+            }
+        }
+        if !fired {
+            break;
+        }
+    }
+    f
+}
+
+fn exhaust_pred(
+    rules: &[Oriented],
+    mut p: Pred,
+    props: &PropDb,
+    fuel: usize,
+    fires: &mut usize,
+) -> Pred {
+    for _ in 0..fuel {
+        let mut fired = false;
+        for o in rules {
+            if let Some(result) = try_rule_pred(o, &p, props) {
+                p = result.normalize();
+                *fires += 1;
+                fired = true;
+                break;
+            }
+        }
+        if !fired {
+            break;
+        }
+    }
+    p
+}
+
+fn bu_query(
+    rules: &[Oriented],
+    q: &Query,
+    props: &PropDb,
+    fuel: usize,
+    fires: &mut usize,
+) -> Query {
+    let rebuilt = match q {
+        Query::Lit(_) | Query::Extent(_) => q.clone(),
+        Query::PairQ(a, b) => Query::PairQ(
+            Box::new(bu_query(rules, a, props, fuel, fires)),
+            Box::new(bu_query(rules, b, props, fuel, fires)),
+        ),
+        Query::App(f, inner) => Query::App(
+            bu_func(rules, f, props, fuel, fires),
+            Box::new(bu_query(rules, inner, props, fuel, fires)),
+        ),
+        Query::Test(p, inner) => Query::Test(
+            bu_pred(rules, p, props, fuel, fires),
+            Box::new(bu_query(rules, inner, props, fuel, fires)),
+        ),
+        Query::Union(a, b) => Query::Union(
+            Box::new(bu_query(rules, a, props, fuel, fires)),
+            Box::new(bu_query(rules, b, props, fuel, fires)),
+        ),
+        Query::Intersect(a, b) => Query::Intersect(
+            Box::new(bu_query(rules, a, props, fuel, fires)),
+            Box::new(bu_query(rules, b, props, fuel, fires)),
+        ),
+        Query::Diff(a, b) => Query::Diff(
+            Box::new(bu_query(rules, a, props, fuel, fires)),
+            Box::new(bu_query(rules, b, props, fuel, fires)),
+        ),
+    };
+    exhaust_query(rules, rebuilt.normalize(), props, fuel, fires)
+}
+
+fn bu_func(
+    rules: &[Oriented],
+    f: &Func,
+    props: &PropDb,
+    fuel: usize,
+    fires: &mut usize,
+) -> Func {
+    macro_rules! f2 {
+        ($ctor:path, $a:expr, $b:expr) => {
+            $ctor(
+                Box::new(bu_func(rules, $a, props, fuel, fires)),
+                Box::new(bu_func(rules, $b, props, fuel, fires)),
+            )
+        };
+    }
+    macro_rules! pf {
+        ($ctor:path, $p:expr, $g:expr) => {
+            $ctor(
+                Box::new(bu_pred(rules, $p, props, fuel, fires)),
+                Box::new(bu_func(rules, $g, props, fuel, fires)),
+            )
+        };
+    }
+    let rebuilt = match f {
+        Func::Compose(a, b) => f2!(Func::Compose, a, b),
+        Func::PairWith(a, b) => f2!(Func::PairWith, a, b),
+        Func::Times(a, b) => f2!(Func::Times, a, b),
+        Func::Nest(a, b) => f2!(Func::Nest, a, b),
+        Func::Unnest(a, b) => f2!(Func::Unnest, a, b),
+        Func::Iterate(p, g) => pf!(Func::Iterate, p, g),
+        Func::Iter(p, g) => pf!(Func::Iter, p, g),
+        Func::Join(p, g) => pf!(Func::Join, p, g),
+        Func::BIterate(p, g) => pf!(Func::BIterate, p, g),
+        Func::Cond(p, a, b) => Func::Cond(
+            Box::new(bu_pred(rules, p, props, fuel, fires)),
+            Box::new(bu_func(rules, a, props, fuel, fires)),
+            Box::new(bu_func(rules, b, props, fuel, fires)),
+        ),
+        Func::ConstF(q) => Func::ConstF(Box::new(bu_query(rules, q, props, fuel, fires))),
+        Func::CurryF(g, q) => Func::CurryF(
+            Box::new(bu_func(rules, g, props, fuel, fires)),
+            Box::new(bu_query(rules, q, props, fuel, fires)),
+        ),
+        leaf => leaf.clone(),
+    };
+    exhaust_func(rules, rebuilt.normalize(), props, fuel, fires)
+}
+
+fn bu_pred(
+    rules: &[Oriented],
+    p: &Pred,
+    props: &PropDb,
+    fuel: usize,
+    fires: &mut usize,
+) -> Pred {
+    let rebuilt = match p {
+        Pred::Oplus(q, f) => Pred::Oplus(
+            Box::new(bu_pred(rules, q, props, fuel, fires)),
+            Box::new(bu_func(rules, f, props, fuel, fires)),
+        ),
+        Pred::And(a, b) => Pred::And(
+            Box::new(bu_pred(rules, a, props, fuel, fires)),
+            Box::new(bu_pred(rules, b, props, fuel, fires)),
+        ),
+        Pred::Or(a, b) => Pred::Or(
+            Box::new(bu_pred(rules, a, props, fuel, fires)),
+            Box::new(bu_pred(rules, b, props, fuel, fires)),
+        ),
+        Pred::Not(q) => Pred::Not(Box::new(bu_pred(rules, q, props, fuel, fires))),
+        Pred::Conv(q) => Pred::Conv(Box::new(bu_pred(rules, q, props, fuel, fires))),
+        Pred::CurryP(q, payload) => Pred::CurryP(
+            Box::new(bu_pred(rules, q, props, fuel, fires)),
+            Box::new(bu_query(rules, payload, props, fuel, fires)),
+        ),
+        leaf => leaf.clone(),
+    };
+    exhaust_pred(rules, rebuilt.normalize(), props, fuel, fires)
+}
+
+/// Default bound on fixpoint iterations; generous for any realistic query.
+pub const DEFAULT_FUEL: usize = 10_000;
+
+/// Apply `rules` to `q` repeatedly (leftmost-outermost, first matching rule)
+/// until no rule applies or `fuel` steps have been taken. Returns the normal
+/// form and the full derivation trace.
+pub fn rewrite_fix(
+    rules: &[Oriented],
+    q: &Query,
+    props: &PropDb,
+    fuel: usize,
+) -> (Query, Trace) {
+    let mut cur = q.normalize();
+    let mut trace = Trace::new();
+    for _ in 0..fuel {
+        match rewrite_once_query(rules, &cur, props) {
+            Some(applied) => {
+                cur = applied.result.normalize();
+                trace.steps.push(Step {
+                    rule_id: applied.rule_id,
+                    dir: applied.dir,
+                    after: cur.clone(),
+                });
+            }
+            None => break,
+        }
+    }
+    (cur, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::Rule;
+    use kola::parse::parse_query;
+
+    fn props() -> PropDb {
+        PropDb::new()
+    }
+
+    #[test]
+    fn rewrite_inside_query() {
+        let r = Rule::func("2", "id-left", "id . $f", "$f");
+        let q = parse_query("iterate(Kp(T), id . age) ! P").unwrap();
+        let rules = [Oriented::fwd(&r)];
+        let a = rewrite_once_query(&rules, &q, &props()).unwrap();
+        assert_eq!(a.result, parse_query("iterate(Kp(T), age) ! P").unwrap());
+        assert_eq!(a.rule_id, "2");
+    }
+
+    #[test]
+    fn rewrite_inside_pred_inside_func() {
+        let r = Rule::pred("3", "oplus-id", "%p @ id", "%p");
+        let q = parse_query("iterate(gt @ id, age) ! P").unwrap();
+        let rules = [Oriented::fwd(&r)];
+        let a = rewrite_once_query(&rules, &q, &props()).unwrap();
+        assert_eq!(a.result, parse_query("iterate(gt, age) ! P").unwrap());
+    }
+
+    #[test]
+    fn rewrite_inside_const_payload() {
+        let r = Rule::query("u", "union-self", "^A union ^A", "^A");
+        let q = parse_query("Kf(P union P) ! V").unwrap();
+        let rules = [Oriented::fwd(&r)];
+        let a = rewrite_once_query(&rules, &q, &props()).unwrap();
+        assert_eq!(a.result, parse_query("Kf(P) ! V").unwrap());
+    }
+
+    #[test]
+    fn fixpoint_terminates_and_traces() {
+        let r = Rule::func("2", "id-left", "id . $f", "$f");
+        let q = parse_query("id . id . id . age ! P").unwrap();
+        let rules = [Oriented::fwd(&r)];
+        let (out, trace) = rewrite_fix(&rules, &q, &props(), DEFAULT_FUEL);
+        assert_eq!(out, parse_query("age ! P").unwrap());
+        assert_eq!(trace.justifications(), vec!["2", "2", "2"]);
+    }
+
+    #[test]
+    fn backward_direction_recorded() {
+        let r = Rule::func("2", "id-left", "id . $f", "$f");
+        let q = parse_query("age ! P").unwrap();
+        let rules = [Oriented::bwd(&r)];
+        let a = rewrite_once_query(&rules, &q, &props()).unwrap();
+        assert_eq!(a.result, parse_query("id . age ! P").unwrap());
+        assert_eq!(a.dir, Direction::Backward);
+        let step = Step {
+            rule_id: a.rule_id,
+            dir: a.dir,
+            after: a.result,
+        };
+        assert_eq!(step.justification(), "2-1");
+    }
+
+    #[test]
+    fn precondition_gates_application() {
+        use crate::props::{PropKind, PropTerm};
+        // injective(f) :: iterate(Kp(T), $f) ! (^A intersect ^B) =>
+        //                 (iterate(Kp(T), $f) ! ^A) intersect (... ^B)
+        let r = Rule::query(
+            "inj",
+            "push-intersect",
+            "iterate(Kp(T), $f) ! (^A intersect ^B)",
+            "(iterate(Kp(T), $f) ! ^A) intersect (iterate(Kp(T), $f) ! ^B)",
+        )
+        .with_precondition(PropKind::Injective, PropTerm::func("f"));
+        let q = parse_query("iterate(Kp(T), name) ! (P intersect Q)").unwrap();
+        let rules = [Oriented::fwd(&r)];
+        // Without the annotation: blocked.
+        assert!(rewrite_once_query(&rules, &q, &PropDb::new()).is_none());
+        // With `name` declared a key: fires.
+        let mut db = PropDb::new();
+        db.declare_injective("name");
+        assert!(rewrite_once_query(&rules, &q, &db).is_some());
+    }
+}

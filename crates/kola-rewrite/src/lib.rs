@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! # kola-rewrite — the KOLA rule language and rewrite engine
+//!
+//! Everything a rule-based optimizer needs over the KOLA algebra, with the
+//! paper's central property made structural: **rules are data** (pattern
+//! pairs plus declarative preconditions), never code.
+//!
+//! - [`subst`], [`matching`] — the only machinery rules need: bind
+//!   metavariables by structural matching, splice them into the body.
+//! - [`rule`] — declarative rules with direction, alternatives, provenance.
+//! - [`engine`] — leftmost-outermost congruence rewriting with derivation
+//!   traces (reproduces Figures 4 and 6 literally).
+//! - [`catalog`] — Figures 5 & 8 plus an extended verified pool.
+//! - [`props`] — declarative preconditions (`injective`, …) and their
+//!   inference rules.
+//! - [`strategy`] — firing strategies (the substrate for COKO rule blocks).
+//! - [`hidden_join`] — the five-step untangling pipeline of §4.1.
+//! - [`monolithic`] — the instrumented monolithic-rule baseline of §4.2.
+pub mod catalog;
+pub mod engine;
+pub mod hidden_join;
+pub mod matching;
+pub mod monolithic;
+pub mod props;
+pub mod rule;
+pub mod strategy;
+pub mod subst;
+
+pub use catalog::Catalog;
+pub use engine::{rewrite_fix, rewrite_once_query, Oriented, Step, Trace};
+pub use props::{PropDb, PropKind, PropTerm};
+pub use rule::{Direction, Rule, RuleSource};
+pub use strategy::{Runner, Strategy};
+pub use subst::Subst;

@@ -1,0 +1,382 @@
+//! Declarative rewrite rules.
+//!
+//! A [`Rule`] is nothing but patterns: a head, a body, optional declarative
+//! preconditions, and bookkeeping (id, name, provenance). There is *no* code
+//! slot — that is the paper's thesis made structural. Head routines are
+//! replaced by matching ([`crate::matching`]); body routines by
+//! instantiation ([`crate::subst`]).
+
+use crate::matching::{self, match_func_prefix};
+use crate::props::{PropKind, PropTerm};
+use crate::subst::{instantiate_func, instantiate_pred, instantiate_query, Subst};
+use kola::parse::{parse_pfunc, parse_ppred, parse_pquery, ParseError};
+use kola::pattern::{PFunc, PPred, PQuery};
+use kola::term::{Func, Pred, Query};
+use std::fmt;
+
+/// Which way a (bidirectional) rule is applied. The paper uses rules 2, 12
+/// and 14 right-to-left ("rule references of the form i⁻¹").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Direction {
+    /// Left-to-right (the printed orientation).
+    #[default]
+    Forward,
+    /// Right-to-left (`i⁻¹` in the paper's derivations).
+    Backward,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn flip(self) -> Direction {
+        match self {
+            Direction::Forward => Direction::Backward,
+            Direction::Backward => Direction::Forward,
+        }
+    }
+}
+
+/// A single `lhs ≡ rhs` pair at one syntactic level.
+#[derive(Debug, Clone)]
+pub enum RewritePair {
+    /// A function-level equivalence.
+    F(PFunc, PFunc),
+    /// A predicate-level equivalence.
+    P(PPred, PPred),
+    /// A query-level equivalence.
+    Q(PQuery, PQuery),
+}
+
+/// A declarative precondition on a rule: a property that must be *provable*
+/// of the matched subterms (see [`crate::props`]). Example: the paper's
+/// `injective(f)` guard on the intersection-pushing rule.
+#[derive(Debug, Clone)]
+pub struct Precondition {
+    /// The property required.
+    pub prop: PropKind,
+    /// The pattern (usually a bare metavariable) whose binding must have it.
+    pub subject: PropTerm,
+}
+
+/// Where a rule comes from (used for catalog statistics, experiment E11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RuleSource {
+    /// One of the paper's Figure 5 rules (1–16).
+    Figure5,
+    /// One of the paper's Figure 8 hidden-join rules (17–24).
+    Figure8,
+    /// A structural rule (compose/apply plumbing).
+    Structural,
+    /// Part of the extended verified pool.
+    #[default]
+    Extended,
+}
+
+/// A named, declarative rewrite rule.
+///
+/// A rule may carry several `alts` (alternative `lhs ≡ rhs` pairs) under one
+/// id — used for rules the paper states with a boolean schema variable, such
+/// as rule 6 (`Kp(b) ⊕ f ≡ Kp(b)`), which we expand into the `b = T` and
+/// `b = F` instances.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// Identifier used in derivations, e.g. `"11"` or `"19"`.
+    pub id: String,
+    /// Human-readable name.
+    pub name: String,
+    /// Alternative rewrite pairs (all at the same syntactic level).
+    pub alts: Vec<RewritePair>,
+    /// Declarative preconditions (empty for unconditional rules).
+    pub preconditions: Vec<Precondition>,
+    /// Whether the rule is sound right-to-left as well (all paper rules are
+    /// equivalences, so this defaults to true).
+    pub bidirectional: bool,
+    /// Provenance (figure 5 / figure 8 / structural / extended pool).
+    pub source: RuleSource,
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: ", self.id, self.name)?;
+        for (i, alt) in self.alts.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ; ")?;
+            }
+            match alt {
+                RewritePair::F(l, r) => write!(f, "{l} == {r}")?,
+                RewritePair::P(l, r) => write!(f, "{l} == {r}")?,
+                RewritePair::Q(l, r) => write!(f, "{l} == {r}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Rule {
+    /// Build a function-level rule from concrete pattern syntax.
+    ///
+    /// ```
+    /// use kola_rewrite::{Direction, Rule};
+    /// let r = Rule::func("9", "pi1-pairing", "pi1 . ($f, $g)", "$f");
+    /// let t = kola::parse::parse_func("pi1 . (age, addr)").unwrap();
+    /// let (out, _) = r.apply_func(&t, Direction::Forward).unwrap();
+    /// assert_eq!(out.to_string(), "age");
+    /// ```
+    ///
+    /// # Panics
+    /// Panics on malformed pattern text — rules are static program data, so
+    /// a bad rule is a bug, not an input error.
+    pub fn func(id: &str, name: &str, lhs: &str, rhs: &str) -> Rule {
+        Rule {
+            id: id.to_string(),
+            name: name.to_string(),
+            alts: vec![RewritePair::F(
+                must(parse_pfunc(lhs), id, lhs),
+                must(parse_pfunc(rhs), id, rhs),
+            )],
+            preconditions: Vec::new(),
+            bidirectional: true,
+            source: RuleSource::default(),
+        }
+    }
+
+    /// Build a predicate-level rule from pattern syntax. Panics like
+    /// [`Rule::func`].
+    pub fn pred(id: &str, name: &str, lhs: &str, rhs: &str) -> Rule {
+        Rule {
+            id: id.to_string(),
+            name: name.to_string(),
+            alts: vec![RewritePair::P(
+                must(parse_ppred(lhs), id, lhs),
+                must(parse_ppred(rhs), id, rhs),
+            )],
+            preconditions: Vec::new(),
+            bidirectional: true,
+            source: RuleSource::default(),
+        }
+    }
+
+    /// Build a query-level rule from pattern syntax. Panics like
+    /// [`Rule::func`].
+    pub fn query(id: &str, name: &str, lhs: &str, rhs: &str) -> Rule {
+        Rule {
+            id: id.to_string(),
+            name: name.to_string(),
+            alts: vec![RewritePair::Q(
+                must(parse_pquery(lhs), id, lhs),
+                must(parse_pquery(rhs), id, rhs),
+            )],
+            preconditions: Vec::new(),
+            bidirectional: true,
+            source: RuleSource::default(),
+        }
+    }
+
+    /// Add another alternative pair (must be same level as the first).
+    pub fn with_alt_func(mut self, lhs: &str, rhs: &str) -> Rule {
+        self.alts.push(RewritePair::F(
+            must(parse_pfunc(lhs), &self.id, lhs),
+            must(parse_pfunc(rhs), &self.id, rhs),
+        ));
+        self
+    }
+
+    /// Add another predicate-level alternative pair.
+    pub fn with_alt_pred(mut self, lhs: &str, rhs: &str) -> Rule {
+        self.alts.push(RewritePair::P(
+            must(parse_ppred(lhs), &self.id, lhs),
+            must(parse_ppred(rhs), &self.id, rhs),
+        ));
+        self
+    }
+
+    /// Attach a precondition.
+    pub fn with_precondition(mut self, prop: PropKind, subject: PropTerm) -> Rule {
+        self.preconditions.push(Precondition { prop, subject });
+        self
+    }
+
+    /// Mark the rule as only sound left-to-right.
+    pub fn one_way(mut self) -> Rule {
+        self.bidirectional = false;
+        self
+    }
+
+    /// Set the rule's provenance.
+    pub fn from_source(mut self, source: RuleSource) -> Rule {
+        self.source = source;
+        self
+    }
+
+    /// The head/body of an alternative, oriented by `dir`.
+    fn oriented<'a, L>(&self, pair: (&'a L, &'a L), dir: Direction) -> (&'a L, &'a L) {
+        match dir {
+            Direction::Forward => pair,
+            Direction::Backward => (pair.1, pair.0),
+        }
+    }
+
+    /// Try to apply the rule at the root of a function term.
+    ///
+    /// For composite (chain) heads, matches a *prefix window* of the term's
+    /// composition chain; the remainder is re-appended to the rewritten
+    /// result (see [`crate::matching::match_func_prefix`]).
+    pub fn apply_func(&self, t: &Func, dir: Direction) -> Option<(Func, Subst)> {
+        if dir == Direction::Backward && !self.bidirectional {
+            return None;
+        }
+        for alt in &self.alts {
+            let RewritePair::F(l, r) = alt else { continue };
+            let (head, body) = self.oriented((l, r), dir);
+            let mut s = Subst::new();
+            let segs = matching::chain_segments(t);
+            let n = segs.len();
+            if let Some(consumed) = match_func_prefix(head, t, &mut s) {
+                let rewritten = instantiate_func(body, &s).ok()?;
+                if consumed == n {
+                    return Some((rewritten, s));
+                }
+                let mut out = vec![rewritten];
+                out.extend(segs[consumed..].iter().map(|f| (*f).clone()));
+                return Some((matching::compose_chain(out), s));
+            }
+        }
+        None
+    }
+
+    /// Try to apply the rule at the root of a predicate term.
+    pub fn apply_pred(&self, t: &Pred, dir: Direction) -> Option<(Pred, Subst)> {
+        if dir == Direction::Backward && !self.bidirectional {
+            return None;
+        }
+        for alt in &self.alts {
+            let RewritePair::P(l, r) = alt else { continue };
+            let (head, body) = self.oriented((l, r), dir);
+            let mut s = Subst::new();
+            if matching::match_pred(head, t, &mut s) {
+                if let Ok(out) = instantiate_pred(body, &s) {
+                    return Some((out, s));
+                }
+            }
+        }
+        None
+    }
+
+    /// Try to apply the rule at the root of a query term.
+    pub fn apply_query(&self, t: &Query, dir: Direction) -> Option<(Query, Subst)> {
+        if dir == Direction::Backward && !self.bidirectional {
+            return None;
+        }
+        for alt in &self.alts {
+            let RewritePair::Q(l, r) = alt else { continue };
+            let (head, body) = self.oriented((l, r), dir);
+            let mut s = Subst::new();
+            if matching::match_query(head, t, &mut s) {
+                if let Ok(out) = instantiate_query(body, &s) {
+                    return Some((out, s));
+                }
+            }
+        }
+        None
+    }
+
+    /// True iff the rule has any function-level alternative.
+    pub fn is_func_level(&self) -> bool {
+        self.alts.iter().any(|a| matches!(a, RewritePair::F(..)))
+    }
+
+    /// True iff the rule has any predicate-level alternative.
+    pub fn is_pred_level(&self) -> bool {
+        self.alts.iter().any(|a| matches!(a, RewritePair::P(..)))
+    }
+
+    /// True iff the rule has any query-level alternative.
+    pub fn is_query_level(&self) -> bool {
+        self.alts.iter().any(|a| matches!(a, RewritePair::Q(..)))
+    }
+}
+
+fn must<T>(r: Result<T, ParseError>, id: &str, src: &str) -> T {
+    match r {
+        Ok(t) => t,
+        Err(e) => panic!("rule {id}: bad pattern {src:?}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kola::parse::{parse_func, parse_pred};
+
+    #[test]
+    fn rule_applies_forward() {
+        let r = Rule::func("9", "pi1-pair", "pi1 . ($f, $g)", "$f");
+        let t = parse_func("pi1 . (age, addr)").unwrap();
+        let (out, _) = r.apply_func(&t, Direction::Forward).unwrap();
+        assert_eq!(out, parse_func("age").unwrap());
+    }
+
+    #[test]
+    fn rule_applies_backward() {
+        let r = Rule::func("2", "id-left", "id . $f", "$f");
+        let t = parse_func("age").unwrap();
+        let (out, _) = r.apply_func(&t, Direction::Backward).unwrap();
+        assert_eq!(out, parse_func("id . age").unwrap());
+    }
+
+    #[test]
+    fn one_way_rule_refuses_backward() {
+        let r = Rule::func("x", "oneway", "id . $f", "$f").one_way();
+        let t = parse_func("age").unwrap();
+        assert!(r.apply_func(&t, Direction::Backward).is_none());
+    }
+
+    #[test]
+    fn chain_window_application() {
+        // rule 11 over a 3-chain rewrites the first window, keeps the tail.
+        let r = Rule::func(
+            "11",
+            "iterate-fuse",
+            "iterate(%p, $f) . iterate(%q, $g)",
+            "iterate(%q & %p @ $g, $f . $g)",
+        );
+        let t = parse_func("iterate(Kp(T), city) . iterate(Kp(T), addr) . flat").unwrap();
+        let (out, _) = r.apply_func(&t, Direction::Forward).unwrap();
+        assert_eq!(
+            out,
+            parse_func("iterate(Kp(T) & Kp(T) @ addr, city . addr) . flat").unwrap()
+        );
+    }
+
+    #[test]
+    fn alternatives_share_an_id() {
+        let r = Rule::pred("6", "const-oplus", "Kp(T) @ $f", "Kp(T)")
+            .with_alt_pred("Kp(F) @ $f", "Kp(F)");
+        let t = parse_pred("Kp(F) @ age").unwrap();
+        let (out, _) = r.apply_pred(&t, Direction::Forward).unwrap();
+        assert_eq!(out, parse_pred("Kp(F)").unwrap());
+    }
+
+    #[test]
+    fn no_match_returns_none() {
+        let r = Rule::func("9", "pi1-pair", "pi1 . ($f, $g)", "$f");
+        let t = parse_func("pi2 . (age, addr)").unwrap();
+        assert!(r.apply_func(&t, Direction::Forward).is_none());
+    }
+
+    #[test]
+    fn query_rule() {
+        let r = Rule::query(
+            "19",
+            "bottom-out",
+            "iterate(Kp(T), (id, Kf(^B))) ! ^A",
+            "nest(pi1, pi2) . (join(Kp(T), id), pi1) ! [^A, ^B]",
+        );
+        let t = kola::parse::parse_query("iterate(Kp(T), (id, Kf(P))) ! V").unwrap();
+        let (out, _) = r.apply_query(&t, Direction::Forward).unwrap();
+        assert_eq!(
+            out,
+            kola::parse::parse_query("nest(pi1, pi2) . (join(Kp(T), id), pi1) ! [V, P]")
+                .unwrap()
+        );
+    }
+}

@@ -1,0 +1,306 @@
+//! Strategy combinators: deterministic control over rule firing.
+//!
+//! The paper's closing sections sketch COKO "rule blocks — sets of rules
+//! that are used together, together with strategies for their firing". A
+//! [`Strategy`] is that control language as data; the `kola-coko` crate
+//! parses COKO source into it. The hidden-join pipeline of §4.1 is five
+//! strategies run in sequence ([`crate::hidden_join`]).
+
+use crate::catalog::Catalog;
+use crate::engine::{rewrite_bottom_up, rewrite_once_query, Oriented, Step, Trace, DEFAULT_FUEL};
+use crate::props::PropDb;
+use kola::term::Query;
+use std::fmt;
+
+/// A firing strategy over the rule catalog.
+#[derive(Debug, Clone)]
+pub enum Strategy {
+    /// Apply one rule once (leftmost-outermost). Reference syntax: `"11"`
+    /// forward, `"12-1"` backward.
+    Apply(String),
+    /// Try each reference in order at each position; first match wins.
+    /// Applies at most once.
+    ApplyAny(Vec<String>),
+    /// Run strategies in order; fails if any fails.
+    Seq(Vec<Strategy>),
+    /// First strategy that succeeds; fails if none do.
+    Choice(Vec<Strategy>),
+    /// Run the strategy; succeed even if it fails.
+    Try(Box<Strategy>),
+    /// Run the strategy repeatedly until it fails (bounded by fuel).
+    /// Always succeeds.
+    Repeat(Box<Strategy>),
+    /// Exhaustively apply a rule set to fixpoint (bounded by fuel).
+    /// Always succeeds. This is the workhorse for "push X everywhere".
+    Fix(Vec<String>),
+    /// One bottom-up sweep: normalize children first, then the node, with
+    /// the rule set exhausted at each position (§4.2's "throughout a
+    /// tree"). Always succeeds. COKO syntax: `BU { [r], … }`.
+    BottomUp(Vec<String>),
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Strategy::Apply(r) => write!(f, "{r}"),
+            Strategy::ApplyAny(rs) => write!(f, "any({})", rs.join(", ")),
+            Strategy::Seq(ss) => {
+                write!(f, "(")?;
+                for (i, s) in ss.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ; ")?;
+                    }
+                    write!(f, "{s}")?;
+                }
+                write!(f, ")")
+            }
+            Strategy::Choice(ss) => {
+                write!(f, "(")?;
+                for (i, s) in ss.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{s}")?;
+                }
+                write!(f, ")")
+            }
+            Strategy::Try(s) => write!(f, "try {s}"),
+            Strategy::Repeat(s) => write!(f, "repeat {s}"),
+            Strategy::Fix(rs) => write!(f, "fix({})", rs.join(", ")),
+            Strategy::BottomUp(rs) => write!(f, "bu({})", rs.join(", ")),
+        }
+    }
+}
+
+/// Outcome of running a strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The strategy made at least the progress it demanded.
+    Success,
+    /// The strategy could not apply.
+    Failure,
+}
+
+/// A strategy interpreter bound to a catalog and a property database.
+pub struct Runner<'a> {
+    /// Rule catalog used to resolve references.
+    pub catalog: &'a Catalog,
+    /// Property database for preconditions.
+    pub props: &'a PropDb,
+    /// Bound on total rule applications (shared across nested fixpoints).
+    pub fuel: usize,
+}
+
+impl<'a> Runner<'a> {
+    /// A runner with default fuel.
+    pub fn new(catalog: &'a Catalog, props: &'a PropDb) -> Self {
+        Runner {
+            catalog,
+            props,
+            fuel: DEFAULT_FUEL,
+        }
+    }
+
+    fn resolve_set(&self, refs: &[String]) -> Vec<Oriented<'a>> {
+        refs.iter()
+            .map(|spec| {
+                let (rule, dir) = self.catalog.resolve(spec);
+                Oriented { rule, dir }
+            })
+            .collect()
+    }
+
+    /// Run `strategy` on `q`, appending steps to `trace`. Returns the
+    /// (possibly rewritten) query and whether the strategy succeeded.
+    pub fn run(&self, strategy: &Strategy, q: Query, trace: &mut Trace) -> (Query, Outcome) {
+        match strategy {
+            Strategy::Apply(spec) => self.apply_set(std::slice::from_ref(spec), q, trace),
+            Strategy::ApplyAny(specs) => self.apply_set(specs, q, trace),
+            Strategy::Seq(ss) => {
+                let mut cur = q;
+                for s in ss {
+                    let (next, out) = self.run(s, cur, trace);
+                    cur = next;
+                    if out == Outcome::Failure {
+                        return (cur, Outcome::Failure);
+                    }
+                }
+                (cur, Outcome::Success)
+            }
+            Strategy::Choice(ss) => {
+                let mut cur = q;
+                for s in ss {
+                    let (next, out) = self.run(s, cur, trace);
+                    cur = next;
+                    if out == Outcome::Success {
+                        return (cur, Outcome::Success);
+                    }
+                }
+                (cur, Outcome::Failure)
+            }
+            Strategy::Try(s) => {
+                let (next, _) = self.run(s, q, trace);
+                (next, Outcome::Success)
+            }
+            Strategy::Repeat(s) => {
+                let mut cur = q;
+                for _ in 0..self.fuel {
+                    let (next, out) = self.run(s, cur, trace);
+                    cur = next;
+                    if out == Outcome::Failure {
+                        break;
+                    }
+                }
+                (cur, Outcome::Success)
+            }
+            Strategy::BottomUp(specs) => {
+                let rules = self.resolve_set(specs);
+                let (out, fires) = rewrite_bottom_up(&rules, &q, self.props, self.fuel);
+                // Record one summary step so traces stay readable.
+                if fires > 0 {
+                    trace.steps.push(Step {
+                        rule_id: format!("bu×{fires}"),
+                        dir: crate::rule::Direction::Forward,
+                        after: out.clone(),
+                    });
+                }
+                (out, Outcome::Success)
+            }
+            Strategy::Fix(specs) => {
+                let rules = self.resolve_set(specs);
+                let mut cur = q.normalize();
+                for _ in 0..self.fuel {
+                    match rewrite_once_query(&rules, &cur, self.props) {
+                        Some(applied) => {
+                            cur = applied.result.normalize();
+                            trace.steps.push(Step {
+                                rule_id: applied.rule_id,
+                                dir: applied.dir,
+                                after: cur.clone(),
+                            });
+                        }
+                        None => break,
+                    }
+                }
+                (cur, Outcome::Success)
+            }
+        }
+    }
+
+    fn apply_set(
+        &self,
+        specs: &[String],
+        q: Query,
+        trace: &mut Trace,
+    ) -> (Query, Outcome) {
+        let rules = self.resolve_set(specs);
+        let q = q.normalize();
+        match rewrite_once_query(&rules, &q, self.props) {
+            Some(applied) => {
+                let result = applied.result.normalize();
+                trace.steps.push(Step {
+                    rule_id: applied.rule_id,
+                    dir: applied.dir,
+                    after: result.clone(),
+                });
+                (result, Outcome::Success)
+            }
+            None => (q, Outcome::Failure),
+        }
+    }
+}
+
+/// Convenience: build a [`Strategy::Fix`] from string literals.
+pub fn fix(refs: &[&str]) -> Strategy {
+    Strategy::Fix(refs.iter().map(|s| s.to_string()).collect())
+}
+
+/// Convenience: build a [`Strategy::Seq`].
+pub fn seq(ss: Vec<Strategy>) -> Strategy {
+    Strategy::Seq(ss)
+}
+
+/// Convenience: build a [`Strategy::Apply`].
+pub fn apply(r: &str) -> Strategy {
+    Strategy::Apply(r.to_string())
+}
+
+/// Convenience: build a [`Strategy::Try`].
+pub fn try_(s: Strategy) -> Strategy {
+    Strategy::Try(Box::new(s))
+}
+
+/// Convenience: build a [`Strategy::Repeat`].
+pub fn repeat(s: Strategy) -> Strategy {
+    Strategy::Repeat(Box::new(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kola::parse::parse_query;
+
+    fn setup() -> (Catalog, PropDb) {
+        (Catalog::paper(), PropDb::new())
+    }
+
+    #[test]
+    fn fix_runs_to_normal_form() {
+        let (c, p) = setup();
+        let r = Runner::new(&c, &p);
+        let q = parse_query("id . id . age . id ! P").unwrap();
+        let mut t = Trace::new();
+        let (out, oc) = r.run(&fix(&["1", "2"]), q, &mut t);
+        assert_eq!(oc, Outcome::Success);
+        assert_eq!(out, parse_query("age ! P").unwrap());
+    }
+
+    #[test]
+    fn seq_fails_fast() {
+        let (c, p) = setup();
+        let r = Runner::new(&c, &p);
+        let q = parse_query("age ! P").unwrap();
+        let mut t = Trace::new();
+        // "2" can't fire on `age`; the Seq must report failure.
+        let (_, oc) = r.run(&seq(vec![apply("2"), apply("1")]), q, &mut t);
+        assert_eq!(oc, Outcome::Failure);
+    }
+
+    #[test]
+    fn try_masks_failure() {
+        let (c, p) = setup();
+        let r = Runner::new(&c, &p);
+        let q = parse_query("age ! P").unwrap();
+        let mut t = Trace::new();
+        let (_, oc) = r.run(&try_(apply("2")), q, &mut t);
+        assert_eq!(oc, Outcome::Success);
+    }
+
+    #[test]
+    fn backward_reference() {
+        let (c, p) = setup();
+        let r = Runner::new(&c, &p);
+        let q = parse_query("age ! P").unwrap();
+        let mut t = Trace::new();
+        let (out, oc) = r.run(&apply("2-1"), q, &mut t);
+        assert_eq!(oc, Outcome::Success);
+        assert_eq!(out, parse_query("id . age ! P").unwrap());
+        assert_eq!(t.justifications(), vec!["2-1"]);
+    }
+
+    #[test]
+    fn choice_takes_first_applicable() {
+        let (c, p) = setup();
+        let r = Runner::new(&c, &p);
+        let q = parse_query("id . age ! P").unwrap();
+        let mut t = Trace::new();
+        let (out, oc) = r.run(
+            &Strategy::Choice(vec![apply("1"), apply("2")]),
+            q,
+            &mut t,
+        );
+        assert_eq!(oc, Outcome::Success);
+        assert_eq!(out, parse_query("age ! P").unwrap());
+        assert_eq!(t.justifications(), vec!["2"]);
+    }
+}

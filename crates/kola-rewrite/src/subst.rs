@@ -1,0 +1,304 @@
+//! Substitutions: bindings of metavariables to concrete terms, and pattern
+//! instantiation.
+//!
+//! A [`Subst`] is produced by matching (see [`crate::matching`]) and consumed
+//! by [`instantiate_func`]/[`instantiate_pred`]/[`instantiate_query`], which
+//! replace every metavariable in a rule's body pattern by its binding. This
+//! pair of operations is *all* the machinery a KOLA rule needs — the paper's
+//! point is that no further code (variable renaming, environment analysis,
+//! expression composition) is required.
+
+use kola::pattern::{PFunc, PPred, PQuery};
+use kola::term::{Func, Pred, Query};
+use kola::value::Sym;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Bindings for the three kinds of metavariables.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Subst {
+    /// Function variable bindings (`$f`).
+    pub funcs: BTreeMap<Sym, Func>,
+    /// Predicate variable bindings (`%p`).
+    pub preds: BTreeMap<Sym, Pred>,
+    /// Object variable bindings (`^x`).
+    pub objs: BTreeMap<Sym, Query>,
+}
+
+impl Subst {
+    /// An empty substitution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind a function variable; returns false (and leaves the substitution
+    /// unchanged) if the variable is already bound to a different term.
+    pub fn bind_func(&mut self, v: &Sym, t: &Func) -> bool {
+        match self.funcs.get(v) {
+            Some(existing) => existing == t,
+            None => {
+                self.funcs.insert(v.clone(), t.clone());
+                true
+            }
+        }
+    }
+
+    /// Bind a predicate variable (consistently; see [`Subst::bind_func`]).
+    pub fn bind_pred(&mut self, v: &Sym, t: &Pred) -> bool {
+        match self.preds.get(v) {
+            Some(existing) => existing == t,
+            None => {
+                self.preds.insert(v.clone(), t.clone());
+                true
+            }
+        }
+    }
+
+    /// Bind an object variable (consistently; see [`Subst::bind_func`]).
+    pub fn bind_obj(&mut self, v: &Sym, t: &Query) -> bool {
+        match self.objs.get(v) {
+            Some(existing) => existing == t,
+            None => {
+                self.objs.insert(v.clone(), t.clone());
+                true
+            }
+        }
+    }
+}
+
+impl fmt::Display for Subst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        let mut sep = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            Ok(())
+        };
+        write!(f, "{{")?;
+        for (k, v) in &self.funcs {
+            sep(f)?;
+            write!(f, "${k} -> {v}")?;
+        }
+        for (k, v) in &self.preds {
+            sep(f)?;
+            write!(f, "%{k} -> {v}")?;
+        }
+        for (k, v) in &self.objs {
+            sep(f)?;
+            write!(f, "^{k} -> {v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Error raised when a rule body mentions a metavariable its head never
+/// bound — a malformed rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnboundVar(pub Sym);
+
+impl fmt::Display for UnboundVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unbound metavariable {}", self.0)
+    }
+}
+
+impl std::error::Error for UnboundVar {}
+
+/// Instantiate a function pattern under a substitution.
+pub fn instantiate_func(pat: &PFunc, s: &Subst) -> Result<Func, UnboundVar> {
+    Ok(match pat {
+        PFunc::Var(v) => s
+            .funcs
+            .get(v)
+            .cloned()
+            .ok_or_else(|| UnboundVar(v.clone()))?,
+        PFunc::Id => Func::Id,
+        PFunc::Pi1 => Func::Pi1,
+        PFunc::Pi2 => Func::Pi2,
+        PFunc::Prim(n) => Func::Prim(n.clone()),
+        PFunc::Compose(a, b) => Func::Compose(
+            Box::new(instantiate_func(a, s)?),
+            Box::new(instantiate_func(b, s)?),
+        ),
+        PFunc::PairWith(a, b) => Func::PairWith(
+            Box::new(instantiate_func(a, s)?),
+            Box::new(instantiate_func(b, s)?),
+        ),
+        PFunc::Times(a, b) => Func::Times(
+            Box::new(instantiate_func(a, s)?),
+            Box::new(instantiate_func(b, s)?),
+        ),
+        PFunc::ConstF(q) => Func::ConstF(Box::new(instantiate_query(q, s)?)),
+        PFunc::CurryF(f, q) => Func::CurryF(
+            Box::new(instantiate_func(f, s)?),
+            Box::new(instantiate_query(q, s)?),
+        ),
+        PFunc::Cond(p, f, g) => Func::Cond(
+            Box::new(instantiate_pred(p, s)?),
+            Box::new(instantiate_func(f, s)?),
+            Box::new(instantiate_func(g, s)?),
+        ),
+        PFunc::Flat => Func::Flat,
+        PFunc::Iterate(p, f) => Func::Iterate(
+            Box::new(instantiate_pred(p, s)?),
+            Box::new(instantiate_func(f, s)?),
+        ),
+        PFunc::Iter(p, f) => Func::Iter(
+            Box::new(instantiate_pred(p, s)?),
+            Box::new(instantiate_func(f, s)?),
+        ),
+        PFunc::Join(p, f) => Func::Join(
+            Box::new(instantiate_pred(p, s)?),
+            Box::new(instantiate_func(f, s)?),
+        ),
+        PFunc::Nest(f, g) => Func::Nest(
+            Box::new(instantiate_func(f, s)?),
+            Box::new(instantiate_func(g, s)?),
+        ),
+        PFunc::Unnest(f, g) => Func::Unnest(
+            Box::new(instantiate_func(f, s)?),
+            Box::new(instantiate_func(g, s)?),
+        ),
+        PFunc::Bagify => Func::Bagify,
+        PFunc::Dedup => Func::Dedup,
+        PFunc::BUnion => Func::BUnion,
+        PFunc::BFlat => Func::BFlat,
+        PFunc::BIterate(p, f) => Func::BIterate(
+            Box::new(instantiate_pred(p, s)?),
+            Box::new(instantiate_func(f, s)?),
+        ),
+        PFunc::SetUnion => Func::SetUnion,
+        PFunc::SetIntersect => Func::SetIntersect,
+        PFunc::SetDiff => Func::SetDiff,
+    })
+}
+
+/// Instantiate a predicate pattern under a substitution.
+pub fn instantiate_pred(pat: &PPred, s: &Subst) -> Result<Pred, UnboundVar> {
+    Ok(match pat {
+        PPred::Var(v) => s
+            .preds
+            .get(v)
+            .cloned()
+            .ok_or_else(|| UnboundVar(v.clone()))?,
+        PPred::Eq => Pred::Eq,
+        PPred::Lt => Pred::Lt,
+        PPred::Leq => Pred::Leq,
+        PPred::Gt => Pred::Gt,
+        PPred::Geq => Pred::Geq,
+        PPred::In => Pred::In,
+        PPred::PrimP(n) => Pred::PrimP(n.clone()),
+        PPred::Oplus(p, f) => Pred::Oplus(
+            Box::new(instantiate_pred(p, s)?),
+            Box::new(instantiate_func(f, s)?),
+        ),
+        PPred::And(p, q) => Pred::And(
+            Box::new(instantiate_pred(p, s)?),
+            Box::new(instantiate_pred(q, s)?),
+        ),
+        PPred::Or(p, q) => Pred::Or(
+            Box::new(instantiate_pred(p, s)?),
+            Box::new(instantiate_pred(q, s)?),
+        ),
+        PPred::Not(p) => Pred::Not(Box::new(instantiate_pred(p, s)?)),
+        PPred::Conv(p) => Pred::Conv(Box::new(instantiate_pred(p, s)?)),
+        PPred::ConstP(b) => Pred::ConstP(*b),
+        PPred::CurryP(p, q) => Pred::CurryP(
+            Box::new(instantiate_pred(p, s)?),
+            Box::new(instantiate_query(q, s)?),
+        ),
+    })
+}
+
+/// Instantiate a query pattern under a substitution.
+pub fn instantiate_query(pat: &PQuery, s: &Subst) -> Result<Query, UnboundVar> {
+    Ok(match pat {
+        PQuery::Var(v) => s
+            .objs
+            .get(v)
+            .cloned()
+            .ok_or_else(|| UnboundVar(v.clone()))?,
+        PQuery::Lit(v) => Query::Lit(v.clone()),
+        PQuery::Extent(n) => Query::Extent(n.clone()),
+        PQuery::PairQ(a, b) => Query::PairQ(
+            Box::new(instantiate_query(a, s)?),
+            Box::new(instantiate_query(b, s)?),
+        ),
+        PQuery::App(f, q) => Query::App(
+            instantiate_func(f, s)?,
+            Box::new(instantiate_query(q, s)?),
+        ),
+        PQuery::Test(p, q) => Query::Test(
+            instantiate_pred(p, s)?,
+            Box::new(instantiate_query(q, s)?),
+        ),
+        PQuery::Union(a, b) => Query::Union(
+            Box::new(instantiate_query(a, s)?),
+            Box::new(instantiate_query(b, s)?),
+        ),
+        PQuery::Intersect(a, b) => Query::Intersect(
+            Box::new(instantiate_query(a, s)?),
+            Box::new(instantiate_query(b, s)?),
+        ),
+        PQuery::Diff(a, b) => Query::Diff(
+            Box::new(instantiate_query(a, s)?),
+            Box::new(instantiate_query(b, s)?),
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kola::builder::*;
+    use kola::parse::{parse_pfunc, parse_ppred};
+    use std::sync::Arc;
+
+    #[test]
+    fn instantiation_replaces_vars() {
+        let pat = parse_pfunc("$f . id").unwrap();
+        let mut s = Subst::new();
+        assert!(s.bind_func(&Arc::from("f"), &prim("age")));
+        assert_eq!(instantiate_func(&pat, &s).unwrap(), o(prim("age"), id()));
+    }
+
+    #[test]
+    fn unbound_var_errors() {
+        let pat = parse_pfunc("$f").unwrap();
+        let s = Subst::new();
+        assert_eq!(
+            instantiate_func(&pat, &s),
+            Err(UnboundVar(Arc::from("f")))
+        );
+    }
+
+    #[test]
+    fn consistent_binding() {
+        let mut s = Subst::new();
+        let f: Sym = Arc::from("f");
+        assert!(s.bind_func(&f, &prim("age")));
+        assert!(s.bind_func(&f, &prim("age"))); // same term again: fine
+        assert!(!s.bind_func(&f, &prim("addr"))); // different: rejected
+    }
+
+    #[test]
+    fn cross_kind_instantiation() {
+        let pat = parse_ppred("%p @ $f").unwrap();
+        let mut s = Subst::new();
+        s.bind_pred(&Arc::from("p"), &gt());
+        s.bind_func(&Arc::from("f"), &prim("age"));
+        assert_eq!(
+            instantiate_pred(&pat, &s).unwrap(),
+            oplus(gt(), prim("age"))
+        );
+    }
+
+    #[test]
+    fn display_subst() {
+        let mut s = Subst::new();
+        s.bind_func(&Arc::from("f"), &id());
+        assert_eq!(s.to_string(), "{$f -> id}");
+    }
+}

@@ -1,0 +1,25 @@
+//! Verify every rule in the paper catalog and print a summary.
+//!
+//! ```sh
+//! cargo run -p kola-verify --bin verify-catalog --release
+//! ```
+
+use kola::typecheck::TypeEnv;
+use kola_exec::datagen::{generate, DataSpec};
+use kola_rewrite::Catalog;
+use kola_verify::verify_catalog;
+
+fn main() {
+    let env = TypeEnv::paper_env();
+    let db = generate(&DataSpec::small(123));
+    let catalog = Catalog::paper();
+    let reports = verify_catalog(&env, &db, &catalog, 30, 42);
+    let mut bad = 0;
+    for r in &reports {
+        if !r.verified() {
+            bad += 1;
+            println!("{r}");
+        }
+    }
+    println!("{} rules, {} not verified", reports.len(), bad);
+}

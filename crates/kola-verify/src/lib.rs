@@ -1,0 +1,13 @@
+#![warn(missing_docs)]
+//! # kola-verify — randomized, type-directed rule verification
+//!
+//! The paper proved its rules with the Larch theorem prover (LP); this
+//! crate substitutes mechanized *testing*: rule metavariables are
+//! instantiated with random well-typed terms and both sides are evaluated
+//! on generated databases. A single disagreement is a counterexample. See
+//! DESIGN.md §4 for the substitution rationale.
+pub mod check;
+pub mod gen;
+
+pub use check::{check_rule, verify_catalog, RuleReport};
+pub use gen::{palette, Gen};

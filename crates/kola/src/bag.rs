@@ -1,0 +1,155 @@
+//! Bags (multisets) — the paper's §6 extension, implemented.
+//!
+//! "Our current efforts … extending KOLA to incorporate other bulk types
+//! besides sets, both to increase compatibility with languages such as OQL
+//! (which supports bags and lists also) and to permit expressions of
+//! optimizations that exploit these kinds of collections (e.g.
+//! optimizations that defer duplicate elimination can be expressed as
+//! transformations that produce bags as intermediate results)."
+//!
+//! [`ValueBag`] is a canonical multiset (element → multiplicity); the
+//! combinators live in [`crate::term::Func`] (`bagify`, `dedup`,
+//! `biterate`, `bunion`, `bflat`) with semantics in [`crate::eval`]; the
+//! dedup-deferral rules are in the rewrite catalog (`b1`–`b6`).
+
+use crate::value::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A canonical, ordered multiset of values.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ValueBag(pub BTreeMap<Value, usize>);
+
+impl ValueBag {
+    /// The empty bag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total number of elements, counting multiplicity.
+    pub fn len(&self) -> usize {
+        self.0.values().sum()
+    }
+
+    /// Number of *distinct* elements.
+    pub fn distinct(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Insert one occurrence of `v`.
+    pub fn insert(&mut self, v: Value) {
+        self.insert_n(v, 1);
+    }
+
+    /// Insert `n` occurrences of `v`.
+    pub fn insert_n(&mut self, v: Value, n: usize) {
+        if n == 0 {
+            return;
+        }
+        *self.0.entry(v).or_insert(0) += n;
+    }
+
+    /// Multiplicity of `v` (0 if absent).
+    pub fn count(&self, v: &Value) -> usize {
+        self.0.get(v).copied().unwrap_or(0)
+    }
+
+    /// Iterate over distinct elements with multiplicities.
+    pub fn iter(&self) -> impl Iterator<Item = (&Value, usize)> {
+        self.0.iter().map(|(v, n)| (v, *n))
+    }
+
+    /// Additive union (`⊎`): multiplicities add.
+    pub fn additive_union(&self, other: &ValueBag) -> ValueBag {
+        let mut out = self.clone();
+        for (v, n) in other.iter() {
+            out.insert_n(v.clone(), n);
+        }
+        out
+    }
+
+    /// Collapse to the underlying set (duplicate elimination).
+    pub fn support(&self) -> crate::value::ValueSet {
+        self.0.keys().cloned().collect()
+    }
+}
+
+impl FromIterator<Value> for ValueBag {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        let mut bag = ValueBag::new();
+        for v in iter {
+            bag.insert(v);
+        }
+        bag
+    }
+}
+
+impl fmt::Display for ValueBag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{|")?;
+        let mut first = true;
+        for (v, n) in self.iter() {
+            for _ in 0..n {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                first = false;
+                write!(f, "{v}")?;
+            }
+        }
+        write!(f, "|}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplicities_accumulate() {
+        let mut b = ValueBag::new();
+        b.insert(Value::Int(1));
+        b.insert(Value::Int(1));
+        b.insert(Value::Int(2));
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.distinct(), 2);
+        assert_eq!(b.count(&Value::Int(1)), 2);
+        assert_eq!(b.count(&Value::Int(3)), 0);
+    }
+
+    #[test]
+    fn additive_union_adds() {
+        let a: ValueBag = [Value::Int(1), Value::Int(2)].into_iter().collect();
+        let b: ValueBag = [Value::Int(2), Value::Int(3)].into_iter().collect();
+        let u = a.additive_union(&b);
+        assert_eq!(u.len(), 4);
+        assert_eq!(u.count(&Value::Int(2)), 2);
+    }
+
+    #[test]
+    fn support_deduplicates() {
+        let b: ValueBag = [Value::Int(1), Value::Int(1), Value::Int(2)]
+            .into_iter()
+            .collect();
+        assert_eq!(b.support().len(), 2);
+    }
+
+    #[test]
+    fn display_repeats_elements() {
+        let b: ValueBag = [Value::Int(1), Value::Int(1)].into_iter().collect();
+        assert_eq!(b.to_string(), "{|1, 1|}");
+        assert_eq!(ValueBag::new().to_string(), "{||}");
+    }
+
+    #[test]
+    fn insert_zero_is_noop() {
+        let mut b = ValueBag::new();
+        b.insert_n(Value::Int(5), 0);
+        assert!(b.is_empty());
+    }
+}

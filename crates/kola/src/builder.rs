@@ -1,0 +1,283 @@
+//! Ergonomic constructors for KOLA terms.
+//!
+//! These mirror the paper's notation so that queries in tests and examples
+//! read close to the figures, e.g. the transformed query of Figure 1:
+//!
+//! ```
+//! use kola::builder::*;
+//! // iterate(Kp(T), city ∘ addr) ! P
+//! let q = app(iterate(kp(true), o(prim("city"), prim("addr"))), ext("P"));
+//! ```
+
+use crate::term::{Func, Pred, Query};
+use crate::value::Value;
+use std::sync::Arc;
+
+// ---- functions --------------------------------------------------------
+
+/// `f ∘ g` — composition.
+pub fn o(f: Func, g: Func) -> Func {
+    Func::Compose(Box::new(f), Box::new(g))
+}
+
+/// Right-associated composition of a chain `f1 ∘ f2 ∘ … ∘ fn`.
+/// Panics on an empty chain.
+pub fn chain<I: IntoIterator<Item = Func>>(fs: I) -> Func {
+    let mut items: Vec<Func> = fs.into_iter().collect();
+    let last = items.pop().expect("chain of at least one function");
+    items.into_iter().rev().fold(last, |acc, f| o(f, acc))
+}
+
+/// `⟨f, g⟩` — pairing former.
+pub fn pairf(f: Func, g: Func) -> Func {
+    Func::PairWith(Box::new(f), Box::new(g))
+}
+
+/// `f × g` — pairwise application former.
+pub fn times(f: Func, g: Func) -> Func {
+    Func::Times(Box::new(f), Box::new(g))
+}
+
+/// `Kf(x)` — constant function former. Accepts anything convertible to a
+/// (closed) [`Query`]: a `Query`, a [`Value`], or an `i64`.
+pub fn kf(x: impl Into<Query>) -> Func {
+    Func::ConstF(Box::new(x.into()))
+}
+
+/// `Cf(f, x)` — function currying former.
+pub fn cf(f: Func, x: impl Into<Query>) -> Func {
+    Func::CurryF(Box::new(f), Box::new(x.into()))
+}
+
+/// `con(p, f, g)` — conditional former.
+pub fn con(p: Pred, f: Func, g: Func) -> Func {
+    Func::Cond(Box::new(p), Box::new(f), Box::new(g))
+}
+
+/// A schema primitive function (attribute), e.g. `prim("age")`.
+pub fn prim(name: &str) -> Func {
+    Func::Prim(Arc::from(name))
+}
+
+/// `iterate(p, f)` — set iteration former.
+pub fn iterate(p: Pred, f: Func) -> Func {
+    Func::Iterate(Box::new(p), Box::new(f))
+}
+
+/// `iter(p, f)` — environment-carrying iteration former.
+pub fn iter(p: Pred, f: Func) -> Func {
+    Func::Iter(Box::new(p), Box::new(f))
+}
+
+/// `join(p, f)` — join former.
+pub fn join(p: Pred, f: Func) -> Func {
+    Func::Join(Box::new(p), Box::new(f))
+}
+
+/// `nest(f, g)` — nesting former.
+pub fn nest(f: Func, g: Func) -> Func {
+    Func::Nest(Box::new(f), Box::new(g))
+}
+
+/// `unnest(f, g)` — unnesting former.
+pub fn unnest(f: Func, g: Func) -> Func {
+    Func::Unnest(Box::new(f), Box::new(g))
+}
+
+/// `id`.
+pub fn id() -> Func {
+    Func::Id
+}
+
+/// `π1`.
+pub fn pi1() -> Func {
+    Func::Pi1
+}
+
+/// `π2`.
+pub fn pi2() -> Func {
+    Func::Pi2
+}
+
+/// `flat`.
+pub fn flat() -> Func {
+    Func::Flat
+}
+
+/// `bagify` — set to bag injection (§6 extension).
+pub fn bagify() -> Func {
+    Func::Bagify
+}
+
+/// `dedup` — duplicate elimination, bag to set (§6 extension).
+pub fn dedup() -> Func {
+    Func::Dedup
+}
+
+/// `biterate(p, f)` — multiplicity-preserving bag iteration (§6).
+pub fn biterate(p: Pred, f: Func) -> Func {
+    Func::BIterate(Box::new(p), Box::new(f))
+}
+
+/// `bunion` — additive bag union (§6).
+pub fn bunion() -> Func {
+    Func::BUnion
+}
+
+/// `bflat` — bag flattening (§6).
+pub fn bflat() -> Func {
+    Func::BFlat
+}
+
+// ---- predicates --------------------------------------------------------
+
+/// `Kp(b)` — constant predicate former.
+pub fn kp(b: bool) -> Pred {
+    Pred::ConstP(b)
+}
+
+/// `Cp(p, x)` — predicate currying former.
+pub fn cp(p: Pred, x: impl Into<Query>) -> Pred {
+    Pred::CurryP(Box::new(p), Box::new(x.into()))
+}
+
+/// `p ⊕ f` — predicate/function combination.
+pub fn oplus(p: Pred, f: Func) -> Pred {
+    Pred::Oplus(Box::new(p), Box::new(f))
+}
+
+/// `p & q` — conjunction.
+pub fn and(p: Pred, q: Pred) -> Pred {
+    Pred::And(Box::new(p), Box::new(q))
+}
+
+/// `p | q` — disjunction.
+pub fn or(p: Pred, q: Pred) -> Pred {
+    Pred::Or(Box::new(p), Box::new(q))
+}
+
+/// `~p` — complement.
+pub fn not(p: Pred) -> Pred {
+    Pred::Not(Box::new(p))
+}
+
+/// `inv(p)` — converse (the paper's `p⁻¹`).
+pub fn inv(p: Pred) -> Pred {
+    Pred::Conv(Box::new(p))
+}
+
+/// `eq`.
+pub fn eq() -> Pred {
+    Pred::Eq
+}
+
+/// `lt`.
+pub fn lt() -> Pred {
+    Pred::Lt
+}
+
+/// `leq`.
+pub fn leq() -> Pred {
+    Pred::Leq
+}
+
+/// `gt`.
+pub fn gt() -> Pred {
+    Pred::Gt
+}
+
+/// `geq`.
+pub fn geq() -> Pred {
+    Pred::Geq
+}
+
+/// `in` — set membership.
+pub fn isin() -> Pred {
+    Pred::In
+}
+
+/// A schema primitive predicate (boolean attribute used as a predicate).
+pub fn primp(name: &str) -> Pred {
+    Pred::PrimP(Arc::from(name))
+}
+
+impl From<Value> for Query {
+    fn from(v: Value) -> Query {
+        Query::Lit(v)
+    }
+}
+
+impl From<i64> for Query {
+    fn from(i: i64) -> Query {
+        Query::Lit(Value::Int(i))
+    }
+}
+
+// ---- queries -----------------------------------------------------------
+
+/// `f ! q` — function application.
+pub fn app(f: Func, q: Query) -> Query {
+    Query::App(f, Box::new(q))
+}
+
+/// `p ? q` — predicate application.
+pub fn test(p: Pred, q: Query) -> Query {
+    Query::Test(p, Box::new(q))
+}
+
+/// A named extent, e.g. `ext("P")`.
+pub fn ext(name: &str) -> Query {
+    Query::Extent(Arc::from(name))
+}
+
+/// A literal value.
+pub fn lit(v: Value) -> Query {
+    Query::Lit(v)
+}
+
+/// An integer literal.
+pub fn int(i: i64) -> Query {
+    Query::Lit(Value::Int(i))
+}
+
+/// `[q1, q2]` — query-level pair formation.
+pub fn pairq(a: Query, b: Query) -> Query {
+    Query::PairQ(Box::new(a), Box::new(b))
+}
+
+/// Set union of two queries.
+pub fn union(a: Query, b: Query) -> Query {
+    Query::Union(Box::new(a), Box::new(b))
+}
+
+/// Set intersection of two queries.
+pub fn intersect(a: Query, b: Query) -> Query {
+    Query::Intersect(Box::new(a), Box::new(b))
+}
+
+/// Set difference of two queries.
+pub fn diff(a: Query, b: Query) -> Query {
+    Query::Diff(Box::new(a), Box::new(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_right_associates() {
+        let c = chain([prim("a"), prim("b"), prim("c")]);
+        assert_eq!(c, o(prim("a"), o(prim("b"), prim("c"))));
+    }
+
+    #[test]
+    fn chain_single() {
+        assert_eq!(chain([id()]), id());
+    }
+
+    #[test]
+    #[should_panic]
+    fn chain_empty_panics() {
+        chain([]);
+    }
+}

@@ -1,0 +1,273 @@
+//! A tiny in-memory object store.
+//!
+//! KOLA's schema primitives (`age`, `addr`, …) dereference object attributes,
+//! so evaluation needs a database: per-class object tables plus *named
+//! extents* — the sets the paper calls `P` (all Persons) and `V` (all
+//! Vehicles) that top-level queries range over.
+
+use crate::schema::Schema;
+use crate::value::{ClassId, ObjId, Sym, Value, ValueSet};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// An in-memory database: a schema, object tables and named extents.
+#[derive(Debug, Clone)]
+pub struct Db {
+    schema: Schema,
+    /// `tables[class][obj][attr]` = attribute value.
+    tables: Vec<Vec<Vec<Value>>>,
+    extents: BTreeMap<Sym, Value>,
+}
+
+/// Errors raised while populating or reading a database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// Object insertion supplied the wrong number of attribute values.
+    ArityMismatch {
+        /// The class being inserted into.
+        class: ClassId,
+        /// Attributes the class declares.
+        expected: usize,
+        /// Attributes actually supplied.
+        got: usize,
+    },
+    /// A dangling [`ObjId`] was dereferenced.
+    NoSuchObject(ObjId),
+    /// An unknown extent name was referenced.
+    NoSuchExtent(Sym),
+    /// An unknown attribute name was referenced.
+    NoSuchAttr(Sym),
+    /// An attribute was applied to a non-object or to the wrong class.
+    WrongClass {
+        /// The attribute that was applied.
+        attr: Sym,
+        /// The shape of the offending value.
+        value_kind: &'static str,
+    },
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::ArityMismatch { class, expected, got } => {
+                write!(f, "class {} expects {expected} attrs, got {got}", class.0)
+            }
+            DbError::NoSuchObject(o) => write!(f, "dangling object #{}.{}", o.class.0, o.idx),
+            DbError::NoSuchExtent(e) => write!(f, "unknown extent {e}"),
+            DbError::NoSuchAttr(a) => write!(f, "unknown attribute {a}"),
+            DbError::WrongClass { attr, value_kind } => {
+                write!(f, "attribute {attr} applied to {value_kind}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl Db {
+    /// An empty database over `schema`.
+    pub fn new(schema: Schema) -> Self {
+        let tables = schema.classes().iter().map(|_| Vec::new()).collect();
+        Db {
+            schema,
+            tables,
+            extents: BTreeMap::new(),
+        }
+    }
+
+    /// The database's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Insert an object of `class` with the given attribute values (in
+    /// declaration order). Returns its id.
+    pub fn insert(&mut self, class: ClassId, attrs: Vec<Value>) -> Result<ObjId, DbError> {
+        let expected = self.schema.class(class).attrs.len();
+        if attrs.len() != expected {
+            return Err(DbError::ArityMismatch {
+                class,
+                expected,
+                got: attrs.len(),
+            });
+        }
+        let table = &mut self.tables[class.0 as usize];
+        let id = ObjId {
+            class,
+            idx: table.len() as u32,
+        };
+        table.push(attrs);
+        Ok(id)
+    }
+
+    /// Overwrite one attribute of an existing object (builder convenience for
+    /// cyclic data such as `child`).
+    pub fn set_attr(&mut self, obj: ObjId, attr: &str, v: Value) -> Result<(), DbError> {
+        let (cid, pos, _) = self
+            .schema
+            .attr(attr)
+            .ok_or_else(|| DbError::NoSuchAttr(Arc::from(attr)))?;
+        if cid != obj.class {
+            return Err(DbError::WrongClass {
+                attr: Arc::from(attr),
+                value_kind: "object of another class",
+            });
+        }
+        let row = self.tables[obj.class.0 as usize]
+            .get_mut(obj.idx as usize)
+            .ok_or(DbError::NoSuchObject(obj))?;
+        row[pos] = v;
+        Ok(())
+    }
+
+    /// Read attribute `attr` of the object `v` refers to.
+    pub fn get_attr(&self, v: &Value, attr: &str) -> Result<Value, DbError> {
+        let (cid, pos, _) = self
+            .schema
+            .attr(attr)
+            .ok_or_else(|| DbError::NoSuchAttr(Arc::from(attr)))?;
+        let obj = match v {
+            Value::Obj(o) if o.class == cid => *o,
+            other => {
+                return Err(DbError::WrongClass {
+                    attr: Arc::from(attr),
+                    value_kind: other.kind_name(),
+                })
+            }
+        };
+        let row = self.tables[obj.class.0 as usize]
+            .get(obj.idx as usize)
+            .ok_or(DbError::NoSuchObject(obj))?;
+        Ok(row[pos].clone())
+    }
+
+    /// Number of objects stored for `class`.
+    pub fn count(&self, class: ClassId) -> usize {
+        self.tables[class.0 as usize].len()
+    }
+
+    /// The set of all objects of `class` (its implicit full extent).
+    pub fn class_extent(&self, class: ClassId) -> Value {
+        let set: ValueSet = (0..self.count(class) as u32)
+            .map(|idx| Value::Obj(ObjId { class, idx }))
+            .collect();
+        Value::Set(set)
+    }
+
+    /// Bind a named extent (e.g. `P`) to a value (usually a set).
+    pub fn bind_extent(&mut self, name: &str, v: Value) {
+        self.extents.insert(Arc::from(name), v);
+    }
+
+    /// Look up a named extent.
+    pub fn extent(&self, name: &str) -> Result<Value, DbError> {
+        self.extents
+            .get(name)
+            .cloned()
+            .ok_or_else(|| DbError::NoSuchExtent(Arc::from(name)))
+    }
+
+    /// Names of all bound extents, in order.
+    pub fn extent_names(&self) -> impl Iterator<Item = &Sym> {
+        self.extents.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Type;
+
+    fn tiny_db() -> Db {
+        let schema = Schema::paper_schema();
+        let person = schema.class_id("Person").unwrap();
+        let address = schema.class_id("Address").unwrap();
+        let mut db = Db::new(schema);
+        let a0 = db
+            .insert(address, vec![Value::str("Boston"), Value::Int(2912)])
+            .unwrap();
+        let p0 = db
+            .insert(
+                person,
+                vec![
+                    Value::Obj(a0),
+                    Value::Int(40),
+                    Value::str("Ada"),
+                    Value::empty_set(),
+                    Value::empty_set(),
+                    Value::empty_set(),
+                ],
+            )
+            .unwrap();
+        db.bind_extent("P", Value::set([Value::Obj(p0)]));
+        db
+    }
+
+    #[test]
+    fn attribute_read() {
+        let db = tiny_db();
+        let p = match db.extent("P").unwrap() {
+            Value::Set(s) => s.iter().next().cloned().unwrap(),
+            _ => unreachable!(),
+        };
+        assert_eq!(db.get_attr(&p, "age").unwrap(), Value::Int(40));
+        let addr = db.get_attr(&p, "addr").unwrap();
+        assert_eq!(db.get_attr(&addr, "city").unwrap(), Value::str("Boston"));
+    }
+
+    #[test]
+    fn wrong_class_errors() {
+        let db = tiny_db();
+        let p = match db.extent("P").unwrap() {
+            Value::Set(s) => s.iter().next().cloned().unwrap(),
+            _ => unreachable!(),
+        };
+        // `city` is an Address attribute; applying it to a Person fails.
+        assert!(matches!(
+            db.get_attr(&p, "city"),
+            Err(DbError::WrongClass { .. })
+        ));
+        assert!(matches!(
+            db.get_attr(&Value::Int(3), "age"),
+            Err(DbError::WrongClass { .. })
+        ));
+    }
+
+    #[test]
+    fn arity_checked_on_insert() {
+        let mut s = Schema::new();
+        let c = s.add_class("C", vec![("f", Type::Int)]).unwrap();
+        let mut db = Db::new(s);
+        assert!(matches!(
+            db.insert(c, vec![]),
+            Err(DbError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn extents() {
+        let db = tiny_db();
+        assert!(db.extent("P").is_ok());
+        assert!(matches!(db.extent("Q"), Err(DbError::NoSuchExtent(_))));
+    }
+
+    #[test]
+    fn set_attr_updates() {
+        let mut db = tiny_db();
+        let person = db.schema().class_id("Person").unwrap();
+        let p = ObjId { class: person, idx: 0 };
+        db.set_attr(p, "age", Value::Int(41)).unwrap();
+        assert_eq!(db.get_attr(&Value::Obj(p), "age").unwrap(), Value::Int(41));
+    }
+
+    #[test]
+    fn class_extent_enumerates() {
+        let db = tiny_db();
+        let person = db.schema().class_id("Person").unwrap();
+        match db.class_extent(person) {
+            Value::Set(s) => assert_eq!(s.len(), 1),
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! Pretty printing in the concrete KOLA syntax.
+//!
+//! The output is paper-flavoured ASCII that the parser in [`crate::parse`]
+//! accepts back, so `parse(print(t)) == t` for functions and predicates
+//! (queries round-trip semantically; see `parse` docs).
+//!
+//! Operator syntax:
+//!
+//! | paper | printed |
+//! |-------|---------|
+//! | `f ∘ g` | `f . g` |
+//! | `⟨f, g⟩` | `(f, g)` |
+//! | `f × g` | `f * g` |
+//! | `p ⊕ f` | `p @ f` |
+//! | `p⁻¹` | `~p` |
+//! | `Kp(T)` | `Kp(T)` |
+//! | `f ! x`, `p ? x` | `f ! x`, `p ? x` |
+
+use crate::pattern::{PFunc, PPred, PQuery};
+use crate::term::{Func, Pred, Query};
+use std::fmt;
+
+// Precedence levels. Higher binds tighter.
+const FUNC_COMPOSE: u8 = 0;
+const FUNC_TIMES: u8 = 1;
+const FUNC_ATOM: u8 = 2;
+
+const PRED_OR: u8 = 0;
+const PRED_AND: u8 = 1;
+const PRED_OPLUS: u8 = 2;
+const PRED_NOT: u8 = 3;
+
+fn parens(
+    f: &mut fmt::Formatter<'_>,
+    needed: bool,
+    inner: impl FnOnce(&mut fmt::Formatter<'_>) -> fmt::Result,
+) -> fmt::Result {
+    if needed {
+        write!(f, "(")?;
+        inner(f)?;
+        write!(f, ")")
+    } else {
+        inner(f)
+    }
+}
+
+fn fmt_pfunc(t: &PFunc, prec: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match t {
+        PFunc::Var(v) => write!(f, "${v}"),
+        PFunc::Id => write!(f, "id"),
+        PFunc::Pi1 => write!(f, "pi1"),
+        PFunc::Pi2 => write!(f, "pi2"),
+        PFunc::Prim(s) => write!(f, "{s}"),
+        PFunc::Flat => write!(f, "flat"),
+        PFunc::Bagify => write!(f, "bagify"),
+        PFunc::Dedup => write!(f, "dedup"),
+        PFunc::BUnion => write!(f, "bunion"),
+        PFunc::BFlat => write!(f, "bflat"),
+        PFunc::SetUnion => write!(f, "sunion"),
+        PFunc::SetIntersect => write!(f, "sinter"),
+        PFunc::SetDiff => write!(f, "sdiff"),
+        PFunc::Compose(a, b) => parens(f, prec > FUNC_COMPOSE, |f| {
+            fmt_pfunc(a, FUNC_TIMES, f)?;
+            write!(f, " . ")?;
+            fmt_pfunc(b, FUNC_COMPOSE, f)
+        }),
+        PFunc::Times(a, b) => parens(f, prec > FUNC_TIMES, |f| {
+            fmt_pfunc(a, FUNC_TIMES, f)?;
+            write!(f, " * ")?;
+            fmt_pfunc(b, FUNC_ATOM, f)
+        }),
+        PFunc::PairWith(a, b) => {
+            write!(f, "(")?;
+            fmt_pfunc(a, FUNC_COMPOSE, f)?;
+            write!(f, ", ")?;
+            fmt_pfunc(b, FUNC_COMPOSE, f)?;
+            write!(f, ")")
+        }
+        PFunc::ConstF(q) => {
+            write!(f, "Kf(")?;
+            fmt_pquery(q, f)?;
+            write!(f, ")")
+        }
+        PFunc::CurryF(g, q) => {
+            write!(f, "Cf(")?;
+            fmt_pfunc(g, FUNC_COMPOSE, f)?;
+            write!(f, ", ")?;
+            fmt_pquery(q, f)?;
+            write!(f, ")")
+        }
+        PFunc::Cond(p, g, h) => {
+            write!(f, "con(")?;
+            fmt_ppred(p, PRED_OR, f)?;
+            write!(f, ", ")?;
+            fmt_pfunc(g, FUNC_COMPOSE, f)?;
+            write!(f, ", ")?;
+            fmt_pfunc(h, FUNC_COMPOSE, f)?;
+            write!(f, ")")
+        }
+        PFunc::Iterate(p, g) => {
+            write!(f, "iterate(")?;
+            fmt_ppred(p, PRED_OR, f)?;
+            write!(f, ", ")?;
+            fmt_pfunc(g, FUNC_COMPOSE, f)?;
+            write!(f, ")")
+        }
+        PFunc::BIterate(p, g) => {
+            write!(f, "biterate(")?;
+            fmt_ppred(p, PRED_OR, f)?;
+            write!(f, ", ")?;
+            fmt_pfunc(g, FUNC_COMPOSE, f)?;
+            write!(f, ")")
+        }
+        PFunc::Iter(p, g) => {
+            write!(f, "iter(")?;
+            fmt_ppred(p, PRED_OR, f)?;
+            write!(f, ", ")?;
+            fmt_pfunc(g, FUNC_COMPOSE, f)?;
+            write!(f, ")")
+        }
+        PFunc::Join(p, g) => {
+            write!(f, "join(")?;
+            fmt_ppred(p, PRED_OR, f)?;
+            write!(f, ", ")?;
+            fmt_pfunc(g, FUNC_COMPOSE, f)?;
+            write!(f, ")")
+        }
+        PFunc::Nest(g, h) => {
+            write!(f, "nest(")?;
+            fmt_pfunc(g, FUNC_COMPOSE, f)?;
+            write!(f, ", ")?;
+            fmt_pfunc(h, FUNC_COMPOSE, f)?;
+            write!(f, ")")
+        }
+        PFunc::Unnest(g, h) => {
+            write!(f, "unnest(")?;
+            fmt_pfunc(g, FUNC_COMPOSE, f)?;
+            write!(f, ", ")?;
+            fmt_pfunc(h, FUNC_COMPOSE, f)?;
+            write!(f, ")")
+        }
+    }
+}
+
+fn fmt_ppred(t: &PPred, prec: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match t {
+        PPred::Var(v) => write!(f, "%{v}"),
+        PPred::Eq => write!(f, "eq"),
+        PPred::Lt => write!(f, "lt"),
+        PPred::Leq => write!(f, "leq"),
+        PPred::Gt => write!(f, "gt"),
+        PPred::Geq => write!(f, "geq"),
+        PPred::In => write!(f, "in"),
+        PPred::PrimP(s) => write!(f, "{s}"),
+        PPred::ConstP(b) => write!(f, "Kp({})", if *b { "T" } else { "F" }),
+        PPred::CurryP(p, q) => {
+            write!(f, "Cp(")?;
+            fmt_ppred(p, PRED_OR, f)?;
+            write!(f, ", ")?;
+            fmt_pquery(q, f)?;
+            write!(f, ")")
+        }
+        PPred::Or(p, q) => parens(f, prec > PRED_OR, |f| {
+            fmt_ppred(p, PRED_AND, f)?;
+            write!(f, " | ")?;
+            fmt_ppred(q, PRED_OR, f)
+        }),
+        PPred::And(p, q) => parens(f, prec > PRED_AND, |f| {
+            fmt_ppred(p, PRED_OPLUS, f)?;
+            write!(f, " & ")?;
+            fmt_ppred(q, PRED_AND, f)
+        }),
+        PPred::Oplus(p, g) => parens(f, prec > PRED_OPLUS, |f| {
+            fmt_ppred(p, PRED_NOT, f)?;
+            write!(f, " @ ")?;
+            fmt_pfunc(g, FUNC_TIMES, f)
+        }),
+        PPred::Not(p) => parens(f, prec > PRED_NOT, |f| {
+            write!(f, "~")?;
+            fmt_ppred(p, PRED_NOT, f)
+        }),
+        PPred::Conv(p) => {
+            write!(f, "inv(")?;
+            fmt_ppred(p, PRED_OR, f)?;
+            write!(f, ")")
+        }
+    }
+}
+
+fn fmt_pquery(t: &PQuery, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    // Queries print fully at "set-op" level; application is right-nested.
+    match t {
+        PQuery::Var(v) => write!(f, "^{v}"),
+        PQuery::Lit(v) => write!(f, "{v}"),
+        PQuery::Extent(s) => write!(f, "{s}"),
+        PQuery::PairQ(a, b) => {
+            write!(f, "[")?;
+            fmt_pquery(a, f)?;
+            write!(f, ", ")?;
+            fmt_pquery(b, f)?;
+            write!(f, "]")
+        }
+        PQuery::App(func, q) => {
+            fmt_pfunc(func, FUNC_COMPOSE, f)?;
+            write!(f, " ! ")?;
+            fmt_pquery_app_operand(q, f)
+        }
+        PQuery::Test(p, q) => {
+            fmt_ppred(p, PRED_OR, f)?;
+            write!(f, " ? ")?;
+            fmt_pquery_app_operand(q, f)
+        }
+        PQuery::Union(a, b) => {
+            fmt_pquery_app_operand(a, f)?;
+            write!(f, " union ")?;
+            fmt_pquery_app_operand(b, f)
+        }
+        PQuery::Intersect(a, b) => {
+            fmt_pquery_app_operand(a, f)?;
+            write!(f, " intersect ")?;
+            fmt_pquery_app_operand(b, f)
+        }
+        PQuery::Diff(a, b) => {
+            fmt_pquery_app_operand(a, f)?;
+            write!(f, " diff ")?;
+            fmt_pquery_app_operand(b, f)
+        }
+    }
+}
+
+/// Operand of `!`/`?`/set ops: parenthesize anything that is itself a set op
+/// so the (left-associative) parse is unambiguous.
+fn fmt_pquery_app_operand(t: &PQuery, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match t {
+        PQuery::Union(..) | PQuery::Intersect(..) | PQuery::Diff(..) => {
+            write!(f, "(")?;
+            fmt_pquery(t, f)?;
+            write!(f, ")")
+        }
+        _ => fmt_pquery(t, f),
+    }
+}
+
+impl fmt::Display for PFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_pfunc(self, FUNC_COMPOSE, f)
+    }
+}
+
+impl fmt::Display for PPred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_ppred(self, PRED_OR, f)
+    }
+}
+
+impl fmt::Display for PQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_pquery(self, f)
+    }
+}
+
+impl fmt::Display for Func {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::pattern::PFunc::from_concrete(self).fmt(f)
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::pattern::PPred::from_concrete(self).fmt(f)
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::pattern::PQuery::from_concrete(self).fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::*;
+    use crate::value::Value;
+
+    #[test]
+    fn paper_notation() {
+        let q = app(iterate(kp(true), o(prim("city"), prim("addr"))), ext("P"));
+        assert_eq!(q.to_string(), "iterate(Kp(T), city . addr) ! P");
+    }
+
+    #[test]
+    fn compose_right_assoc_minimal_parens() {
+        let f = o(prim("a"), o(prim("b"), prim("c")));
+        assert_eq!(f.to_string(), "a . b . c");
+        let g = o(o(prim("a"), prim("b")), prim("c"));
+        assert_eq!(g.to_string(), "(a . b) . c");
+    }
+
+    #[test]
+    fn times_binds_tighter_than_compose() {
+        let f = o(times(prim("a"), prim("b")), prim("c"));
+        assert_eq!(f.to_string(), "a * b . c");
+        let g = times(prim("a"), o(prim("b"), prim("c")));
+        assert_eq!(g.to_string(), "a * (b . c)");
+    }
+
+    #[test]
+    fn pred_notation() {
+        let p = and(oplus(gt(), pairf(prim("age"), kf(Value::Int(25)))), kp(true));
+        assert_eq!(p.to_string(), "gt @ (age, Kf(25)) & Kp(T)");
+        let q = not(oplus(leq(), pi1()));
+        assert_eq!(q.to_string(), "~(leq @ pi1)");
+        let r = oplus(not(leq()), pi1());
+        assert_eq!(r.to_string(), "~leq @ pi1");
+    }
+
+    #[test]
+    fn query_pairs_and_setops() {
+        let q = union(pairq(int(1), int(2)), ext("P"));
+        assert_eq!(q.to_string(), "[1, 2] union P");
+        let nested = intersect(union(ext("A"), ext("B")), ext("C"));
+        assert_eq!(nested.to_string(), "(A union B) intersect C");
+    }
+
+    #[test]
+    fn garage_query_kg2_prints() {
+        // KG2 of Figure 3.
+        let kg2 = app(
+            chain([
+                nest(pi1(), pi2()),
+                times(unnest(pi1(), pi2()), id()),
+                pairf(
+                    join(
+                        oplus(isin(), times(id(), prim("cars"))),
+                        times(id(), prim("grgs")),
+                    ),
+                    pi1(),
+                ),
+            ]),
+            pairq(ext("V"), ext("P")),
+        );
+        assert_eq!(
+            kg2.to_string(),
+            "nest(pi1, pi2) . unnest(pi1, pi2) * id . \
+             (join(in @ id * cars, id * grgs), pi1) ! [V, P]"
+        );
+    }
+}

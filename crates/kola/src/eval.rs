@@ -1,0 +1,726 @@
+//! Operational semantics of KOLA (Tables 1 and 2 of the paper).
+//!
+//! [`eval_func`] implements invocation `f ! x`, [`eval_pred`] implements
+//! `p ? x`, and [`eval_query`] evaluates an object-level [`Query`] against a
+//! [`Db`]. Evaluation is deterministic: sets are canonical
+//! ([`crate::value::ValueSet`]), so `eval(q1) == eval(q2)` is a decision
+//! procedure for "these two queries agree on this database" — which is how
+//! every transformation in this repository is checked.
+
+use crate::db::{Db, DbError};
+use crate::term::{Func, Pred, Query};
+use crate::value::{Value, ValueSet};
+use std::fmt;
+
+/// Errors raised during evaluation: "stuck" terms (ill-typed applications)
+/// or database faults.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A combinator was applied to a value of the wrong shape.
+    Stuck {
+        /// Which combinator got stuck.
+        what: &'static str,
+        /// The shape of the offending argument.
+        got: &'static str,
+    },
+    /// A database fault (unknown attribute/extent, dangling object, …).
+    Db(DbError),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Stuck { what, got } => write!(f, "{what} applied to {got}"),
+            EvalError::Db(e) => write!(f, "db error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<DbError> for EvalError {
+    fn from(e: DbError) -> Self {
+        EvalError::Db(e)
+    }
+}
+
+/// Shorthand result type for evaluation.
+pub type EvalResult<T = Value> = Result<T, EvalError>;
+
+fn stuck<T>(what: &'static str, v: &Value) -> EvalResult<T> {
+    Err(EvalError::Stuck {
+        what,
+        got: v.kind_name(),
+    })
+}
+
+fn as_pair_owned(what: &'static str, v: Value) -> EvalResult<(Value, Value)> {
+    match v {
+        Value::Pair(p) => Ok(*p),
+        other => stuck(what, &other),
+    }
+}
+
+fn as_set<'a>(what: &'static str, v: &'a Value) -> EvalResult<&'a ValueSet> {
+    match v {
+        Value::Set(s) => Ok(s),
+        other => stuck(what, other),
+    }
+}
+
+fn cmp_ints(what: &'static str, v: &Value) -> EvalResult<(i64, i64)> {
+    match v {
+        Value::Pair(p) => match (&p.0, &p.1) {
+            (Value::Int(a), Value::Int(b)) => Ok((*a, *b)),
+            _ => stuck(what, v),
+        },
+        other => stuck(what, other),
+    }
+}
+
+/// Invoke a KOLA function: `f ! x` (Table 1 and Table 2 of the paper).
+pub fn eval_func(db: &Db, f: &Func, x: &Value) -> EvalResult {
+    match f {
+        // --- Table 1: basic combinators ---
+        Func::Id => Ok(x.clone()),
+        Func::Pi1 => match x {
+            Value::Pair(p) => Ok(p.0.clone()),
+            other => stuck("pi1", other),
+        },
+        Func::Pi2 => match x {
+            Value::Pair(p) => Ok(p.1.clone()),
+            other => stuck("pi2", other),
+        },
+        Func::Prim(name) => Ok(db.get_attr(x, name)?),
+        Func::Compose(f, g) => {
+            let mid = eval_func(db, g, x)?;
+            eval_func(db, f, &mid)
+        }
+        Func::PairWith(f, g) => Ok(Value::pair(eval_func(db, f, x)?, eval_func(db, g, x)?)),
+        Func::Times(f, g) => {
+            let (a, b) = as_pair_owned("times", x.clone())?;
+            Ok(Value::pair(eval_func(db, f, &a)?, eval_func(db, g, &b)?))
+        }
+        Func::ConstF(q) => eval_query(db, q),
+        Func::CurryF(f, q) => {
+            let arg = Value::pair(eval_query(db, q)?, x.clone());
+            eval_func(db, f, &arg)
+        }
+        Func::Cond(p, f, g) => {
+            if eval_pred(db, p, x)? {
+                eval_func(db, f, x)
+            } else {
+                eval_func(db, g, x)
+            }
+        }
+
+        // --- Table 2: query combinators ---
+        Func::Flat => {
+            let outer = as_set("flat", x)?;
+            let mut out = ValueSet::new();
+            for inner in outer.iter() {
+                let inner = as_set("flat (element)", inner)?;
+                for v in inner.iter() {
+                    out.insert(v.clone());
+                }
+            }
+            Ok(Value::Set(out))
+        }
+        Func::Iterate(p, f) => {
+            let set = as_set("iterate", x)?;
+            let mut out = ValueSet::new();
+            for v in set.iter() {
+                if eval_pred(db, p, v)? {
+                    out.insert(eval_func(db, f, v)?);
+                }
+            }
+            Ok(Value::Set(out))
+        }
+        Func::Iter(p, f) => {
+            // iter(p, f) ! [e, B] = { f![e, y] | y ∈ B, p?[e, y] }
+            let (e, b) = as_pair_owned("iter", x.clone())?;
+            let set = as_set("iter (second component)", &b)?;
+            let mut out = ValueSet::new();
+            for y in set.iter() {
+                let pair = Value::pair(e.clone(), y.clone());
+                if eval_pred(db, p, &pair)? {
+                    out.insert(eval_func(db, f, &pair)?);
+                }
+            }
+            Ok(Value::Set(out))
+        }
+        Func::Join(p, f) => {
+            let (a, b) = as_pair_owned("join", x.clone())?;
+            let aset = as_set("join (first component)", &a)?;
+            let bset = as_set("join (second component)", &b)?;
+            let mut out = ValueSet::new();
+            for x in aset.iter() {
+                for y in bset.iter() {
+                    let pair = Value::pair(x.clone(), y.clone());
+                    if eval_pred(db, p, &pair)? {
+                        out.insert(eval_func(db, f, &pair)?);
+                    }
+                }
+            }
+            Ok(Value::Set(out))
+        }
+        Func::Nest(f, g) => {
+            // nest(f, g) ! [A, B] = { [y, {g!x | x ∈ A, f!x = y}] | y ∈ B }
+            let (a, b) = as_pair_owned("nest", x.clone())?;
+            let aset = as_set("nest (first component)", &a)?;
+            let bset = as_set("nest (second component)", &b)?;
+            let mut out = ValueSet::new();
+            for y in bset.iter() {
+                let mut group = ValueSet::new();
+                for x in aset.iter() {
+                    if &eval_func(db, f, x)? == y {
+                        group.insert(eval_func(db, g, x)?);
+                    }
+                }
+                out.insert(Value::pair(y.clone(), Value::Set(group)));
+            }
+            Ok(Value::Set(out))
+        }
+        Func::Unnest(f, g) => {
+            // unnest(f, g) ! A = { [f!x, y] | x ∈ A, y ∈ g!x }
+            let set = as_set("unnest", x)?;
+            let mut out = ValueSet::new();
+            for v in set.iter() {
+                let key = eval_func(db, f, v)?;
+                let inner = eval_func(db, g, v)?;
+                let inner = as_set("unnest (g result)", &inner)?;
+                for y in inner.iter() {
+                    out.insert(Value::pair(key.clone(), y.clone()));
+                }
+            }
+            Ok(Value::Set(out))
+        }
+        Func::Bagify => {
+            let set = as_set("bagify", x)?;
+            let mut bag = crate::bag::ValueBag::new();
+            for v in set.iter() {
+                bag.insert(v.clone());
+            }
+            Ok(Value::Bag(bag))
+        }
+        Func::Dedup => match x {
+            Value::Bag(b) => Ok(Value::Set(b.support())),
+            other => stuck("dedup", other),
+        },
+        Func::BIterate(p, f) => {
+            let Value::Bag(bag) = x else {
+                return stuck("biterate", x);
+            };
+            let mut out = crate::bag::ValueBag::new();
+            for (v, n) in bag.iter() {
+                if eval_pred(db, p, v)? {
+                    out.insert_n(eval_func(db, f, v)?, n);
+                }
+            }
+            Ok(Value::Bag(out))
+        }
+        Func::BUnion => {
+            let (a, b) = as_pair_owned("bunion", x.clone())?;
+            match (a, b) {
+                (Value::Bag(a), Value::Bag(b)) => Ok(Value::Bag(a.additive_union(&b))),
+                (a, _) => stuck("bunion", &a),
+            }
+        }
+        Func::BFlat => {
+            let Value::Bag(outer) = x else {
+                return stuck("bflat", x);
+            };
+            let mut out = crate::bag::ValueBag::new();
+            for (inner, n) in outer.iter() {
+                let Value::Bag(inner) = inner else {
+                    return stuck("bflat (element)", inner);
+                };
+                for (v, m) in inner.iter() {
+                    out.insert_n(v.clone(), n * m);
+                }
+            }
+            Ok(Value::Bag(out))
+        }
+        Func::SetUnion => {
+            let (a, b) = as_pair_owned("union", x.clone())?;
+            Ok(Value::Set(
+                as_set("union", &a)?.union(as_set("union", &b)?),
+            ))
+        }
+        Func::SetIntersect => {
+            let (a, b) = as_pair_owned("intersect", x.clone())?;
+            Ok(Value::Set(
+                as_set("intersect", &a)?.intersect(as_set("intersect", &b)?),
+            ))
+        }
+        Func::SetDiff => {
+            let (a, b) = as_pair_owned("diff", x.clone())?;
+            Ok(Value::Set(
+                as_set("diff", &a)?.difference(as_set("diff", &b)?),
+            ))
+        }
+    }
+}
+
+/// Invoke a KOLA predicate: `p ? x` (Table 1 of the paper).
+pub fn eval_pred(db: &Db, p: &Pred, x: &Value) -> EvalResult<bool> {
+    match p {
+        Pred::Eq => {
+            let (a, b) = as_pair_owned("eq", x.clone())?;
+            Ok(a == b)
+        }
+        Pred::Lt => cmp_ints("lt", x).map(|(a, b)| a < b),
+        Pred::Leq => cmp_ints("leq", x).map(|(a, b)| a <= b),
+        Pred::Gt => cmp_ints("gt", x).map(|(a, b)| a > b),
+        Pred::Geq => cmp_ints("geq", x).map(|(a, b)| a >= b),
+        Pred::In => {
+            let (a, b) = as_pair_owned("in", x.clone())?;
+            Ok(as_set("in (second component)", &b)?.contains(&a))
+        }
+        Pred::PrimP(name) => match db.get_attr(x, name)? {
+            Value::Bool(b) => Ok(b),
+            other => stuck("primitive predicate", &other),
+        },
+        Pred::Oplus(p, f) => {
+            let mid = eval_func(db, f, x)?;
+            eval_pred(db, p, &mid)
+        }
+        Pred::And(p, q) => Ok(eval_pred(db, p, x)? && eval_pred(db, q, x)?),
+        Pred::Or(p, q) => Ok(eval_pred(db, p, x)? || eval_pred(db, q, x)?),
+        Pred::Not(p) => Ok(!eval_pred(db, p, x)?),
+        Pred::Conv(p) => {
+            let (a, b) = as_pair_owned("inv", x.clone())?;
+            let swapped = Value::pair(b, a);
+            eval_pred(db, p, &swapped)
+        }
+        Pred::ConstP(b) => Ok(*b),
+        Pred::CurryP(p, q) => {
+            let arg = Value::pair(eval_query(db, q)?, x.clone());
+            eval_pred(db, p, &arg)
+        }
+    }
+}
+
+/// Evaluate an object-level [`Query`] against a database.
+///
+/// ```
+/// use kola::{Db, Schema, Value};
+/// let mut db = Db::new(Schema::paper_schema());
+/// db.bind_extent("S", Value::set([Value::Int(1), Value::Int(30)]));
+/// let q = kola::parse::parse_query(
+///     "iterate(gt @ (id, Kf(25)), id) ! S").unwrap();
+/// assert_eq!(
+///     kola::eval_query(&db, &q).unwrap(),
+///     Value::set([Value::Int(30)]),
+/// );
+/// ```
+pub fn eval_query(db: &Db, q: &Query) -> EvalResult {
+    match q {
+        Query::Lit(v) => Ok(v.clone()),
+        Query::Extent(name) => Ok(db.extent(name)?),
+        Query::PairQ(a, b) => Ok(Value::pair(eval_query(db, a)?, eval_query(db, b)?)),
+        Query::App(f, q) => {
+            let arg = eval_query(db, q)?;
+            eval_func(db, f, &arg)
+        }
+        Query::Test(p, q) => {
+            let arg = eval_query(db, q)?;
+            Ok(Value::Bool(eval_pred(db, p, &arg)?))
+        }
+        Query::Union(a, b) => {
+            let a = eval_query(db, a)?;
+            let b = eval_query(db, b)?;
+            Ok(Value::Set(
+                as_set("union", &a)?.union(as_set("union", &b)?),
+            ))
+        }
+        Query::Intersect(a, b) => {
+            let a = eval_query(db, a)?;
+            let b = eval_query(db, b)?;
+            Ok(Value::Set(
+                as_set("intersect", &a)?.intersect(as_set("intersect", &b)?),
+            ))
+        }
+        Query::Diff(a, b) => {
+            let a = eval_query(db, a)?;
+            let b = eval_query(db, b)?;
+            Ok(Value::Set(
+                as_set("diff", &a)?.difference(as_set("diff", &b)?),
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::schema::Schema;
+
+    fn db() -> Db {
+        Db::new(Schema::paper_schema())
+    }
+
+    fn iset(items: impl IntoIterator<Item = i64>) -> Value {
+        Value::set(items.into_iter().map(Value::Int))
+    }
+
+    // --- Table 1 semantics, one test per row ---
+
+    #[test]
+    fn t1_id() {
+        assert_eq!(eval_func(&db(), &id(), &Value::Int(7)).unwrap(), Value::Int(7));
+    }
+
+    #[test]
+    fn t1_projections() {
+        let d = db();
+        let p = Value::pair(Value::Int(1), Value::Int(2));
+        assert_eq!(eval_func(&d, &pi1(), &p).unwrap(), Value::Int(1));
+        assert_eq!(eval_func(&d, &pi2(), &p).unwrap(), Value::Int(2));
+        assert!(eval_func(&d, &pi1(), &Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn t1_eq_leq_gt() {
+        let d = db();
+        let p = |a, b| Value::pair(Value::Int(a), Value::Int(b));
+        assert!(eval_pred(&d, &eq(), &p(3, 3)).unwrap());
+        assert!(!eval_pred(&d, &eq(), &p(3, 4)).unwrap());
+        assert!(eval_pred(&d, &leq(), &p(3, 3)).unwrap());
+        assert!(eval_pred(&d, &leq(), &p(2, 3)).unwrap());
+        assert!(!eval_pred(&d, &gt(), &p(3, 3)).unwrap());
+        assert!(eval_pred(&d, &gt(), &p(4, 3)).unwrap());
+        assert!(eval_pred(&d, &lt(), &p(2, 3)).unwrap());
+        assert!(eval_pred(&d, &geq(), &p(3, 3)).unwrap());
+    }
+
+    #[test]
+    fn t1_in() {
+        let d = db();
+        let arg = Value::pair(Value::Int(2), iset([1, 2, 3]));
+        assert!(eval_pred(&d, &isin(), &arg).unwrap());
+        let arg = Value::pair(Value::Int(9), iset([1, 2, 3]));
+        assert!(!eval_pred(&d, &isin(), &arg).unwrap());
+    }
+
+    #[test]
+    fn t1_compose() {
+        // (π1 ∘ π2) ! [a, [b, c]] = b
+        let d = db();
+        let f = o(pi1(), pi2());
+        let v = Value::pair(
+            Value::Int(1),
+            Value::pair(Value::Int(2), Value::Int(3)),
+        );
+        assert_eq!(eval_func(&d, &f, &v).unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn t1_pairing() {
+        // ⟨f, g⟩ ! x = [f!x, g!x]
+        let d = db();
+        let f = pairf(id(), id());
+        assert_eq!(
+            eval_func(&d, &f, &Value::Int(5)).unwrap(),
+            Value::pair(Value::Int(5), Value::Int(5))
+        );
+    }
+
+    #[test]
+    fn t1_times() {
+        // (f × g) ! [x, y] = [f!x, g!y]
+        let d = db();
+        let f = times(kf(Value::Int(0)), id());
+        let v = Value::pair(Value::Int(1), Value::Int(2));
+        assert_eq!(
+            eval_func(&d, &f, &v).unwrap(),
+            Value::pair(Value::Int(0), Value::Int(2))
+        );
+    }
+
+    #[test]
+    fn t1_const_func() {
+        let d = db();
+        assert_eq!(
+            eval_func(&d, &kf(Value::str("c")), &Value::Int(9)).unwrap(),
+            Value::str("c")
+        );
+    }
+
+    #[test]
+    fn t1_curry_func() {
+        // Cf(f, x) ! y = f ! [x, y]; with f = π1 this returns x.
+        let d = db();
+        let f = cf(pi1(), Value::Int(10));
+        assert_eq!(eval_func(&d, &f, &Value::Int(99)).unwrap(), Value::Int(10));
+        let g = cf(pi2(), Value::Int(10));
+        assert_eq!(eval_func(&d, &g, &Value::Int(99)).unwrap(), Value::Int(99));
+    }
+
+    #[test]
+    fn t1_cond() {
+        let d = db();
+        // con(gt ⊕ ⟨id, Kf(0)⟩, Kf("pos"), Kf("neg"))
+        let p = oplus(gt(), pairf(id(), kf(Value::Int(0))));
+        let f = con(p, kf(Value::str("pos")), kf(Value::str("neg")));
+        assert_eq!(eval_func(&d, &f, &Value::Int(5)).unwrap(), Value::str("pos"));
+        assert_eq!(
+            eval_func(&d, &f, &Value::Int(-5)).unwrap(),
+            Value::str("neg")
+        );
+    }
+
+    #[test]
+    fn t1_oplus_and_or_not_const_curry() {
+        let d = db();
+        let pos = oplus(gt(), pairf(id(), kf(Value::Int(0))));
+        let lt10 = oplus(lt(), pairf(id(), kf(Value::Int(10))));
+        assert!(eval_pred(&d, &and(pos.clone(), lt10.clone()), &Value::Int(5)).unwrap());
+        assert!(!eval_pred(&d, &and(pos.clone(), lt10.clone()), &Value::Int(50)).unwrap());
+        assert!(eval_pred(&d, &or(pos.clone(), lt10.clone()), &Value::Int(50)).unwrap());
+        assert!(!eval_pred(&d, &not(pos.clone()), &Value::Int(5)).unwrap());
+        assert!(eval_pred(&d, &kp(true), &Value::Unit).unwrap());
+        assert!(!eval_pred(&d, &kp(false), &Value::Unit).unwrap());
+        // Cp(p, x) ? y = p ? [x, y]
+        let c = cp(leq(), Value::Int(25));
+        assert!(eval_pred(&d, &c, &Value::Int(30)).unwrap()); // 25 <= 30
+        assert!(!eval_pred(&d, &c, &Value::Int(20)).unwrap());
+    }
+
+    // --- Table 2 semantics, one test per row ---
+
+    #[test]
+    fn t2_flat() {
+        let d = db();
+        let nested = Value::set([iset([1, 2]), iset([2, 3])]);
+        assert_eq!(eval_func(&d, &flat(), &nested).unwrap(), iset([1, 2, 3]));
+    }
+
+    #[test]
+    fn t2_iterate() {
+        let d = db();
+        // iterate(x > 2, id) over {1,2,3,4}
+        let p = oplus(gt(), pairf(id(), kf(Value::Int(2))));
+        let f = iterate(p, id());
+        assert_eq!(eval_func(&d, &f, &iset([1, 2, 3, 4])).unwrap(), iset([3, 4]));
+    }
+
+    #[test]
+    fn t2_iter() {
+        let d = db();
+        // iter(Kp(T), π2) ! [e, B] = B
+        let f = iter(kp(true), pi2());
+        let arg = Value::pair(Value::Int(9), iset([1, 2]));
+        assert_eq!(eval_func(&d, &f, &arg).unwrap(), iset([1, 2]));
+        // iter's predicate sees [e, y]: keep y < e
+        let f = iter(oplus(gt(), pairf(pi1(), pi2())), pi2());
+        let arg = Value::pair(Value::Int(2), iset([1, 2, 3]));
+        assert_eq!(eval_func(&d, &f, &arg).unwrap(), iset([1]));
+    }
+
+    #[test]
+    fn t2_join() {
+        let d = db();
+        // join(eq, π1) ! [{1,2}, {2,3}] = {2}
+        let f = join(eq(), pi1());
+        let arg = Value::pair(iset([1, 2]), iset([2, 3]));
+        assert_eq!(eval_func(&d, &f, &arg).unwrap(), iset([2]));
+        // Cross product via Kp(T)
+        let f = join(kp(true), id());
+        let arg = Value::pair(iset([1]), iset([2, 3]));
+        assert_eq!(
+            eval_func(&d, &f, &arg).unwrap(),
+            Value::set([
+                Value::pair(Value::Int(1), Value::Int(2)),
+                Value::pair(Value::Int(1), Value::Int(3)),
+            ])
+        );
+    }
+
+    #[test]
+    fn t2_nest_groups_and_keeps_empty_groups() {
+        let d = db();
+        // nest(π1, π2) ! [{[1,10],[1,11],[2,20]}, {1,2,3}]
+        let a = Value::set([
+            Value::pair(Value::Int(1), Value::Int(10)),
+            Value::pair(Value::Int(1), Value::Int(11)),
+            Value::pair(Value::Int(2), Value::Int(20)),
+        ]);
+        let b = iset([1, 2, 3]);
+        let f = nest(pi1(), pi2());
+        let got = eval_func(&d, &f, &Value::pair(a, b)).unwrap();
+        let want = Value::set([
+            Value::pair(Value::Int(1), iset([10, 11])),
+            Value::pair(Value::Int(2), iset([20])),
+            // 3 never satisfies the grouping: paired with ∅, not dropped —
+            // this is the paper's NULL-avoidance property.
+            Value::pair(Value::Int(3), Value::empty_set()),
+        ]);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn t2_unnest() {
+        let d = db();
+        // unnest(π1, π2) ! {[1,{10,11}]} = {[1,10],[1,11]}
+        let a = Value::set([Value::pair(Value::Int(1), iset([10, 11]))]);
+        let f = unnest(pi1(), pi2());
+        assert_eq!(
+            eval_func(&d, &f, &a).unwrap(),
+            Value::set([
+                Value::pair(Value::Int(1), Value::Int(10)),
+                Value::pair(Value::Int(1), Value::Int(11)),
+            ])
+        );
+    }
+
+    #[test]
+    fn nest_of_join_represents_every_element() {
+        // §3: nest(π1, π2) ! [join(p, id) ! [A, B], A] represents every
+        // element of A, even those that never satisfy the join predicate.
+        let d = db();
+        let a = iset([1, 2, 3]);
+        let b = iset([10]);
+        // p: first < 2 (so only 1 joins)
+        let p = oplus(lt(), pairf(pi1(), kf(Value::Int(2))));
+        let joined = eval_func(
+            &d,
+            &join(p, id()),
+            &Value::pair(a.clone(), b.clone()),
+        )
+        .unwrap();
+        let nested = eval_func(&d, &nest(pi1(), pi2()), &Value::pair(joined, a)).unwrap();
+        let keys: Vec<Value> = nested
+            .as_set()
+            .unwrap()
+            .iter()
+            .map(|pair| pair.as_pair().unwrap().0.clone())
+            .collect();
+        assert_eq!(keys, vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+    }
+
+    // --- query-level evaluation ---
+
+    #[test]
+    fn query_extent_and_app() {
+        let mut d = db();
+        d.bind_extent("S", iset([1, 2, 3]));
+        let q = app(iterate(kp(true), id()), ext("S"));
+        assert_eq!(eval_query(&d, &q).unwrap(), iset([1, 2, 3]));
+    }
+
+    #[test]
+    fn query_set_ops() {
+        let mut d = db();
+        d.bind_extent("A", iset([1, 2]));
+        d.bind_extent("B", iset([2, 3]));
+        assert_eq!(
+            eval_query(&d, &union(ext("A"), ext("B"))).unwrap(),
+            iset([1, 2, 3])
+        );
+        assert_eq!(
+            eval_query(&d, &intersect(ext("A"), ext("B"))).unwrap(),
+            iset([2])
+        );
+        assert_eq!(
+            eval_query(&d, &diff(ext("A"), ext("B"))).unwrap(),
+            iset([1])
+        );
+    }
+
+    #[test]
+    fn query_test() {
+        let d = db();
+        let q = test(gt(), pairq(int(3), int(2)));
+        assert_eq!(eval_query(&d, &q).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn reduction_example_from_section_3() {
+        // iterate(Kp(T), city ∘ addr) ! P returns the cities of people in P.
+        let schema = Schema::paper_schema();
+        let person = schema.class_id("Person").unwrap();
+        let address = schema.class_id("Address").unwrap();
+        let mut d = Db::new(schema);
+        let boston = d
+            .insert(address, vec![Value::str("Boston"), Value::Int(1)])
+            .unwrap();
+        let nyc = d
+            .insert(address, vec![Value::str("NYC"), Value::Int(2)])
+            .unwrap();
+        let mk_person = |d: &mut Db, addr, age: i64, name: &str| {
+            d.insert(
+                person,
+                vec![
+                    Value::Obj(addr),
+                    Value::Int(age),
+                    Value::str(name),
+                    Value::empty_set(),
+                    Value::empty_set(),
+                    Value::empty_set(),
+                ],
+            )
+            .unwrap()
+        };
+        let p0 = mk_person(&mut d, boston, 30, "a");
+        let p1 = mk_person(&mut d, nyc, 20, "b");
+        d.bind_extent("P", Value::set([Value::Obj(p0), Value::Obj(p1)]));
+
+        let q = app(
+            iterate(kp(true), o(prim("city"), prim("addr"))),
+            ext("P"),
+        );
+        assert_eq!(
+            eval_query(&d, &q).unwrap(),
+            Value::set([Value::str("Boston"), Value::str("NYC")])
+        );
+    }
+
+    #[test]
+    fn bag_combinators() {
+        let d = db();
+        // bagify: one occurrence per set element.
+        let b = eval_func(&d, &bagify(), &iset([1, 2])).unwrap();
+        let Value::Bag(bag) = &b else { panic!("{b}") };
+        assert_eq!(bag.len(), 2);
+        // biterate preserves multiplicity and sums collisions.
+        let squash = biterate(kp(true), kf(Value::Int(0)));
+        let out = eval_func(&d, &squash, &b).unwrap();
+        let Value::Bag(bag) = &out else { panic!() };
+        assert_eq!(bag.count(&Value::Int(0)), 2, "collision sums: {out}");
+        // dedup collapses to the support set.
+        assert_eq!(
+            eval_func(&d, &dedup(), &out).unwrap(),
+            Value::set([Value::Int(0)])
+        );
+        // bunion adds multiplicities.
+        let u = eval_func(&d, &bunion(), &Value::pair(b.clone(), b.clone())).unwrap();
+        let Value::Bag(bag) = &u else { panic!() };
+        assert_eq!(bag.len(), 4);
+        // bflat multiplies multiplicities.
+        let bb = eval_func(&d, &bagify(), &Value::set([u.clone()])).unwrap();
+        let flat_out = eval_func(&d, &Func::BFlat, &bb).unwrap();
+        let Value::Bag(bag) = &flat_out else { panic!() };
+        assert_eq!(bag.len(), 4);
+    }
+
+    #[test]
+    fn bag_combinators_stuck_on_wrong_shapes() {
+        let d = db();
+        assert!(eval_func(&d, &bagify(), &Value::Int(1)).is_err());
+        assert!(eval_func(&d, &dedup(), &iset([1])).is_err());
+        assert!(eval_func(&d, &biterate(kp(true), id()), &iset([1])).is_err());
+        assert!(eval_func(&d, &bunion(), &iset([1])).is_err());
+        assert!(eval_func(&d, &Func::BFlat, &iset([1])).is_err());
+    }
+
+    #[test]
+    fn stuck_terms_error_cleanly() {
+        let d = db();
+        assert!(eval_func(&d, &flat(), &Value::Int(3)).is_err());
+        assert!(eval_func(&d, &iterate(kp(true), id()), &Value::Int(3)).is_err());
+        assert!(eval_pred(&d, &gt(), &Value::Bool(true)).is_err());
+        assert!(eval_pred(&d, &isin(), &Value::pair(Value::Int(1), Value::Int(2))).is_err());
+    }
+}

@@ -1,0 +1,290 @@
+//! `EXPLAIN`-style tree rendering of KOLA queries.
+//!
+//! The one-line paper notation ([`crate::display`]) is faithful but hard to
+//! scan for large plans; [`explain_query`] renders the same term as an
+//! indented operator tree, the way optimizers print plans:
+//!
+//! ```text
+//! ! apply
+//! ├─ nest(pi1, pi2)
+//! │  ∘ unnest(pi1, pi2) * id
+//! │  ∘ (join(in @ id * cars, id * grgs), pi1)
+//! └─ [V, P]
+//! ```
+
+use crate::term::{Func, Pred, Query};
+use std::fmt::Write;
+
+/// Render a query as an indented operator tree.
+pub fn explain_query(q: &Query) -> String {
+    let mut out = String::new();
+    query(q, "", &mut out);
+    out
+}
+
+/// Render a function as an indented tree (compose chains become `∘` lists).
+pub fn explain_func(f: &Func) -> String {
+    let mut out = String::new();
+    func(f, "", &mut out);
+    out
+}
+
+fn line(out: &mut String, prefix: &str, text: &str) {
+    let _ = writeln!(out, "{prefix}{text}");
+}
+
+/// Children are rendered with box-drawing connectors.
+fn branches<'a>(
+    prefix: &str,
+    children: Vec<(&'static str, Node<'a>)>,
+    out: &mut String,
+) {
+    let n = children.len();
+    for (i, (label, child)) in children.into_iter().enumerate() {
+        let last = i + 1 == n;
+        let conn = if last { "└─ " } else { "├─ " };
+        let cont = if last { "   " } else { "│  " };
+        let child_prefix = format!("{prefix}{cont}");
+        let mut rendered = String::new();
+        match child {
+            Node::F(f) => func(f, &child_prefix, &mut rendered),
+            Node::P(p) => pred(p, &child_prefix, &mut rendered),
+            Node::Q(q) => query(q, &child_prefix, &mut rendered),
+        }
+        // First line of the child gets the connector; rest keep the prefix.
+        let mut lines = rendered.lines();
+        if let Some(first) = lines.next() {
+            let stripped = first.strip_prefix(&child_prefix).unwrap_or(first);
+            let label_text = if label.is_empty() {
+                stripped.to_string()
+            } else {
+                format!("{label}: {stripped}")
+            };
+            line(out, &format!("{prefix}{conn}"), &label_text);
+        }
+        for rest in lines {
+            let _ = writeln!(out, "{rest}");
+        }
+    }
+}
+
+enum Node<'a> {
+    F(&'a Func),
+    P(&'a Pred),
+    Q(&'a Query),
+}
+
+fn query(q: &Query, prefix: &str, out: &mut String) {
+    match q {
+        Query::Lit(v) => line(out, prefix, &format!("lit {v}")),
+        Query::Extent(s) => line(out, prefix, &format!("extent {s}")),
+        Query::PairQ(a, b) => {
+            line(out, prefix, "pair");
+            branches(prefix, vec![("", Node::Q(a)), ("", Node::Q(b))], out);
+        }
+        Query::App(f, inner) => {
+            line(out, prefix, "! apply");
+            branches(
+                prefix,
+                vec![("", Node::F(f)), ("to", Node::Q(inner))],
+                out,
+            );
+        }
+        Query::Test(p, inner) => {
+            line(out, prefix, "? test");
+            branches(
+                prefix,
+                vec![("", Node::P(p)), ("on", Node::Q(inner))],
+                out,
+            );
+        }
+        Query::Union(a, b) => {
+            line(out, prefix, "union");
+            branches(prefix, vec![("", Node::Q(a)), ("", Node::Q(b))], out);
+        }
+        Query::Intersect(a, b) => {
+            line(out, prefix, "intersect");
+            branches(prefix, vec![("", Node::Q(a)), ("", Node::Q(b))], out);
+        }
+        Query::Diff(a, b) => {
+            line(out, prefix, "diff");
+            branches(prefix, vec![("", Node::Q(a)), ("", Node::Q(b))], out);
+        }
+    }
+}
+
+fn func(f: &Func, prefix: &str, out: &mut String) {
+    match f {
+        Func::Compose(..) => {
+            // Flatten the chain into a pipeline list.
+            line(out, prefix, "pipeline (∘)");
+            let mut segs = Vec::new();
+            fn collect<'a>(f: &'a Func, segs: &mut Vec<&'a Func>) {
+                match f {
+                    Func::Compose(a, b) => {
+                        collect(a, segs);
+                        collect(b, segs);
+                    }
+                    leaf => segs.push(leaf),
+                }
+            }
+            collect(f, &mut segs);
+            branches(
+                prefix,
+                segs.into_iter().map(|s| ("", Node::F(s))).collect(),
+                out,
+            );
+        }
+        Func::Iterate(p, body) => {
+            line(out, prefix, "iterate");
+            branches(
+                prefix,
+                vec![("where", Node::P(p)), ("map", Node::F(body))],
+                out,
+            );
+        }
+        Func::Iter(p, body) => {
+            line(out, prefix, "iter (env-carrying)");
+            branches(
+                prefix,
+                vec![("where", Node::P(p)), ("map", Node::F(body))],
+                out,
+            );
+        }
+        Func::Join(p, body) => {
+            line(out, prefix, "join");
+            branches(
+                prefix,
+                vec![("on", Node::P(p)), ("emit", Node::F(body))],
+                out,
+            );
+        }
+        Func::Nest(k, v) => {
+            line(out, prefix, "nest (group)");
+            branches(
+                prefix,
+                vec![("key", Node::F(k)), ("value", Node::F(v))],
+                out,
+            );
+        }
+        Func::Unnest(k, v) => {
+            line(out, prefix, "unnest");
+            branches(
+                prefix,
+                vec![("key", Node::F(k)), ("set", Node::F(v))],
+                out,
+            );
+        }
+        Func::PairWith(a, b) => {
+            line(out, prefix, "⟨,⟩ pairing");
+            branches(prefix, vec![("", Node::F(a)), ("", Node::F(b))], out);
+        }
+        Func::Times(a, b) => {
+            line(out, prefix, "× product");
+            branches(prefix, vec![("", Node::F(a)), ("", Node::F(b))], out);
+        }
+        Func::Cond(p, a, b) => {
+            line(out, prefix, "con (if)");
+            branches(
+                prefix,
+                vec![("if", Node::P(p)), ("then", Node::F(a)), ("else", Node::F(b))],
+                out,
+            );
+        }
+        Func::ConstF(q) => {
+            line(out, prefix, "Kf (constant)");
+            branches(prefix, vec![("", Node::Q(q))], out);
+        }
+        Func::CurryF(g, q) => {
+            line(out, prefix, "Cf (curry)");
+            branches(prefix, vec![("", Node::F(g)), ("with", Node::Q(q))], out);
+        }
+        leaf => line(out, prefix, &leaf.to_string()),
+    }
+}
+
+fn pred(p: &Pred, prefix: &str, out: &mut String) {
+    match p {
+        Pred::And(a, b) => {
+            line(out, prefix, "and");
+            branches(prefix, vec![("", Node::P(a)), ("", Node::P(b))], out);
+        }
+        Pred::Or(a, b) => {
+            line(out, prefix, "or");
+            branches(prefix, vec![("", Node::P(a)), ("", Node::P(b))], out);
+        }
+        Pred::Oplus(q, f) => {
+            line(out, prefix, "⊕ over");
+            branches(prefix, vec![("pred", Node::P(q)), ("via", Node::F(f))], out);
+        }
+        Pred::Not(q) => {
+            line(out, prefix, "not");
+            branches(prefix, vec![("", Node::P(q))], out);
+        }
+        Pred::Conv(q) => {
+            line(out, prefix, "inv (converse)");
+            branches(prefix, vec![("", Node::P(q))], out);
+        }
+        Pred::CurryP(q, payload) => {
+            line(out, prefix, "Cp (curry)");
+            branches(
+                prefix,
+                vec![("", Node::P(q)), ("with", Node::Q(payload))],
+                out,
+            );
+        }
+        leaf => line(out, prefix, &leaf.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_query;
+
+    #[test]
+    fn kg2_explains_as_a_pipeline() {
+        let q = parse_query(
+            "nest(pi1, pi2) . unnest(pi1, pi2) * id . \
+             (join(in @ id * cars, id * grgs), pi1) ! [V, P]",
+        )
+        .unwrap();
+        let tree = explain_query(&q);
+        assert!(tree.contains("! apply"), "{tree}");
+        assert!(tree.contains("pipeline (∘)"), "{tree}");
+        assert!(tree.contains("nest (group)"), "{tree}");
+        assert!(tree.contains("join"), "{tree}");
+        // Tree lines are properly indented under the pipeline.
+        assert!(tree.lines().count() > 10, "{tree}");
+    }
+
+    #[test]
+    fn leaf_queries_are_single_lines() {
+        let q = parse_query("P").unwrap();
+        assert_eq!(explain_query(&q), "extent P\n");
+    }
+
+    #[test]
+    fn iterate_shows_where_and_map() {
+        let q = parse_query("iterate(gt @ (age, Kf(25)), age) ! P").unwrap();
+        let tree = explain_query(&q);
+        assert!(tree.contains("where:"), "{tree}");
+        assert!(tree.contains("map: age"), "{tree}");
+        assert!(tree.contains("to: extent P"), "{tree}");
+    }
+
+    #[test]
+    fn connectors_are_well_formed() {
+        let q = parse_query(
+            "iterate(Kp(T), con(gt @ (age, Kf(25)), (id, child), Kf({}))) ! P",
+        )
+        .unwrap();
+        let tree = explain_query(&q);
+        for l in tree.lines() {
+            assert!(!l.trim_end().is_empty(), "no blank lines: {tree:?}");
+        }
+        assert!(tree.contains("con (if)"), "{tree}");
+        assert!(tree.contains("then:"), "{tree}");
+        assert!(tree.contains("else:"), "{tree}");
+    }
+}

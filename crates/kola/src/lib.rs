@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+//! # KOLA — a combinator query algebra for rule-based optimizers
+//!
+//! Rust reproduction of Cherniack & Zdonik, *"Rule Languages and Internal
+//! Algebras for Rule-Based Optimizers"*, SIGMOD 1996.
+//!
+//! This crate is the algebra itself: [`term::Func`], [`term::Pred`] and
+//! [`term::Query`] are the variable-free combinator terms of Tables 1 and 2;
+//! [`eval`] is their operational semantics over an in-memory object store
+//! ([`db::Db`]); [`typecheck`] infers types; [`parse`] and the `Display`
+//! impls give a concrete syntax close to the paper's notation.
+//!
+//! The rewrite rules, strategies and the hidden-join untangler live in the
+//! `kola-rewrite` crate; the variable-based baseline algebra (AQUA) lives in
+//! `kola-aqua`.
+pub mod bag;
+pub mod builder;
+pub mod db;
+pub mod display;
+pub mod eval;
+pub mod explain;
+pub mod parse;
+pub mod pattern;
+pub mod schema;
+pub mod term;
+pub mod typecheck;
+pub mod types;
+pub mod value;
+
+pub use db::Db;
+pub use eval::{eval_func, eval_pred, eval_query, EvalError};
+pub use schema::Schema;
+pub use term::{Func, Pred, Query};
+pub use types::{FuncType, Type};
+pub use bag::ValueBag;
+pub use value::{Value, ValueSet};

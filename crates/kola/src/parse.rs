@@ -1,0 +1,929 @@
+//! A parser for the concrete KOLA syntax (see [`crate::display`] for the
+//! operator table).
+//!
+//! The parser produces *patterns* ([`PFunc`], [`PPred`], [`PQuery`]) —
+//! metavariables are written `$f` (function), `%p` (predicate) and `^x`
+//! (object). The convenience entry points [`parse_func`], [`parse_pred`]
+//! and [`parse_query`] additionally require the result to be variable-free
+//! and return concrete terms.
+//!
+//! Reserved words: `id pi1 pi2 flat sunion sinter sdiff Kf Cf con iterate
+//! iter join nest unnest eq lt leq gt geq in Kp Cp T F union intersect
+//! diff`. Any other identifier is a schema primitive (in function or
+//! predicate position) or an extent (in query position).
+//!
+//! Round-tripping: `parse_pfunc(t.to_string()) == t` for every function and
+//! predicate. Query literals containing pairs or sets re-parse as
+//! query-level pair/set constructions (`[1, 2]` parses as
+//! `PairQ(Lit 1, Lit 2)`, not `Lit [1,2]`), which is evaluation-equivalent.
+
+use crate::pattern::{PFunc, PPred, PQuery};
+use crate::term::{Func, Pred, Query};
+use crate::value::{Value, ValueSet};
+use std::fmt;
+use std::sync::Arc;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// String literal (without quotes).
+    Str(String),
+    /// `!`
+    Bang,
+    /// `?`
+    Question,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBrack,
+    /// `]`
+    RBrack,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `~`
+    Tilde,
+    /// `@`
+    At,
+    /// `$` (function metavariable sigil)
+    Dollar,
+    /// `%` (predicate metavariable sigil)
+    Percent,
+    /// `^` (object metavariable sigil)
+    Caret,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::Bang => write!(f, "!"),
+            Tok::Question => write!(f, "?"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBrack => write!(f, "["),
+            Tok::RBrack => write!(f, "]"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::Comma => write!(f, ","),
+            Tok::Dot => write!(f, "."),
+            Tok::Star => write!(f, "*"),
+            Tok::Amp => write!(f, "&"),
+            Tok::Pipe => write!(f, "|"),
+            Tok::Tilde => write!(f, "~"),
+            Tok::At => write!(f, "@"),
+            Tok::Dollar => write!(f, "$"),
+            Tok::Percent => write!(f, "%"),
+            Tok::Caret => write!(f, "^"),
+        }
+    }
+}
+
+/// A parse error with a byte offset into the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Description of what went wrong.
+    pub msg: String,
+    /// Approximate token index where it went wrong.
+    pub at: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at token {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Tokenize a source string.
+pub fn lex(src: &str) -> Result<Vec<Tok>, ParseError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '!' => {
+                out.push(Tok::Bang);
+                i += 1;
+            }
+            '?' => {
+                out.push(Tok::Question);
+                i += 1;
+            }
+            '(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            '[' => {
+                out.push(Tok::LBrack);
+                i += 1;
+            }
+            ']' => {
+                out.push(Tok::RBrack);
+                i += 1;
+            }
+            '{' => {
+                out.push(Tok::LBrace);
+                i += 1;
+            }
+            '}' => {
+                out.push(Tok::RBrace);
+                i += 1;
+            }
+            ',' => {
+                out.push(Tok::Comma);
+                i += 1;
+            }
+            '.' => {
+                out.push(Tok::Dot);
+                i += 1;
+            }
+            '*' => {
+                out.push(Tok::Star);
+                i += 1;
+            }
+            '&' => {
+                out.push(Tok::Amp);
+                i += 1;
+            }
+            '|' => {
+                out.push(Tok::Pipe);
+                i += 1;
+            }
+            '~' => {
+                out.push(Tok::Tilde);
+                i += 1;
+            }
+            '@' => {
+                out.push(Tok::At);
+                i += 1;
+            }
+            '$' => {
+                out.push(Tok::Dollar);
+                i += 1;
+            }
+            '%' => {
+                out.push(Tok::Percent);
+                i += 1;
+            }
+            '^' => {
+                out.push(Tok::Caret);
+                i += 1;
+            }
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] as char != '"' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(ParseError {
+                        msg: "unterminated string literal".into(),
+                        at: out.len(),
+                    });
+                }
+                out.push(Tok::Str(src[start..j].to_string()));
+                i = j + 1;
+            }
+            '-' | '0'..='9' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let n = text.parse::<i64>().map_err(|_| ParseError {
+                    msg: format!("bad integer literal {text:?}"),
+                    at: out.len(),
+                })?;
+                out.push(Tok::Int(n));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] as char == '_')
+                {
+                    i += 1;
+                }
+                out.push(Tok::Ident(src[start..i].to_string()));
+            }
+            other => {
+                return Err(ParseError {
+                    msg: format!("unexpected character {other:?}"),
+                    at: out.len(),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+const PRED_KEYWORDS: &[&str] = &["eq", "lt", "leq", "gt", "geq", "in", "Kp", "Cp", "inv"];
+const FUNC_KEYWORDS: &[&str] = &[
+    "id", "pi1", "pi2", "flat", "sunion", "sinter", "sdiff", "Kf", "Cf", "con", "iterate",
+    "iter", "join", "nest", "unnest", "bagify", "dedup", "biterate", "bunion", "bflat",
+];
+const QUERY_KEYWORDS: &[&str] = &["union", "intersect", "diff", "T", "F"];
+
+/// Recursive-descent parser with token-position backtracking.
+pub struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+type PResult<T> = Result<T, ParseError>;
+
+impl Parser {
+    /// Create a parser over a source string.
+    pub fn new(src: &str) -> PResult<Self> {
+        Ok(Parser {
+            toks: lex(src)?,
+            pos: 0,
+        })
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> PResult<T> {
+        Err(ParseError {
+            msg: msg.into(),
+            at: self.pos,
+        })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok) -> PResult<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            let found = self
+                .peek()
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "end of input".into());
+            self.err(format!("expected {t}, found {found}"))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Ident(s)) = self.peek() {
+            if s == kw {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn ident(&mut self) -> PResult<String> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => self.err(format!(
+                "expected identifier, found {}",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "EOF".into())
+            )),
+        }
+    }
+
+    /// True iff all tokens were consumed.
+    pub fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    // ---- functions -----------------------------------------------------
+
+    /// Parse a function pattern (entry point).
+    pub fn pfunc(&mut self) -> PResult<PFunc> {
+        let a = self.pfunc_times()?;
+        if self.eat(&Tok::Dot) {
+            let b = self.pfunc()?;
+            Ok(PFunc::Compose(Box::new(a), Box::new(b)))
+        } else {
+            Ok(a)
+        }
+    }
+
+    fn pfunc_times(&mut self) -> PResult<PFunc> {
+        let mut a = self.pfunc_atom()?;
+        while self.eat(&Tok::Star) {
+            let b = self.pfunc_atom()?;
+            a = PFunc::Times(Box::new(a), Box::new(b));
+        }
+        Ok(a)
+    }
+
+    fn pfunc_atom(&mut self) -> PResult<PFunc> {
+        if self.eat(&Tok::Dollar) {
+            let name = self.ident()?;
+            return Ok(PFunc::Var(Arc::from(name.as_str())));
+        }
+        if self.eat(&Tok::LParen) {
+            let f = self.pfunc()?;
+            if self.eat(&Tok::Comma) {
+                let g = self.pfunc()?;
+                self.expect(&Tok::RParen)?;
+                return Ok(PFunc::PairWith(Box::new(f), Box::new(g)));
+            }
+            self.expect(&Tok::RParen)?;
+            return Ok(f);
+        }
+        let name = self.ident()?;
+        match name.as_str() {
+            "id" => Ok(PFunc::Id),
+            "pi1" => Ok(PFunc::Pi1),
+            "pi2" => Ok(PFunc::Pi2),
+            "flat" => Ok(PFunc::Flat),
+            "sunion" => Ok(PFunc::SetUnion),
+            "bagify" => Ok(PFunc::Bagify),
+            "dedup" => Ok(PFunc::Dedup),
+            "bunion" => Ok(PFunc::BUnion),
+            "bflat" => Ok(PFunc::BFlat),
+            "biterate" => {
+                self.expect(&Tok::LParen)?;
+                let p = self.ppred()?;
+                self.expect(&Tok::Comma)?;
+                let f = self.pfunc()?;
+                self.expect(&Tok::RParen)?;
+                Ok(PFunc::BIterate(Box::new(p), Box::new(f)))
+            }
+            "sinter" => Ok(PFunc::SetIntersect),
+            "sdiff" => Ok(PFunc::SetDiff),
+            "Kf" => {
+                self.expect(&Tok::LParen)?;
+                let q = self.pquery()?;
+                self.expect(&Tok::RParen)?;
+                Ok(PFunc::ConstF(Box::new(q)))
+            }
+            "Cf" => {
+                self.expect(&Tok::LParen)?;
+                let f = self.pfunc()?;
+                self.expect(&Tok::Comma)?;
+                let q = self.pquery()?;
+                self.expect(&Tok::RParen)?;
+                Ok(PFunc::CurryF(Box::new(f), Box::new(q)))
+            }
+            "con" => {
+                self.expect(&Tok::LParen)?;
+                let p = self.ppred()?;
+                self.expect(&Tok::Comma)?;
+                let f = self.pfunc()?;
+                self.expect(&Tok::Comma)?;
+                let g = self.pfunc()?;
+                self.expect(&Tok::RParen)?;
+                Ok(PFunc::Cond(Box::new(p), Box::new(f), Box::new(g)))
+            }
+            "iterate" | "iter" | "join" => {
+                self.expect(&Tok::LParen)?;
+                let p = self.ppred()?;
+                self.expect(&Tok::Comma)?;
+                let f = self.pfunc()?;
+                self.expect(&Tok::RParen)?;
+                Ok(match name.as_str() {
+                    "iterate" => PFunc::Iterate(Box::new(p), Box::new(f)),
+                    "iter" => PFunc::Iter(Box::new(p), Box::new(f)),
+                    _ => PFunc::Join(Box::new(p), Box::new(f)),
+                })
+            }
+            "nest" | "unnest" => {
+                self.expect(&Tok::LParen)?;
+                let f = self.pfunc()?;
+                self.expect(&Tok::Comma)?;
+                let g = self.pfunc()?;
+                self.expect(&Tok::RParen)?;
+                Ok(if name == "nest" {
+                    PFunc::Nest(Box::new(f), Box::new(g))
+                } else {
+                    PFunc::Unnest(Box::new(f), Box::new(g))
+                })
+            }
+            kw if PRED_KEYWORDS.contains(&kw) || QUERY_KEYWORDS.contains(&kw) => {
+                self.err(format!("{kw} is not a function"))
+            }
+            prim => Ok(PFunc::Prim(Arc::from(prim))),
+        }
+    }
+
+    // ---- predicates ------------------------------------------------------
+
+    /// Parse a predicate pattern (entry point). `|` and `&` associate to
+    /// the right (matching the printer; both are associative anyway).
+    pub fn ppred(&mut self) -> PResult<PPred> {
+        let a = self.ppred_and()?;
+        if self.eat(&Tok::Pipe) {
+            let b = self.ppred()?;
+            return Ok(PPred::Or(Box::new(a), Box::new(b)));
+        }
+        Ok(a)
+    }
+
+    fn ppred_and(&mut self) -> PResult<PPred> {
+        let a = self.ppred_oplus()?;
+        if self.eat(&Tok::Amp) {
+            let b = self.ppred_and()?;
+            return Ok(PPred::And(Box::new(a), Box::new(b)));
+        }
+        Ok(a)
+    }
+
+    fn ppred_oplus(&mut self) -> PResult<PPred> {
+        let mut a = self.ppred_unary()?;
+        while self.eat(&Tok::At) {
+            let f = self.pfunc_times()?;
+            a = PPred::Oplus(Box::new(a), Box::new(f));
+        }
+        Ok(a)
+    }
+
+    fn ppred_unary(&mut self) -> PResult<PPred> {
+        if self.eat(&Tok::Tilde) {
+            let p = self.ppred_unary()?;
+            return Ok(PPred::Not(Box::new(p)));
+        }
+        self.ppred_atom()
+    }
+
+    fn ppred_atom(&mut self) -> PResult<PPred> {
+        if self.eat(&Tok::Percent) {
+            let name = self.ident()?;
+            return Ok(PPred::Var(Arc::from(name.as_str())));
+        }
+        if self.eat(&Tok::LParen) {
+            let p = self.ppred()?;
+            self.expect(&Tok::RParen)?;
+            return Ok(p);
+        }
+        let name = self.ident()?;
+        match name.as_str() {
+            "eq" => Ok(PPred::Eq),
+            "lt" => Ok(PPred::Lt),
+            "leq" => Ok(PPred::Leq),
+            "gt" => Ok(PPred::Gt),
+            "geq" => Ok(PPred::Geq),
+            "in" => Ok(PPred::In),
+            "Kp" => {
+                self.expect(&Tok::LParen)?;
+                let b = match self.next() {
+                    Some(Tok::Ident(s)) if s == "T" => true,
+                    Some(Tok::Ident(s)) if s == "F" => false,
+                    other => {
+                        return self.err(format!(
+                            "Kp expects T or F, found {}",
+                            other.map(|t| t.to_string()).unwrap_or_else(|| "EOF".into())
+                        ))
+                    }
+                };
+                self.expect(&Tok::RParen)?;
+                Ok(PPred::ConstP(b))
+            }
+            "Cp" => {
+                self.expect(&Tok::LParen)?;
+                let p = self.ppred()?;
+                self.expect(&Tok::Comma)?;
+                let q = self.pquery()?;
+                self.expect(&Tok::RParen)?;
+                Ok(PPred::CurryP(Box::new(p), Box::new(q)))
+            }
+            "inv" => {
+                self.expect(&Tok::LParen)?;
+                let p = self.ppred()?;
+                self.expect(&Tok::RParen)?;
+                Ok(PPred::Conv(Box::new(p)))
+            }
+            kw if FUNC_KEYWORDS.contains(&kw) || QUERY_KEYWORDS.contains(&kw) => {
+                self.err(format!("{kw} is not a predicate"))
+            }
+            prim => Ok(PPred::PrimP(Arc::from(prim))),
+        }
+    }
+
+    // ---- queries -----------------------------------------------------------
+
+    /// Parse a query pattern (entry point).
+    pub fn pquery(&mut self) -> PResult<PQuery> {
+        let mut a = self.pquery_app()?;
+        loop {
+            if self.eat_kw("union") {
+                let b = self.pquery_app()?;
+                a = PQuery::Union(Box::new(a), Box::new(b));
+            } else if self.eat_kw("intersect") {
+                let b = self.pquery_app()?;
+                a = PQuery::Intersect(Box::new(a), Box::new(b));
+            } else if self.eat_kw("diff") {
+                let b = self.pquery_app()?;
+                a = PQuery::Diff(Box::new(a), Box::new(b));
+            } else {
+                return Ok(a);
+            }
+        }
+    }
+
+    fn pquery_app(&mut self) -> PResult<PQuery> {
+        // Try `func ! query` first.
+        let save = self.pos;
+        if let Ok(f) = self.pfunc() {
+            if self.eat(&Tok::Bang) {
+                let q = self.pquery_app()?;
+                return Ok(PQuery::App(f, Box::new(q)));
+            }
+        }
+        self.pos = save;
+        // Then `pred ? query`.
+        if let Ok(p) = self.ppred() {
+            if self.eat(&Tok::Question) {
+                let q = self.pquery_app()?;
+                return Ok(PQuery::Test(p, Box::new(q)));
+            }
+        }
+        self.pos = save;
+        self.pquery_atom()
+    }
+
+    fn pquery_atom(&mut self) -> PResult<PQuery> {
+        if self.eat(&Tok::Caret) {
+            let name = self.ident()?;
+            return Ok(PQuery::Var(Arc::from(name.as_str())));
+        }
+        match self.peek().cloned() {
+            Some(Tok::Int(n)) => {
+                self.pos += 1;
+                Ok(PQuery::Lit(Value::Int(n)))
+            }
+            Some(Tok::Str(s)) => {
+                self.pos += 1;
+                Ok(PQuery::Lit(Value::str(&s)))
+            }
+            Some(Tok::LBrack) => {
+                self.pos += 1;
+                let a = self.pquery()?;
+                self.expect(&Tok::Comma)?;
+                let b = self.pquery()?;
+                self.expect(&Tok::RBrack)?;
+                // Canonicalize literal pairs so printing round-trips: the
+                // display of Lit([x, y]) is "[x, y]".
+                if let (PQuery::Lit(x), PQuery::Lit(y)) = (&a, &b) {
+                    return Ok(PQuery::Lit(Value::pair(x.clone(), y.clone())));
+                }
+                Ok(PQuery::PairQ(Box::new(a), Box::new(b)))
+            }
+            Some(Tok::LBrace) => {
+                self.pos += 1;
+                let mut set = ValueSet::new();
+                if !self.eat(&Tok::RBrace) {
+                    loop {
+                        set.insert(self.value()?);
+                        if self.eat(&Tok::RBrace) {
+                            break;
+                        }
+                        self.expect(&Tok::Comma)?;
+                    }
+                }
+                Ok(PQuery::Lit(Value::Set(set)))
+            }
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                if self.eat(&Tok::RParen) {
+                    return Ok(PQuery::Lit(Value::Unit));
+                }
+                let q = self.pquery()?;
+                self.expect(&Tok::RParen)?;
+                Ok(q)
+            }
+            Some(Tok::Ident(s)) if s == "T" => {
+                self.pos += 1;
+                Ok(PQuery::Lit(Value::Bool(true)))
+            }
+            Some(Tok::Ident(s)) if s == "F" => {
+                self.pos += 1;
+                Ok(PQuery::Lit(Value::Bool(false)))
+            }
+            Some(Tok::Ident(s))
+                if !FUNC_KEYWORDS.contains(&s.as_str())
+                    && !PRED_KEYWORDS.contains(&s.as_str())
+                    && !QUERY_KEYWORDS.contains(&s.as_str()) =>
+            {
+                self.pos += 1;
+                Ok(PQuery::Extent(Arc::from(s.as_str())))
+            }
+            other => self.err(format!(
+                "expected query, found {}",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "EOF".into())
+            )),
+        }
+    }
+
+    /// Parse a *value* literal (inside set braces).
+    fn value(&mut self) -> PResult<Value> {
+        match self.next() {
+            Some(Tok::Int(n)) => Ok(Value::Int(n)),
+            Some(Tok::Str(s)) => Ok(Value::str(&s)),
+            Some(Tok::Ident(s)) if s == "T" => Ok(Value::Bool(true)),
+            Some(Tok::Ident(s)) if s == "F" => Ok(Value::Bool(false)),
+            Some(Tok::LBrack) => {
+                let a = self.value()?;
+                self.expect(&Tok::Comma)?;
+                let b = self.value()?;
+                self.expect(&Tok::RBrack)?;
+                Ok(Value::pair(a, b))
+            }
+            Some(Tok::LBrace) => {
+                let mut set = ValueSet::new();
+                if !self.eat(&Tok::RBrace) {
+                    loop {
+                        set.insert(self.value()?);
+                        if self.eat(&Tok::RBrace) {
+                            break;
+                        }
+                        self.expect(&Tok::Comma)?;
+                    }
+                }
+                Ok(Value::Set(set))
+            }
+            Some(Tok::LParen) => {
+                self.expect(&Tok::RParen)?;
+                Ok(Value::Unit)
+            }
+            other => self.err(format!(
+                "expected value literal, found {}",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "EOF".into())
+            )),
+        }
+    }
+}
+
+fn parse_complete<T>(
+    src: &str,
+    f: impl FnOnce(&mut Parser) -> PResult<T>,
+) -> PResult<T> {
+    let mut p = Parser::new(src)?;
+    let t = f(&mut p)?;
+    if !p.at_end() {
+        return p.err("trailing input");
+    }
+    Ok(t)
+}
+
+/// Parse a function pattern (may contain metavariables).
+pub fn parse_pfunc(src: &str) -> PResult<PFunc> {
+    parse_complete(src, Parser::pfunc)
+}
+
+/// Parse a predicate pattern (may contain metavariables).
+pub fn parse_ppred(src: &str) -> PResult<PPred> {
+    parse_complete(src, Parser::ppred)
+}
+
+/// Parse a query pattern (may contain metavariables).
+pub fn parse_pquery(src: &str) -> PResult<PQuery> {
+    parse_complete(src, Parser::pquery)
+}
+
+fn no_vars() -> ParseError {
+    ParseError {
+        msg: "metavariables not allowed in a concrete term".into(),
+        at: 0,
+    }
+}
+
+/// Parse a concrete (variable-free) function.
+///
+/// ```
+/// use kola::parse::parse_func;
+/// // Composition is `.`, pairing is `(f, g)`, product is `*`.
+/// let f = parse_func("nest(pi1, pi2) . unnest(pi1, pi2) * id").unwrap();
+/// assert_eq!(parse_func(&f.to_string()).unwrap(), f);
+/// ```
+pub fn parse_func(src: &str) -> PResult<Func> {
+    let p = parse_pfunc(src)?;
+    p.to_concrete().ok_or_else(no_vars)
+}
+
+/// Parse a concrete (variable-free) predicate.
+pub fn parse_pred(src: &str) -> PResult<Pred> {
+    let p = parse_ppred(src)?;
+    p.to_concrete().ok_or_else(no_vars)
+}
+
+/// Parse a concrete (variable-free) query.
+///
+/// ```
+/// use kola::parse::parse_query;
+/// let q = parse_query("iterate(gt @ (age, Kf(25)), age) ! P").unwrap();
+/// assert_eq!(q.to_string(), "iterate(gt @ (age, Kf(25)), age) ! P");
+/// assert!(parse_query("not a query ! (").is_err());
+/// ```
+pub fn parse_query(src: &str) -> PResult<Query> {
+    let p = parse_pquery(src)?;
+    p.to_concrete().ok_or_else(no_vars)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+
+    #[test]
+    fn parse_simple_funcs() {
+        assert_eq!(parse_func("id").unwrap(), id());
+        assert_eq!(parse_func("pi1 . pi2").unwrap(), o(pi1(), pi2()));
+        assert_eq!(
+            parse_func("a . b . c").unwrap(),
+            o(prim("a"), o(prim("b"), prim("c")))
+        );
+        assert_eq!(
+            parse_func("(a . b) . c").unwrap(),
+            o(o(prim("a"), prim("b")), prim("c"))
+        );
+    }
+
+    #[test]
+    fn parse_formers() {
+        assert_eq!(parse_func("Kf(25)").unwrap(), kf(25));
+        assert_eq!(parse_func("Kf(P)").unwrap(), kf(ext("P")));
+        assert_eq!(
+            parse_func("(id, Kf(P))").unwrap(),
+            pairf(id(), kf(ext("P")))
+        );
+        assert_eq!(
+            parse_func("iterate(Kp(T), city . addr)").unwrap(),
+            iterate(kp(true), o(prim("city"), prim("addr")))
+        );
+        assert_eq!(
+            parse_func("con(gt, pi1, pi2)").unwrap(),
+            con(gt(), pi1(), pi2())
+        );
+        assert_eq!(parse_func("Cf(pi1, 3)").unwrap(), cf(pi1(), 3));
+    }
+
+    #[test]
+    fn parse_preds() {
+        assert_eq!(parse_pred("gt").unwrap(), gt());
+        assert_eq!(parse_pred("~gt").unwrap(), not(gt()));
+        assert_eq!(
+            parse_pred("gt @ (age, Kf(25))").unwrap(),
+            oplus(gt(), pairf(prim("age"), kf(25)))
+        );
+        assert_eq!(
+            parse_pred("Kp(T) & Kp(F)").unwrap(),
+            and(kp(true), kp(false))
+        );
+        assert_eq!(
+            parse_pred("Cp(leq, 25) @ age").unwrap(),
+            oplus(cp(leq(), 25), prim("age"))
+        );
+        assert_eq!(parse_pred("eq | in").unwrap(), or(eq(), isin()));
+    }
+
+    #[test]
+    fn precedence_not_tighter_than_oplus() {
+        assert_eq!(
+            parse_pred("~leq @ pi1").unwrap(),
+            oplus(not(leq()), pi1())
+        );
+        assert_eq!(
+            parse_pred("~(leq @ pi1)").unwrap(),
+            not(oplus(leq(), pi1()))
+        );
+    }
+
+    #[test]
+    fn parse_queries() {
+        assert_eq!(parse_query("P").unwrap(), ext("P"));
+        assert_eq!(
+            parse_query("iterate(Kp(T), age) ! P").unwrap(),
+            app(iterate(kp(true), prim("age")), ext("P"))
+        );
+        assert_eq!(parse_query("[V, P]").unwrap(), pairq(ext("V"), ext("P")));
+        assert_eq!(
+            parse_query("A union B intersect C").unwrap(),
+            intersect(union(ext("A"), ext("B")), ext("C"))
+        );
+        assert_eq!(
+            parse_query("gt ? [3, 2]").unwrap(),
+            // Literal pairs canonicalize to a single literal.
+            test(gt(), lit(Value::pair(Value::Int(3), Value::Int(2))))
+        );
+        assert_eq!(
+            parse_query("{1, 2, 3}").unwrap(),
+            lit(Value::set([Value::Int(1), Value::Int(2), Value::Int(3)]))
+        );
+        assert_eq!(parse_query("()").unwrap(), lit(Value::Unit));
+    }
+
+    #[test]
+    fn parse_patterns() {
+        use crate::pattern::*;
+        use std::sync::Arc;
+        assert_eq!(
+            parse_pfunc("$f . $g").unwrap(),
+            PFunc::Compose(
+                Box::new(PFunc::Var(Arc::from("f"))),
+                Box::new(PFunc::Var(Arc::from("g")))
+            )
+        );
+        assert_eq!(
+            parse_ppred("%p @ $f").unwrap(),
+            PPred::Oplus(
+                Box::new(PPred::Var(Arc::from("p"))),
+                Box::new(PFunc::Var(Arc::from("f")))
+            )
+        );
+        assert_eq!(
+            parse_pquery("Kf(^B) ! ^A").unwrap(),
+            PQuery::App(
+                PFunc::ConstF(Box::new(PQuery::Var(Arc::from("B")))),
+                Box::new(PQuery::Var(Arc::from("A")))
+            )
+        );
+    }
+
+    #[test]
+    fn concrete_rejects_vars() {
+        assert!(parse_func("$f").is_err());
+        assert!(parse_pred("%p").is_err());
+        assert!(parse_query("^x").is_err());
+    }
+
+    #[test]
+    fn garage_query_kg2_parses() {
+        let src = "nest(pi1, pi2) . unnest(pi1, pi2) * id . \
+                   (join(in @ id * cars, id * grgs), pi1) ! [V, P]";
+        let q = parse_query(src).unwrap();
+        assert_eq!(q.to_string(), src);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_func("iterate(Kp(T)").is_err());
+        assert!(parse_func("union").is_err()); // query keyword in func position
+        assert!(parse_pred("id").is_err()); // func keyword in pred position
+        assert!(parse_query("P union").is_err());
+        assert!(parse_query(r#""unterminated"#).is_err());
+        assert!(parse_func("f . . g").is_err());
+        assert!(parse_query("P trailing").is_err());
+    }
+
+    #[test]
+    fn print_parse_round_trip_spot_checks() {
+        for src in [
+            "iterate(Kp(T), (id, flat . iter(Kp(T), grgs . pi2) . (id, Kf(P)))) ! V",
+            "con(Cp(leq, 25) @ age, child, Kf({}))",
+            "gt @ (age . pi1, Kf(25))",
+            "nest(pi1, pi2) . (join(Kp(T), id), pi1) ! [A, B]",
+        ] {
+            let q1 = Parser::new(src).unwrap();
+            drop(q1);
+            // Try each entry point; at least one must succeed and round-trip.
+            if let Ok(f) = parse_func(src) {
+                assert_eq!(parse_func(&f.to_string()).unwrap(), f);
+            } else if let Ok(p) = parse_pred(src) {
+                assert_eq!(parse_pred(&p.to_string()).unwrap(), p);
+            } else {
+                let q = parse_query(src).unwrap();
+                assert_eq!(parse_query(&q.to_string()).unwrap(), q);
+            }
+        }
+    }
+}

@@ -1,0 +1,488 @@
+//! Pattern terms: KOLA terms with typed metavariables.
+//!
+//! A rewrite rule's head and body are *patterns* — terms of the algebra in
+//! which metavariables stand for arbitrary functions (`$f`), predicates
+//! (`%p`) or objects (`^x`). The paper's rules are written exactly this way
+//! (its `f, g, h, j / p, q / x, y, A, B` convention); we make the variable
+//! kind explicit with a sigil so the concrete syntax is unambiguous.
+//!
+//! Patterns mirror [`Func`]/[`Pred`]/[`Query`] constructor-for-constructor.
+//! A pattern with no variables converts losslessly to a concrete term
+//! ([`PFunc::to_concrete`] etc.), and every concrete term embeds into a
+//! pattern ([`PFunc::from_concrete`]). Matching and rule application live in
+//! the `kola-rewrite` crate.
+
+use crate::term::{Func, Pred, Query};
+use crate::value::{Sym, Value};
+
+/// The kind of a metavariable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum VarKind {
+    /// A function variable, written `$f`.
+    Func,
+    /// A predicate variable, written `%p`.
+    Pred,
+    /// An object (query) variable, written `^x`.
+    Obj,
+}
+
+/// A function pattern.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PFunc {
+    /// A function metavariable `$name`.
+    Var(Sym),
+    /// See [`Func::Id`].
+    Id,
+    /// See [`Func::Pi1`].
+    Pi1,
+    /// See [`Func::Pi2`].
+    Pi2,
+    /// See [`Func::Prim`].
+    Prim(Sym),
+    /// See [`Func::Compose`].
+    Compose(Box<PFunc>, Box<PFunc>),
+    /// See [`Func::PairWith`].
+    PairWith(Box<PFunc>, Box<PFunc>),
+    /// See [`Func::Times`].
+    Times(Box<PFunc>, Box<PFunc>),
+    /// See [`Func::ConstF`].
+    ConstF(Box<PQuery>),
+    /// See [`Func::CurryF`].
+    CurryF(Box<PFunc>, Box<PQuery>),
+    /// See [`Func::Cond`].
+    Cond(Box<PPred>, Box<PFunc>, Box<PFunc>),
+    /// See [`Func::Flat`].
+    Flat,
+    /// See [`Func::Iterate`].
+    Iterate(Box<PPred>, Box<PFunc>),
+    /// See [`Func::Iter`].
+    Iter(Box<PPred>, Box<PFunc>),
+    /// See [`Func::Join`].
+    Join(Box<PPred>, Box<PFunc>),
+    /// See [`Func::Nest`].
+    Nest(Box<PFunc>, Box<PFunc>),
+    /// See [`Func::Unnest`].
+    Unnest(Box<PFunc>, Box<PFunc>),
+    /// See [`Func::Bagify`].
+    Bagify,
+    /// See [`Func::Dedup`].
+    Dedup,
+    /// See [`Func::BIterate`].
+    BIterate(Box<PPred>, Box<PFunc>),
+    /// See [`Func::BUnion`].
+    BUnion,
+    /// See [`Func::BFlat`].
+    BFlat,
+    /// See [`Func::SetUnion`].
+    SetUnion,
+    /// See [`Func::SetIntersect`].
+    SetIntersect,
+    /// See [`Func::SetDiff`].
+    SetDiff,
+}
+
+/// A predicate pattern.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PPred {
+    /// A predicate metavariable `%name`.
+    Var(Sym),
+    /// See [`Pred::Eq`].
+    Eq,
+    /// See [`Pred::Lt`].
+    Lt,
+    /// See [`Pred::Leq`].
+    Leq,
+    /// See [`Pred::Gt`].
+    Gt,
+    /// See [`Pred::Geq`].
+    Geq,
+    /// See [`Pred::In`].
+    In,
+    /// See [`Pred::PrimP`].
+    PrimP(Sym),
+    /// See [`Pred::Oplus`].
+    Oplus(Box<PPred>, Box<PFunc>),
+    /// See [`Pred::And`].
+    And(Box<PPred>, Box<PPred>),
+    /// See [`Pred::Or`].
+    Or(Box<PPred>, Box<PPred>),
+    /// See [`Pred::Not`].
+    Not(Box<PPred>),
+    /// See [`Pred::Conv`].
+    Conv(Box<PPred>),
+    /// See [`Pred::ConstP`].
+    ConstP(bool),
+    /// See [`Pred::CurryP`].
+    CurryP(Box<PPred>, Box<PQuery>),
+}
+
+/// A query (object-level) pattern.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PQuery {
+    /// An object metavariable `^name`.
+    Var(Sym),
+    /// See [`Query::Lit`].
+    Lit(Value),
+    /// See [`Query::Extent`].
+    Extent(Sym),
+    /// See [`Query::PairQ`].
+    PairQ(Box<PQuery>, Box<PQuery>),
+    /// See [`Query::App`].
+    App(PFunc, Box<PQuery>),
+    /// See [`Query::Test`].
+    Test(PPred, Box<PQuery>),
+    /// See [`Query::Union`].
+    Union(Box<PQuery>, Box<PQuery>),
+    /// See [`Query::Intersect`].
+    Intersect(Box<PQuery>, Box<PQuery>),
+    /// See [`Query::Diff`].
+    Diff(Box<PQuery>, Box<PQuery>),
+}
+
+macro_rules! map2 {
+    ($ctor:path, $a:expr, $b:expr) => {
+        $ctor(Box::new($a), Box::new($b))
+    };
+}
+
+impl PFunc {
+    /// Embed a concrete function as a (variable-free) pattern.
+    pub fn from_concrete(f: &Func) -> PFunc {
+        match f {
+            Func::Id => PFunc::Id,
+            Func::Pi1 => PFunc::Pi1,
+            Func::Pi2 => PFunc::Pi2,
+            Func::Prim(s) => PFunc::Prim(s.clone()),
+            Func::Compose(a, b) => map2!(
+                PFunc::Compose,
+                Self::from_concrete(a),
+                Self::from_concrete(b)
+            ),
+            Func::PairWith(a, b) => map2!(
+                PFunc::PairWith,
+                Self::from_concrete(a),
+                Self::from_concrete(b)
+            ),
+            Func::Times(a, b) => map2!(
+                PFunc::Times,
+                Self::from_concrete(a),
+                Self::from_concrete(b)
+            ),
+            Func::ConstF(q) => PFunc::ConstF(Box::new(PQuery::from_concrete(q))),
+            Func::CurryF(f, q) => PFunc::CurryF(
+                Box::new(Self::from_concrete(f)),
+                Box::new(PQuery::from_concrete(q)),
+            ),
+            Func::Cond(p, f, g) => PFunc::Cond(
+                Box::new(PPred::from_concrete(p)),
+                Box::new(Self::from_concrete(f)),
+                Box::new(Self::from_concrete(g)),
+            ),
+            Func::Flat => PFunc::Flat,
+            Func::Iterate(p, f) => map2!(
+                PFunc::Iterate,
+                PPred::from_concrete(p),
+                Self::from_concrete(f)
+            ),
+            Func::Iter(p, f) => {
+                map2!(PFunc::Iter, PPred::from_concrete(p), Self::from_concrete(f))
+            }
+            Func::Join(p, f) => {
+                map2!(PFunc::Join, PPred::from_concrete(p), Self::from_concrete(f))
+            }
+            Func::Nest(f, g) => {
+                map2!(PFunc::Nest, Self::from_concrete(f), Self::from_concrete(g))
+            }
+            Func::Unnest(f, g) => map2!(
+                PFunc::Unnest,
+                Self::from_concrete(f),
+                Self::from_concrete(g)
+            ),
+            Func::Bagify => PFunc::Bagify,
+            Func::Dedup => PFunc::Dedup,
+            Func::BUnion => PFunc::BUnion,
+            Func::BFlat => PFunc::BFlat,
+            Func::BIterate(p, f) => map2!(
+                PFunc::BIterate,
+                PPred::from_concrete(p),
+                Self::from_concrete(f)
+            ),
+            Func::SetUnion => PFunc::SetUnion,
+            Func::SetIntersect => PFunc::SetIntersect,
+            Func::SetDiff => PFunc::SetDiff,
+        }
+    }
+
+    /// Convert to a concrete function; `None` if any metavariable occurs.
+    pub fn to_concrete(&self) -> Option<Func> {
+        Some(match self {
+            PFunc::Var(_) => return None,
+            PFunc::Id => Func::Id,
+            PFunc::Pi1 => Func::Pi1,
+            PFunc::Pi2 => Func::Pi2,
+            PFunc::Prim(s) => Func::Prim(s.clone()),
+            PFunc::Compose(a, b) => {
+                map2!(Func::Compose, a.to_concrete()?, b.to_concrete()?)
+            }
+            PFunc::PairWith(a, b) => {
+                map2!(Func::PairWith, a.to_concrete()?, b.to_concrete()?)
+            }
+            PFunc::Times(a, b) => map2!(Func::Times, a.to_concrete()?, b.to_concrete()?),
+            PFunc::ConstF(q) => Func::ConstF(Box::new(q.to_concrete()?)),
+            PFunc::CurryF(f, q) => {
+                Func::CurryF(Box::new(f.to_concrete()?), Box::new(q.to_concrete()?))
+            }
+            PFunc::Cond(p, f, g) => Func::Cond(
+                Box::new(p.to_concrete()?),
+                Box::new(f.to_concrete()?),
+                Box::new(g.to_concrete()?),
+            ),
+            PFunc::Flat => Func::Flat,
+            PFunc::Iterate(p, f) => map2!(Func::Iterate, p.to_concrete()?, f.to_concrete()?),
+            PFunc::Iter(p, f) => map2!(Func::Iter, p.to_concrete()?, f.to_concrete()?),
+            PFunc::Join(p, f) => map2!(Func::Join, p.to_concrete()?, f.to_concrete()?),
+            PFunc::Nest(f, g) => map2!(Func::Nest, f.to_concrete()?, g.to_concrete()?),
+            PFunc::Unnest(f, g) => map2!(Func::Unnest, f.to_concrete()?, g.to_concrete()?),
+            PFunc::Bagify => Func::Bagify,
+            PFunc::Dedup => Func::Dedup,
+            PFunc::BUnion => Func::BUnion,
+            PFunc::BFlat => Func::BFlat,
+            PFunc::BIterate(p, f) => map2!(Func::BIterate, p.to_concrete()?, f.to_concrete()?),
+            PFunc::SetUnion => Func::SetUnion,
+            PFunc::SetIntersect => Func::SetIntersect,
+            PFunc::SetDiff => Func::SetDiff,
+        })
+    }
+
+    /// Collect the metavariables occurring in this pattern into `out`.
+    pub fn vars(&self, out: &mut Vec<(VarKind, Sym)>) {
+        match self {
+            PFunc::Var(v) => out.push((VarKind::Func, v.clone())),
+            PFunc::Compose(a, b) | PFunc::PairWith(a, b) | PFunc::Times(a, b) => {
+                a.vars(out);
+                b.vars(out);
+            }
+            PFunc::ConstF(q) => q.vars(out),
+            PFunc::CurryF(f, q) => {
+                f.vars(out);
+                q.vars(out);
+            }
+            PFunc::Cond(p, f, g) => {
+                p.vars(out);
+                f.vars(out);
+                g.vars(out);
+            }
+            PFunc::Iterate(p, f)
+            | PFunc::Iter(p, f)
+            | PFunc::Join(p, f)
+            | PFunc::BIterate(p, f) => {
+                p.vars(out);
+                f.vars(out);
+            }
+            PFunc::Nest(f, g) | PFunc::Unnest(f, g) => {
+                f.vars(out);
+                g.vars(out);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl PPred {
+    /// Embed a concrete predicate as a pattern.
+    pub fn from_concrete(p: &Pred) -> PPred {
+        match p {
+            Pred::Eq => PPred::Eq,
+            Pred::Lt => PPred::Lt,
+            Pred::Leq => PPred::Leq,
+            Pred::Gt => PPred::Gt,
+            Pred::Geq => PPred::Geq,
+            Pred::In => PPred::In,
+            Pred::PrimP(s) => PPred::PrimP(s.clone()),
+            Pred::Oplus(p, f) => map2!(
+                PPred::Oplus,
+                Self::from_concrete(p),
+                PFunc::from_concrete(f)
+            ),
+            Pred::And(p, q) => {
+                map2!(PPred::And, Self::from_concrete(p), Self::from_concrete(q))
+            }
+            Pred::Or(p, q) => map2!(PPred::Or, Self::from_concrete(p), Self::from_concrete(q)),
+            Pred::Not(p) => PPred::Not(Box::new(Self::from_concrete(p))),
+            Pred::Conv(p) => PPred::Conv(Box::new(Self::from_concrete(p))),
+            Pred::ConstP(b) => PPred::ConstP(*b),
+            Pred::CurryP(p, q) => PPred::CurryP(
+                Box::new(Self::from_concrete(p)),
+                Box::new(PQuery::from_concrete(q)),
+            ),
+        }
+    }
+
+    /// Convert to a concrete predicate; `None` if any metavariable occurs.
+    pub fn to_concrete(&self) -> Option<Pred> {
+        Some(match self {
+            PPred::Var(_) => return None,
+            PPred::Eq => Pred::Eq,
+            PPred::Lt => Pred::Lt,
+            PPred::Leq => Pred::Leq,
+            PPred::Gt => Pred::Gt,
+            PPred::Geq => Pred::Geq,
+            PPred::In => Pred::In,
+            PPred::PrimP(s) => Pred::PrimP(s.clone()),
+            PPred::Oplus(p, f) => map2!(Pred::Oplus, p.to_concrete()?, f.to_concrete()?),
+            PPred::And(p, q) => map2!(Pred::And, p.to_concrete()?, q.to_concrete()?),
+            PPred::Or(p, q) => map2!(Pred::Or, p.to_concrete()?, q.to_concrete()?),
+            PPred::Not(p) => Pred::Not(Box::new(p.to_concrete()?)),
+            PPred::Conv(p) => Pred::Conv(Box::new(p.to_concrete()?)),
+            PPred::ConstP(b) => Pred::ConstP(*b),
+            PPred::CurryP(p, q) => {
+                Pred::CurryP(Box::new(p.to_concrete()?), Box::new(q.to_concrete()?))
+            }
+        })
+    }
+
+    /// Collect the metavariables occurring in this pattern into `out`.
+    pub fn vars(&self, out: &mut Vec<(VarKind, Sym)>) {
+        match self {
+            PPred::Var(v) => out.push((VarKind::Pred, v.clone())),
+            PPred::Oplus(p, f) => {
+                p.vars(out);
+                f.vars(out);
+            }
+            PPred::And(p, q) | PPred::Or(p, q) => {
+                p.vars(out);
+                q.vars(out);
+            }
+            PPred::Not(p) | PPred::Conv(p) => p.vars(out),
+            PPred::CurryP(p, q) => {
+                p.vars(out);
+                q.vars(out);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl PQuery {
+    /// Embed a concrete query as a pattern.
+    pub fn from_concrete(q: &Query) -> PQuery {
+        match q {
+            Query::Lit(v) => PQuery::Lit(v.clone()),
+            Query::Extent(s) => PQuery::Extent(s.clone()),
+            Query::PairQ(a, b) => map2!(
+                PQuery::PairQ,
+                Self::from_concrete(a),
+                Self::from_concrete(b)
+            ),
+            Query::App(f, q) => PQuery::App(PFunc::from_concrete(f), Box::new(Self::from_concrete(q))),
+            Query::Test(p, q) => {
+                PQuery::Test(PPred::from_concrete(p), Box::new(Self::from_concrete(q)))
+            }
+            Query::Union(a, b) => map2!(
+                PQuery::Union,
+                Self::from_concrete(a),
+                Self::from_concrete(b)
+            ),
+            Query::Intersect(a, b) => map2!(
+                PQuery::Intersect,
+                Self::from_concrete(a),
+                Self::from_concrete(b)
+            ),
+            Query::Diff(a, b) => map2!(
+                PQuery::Diff,
+                Self::from_concrete(a),
+                Self::from_concrete(b)
+            ),
+        }
+    }
+
+    /// Convert to a concrete query; `None` if any metavariable occurs.
+    pub fn to_concrete(&self) -> Option<Query> {
+        Some(match self {
+            PQuery::Var(_) => return None,
+            PQuery::Lit(v) => Query::Lit(v.clone()),
+            PQuery::Extent(s) => Query::Extent(s.clone()),
+            PQuery::PairQ(a, b) => map2!(Query::PairQ, a.to_concrete()?, b.to_concrete()?),
+            PQuery::App(f, q) => Query::App(f.to_concrete()?, Box::new(q.to_concrete()?)),
+            PQuery::Test(p, q) => Query::Test(p.to_concrete()?, Box::new(q.to_concrete()?)),
+            PQuery::Union(a, b) => map2!(Query::Union, a.to_concrete()?, b.to_concrete()?),
+            PQuery::Intersect(a, b) => {
+                map2!(Query::Intersect, a.to_concrete()?, b.to_concrete()?)
+            }
+            PQuery::Diff(a, b) => map2!(Query::Diff, a.to_concrete()?, b.to_concrete()?),
+        })
+    }
+
+    /// Collect the metavariables occurring in this pattern into `out`.
+    pub fn vars(&self, out: &mut Vec<(VarKind, Sym)>) {
+        match self {
+            PQuery::Var(v) => out.push((VarKind::Obj, v.clone())),
+            PQuery::PairQ(a, b)
+            | PQuery::Union(a, b)
+            | PQuery::Intersect(a, b)
+            | PQuery::Diff(a, b) => {
+                a.vars(out);
+                b.vars(out);
+            }
+            PQuery::App(f, q) => {
+                f.vars(out);
+                q.vars(out);
+            }
+            PQuery::Test(p, q) => {
+                p.vars(out);
+                q.vars(out);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn round_trip_concrete() {
+        let f = iterate(kp(true), o(prim("city"), prim("addr")));
+        let p = PFunc::from_concrete(&f);
+        assert_eq!(p.to_concrete().unwrap(), f);
+    }
+
+    #[test]
+    fn vars_block_concretization() {
+        let p = PFunc::Compose(
+            Box::new(PFunc::Var(Arc::from("f"))),
+            Box::new(PFunc::Id),
+        );
+        assert!(p.to_concrete().is_none());
+        let mut vs = vec![];
+        p.vars(&mut vs);
+        assert_eq!(vs, vec![(VarKind::Func, Arc::from("f"))]);
+    }
+
+    #[test]
+    fn vars_collects_across_kinds() {
+        let p = PFunc::Iterate(
+            Box::new(PPred::Var(Arc::from("p"))),
+            Box::new(PFunc::ConstF(Box::new(PQuery::Var(Arc::from("b"))))),
+        );
+        let mut vs = vec![];
+        p.vars(&mut vs);
+        assert_eq!(
+            vs,
+            vec![
+                (VarKind::Pred, Arc::from("p")),
+                (VarKind::Obj, Arc::from("b"))
+            ]
+        );
+    }
+
+    #[test]
+    fn query_round_trip() {
+        let q = app(iterate(kp(true), id()), ext("P"));
+        let p = PQuery::from_concrete(&q);
+        assert_eq!(p.to_concrete().unwrap(), q);
+    }
+}

@@ -1,0 +1,207 @@
+//! Schemas: the abstract data types (ADTs) that schema primitives come from.
+//!
+//! §2.1 of the paper assumes a schema with `Person` (attributes `addr`,
+//! `age`, `child`, `cars`, `grgs`), `Address` (`city`) and `Vehicle`. KOLA
+//! imports every attribute of every class as a primitive function (and every
+//! boolean attribute as a primitive predicate).
+//!
+//! Attribute names are required to be unique *across* the schema so that a
+//! primitive can be named without qualifying its class — this matches how the
+//! paper writes `age`, `addr`, `city` bare.
+
+use crate::types::Type;
+use crate::value::{ClassId, Sym};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// One attribute of a class: a named, typed field.
+#[derive(Debug, Clone)]
+pub struct Attr {
+    /// Attribute name (globally unique within the schema).
+    pub name: Sym,
+    /// The attribute's value type.
+    pub ty: Type,
+}
+
+/// A class (ADT) in the schema.
+#[derive(Debug, Clone)]
+pub struct Class {
+    /// Class name, e.g. `Person`.
+    pub name: Sym,
+    /// The class's attributes, in declaration order.
+    pub attrs: Vec<Attr>,
+}
+
+/// A database schema: a set of classes plus a resolved attribute index.
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    classes: Vec<Class>,
+    /// attribute name -> (owning class, attribute position)
+    attr_index: BTreeMap<Sym, (ClassId, usize)>,
+    class_index: BTreeMap<Sym, ClassId>,
+}
+
+/// Errors raised while constructing a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// Two attributes (possibly in different classes) share a name.
+    DuplicateAttr(Sym),
+    /// Two classes share a name.
+    DuplicateClass(Sym),
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::DuplicateAttr(a) => write!(f, "duplicate attribute name: {a}"),
+            SchemaError::DuplicateClass(c) => write!(f, "duplicate class name: {c}"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+impl Schema {
+    /// An empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a class with the given attributes. Returns its [`ClassId`].
+    pub fn add_class(
+        &mut self,
+        name: &str,
+        attrs: Vec<(&str, Type)>,
+    ) -> Result<ClassId, SchemaError> {
+        let cname: Sym = Arc::from(name);
+        if self.class_index.contains_key(&cname) {
+            return Err(SchemaError::DuplicateClass(cname));
+        }
+        let id = ClassId(self.classes.len() as u16);
+        let mut built = Vec::with_capacity(attrs.len());
+        for (pos, (aname, ty)) in attrs.into_iter().enumerate() {
+            let aname: Sym = Arc::from(aname);
+            if self.attr_index.contains_key(&aname) {
+                return Err(SchemaError::DuplicateAttr(aname));
+            }
+            self.attr_index.insert(aname.clone(), (id, pos));
+            built.push(Attr { name: aname, ty });
+        }
+        self.class_index.insert(cname.clone(), id);
+        self.classes.push(Class {
+            name: cname,
+            attrs: built,
+        });
+        Ok(id)
+    }
+
+    /// Look up a class by name.
+    pub fn class_id(&self, name: &str) -> Option<ClassId> {
+        self.class_index.get(name).copied()
+    }
+
+    /// Borrow a class's definition.
+    pub fn class(&self, id: ClassId) -> &Class {
+        &self.classes[id.0 as usize]
+    }
+
+    /// All classes, in id order.
+    pub fn classes(&self) -> &[Class] {
+        &self.classes
+    }
+
+    /// Resolve an attribute name to its owning class and position.
+    pub fn attr(&self, name: &str) -> Option<(ClassId, usize, &Attr)> {
+        let (cid, pos) = *self.attr_index.get(name)?;
+        Some((cid, pos, &self.classes[cid.0 as usize].attrs[pos]))
+    }
+
+    /// The standard schema of the paper's examples (§2.1):
+    /// `Person { addr: Address, age: int, child: {Person}, cars: {Vehicle},
+    /// grgs: {Address} }`, `Address { city: str }`,
+    /// `Vehicle { make: str, year: int }`.
+    ///
+    /// Class ids are allocated in the order Person, Address, Vehicle.
+    pub fn paper_schema() -> Schema {
+        let mut s = Schema::new();
+        // Ids are fixed by insertion order; Person refers to Address and
+        // Vehicle, so reserve their ids up front.
+        let person = ClassId(0);
+        let address = ClassId(1);
+        let vehicle = ClassId(2);
+        let got_person = s
+            .add_class(
+                "Person",
+                vec![
+                    ("addr", Type::Obj(address)),
+                    ("age", Type::Int),
+                    ("name", Type::Str),
+                    ("child", Type::set(Type::Obj(person))),
+                    ("cars", Type::set(Type::Obj(vehicle))),
+                    ("grgs", Type::set(Type::Obj(address))),
+                ],
+            )
+            .expect("fresh schema");
+        let got_address = s
+            .add_class("Address", vec![("city", Type::Str), ("zip", Type::Int)])
+            .expect("fresh schema");
+        let got_vehicle = s
+            .add_class("Vehicle", vec![("make", Type::Str), ("year", Type::Int)])
+            .expect("fresh schema");
+        debug_assert_eq!(got_person, person);
+        debug_assert_eq!(got_address, address);
+        debug_assert_eq!(got_vehicle, vehicle);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_schema_resolves_attributes() {
+        let s = Schema::paper_schema();
+        let (cid, pos, attr) = s.attr("age").unwrap();
+        assert_eq!(cid, s.class_id("Person").unwrap());
+        assert_eq!(pos, 1);
+        assert_eq!(attr.ty, Type::Int);
+
+        let (cid, _, attr) = s.attr("city").unwrap();
+        assert_eq!(cid, s.class_id("Address").unwrap());
+        assert_eq!(attr.ty, Type::Str);
+    }
+
+    #[test]
+    fn attribute_names_globally_unique() {
+        let mut s = Schema::new();
+        s.add_class("A", vec![("x", Type::Int)]).unwrap();
+        let err = s.add_class("B", vec![("x", Type::Bool)]);
+        assert_eq!(err.unwrap_err(), SchemaError::DuplicateAttr(Arc::from("x")));
+    }
+
+    #[test]
+    fn class_names_unique() {
+        let mut s = Schema::new();
+        s.add_class("A", vec![]).unwrap();
+        let err = s.add_class("A", vec![]);
+        assert_eq!(
+            err.unwrap_err(),
+            SchemaError::DuplicateClass(Arc::from("A"))
+        );
+    }
+
+    #[test]
+    fn unknown_attr_is_none() {
+        let s = Schema::paper_schema();
+        assert!(s.attr("salary").is_none());
+    }
+
+    #[test]
+    fn set_valued_attrs_have_set_types() {
+        let s = Schema::paper_schema();
+        let (_, _, child) = s.attr("child").unwrap();
+        assert_eq!(child.ty, Type::set(Type::Obj(ClassId(0))));
+    }
+}

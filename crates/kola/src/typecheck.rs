@@ -1,0 +1,525 @@
+//! Type inference for KOLA terms and patterns.
+//!
+//! Inference runs over *patterns* so that rule metavariables get types too:
+//! each `$f` receives a fresh `(input, output)` pair, each `%p` an input
+//! type, each `^x` an object type, all recorded in the [`Inference`] so the
+//! verification harness can instantiate them with well-typed random terms.
+//! Concrete terms are checked by embedding ([`typecheck_func`] etc.).
+
+use crate::pattern::{PFunc, PPred, PQuery};
+use crate::schema::Schema;
+use crate::term::{Func, Pred, Query};
+use crate::types::{FuncType, Type, TypeError, Unifier};
+use crate::value::{Sym, Value};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The ambient typing environment: a schema (for primitives) and the types
+/// of named extents.
+#[derive(Debug, Clone, Default)]
+pub struct TypeEnv {
+    /// Schema supplying primitive function/predicate types.
+    pub schema: Schema,
+    /// Types of named extents (e.g. `P : {obj Person}`).
+    pub extents: BTreeMap<Sym, Type>,
+}
+
+impl TypeEnv {
+    /// Environment over the paper's schema with the paper's extents
+    /// (`P : {Person}`, `V : {Vehicle}`).
+    pub fn paper_env() -> TypeEnv {
+        let schema = Schema::paper_schema();
+        let person = schema.class_id("Person").expect("paper schema");
+        let vehicle = schema.class_id("Vehicle").expect("paper schema");
+        let mut extents = BTreeMap::new();
+        extents.insert(
+            Arc::from("P") as Sym,
+            Type::set(Type::Obj(person)),
+        );
+        extents.insert(
+            Arc::from("V") as Sym,
+            Type::set(Type::Obj(vehicle)),
+        );
+        TypeEnv { schema, extents }
+    }
+
+    /// Bind an extent's type.
+    pub fn bind_extent(&mut self, name: &str, ty: Type) {
+        self.extents.insert(Arc::from(name), ty);
+    }
+}
+
+/// State accumulated during inference: the unifier plus discovered types of
+/// metavariables.
+#[derive(Debug, Default, Clone)]
+pub struct Inference {
+    /// The type-variable unifier.
+    pub unifier: Unifier,
+    /// Function metavariables: name -> (input, output).
+    pub fvars: BTreeMap<Sym, (Type, Type)>,
+    /// Predicate metavariables: name -> input type.
+    pub pvars: BTreeMap<Sym, Type>,
+    /// Object metavariables: name -> type.
+    pub ovars: BTreeMap<Sym, Type>,
+}
+
+impl Inference {
+    /// Fresh, empty inference state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn fvar(&mut self, name: &Sym) -> (Type, Type) {
+        if let Some(t) = self.fvars.get(name) {
+            return t.clone();
+        }
+        let t = (self.unifier.fresh(), self.unifier.fresh());
+        self.fvars.insert(name.clone(), t.clone());
+        t
+    }
+
+    fn pvar(&mut self, name: &Sym) -> Type {
+        if let Some(t) = self.pvars.get(name) {
+            return t.clone();
+        }
+        let t = self.unifier.fresh();
+        self.pvars.insert(name.clone(), t.clone());
+        t
+    }
+
+    fn ovar(&mut self, name: &Sym) -> Type {
+        if let Some(t) = self.ovars.get(name) {
+            return t.clone();
+        }
+        let t = self.unifier.fresh();
+        self.ovars.insert(name.clone(), t.clone());
+        t
+    }
+}
+
+/// Infer the type of a value (sets must be homogeneous).
+pub fn type_of_value(inf: &mut Inference, v: &Value) -> Result<Type, TypeError> {
+    Ok(match v {
+        Value::Unit => Type::Unit,
+        Value::Bool(_) => Type::Bool,
+        Value::Int(_) => Type::Int,
+        Value::Str(_) => Type::Str,
+        Value::Obj(o) => Type::Obj(o.class),
+        Value::Pair(p) => Type::pair(
+            type_of_value(inf, &p.0)?,
+            type_of_value(inf, &p.1)?,
+        ),
+        Value::Set(s) => {
+            let elem = inf.unifier.fresh();
+            for x in s.iter() {
+                let t = type_of_value(inf, x)?;
+                inf.unifier.unify(&elem, &t)?;
+            }
+            Type::set(elem)
+        }
+        Value::Bag(b) => {
+            let elem = inf.unifier.fresh();
+            for (x, _) in b.iter() {
+                let t = type_of_value(inf, x)?;
+                inf.unifier.unify(&elem, &t)?;
+            }
+            Type::bag(elem)
+        }
+    })
+}
+
+/// Infer `(input, output)` for a function pattern.
+pub fn infer_pfunc(
+    env: &TypeEnv,
+    inf: &mut Inference,
+    f: &PFunc,
+) -> Result<(Type, Type), TypeError> {
+    match f {
+        PFunc::Var(v) => Ok(inf.fvar(v)),
+        PFunc::Id => {
+            let a = inf.unifier.fresh();
+            Ok((a.clone(), a))
+        }
+        PFunc::Pi1 => {
+            let a = inf.unifier.fresh();
+            let b = inf.unifier.fresh();
+            Ok((Type::pair(a.clone(), b), a))
+        }
+        PFunc::Pi2 => {
+            let a = inf.unifier.fresh();
+            let b = inf.unifier.fresh();
+            Ok((Type::pair(a, b.clone()), b))
+        }
+        PFunc::Prim(name) => {
+            let (cid, _, attr) = env
+                .schema
+                .attr(name)
+                .ok_or_else(|| TypeError::UnknownPrim(name.clone()))?;
+            Ok((Type::Obj(cid), attr.ty.clone()))
+        }
+        PFunc::Compose(f, g) => {
+            let (gi, go) = infer_pfunc(env, inf, g)?;
+            let (fi, fo) = infer_pfunc(env, inf, f)?;
+            inf.unifier.unify(&go, &fi)?;
+            Ok((gi, fo))
+        }
+        PFunc::PairWith(f, g) => {
+            let (fi, fo) = infer_pfunc(env, inf, f)?;
+            let (gi, go) = infer_pfunc(env, inf, g)?;
+            inf.unifier.unify(&fi, &gi)?;
+            Ok((fi, Type::pair(fo, go)))
+        }
+        PFunc::Times(f, g) => {
+            let (fi, fo) = infer_pfunc(env, inf, f)?;
+            let (gi, go) = infer_pfunc(env, inf, g)?;
+            Ok((Type::pair(fi, gi), Type::pair(fo, go)))
+        }
+        PFunc::ConstF(q) => {
+            let t = infer_pquery(env, inf, q)?;
+            let a = inf.unifier.fresh();
+            Ok((a, t))
+        }
+        PFunc::CurryF(f, q) => {
+            let tq = infer_pquery(env, inf, q)?;
+            let (fi, fo) = infer_pfunc(env, inf, f)?;
+            let a = inf.unifier.fresh();
+            inf.unifier.unify(&fi, &Type::pair(tq, a.clone()))?;
+            Ok((a, fo))
+        }
+        PFunc::Cond(p, f, g) => {
+            let pi = infer_ppred(env, inf, p)?;
+            let (fi, fo) = infer_pfunc(env, inf, f)?;
+            let (gi, go) = infer_pfunc(env, inf, g)?;
+            inf.unifier.unify(&pi, &fi)?;
+            inf.unifier.unify(&fi, &gi)?;
+            inf.unifier.unify(&fo, &go)?;
+            Ok((fi, fo))
+        }
+        PFunc::Flat => {
+            let a = inf.unifier.fresh();
+            Ok((Type::set(Type::set(a.clone())), Type::set(a)))
+        }
+        PFunc::Iterate(p, f) => {
+            let pi = infer_ppred(env, inf, p)?;
+            let (fi, fo) = infer_pfunc(env, inf, f)?;
+            inf.unifier.unify(&pi, &fi)?;
+            Ok((Type::set(fi), Type::set(fo)))
+        }
+        PFunc::Iter(p, f) => {
+            // [e, {y}] -> {b}, with p : [e, y], f : [e, y] -> b
+            let e = inf.unifier.fresh();
+            let y = inf.unifier.fresh();
+            let pi = infer_ppred(env, inf, p)?;
+            let (fi, fo) = infer_pfunc(env, inf, f)?;
+            let pair = Type::pair(e.clone(), y.clone());
+            inf.unifier.unify(&pi, &pair)?;
+            inf.unifier.unify(&fi, &pair)?;
+            Ok((Type::pair(e, Type::set(y)), Type::set(fo)))
+        }
+        PFunc::Join(p, f) => {
+            let a = inf.unifier.fresh();
+            let b = inf.unifier.fresh();
+            let pi = infer_ppred(env, inf, p)?;
+            let (fi, fo) = infer_pfunc(env, inf, f)?;
+            let pair = Type::pair(a.clone(), b.clone());
+            inf.unifier.unify(&pi, &pair)?;
+            inf.unifier.unify(&fi, &pair)?;
+            Ok((
+                Type::pair(Type::set(a), Type::set(b)),
+                Type::set(fo),
+            ))
+        }
+        PFunc::Nest(f, g) => {
+            // f : a -> k, g : a -> v; [{a}, {k}] -> {[k, {v}]}
+            let (fi, fo) = infer_pfunc(env, inf, f)?;
+            let (gi, go) = infer_pfunc(env, inf, g)?;
+            inf.unifier.unify(&fi, &gi)?;
+            Ok((
+                Type::pair(Type::set(fi), Type::set(fo.clone())),
+                Type::set(Type::pair(fo, Type::set(go))),
+            ))
+        }
+        PFunc::Unnest(f, g) => {
+            // f : a -> k, g : a -> {v}; {a} -> {[k, v]}
+            let (fi, fo) = infer_pfunc(env, inf, f)?;
+            let (gi, go) = infer_pfunc(env, inf, g)?;
+            inf.unifier.unify(&fi, &gi)?;
+            let v = inf.unifier.fresh();
+            inf.unifier.unify(&go, &Type::set(v.clone()))?;
+            Ok((Type::set(fi), Type::set(Type::pair(fo, v))))
+        }
+        PFunc::Bagify => {
+            let a = inf.unifier.fresh();
+            Ok((Type::set(a.clone()), Type::bag(a)))
+        }
+        PFunc::Dedup => {
+            let a = inf.unifier.fresh();
+            Ok((Type::bag(a.clone()), Type::set(a)))
+        }
+        PFunc::BIterate(p, f) => {
+            let pi = infer_ppred(env, inf, p)?;
+            let (fi, fo) = infer_pfunc(env, inf, f)?;
+            inf.unifier.unify(&pi, &fi)?;
+            Ok((Type::bag(fi), Type::bag(fo)))
+        }
+        PFunc::BUnion => {
+            let a = inf.unifier.fresh();
+            let b = Type::bag(a);
+            Ok((Type::pair(b.clone(), b.clone()), b))
+        }
+        PFunc::BFlat => {
+            let a = inf.unifier.fresh();
+            Ok((Type::bag(Type::bag(a.clone())), Type::bag(a)))
+        }
+        PFunc::SetUnion | PFunc::SetIntersect | PFunc::SetDiff => {
+            let a = inf.unifier.fresh();
+            let s = Type::set(a);
+            Ok((Type::pair(s.clone(), s.clone()), s))
+        }
+    }
+}
+
+/// Infer the input type of a predicate pattern.
+pub fn infer_ppred(env: &TypeEnv, inf: &mut Inference, p: &PPred) -> Result<Type, TypeError> {
+    match p {
+        PPred::Var(v) => Ok(inf.pvar(v)),
+        PPred::Eq => {
+            let a = inf.unifier.fresh();
+            Ok(Type::pair(a.clone(), a))
+        }
+        PPred::Lt | PPred::Leq | PPred::Gt | PPred::Geq => {
+            Ok(Type::pair(Type::Int, Type::Int))
+        }
+        PPred::In => {
+            let a = inf.unifier.fresh();
+            Ok(Type::pair(a.clone(), Type::set(a)))
+        }
+        PPred::PrimP(name) => {
+            let (cid, _, attr) = env
+                .schema
+                .attr(name)
+                .ok_or_else(|| TypeError::UnknownPrim(name.clone()))?;
+            let ty = attr.ty.clone();
+            inf.unifier.unify(&ty, &Type::Bool)?;
+            Ok(Type::Obj(cid))
+        }
+        PPred::Oplus(p, f) => {
+            let (fi, fo) = infer_pfunc(env, inf, f)?;
+            let pi = infer_ppred(env, inf, p)?;
+            inf.unifier.unify(&fo, &pi)?;
+            Ok(fi)
+        }
+        PPred::And(p, q) | PPred::Or(p, q) => {
+            let pi = infer_ppred(env, inf, p)?;
+            let qi = infer_ppred(env, inf, q)?;
+            inf.unifier.unify(&pi, &qi)?;
+            Ok(pi)
+        }
+        PPred::Not(p) => infer_ppred(env, inf, p),
+        PPred::Conv(p) => {
+            let a = inf.unifier.fresh();
+            let b = inf.unifier.fresh();
+            let pi = infer_ppred(env, inf, p)?;
+            inf.unifier.unify(&pi, &Type::pair(a.clone(), b.clone()))?;
+            Ok(Type::pair(b, a))
+        }
+        PPred::ConstP(_) => Ok(inf.unifier.fresh()),
+        PPred::CurryP(p, q) => {
+            let tq = infer_pquery(env, inf, q)?;
+            let pi = infer_ppred(env, inf, p)?;
+            let a = inf.unifier.fresh();
+            inf.unifier.unify(&pi, &Type::pair(tq, a.clone()))?;
+            Ok(a)
+        }
+    }
+}
+
+/// Infer the type of a query pattern.
+pub fn infer_pquery(env: &TypeEnv, inf: &mut Inference, q: &PQuery) -> Result<Type, TypeError> {
+    match q {
+        PQuery::Var(v) => Ok(inf.ovar(v)),
+        PQuery::Lit(v) => type_of_value(inf, v),
+        PQuery::Extent(name) => match env.extents.get(name) {
+            Some(t) => Ok(t.clone()),
+            // Unknown extents get a fresh type: queries over ad-hoc test
+            // extents still typecheck.
+            None => Ok(inf.unifier.fresh()),
+        },
+        PQuery::PairQ(a, b) => Ok(Type::pair(
+            infer_pquery(env, inf, a)?,
+            infer_pquery(env, inf, b)?,
+        )),
+        PQuery::App(f, q) => {
+            let tq = infer_pquery(env, inf, q)?;
+            let (fi, fo) = infer_pfunc(env, inf, f)?;
+            inf.unifier.unify(&fi, &tq)?;
+            Ok(fo)
+        }
+        PQuery::Test(p, q) => {
+            let tq = infer_pquery(env, inf, q)?;
+            let pi = infer_ppred(env, inf, p)?;
+            inf.unifier.unify(&pi, &tq)?;
+            Ok(Type::Bool)
+        }
+        PQuery::Union(a, b) | PQuery::Intersect(a, b) | PQuery::Diff(a, b) => {
+            let ta = infer_pquery(env, inf, a)?;
+            let tb = infer_pquery(env, inf, b)?;
+            let elem = inf.unifier.fresh();
+            inf.unifier.unify(&ta, &Type::set(elem.clone()))?;
+            inf.unifier.unify(&tb, &Type::set(elem))?;
+            Ok(ta)
+        }
+    }
+}
+
+/// Typecheck a concrete function; returns its (resolved) type.
+pub fn typecheck_func(env: &TypeEnv, f: &Func) -> Result<FuncType, TypeError> {
+    let mut inf = Inference::new();
+    let (i, o) = infer_pfunc(env, &mut inf, &PFunc::from_concrete(f))?;
+    Ok(FuncType {
+        input: inf.unifier.resolve(&i),
+        output: inf.unifier.resolve(&o),
+    })
+}
+
+/// Typecheck a concrete predicate; returns its (resolved) input type.
+pub fn typecheck_pred(env: &TypeEnv, p: &Pred) -> Result<Type, TypeError> {
+    let mut inf = Inference::new();
+    let t = infer_ppred(env, &mut inf, &PPred::from_concrete(p))?;
+    Ok(inf.unifier.resolve(&t))
+}
+
+/// Typecheck a concrete query; returns its (resolved) type.
+pub fn typecheck_query(env: &TypeEnv, q: &Query) -> Result<Type, TypeError> {
+    let mut inf = Inference::new();
+    let t = infer_pquery(env, &mut inf, &PQuery::from_concrete(q))?;
+    Ok(inf.unifier.resolve(&t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::parse::{parse_func, parse_pfunc, parse_query};
+    use crate::value::ClassId;
+
+    fn env() -> TypeEnv {
+        TypeEnv::paper_env()
+    }
+
+    #[test]
+    fn prim_types() {
+        let t = typecheck_func(&env(), &prim("age")).unwrap();
+        assert_eq!(t.input, Type::Obj(ClassId(0)));
+        assert_eq!(t.output, Type::Int);
+    }
+
+    #[test]
+    fn compose_propagates() {
+        // city ∘ addr : Person -> Str
+        let t = typecheck_func(&env(), &parse_func("city . addr").unwrap()).unwrap();
+        assert_eq!(t.input, Type::Obj(ClassId(0)));
+        assert_eq!(t.output, Type::Str);
+    }
+
+    #[test]
+    fn compose_mismatch_rejected() {
+        // age ∘ age : Person -> Int, then Int is not Person
+        assert!(typecheck_func(&env(), &parse_func("age . age").unwrap()).is_err());
+    }
+
+    #[test]
+    fn iterate_types() {
+        // iterate(Kp(T), age) : {Person} -> {Int}
+        let t =
+            typecheck_func(&env(), &parse_func("iterate(Kp(T), age)").unwrap()).unwrap();
+        assert_eq!(t.input, Type::set(Type::Obj(ClassId(0))));
+        assert_eq!(t.output, Type::set(Type::Int));
+    }
+
+    #[test]
+    fn paper_queries_typecheck() {
+        // T1's both sides, T2's both sides (Figure 4 endpoints)
+        for src in [
+            "iterate(Kp(T), city) . iterate(Kp(T), addr) ! P",
+            "iterate(Kp(T), city . addr) ! P",
+            "iterate(gt @ (age, Kf(25)), age) ! P",
+            "iterate(Cp(leq, 25), id) . iterate(Kp(T), age) ! P",
+        ] {
+            let q = parse_query(src).unwrap();
+            let t = typecheck_query(&env(), &q).unwrap();
+            assert!(
+                matches!(t, Type::Set(_)),
+                "{src} should be set-typed, got {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn garage_queries_typecheck_alike() {
+        let kg1 = parse_query(
+            "iterate(Kp(T), (id, flat . iter(Kp(T), grgs . pi2) . \
+             (id, iter(in @ (pi1, cars . pi2), pi2) . (id, Kf(P))))) ! V",
+        )
+        .unwrap();
+        let kg2 = parse_query(
+            "nest(pi1, pi2) . unnest(pi1, pi2) * id . \
+             (join(in @ id * cars, id * grgs), pi1) ! [V, P]",
+        )
+        .unwrap();
+        let t1 = typecheck_query(&env(), &kg1).unwrap();
+        let t2 = typecheck_query(&env(), &kg2).unwrap();
+        assert_eq!(t1, t2, "KG1 : {t1} vs KG2 : {t2}");
+    }
+
+    #[test]
+    fn pattern_metavars_get_types() {
+        // pi1 . ($f, $g) — f's output must match the overall output.
+        let env = env();
+        let mut inf = Inference::new();
+        let pat = parse_pfunc("pi1 . ($f, $g)").unwrap();
+        let (i, o) = infer_pfunc(&env, &mut inf, &pat).unwrap();
+        let (fi, fo) = inf.fvars.get("f").cloned().unwrap();
+        let mut u = inf.unifier.clone();
+        // input of f == input of the whole; output of f == output of whole
+        assert_eq!(u.resolve(&fi), u.resolve(&i));
+        assert_eq!(u.resolve(&fo), u.resolve(&o));
+        let _ = &mut u;
+    }
+
+    #[test]
+    fn test_query_is_bool() {
+        let q = parse_query("gt ? [3, 2]").unwrap();
+        assert_eq!(typecheck_query(&env(), &q).unwrap(), Type::Bool);
+    }
+
+    #[test]
+    fn heterogeneous_set_rejected() {
+        let v = Value::set([Value::Int(1), Value::Bool(true)]);
+        let mut inf = Inference::new();
+        assert!(type_of_value(&mut inf, &v).is_err());
+    }
+
+    #[test]
+    fn unknown_prim_rejected() {
+        assert!(matches!(
+            typecheck_func(&env(), &prim("salary")),
+            Err(TypeError::UnknownPrim(_))
+        ));
+    }
+
+    #[test]
+    fn nest_unnest_types() {
+        let t = typecheck_func(&env(), &parse_func("nest(pi1, pi2)").unwrap()).unwrap();
+        // [{[k,v]}, {k}] -> {[k, {v}]}
+        match (&t.input, &t.output) {
+            (Type::Pair(_, _), Type::Set(_)) => {}
+            other => panic!("unexpected nest type {other:?}"),
+        }
+        let t = typecheck_func(&env(), &parse_func("unnest(pi1, pi2)").unwrap()).unwrap();
+        match (&t.input, &t.output) {
+            (Type::Set(_), Type::Set(_)) => {}
+            other => panic!("unexpected unnest type {other:?}"),
+        }
+    }
+}

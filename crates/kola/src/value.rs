@@ -1,0 +1,283 @@
+//! The runtime value universe that KOLA (and AQUA) queries compute over.
+//!
+//! KOLA's semantics (Tables 1 and 2 of the paper) are defined over objects,
+//! pairs and sets. To make query-equivalence *testable*, every value is
+//! totally ordered ([`Ord`]) and sets are represented canonically as
+//! [`BTreeSet`]s, so two evaluations are equivalent iff the resulting
+//! [`Value`]s are `==`.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// Interned-ish string used for attribute names, extents and string values.
+///
+/// `Arc<str>` keeps clones cheap: terms and values are cloned heavily during
+/// rewriting and evaluation.
+pub type Sym = Arc<str>;
+
+/// Identifier of a class (abstract data type) in a [`crate::schema::Schema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClassId(pub u16);
+
+/// Identifier of an object in a [`crate::db::Db`]: a class plus an index into
+/// that class's extent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjId {
+    /// The class the object belongs to.
+    pub class: ClassId,
+    /// The index of the object within its class's object table.
+    pub idx: u32,
+}
+
+/// A canonical, ordered set of values.
+///
+/// The paper's set semantics are duplicate-free; `BTreeSet` gives us that
+/// plus a canonical iteration order, so evaluation is deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ValueSet(pub BTreeSet<Value>);
+
+impl ValueSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        ValueSet(BTreeSet::new())
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True iff the set has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Insert a value (deduplicating).
+    pub fn insert(&mut self, v: Value) {
+        self.0.insert(v);
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: &Value) -> bool {
+        self.0.contains(v)
+    }
+
+    /// Iterate elements in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = &Value> {
+        self.0.iter()
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &ValueSet) -> ValueSet {
+        ValueSet(self.0.union(&other.0).cloned().collect())
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &ValueSet) -> ValueSet {
+        ValueSet(self.0.intersection(&other.0).cloned().collect())
+    }
+
+    /// Set difference (`self - other`).
+    pub fn difference(&self, other: &ValueSet) -> ValueSet {
+        ValueSet(self.0.difference(&other.0).cloned().collect())
+    }
+}
+
+impl FromIterator<Value> for ValueSet {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        ValueSet(iter.into_iter().collect())
+    }
+}
+
+impl IntoIterator for ValueSet {
+    type Item = Value;
+    type IntoIter = std::collections::btree_set::IntoIter<Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+/// A runtime value.
+///
+/// The universe is closed under pairing and set formation, mirroring the
+/// complex-object data model of the paper (§1.1): objects may refer to sets
+/// and to each other (via [`ObjId`] references into a [`crate::db::Db`]).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// The unit value (result of projecting nothing; also a handy dummy).
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit integer.
+    Int(i64),
+    /// A string.
+    Str(Sym),
+    /// An ordered pair, written `[x, y]` in the paper.
+    Pair(Box<(Value, Value)>),
+    /// A finite set.
+    Set(ValueSet),
+    /// A finite bag (multiset) — the §6 bulk-type extension.
+    Bag(crate::bag::ValueBag),
+    /// A reference to an object held by a [`crate::db::Db`].
+    Obj(ObjId),
+}
+
+impl Value {
+    /// Construct a pair `[a, b]`.
+    pub fn pair(a: Value, b: Value) -> Value {
+        Value::Pair(Box::new((a, b)))
+    }
+
+    /// Construct a string value.
+    pub fn str(s: &str) -> Value {
+        Value::Str(Arc::from(s))
+    }
+
+    /// Construct a set from an iterator of elements.
+    pub fn set<I: IntoIterator<Item = Value>>(items: I) -> Value {
+        Value::Set(items.into_iter().collect())
+    }
+
+    /// The empty set.
+    pub fn empty_set() -> Value {
+        Value::Set(ValueSet::new())
+    }
+
+    /// Project the components of a pair, if this is one.
+    pub fn as_pair(&self) -> Option<(&Value, &Value)> {
+        match self {
+            Value::Pair(p) => Some((&p.0, &p.1)),
+            _ => None,
+        }
+    }
+
+    /// Borrow the underlying set, if this is one.
+    pub fn as_set(&self) -> Option<&ValueSet> {
+        match self {
+            Value::Set(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrow the integer, if this is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Borrow the boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// A short name for the value's shape, used in error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Value::Unit => "unit",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Str(_) => "string",
+            Value::Pair(_) => "pair",
+            Value::Set(_) => "set",
+            Value::Bag(_) => "bag",
+            Value::Obj(_) => "object",
+        }
+    }
+
+    /// Total number of nodes in this value (for size accounting in tests).
+    pub fn size(&self) -> usize {
+        match self {
+            Value::Pair(p) => 1 + p.0.size() + p.1.size(),
+            Value::Set(s) => 1 + s.iter().map(Value::size).sum::<usize>(),
+            Value::Bag(b) => 1 + b.iter().map(|(v, _)| v.size()).sum::<usize>(),
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Bool(b) => write!(f, "{}", if *b { "T" } else { "F" }),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Pair(p) => write!(f, "[{}, {}]", p.0, p.1),
+            Value::Set(s) => {
+                write!(f, "{{")?;
+                for (i, v) in s.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+            Value::Bag(b) => write!(f, "{b}"),
+            Value::Obj(o) => write!(f, "#{}.{}", o.class.0, o.idx),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sets_deduplicate_and_order() {
+        let s = Value::set([Value::Int(3), Value::Int(1), Value::Int(3), Value::Int(2)]);
+        match &s {
+            Value::Set(vs) => {
+                let items: Vec<_> = vs.iter().cloned().collect();
+                assert_eq!(items, vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+            }
+            _ => panic!("not a set"),
+        }
+    }
+
+    #[test]
+    fn pair_projections() {
+        let p = Value::pair(Value::Int(1), Value::str("x"));
+        let (a, b) = p.as_pair().unwrap();
+        assert_eq!(a, &Value::Int(1));
+        assert_eq!(b, &Value::str("x"));
+    }
+
+    #[test]
+    fn value_equality_is_structural() {
+        let a = Value::set([Value::pair(Value::Int(1), Value::Int(2))]);
+        let b = Value::set([Value::pair(Value::Int(1), Value::Int(2))]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: ValueSet = [Value::Int(1), Value::Int(2)].into_iter().collect();
+        let b: ValueSet = [Value::Int(2), Value::Int(3)].into_iter().collect();
+        assert_eq!(a.union(&b).len(), 3);
+        assert_eq!(a.intersect(&b).len(), 1);
+        assert_eq!(a.difference(&b).len(), 1);
+        assert!(a.contains(&Value::Int(1)));
+        assert!(!a.contains(&Value::Int(3)));
+    }
+
+    #[test]
+    fn display_forms() {
+        let v = Value::pair(Value::Int(1), Value::set([Value::Bool(true)]));
+        assert_eq!(v.to_string(), "[1, {T}]");
+        assert_eq!(Value::Unit.to_string(), "()");
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let v = Value::pair(Value::Int(1), Value::set([Value::Int(2), Value::Int(3)]));
+        // pair + int + set + 2 ints
+        assert_eq!(v.size(), 5);
+    }
+}

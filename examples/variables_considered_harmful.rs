@@ -1,0 +1,77 @@
+//! §2 vs §3, side by side: the A3/A4 pair of Figure 2.
+//!
+//! Over AQUA the two queries are structurally identical up to one variable
+//! name, so a rule distinguishing them needs a *head routine* doing
+//! free-variable analysis. Over KOLA they differ structurally (π1 vs π2),
+//! so a plain pattern decides.
+//!
+//! ```sh
+//! cargo run --example variables_considered_harmful
+//! ```
+
+use kola_aqua::rules::{code_motion, query_a3, query_a4};
+use kola_aqua::Machinery;
+use kola_frontend::translate_query;
+use kola_rewrite::engine::{rewrite_once_query, Oriented};
+use kola_rewrite::{Catalog, PropDb};
+
+fn main() {
+    let a3 = query_a3();
+    let a4 = query_a4();
+    println!("A3 (inner variable):\n  {a3}");
+    println!("A4 (outer variable):\n  {a4}\n");
+    println!(
+        "(structurally identical: both are app(λp. [p, sel(λc. _.age > 25)\
+         (p.child)])(P) — only the variable differs)\n"
+    );
+
+    // --- the AQUA side: head routine with environmental analysis ---
+    println!("== AQUA: code-motion rule with a head routine ==");
+    for (name, q) in [("A3", &a3), ("A4", &a4)] {
+        let mut m = Machinery::default();
+        match code_motion(q, &mut m) {
+            Some(out) => println!(
+                "{name}: TRANSFORMED (machinery: {} free-var analyses)\n  -> {out}",
+                m.free_var_analyses
+            ),
+            None => println!(
+                "{name}: rejected (machinery: {} free-var analyses — code ran \
+                 even to say no)",
+                m.free_var_analyses
+            ),
+        }
+    }
+
+    // --- the KOLA side: the difference is structural ---
+    println!("\n== KOLA: the same decision by pure pattern matching ==");
+    let k3 = translate_query(&a3).expect("translates");
+    let k4 = translate_query(&a4).expect("translates");
+    println!("K3:\n  {k3}");
+    println!("K4:\n  {k4}\n");
+
+    let catalog = Catalog::paper();
+    let props = PropDb::new();
+    // Drive each to the point where rule 15 (iter-env-test) decides.
+    let prep: Vec<Oriented> = ["13", "7", "14"]
+        .iter()
+        .map(|id| Oriented::fwd(catalog.get(id).expect("catalog rule")))
+        .collect();
+    let decide = [Oriented::fwd(catalog.get("15").expect("rule 15"))];
+
+    for (name, q) in [("K3", &k3), ("K4", &k4)] {
+        let mut cur = q.clone();
+        while let Some(step) = rewrite_once_query(&prep, &cur, &props) {
+            cur = step.result.normalize();
+        }
+        match rewrite_once_query(&decide, &cur, &props) {
+            Some(step) => println!(
+                "{name}: rule 15 fires — loop removed\n  -> {}",
+                step.result
+            ),
+            None => println!(
+                "{name}: rule 15 structurally inapplicable (its head wants \
+                 `… @ pi1`, this query has `… @ pi2`) — no code consulted"
+            ),
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! `kolaq` — a command-line driver for the KOLA optimizer pipeline.
+//!
+//! ```text
+//! kolaq explain   '<kola query>'          render the operator tree
+//! kolaq optimize  '<kola query>'          run the COKO Simplify block
+//! kolaq untangle  '<kola query>'          run the §4.1 hidden-join pipeline
+//! kolaq run       '<kola query>'          execute on a generated database
+//! kolaq oql       '<oql query>'           OQL -> AQUA -> KOLA (then optimize+run)
+//! kolaq aqua      '<aqua expr>'           AQUA -> KOLA translation
+//! kolaq cost      '<kola query>'          estimate cardinality and cost
+//! kolaq verify    [rule-id]               verify one rule or the whole catalog
+//! kolaq rules                             list the catalog
+//! ```
+//!
+//! Queries use the concrete syntax of `kola::parse` (see README); the
+//! database is the deterministic generated world over the paper's schema
+//! with extents `P` and `V` (plus `A`/`B` aliased to `P` for synthetic
+//! forms).
+
+use kola::explain::explain_query;
+use kola_coko::stdlib::{simplify_strategy, untangle_strategy};
+use kola_exec::datagen::{generate, DataSpec};
+use kola_exec::{Executor, Mode};
+use kola_rewrite::engine::Trace;
+use kola_rewrite::strategy::Runner;
+use kola_rewrite::{Catalog, PropDb};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("kolaq: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn db() -> kola::Db {
+    let mut db = generate(&DataSpec::default());
+    let p = db.extent("P").expect("generator binds P");
+    db.bind_extent("A", p.clone());
+    db.bind_extent("B", p);
+    db
+}
+
+fn parse(src: &str) -> Result<kola::Query, String> {
+    kola::parse::parse_query(src).map_err(|e| e.to_string())
+}
+
+fn optimize_with(
+    strategy: &kola_rewrite::Strategy,
+    q: kola::Query,
+) -> (kola::Query, Trace) {
+    let catalog = Catalog::paper();
+    let props = PropDb::new();
+    let runner = Runner::new(&catalog, &props);
+    let mut trace = Trace::new();
+    let (out, _) = runner.run(strategy, q, &mut trace);
+    (out, trace)
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let usage =
+        "usage: kolaq <explain|optimize|untangle|run|oql|aqua|cost|verify|rules> [arg]";
+    let cmd = args.first().ok_or(usage)?;
+    match cmd.as_str() {
+        "explain" => {
+            let q = parse(arg(args)?)?;
+            print!("{}", explain_query(&q));
+            Ok(())
+        }
+        "optimize" => {
+            let q = parse(arg(args)?)?;
+            let strategy = simplify_strategy().map_err(|e| e.to_string())?;
+            let (out, trace) = optimize_with(&strategy, q);
+            print_derivation(&trace);
+            println!("{out}");
+            Ok(())
+        }
+        "untangle" => {
+            let q = parse(arg(args)?)?;
+            let strategy = untangle_strategy().map_err(|e| e.to_string())?;
+            let (out, trace) = optimize_with(&strategy, q);
+            print_derivation(&trace);
+            println!("{out}");
+            Ok(())
+        }
+        "run" => {
+            let q = parse(arg(args)?)?;
+            let db = db();
+            let mut ex = Executor::new(&db, Mode::Smart);
+            let v = ex.run(&q).map_err(|e| e.to_string())?;
+            println!("{v}");
+            eprintln!(
+                "-- {} elements visited, {} predicate tests, {} hash ops",
+                ex.stats.elements_visited, ex.stats.predicate_tests, ex.stats.hash_ops
+            );
+            Ok(())
+        }
+        "oql" => {
+            let src = arg(args)?;
+            let aqua = kola_frontend::parse_oql(src).map_err(|e| e.to_string())?;
+            eprintln!("-- AQUA: {aqua}");
+            let q = kola_frontend::translate_query(&aqua).map_err(|e| e.to_string())?;
+            eprintln!("-- KOLA: {q}");
+            let strategy = untangle_strategy().map_err(|e| e.to_string())?;
+            let (out, trace) = optimize_with(&strategy, q);
+            eprintln!("-- optimized ({} rule applications): {out}", trace.steps.len());
+            let db = db();
+            let mut ex = Executor::new(&db, Mode::Smart);
+            let v = ex.run(&out).map_err(|e| e.to_string())?;
+            println!("{v}");
+            Ok(())
+        }
+        "aqua" => {
+            let src = arg(args)?;
+            let aqua = kola_aqua::parse_aqua(src).map_err(|e| e.to_string())?;
+            let q = kola_frontend::translate_query(&aqua).map_err(|e| e.to_string())?;
+            println!("{q}");
+            Ok(())
+        }
+        "cost" => {
+            let q = parse(arg(args)?)?;
+            let db = db();
+            let stats = kola_exec::cost::Stats::collect(&db);
+            for mode in [Mode::Naive, Mode::Smart] {
+                let est = kola_exec::cost::estimate_query(&stats, mode, &q);
+                let mut ex = Executor::new(&db, mode);
+                let measured = ex
+                    .run(&q)
+                    .map(|_| ex.stats.total().to_string())
+                    .unwrap_or_else(|e| format!("error: {e}"));
+                println!(
+                    "{mode:?}: estimated cardinality {:.0}, estimated cost {:.0}, \
+                     measured ops {measured}",
+                    est.card.count(),
+                    est.cost
+                );
+            }
+            Ok(())
+        }
+        "verify" => {
+            let env = kola::typecheck::TypeEnv::paper_env();
+            let db = generate(&DataSpec::small(1));
+            let catalog = Catalog::paper();
+            match args.get(1) {
+                Some(id) => {
+                    let rule = catalog
+                        .get(id)
+                        .ok_or_else(|| format!("unknown rule {id}"))?;
+                    println!("{rule}");
+                    let report = kola_verify::check_rule(&env, &db, rule, 100, 1);
+                    println!("{report}");
+                    if !report.verified() {
+                        return Err("rule failed verification".into());
+                    }
+                }
+                None => {
+                    let reports = kola_verify::verify_catalog(&env, &db, &catalog, 25, 1);
+                    let bad: Vec<_> =
+                        reports.iter().filter(|r| !r.verified()).collect();
+                    for r in &bad {
+                        println!("{r}");
+                    }
+                    println!(
+                        "{}/{} rules verified",
+                        reports.len() - bad.len(),
+                        reports.len()
+                    );
+                    if !bad.is_empty() {
+                        return Err("catalog verification failed".into());
+                    }
+                }
+            }
+            Ok(())
+        }
+        "rules" => {
+            let catalog = Catalog::paper();
+            for rule in catalog.rules() {
+                println!("{rule}");
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{usage}")),
+    }
+}
+
+fn arg(args: &[String]) -> Result<&str, String> {
+    args.get(1)
+        .map(|s| s.as_str())
+        .ok_or_else(|| "missing query argument".to_string())
+}
+
+fn print_derivation(trace: &Trace) {
+    for step in &trace.steps {
+        eprintln!("-- [{}] {}", step.justification(), step.after);
+    }
+}

@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+//! Umbrella crate re-exporting the KOLA reproduction workspace.
+//!
+//! See `README.md` for the project overview and `DESIGN.md` for the
+//! system inventory. The interesting crates:
+//!
+//! - [`kola`] — the combinator algebra itself (terms, semantics, types).
+//! - [`kola_rewrite`] — patterns, rules, strategies, the hidden-join untangler.
+//! - [`kola_aqua`] — the variable-based baseline algebra.
+//! - [`kola_frontend`] — OQL parser and AQUA→KOLA translator.
+//! - [`kola_coko`] — the COKO rule-block language.
+//! - [`kola_verify`] — randomized rule verification.
+//! - [`kola_exec`] — op-counting execution engine and data generators.
+pub use kola;
+pub use kola_aqua;
+pub use kola_coko;
+pub use kola_exec;
+pub use kola_frontend;
+pub use kola_rewrite;
+pub use kola_verify;

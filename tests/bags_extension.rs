@@ -1,0 +1,157 @@
+//! The §6 bulk-type extension: bags, and the paper's motivating
+//! optimization — "optimizations that defer duplicate elimination can be
+//! expressed as transformations that produce bags as intermediate results".
+
+use kola::parse::{parse_func, parse_query};
+use kola_exec::datagen::{generate, DataSpec};
+use kola_rewrite::engine::{rewrite_once_query, Oriented};
+use kola_rewrite::{Catalog, PropDb};
+
+fn db() -> kola::Db {
+    let mut db = generate(&DataSpec::small(55));
+    let people: Vec<kola::Value> = db
+        .extent("P")
+        .unwrap()
+        .as_set()
+        .unwrap()
+        .iter()
+        .cloned()
+        .collect();
+    db.bind_extent("A", kola::Value::set(people[..15].to_vec()));
+    db.bind_extent("B", kola::Value::set(people[5..].to_vec()));
+    db
+}
+
+#[test]
+fn bag_combinator_semantics() {
+    let db = db();
+    // bagify then dedup round-trips.
+    let q = parse_query("dedup ! bagify ! P").unwrap();
+    assert_eq!(
+        kola::eval_query(&db, &q).unwrap(),
+        db.extent("P").unwrap()
+    );
+    // biterate preserves multiplicity: ages of A ⊎ ages of B counts
+    // duplicates from both sides.
+    let q = parse_query(
+        "bunion ! [biterate(Kp(T), age) ! bagify ! A, \
+                   biterate(Kp(T), age) ! bagify ! B]",
+    )
+    .unwrap();
+    let v = kola::eval_query(&db, &q).unwrap();
+    let kola::Value::Bag(bag) = &v else {
+        panic!("expected a bag, got {v}")
+    };
+    // Total multiplicity = |A| + |B| (age maps each person to one value).
+    assert_eq!(bag.len(), 15 + 15);
+    // And the support is the set of distinct ages.
+    assert!(bag.distinct() <= bag.len());
+}
+
+#[test]
+fn dedup_deferral_rule_b7_is_semantics_preserving() {
+    let db = db();
+    let catalog = Catalog::paper();
+    let props = PropDb::new();
+    let rule = catalog.get("b7").unwrap();
+    let q = parse_query("iterate(gt @ (age, Kf(25)), age) ! (A union B)").unwrap();
+    let rules = [Oriented::fwd(rule)];
+    let applied = rewrite_once_query(&rules, &q, &props).expect("b7 fires");
+    let s = applied.result.to_string();
+    assert!(s.starts_with("dedup !"), "{s}");
+    assert!(s.contains("biterate("), "{s}");
+    assert_eq!(
+        kola::eval_query(&db, &q).unwrap(),
+        kola::eval_query(&db, &applied.result).unwrap(),
+        "deferral preserves the set result"
+    );
+}
+
+#[test]
+fn deferral_pays_off_in_dedup_work() {
+    // The point of deferring: one duplicate elimination at the end instead
+    // of the set-machinery running on every intermediate. Compare the
+    // number of distinct-element merges implied: with sets, the union must
+    // dedup |A|+|B| elements *and* iterate dedups again; with bags, only
+    // the final dedup pays.
+    let db = db();
+    let eager = parse_query("iterate(Kp(T), age) ! (A union B)").unwrap();
+    let deferred = parse_query(
+        "dedup ! bunion ! \
+         [biterate(Kp(T), age) ! bagify ! A, biterate(Kp(T), age) ! bagify ! B]",
+    )
+    .unwrap();
+    let a = kola::eval_query(&db, &eager).unwrap();
+    let b = kola::eval_query(&db, &deferred).unwrap();
+    assert_eq!(a, b);
+    // The deferred plan's intermediate bag really carries multiplicities
+    // (i.e. the intermediate result is NOT already deduplicated).
+    let intermediate = parse_query(
+        "bunion ! [biterate(Kp(T), age) ! bagify ! A, \
+                   biterate(Kp(T), age) ! bagify ! B]",
+    )
+    .unwrap();
+    let kola::Value::Bag(bag) = kola::eval_query(&db, &intermediate).unwrap() else {
+        panic!("expected bag");
+    };
+    assert!(
+        bag.len() > bag.distinct(),
+        "duplicates must exist to be worth deferring ({} vs {})",
+        bag.len(),
+        bag.distinct()
+    );
+}
+
+#[test]
+fn bag_rules_verified_and_typed() {
+    let env = kola::typecheck::TypeEnv::paper_env();
+    let vdb = generate(&DataSpec::small(66));
+    let catalog = Catalog::paper();
+    for id in ["b1", "b2", "b3", "b4", "b5", "b6", "b7", "b8"] {
+        let rule = catalog.get(id).unwrap_or_else(|| panic!("missing {id}"));
+        let report = kola_verify::check_rule(&env, &vdb, rule, 40, 77);
+        assert!(report.verified(), "{report}");
+    }
+}
+
+#[test]
+fn bag_types_infer() {
+    let env = kola::typecheck::TypeEnv::paper_env();
+    let f = parse_func("dedup . biterate(Kp(T), age) . bagify").unwrap();
+    let t = kola::typecheck::typecheck_func(&env, &f).unwrap();
+    assert_eq!(t.to_string(), "{obj0} -> {int}");
+    let f = parse_func("bflat").unwrap();
+    let t = kola::typecheck::typecheck_func(&env, &f).unwrap();
+    assert!(t.to_string().contains("{|"), "{t}");
+}
+
+#[test]
+fn bag_syntax_round_trips() {
+    for src in [
+        "dedup . bagify",
+        "biterate(gt @ (age, Kf(25)), age)",
+        "bunion . (bagify * bagify)",
+        "dedup . bflat . bagify . iterate(Kp(T), bagify)",
+    ] {
+        let f = parse_func(src).unwrap();
+        assert_eq!(parse_func(&f.to_string()).unwrap(), f, "{src}");
+    }
+}
+
+#[test]
+fn bag_fusion_b6_mirrors_rule_11() {
+    let db = db();
+    let q = parse_query(
+        "dedup . biterate(Kp(T), city) . biterate(Kp(T), addr) . bagify ! P",
+    )
+    .unwrap();
+    let catalog = Catalog::paper();
+    let props = PropDb::new();
+    let rule = catalog.get("b6").unwrap();
+    let rules = [Oriented::fwd(rule)];
+    let applied = rewrite_once_query(&rules, &q.normalize(), &props).expect("b6 fires");
+    assert_eq!(
+        kola::eval_query(&db, &q).unwrap(),
+        kola::eval_query(&db, &applied.result).unwrap()
+    );
+}

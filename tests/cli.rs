@@ -1,0 +1,113 @@
+//! Smoke tests for the `kolaq` command-line driver.
+
+use std::process::Command;
+
+fn kolaq(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_kolaq"))
+        .args(args)
+        .output()
+        .expect("kolaq binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn explain_renders_a_tree() {
+    let (ok, stdout, _) = kolaq(&["explain", "iterate(gt @ (age, Kf(25)), age) ! P"]);
+    assert!(ok);
+    assert!(stdout.contains("! apply"), "{stdout}");
+    assert!(stdout.contains("where:"), "{stdout}");
+}
+
+#[test]
+fn optimize_simplifies() {
+    let (ok, stdout, stderr) = kolaq(&[
+        "optimize",
+        "iterate(Kp(T), city) . iterate(Kp(T), addr) ! P",
+    ]);
+    assert!(ok, "{stderr}");
+    assert_eq!(stdout.trim(), "iterate(Kp(T), city . addr) ! P");
+    assert!(stderr.contains("[11]"), "derivation on stderr: {stderr}");
+}
+
+#[test]
+fn untangle_produces_kg2() {
+    let (ok, stdout, _) = kolaq(&[
+        "untangle",
+        "iterate(Kp(T), (id, flat . iter(Kp(T), grgs . pi2) . \
+         (id, iter(in @ (pi1, cars . pi2), pi2) . (id, Kf(P))))) ! V",
+    ]);
+    assert!(ok);
+    assert_eq!(
+        stdout.trim(),
+        "nest(pi1, pi2) . unnest(pi1, pi2) * id . \
+         (join(in @ id * cars, id * grgs), pi1) ! [V, P]"
+    );
+}
+
+#[test]
+fn run_executes_and_reports_stats() {
+    let (ok, stdout, stderr) = kolaq(&["run", "iterate(gt @ (age, Kf(80)), age) ! P"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.trim().starts_with('{'), "{stdout}");
+    assert!(stderr.contains("elements visited"), "{stderr}");
+}
+
+#[test]
+fn oql_pipeline_end_to_end() {
+    let (ok, stdout, stderr) =
+        kolaq(&["oql", "select p.age from p in P where p.age > 80"]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("-- AQUA:"), "{stderr}");
+    assert!(stderr.contains("-- KOLA:"), "{stderr}");
+    assert!(stdout.trim().starts_with('{'), "{stdout}");
+}
+
+#[test]
+fn aqua_translation() {
+    let (ok, stdout, _) = kolaq(&["aqua", "app(\\p. p.addr.city)(P)"]);
+    assert!(ok);
+    assert_eq!(stdout.trim(), "iterate(Kp(T), city . addr) ! P");
+}
+
+#[test]
+fn verify_single_rule() {
+    let (ok, stdout, _) = kolaq(&["verify", "11"]);
+    assert!(ok);
+    assert!(stdout.contains("passed"), "{stdout}");
+}
+
+#[test]
+fn rules_lists_catalog() {
+    let (ok, stdout, _) = kolaq(&["rules"]);
+    assert!(ok);
+    assert!(stdout.lines().count() >= 140, "{}", stdout.lines().count());
+    assert!(stdout.contains("[11] iterate-fusion"), "{stdout}");
+}
+
+#[test]
+fn cost_estimates_both_modes() {
+    let (ok, stdout, stderr) = kolaq(&[
+        "cost",
+        "nest(pi1, pi2) . (join(in @ id * cars, id * grgs), pi1) ! [V, P]",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("Naive:"), "{stdout}");
+    assert!(stdout.contains("Smart:"), "{stdout}");
+    assert!(stdout.contains("measured ops"), "{stdout}");
+}
+
+#[test]
+fn bad_input_fails_cleanly() {
+    let (ok, _, stderr) = kolaq(&["explain", "this is (((not a query"]);
+    assert!(!ok);
+    assert!(stderr.contains("kolaq:"), "{stderr}");
+    let (ok, _, _) = kolaq(&["frobnicate"]);
+    assert!(!ok);
+    let (ok, _, stderr) = kolaq(&["verify", "no-such-rule"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown rule"), "{stderr}");
+}

@@ -1,0 +1,101 @@
+//! Experiment E3 — Figure 1 over AQUA vs over KOLA: the same two
+//! transformations need variable machinery in one representation and none
+//! in the other. This is the paper's central §2-vs-§3 contrast, quantified.
+
+use kola_aqua::rules::{query_t1, query_t2, t1_compose_apps, t2_decompose_sel};
+use kola_aqua::Machinery;
+use kola_exec::datagen::{generate, DataSpec};
+use kola_frontend::translate_query;
+use kola_rewrite::engine::Trace;
+use kola_rewrite::strategy::{apply, fix, seq, Runner};
+use kola_rewrite::{Catalog, PropDb};
+
+#[test]
+fn aqua_t1_needs_machinery_kola_t1_needs_none() {
+    // AQUA side: body routine does expression composition (substitution).
+    let mut m = Machinery::default();
+    let aqua_out = t1_compose_apps(&query_t1(), &mut m).expect("T1 applies");
+    assert!(m.total() > 0, "AQUA T1 must invoke machinery");
+
+    // KOLA side: three pattern applications; machinery count is zero by
+    // construction (there is no machinery to call).
+    let catalog = Catalog::paper();
+    let props = PropDb::new();
+    let runner = Runner::new(&catalog, &props);
+    let k = translate_query(&query_t1()).unwrap();
+    let mut trace = Trace::new();
+    let (kola_out, _) = runner.run(&fix(&["11", "6", "5"]), k, &mut trace);
+
+    // Both reach equivalent results.
+    let db = generate(&DataSpec::small(21));
+    assert_eq!(
+        kola_aqua::eval_closed(&db, &aqua_out).unwrap(),
+        kola::eval_query(&db, &kola_out).unwrap()
+    );
+}
+
+#[test]
+fn aqua_t2_needs_renaming_and_analysis() {
+    let mut m = Machinery::default();
+    let aqua_out = t2_decompose_sel(&query_t2(), &mut m).expect("T2 applies");
+    // §2.1's two named machineries: variable renaming (α-comparison uses
+    // substitution) and free-variable analysis.
+    assert!(m.substitutions > 0);
+    assert!(m.free_var_analyses > 0);
+
+    let catalog = Catalog::paper();
+    let props = PropDb::new();
+    let runner = Runner::new(&catalog, &props);
+    let k = translate_query(&query_t2()).unwrap();
+    let mut trace = Trace::new();
+    let (kola_out, _) = runner.run(
+        &seq(vec![
+            apply("11"),
+            fix(&["3", "e32", "1"]),
+            apply("13"),
+            apply("7"),
+            apply("12-1"),
+        ]),
+        k,
+        &mut trace,
+    );
+    let db = generate(&DataSpec::small(22));
+    assert_eq!(
+        kola_aqua::eval_closed(&db, &aqua_out).unwrap(),
+        kola::eval_query(&db, &kola_out).unwrap()
+    );
+}
+
+#[test]
+fn rules_are_data_no_code_slots_exist() {
+    // The structural claim: a KOLA Rule consists of patterns and
+    // declarative preconditions only. Enumerate the catalog and confirm
+    // nothing else is attached.
+    let catalog = Catalog::paper();
+    for rule in catalog.rules() {
+        assert!(!rule.alts.is_empty());
+        // `Precondition` has exactly {prop, subject}: both data.
+        for pre in &rule.preconditions {
+            match &pre.subject {
+                kola_rewrite::PropTerm::FuncVar(name) => assert!(!name.is_empty()),
+            }
+        }
+    }
+}
+
+#[test]
+fn figure_1_documented_meanings() {
+    // T1: "Return the cities inhabited by people in P."
+    let db = generate(&DataSpec::small(23));
+    let out = kola::eval_query(
+        &db,
+        &kola::parse::parse_query("iterate(Kp(T), city . addr) ! P").unwrap(),
+    )
+    .unwrap();
+    let mut expect = kola::ValueSet::new();
+    for p in db.extent("P").unwrap().as_set().unwrap().iter() {
+        let addr = db.get_attr(p, "addr").unwrap();
+        expect.insert(db.get_attr(&addr, "city").unwrap());
+    }
+    assert_eq!(out, kola::Value::Set(expect));
+}

@@ -1,0 +1,148 @@
+//! Experiment E13 — §4.2's two arguments against monolithic rules:
+//! (1) their head routines must dive to unbounded depth, and (2) a failed
+//! match leaves the query unsimplified, while the gradual strategy's early
+//! steps still make progress.
+
+use kola::parse::parse_query;
+use kola_rewrite::hidden_join::{synthetic_hidden_join, untangle};
+use kola_rewrite::monolithic::{recognize, try_monolithic};
+use kola_rewrite::{Catalog, PropDb};
+
+#[test]
+fn monolithic_and_gradual_agree_on_hidden_joins() {
+    let catalog = Catalog::paper();
+    let props = PropDb::new();
+    for n in 1..=4 {
+        let q = synthetic_hidden_join(n);
+        let (mono, stats) = try_monolithic(&catalog, &props, &q);
+        let gradual = untangle(&catalog, &props, &q);
+        assert_eq!(mono.expect("recognized"), gradual.query, "depth {n}");
+        assert_eq!(stats.dive_depth, n + 1);
+    }
+}
+
+#[test]
+fn near_miss_queries_waste_the_whole_dive() {
+    // A family of near-misses: hidden joins whose innermost constant is
+    // replaced by a dependent collection. The monolithic head dives all the
+    // way down before failing, visiting more nodes the deeper the query.
+    let near_miss = |n: usize| {
+        let mut body = String::from("child"); // not Kf(B): depends on env
+        for _ in 0..n {
+            body = format!("flat . iter(Kp(T), child . pi2) . (id, {body})");
+        }
+        parse_query(&format!("iterate(Kp(T), (id, {body})) ! A")).unwrap()
+    };
+    let mut prev = 0;
+    for n in 1..=6 {
+        let (hit, stats) = recognize(&near_miss(n));
+        assert!(hit.is_none(), "depth {n} must be rejected");
+        assert!(stats.dive_depth >= n, "must dive {n} levels, got {}", stats.dive_depth);
+        assert!(stats.nodes_visited > prev);
+        prev = stats.nodes_visited;
+    }
+}
+
+#[test]
+fn gradual_still_simplifies_what_monolithic_rejects() {
+    let catalog = Catalog::paper();
+    let props = PropDb::new();
+    // The near-miss above is not transformable into a join, but Step 1
+    // still breaks it into a composition chain and Step 2's plumbing
+    // still simplifies — "the query has still been simplified enough that
+    // other appropriate strategies can be simply considered".
+    let q = parse_query(
+        "iterate(Kp(T), (id, flat . iter(Kp(T), child . pi2) . (id, child))) ! A",
+    )
+    .unwrap();
+    let (mono, _) = try_monolithic(&catalog, &props, &q);
+    assert!(mono.is_none(), "monolithic rejects and does nothing");
+
+    let gradual = untangle(&catalog, &props, &q);
+    assert_ne!(gradual.query, q, "gradual made progress anyway");
+    assert!(
+        !gradual.trace.steps.is_empty(),
+        "rules fired: {}",
+        gradual.trace
+    );
+    // Specifically, the monolithic iterate got broken up.
+    let s = gradual.query.to_string();
+    assert!(
+        s.contains("iterate(Kp(T), (pi1,"),
+        "step-1 chain visible: {s}"
+    );
+
+    // And the simplification is still meaning-preserving.
+    let mut db = kola_exec::generate(&kola_exec::DataSpec::small(17));
+    let p = db.extent("P").unwrap();
+    db.bind_extent("A", p);
+    assert_eq!(
+        kola::eval_query(&db, &q).unwrap(),
+        kola::eval_query(&db, &gradual.query).unwrap()
+    );
+}
+
+#[test]
+fn small_rule_heads_are_constant_size() {
+    // Every Figure 5/8 rule head is a fixed finite pattern: measure their
+    // sizes and confirm they are tiny and depth-independent, in contrast
+    // to the monolithic dive.
+    let catalog = Catalog::paper();
+    for id in (1..=24).map(|i| i.to_string()) {
+        let rule = catalog.get(&id).unwrap();
+        for alt in &rule.alts {
+            let head_size = match alt {
+                kola_rewrite::rule::RewritePair::F(l, _) => pfunc_size(l),
+                kola_rewrite::rule::RewritePair::P(l, _) => ppred_size(l),
+                kola_rewrite::rule::RewritePair::Q(l, _) => pquery_size(l),
+            };
+            assert!(head_size <= 40, "rule {id} head is {head_size} nodes");
+        }
+    }
+}
+
+fn pfunc_size(f: &kola::pattern::PFunc) -> usize {
+    // Patterns mirror terms; reuse concrete size via a display round trip
+    // approximation: count nodes by rendering length heuristics is fragile,
+    // so walk the structure.
+    use kola::pattern::PFunc as F;
+    match f {
+        F::Var(_) | F::Id | F::Pi1 | F::Pi2 | F::Prim(_) | F::Flat | F::SetUnion
+        | F::SetIntersect | F::SetDiff | F::Bagify | F::Dedup | F::BUnion
+        | F::BFlat => 1,
+        F::Compose(a, b) | F::PairWith(a, b) | F::Times(a, b) => {
+            1 + pfunc_size(a) + pfunc_size(b)
+        }
+        F::ConstF(q) => 1 + pquery_size(q),
+        F::CurryF(a, q) => 1 + pfunc_size(a) + pquery_size(q),
+        F::Cond(p, a, b) => 1 + ppred_size(p) + pfunc_size(a) + pfunc_size(b),
+        F::Iterate(p, a) | F::Iter(p, a) | F::Join(p, a) | F::BIterate(p, a) => {
+            1 + ppred_size(p) + pfunc_size(a)
+        }
+        F::Nest(a, b) | F::Unnest(a, b) => 1 + pfunc_size(a) + pfunc_size(b),
+    }
+}
+
+fn ppred_size(p: &kola::pattern::PPred) -> usize {
+    use kola::pattern::PPred as P;
+    match p {
+        P::Var(_) | P::Eq | P::Lt | P::Leq | P::Gt | P::Geq | P::In | P::PrimP(_)
+        | P::ConstP(_) => 1,
+        P::Oplus(a, f) => 1 + ppred_size(a) + pfunc_size(f),
+        P::And(a, b) | P::Or(a, b) => 1 + ppred_size(a) + ppred_size(b),
+        P::Not(a) | P::Conv(a) => 1 + ppred_size(a),
+        P::CurryP(a, q) => 1 + ppred_size(a) + pquery_size(q),
+    }
+}
+
+fn pquery_size(q: &kola::pattern::PQuery) -> usize {
+    use kola::pattern::PQuery as Q;
+    match q {
+        Q::Var(_) | Q::Lit(_) | Q::Extent(_) => 1,
+        Q::PairQ(a, b) | Q::Union(a, b) | Q::Intersect(a, b) | Q::Diff(a, b) => {
+            1 + pquery_size(a) + pquery_size(b)
+        }
+        Q::App(f, a) => 1 + pfunc_size(f) + pquery_size(a),
+        Q::Test(p, a) => 1 + ppred_size(p) + pquery_size(a),
+    }
+}

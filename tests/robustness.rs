@@ -1,0 +1,147 @@
+//! Failure injection: the evaluator, typechecker, parsers and rewrite
+//! engine must *never panic* — ill-typed terms get `Err`, garbage input
+//! gets parse errors, and rewriting arbitrary (even ill-typed) terms is
+//! total.
+
+use kola::term::{Func, Pred, Query};
+use kola::value::Value;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// An *untyped* random function generator — deliberately produces ill-typed
+/// terms so the error paths get exercised.
+fn arb_func() -> impl Strategy<Value = Func> {
+    let leaf = prop_oneof![
+        Just(Func::Id),
+        Just(Func::Pi1),
+        Just(Func::Pi2),
+        Just(Func::Flat),
+        Just(Func::Bagify),
+        Just(Func::Dedup),
+        Just(Func::BUnion),
+        Just(Func::BFlat),
+        Just(Func::SetUnion),
+        Just(Func::SetIntersect),
+        Just(Func::SetDiff),
+        "[a-z]{1,6}".prop_map(|s| Func::Prim(Arc::from(s.as_str()))),
+        any::<i64>().prop_map(|i| Func::ConstF(Box::new(Query::Lit(Value::Int(i))))),
+    ];
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Func::Compose(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Func::PairWith(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Func::Times(Box::new(a), Box::new(b))),
+            (arb_pred_leaf(), inner.clone()).prop_map(|(p, f)| Func::Iterate(
+                Box::new(p),
+                Box::new(f)
+            )),
+            (arb_pred_leaf(), inner.clone())
+                .prop_map(|(p, f)| Func::Iter(Box::new(p), Box::new(f))),
+            (arb_pred_leaf(), inner.clone())
+                .prop_map(|(p, f)| Func::Join(Box::new(p), Box::new(f))),
+            (arb_pred_leaf(), inner.clone())
+                .prop_map(|(p, f)| Func::BIterate(Box::new(p), Box::new(f))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Func::Nest(Box::new(a), Box::new(b))),
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| Func::Unnest(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn arb_pred_leaf() -> impl Strategy<Value = Pred> {
+    prop_oneof![
+        Just(Pred::Eq),
+        Just(Pred::Lt),
+        Just(Pred::Gt),
+        Just(Pred::In),
+        any::<bool>().prop_map(Pred::ConstP),
+    ]
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Unit),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        "[a-z]{0,4}".prop_map(|s| Value::str(&s)),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Value::pair(a, b)),
+            proptest::collection::vec(inner, 0..4).prop_map(Value::set),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn eval_never_panics_on_garbage(f in arb_func(), v in arb_value()) {
+        let db = kola::Db::new(kola::Schema::paper_schema());
+        // Err is fine; panic is not (the harness converts panics to fails).
+        let _ = kola::eval_func(&db, &f, &v);
+    }
+
+    #[test]
+    fn typecheck_never_panics_on_garbage(f in arb_func()) {
+        let env = kola::typecheck::TypeEnv::paper_env();
+        let _ = kola::typecheck::typecheck_func(&env, &f);
+    }
+
+    #[test]
+    fn printer_total_and_parser_never_panics(f in arb_func()) {
+        // Printing is total; reparsing the print must not panic (it may
+        // fail only for unknown primitive *keywords*, but random lowercase
+        // prims are valid syntax).
+        let s = f.to_string();
+        let _ = kola::parse::parse_func(&s);
+    }
+
+    #[test]
+    fn rewriting_garbage_is_total(f in arb_func()) {
+        // Apply the whole catalog to an arbitrary (likely ill-typed)
+        // query: rewriting is syntactic and must neither panic nor loop.
+        let catalog = kola_rewrite::Catalog::paper();
+        let props = kola_rewrite::PropDb::new();
+        let q = Query::App(f, Box::new(Query::Extent(Arc::from("P"))));
+        let rules: Vec<kola_rewrite::Oriented> = ["1", "2", "3", "4", "9", "10", "11"]
+            .iter()
+            .map(|id| kola_rewrite::Oriented::fwd(catalog.get(id).unwrap()))
+            .collect();
+        let (_out, trace) =
+            kola_rewrite::rewrite_fix(&rules, &q, &props, 500);
+        prop_assert!(trace.steps.len() <= 500);
+    }
+
+    #[test]
+    fn parser_never_panics_on_random_text(s in "[ -~]{0,60}") {
+        let _ = kola::parse::parse_query(&s);
+        let _ = kola::parse::parse_func(&s);
+        let _ = kola::parse::parse_pred(&s);
+        let _ = kola_frontend::parse_oql(&s);
+        let _ = kola_aqua::parse_aqua(&s);
+        let _ = kola_coko::parse_program(&s);
+    }
+
+    #[test]
+    fn executor_agrees_or_both_fail(f in arb_func(), v in arb_value()) {
+        // On arbitrary terms the op-counting executor and the reference
+        // evaluator either both succeed with the same value or both fail.
+        let db = kola::Db::new(kola::Schema::paper_schema());
+        let reference = kola::eval_func(&db, &f, &v);
+        let mut ex = kola_exec::Executor::new(&db, kola_exec::Mode::Smart);
+        let q = Query::App(f, Box::new(Query::Lit(v)));
+        let got = ex.run(&q);
+        match (reference, got) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "disagreement: {a:?} vs {b:?}"),
+        }
+    }
+}

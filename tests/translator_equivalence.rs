@@ -1,0 +1,94 @@
+//! Experiment E10 support — the AQUA → KOLA translator is semantics
+//! preserving: for randomly generated AQUA queries, the original and the
+//! translation compute the same value on generated databases, and the size
+//! blowup respects §4.2's O(mn) bound.
+
+use kola_aqua::ast::{CmpOp, Expr, Lambda};
+use kola_exec::datagen::{generate, DataSpec};
+use kola_frontend::{measure, sweep_query, translate_query};
+use proptest::prelude::*;
+
+/// A generator for well-scoped AQUA queries over the paper schema, set
+/// typed at every level so both evaluators accept them.
+///
+/// `depth` levels of app/sel over Person sets; projections stay within
+/// schema reach.
+fn arb_person_query(depth: u32) -> impl Strategy<Value = Expr> {
+    let leaf = Just(Expr::extent("P"));
+    leaf.prop_recursive(depth, 24, 2, |inner| {
+        prop_oneof![
+            // sel(λx. x.age CMP k)(inner)
+            (inner.clone(), -5i64..60, 0..4usize).prop_map(|(src, k, op)| {
+                let op = [CmpOp::Gt, CmpOp::Lt, CmpOp::Geq, CmpOp::Leq][op];
+                Expr::sel(
+                    Lambda::new(
+                        "x",
+                        Expr::cmp(op, Expr::var("x").attr("age"), Expr::int(k)),
+                    ),
+                    src,
+                )
+            }),
+            // flatten(app(λx. x.child)(inner))
+            inner.clone().prop_map(|src| Expr::Flatten(Box::new(Expr::app(
+                Lambda::new("x", Expr::var("x").attr("child")),
+                src
+            )))),
+            // app(λx. x)(inner)
+            inner.prop_map(|src| Expr::app(Lambda::new("x", Expr::var("x")), src)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn translation_preserves_semantics(q in arb_person_query(4), seed in 0u64..32) {
+        let db = generate(&DataSpec::small(seed));
+        let aqua_val = kola_aqua::eval_closed(&db, &q).expect("aqua eval");
+        let k = translate_query(&q).expect("translates");
+        let kola_val = kola::eval_query(&db, &k).expect("kola eval");
+        prop_assert_eq!(aqua_val, kola_val);
+    }
+
+    #[test]
+    fn translation_size_obeys_o_mn(q in arb_person_query(5)) {
+        let r = measure(&q).expect("measures");
+        let m = r.env_depth.max(1);
+        prop_assert!(
+            r.kola_size <= 4 * m * r.aqua_size + 16,
+            "size {} vs bound 4*{}*{}", r.kola_size, m, r.aqua_size
+        );
+    }
+}
+
+#[test]
+fn sweep_family_translates_and_agrees() {
+    let mut db = generate(&DataSpec::small(5));
+    let p = db.extent("P").unwrap();
+    db.bind_extent("Q", p);
+    for m in 1..=4 {
+        for w in [0, 2] {
+            let q = sweep_query(m, w);
+            let aqua_val = kola_aqua::eval_closed(&db, &q).unwrap();
+            let k = translate_query(&q).unwrap();
+            let kola_val = kola::eval_query(&db, &k).unwrap();
+            assert_eq!(aqua_val, kola_val, "m={m} w={w}");
+        }
+    }
+}
+
+#[test]
+fn ratio_under_two_for_paper_scale_queries() {
+    // §4.2: "translated queries are less than twice the size of the
+    // queries they translate" — holds for the m ≤ 2 queries of the figures.
+    for q in [
+        kola_aqua::rules::query_t1(),
+        kola_aqua::rules::query_t2(),
+        kola_aqua::rules::query_a3(),
+        kola_aqua::rules::query_a4(),
+    ] {
+        let r = measure(&q).unwrap();
+        assert!(r.ratio() < 2.0, "{q}: ratio {}", r.ratio());
+    }
+}
