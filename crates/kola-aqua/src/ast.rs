@@ -158,10 +158,9 @@ impl Expr {
         match self {
             Expr::Var(_) | Expr::Lit(_) | Expr::Extent(_) => 1,
             Expr::Attr(e, _) | Expr::Not(e) | Expr::Flatten(e) => 1 + e.size(),
-            Expr::Pair(a, b)
-            | Expr::Cmp(_, a, b)
-            | Expr::And(a, b)
-            | Expr::Or(a, b) => 1 + a.size() + b.size(),
+            Expr::Pair(a, b) | Expr::Cmp(_, a, b) | Expr::And(a, b) | Expr::Or(a, b) => {
+                1 + a.size() + b.size()
+            }
             Expr::App(l, s) | Expr::Sel(l, s) => 1 + l.body.size() + s.size(),
             Expr::Join {
                 pred,
@@ -181,10 +180,7 @@ impl Expr {
             match e {
                 Expr::Var(_) | Expr::Lit(_) | Expr::Extent(_) => {}
                 Expr::Attr(e, _) | Expr::Not(e) | Expr::Flatten(e) => go(e, depth, max),
-                Expr::Pair(a, b)
-                | Expr::Cmp(_, a, b)
-                | Expr::And(a, b)
-                | Expr::Or(a, b) => {
+                Expr::Pair(a, b) | Expr::Cmp(_, a, b) | Expr::And(a, b) | Expr::Or(a, b) => {
                     go(a, depth, max);
                     go(b, depth, max);
                 }

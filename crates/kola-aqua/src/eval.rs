@@ -253,10 +253,7 @@ mod tests {
         let q = E::app(
             Lambda::new("x", E::var("x").attr("age")),
             E::sel(
-                Lambda::new(
-                    "p",
-                    E::cmp(CmpOp::Gt, E::var("p").attr("age"), E::int(25)),
-                ),
+                Lambda::new("p", E::cmp(CmpOp::Gt, E::var("p").attr("age"), E::int(25))),
                 E::extent("P"),
             ),
         );

@@ -11,8 +11,8 @@
 //! exactly how much machinery each rule consumes.
 pub mod ast;
 pub mod display;
-pub mod parse;
 pub mod eval;
+pub mod parse;
 pub mod rules;
 pub mod vars;
 

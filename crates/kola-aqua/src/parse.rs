@@ -84,8 +84,7 @@ fn lex(src: &str) -> Result<Vec<Tok>, AquaParseError> {
             }
             c if c.is_ascii_alphanumeric() || c == '_' => {
                 let start = i;
-                while i < b.len()
-                    && ((b[i] as char).is_ascii_alphanumeric() || b[i] as char == '_')
+                while i < b.len() && ((b[i] as char).is_ascii_alphanumeric() || b[i] as char == '_')
                 {
                     i += 1;
                 }
@@ -108,8 +107,7 @@ struct P {
 }
 
 const KEYWORDS: &[&str] = &[
-    "app", "sel", "flatten", "join", "if", "then", "else", "and", "or", "not", "in", "T",
-    "F",
+    "app", "sel", "flatten", "join", "if", "then", "else", "and", "or", "not", "in", "T", "F",
 ];
 
 impl P {
@@ -390,8 +388,7 @@ mod tests {
     fn parses_figure_queries_from_their_printed_form() {
         for q in [query_t1(), query_t2(), query_a3(), query_a4()] {
             let printed = q.to_string();
-            let reparsed = parse_aqua(&printed)
-                .unwrap_or_else(|e| panic!("{printed}: {e}"));
+            let reparsed = parse_aqua(&printed).unwrap_or_else(|e| panic!("{printed}: {e}"));
             assert_eq!(reparsed, q, "{printed}");
         }
     }
@@ -400,7 +397,10 @@ mod tests {
     fn parses_basic_forms() {
         assert_eq!(
             parse_aqua("app(\\p. p.age)(P)").unwrap(),
-            Expr::app(Lambda::new("p", Expr::var("p").attr("age")), Expr::extent("P"))
+            Expr::app(
+                Lambda::new("p", Expr::var("p").attr("age")),
+                Expr::extent("P")
+            )
         );
         assert_eq!(
             parse_aqua("sel(\\p. p.age > 25)(P)").unwrap().to_string(),

@@ -179,7 +179,10 @@ pub fn query_a4() -> Expr {
 pub fn query_t1() -> Expr {
     Expr::app(
         Lambda::new("a", Expr::var("a").attr("city")),
-        Expr::app(Lambda::new("p", Expr::var("p").attr("addr")), Expr::extent("P")),
+        Expr::app(
+            Lambda::new("p", Expr::var("p").attr("addr")),
+            Expr::extent("P"),
+        ),
     )
 }
 
@@ -222,7 +225,10 @@ mod tests {
         let out = t2_decompose_sel(&query_t2(), &mut m).expect("T2 applies");
         let want = Expr::sel(
             Lambda::new("a", Expr::cmp(CmpOp::Gt, Expr::var("a"), Expr::int(25))),
-            Expr::app(Lambda::new("p", Expr::var("p").attr("age")), Expr::extent("P")),
+            Expr::app(
+                Lambda::new("p", Expr::var("p").attr("age")),
+                Expr::extent("P"),
+            ),
         );
         assert_eq!(out, want);
         // Needed both variable renaming (α-compare) and analysis.

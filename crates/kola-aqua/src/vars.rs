@@ -199,9 +199,7 @@ fn subst_inner(
             a.clone(),
         ),
         Expr::Not(e) => Expr::Not(Box::new(subst_inner(e, var, replacement, fv_repl, m))),
-        Expr::Flatten(e) => {
-            Expr::Flatten(Box::new(subst_inner(e, var, replacement, fv_repl, m)))
-        }
+        Expr::Flatten(e) => Expr::Flatten(Box::new(subst_inner(e, var, replacement, fv_repl, m))),
         Expr::Pair(a, b) => Expr::Pair(
             Box::new(subst_inner(a, var, replacement, fv_repl, m)),
             Box::new(subst_inner(b, var, replacement, fv_repl, m)),
@@ -273,7 +271,10 @@ mod tests {
             E::var("p").attr("child"),
         );
         let fv = free_vars(&e, &mut m);
-        assert_eq!(fv.into_iter().collect::<Vec<_>>(), vec![Arc::from("p") as Sym]);
+        assert_eq!(
+            fv.into_iter().collect::<Vec<_>>(),
+            vec![Arc::from("p") as Sym]
+        );
     }
 
     #[test]

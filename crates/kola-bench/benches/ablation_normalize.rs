@@ -21,9 +21,7 @@ fn left_associate(q: &Query) -> Query {
             .collect();
         let mut it = segs.into_iter();
         let first = it.next().expect("non-empty chain");
-        it.fold(first, |acc, g| {
-            Func::Compose(Box::new(acc), Box::new(g))
-        })
+        it.fold(first, |acc, g| Func::Compose(Box::new(acc), Box::new(g)))
     }
     fn descend(f: &Func) -> Func {
         match f {
@@ -31,9 +29,7 @@ fn left_associate(q: &Query) -> Query {
             Func::PairWith(a, b) => {
                 Func::PairWith(Box::new(fix_func_or(a)), Box::new(fix_func_or(b)))
             }
-            Func::Times(a, b) => {
-                Func::Times(Box::new(fix_func_or(a)), Box::new(fix_func_or(b)))
-            }
+            Func::Times(a, b) => Func::Times(Box::new(fix_func_or(a)), Box::new(fix_func_or(b))),
             other => other.clone(),
         }
     }
@@ -99,7 +95,11 @@ fn main() {
         ("right-normalized + renormalize", kg1b.normalize(), true),
         ("right-normalized, no renormalize", kg1b.normalize(), false),
         ("left-associated + renormalize", left_associate(&kg1b), true),
-        ("left-associated, no renormalize", left_associate(&kg1b), false),
+        (
+            "left-associated, no renormalize",
+            left_associate(&kg1b),
+            false,
+        ),
     ] {
         let (out, fires) = run(&start, renorm);
         let pulled = out.to_string().starts_with("nest(pi1, pi2)");

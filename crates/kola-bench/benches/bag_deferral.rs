@@ -31,7 +31,10 @@ fn main() {
             .collect();
         let half = people.len() / 2;
         // Overlapping halves: the union has duplicates to eliminate.
-        db.bind_extent("A", kola::Value::set(people[..(half * 3 / 2).min(people.len())].to_vec()));
+        db.bind_extent(
+            "A",
+            kola::Value::set(people[..(half * 3 / 2).min(people.len())].to_vec()),
+        );
         db.bind_extent("B", kola::Value::set(people[half / 2..].to_vec()));
 
         let eager = parse_query("iterate(Kp(T), age) ! (A union B)").expect("parses");

@@ -40,16 +40,13 @@ fn main() {
         }
     };
 
-    let t1 = kola::parse::parse_query("iterate(Kp(T), city) . iterate(Kp(T), addr) ! P")
-        .unwrap();
+    let t1 = kola::parse::parse_query("iterate(Kp(T), city) . iterate(Kp(T), addr) ! P").unwrap();
     let mut trace = Trace::new();
     runner.run(&fix(&["11", "6", "5"]), t1, &mut trace);
     record("T1K", &trace);
 
-    let t2 = kola::parse::parse_query(
-        "iterate(Kp(T), age) . iterate(gt @ (age, Kf(25)), id) ! P",
-    )
-    .unwrap();
+    let t2 = kola::parse::parse_query("iterate(Kp(T), age) . iterate(gt @ (age, Kf(25)), id) ! P")
+        .unwrap();
     let mut trace = Trace::new();
     runner.run(
         &seq(vec![

@@ -1,32 +1,27 @@
 //! Experiment E5 (timing): rewrite throughput for the Figure 4 derivations
 //! and the Figure 3 garage-query untangling.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use kola_bench::bench;
 use kola_rewrite::engine::Trace;
 use kola_rewrite::hidden_join::{garage_query_kg1, synthetic_hidden_join, untangle};
 use kola_rewrite::strategy::{apply, fix, seq, Runner};
 use kola_rewrite::{Catalog, PropDb};
 use std::hint::black_box;
 
-fn bench_derivations(c: &mut Criterion) {
+fn main() {
     let catalog = Catalog::paper();
     let props = PropDb::new();
     let runner = Runner::new(&catalog, &props);
 
-    let t1 = kola::parse::parse_query("iterate(Kp(T), city) . iterate(Kp(T), addr) ! P")
-        .unwrap();
-    c.bench_function("fig4/t1k_derivation", |b| {
-        b.iter(|| {
-            let mut trace = Trace::new();
-            let (out, _) = runner.run(&fix(&["11", "6", "5"]), black_box(t1.clone()), &mut trace);
-            black_box(out)
-        })
+    let t1 = kola::parse::parse_query("iterate(Kp(T), city) . iterate(Kp(T), addr) ! P").unwrap();
+    bench("fig4/t1k_derivation", || {
+        let mut trace = Trace::new();
+        let (out, _) = runner.run(&fix(&["11", "6", "5"]), black_box(t1.clone()), &mut trace);
+        out
     });
 
-    let t2 = kola::parse::parse_query(
-        "iterate(Kp(T), age) . iterate(gt @ (age, Kf(25)), id) ! P",
-    )
-    .unwrap();
+    let t2 = kola::parse::parse_query("iterate(Kp(T), age) . iterate(gt @ (age, Kf(25)), id) ! P")
+        .unwrap();
     let t2_strategy = seq(vec![
         apply("11"),
         fix(&["3", "e32", "1"]),
@@ -34,29 +29,21 @@ fn bench_derivations(c: &mut Criterion) {
         apply("7"),
         apply("12-1"),
     ]);
-    c.bench_function("fig4/t2k_derivation", |b| {
-        b.iter(|| {
-            let mut trace = Trace::new();
-            let (out, _) = runner.run(&t2_strategy, black_box(t2.clone()), &mut trace);
-            black_box(out)
-        })
+    bench("fig4/t2k_derivation", || {
+        let mut trace = Trace::new();
+        let (out, _) = runner.run(&t2_strategy, black_box(t2.clone()), &mut trace);
+        out
     });
 
     let kg1 = garage_query_kg1();
-    c.bench_function("fig3/garage_untangle", |b| {
-        b.iter(|| black_box(untangle(&catalog, &props, black_box(&kg1))))
+    bench("fig3/garage_untangle", || {
+        untangle(&catalog, &props, black_box(&kg1))
     });
 
-    let mut group = c.benchmark_group("fig7/untangle_by_depth");
-    group.sample_size(20);
     for n in [1usize, 2, 4, 6] {
         let q = synthetic_hidden_join(n);
-        group.bench_function(format!("depth_{n}"), |b| {
-            b.iter(|| black_box(untangle(&catalog, &props, black_box(&q))))
+        bench(&format!("fig7/untangle_by_depth/depth_{n}"), || {
+            untangle(&catalog, &props, black_box(&q))
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_derivations);
-criterion_main!(benches);

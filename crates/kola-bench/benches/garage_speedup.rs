@@ -17,14 +17,7 @@ fn main() {
     println!("# E8/E15 — garage query: hidden join vs untangled nest-of-join");
     println!(
         "{:>6} {:>6} | {:>12} {:>12} {:>12} | {:>10} {:>10} | {:>8}",
-        "|V|",
-        "|P|",
-        "KG1 ops",
-        "KG2 naive",
-        "KG2 hash",
-        "KG1 us",
-        "KG2 us",
-        "speedup"
+        "|V|", "|P|", "KG1 ops", "KG2 naive", "KG2 hash", "KG1 us", "KG2 us", "speedup"
     );
     for factor in [1usize, 2, 4, 8, 16, 32] {
         let spec = DataSpec::scaled(factor, 7);

@@ -6,8 +6,7 @@
 //! prints.
 
 use kola_aqua::rules::{
-    code_motion, query_a3, query_a4, query_t1, query_t2, t1_compose_apps,
-    t2_decompose_sel,
+    code_motion, query_a3, query_a4, query_t1, query_t2, t1_compose_apps, t2_decompose_sel,
 };
 use kola_aqua::{Expr, Machinery};
 

@@ -2,38 +2,31 @@
 //! how quickly the catalog (the stand-in for the paper's 500 LP-proved
 //! rules) is re-checked end to end.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use kola::typecheck::TypeEnv;
+use kola_bench::bench;
 use kola_exec::datagen::{generate, DataSpec};
 use kola_rewrite::{Catalog, Rule};
 use kola_verify::{check_rule, verify_catalog};
-use std::hint::black_box;
 
-fn bench_verify(c: &mut Criterion) {
+fn main() {
     let env = TypeEnv::paper_env();
     let db = generate(&DataSpec::small(5));
     let catalog = Catalog::paper();
 
-    let mut group = c.benchmark_group("verify");
-    group.sample_size(10);
-    group.bench_function("rule_11_x25_trials", |b| {
-        let rule = catalog.get("11").unwrap();
-        b.iter(|| black_box(check_rule(&env, &db, rule, 25, 3)))
+    let rule11 = catalog.get("11").unwrap();
+    bench("verify/rule_11_x25_trials", || {
+        check_rule(&env, &db, rule11, 25, 3)
     });
-    group.bench_function("rule_19_query_level_x25", |b| {
-        let rule = catalog.get("19").unwrap();
-        b.iter(|| black_box(check_rule(&env, &db, rule, 25, 3)))
+    let rule19 = catalog.get("19").unwrap();
+    bench("verify/rule_19_query_level_x25", || {
+        check_rule(&env, &db, rule19, 25, 3)
     });
-    group.bench_function("whole_catalog_x5_trials", |b| {
-        b.iter(|| black_box(verify_catalog(&env, &db, &catalog, 5, 3)))
+    bench("verify/whole_catalog_x5_trials", || {
+        verify_catalog(&env, &db, &catalog, 5, 3)
     });
-    group.bench_function("broken_rule_counterexample_time", |b| {
-        // How fast a wrong rule is refuted (first counterexample).
-        let broken = Rule::func("bad", "bad", "pi1 . ($f, $g)", "$g");
-        b.iter(|| black_box(check_rule(&env, &db, &broken, 25, 3)))
+    // How fast a wrong rule is refuted (first counterexample).
+    let broken = Rule::func("bad", "bad", "pi1 . ($f, $g)", "$g");
+    bench("verify/broken_rule_counterexample_time", || {
+        check_rule(&env, &db, &broken, 25, 3)
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_verify);
-criterion_main!(benches);

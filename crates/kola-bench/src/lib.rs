@@ -1,1 +1,35 @@
 //! Benchmark-only crate; see the benches directory.
+//!
+//! The benches run offline with no external harness: [`bench`] is a minimal
+//! measured-loop timer (warmup, then the median of several timed batches)
+//! that every `harness = false` bench target shares.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Run `f` in a measured loop and print `name: <median> ns/iter`.
+///
+/// Warmup runs the closure for ~20ms, then the batch size is chosen so one
+/// batch takes roughly 10ms, and the median over 5 batches is reported.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    // Warmup + calibration.
+    let calib = Instant::now();
+    let mut warm = 0u32;
+    while calib.elapsed().as_millis() < 20 && warm < 1000 {
+        black_box(f());
+        warm += 1;
+    }
+    let per_iter = calib.elapsed().as_nanos().max(1) / u128::from(warm.max(1));
+    let batch = ((10_000_000 / per_iter.max(1)) as usize).clamp(1, 100_000);
+
+    let mut samples = Vec::with_capacity(5);
+    for _ in 0..5 {
+        let t = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        samples.push(t.elapsed().as_nanos() / batch as u128);
+    }
+    samples.sort_unstable();
+    println!("{name}: {} ns/iter (batch {batch} x5)", samples[2]);
+}

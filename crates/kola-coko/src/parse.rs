@@ -129,8 +129,7 @@ fn lex(src: &str) -> Result<Vec<Tok>, CokoError> {
             }
             c if c.is_ascii_alphanumeric() || c == '_' => {
                 let start = i;
-                while i < b.len()
-                    && ((b[i] as char).is_ascii_alphanumeric() || b[i] as char == '_')
+                while i < b.len() && ((b[i] as char).is_ascii_alphanumeric() || b[i] as char == '_')
                 {
                     i += 1;
                 }
@@ -183,10 +182,7 @@ impl P {
 
     fn transformation(&mut self) -> Result<Transformation, CokoError> {
         if !self.eat_kw("TRANSFORMATION") {
-            return err(format!(
-                "expected TRANSFORMATION, found {:?}",
-                self.peek()
-            ));
+            return err(format!("expected TRANSFORMATION, found {:?}", self.peek()));
         }
         let name = self.ident()?;
         let mut uses = Vec::new();
@@ -320,11 +316,9 @@ pub fn compile(program: &Program, name: &str) -> Result<Strategy, CokoError> {
         .iter()
         .map(|t| (t.name.as_str(), t))
         .collect();
-    let t = by_name
-        .get(name)
-        .ok_or_else(|| CokoError {
-            msg: format!("unknown transformation {name}"),
-        })?;
+    let t = by_name.get(name).ok_or_else(|| CokoError {
+        msg: format!("unknown transformation {name}"),
+    })?;
     let mut stack = vec![name.to_string()];
     compile_stmt(&by_name, &t.body, &mut stack)
 }
@@ -371,10 +365,7 @@ mod tests {
 
     #[test]
     fn parses_simple_transformation() {
-        let p = parse_program(
-            "TRANSFORMATION Clean BEGIN FIX { [1], [2] } END",
-        )
-        .unwrap();
+        let p = parse_program("TRANSFORMATION Clean BEGIN FIX { [1], [2] } END").unwrap();
         assert_eq!(p.transformations.len(), 1);
         assert_eq!(
             p.transformations[0].body,
@@ -384,10 +375,8 @@ mod tests {
 
     #[test]
     fn parses_sequences_and_combinators() {
-        let p = parse_program(
-            "TRANSFORMATION T BEGIN REPEAT [app] ; [19] ; REPEAT [app-1] END",
-        )
-        .unwrap();
+        let p = parse_program("TRANSFORMATION T BEGIN REPEAT [app] ; [19] ; REPEAT [app-1] END")
+            .unwrap();
         match &p.transformations[0].body {
             Stmt::Seq(parts) => {
                 assert_eq!(parts.len(), 3);
@@ -399,10 +388,7 @@ mod tests {
 
     #[test]
     fn parses_choice_and_grouping() {
-        let p = parse_program(
-            "TRANSFORMATION T BEGIN { [1] | [2] } ; TRY [3] END",
-        )
-        .unwrap();
+        let p = parse_program("TRANSFORMATION T BEGIN { [1] | [2] } ; TRY [3] END").unwrap();
         match &p.transformations[0].body {
             Stmt::Seq(parts) => {
                 assert!(matches!(&parts[0], Stmt::Choice(cs) if cs.len() == 2));
@@ -414,10 +400,8 @@ mod tests {
 
     #[test]
     fn comments_ignored() {
-        let p = parse_program(
-            "-- cleanup pass\nTRANSFORMATION T BEGIN [1] -- id-right\nEND",
-        )
-        .unwrap();
+        let p =
+            parse_program("-- cleanup pass\nTRANSFORMATION T BEGIN [1] -- id-right\nEND").unwrap();
         assert_eq!(p.transformations[0].body, Stmt::Fire("1".into()));
     }
 

@@ -186,10 +186,7 @@ mod tests {
         let (out, _) = runner.run(&strategy, q, &mut trace);
         assert_eq!(
             out,
-            kola::parse::parse_query(
-                "join(gt @ (age . pi1, age . pi2), id) ! [P, P]"
-            )
-            .unwrap()
+            kola::parse::parse_query("join(gt @ (age . pi1, age . pi2), id) ! [P, P]").unwrap()
         );
     }
 
@@ -210,10 +207,13 @@ mod tests {
         // literals (atom or negated atom).
         fn is_literal(p: &kola::Pred) -> bool {
             match p {
-                kola::Pred::Not(inner) => is_literal(inner) && !matches!(
-                    **inner,
-                    kola::Pred::And(..) | kola::Pred::Or(..) | kola::Pred::Not(..)
-                ),
+                kola::Pred::Not(inner) => {
+                    is_literal(inner)
+                        && !matches!(
+                            **inner,
+                            kola::Pred::And(..) | kola::Pred::Or(..) | kola::Pred::Not(..)
+                        )
+                }
                 kola::Pred::And(..) | kola::Pred::Or(..) => false,
                 _ => true,
             }
@@ -280,10 +280,8 @@ mod tests {
         let runner = Runner::new(&catalog, &props);
         let strategy = simplify_strategy().unwrap();
         // T1K: the nested iterates fuse to a single pass.
-        let q = kola::parse::parse_query(
-            "iterate(Kp(T), city) . iterate(Kp(T), addr) ! P",
-        )
-        .unwrap();
+        let q =
+            kola::parse::parse_query("iterate(Kp(T), city) . iterate(Kp(T), addr) ! P").unwrap();
         let mut trace = Trace::new();
         let (out, _) = runner.run(&strategy, q, &mut trace);
         assert_eq!(

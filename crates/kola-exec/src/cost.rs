@@ -170,17 +170,10 @@ pub fn estimate_query(stats: &Stats, mode: Mode, q: &Query) -> Estimate {
 fn card_of_value(v: &Value) -> Card {
     match v {
         Value::Set(s) => {
-            let elem = s
-                .iter()
-                .next()
-                .map(card_of_value)
-                .unwrap_or(Card::Scalar);
+            let elem = s.iter().next().map(card_of_value).unwrap_or(Card::Scalar);
             Card::set(s.len() as f64, elem)
         }
-        Value::Pair(p) => Card::Pair(
-            Box::new(card_of_value(&p.0)),
-            Box::new(card_of_value(&p.1)),
-        ),
+        Value::Pair(p) => Card::Pair(Box::new(card_of_value(&p.0)), Box::new(card_of_value(&p.1))),
         _ => Card::Scalar,
     }
 }

@@ -5,11 +5,10 @@
 //! generator builds Person/Address/Vehicle worlds of configurable size and
 //! fan-out, seeded so every run (tests, benches) sees identical data.
 
+use crate::rng::Rng;
 use kola::db::Db;
 use kola::schema::Schema;
 use kola::value::{ObjId, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Dataset-shape parameters.
 #[derive(Debug, Clone, Copy)]
@@ -55,7 +54,7 @@ pub fn generate(spec: &DataSpec) -> Db {
     let address = schema.class_id("Address").expect("paper schema");
     let vehicle = schema.class_id("Vehicle").expect("paper schema");
     let mut db = Db::new(schema);
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = Rng::seed_from_u64(spec.seed);
 
     let cities = ["Boston", "NYC", "Montreal", "Providence", "Cambridge"];
     let makes = ["Saab", "Volvo", "Honda", "Ford", "Fiat"];
@@ -102,7 +101,7 @@ pub fn generate(spec: &DataSpec) -> Db {
                 person,
                 vec![
                     Value::Obj(addr),
-                    Value::Int(rng.gen_range(1..=90)),
+                    Value::Int(rng.gen_range(1..=90i64)),
                     Value::str(&format!("person{i}")),
                     Value::empty_set(), // children filled in below
                     Value::set(cars.into_iter().map(Value::Obj)),
@@ -124,14 +123,11 @@ pub fn generate(spec: &DataSpec) -> Db {
     }
 
     db.bind_extent("P", Value::set(person_ids.iter().copied().map(Value::Obj)));
-    db.bind_extent(
-        "V",
-        Value::set(vehicle_ids.iter().copied().map(Value::Obj)),
-    );
+    db.bind_extent("V", Value::set(vehicle_ids.iter().copied().map(Value::Obj)));
     db
 }
 
-fn pick(rng: &mut StdRng, pool: &[ObjId], max: usize) -> Vec<ObjId> {
+fn pick(rng: &mut Rng, pool: &[ObjId], max: usize) -> Vec<ObjId> {
     if pool.is_empty() || max == 0 {
         return Vec::new();
     }

@@ -123,9 +123,7 @@ impl<'a> Executor<'a> {
         self.stats.func_calls += 1;
         match f {
             Func::Join(p, body) if self.mode == Mode::Smart => self.smart_join(p, body, x),
-            Func::Nest(key, val) if self.mode == Mode::Smart => {
-                self.smart_nest(key, val, x)
-            }
+            Func::Nest(key, val) if self.mode == Mode::Smart => self.smart_nest(key, val, x),
             Func::Compose(a, b) => {
                 let mid = self.func(b, x)?;
                 self.func(a, &mid)

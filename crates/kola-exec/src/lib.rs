@@ -6,10 +6,15 @@
 //! (naive nested-loop) or hash-based physical operators, counting abstract
 //! operations. Together they make the benefit of §4's hidden-join
 //! untangling *measurable* (experiment E15).
+//!
+//! [`rng`] vendors the deterministic PRNG that keeps the whole workspace
+//! hermetic (no external `rand` dependency, so tier-1 builds run offline).
 pub mod cost;
 pub mod datagen;
 pub mod engine;
+pub mod rng;
 
 pub use cost::{choose, estimate_query, Estimate, Stats};
 pub use datagen::{generate, DataSpec};
 pub use engine::{ExecStats, Executor, Mode};
+pub use rng::Rng;

@@ -96,8 +96,7 @@ fn lex(src: &str) -> Result<Vec<Tok>, OqlError> {
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
-                while i < b.len()
-                    && ((b[i] as char).is_ascii_alphanumeric() || b[i] as char == '_')
+                while i < b.len() && ((b[i] as char).is_ascii_alphanumeric() || b[i] as char == '_')
                 {
                     i += 1;
                 }
@@ -197,14 +196,10 @@ impl P {
                     depth -= 1;
                     self.pos += 1;
                 }
-                Some(Tok::Ident(s))
-                    if depth == 0 && s.eq_ignore_ascii_case("from") =>
-                {
+                Some(Tok::Ident(s)) if depth == 0 && s.eq_ignore_ascii_case("from") => {
                     break;
                 }
-                Some(Tok::Ident(s))
-                    if depth == 0 && s.eq_ignore_ascii_case("select") =>
-                {
+                Some(Tok::Ident(s)) if depth == 0 && s.eq_ignore_ascii_case("select") => {
                     // A nested select inside the projection without parens
                     // would be ambiguous; require parentheses.
                     return self.err("parenthesize nested select in projection");
@@ -351,8 +346,7 @@ pub fn parse_oql(src: &str) -> Result<Expr, OqlError> {
         pos: 0,
         scope: BTreeSet::new(),
     };
-    let e = if matches!(p.peek(), Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("select"))
-    {
+    let e = if matches!(p.peek(), Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("select")) {
         p.select()?
     } else {
         p.expr()?
@@ -393,23 +387,14 @@ mod tests {
     #[test]
     fn select_with_where() {
         let e = parse_oql("select p.age from p in P where p.age > 25").unwrap();
-        assert_eq!(
-            e.to_string(),
-            "app(\\p. p.age)(sel(\\p. p.age > 25)(P))"
-        );
+        assert_eq!(e.to_string(), "app(\\p. p.age)(sel(\\p. p.age > 25)(P))");
     }
 
     #[test]
     fn nested_select_in_projection() {
         // The garage-ish query: per person, their children's cities.
-        let e = parse_oql(
-            "select [p, (select c.age from c in p.child)] from p in P",
-        )
-        .unwrap();
-        assert_eq!(
-            e.to_string(),
-            "app(\\p. [p, app(\\c. c.age)(p.child)])(P)"
-        );
+        let e = parse_oql("select [p, (select c.age from c in p.child)] from p in P").unwrap();
+        assert_eq!(e.to_string(), "app(\\p. [p, app(\\c. c.age)(p.child)])(P)");
     }
 
     #[test]
@@ -421,9 +406,7 @@ mod tests {
 
     #[test]
     fn booleans_and_comparisons() {
-        let e =
-            parse_oql("select p from p in P where p.age > 18 and not p.age > 65")
-                .unwrap();
+        let e = parse_oql("select p from p in P where p.age > 18 and not p.age > 65").unwrap();
         assert_eq!(
             e.to_string(),
             "app(\\p. p)(sel(\\p. (p.age > 18 and (not p.age > 65)))(P))"
@@ -432,10 +415,7 @@ mod tests {
 
     #[test]
     fn flatten_and_membership() {
-        let e = parse_oql(
-            "flatten(select p.grgs from p in P where v in p.cars)",
-        )
-        .unwrap();
+        let e = parse_oql("flatten(select p.grgs from p in P where v in p.cars)").unwrap();
         assert!(e.to_string().starts_with("flatten("), "{e}");
     }
 

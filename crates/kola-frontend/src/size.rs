@@ -68,11 +68,7 @@ pub fn sweep_query(m: usize, width: usize) -> Expr {
         inner_src = Expr::sel(
             Lambda::new(
                 &innermost,
-                Expr::cmp(
-                    CmpOp::Gt,
-                    Expr::var(&innermost).attr("age"),
-                    Expr::int(25),
-                ),
+                Expr::cmp(CmpOp::Gt, Expr::var(&innermost).attr("age"), Expr::int(25)),
             ),
             inner_src,
         );
@@ -93,9 +89,7 @@ mod tests {
         for m in 1..=5 {
             for width in [0, 2, 4] {
                 let q = sweep_query(m, width);
-                let r = measure(&q).unwrap_or_else(|e| {
-                    panic!("m={m} w={width}: {e}")
-                });
+                let r = measure(&q).unwrap_or_else(|e| panic!("m={m} w={width}: {e}"));
                 assert_eq!(r.env_depth, m, "m={m} w={width}");
                 assert!(r.kola_size > 0);
             }
@@ -122,11 +116,7 @@ mod tests {
         // figures.
         for (m, w) in [(1, 0), (1, 3), (2, 0), (2, 3)] {
             let r = measure(&sweep_query(m, w)).unwrap();
-            assert!(
-                r.ratio() < 2.5,
-                "m={m} w={w}: ratio {}",
-                r.ratio()
-            );
+            assert!(r.ratio() < 2.5, "m={m} w={w}: ratio {}", r.ratio());
         }
     }
 

@@ -178,10 +178,7 @@ fn translate_func(env: &EnvStack, e: &Expr) -> TResult<Func> {
             Func::Prim(attr.clone()),
             translate_func(env, inner)?,
         )),
-        Expr::Pair(a, b) => Ok(k::pairf(
-            translate_func(env, a)?,
-            translate_func(env, b)?,
-        )),
+        Expr::Pair(a, b) => Ok(k::pairf(translate_func(env, a)?, translate_func(env, b)?)),
         Expr::App(l, s) => {
             // iter(Kp(T), T⟦body⟧(env+x)) ∘ (id, T⟦S⟧env)
             let body = func_under(env, l)?;
@@ -226,10 +223,7 @@ fn translate_pred(env: &EnvStack, e: &Expr) -> TResult<Pred> {
             };
             Ok(k::oplus(base, k::pairf(fa, fb)))
         }
-        Expr::And(a, b) => Ok(k::and(
-            translate_pred(env, a)?,
-            translate_pred(env, b)?,
-        )),
+        Expr::And(a, b) => Ok(k::and(translate_pred(env, a)?, translate_pred(env, b)?)),
         Expr::Or(a, b) => Ok(k::or(translate_pred(env, a)?, translate_pred(env, b)?)),
         Expr::Not(a) => Ok(k::not(translate_pred(env, a)?)),
         _ => Err(TranslateError::BoolValueMismatch),
@@ -289,18 +283,11 @@ mod tests {
         );
         let app_grgs = E::app(Lambda::new("p", E::var("p").attr("grgs")), sel);
         let garage = E::app(
-            Lambda::new(
-                "v",
-                E::pair(E::var("v"), E::Flatten(Box::new(app_grgs))),
-            ),
+            Lambda::new("v", E::pair(E::var("v"), E::Flatten(Box::new(app_grgs)))),
             E::extent("V"),
         );
         let q = translate_query(&garage).unwrap();
-        assert_eq!(
-            q,
-            kola_rewrite_free_kg1(),
-            "translated: {q}\nexpected KG1"
-        );
+        assert_eq!(q, kola_rewrite_free_kg1(), "translated: {q}\nexpected KG1");
     }
 
     /// Figure 3's KG1, built from its printed text.
@@ -320,10 +307,7 @@ mod tests {
         // Three levels: innermost body references all three binders.
         // app(λa. app(λb. app(λc. [a, [b, c]])(c0.child))(b0.child))(P)
         let inner = E::app(
-            Lambda::new(
-                "c",
-                E::pair(E::var("a"), E::pair(E::var("b"), E::var("c"))),
-            ),
+            Lambda::new("c", E::pair(E::var("a"), E::pair(E::var("b"), E::var("c")))),
             E::var("b").attr("child"),
         );
         let mid = E::app(Lambda::new("b", inner), E::var("a").attr("child"));

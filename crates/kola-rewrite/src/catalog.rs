@@ -68,14 +68,25 @@ impl Catalog {
     /// Resolve a derivation-style rule reference: `"11"` (forward) or
     /// `"12-1"` (backward). Panics on unknown ids — references are static.
     pub fn resolve(&self, spec: &str) -> (&Rule, Direction) {
+        self.try_resolve(spec).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Catalog::resolve`]: unknown references become
+    /// [`crate::budget::RewriteError::UnknownRule`] instead of a panic, so
+    /// strategies built from untrusted rule references degrade gracefully.
+    pub fn try_resolve(
+        &self,
+        spec: &str,
+    ) -> Result<(&Rule, Direction), crate::budget::RewriteError> {
         let (id, dir) = match spec.strip_suffix("-1") {
             Some(base) => (base, Direction::Backward),
             None => (spec, Direction::Forward),
         };
-        let rule = self
-            .get(id)
-            .unwrap_or_else(|| panic!("unknown rule reference {spec:?}"));
-        (rule, dir)
+        self.get(id).map(|rule| (rule, dir)).ok_or_else(|| {
+            crate::budget::RewriteError::UnknownRule {
+                spec: spec.to_string(),
+            }
+        })
     }
 
     /// The full paper catalog: Figures 5 + 8, structural rules, extended
@@ -132,12 +143,7 @@ pub fn figure5() -> Vec<Rule> {
             "%p @ ($f, Kf(^k))",
             "Cp(inv(%p), ^k) @ $f",
         ),
-        Rule::pred(
-            "14",
-            "oplus-compose",
-            "%p @ ($f . $g)",
-            "(%p @ $f) @ $g",
-        ),
+        Rule::pred("14", "oplus-compose", "%p @ ($f . $g)", "(%p @ $f) @ $g"),
         Rule::func(
             "15",
             "iter-env-test",
@@ -252,16 +258,16 @@ pub fn extended() -> Vec<Rule> {
             "($f . $h, $g . $j)",
         ),
         Rule::func("e6", "times-id", "id * id", "id"),
-        Rule::func(
-            "e7",
-            "times-as-pairing",
-            "$f * $g",
-            "($f . pi1, $g . pi2)",
-        ),
+        Rule::func("e7", "times-as-pairing", "$f * $g", "($f . pi1, $g . pi2)"),
         // --- constant / curry laws ---
         Rule::func("e10", "compose-const", "$f . Kf(^k)", "Kf($f ! ^k)"),
         Rule::func("e11", "curry-unfold", "Cf($f, ^k)", "$f . (Kf(^k), id)"),
-        Rule::pred("e12", "curry-pred-unfold", "Cp(%p, ^k)", "%p @ (Kf(^k), id)"),
+        Rule::pred(
+            "e12",
+            "curry-pred-unfold",
+            "Cp(%p, ^k)",
+            "%p @ (Kf(^k), id)",
+        ),
         Rule::func(
             "e13",
             "curry-compose",
@@ -284,12 +290,7 @@ pub fn extended() -> Vec<Rule> {
         Rule::func("e21", "cond-true", "con(Kp(T), $f, $g)", "$f"),
         Rule::func("e22", "cond-false", "con(Kp(F), $f, $g)", "$g"),
         Rule::func("e23", "cond-same", "con(%p, $f, $f)", "$f"),
-        Rule::func(
-            "e24",
-            "cond-flip",
-            "con(~%p, $f, $g)",
-            "con(%p, $g, $f)",
-        ),
+        Rule::func("e24", "cond-flip", "con(~%p, $f, $g)", "con(%p, $g, $f)"),
         // --- boolean algebra of predicates ---
         Rule::pred("e30", "and-idem", "%p & %p", "%p"),
         Rule::pred("e31", "or-idem", "%p | %p", "%p"),
@@ -307,12 +308,7 @@ pub fn extended() -> Vec<Rule> {
         Rule::pred("e43", "not-false", "~Kp(F)", "Kp(T)"),
         Rule::pred("e44", "and-commute", "%p & %q", "%q & %p"),
         Rule::pred("e45", "or-commute", "%p | %q", "%q | %p"),
-        Rule::pred(
-            "e46",
-            "and-assoc",
-            "(%p & %q) & %r",
-            "%p & (%q & %r)",
-        ),
+        Rule::pred("e46", "and-assoc", "(%p & %q) & %r", "%p & (%q & %r)"),
         Rule::pred("e47", "or-assoc", "(%p | %q) | %r", "%p | (%q | %r)"),
         Rule::pred(
             "e48",
@@ -334,12 +330,7 @@ pub fn extended() -> Vec<Rule> {
             "(%p & %q) @ $f",
             "(%p @ $f) & (%q @ $f)",
         ),
-        Rule::pred(
-            "e51",
-            "oplus-or",
-            "(%p | %q) @ $f",
-            "(%p @ $f) | (%q @ $f)",
-        ),
+        Rule::pred("e51", "oplus-or", "(%p | %q) @ $f", "(%p @ $f) | (%q @ $f)"),
         Rule::pred("e52", "oplus-not", "~%p @ $f", "~(%p @ $f)"),
         // --- converse laws ---
         Rule::pred("e60", "converse-involution", "inv(inv(%p))", "%p"),
@@ -412,12 +403,7 @@ pub fn extended() -> Vec<Rule> {
             "(^A union ^B) union ^C",
             "^A union (^B union ^C)",
         ),
-        Rule::query(
-            "e95",
-            "sunion-bridge",
-            "sunion ! [^A, ^B]",
-            "^A union ^B",
-        ),
+        Rule::query("e95", "sunion-bridge", "sunion ! [^A, ^B]", "^A union ^B"),
         Rule::query(
             "e96",
             "sinter-bridge",
@@ -499,13 +485,7 @@ pub fn extended() -> Vec<Rule> {
             "con(%p, $f, con(%q, $f, $g))",
         ),
         // --- query-level applications and filters ---
-        Rule::query(
-            "e154",
-            "const-pred-apply",
-            "(%p @ Kf(^k)) ? ^x",
-            "%p ? ^k",
-        )
-        .one_way(),
+        Rule::query("e154", "const-pred-apply", "(%p @ Kf(^k)) ? ^x", "%p ? ^k").one_way(),
         Rule::query(
             "e162",
             "flat-over-union",
@@ -591,12 +571,7 @@ pub fn extended() -> Vec<Rule> {
             "($g * $f) . (pi2, pi1)",
         ),
         Rule::pred("e202", "eq-symmetric", "eq @ (pi2, pi1)", "eq"),
-        Rule::pred(
-            "e203",
-            "converse-via-swap",
-            "inv(%p) @ (pi2, pi1)",
-            "%p",
-        ),
+        Rule::pred("e203", "converse-via-swap", "inv(%p) @ (pi2, pi1)", "%p"),
         Rule::func(
             "e204",
             "map-over-sunion",

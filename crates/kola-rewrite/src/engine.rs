@@ -8,10 +8,13 @@
 //! step sequencing, the five-step hidden-join strategy, COKO blocks) is
 //! built from it.
 
+use crate::budget::{measure_query, Budget, RewriteError, RewriteReport, StopReason};
+use crate::fault::{FaultKind, FaultPlan};
 use crate::props::PropDb;
 use crate::rule::{Direction, Precondition, Rule};
 use crate::subst::Subst;
 use kola::term::{Func, Pred, Query};
+use std::collections::HashSet;
 use std::fmt;
 
 /// A rule together with the orientation in which to try it.
@@ -101,19 +104,148 @@ fn preconditions_hold(pre: &[Precondition], s: &Subst, props: &PropDb) -> bool {
     })
 }
 
-fn try_rule_func(o: &Oriented, f: &Func, props: &PropDb) -> Option<Func> {
-    let (out, s) = o.rule.apply_func(f, o.dir)?;
-    preconditions_hold(&o.rule.preconditions, &s, props).then_some(out)
+/// Mutable governance state threaded through a traversal: the depth cap,
+/// the fault plan being consulted, the quarantine threshold, the current
+/// derivation step (for step-selective faults), and the report that
+/// accumulates failures.
+pub(crate) struct Gov<'a> {
+    max_depth: usize,
+    quarantine_after: usize,
+    step: usize,
+    faults: &'a FaultPlan,
+    report: &'a mut RewriteReport,
 }
 
-fn try_rule_pred(o: &Oriented, p: &Pred, props: &PropDb) -> Option<Pred> {
-    let (out, s) = o.rule.apply_pred(p, o.dir)?;
-    preconditions_hold(&o.rule.preconditions, &s, props).then_some(out)
+impl<'a> Gov<'a> {
+    pub(crate) fn new(
+        budget: &Budget,
+        faults: &'a FaultPlan,
+        report: &'a mut RewriteReport,
+        step: usize,
+    ) -> Gov<'a> {
+        Gov {
+            max_depth: budget.max_depth,
+            quarantine_after: budget.quarantine_after,
+            step,
+            faults,
+            report,
+        }
+    }
+
+    /// True (and flags the report) iff depth `d` is out of budget.
+    fn clip(&mut self, d: usize) -> bool {
+        if d >= self.max_depth {
+            self.report.depth_clipped = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn record_failure(&mut self, rule_id: &str, e: &RewriteError) {
+        self.report
+            .record_failure(rule_id, e, self.quarantine_after);
+    }
 }
 
-fn try_rule_query(o: &Oriented, q: &Query, props: &PropDb) -> Option<Query> {
-    let (out, s) = o.rule.apply_query(q, o.dir)?;
-    preconditions_hold(&o.rule.preconditions, &s, props).then_some(out)
+/// The fault injected against `rule` at the current step, if any, applied
+/// to a successful result: `Fail` turns it into an error, `Oversize(n)`
+/// wraps the result in `n` inert identity layers.
+fn injected<T>(
+    o: &Oriented,
+    gov: &Gov,
+    out: T,
+    inflate: fn(T, usize) -> T,
+) -> Result<T, RewriteError> {
+    match gov.faults.fault_for(&o.rule.id, gov.step) {
+        None => Ok(out),
+        Some(FaultKind::Oversize(n)) => Ok(inflate(out, *n)),
+        Some(FaultKind::Fail) => Err(RewriteError::RuleFailed {
+            rule_id: o.rule.id.clone(),
+            detail: "injected failure".into(),
+        }),
+    }
+}
+
+fn inflate_func(f: Func, n: usize) -> Func {
+    (0..n).fold(f, |acc, _| Func::Compose(Box::new(Func::Id), Box::new(acc)))
+}
+
+fn inflate_pred(p: Pred, n: usize) -> Pred {
+    (0..n).fold(p, |acc, _| Pred::Oplus(Box::new(acc), Box::new(Func::Id)))
+}
+
+fn inflate_query(q: Query, n: usize) -> Query {
+    (0..n).fold(q, |acc, _| Query::App(Func::Id, Box::new(acc)))
+}
+
+fn try_rule_func(
+    o: &Oriented,
+    f: &Func,
+    props: &PropDb,
+    gov: &Gov,
+) -> Result<Option<Func>, RewriteError> {
+    let Some((out, s)) = o.rule.try_apply_func(f, o.dir)? else {
+        return Ok(None);
+    };
+    if !preconditions_hold(&o.rule.preconditions, &s, props) {
+        return Ok(None);
+    }
+    injected(o, gov, out, inflate_func).map(Some)
+}
+
+fn try_rule_pred(
+    o: &Oriented,
+    p: &Pred,
+    props: &PropDb,
+    gov: &Gov,
+) -> Result<Option<Pred>, RewriteError> {
+    let Some((out, s)) = o.rule.try_apply_pred(p, o.dir)? else {
+        return Ok(None);
+    };
+    if !preconditions_hold(&o.rule.preconditions, &s, props) {
+        return Ok(None);
+    }
+    injected(o, gov, out, inflate_pred).map(Some)
+}
+
+fn try_rule_query(
+    o: &Oriented,
+    q: &Query,
+    props: &PropDb,
+    gov: &Gov,
+) -> Result<Option<Query>, RewriteError> {
+    let Some((out, s)) = o.rule.try_apply_query(q, o.dir)? else {
+        return Ok(None);
+    };
+    if !preconditions_hold(&o.rule.preconditions, &s, props) {
+        return Ok(None);
+    }
+    injected(o, gov, out, inflate_query).map(Some)
+}
+
+/// Scan `rules` at the current node: quarantined rules are skipped, rule
+/// failures are contained (recorded in the report) and the scan continues
+/// with the next rule.
+macro_rules! rules_at {
+    ($rules:expr, $t:expr, $props:expr, $gov:expr, $try:ident) => {
+        for o in $rules {
+            if $gov.report.is_quarantined(&o.rule.id) {
+                continue;
+            }
+            match $try(o, $t, $props, $gov) {
+                Ok(Some(result)) => {
+                    return Some(Applied {
+                        result,
+                        rule_id: o.rule.id.clone(),
+                        dir: o.dir,
+                    });
+                }
+                Ok(None) => {}
+                Err(e) => $gov.record_failure(&o.rule.id, &e),
+            }
+        }
+    };
 }
 
 /// Result of a single successful application somewhere in a term.
@@ -145,21 +277,28 @@ macro_rules! child {
 
 /// Apply the first matching rule at the leftmost-outermost position of a
 /// function term (descending into subfunctions, predicates and payloads).
-pub fn rewrite_once_func(
+/// Ungoverned convenience wrapper over [`ro_func`] with default bounds.
+pub fn rewrite_once_func(rules: &[Oriented], f: &Func, props: &PropDb) -> Option<Applied<Func>> {
+    let faults = FaultPlan::default();
+    let mut report = RewriteReport::new();
+    let mut gov = Gov::new(&Budget::default(), &faults, &mut report, 0);
+    ro_func(rules, f, props, 0, &mut gov)
+}
+
+pub(crate) fn ro_func(
     rules: &[Oriented],
     f: &Func,
     props: &PropDb,
+    d: usize,
+    gov: &mut Gov,
 ) -> Option<Applied<Func>> {
-    // Try at root (function-level rules, chain-prefix aware).
-    for o in rules {
-        if let Some(result) = try_rule_func(o, f, props) {
-            return Some(Applied {
-                result,
-                rule_id: o.rule.id.clone(),
-                dir: o.dir,
-            });
-        }
+    // Depth governor: leave subterms beyond the cap untouched rather than
+    // risking the native stack.
+    if gov.clip(d) {
+        return None;
     }
+    // Try at root (function-level rules, chain-prefix aware).
+    rules_at!(rules, f, props, gov, try_rule_func);
     // Descend.
     match f {
         Func::Id
@@ -176,11 +315,11 @@ pub fn rewrite_once_func(
         | Func::SetDiff => None,
         Func::Compose(a, b) => {
             let (a, b) = (a.clone(), b.clone());
-            child!(rewrite_once_func(rules, &a, props), |r| Func::Compose(
+            child!(ro_func(rules, &a, props, d + 1, gov), |r| Func::Compose(
                 Box::new(r),
                 b.clone()
             ));
-            child!(rewrite_once_func(rules, &b, props), |r| Func::Compose(
+            child!(ro_func(rules, &b, props, d + 1, gov), |r| Func::Compose(
                 a.clone(),
                 Box::new(r)
             ));
@@ -188,11 +327,11 @@ pub fn rewrite_once_func(
         }
         Func::PairWith(a, b) => {
             let (a, b) = (a.clone(), b.clone());
-            child!(rewrite_once_func(rules, &a, props), |r| Func::PairWith(
+            child!(ro_func(rules, &a, props, d + 1, gov), |r| Func::PairWith(
                 Box::new(r),
                 b.clone()
             ));
-            child!(rewrite_once_func(rules, &b, props), |r| Func::PairWith(
+            child!(ro_func(rules, &b, props, d + 1, gov), |r| Func::PairWith(
                 a.clone(),
                 Box::new(r)
             ));
@@ -200,11 +339,11 @@ pub fn rewrite_once_func(
         }
         Func::Times(a, b) => {
             let (a, b) = (a.clone(), b.clone());
-            child!(rewrite_once_func(rules, &a, props), |r| Func::Times(
+            child!(ro_func(rules, &a, props, d + 1, gov), |r| Func::Times(
                 Box::new(r),
                 b.clone()
             ));
-            child!(rewrite_once_func(rules, &b, props), |r| Func::Times(
+            child!(ro_func(rules, &b, props, d + 1, gov), |r| Func::Times(
                 a.clone(),
                 Box::new(r)
             ));
@@ -212,18 +351,18 @@ pub fn rewrite_once_func(
         }
         Func::ConstF(q) => {
             let q = q.clone();
-            child!(rewrite_once_query(rules, &q, props), |r| Func::ConstF(
+            child!(ro_query(rules, &q, props, d + 1, gov), |r| Func::ConstF(
                 Box::new(r)
             ));
             None
         }
         Func::CurryF(g, q) => {
             let (g, q) = (g.clone(), q.clone());
-            child!(rewrite_once_func(rules, &g, props), |r| Func::CurryF(
+            child!(ro_func(rules, &g, props, d + 1, gov), |r| Func::CurryF(
                 Box::new(r),
                 q.clone()
             ));
-            child!(rewrite_once_query(rules, &q, props), |r| Func::CurryF(
+            child!(ro_query(rules, &q, props, d + 1, gov), |r| Func::CurryF(
                 g.clone(),
                 Box::new(r)
             ));
@@ -231,17 +370,17 @@ pub fn rewrite_once_func(
         }
         Func::Cond(p, g, h) => {
             let (p, g, h) = (p.clone(), g.clone(), h.clone());
-            child!(rewrite_once_pred(rules, &p, props), |r| Func::Cond(
+            child!(ro_pred(rules, &p, props, d + 1, gov), |r| Func::Cond(
                 Box::new(r),
                 g.clone(),
                 h.clone()
             ));
-            child!(rewrite_once_func(rules, &g, props), |r| Func::Cond(
+            child!(ro_func(rules, &g, props, d + 1, gov), |r| Func::Cond(
                 p.clone(),
                 Box::new(r),
                 h.clone()
             ));
-            child!(rewrite_once_func(rules, &h, props), |r| Func::Cond(
+            child!(ro_func(rules, &h, props, d + 1, gov), |r| Func::Cond(
                 p.clone(),
                 g.clone(),
                 Box::new(r)
@@ -250,11 +389,11 @@ pub fn rewrite_once_func(
         }
         Func::Iterate(p, g) => {
             let (p, g) = (p.clone(), g.clone());
-            child!(rewrite_once_pred(rules, &p, props), |r| Func::Iterate(
+            child!(ro_pred(rules, &p, props, d + 1, gov), |r| Func::Iterate(
                 Box::new(r),
                 g.clone()
             ));
-            child!(rewrite_once_func(rules, &g, props), |r| Func::Iterate(
+            child!(ro_func(rules, &g, props, d + 1, gov), |r| Func::Iterate(
                 p.clone(),
                 Box::new(r)
             ));
@@ -262,11 +401,11 @@ pub fn rewrite_once_func(
         }
         Func::Iter(p, g) => {
             let (p, g) = (p.clone(), g.clone());
-            child!(rewrite_once_pred(rules, &p, props), |r| Func::Iter(
+            child!(ro_pred(rules, &p, props, d + 1, gov), |r| Func::Iter(
                 Box::new(r),
                 g.clone()
             ));
-            child!(rewrite_once_func(rules, &g, props), |r| Func::Iter(
+            child!(ro_func(rules, &g, props, d + 1, gov), |r| Func::Iter(
                 p.clone(),
                 Box::new(r)
             ));
@@ -274,11 +413,11 @@ pub fn rewrite_once_func(
         }
         Func::BIterate(p, g) => {
             let (p, g) = (p.clone(), g.clone());
-            child!(rewrite_once_pred(rules, &p, props), |r| Func::BIterate(
+            child!(ro_pred(rules, &p, props, d + 1, gov), |r| Func::BIterate(
                 Box::new(r),
                 g.clone()
             ));
-            child!(rewrite_once_func(rules, &g, props), |r| Func::BIterate(
+            child!(ro_func(rules, &g, props, d + 1, gov), |r| Func::BIterate(
                 p.clone(),
                 Box::new(r)
             ));
@@ -286,11 +425,11 @@ pub fn rewrite_once_func(
         }
         Func::Join(p, g) => {
             let (p, g) = (p.clone(), g.clone());
-            child!(rewrite_once_pred(rules, &p, props), |r| Func::Join(
+            child!(ro_pred(rules, &p, props, d + 1, gov), |r| Func::Join(
                 Box::new(r),
                 g.clone()
             ));
-            child!(rewrite_once_func(rules, &g, props), |r| Func::Join(
+            child!(ro_func(rules, &g, props, d + 1, gov), |r| Func::Join(
                 p.clone(),
                 Box::new(r)
             ));
@@ -298,11 +437,11 @@ pub fn rewrite_once_func(
         }
         Func::Nest(g, h) => {
             let (g, h) = (g.clone(), h.clone());
-            child!(rewrite_once_func(rules, &g, props), |r| Func::Nest(
+            child!(ro_func(rules, &g, props, d + 1, gov), |r| Func::Nest(
                 Box::new(r),
                 h.clone()
             ));
-            child!(rewrite_once_func(rules, &h, props), |r| Func::Nest(
+            child!(ro_func(rules, &h, props, d + 1, gov), |r| Func::Nest(
                 g.clone(),
                 Box::new(r)
             ));
@@ -310,11 +449,11 @@ pub fn rewrite_once_func(
         }
         Func::Unnest(g, h) => {
             let (g, h) = (g.clone(), h.clone());
-            child!(rewrite_once_func(rules, &g, props), |r| Func::Unnest(
+            child!(ro_func(rules, &g, props, d + 1, gov), |r| Func::Unnest(
                 Box::new(r),
                 h.clone()
             ));
-            child!(rewrite_once_func(rules, &h, props), |r| Func::Unnest(
+            child!(ro_func(rules, &h, props, d + 1, gov), |r| Func::Unnest(
                 g.clone(),
                 Box::new(r)
             ));
@@ -324,21 +463,25 @@ pub fn rewrite_once_func(
 }
 
 /// Apply the first matching rule at the leftmost-outermost position of a
-/// predicate term.
-pub fn rewrite_once_pred(
+/// predicate term. Ungoverned wrapper over [`ro_pred`] with default bounds.
+pub fn rewrite_once_pred(rules: &[Oriented], p: &Pred, props: &PropDb) -> Option<Applied<Pred>> {
+    let faults = FaultPlan::default();
+    let mut report = RewriteReport::new();
+    let mut gov = Gov::new(&Budget::default(), &faults, &mut report, 0);
+    ro_pred(rules, p, props, 0, &mut gov)
+}
+
+pub(crate) fn ro_pred(
     rules: &[Oriented],
     p: &Pred,
     props: &PropDb,
+    d: usize,
+    gov: &mut Gov,
 ) -> Option<Applied<Pred>> {
-    for o in rules {
-        if let Some(result) = try_rule_pred(o, p, props) {
-            return Some(Applied {
-                result,
-                rule_id: o.rule.id.clone(),
-                dir: o.dir,
-            });
-        }
+    if gov.clip(d) {
+        return None;
     }
+    rules_at!(rules, p, props, gov, try_rule_pred);
     match p {
         Pred::Eq
         | Pred::Lt
@@ -350,11 +493,11 @@ pub fn rewrite_once_pred(
         | Pred::ConstP(_) => None,
         Pred::Oplus(q, f) => {
             let (q, f) = (q.clone(), f.clone());
-            child!(rewrite_once_pred(rules, &q, props), |r| Pred::Oplus(
+            child!(ro_pred(rules, &q, props, d + 1, gov), |r| Pred::Oplus(
                 Box::new(r),
                 f.clone()
             ));
-            child!(rewrite_once_func(rules, &f, props), |r| Pred::Oplus(
+            child!(ro_func(rules, &f, props, d + 1, gov), |r| Pred::Oplus(
                 q.clone(),
                 Box::new(r)
             ));
@@ -362,11 +505,11 @@ pub fn rewrite_once_pred(
         }
         Pred::And(a, b) => {
             let (a, b) = (a.clone(), b.clone());
-            child!(rewrite_once_pred(rules, &a, props), |r| Pred::And(
+            child!(ro_pred(rules, &a, props, d + 1, gov), |r| Pred::And(
                 Box::new(r),
                 b.clone()
             ));
-            child!(rewrite_once_pred(rules, &b, props), |r| Pred::And(
+            child!(ro_pred(rules, &b, props, d + 1, gov), |r| Pred::And(
                 a.clone(),
                 Box::new(r)
             ));
@@ -374,11 +517,11 @@ pub fn rewrite_once_pred(
         }
         Pred::Or(a, b) => {
             let (a, b) = (a.clone(), b.clone());
-            child!(rewrite_once_pred(rules, &a, props), |r| Pred::Or(
+            child!(ro_pred(rules, &a, props, d + 1, gov), |r| Pred::Or(
                 Box::new(r),
                 b.clone()
             ));
-            child!(rewrite_once_pred(rules, &b, props), |r| Pred::Or(
+            child!(ro_pred(rules, &b, props, d + 1, gov), |r| Pred::Or(
                 a.clone(),
                 Box::new(r)
             ));
@@ -386,25 +529,25 @@ pub fn rewrite_once_pred(
         }
         Pred::Not(q) => {
             let q = q.clone();
-            child!(rewrite_once_pred(rules, &q, props), |r| Pred::Not(
+            child!(ro_pred(rules, &q, props, d + 1, gov), |r| Pred::Not(
                 Box::new(r)
             ));
             None
         }
         Pred::Conv(q) => {
             let q = q.clone();
-            child!(rewrite_once_pred(rules, &q, props), |r| Pred::Conv(
+            child!(ro_pred(rules, &q, props, d + 1, gov), |r| Pred::Conv(
                 Box::new(r)
             ));
             None
         }
         Pred::CurryP(q, payload) => {
             let (q, payload) = (q.clone(), payload.clone());
-            child!(rewrite_once_pred(rules, &q, props), |r| Pred::CurryP(
+            child!(ro_pred(rules, &q, props, d + 1, gov), |r| Pred::CurryP(
                 Box::new(r),
                 payload.clone()
             ));
-            child!(rewrite_once_query(rules, &payload, props), |r| {
+            child!(ro_query(rules, &payload, props, d + 1, gov), |r| {
                 Pred::CurryP(q.clone(), Box::new(r))
             });
             None
@@ -413,30 +556,34 @@ pub fn rewrite_once_pred(
 }
 
 /// Apply the first matching rule at the leftmost-outermost position of a
-/// query.
-pub fn rewrite_once_query(
+/// query. Ungoverned wrapper over [`ro_query`] with default bounds.
+pub fn rewrite_once_query(rules: &[Oriented], q: &Query, props: &PropDb) -> Option<Applied<Query>> {
+    let faults = FaultPlan::default();
+    let mut report = RewriteReport::new();
+    let mut gov = Gov::new(&Budget::default(), &faults, &mut report, 0);
+    ro_query(rules, q, props, 0, &mut gov)
+}
+
+pub(crate) fn ro_query(
     rules: &[Oriented],
     q: &Query,
     props: &PropDb,
+    d: usize,
+    gov: &mut Gov,
 ) -> Option<Applied<Query>> {
-    for o in rules {
-        if let Some(result) = try_rule_query(o, q, props) {
-            return Some(Applied {
-                result,
-                rule_id: o.rule.id.clone(),
-                dir: o.dir,
-            });
-        }
+    if gov.clip(d) {
+        return None;
     }
+    rules_at!(rules, q, props, gov, try_rule_query);
     match q {
         Query::Lit(_) | Query::Extent(_) => None,
         Query::App(f, inner) => {
             let (f, inner) = (f.clone(), inner.clone());
-            child!(rewrite_once_func(rules, &f, props), |r| Query::App(
+            child!(ro_func(rules, &f, props, d + 1, gov), |r| Query::App(
                 r,
                 inner.clone()
             ));
-            child!(rewrite_once_query(rules, &inner, props), |r| Query::App(
+            child!(ro_query(rules, &inner, props, d + 1, gov), |r| Query::App(
                 f.clone(),
                 Box::new(r)
             ));
@@ -444,11 +591,11 @@ pub fn rewrite_once_query(
         }
         Query::Test(p, inner) => {
             let (p, inner) = (p.clone(), inner.clone());
-            child!(rewrite_once_pred(rules, &p, props), |r| Query::Test(
+            child!(ro_pred(rules, &p, props, d + 1, gov), |r| Query::Test(
                 r,
                 inner.clone()
             ));
-            child!(rewrite_once_query(rules, &inner, props), |r| Query::Test(
+            child!(ro_query(rules, &inner, props, d + 1, gov), |r| Query::Test(
                 p.clone(),
                 Box::new(r)
             ));
@@ -456,11 +603,11 @@ pub fn rewrite_once_query(
         }
         Query::PairQ(a, b) => {
             let (a, b) = (a.clone(), b.clone());
-            child!(rewrite_once_query(rules, &a, props), |r| Query::PairQ(
+            child!(ro_query(rules, &a, props, d + 1, gov), |r| Query::PairQ(
                 Box::new(r),
                 b.clone()
             ));
-            child!(rewrite_once_query(rules, &b, props), |r| Query::PairQ(
+            child!(ro_query(rules, &b, props, d + 1, gov), |r| Query::PairQ(
                 a.clone(),
                 Box::new(r)
             ));
@@ -468,11 +615,11 @@ pub fn rewrite_once_query(
         }
         Query::Union(a, b) => {
             let (a, b) = (a.clone(), b.clone());
-            child!(rewrite_once_query(rules, &a, props), |r| Query::Union(
+            child!(ro_query(rules, &a, props, d + 1, gov), |r| Query::Union(
                 Box::new(r),
                 b.clone()
             ));
-            child!(rewrite_once_query(rules, &b, props), |r| Query::Union(
+            child!(ro_query(rules, &b, props, d + 1, gov), |r| Query::Union(
                 a.clone(),
                 Box::new(r)
             ));
@@ -480,23 +627,23 @@ pub fn rewrite_once_query(
         }
         Query::Intersect(a, b) => {
             let (a, b) = (a.clone(), b.clone());
-            child!(rewrite_once_query(rules, &a, props), |r| Query::Intersect(
-                Box::new(r),
-                b.clone()
-            ));
-            child!(rewrite_once_query(rules, &b, props), |r| Query::Intersect(
-                a.clone(),
-                Box::new(r)
-            ));
+            child!(
+                ro_query(rules, &a, props, d + 1, gov),
+                |r| Query::Intersect(Box::new(r), b.clone())
+            );
+            child!(
+                ro_query(rules, &b, props, d + 1, gov),
+                |r| Query::Intersect(a.clone(), Box::new(r))
+            );
             None
         }
         Query::Diff(a, b) => {
             let (a, b) = (a.clone(), b.clone());
-            child!(rewrite_once_query(rules, &a, props), |r| Query::Diff(
+            child!(ro_query(rules, &a, props, d + 1, gov), |r| Query::Diff(
                 Box::new(r),
                 b.clone()
             ));
-            child!(rewrite_once_query(rules, &b, props), |r| Query::Diff(
+            child!(ro_query(rules, &b, props, d + 1, gov), |r| Query::Diff(
                 a.clone(),
                 Box::new(r)
             ));
@@ -512,15 +659,72 @@ pub fn rewrite_once_query(
 /// ascribes to COKO rule blocks (`BU { … }` in the COKO syntax).
 ///
 /// Returns the rewritten query and the number of rule applications.
+/// Ungoverned wrapper over [`rewrite_bottom_up_governed`] with default
+/// bounds and no faults.
 pub fn rewrite_bottom_up(
     rules: &[Oriented],
     q: &Query,
     props: &PropDb,
     fuel: usize,
 ) -> (Query, usize) {
+    let faults = FaultPlan::default();
+    let mut report = RewriteReport::new();
+    rewrite_bottom_up_governed(
+        rules,
+        q,
+        props,
+        fuel,
+        &Budget::default(),
+        &faults,
+        &mut report,
+    )
+}
+
+/// Bottom-up sweep under governance: quarantined rules are skipped, rule
+/// failures are contained into `report`, and subtrees beyond the depth cap
+/// are left untouched.
+pub fn rewrite_bottom_up_governed(
+    rules: &[Oriented],
+    q: &Query,
+    props: &PropDb,
+    fuel: usize,
+    budget: &Budget,
+    faults: &FaultPlan,
+    report: &mut RewriteReport,
+) -> (Query, usize) {
     let mut fires = 0;
-    let out = bu_query(rules, q, props, fuel, &mut fires);
+    let mut gov = Gov::new(budget, faults, report, 0);
+    let out = bu_query(rules, q, props, fuel, &mut fires, 0, &mut gov);
     (out, fires)
+}
+
+/// Exhaust `rules` at one node. Per-node loop macro shared by the three
+/// syntactic levels: applies the first non-quarantined rule that fires,
+/// normalizes, and repeats up to `fuel` times; failures are contained.
+macro_rules! exhaust_at {
+    ($rules:expr, $t:expr, $props:expr, $fuel:expr, $fires:expr, $gov:expr, $try:ident) => {
+        for _ in 0..$fuel {
+            let mut fired = false;
+            for o in $rules {
+                if $gov.report.is_quarantined(&o.rule.id) {
+                    continue;
+                }
+                match $try(o, &$t, $props, $gov) {
+                    Ok(Some(result)) => {
+                        $t = result.normalize();
+                        *$fires += 1;
+                        fired = true;
+                        break;
+                    }
+                    Ok(None) => {}
+                    Err(e) => $gov.record_failure(&o.rule.id, &e),
+                }
+            }
+            if !fired {
+                break;
+            }
+        }
+    };
 }
 
 fn exhaust_query(
@@ -529,21 +733,9 @@ fn exhaust_query(
     props: &PropDb,
     fuel: usize,
     fires: &mut usize,
+    gov: &mut Gov,
 ) -> Query {
-    for _ in 0..fuel {
-        let mut fired = false;
-        for o in rules {
-            if let Some(result) = try_rule_query(o, &q, props) {
-                q = result.normalize();
-                *fires += 1;
-                fired = true;
-                break;
-            }
-        }
-        if !fired {
-            break;
-        }
-    }
+    exhaust_at!(rules, q, props, fuel, fires, gov, try_rule_query);
     q
 }
 
@@ -553,21 +745,9 @@ fn exhaust_func(
     props: &PropDb,
     fuel: usize,
     fires: &mut usize,
+    gov: &mut Gov,
 ) -> Func {
-    for _ in 0..fuel {
-        let mut fired = false;
-        for o in rules {
-            if let Some(result) = try_rule_func(o, &f, props) {
-                f = result.normalize();
-                *fires += 1;
-                fired = true;
-                break;
-            }
-        }
-        if !fired {
-            break;
-        }
-    }
+    exhaust_at!(rules, f, props, fuel, fires, gov, try_rule_func);
     f
 }
 
@@ -577,21 +757,9 @@ fn exhaust_pred(
     props: &PropDb,
     fuel: usize,
     fires: &mut usize,
+    gov: &mut Gov,
 ) -> Pred {
-    for _ in 0..fuel {
-        let mut fired = false;
-        for o in rules {
-            if let Some(result) = try_rule_pred(o, &p, props) {
-                p = result.normalize();
-                *fires += 1;
-                fired = true;
-                break;
-            }
-        }
-        if !fired {
-            break;
-        }
-    }
+    exhaust_at!(rules, p, props, fuel, fires, gov, try_rule_pred);
     p
 }
 
@@ -601,35 +769,40 @@ fn bu_query(
     props: &PropDb,
     fuel: usize,
     fires: &mut usize,
+    d: usize,
+    gov: &mut Gov,
 ) -> Query {
+    if gov.clip(d) {
+        return q.clone();
+    }
     let rebuilt = match q {
         Query::Lit(_) | Query::Extent(_) => q.clone(),
         Query::PairQ(a, b) => Query::PairQ(
-            Box::new(bu_query(rules, a, props, fuel, fires)),
-            Box::new(bu_query(rules, b, props, fuel, fires)),
+            Box::new(bu_query(rules, a, props, fuel, fires, d + 1, gov)),
+            Box::new(bu_query(rules, b, props, fuel, fires, d + 1, gov)),
         ),
         Query::App(f, inner) => Query::App(
-            bu_func(rules, f, props, fuel, fires),
-            Box::new(bu_query(rules, inner, props, fuel, fires)),
+            bu_func(rules, f, props, fuel, fires, d + 1, gov),
+            Box::new(bu_query(rules, inner, props, fuel, fires, d + 1, gov)),
         ),
         Query::Test(p, inner) => Query::Test(
-            bu_pred(rules, p, props, fuel, fires),
-            Box::new(bu_query(rules, inner, props, fuel, fires)),
+            bu_pred(rules, p, props, fuel, fires, d + 1, gov),
+            Box::new(bu_query(rules, inner, props, fuel, fires, d + 1, gov)),
         ),
         Query::Union(a, b) => Query::Union(
-            Box::new(bu_query(rules, a, props, fuel, fires)),
-            Box::new(bu_query(rules, b, props, fuel, fires)),
+            Box::new(bu_query(rules, a, props, fuel, fires, d + 1, gov)),
+            Box::new(bu_query(rules, b, props, fuel, fires, d + 1, gov)),
         ),
         Query::Intersect(a, b) => Query::Intersect(
-            Box::new(bu_query(rules, a, props, fuel, fires)),
-            Box::new(bu_query(rules, b, props, fuel, fires)),
+            Box::new(bu_query(rules, a, props, fuel, fires, d + 1, gov)),
+            Box::new(bu_query(rules, b, props, fuel, fires, d + 1, gov)),
         ),
         Query::Diff(a, b) => Query::Diff(
-            Box::new(bu_query(rules, a, props, fuel, fires)),
-            Box::new(bu_query(rules, b, props, fuel, fires)),
+            Box::new(bu_query(rules, a, props, fuel, fires, d + 1, gov)),
+            Box::new(bu_query(rules, b, props, fuel, fires, d + 1, gov)),
         ),
     };
-    exhaust_query(rules, rebuilt.normalize(), props, fuel, fires)
+    exhaust_query(rules, rebuilt.normalize(), props, fuel, fires, gov)
 }
 
 fn bu_func(
@@ -638,20 +811,25 @@ fn bu_func(
     props: &PropDb,
     fuel: usize,
     fires: &mut usize,
+    d: usize,
+    gov: &mut Gov,
 ) -> Func {
+    if gov.clip(d) {
+        return f.clone();
+    }
     macro_rules! f2 {
         ($ctor:path, $a:expr, $b:expr) => {
             $ctor(
-                Box::new(bu_func(rules, $a, props, fuel, fires)),
-                Box::new(bu_func(rules, $b, props, fuel, fires)),
+                Box::new(bu_func(rules, $a, props, fuel, fires, d + 1, gov)),
+                Box::new(bu_func(rules, $b, props, fuel, fires, d + 1, gov)),
             )
         };
     }
     macro_rules! pf {
         ($ctor:path, $p:expr, $g:expr) => {
             $ctor(
-                Box::new(bu_pred(rules, $p, props, fuel, fires)),
-                Box::new(bu_func(rules, $g, props, fuel, fires)),
+                Box::new(bu_pred(rules, $p, props, fuel, fires, d + 1, gov)),
+                Box::new(bu_func(rules, $g, props, fuel, fires, d + 1, gov)),
             )
         };
     }
@@ -666,18 +844,20 @@ fn bu_func(
         Func::Join(p, g) => pf!(Func::Join, p, g),
         Func::BIterate(p, g) => pf!(Func::BIterate, p, g),
         Func::Cond(p, a, b) => Func::Cond(
-            Box::new(bu_pred(rules, p, props, fuel, fires)),
-            Box::new(bu_func(rules, a, props, fuel, fires)),
-            Box::new(bu_func(rules, b, props, fuel, fires)),
+            Box::new(bu_pred(rules, p, props, fuel, fires, d + 1, gov)),
+            Box::new(bu_func(rules, a, props, fuel, fires, d + 1, gov)),
+            Box::new(bu_func(rules, b, props, fuel, fires, d + 1, gov)),
         ),
-        Func::ConstF(q) => Func::ConstF(Box::new(bu_query(rules, q, props, fuel, fires))),
+        Func::ConstF(q) => {
+            Func::ConstF(Box::new(bu_query(rules, q, props, fuel, fires, d + 1, gov)))
+        }
         Func::CurryF(g, q) => Func::CurryF(
-            Box::new(bu_func(rules, g, props, fuel, fires)),
-            Box::new(bu_query(rules, q, props, fuel, fires)),
+            Box::new(bu_func(rules, g, props, fuel, fires, d + 1, gov)),
+            Box::new(bu_query(rules, q, props, fuel, fires, d + 1, gov)),
         ),
         leaf => leaf.clone(),
     };
-    exhaust_func(rules, rebuilt.normalize(), props, fuel, fires)
+    exhaust_func(rules, rebuilt.normalize(), props, fuel, fires, gov)
 }
 
 fn bu_pred(
@@ -686,59 +866,203 @@ fn bu_pred(
     props: &PropDb,
     fuel: usize,
     fires: &mut usize,
+    d: usize,
+    gov: &mut Gov,
 ) -> Pred {
+    if gov.clip(d) {
+        return p.clone();
+    }
     let rebuilt = match p {
         Pred::Oplus(q, f) => Pred::Oplus(
-            Box::new(bu_pred(rules, q, props, fuel, fires)),
-            Box::new(bu_func(rules, f, props, fuel, fires)),
+            Box::new(bu_pred(rules, q, props, fuel, fires, d + 1, gov)),
+            Box::new(bu_func(rules, f, props, fuel, fires, d + 1, gov)),
         ),
         Pred::And(a, b) => Pred::And(
-            Box::new(bu_pred(rules, a, props, fuel, fires)),
-            Box::new(bu_pred(rules, b, props, fuel, fires)),
+            Box::new(bu_pred(rules, a, props, fuel, fires, d + 1, gov)),
+            Box::new(bu_pred(rules, b, props, fuel, fires, d + 1, gov)),
         ),
         Pred::Or(a, b) => Pred::Or(
-            Box::new(bu_pred(rules, a, props, fuel, fires)),
-            Box::new(bu_pred(rules, b, props, fuel, fires)),
+            Box::new(bu_pred(rules, a, props, fuel, fires, d + 1, gov)),
+            Box::new(bu_pred(rules, b, props, fuel, fires, d + 1, gov)),
         ),
-        Pred::Not(q) => Pred::Not(Box::new(bu_pred(rules, q, props, fuel, fires))),
-        Pred::Conv(q) => Pred::Conv(Box::new(bu_pred(rules, q, props, fuel, fires))),
+        Pred::Not(q) => Pred::Not(Box::new(bu_pred(rules, q, props, fuel, fires, d + 1, gov))),
+        Pred::Conv(q) => Pred::Conv(Box::new(bu_pred(rules, q, props, fuel, fires, d + 1, gov))),
         Pred::CurryP(q, payload) => Pred::CurryP(
-            Box::new(bu_pred(rules, q, props, fuel, fires)),
-            Box::new(bu_query(rules, payload, props, fuel, fires)),
+            Box::new(bu_pred(rules, q, props, fuel, fires, d + 1, gov)),
+            Box::new(bu_query(rules, payload, props, fuel, fires, d + 1, gov)),
         ),
         leaf => leaf.clone(),
     };
-    exhaust_pred(rules, rebuilt.normalize(), props, fuel, fires)
+    exhaust_pred(rules, rebuilt.normalize(), props, fuel, fires, gov)
 }
 
 /// Default bound on fixpoint iterations; generous for any realistic query.
 pub const DEFAULT_FUEL: usize = 10_000;
 
-/// Apply `rules` to `q` repeatedly (leftmost-outermost, first matching rule)
-/// until no rule applies or `fuel` steps have been taken. Returns the normal
-/// form and the full derivation trace.
-pub fn rewrite_fix(
+/// One governed leftmost-outermost step, sharing an external report (used
+/// by the strategy interpreter so accounting spans a whole strategy run).
+pub(crate) fn rewrite_once_governed(
     rules: &[Oriented],
     q: &Query,
     props: &PropDb,
-    fuel: usize,
-) -> (Query, Trace) {
-    let mut cur = q.normalize();
+    budget: &Budget,
+    faults: &FaultPlan,
+    report: &mut RewriteReport,
+) -> Option<Applied<Query>> {
+    let step = report.steps;
+    let mut gov = Gov::new(budget, faults, report, step);
+    ro_query(rules, q, props, 0, &mut gov)
+}
+
+/// The outcome of a governed rewrite run: the chosen query (the normal form
+/// on clean termination, the best — smallest — term seen on an abnormal
+/// stop), the derivation trace, and the resource/failure report.
+///
+/// Invariant: `report.steps == trace.steps.len()`, and both never exceed
+/// the budget's `max_steps`.
+#[derive(Debug, Clone)]
+pub struct Rewritten {
+    /// The resulting query.
+    pub query: Query,
+    /// The derivation that produced it (or led to the best term).
+    pub trace: Trace,
+    /// Resource accounting and stop reason.
+    pub report: RewriteReport,
+}
+
+/// [`rewrite_fix_with`] without fault injection.
+pub fn rewrite_fix_governed(
+    rules: &[Oriented],
+    q: &Query,
+    props: &PropDb,
+    budget: &Budget,
+) -> Rewritten {
+    rewrite_fix_with(rules, q, props, budget, &FaultPlan::default())
+}
+
+/// Apply `rules` to `q` repeatedly (leftmost-outermost, first matching
+/// rule) under full governance: step/depth/size/deadline budgets, cycle
+/// detection, rule-failure containment with quarantine, and fault
+/// injection. Never panics; always returns a term and a report.
+///
+/// Cycle detection is sound as a stopping rule: the engine is
+/// deterministic (given a term and the quarantine state it always picks
+/// the same redex), so producing a term with an already-seen fingerprint
+/// means the derivation has entered a loop that would never terminate.
+/// On any abnormal stop the *best* (smallest) term seen is returned — the
+/// derivation so far is a chain of equivalences, so every intermediate
+/// term is a correct answer.
+pub fn rewrite_fix_with(
+    rules: &[Oriented],
+    q: &Query,
+    props: &PropDb,
+    budget: &Budget,
+    faults: &FaultPlan,
+) -> Rewritten {
+    let mut report = RewriteReport::new();
     let mut trace = Trace::new();
-    for _ in 0..fuel {
-        match rewrite_once_query(rules, &cur, props) {
-            Some(applied) => {
-                cur = applied.result.normalize();
-                trace.steps.push(Step {
-                    rule_id: applied.rule_id,
-                    dir: applied.dir,
-                    after: cur.clone(),
-                });
+    let mut cur = q.normalize();
+    let (cur_size, cur_fp) = measure_query(&cur);
+    if cur_size > budget.max_term_size {
+        let e = RewriteError::TermTooLarge {
+            size: cur_size,
+            limit: budget.max_term_size,
+        };
+        report.failures.push(e.to_string());
+        report.stop = StopReason::TermTooLarge;
+        return Rewritten {
+            query: cur,
+            trace,
+            report,
+        };
+    }
+
+    let mut seen: HashSet<u64> = HashSet::new();
+    seen.insert(cur_fp);
+    let mut best = cur.clone();
+    let mut best_size = cur_size;
+
+    loop {
+        if report.steps >= budget.max_steps {
+            report.stop = StopReason::BudgetExhausted;
+            return Rewritten {
+                query: best,
+                trace,
+                report,
+            };
+        }
+        if budget.expired() {
+            report.stop = StopReason::DeadlineExpired;
+            return Rewritten {
+                query: best,
+                trace,
+                report,
+            };
+        }
+        let step = report.steps;
+        let mut gov = Gov::new(budget, faults, &mut report, step);
+        let Some(applied) = ro_query(rules, &cur, props, 0, &mut gov) else {
+            report.stop = StopReason::NormalForm;
+            return Rewritten {
+                query: cur,
+                trace,
+                report,
+            };
+        };
+        let next = applied.result.normalize();
+        let (next_size, next_fp) = measure_query(&next);
+        if next_size > budget.max_term_size {
+            // Reject the oversize result and charge the offending rule.
+            // If that doesn't quarantine it, the engine would re-derive the
+            // same result forever — stop instead.
+            let e = RewriteError::TermTooLarge {
+                size: next_size,
+                limit: budget.max_term_size,
+            };
+            report.record_failure(&applied.rule_id, &e, budget.quarantine_after);
+            if !report.is_quarantined(&applied.rule_id) {
+                report.stop = StopReason::TermTooLarge;
+                return Rewritten {
+                    query: best,
+                    trace,
+                    report,
+                };
             }
-            None => break,
+            continue;
+        }
+        cur = next;
+        report.steps += 1;
+        report.record_fire(&applied.rule_id);
+        trace.steps.push(Step {
+            rule_id: applied.rule_id,
+            dir: applied.dir,
+            after: cur.clone(),
+        });
+        if next_size < best_size {
+            best = cur.clone();
+            best_size = next_size;
+        }
+        if !seen.insert(next_fp) {
+            report.stop = StopReason::CycleDetected;
+            return Rewritten {
+                query: best,
+                trace,
+                report,
+            };
         }
     }
-    (cur, trace)
+}
+
+/// Apply `rules` to `q` repeatedly (leftmost-outermost, first matching rule)
+/// until no rule applies or `fuel` steps have been taken. Returns the normal
+/// form and the full derivation trace.
+///
+/// Legacy interface over [`rewrite_fix_governed`]: same step bound, default
+/// depth/size governance, no deadline. On an abnormal stop (fuel out,
+/// cycle) the best term seen so far is returned.
+pub fn rewrite_fix(rules: &[Oriented], q: &Query, props: &PropDb, fuel: usize) -> (Query, Trace) {
+    let r = rewrite_fix_governed(rules, q, props, &Budget::with_steps(fuel));
+    (r.query, r.trace)
 }
 
 #[cfg(test)]

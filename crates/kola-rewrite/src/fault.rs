@@ -1,0 +1,144 @@
+//! Deterministic fault injection for the rewrite engine.
+//!
+//! Robustness claims are only as good as their tests. A [`FaultPlan`] lets
+//! a harness make specific rules misbehave at specific derivation steps —
+//! fail outright, or return a pathologically inflated result — and then
+//! assert that the governed engine *contains* the damage: the derivation
+//! continues (or stops gracefully), the failure is accounted in the
+//! [`crate::budget::RewriteReport`], and repeat offenders are quarantined.
+//!
+//! Plans are plain data and the engine consults them deterministically, so
+//! every injected failure reproduces exactly.
+
+/// What the injected fault does when it triggers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The rule application errors out (as if its body mentioned an
+    /// unbound variable).
+    Fail,
+    /// The rule "succeeds" but wraps its result in `n` extra identity
+    /// layers, inflating the term — exercises the size governor.
+    Oversize(usize),
+}
+
+/// Which derivation steps the fault triggers on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepSelector {
+    /// Every application attempt.
+    Always,
+    /// Only the listed step indices (0-based, counted in completed rewrite
+    /// steps at the moment the rule is attempted).
+    Steps(Vec<usize>),
+    /// Steps `0, n, 2n, …`.
+    EveryNth(usize),
+}
+
+impl StepSelector {
+    /// Does this selector cover `step`?
+    pub fn covers(&self, step: usize) -> bool {
+        match self {
+            StepSelector::Always => true,
+            StepSelector::Steps(v) => v.contains(&step),
+            StepSelector::EveryNth(n) => *n != 0 && step.is_multiple_of(*n),
+        }
+    }
+}
+
+/// One injected fault: a rule, a step selector, and an effect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Id of the rule to sabotage.
+    pub rule_id: String,
+    /// When it triggers.
+    pub at: StepSelector,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A set of injected faults. The empty plan (the default) injects nothing
+/// and costs one slice scan per rule application.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True iff no faults are registered.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Add a fault (builder style).
+    pub fn with(mut self, spec: FaultSpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Add a fault.
+    pub fn add(&mut self, spec: FaultSpec) {
+        self.specs.push(spec);
+    }
+
+    /// Convenience: `rule_id` always fails.
+    pub fn failing(rule_id: &str) -> Self {
+        FaultPlan::new().with(FaultSpec {
+            rule_id: rule_id.to_string(),
+            at: StepSelector::Always,
+            kind: FaultKind::Fail,
+        })
+    }
+
+    /// The fault (if any) active for `rule_id` at derivation step `step`.
+    /// The first matching spec wins.
+    pub fn fault_for(&self, rule_id: &str, step: usize) -> Option<&FaultKind> {
+        self.specs
+            .iter()
+            .find(|s| s.rule_id == rule_id && s.at.covers(step))
+            .map(|s| &s.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let p = FaultPlan::new();
+        assert!(p.is_empty());
+        assert_eq!(p.fault_for("11", 0), None);
+    }
+
+    #[test]
+    fn selectors() {
+        assert!(StepSelector::Always.covers(17));
+        assert!(StepSelector::Steps(vec![1, 3]).covers(3));
+        assert!(!StepSelector::Steps(vec![1, 3]).covers(2));
+        assert!(StepSelector::EveryNth(4).covers(8));
+        assert!(!StepSelector::EveryNth(4).covers(9));
+        assert!(!StepSelector::EveryNth(0).covers(0), "n=0 never fires");
+    }
+
+    #[test]
+    fn first_matching_spec_wins() {
+        let p = FaultPlan::new()
+            .with(FaultSpec {
+                rule_id: "11".into(),
+                at: StepSelector::Steps(vec![2]),
+                kind: FaultKind::Oversize(10),
+            })
+            .with(FaultSpec {
+                rule_id: "11".into(),
+                at: StepSelector::Always,
+                kind: FaultKind::Fail,
+            });
+        assert_eq!(p.fault_for("11", 2), Some(&FaultKind::Oversize(10)));
+        assert_eq!(p.fault_for("11", 1), Some(&FaultKind::Fail));
+        assert_eq!(p.fault_for("12", 1), None);
+    }
+}

@@ -21,6 +21,7 @@
 //! A final *tidy* pass rewrites `⟨π1, g∘π2⟩` to `id × g` so the result is
 //! literally Figure 3's KG2.
 
+use crate::budget::{Budget, RewriteReport};
 use crate::catalog::Catalog;
 use crate::engine::Trace;
 use crate::props::PropDb;
@@ -75,7 +76,8 @@ pub fn tidy() -> Strategy {
     fix(&["e110", "e111", "e112", "e6"])
 }
 
-/// Result of the full pipeline: per-step snapshots plus the merged trace.
+/// Result of the full pipeline: per-step snapshots plus the merged trace
+/// and resource report.
 #[derive(Debug, Clone)]
 pub struct Untangled {
     /// The final query.
@@ -84,6 +86,8 @@ pub struct Untangled {
     pub snapshots: Vec<(&'static str, Query)>,
     /// Every rule application, in order.
     pub trace: Trace,
+    /// Accumulated resource accounting across all six steps.
+    pub report: RewriteReport,
 }
 
 /// Run the five-step strategy (plus tidy) on a query.
@@ -100,12 +104,32 @@ pub struct Untangled {
 /// the rest alone — the paper's §4.2 argues this graceful degradation is a
 /// key advantage over a monolithic rule.
 pub fn untangle(catalog: &Catalog, props: &PropDb, q: &Query) -> Untangled {
-    let runner = Runner::new(catalog, props);
+    untangle_with_budget(catalog, props, q, &Budget::default())
+}
+
+/// [`untangle`] under an explicit [`Budget`] (shared across all six steps)
+/// and with full resource accounting in the returned report. Never panics:
+/// on budget exhaustion the pipeline returns whatever the completed steps
+/// produced, with the stop reason recorded.
+pub fn untangle_with_budget(
+    catalog: &Catalog,
+    props: &PropDb,
+    q: &Query,
+    budget: &Budget,
+) -> Untangled {
     let mut trace = Trace::new();
+    let mut report = RewriteReport::new();
     let mut cur = q.clone();
     let mut snapshots = Vec::new();
     for (name, strategy) in steps() {
-        let (next, _) = runner.run(&Strategy::Try(Box::new(strategy)), cur, &mut trace);
+        // Each step sees only the budget the previous steps left over.
+        let step_runner = Runner::new(catalog, props).with_budget(Budget {
+            max_steps: budget.max_steps.saturating_sub(report.steps),
+            ..budget.clone()
+        });
+        let (next, _, step_report) =
+            step_runner.run_governed(&Strategy::Try(Box::new(strategy)), cur, &mut trace);
+        report.merge(&step_report);
         cur = next;
         snapshots.push((name, cur.clone()));
     }
@@ -113,6 +137,7 @@ pub fn untangle(catalog: &Catalog, props: &PropDb, q: &Query) -> Untangled {
         query: cur,
         snapshots,
         trace,
+        report,
     }
 }
 
@@ -197,7 +222,10 @@ mod tests {
         assert!(kg1b.ends_with("! [V, P]"), "{kg1b}");
         // KG1c (after Step 3): nest at top, unnest right below.
         let kg1c = get("pull-up-nest");
-        assert!(kg1c.starts_with("nest(pi1, pi2) . unnest(pi1, pi2) * id"), "{kg1c}");
+        assert!(
+            kg1c.starts_with("nest(pi1, pi2) . unnest(pi1, pi2) * id"),
+            "{kg1c}"
+        );
         // Step 4 is a no-op on the garage query (single unnest).
         assert_eq!(get("pull-up-nest"), get("pull-up-unnest"));
     }

@@ -16,8 +16,13 @@
 //! - [`strategy`] — firing strategies (the substrate for COKO rule blocks).
 //! - [`hidden_join`] — the five-step untangling pipeline of §4.1.
 //! - [`monolithic`] — the instrumented monolithic-rule baseline of §4.2.
+//! - [`budget`] — resource governance: explicit step/depth/size/deadline
+//!   budgets, structured errors, and per-run reports.
+//! - [`fault`] — deterministic fault injection for robustness testing.
+pub mod budget;
 pub mod catalog;
 pub mod engine;
+pub mod fault;
 pub mod hidden_join;
 pub mod matching;
 pub mod monolithic;
@@ -26,8 +31,13 @@ pub mod rule;
 pub mod strategy;
 pub mod subst;
 
+pub use budget::{Budget, RewriteError, RewriteReport, RuleStats, StopReason};
 pub use catalog::Catalog;
-pub use engine::{rewrite_fix, rewrite_once_query, Oriented, Step, Trace};
+pub use engine::{
+    rewrite_fix, rewrite_fix_governed, rewrite_fix_with, rewrite_once_query, Oriented, Rewritten,
+    Step, Trace,
+};
+pub use fault::{FaultKind, FaultPlan, FaultSpec, StepSelector};
 pub use props::{PropDb, PropKind, PropTerm};
 pub use rule::{Direction, Rule, RuleSource};
 pub use strategy::{Runner, Strategy};

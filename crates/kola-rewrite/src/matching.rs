@@ -149,41 +149,49 @@ pub fn match_query(pat: &PQuery, t: &Query, s: &mut Subst) -> bool {
 
 /// Flatten a composition chain into its segments, left to right.
 /// `a ∘ (b ∘ c)` and `(a ∘ b) ∘ c` both yield `[a, b, c]`.
+///
+/// Iterative (explicit work stack): chains can be arbitrarily deep in
+/// either association, and this runs inside the engine's hot path where a
+/// recursive walk would overflow the native stack on adversarial input.
 pub fn chain_segments(f: &Func) -> Vec<&Func> {
     let mut out = Vec::new();
-    fn go<'a>(f: &'a Func, out: &mut Vec<&'a Func>) {
+    let mut work = vec![f];
+    while let Some(f) = work.pop() {
         match f {
             Func::Compose(a, b) => {
-                go(a, out);
-                go(b, out);
+                // Pop order: `a` must be emitted before `b`.
+                work.push(b);
+                work.push(a);
             }
             leaf => out.push(leaf),
         }
     }
-    go(f, &mut out);
     out
 }
 
-/// Flatten a pattern composition chain into its segments.
+/// Flatten a pattern composition chain into its segments (iterative, see
+/// [`chain_segments`]).
 pub fn pchain_segments(f: &PFunc) -> Vec<&PFunc> {
     let mut out = Vec::new();
-    fn go<'a>(f: &'a PFunc, out: &mut Vec<&'a PFunc>) {
+    let mut work = vec![f];
+    while let Some(f) = work.pop() {
         match f {
             PFunc::Compose(a, b) => {
-                go(a, out);
-                go(b, out);
+                work.push(b);
+                work.push(a);
             }
             leaf => out.push(leaf),
         }
     }
-    go(f, &mut out);
     out
 }
 
 /// Rebuild a right-associated composition chain from owned segments.
-/// Panics on empty input.
+/// The empty chain is the unit of `∘`: [`Func::Id`].
 pub fn compose_chain(mut segs: Vec<Func>) -> Func {
-    let last = segs.pop().expect("compose_chain of at least one segment");
+    let Some(last) = segs.pop() else {
+        return Func::Id;
+    };
     segs.into_iter()
         .rev()
         .fold(last, |acc, f| Func::Compose(Box::new(f), Box::new(acc)))
@@ -329,10 +337,8 @@ mod tests {
     fn prefix_match_consumes_window() {
         // rule 11's head against a 3-chain: consumes the first two segments.
         let pat = parse_pfunc("iterate(%p, $f) . iterate(%q, $g)").unwrap();
-        let t = parse_func(
-            "iterate(Kp(T), city) . iterate(Kp(T), addr) . iterate(Kp(T), id)",
-        )
-        .unwrap();
+        let t =
+            parse_func("iterate(Kp(T), city) . iterate(Kp(T), addr) . iterate(Kp(T), id)").unwrap();
         let mut s = Subst::new();
         assert_eq!(match_func_prefix(&pat, &t, &mut s), Some(2));
         assert_eq!(s.funcs.get("f").unwrap(), &prim("city"));
@@ -364,6 +370,35 @@ mod tests {
         let t = parse_func("iterate(Kp(T), city)").unwrap();
         let mut s = Subst::new();
         assert_eq!(match_func_prefix(&pat, &t, &mut s), None);
+    }
+
+    #[test]
+    fn compose_chain_of_nothing_is_id() {
+        assert_eq!(compose_chain(Vec::new()), Func::Id);
+    }
+
+    #[test]
+    fn chain_segments_survive_deep_chains() {
+        // Deep in both associations; a recursive flatten would overflow.
+        let mut left = prim("a");
+        let mut right = prim("a");
+        for _ in 0..100_000 {
+            left = Func::Compose(Box::new(left), Box::new(Func::Id));
+            right = Func::Compose(Box::new(Func::Id), Box::new(right));
+        }
+        assert_eq!(chain_segments(&left).len(), 100_001);
+        assert_eq!(chain_segments(&right).len(), 100_001);
+        // Tear the terms down iteratively too — the derived recursive Drop
+        // would blow the stack at this depth.
+        for f in [left, right] {
+            let mut work = vec![f];
+            while let Some(f) = work.pop() {
+                if let Func::Compose(a, b) = f {
+                    work.push(*a);
+                    work.push(*b);
+                }
+            }
+        }
     }
 
     #[test]

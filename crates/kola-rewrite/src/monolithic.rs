@@ -17,6 +17,7 @@
 //! gradual pipeline in [`crate::hidden_join`], whose every step is a
 //! finite-pattern match.
 
+use crate::budget::{Budget, RewriteError, RewriteReport};
 use crate::catalog::Catalog;
 use crate::hidden_join;
 use crate::props::PropDb;
@@ -59,39 +60,66 @@ pub struct HeadStats {
 /// Figure 7 shape, diving to arbitrary depth.
 pub fn recognize(q: &Query) -> (Option<Recognized>, HeadStats) {
     let mut stats = HeadStats::default();
-    let out = recognize_inner(q, &mut stats);
+    let out = recognize_inner(q, usize::MAX, &mut stats).unwrap_or(None);
     (out, stats)
 }
 
-fn recognize_inner(q: &Query, stats: &mut HeadStats) -> Option<Recognized> {
+/// [`recognize`] with the dive capped at `budget.max_depth`.
+///
+/// The unbounded dive is exactly the §4.2 pathology this crate's governance
+/// layer exists to contain: an adversarial (or just very deep) query can
+/// make the head routine do unbounded work *before the rule even fires*.
+/// With a budget, the dive gives up at the depth limit and reports
+/// [`RewriteError::DepthExceeded`] instead of deciding.
+pub fn recognize_with_budget(
+    q: &Query,
+    budget: &Budget,
+) -> (Result<Option<Recognized>, RewriteError>, HeadStats) {
+    let mut stats = HeadStats::default();
+    let out = recognize_inner(q, budget.max_depth, &mut stats);
+    (out, stats)
+}
+
+fn recognize_inner(
+    q: &Query,
+    max_depth: usize,
+    stats: &mut HeadStats,
+) -> Result<Option<Recognized>, RewriteError> {
     stats.nodes_visited += 1;
     // iterate(Kp(T), (j, body)) ! A
-    let Query::App(f, outer) = q else { return None };
+    let Query::App(f, outer) = q else {
+        return Ok(None);
+    };
     stats.nodes_visited += 1;
-    let Func::Iterate(p, pair) = f else { return None };
+    let Func::Iterate(p, pair) = f else {
+        return Ok(None);
+    };
     stats.nodes_visited += 2;
     if **p != Pred::ConstP(true) {
-        return None;
+        return Ok(None);
     }
     let Func::PairWith(j, body) = &**pair else {
-        return None;
+        return Ok(None);
     };
     let mut layers = Vec::new();
     let mut cur: &Func = body;
     loop {
+        if stats.dive_depth >= max_depth {
+            return Err(RewriteError::DepthExceeded { limit: max_depth });
+        }
         stats.dive_depth += 1;
         stats.nodes_visited += 1;
         // Kf(B): done.
         if let Func::ConstF(b) = cur {
             if layers.is_empty() {
-                return None; // no iter layer at all: not a hidden join
+                return Ok(None); // no iter layer at all: not a hidden join
             }
-            return Some(Recognized {
+            return Ok(Some(Recognized {
                 j: (**j).clone(),
                 layers,
                 inner: (**b).clone(),
                 outer: (**outer).clone(),
-            });
+            }));
         }
         // [flat ∘] iter(p, f) ∘ (id, rest)
         let segs = crate::matching::chain_segments(cur);
@@ -101,13 +129,13 @@ fn recognize_inner(q: &Query, stats: &mut HeadStats) -> Option<Recognized> {
             _ => (false, &segs[..]),
         };
         let Some((Func::Iter(p, f), tail)) = rest_segs.split_first() else {
-            return None;
+            return Ok(None);
         };
         let Some((Func::PairWith(idf, next), tail_rest)) = tail.split_first() else {
-            return None;
+            return Ok(None);
         };
         if !tail_rest.is_empty() || **idf != Func::Id {
-            return None;
+            return Ok(None);
         }
         layers.push(Layer {
             flattened,
@@ -125,11 +153,7 @@ fn recognize_inner(q: &Query, stats: &mut HeadStats) -> Option<Recognized> {
 /// dive, all-or-nothing applicability), which this faithfully reproduces:
 /// when [`recognize`] fails, the query is returned **unchanged**, with the
 /// stats showing how much analysis was wasted.
-pub fn try_monolithic(
-    catalog: &Catalog,
-    props: &PropDb,
-    q: &Query,
-) -> (Option<Query>, HeadStats) {
+pub fn try_monolithic(catalog: &Catalog, props: &PropDb, q: &Query) -> (Option<Query>, HeadStats) {
     let (hit, stats) = recognize(q);
     match hit {
         Some(_) => {
@@ -137,6 +161,32 @@ pub fn try_monolithic(
             (Some(out.query), stats)
         }
         None => (None, stats),
+    }
+}
+
+/// [`try_monolithic`] under an explicit [`Budget`]: the head routine's dive
+/// is depth-capped and the body routine's rewriting is step-capped, with
+/// the accounting returned alongside. A dive that hits the depth cap is an
+/// all-or-nothing *failure* — the query comes back unchanged, exactly as a
+/// monolithic rule behaves on any input it cannot fully analyze.
+pub fn try_monolithic_governed(
+    catalog: &Catalog,
+    props: &PropDb,
+    q: &Query,
+    budget: &Budget,
+) -> (Option<Query>, HeadStats, RewriteReport) {
+    let (hit, stats) = recognize_with_budget(q, budget);
+    match hit {
+        Ok(Some(_)) => {
+            let out = hidden_join::untangle_with_budget(catalog, props, q, budget);
+            (Some(out.query), stats, out.report)
+        }
+        Ok(None) => (None, stats, RewriteReport::new()),
+        Err(e) => {
+            let mut report = RewriteReport::new();
+            report.failures.push(e.to_string());
+            (None, stats, report)
+        }
     }
 }
 
@@ -185,6 +235,24 @@ mod tests {
         let (hit, stats) = recognize(&q);
         assert!(hit.is_none());
         assert!(stats.dive_depth >= 2, "must dive before rejecting");
+    }
+
+    #[test]
+    fn governed_dive_gives_up_at_depth_cap() {
+        let q = synthetic_hidden_join(8);
+        let budget = Budget::default().depth(3);
+        let (hit, stats) = recognize_with_budget(&q, &budget);
+        assert!(matches!(hit, Err(RewriteError::DepthExceeded { limit: 3 })));
+        assert!(stats.dive_depth <= 3, "dive stopped at the cap");
+        // The monolithic rule's all-or-nothing failure mode: unchanged
+        // query, with the giving-up recorded in the report.
+        let (c, p) = (Catalog::paper(), PropDb::new());
+        let (out, _, report) = try_monolithic_governed(&c, &p, &q, &budget);
+        assert!(out.is_none());
+        assert_eq!(report.failures.len(), 1);
+        // A generous budget recognizes and rewrites the same query.
+        let (out, _, _) = try_monolithic_governed(&c, &p, &q, &Budget::default());
+        assert!(out.is_some());
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! replaced by matching ([`crate::matching`]); body routines by
 //! instantiation ([`crate::subst`]).
 
+use crate::budget::RewriteError;
 use crate::matching::{self, match_func_prefix};
 use crate::props::{PropKind, PropTerm};
 use crate::subst::{instantiate_func, instantiate_pred, instantiate_query, Subst};
@@ -215,14 +216,33 @@ impl Rule {
         }
     }
 
+    /// Promote an instantiation failure (a body variable the head never
+    /// bound) into a structured [`RewriteError`]. Such a rule is *malformed*
+    /// — the governed engine records the failure and quarantines repeat
+    /// offenders instead of silently skipping or panicking.
+    fn rule_failed(&self, e: crate::subst::UnboundVar) -> RewriteError {
+        RewriteError::RuleFailed {
+            rule_id: self.id.clone(),
+            detail: e.to_string(),
+        }
+    }
+
     /// Try to apply the rule at the root of a function term.
     ///
     /// For composite (chain) heads, matches a *prefix window* of the term's
     /// composition chain; the remainder is re-appended to the rewritten
     /// result (see [`crate::matching::match_func_prefix`]).
-    pub fn apply_func(&self, t: &Func, dir: Direction) -> Option<(Func, Subst)> {
+    ///
+    /// `Ok(None)` means "no alternative matched"; `Err` means an alternative
+    /// matched but its body could not be instantiated — the rule itself is
+    /// broken.
+    pub fn try_apply_func(
+        &self,
+        t: &Func,
+        dir: Direction,
+    ) -> Result<Option<(Func, Subst)>, RewriteError> {
         if dir == Direction::Backward && !self.bidirectional {
-            return None;
+            return Ok(None);
         }
         for alt in &self.alts {
             let RewritePair::F(l, r) = alt else { continue };
@@ -231,52 +251,75 @@ impl Rule {
             let segs = matching::chain_segments(t);
             let n = segs.len();
             if let Some(consumed) = match_func_prefix(head, t, &mut s) {
-                let rewritten = instantiate_func(body, &s).ok()?;
+                let rewritten = instantiate_func(body, &s).map_err(|e| self.rule_failed(e))?;
                 if consumed == n {
-                    return Some((rewritten, s));
+                    return Ok(Some((rewritten, s)));
                 }
                 let mut out = vec![rewritten];
                 out.extend(segs[consumed..].iter().map(|f| (*f).clone()));
-                return Some((matching::compose_chain(out), s));
+                return Ok(Some((matching::compose_chain(out), s)));
             }
         }
-        None
+        Ok(None)
     }
 
-    /// Try to apply the rule at the root of a predicate term.
-    pub fn apply_pred(&self, t: &Pred, dir: Direction) -> Option<(Pred, Subst)> {
+    /// Try to apply the rule at the root of a predicate term (`Ok(None)` =
+    /// no match, `Err` = matched but malformed; see [`Rule::try_apply_func`]).
+    pub fn try_apply_pred(
+        &self,
+        t: &Pred,
+        dir: Direction,
+    ) -> Result<Option<(Pred, Subst)>, RewriteError> {
         if dir == Direction::Backward && !self.bidirectional {
-            return None;
+            return Ok(None);
         }
         for alt in &self.alts {
             let RewritePair::P(l, r) = alt else { continue };
             let (head, body) = self.oriented((l, r), dir);
             let mut s = Subst::new();
             if matching::match_pred(head, t, &mut s) {
-                if let Ok(out) = instantiate_pred(body, &s) {
-                    return Some((out, s));
-                }
+                let out = instantiate_pred(body, &s).map_err(|e| self.rule_failed(e))?;
+                return Ok(Some((out, s)));
             }
         }
-        None
+        Ok(None)
     }
 
-    /// Try to apply the rule at the root of a query term.
-    pub fn apply_query(&self, t: &Query, dir: Direction) -> Option<(Query, Subst)> {
+    /// Try to apply the rule at the root of a query term (`Ok(None)` = no
+    /// match, `Err` = matched but malformed; see [`Rule::try_apply_func`]).
+    pub fn try_apply_query(
+        &self,
+        t: &Query,
+        dir: Direction,
+    ) -> Result<Option<(Query, Subst)>, RewriteError> {
         if dir == Direction::Backward && !self.bidirectional {
-            return None;
+            return Ok(None);
         }
         for alt in &self.alts {
             let RewritePair::Q(l, r) = alt else { continue };
             let (head, body) = self.oriented((l, r), dir);
             let mut s = Subst::new();
             if matching::match_query(head, t, &mut s) {
-                if let Ok(out) = instantiate_query(body, &s) {
-                    return Some((out, s));
-                }
+                let out = instantiate_query(body, &s).map_err(|e| self.rule_failed(e))?;
+                return Ok(Some((out, s)));
             }
         }
-        None
+        Ok(None)
+    }
+
+    /// [`Rule::try_apply_func`] with failures flattened to `None`.
+    pub fn apply_func(&self, t: &Func, dir: Direction) -> Option<(Func, Subst)> {
+        self.try_apply_func(t, dir).ok().flatten()
+    }
+
+    /// [`Rule::try_apply_pred`] with failures flattened to `None`.
+    pub fn apply_pred(&self, t: &Pred, dir: Direction) -> Option<(Pred, Subst)> {
+        self.try_apply_pred(t, dir).ok().flatten()
+    }
+
+    /// [`Rule::try_apply_query`] with failures flattened to `None`.
+    pub fn apply_query(&self, t: &Query, dir: Direction) -> Option<(Query, Subst)> {
+        self.try_apply_query(t, dir).ok().flatten()
     }
 
     /// True iff the rule has any function-level alternative.
@@ -375,8 +418,7 @@ mod tests {
         let (out, _) = r.apply_query(&t, Direction::Forward).unwrap();
         assert_eq!(
             out,
-            kola::parse::parse_query("nest(pi1, pi2) . (join(Kp(T), id), pi1) ! [V, P]")
-                .unwrap()
+            kola::parse::parse_query("nest(pi1, pi2) . (join(Kp(T), id), pi1) ! [V, P]").unwrap()
         );
     }
 }

@@ -6,10 +6,16 @@
 //! parses COKO source into it. The hidden-join pipeline of §4.1 is five
 //! strategies run in sequence ([`crate::hidden_join`]).
 
+use crate::budget::{measure_query, Budget, RewriteError, RewriteReport, StopReason};
 use crate::catalog::Catalog;
-use crate::engine::{rewrite_bottom_up, rewrite_once_query, Oriented, Step, Trace, DEFAULT_FUEL};
+use crate::engine::{
+    rewrite_bottom_up_governed, rewrite_fix_with, rewrite_once_governed, Oriented, Step, Trace,
+    DEFAULT_FUEL,
+};
+use crate::fault::FaultPlan;
 use crate::props::PropDb;
 use kola::term::Query;
+use std::collections::HashSet;
 use std::fmt;
 
 /// A firing strategy over the rule catalog.
@@ -81,45 +87,124 @@ pub enum Outcome {
     Failure,
 }
 
-/// A strategy interpreter bound to a catalog and a property database.
+/// A strategy interpreter bound to a catalog and a property database,
+/// governed by a [`Budget`] and an optional [`FaultPlan`].
 pub struct Runner<'a> {
     /// Rule catalog used to resolve references.
     pub catalog: &'a Catalog,
     /// Property database for preconditions.
     pub props: &'a PropDb,
-    /// Bound on total rule applications (shared across nested fixpoints).
+    /// Bound on strategy-level iterations (`Repeat`); kept distinct from
+    /// the budget's step cap for backward compatibility.
     pub fuel: usize,
+    /// Resource budget shared across the whole strategy run.
+    pub budget: Budget,
+    /// Injected faults (empty by default).
+    pub faults: FaultPlan,
 }
 
 impl<'a> Runner<'a> {
-    /// A runner with default fuel.
+    /// A runner with default fuel, default budget, no faults.
     pub fn new(catalog: &'a Catalog, props: &'a PropDb) -> Self {
         Runner {
             catalog,
             props,
             fuel: DEFAULT_FUEL,
+            budget: Budget::default(),
+            faults: FaultPlan::default(),
         }
     }
 
-    fn resolve_set(&self, refs: &[String]) -> Vec<Oriented<'a>> {
+    /// Replace the budget (builder style). The iteration fuel follows the
+    /// budget's step cap.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.fuel = budget.max_steps;
+        self.budget = budget;
+        self
+    }
+
+    /// Attach a fault plan (builder style).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    fn try_resolve_set(&self, refs: &[String]) -> Result<Vec<Oriented<'a>>, RewriteError> {
         refs.iter()
             .map(|spec| {
-                let (rule, dir) = self.catalog.resolve(spec);
-                Oriented { rule, dir }
+                let (rule, dir) = self.catalog.try_resolve(spec)?;
+                Ok(Oriented { rule, dir })
             })
             .collect()
     }
 
+    /// Resolve a rule set; on an unknown reference, record the error in the
+    /// report and return `None` (the strategy degrades to `Failure` instead
+    /// of panicking).
+    fn resolve_or_report(
+        &self,
+        refs: &[String],
+        report: &mut RewriteReport,
+    ) -> Option<Vec<Oriented<'a>>> {
+        match self.try_resolve_set(refs) {
+            Ok(rules) => Some(rules),
+            Err(e) => {
+                if report.failures.len() < 8 {
+                    report.failures.push(e.to_string());
+                }
+                None
+            }
+        }
+    }
+
+    /// Steps still available under the budget.
+    fn remaining(&self, report: &RewriteReport) -> usize {
+        self.budget.max_steps.saturating_sub(report.steps)
+    }
+
+    fn mark_stop(report: &mut RewriteReport, stop: StopReason) {
+        if report.stop == StopReason::NormalForm {
+            report.stop = stop;
+        }
+    }
+
     /// Run `strategy` on `q`, appending steps to `trace`. Returns the
     /// (possibly rewritten) query and whether the strategy succeeded.
+    /// Convenience over [`Runner::run_governed`], discarding the report.
     pub fn run(&self, strategy: &Strategy, q: Query, trace: &mut Trace) -> (Query, Outcome) {
+        let (q, out, _) = self.run_governed(strategy, q, trace);
+        (q, out)
+    }
+
+    /// Run `strategy` on `q` under the runner's budget and fault plan.
+    /// Also returns the accumulated [`RewriteReport`]: total steps, per-rule
+    /// fire/fail counts, quarantined rules, and the first abnormal stop
+    /// reason encountered anywhere in the run (or `NormalForm`).
+    pub fn run_governed(
+        &self,
+        strategy: &Strategy,
+        q: Query,
+        trace: &mut Trace,
+    ) -> (Query, Outcome, RewriteReport) {
+        let mut report = RewriteReport::new();
+        let (q, out) = self.go(strategy, q, trace, &mut report);
+        (q, out, report)
+    }
+
+    fn go(
+        &self,
+        strategy: &Strategy,
+        q: Query,
+        trace: &mut Trace,
+        report: &mut RewriteReport,
+    ) -> (Query, Outcome) {
         match strategy {
-            Strategy::Apply(spec) => self.apply_set(std::slice::from_ref(spec), q, trace),
-            Strategy::ApplyAny(specs) => self.apply_set(specs, q, trace),
+            Strategy::Apply(spec) => self.apply_set(std::slice::from_ref(spec), q, trace, report),
+            Strategy::ApplyAny(specs) => self.apply_set(specs, q, trace, report),
             Strategy::Seq(ss) => {
                 let mut cur = q;
                 for s in ss {
-                    let (next, out) = self.run(s, cur, trace);
+                    let (next, out) = self.go(s, cur, trace, report);
                     cur = next;
                     if out == Outcome::Failure {
                         return (cur, Outcome::Failure);
@@ -130,7 +215,7 @@ impl<'a> Runner<'a> {
             Strategy::Choice(ss) => {
                 let mut cur = q;
                 for s in ss {
-                    let (next, out) = self.run(s, cur, trace);
+                    let (next, out) = self.go(s, cur, trace, report);
                     cur = next;
                     if out == Outcome::Success {
                         return (cur, Outcome::Success);
@@ -139,23 +224,54 @@ impl<'a> Runner<'a> {
                 (cur, Outcome::Failure)
             }
             Strategy::Try(s) => {
-                let (next, _) = self.run(s, q, trace);
+                let (next, _) = self.go(s, q, trace, report);
                 (next, Outcome::Success)
             }
             Strategy::Repeat(s) => {
+                // Bounded by fuel AND the step budget, with cycle detection:
+                // a repeated term fingerprint means the body is looping
+                // (e.g. a forward/backward rule pair), so stop — repeating
+                // is deterministic and would never converge.
                 let mut cur = q;
+                let mut seen: HashSet<u64> = HashSet::new();
+                seen.insert(measure_query(&cur).1);
+                let mut converged = false;
                 for _ in 0..self.fuel {
-                    let (next, out) = self.run(s, cur, trace);
-                    cur = next;
-                    if out == Outcome::Failure {
+                    if self.remaining(report) == 0 {
                         break;
                     }
+                    let (next, out) = self.go(s, cur, trace, report);
+                    cur = next;
+                    if out == Outcome::Failure {
+                        converged = true;
+                        break;
+                    }
+                    if !seen.insert(measure_query(&cur).1) {
+                        Self::mark_stop(report, StopReason::CycleDetected);
+                        converged = true;
+                        break;
+                    }
+                }
+                if !converged && self.remaining(report) == 0 {
+                    Self::mark_stop(report, StopReason::BudgetExhausted);
                 }
                 (cur, Outcome::Success)
             }
             Strategy::BottomUp(specs) => {
-                let rules = self.resolve_set(specs);
-                let (out, fires) = rewrite_bottom_up(&rules, &q, self.props, self.fuel);
+                let Some(rules) = self.resolve_or_report(specs, report) else {
+                    return (q, Outcome::Failure);
+                };
+                let fuel = self.fuel.min(self.remaining(report).max(1));
+                let (out, fires) = rewrite_bottom_up_governed(
+                    &rules,
+                    &q,
+                    self.props,
+                    fuel,
+                    &self.budget,
+                    &self.faults,
+                    report,
+                );
+                report.steps += fires;
                 // Record one summary step so traces stay readable.
                 if fires > 0 {
                     trace.steps.push(Step {
@@ -167,22 +283,19 @@ impl<'a> Runner<'a> {
                 (out, Outcome::Success)
             }
             Strategy::Fix(specs) => {
-                let rules = self.resolve_set(specs);
-                let mut cur = q.normalize();
-                for _ in 0..self.fuel {
-                    match rewrite_once_query(&rules, &cur, self.props) {
-                        Some(applied) => {
-                            cur = applied.result.normalize();
-                            trace.steps.push(Step {
-                                rule_id: applied.rule_id,
-                                dir: applied.dir,
-                                after: cur.clone(),
-                            });
-                        }
-                        None => break,
-                    }
-                }
-                (cur, Outcome::Success)
+                let Some(rules) = self.resolve_or_report(specs, report) else {
+                    return (q, Outcome::Failure);
+                };
+                // Delegate to the governed fixpoint driver with whatever
+                // budget is left, then fold its accounting into ours.
+                let sub = Budget {
+                    max_steps: self.remaining(report),
+                    ..self.budget.clone()
+                };
+                let r = rewrite_fix_with(&rules, &q, self.props, &sub, &self.faults);
+                trace.steps.extend(r.trace.steps);
+                report.merge(&r.report);
+                (r.query, Outcome::Success)
             }
         }
     }
@@ -192,12 +305,30 @@ impl<'a> Runner<'a> {
         specs: &[String],
         q: Query,
         trace: &mut Trace,
+        report: &mut RewriteReport,
     ) -> (Query, Outcome) {
-        let rules = self.resolve_set(specs);
+        let Some(rules) = self.resolve_or_report(specs, report) else {
+            return (q, Outcome::Failure);
+        };
         let q = q.normalize();
-        match rewrite_once_query(&rules, &q, self.props) {
+        if self.remaining(report) == 0 {
+            Self::mark_stop(report, StopReason::BudgetExhausted);
+            return (q, Outcome::Failure);
+        }
+        match rewrite_once_governed(&rules, &q, self.props, &self.budget, &self.faults, report) {
             Some(applied) => {
                 let result = applied.result.normalize();
+                let (size, _) = measure_query(&result);
+                if size > self.budget.max_term_size {
+                    let e = RewriteError::TermTooLarge {
+                        size,
+                        limit: self.budget.max_term_size,
+                    };
+                    report.record_failure(&applied.rule_id, &e, self.budget.quarantine_after);
+                    return (q, Outcome::Failure);
+                }
+                report.steps += 1;
+                report.record_fire(&applied.rule_id);
                 trace.steps.push(Step {
                     rule_id: applied.rule_id,
                     dir: applied.dir,
@@ -294,11 +425,7 @@ mod tests {
         let r = Runner::new(&c, &p);
         let q = parse_query("id . age ! P").unwrap();
         let mut t = Trace::new();
-        let (out, oc) = r.run(
-            &Strategy::Choice(vec![apply("1"), apply("2")]),
-            q,
-            &mut t,
-        );
+        let (out, oc) = r.run(&Strategy::Choice(vec![apply("1"), apply("2")]), q, &mut t);
         assert_eq!(oc, Outcome::Success);
         assert_eq!(out, parse_query("age ! P").unwrap());
         assert_eq!(t.justifications(), vec!["2"]);

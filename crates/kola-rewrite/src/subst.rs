@@ -226,14 +226,12 @@ pub fn instantiate_query(pat: &PQuery, s: &Subst) -> Result<Query, UnboundVar> {
             Box::new(instantiate_query(a, s)?),
             Box::new(instantiate_query(b, s)?),
         ),
-        PQuery::App(f, q) => Query::App(
-            instantiate_func(f, s)?,
-            Box::new(instantiate_query(q, s)?),
-        ),
-        PQuery::Test(p, q) => Query::Test(
-            instantiate_pred(p, s)?,
-            Box::new(instantiate_query(q, s)?),
-        ),
+        PQuery::App(f, q) => {
+            Query::App(instantiate_func(f, s)?, Box::new(instantiate_query(q, s)?))
+        }
+        PQuery::Test(p, q) => {
+            Query::Test(instantiate_pred(p, s)?, Box::new(instantiate_query(q, s)?))
+        }
         PQuery::Union(a, b) => Query::Union(
             Box::new(instantiate_query(a, s)?),
             Box::new(instantiate_query(b, s)?),
@@ -268,10 +266,7 @@ mod tests {
     fn unbound_var_errors() {
         let pat = parse_pfunc("$f").unwrap();
         let s = Subst::new();
-        assert_eq!(
-            instantiate_func(&pat, &s),
-            Err(UnboundVar(Arc::from("f")))
-        );
+        assert_eq!(instantiate_func(&pat, &s), Err(UnboundVar(Arc::from("f"))));
     }
 
     #[test]

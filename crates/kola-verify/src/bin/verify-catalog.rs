@@ -6,8 +6,8 @@
 
 use kola::typecheck::TypeEnv;
 use kola_exec::datagen::{generate, DataSpec};
-use kola_rewrite::Catalog;
-use kola_verify::verify_catalog;
+use kola_rewrite::{Catalog, PropDb};
+use kola_verify::{verify_catalog, verify_containment};
 
 fn main() {
     let env = TypeEnv::paper_env();
@@ -22,4 +22,15 @@ fn main() {
         }
     }
     println!("{} rules, {} not verified", reports.len(), bad);
+
+    // Operational soundness: the engine must contain injected rule faults.
+    let props = PropDb::new();
+    let mut violated = 0;
+    for r in verify_containment(&catalog, &props) {
+        println!("{r}");
+        if !r.ok() {
+            violated += 1;
+        }
+    }
+    println!("{violated} containment suites violated");
 }

@@ -19,18 +19,13 @@
 use crate::gen::{palette, Gen};
 use kola::db::Db;
 use kola::pattern::VarKind;
-use kola::typecheck::{
-    infer_pfunc, infer_ppred, infer_pquery, Inference, TypeEnv,
-};
+use kola::typecheck::{infer_pfunc, infer_ppred, infer_pquery, Inference, TypeEnv};
 use kola::types::Type;
 use kola::value::Sym;
+use kola_exec::rng::Rng;
 use kola_rewrite::rule::{RewritePair, Rule};
-use kola_rewrite::subst::{
-    instantiate_func, instantiate_pred, instantiate_query, Subst,
-};
+use kola_rewrite::subst::{instantiate_func, instantiate_pred, instantiate_query, Subst};
 use kola_rewrite::PropKind;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::fmt;
 
 /// Outcome of verifying one rule.
@@ -75,13 +70,7 @@ impl fmt::Display for RuleReport {
 }
 
 /// Verify one rule with `trials` random instantiations.
-pub fn check_rule(
-    env: &TypeEnv,
-    db: &Db,
-    rule: &Rule,
-    trials: usize,
-    seed: u64,
-) -> RuleReport {
+pub fn check_rule(env: &TypeEnv, db: &Db, rule: &Rule, trials: usize, seed: u64) -> RuleReport {
     let mut report = RuleReport {
         rule_id: rule.id.clone(),
         trials: 0,
@@ -89,7 +78,7 @@ pub fn check_rule(
         skipped: 0,
         failures: Vec::new(),
     };
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     for alt in &rule.alts {
         for _ in 0..trials {
             report.trials += 1;
@@ -165,14 +154,8 @@ fn collect_vars(alt: &RewritePair) -> Vec<(VarKind, Sym)> {
     vars
 }
 
-fn run_trial(
-    env: &TypeEnv,
-    db: &Db,
-    rule: &Rule,
-    alt: &RewritePair,
-    seed: u64,
-) -> TrialOutcome {
-    let mut rng = StdRng::seed_from_u64(seed);
+fn run_trial(env: &TypeEnv, db: &Db, rule: &Rule, alt: &RewritePair, seed: u64) -> TrialOutcome {
+    let mut rng = Rng::seed_from_u64(seed);
     let mut inf = Inference::new();
     let input_ty = match infer_alt(env, &mut inf, alt) {
         Ok(t) => t,
@@ -199,7 +182,7 @@ fn run_trial(
     let default = defaults[rng.gen_range(0..defaults.len())].clone();
     let ground = |inf: &Inference, t: &Type| inf.unifier.ground(t, &default);
 
-    let mut gen = Gen::new(db, StdRng::seed_from_u64(rng.gen()));
+    let mut gen = Gen::new(db, Rng::seed_from_u64(rng.gen()));
     let mut subst = Subst::new();
     for (kind, name) in collect_vars(alt) {
         match kind {
@@ -234,10 +217,8 @@ fn run_trial(
 
     match alt {
         RewritePair::F(l, r) => {
-            let (Ok(lf), Ok(rf)) = (
-                instantiate_func(l, &subst),
-                instantiate_func(r, &subst),
-            ) else {
+            let (Ok(lf), Ok(rf)) = (instantiate_func(l, &subst), instantiate_func(r, &subst))
+            else {
                 return TrialOutcome::Fail("unbound var in rule body".into());
             };
             let in_ty = ground(&inf, &input_ty.expect("func rules have inputs"));
@@ -249,10 +230,8 @@ fn run_trial(
             )
         }
         RewritePair::P(l, r) => {
-            let (Ok(lp), Ok(rp)) = (
-                instantiate_pred(l, &subst),
-                instantiate_pred(r, &subst),
-            ) else {
+            let (Ok(lp), Ok(rp)) = (instantiate_pred(l, &subst), instantiate_pred(r, &subst))
+            else {
                 return TrialOutcome::Fail("unbound var in rule body".into());
             };
             let in_ty = ground(&inf, &input_ty.expect("pred rules have inputs"));
@@ -264,10 +243,8 @@ fn run_trial(
             )
         }
         RewritePair::Q(l, r) => {
-            let (Ok(lq), Ok(rq)) = (
-                instantiate_query(l, &subst),
-                instantiate_query(r, &subst),
-            ) else {
+            let (Ok(lq), Ok(rq)) = (instantiate_query(l, &subst), instantiate_query(r, &subst))
+            else {
                 return TrialOutcome::Fail("unbound var in rule body".into());
             };
             compare(
@@ -330,7 +307,11 @@ mod tests {
         for (id, lhs, rhs) in [
             ("t1", "pi1 . ($f, $g)", "$f"),
             ("t2", "id . $f", "$f"),
-            ("t3", "iterate(%p, $f) . iterate(%q, $g)", "iterate(%q & %p @ $g, $f . $g)"),
+            (
+                "t3",
+                "iterate(%p, $f) . iterate(%q, $g)",
+                "iterate(%q & %p @ $g, $f . $g)",
+            ),
         ] {
             let rule = Rule::func(id, id, lhs, rhs);
             let report = check_rule(&env, &db, &rule, 40, 7);

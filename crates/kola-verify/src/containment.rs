@@ -1,0 +1,256 @@
+//! Fault-containment verification for the governed rewrite engine.
+//!
+//! Where [`crate::check`] verifies that rules are *semantically sound*,
+//! this module verifies that the engine around them is *operationally
+//! sound*: under deterministically injected rule failures and oversized
+//! rewrite results, a governed run must
+//!
+//! 1. complete without panicking,
+//! 2. keep its accounting consistent (`report.steps` equals the trace
+//!    length, per-rule fire counts sum to the step count),
+//! 3. never exceed its step budget,
+//! 4. quarantine rules only after the configured number of failures, and
+//! 5. never let a faulted rule appear in the derivation as *fired*.
+//!
+//! The checks run the hidden-join workloads (KG1 plus synthetic depths)
+//! through [`kola_rewrite::rewrite_fix_with`], first cleanly to learn
+//! which rules participate, then once per participating rule with that
+//! rule sabotaged.
+
+use kola::term::Query;
+use kola_rewrite::hidden_join;
+use kola_rewrite::{
+    rewrite_fix_with, Budget, Catalog, FaultKind, FaultPlan, FaultSpec, Oriented, PropDb,
+    Rewritten, StepSelector,
+};
+use std::fmt;
+
+/// The break-up/cleanup rule set (step 1 of the §4.1 pipeline): a forward
+/// orientation of it terminates on every input, which makes it the right
+/// substrate for containment runs.
+pub fn standard_rules(catalog: &Catalog) -> Vec<Oriented<'_>> {
+    ["17", "18", "2", "1", "3", "4", "4a", "9", "10", "5", "6"]
+        .iter()
+        .filter_map(|id| catalog.get(id).map(Oriented::fwd))
+        .collect()
+}
+
+/// Outcome of one containment suite (one workload query).
+#[derive(Debug, Clone)]
+pub struct ContainmentReport {
+    /// Workload name.
+    pub name: String,
+    /// Governed runs executed (clean + one per sabotaged rule per fault kind).
+    pub runs: usize,
+    /// Invariant violations found (empty = contained).
+    pub violations: Vec<String>,
+}
+
+impl ContainmentReport {
+    /// Contained = every run satisfied every invariant.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty() && self.runs > 0
+    }
+}
+
+impl fmt::Display for ContainmentReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "containment {:>16}: {:>3} runs{}",
+            self.name,
+            self.runs,
+            if self.violations.is_empty() {
+                ", contained".to_string()
+            } else {
+                format!(", VIOLATED: {}", self.violations[0])
+            }
+        )
+    }
+}
+
+/// The invariants every governed run must satisfy, faulted or not.
+/// Returns one message per violation.
+pub fn run_invariants(r: &Rewritten, budget: &Budget) -> Vec<String> {
+    let mut v = Vec::new();
+    if r.report.steps != r.trace.steps.len() {
+        v.push(format!(
+            "report.steps {} != trace length {}",
+            r.report.steps,
+            r.trace.steps.len()
+        ));
+    }
+    if r.report.steps > budget.max_steps {
+        v.push(format!(
+            "steps {} exceed budget {}",
+            r.report.steps, budget.max_steps
+        ));
+    }
+    let fired: usize = r.report.rule_stats.values().map(|s| s.fired).sum();
+    if fired != r.report.steps {
+        v.push(format!(
+            "per-rule fire counts sum to {fired}, report says {} steps",
+            r.report.steps
+        ));
+    }
+    for q in &r.report.quarantined {
+        let failed = r.report.rule_stats.get(q).map_or(0, |s| s.failed);
+        if failed < budget.quarantine_after {
+            v.push(format!(
+                "rule {q} quarantined after only {failed} failures (threshold {})",
+                budget.quarantine_after
+            ));
+        }
+    }
+    v
+}
+
+/// Run the full containment suite for one workload query.
+pub fn check_containment(
+    rules: &[Oriented],
+    props: &PropDb,
+    name: &str,
+    q: &Query,
+    budget: &Budget,
+) -> ContainmentReport {
+    let mut report = ContainmentReport {
+        name: name.to_string(),
+        runs: 0,
+        violations: Vec::new(),
+    };
+    fn record(report: &mut ContainmentReport, budget: &Budget, label: &str, r: &Rewritten) {
+        for msg in run_invariants(r, budget) {
+            report.violations.push(format!("[{label}] {msg}"));
+        }
+        report.runs += 1;
+    }
+
+    // Clean run: learn which rules participate, and the reference result.
+    let clean = rewrite_fix_with(rules, q, props, budget, &FaultPlan::new());
+    record(&mut report, budget, "clean", &clean);
+    let participants: Vec<String> = clean
+        .report
+        .rule_stats
+        .iter()
+        .filter(|(_, s)| s.fired > 0)
+        .map(|(id, _)| id.clone())
+        .collect();
+
+    for rule_id in &participants {
+        // Sabotage 1: the rule always fails. It must never fire, and the
+        // engine must still terminate within budget.
+        let plan = FaultPlan::new().with(FaultSpec {
+            rule_id: rule_id.clone(),
+            at: StepSelector::Always,
+            kind: FaultKind::Fail,
+        });
+        let r = rewrite_fix_with(rules, q, props, budget, &plan);
+        record(&mut report, budget, &format!("fail:{rule_id}"), &r);
+        if let Some(s) = r.report.rule_stats.get(rule_id) {
+            if s.fired > 0 {
+                report.violations.push(format!(
+                    "[fail:{rule_id}] faulted rule fired {} times",
+                    s.fired
+                ));
+            }
+        }
+
+        // Sabotage 2: the rule succeeds but returns a bloated term. The
+        // engine must reject the oversize result (charging the rule) and
+        // either quarantine it or stop, still within budget.
+        let plan = FaultPlan::new().with(FaultSpec {
+            rule_id: rule_id.clone(),
+            at: StepSelector::Always,
+            kind: FaultKind::Oversize(budget.max_term_size + 1),
+        });
+        let r = rewrite_fix_with(rules, q, props, budget, &plan);
+        record(&mut report, budget, &format!("oversize:{rule_id}"), &r);
+        let failed = r.report.rule_stats.get(rule_id).map_or(0, |s| s.failed);
+        if failed == 0 {
+            report.violations.push(format!(
+                "[oversize:{rule_id}] oversize result was not charged to the rule"
+            ));
+        }
+    }
+    report
+}
+
+/// Containment suite over the standard hidden-join workloads.
+pub fn verify_containment(catalog: &Catalog, props: &PropDb) -> Vec<ContainmentReport> {
+    let rules = standard_rules(catalog);
+    // A modest term-size limit keeps the Oversize sabotage itself cheap:
+    // the injected bloat is max_term_size + 1 nodes deep.
+    let budget = Budget::default().quarantine_after(2).term_size(4_096);
+    let mut workloads: Vec<(String, Query)> =
+        vec![("garage-kg1".to_string(), hidden_join::garage_query_kg1())];
+    for n in 1..=3 {
+        workloads.push((
+            format!("synthetic-{n}"),
+            hidden_join::synthetic_hidden_join(n),
+        ));
+    }
+    workloads
+        .iter()
+        .map(|(name, q)| check_containment(&rules, props, name, q, &budget))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kola_rewrite::StopReason;
+
+    #[test]
+    fn standard_workloads_are_contained() {
+        let (c, p) = (Catalog::paper(), PropDb::new());
+        for report in verify_containment(&c, &p) {
+            assert!(report.ok(), "{report}\nall: {:?}", report.violations);
+        }
+    }
+
+    #[test]
+    fn always_failing_rule_is_quarantined() {
+        let (c, p) = (Catalog::paper(), PropDb::new());
+        let rules = standard_rules(&c);
+        let budget = Budget::default().quarantine_after(2);
+        let q = hidden_join::garage_query_kg1();
+        // Whichever rule fires most in the clean run is the one to sabotage.
+        let clean = rewrite_fix_with(&rules, &q, &p, &budget, &FaultPlan::new());
+        let busy = clean
+            .report
+            .rule_stats
+            .iter()
+            .max_by_key(|(_, s)| s.fired)
+            .map(|(id, _)| id.clone())
+            .expect("clean run fires rules");
+        let plan = FaultPlan::new().with(FaultSpec {
+            rule_id: busy.clone(),
+            at: StepSelector::Always,
+            kind: FaultKind::Fail,
+        });
+        let r = rewrite_fix_with(&rules, &q, &p, &budget, &plan);
+        assert!(
+            r.report.is_quarantined(&busy),
+            "rule {busy} should be quarantined: {}",
+            r.report
+        );
+        assert_eq!(r.report.rule_stats[&busy].fired, 0);
+    }
+
+    #[test]
+    fn intermittent_fault_still_converges() {
+        let (c, p) = (Catalog::paper(), PropDb::new());
+        // Failures only at selected steps: the engine retries the rule at
+        // later steps and the rewrite still reaches a normal form.
+        let budget = Budget::default();
+        let plan = FaultPlan::new().with(FaultSpec {
+            rule_id: "2".to_string(),
+            at: StepSelector::Steps(vec![0, 1]),
+            kind: FaultKind::Fail,
+        });
+        let q = hidden_join::garage_query_kg1();
+        let r = rewrite_fix_with(&standard_rules(&c), &q, &p, &budget, &plan);
+        assert_eq!(r.report.stop, StopReason::NormalForm, "{}", r.report);
+        assert!(run_invariants(&r, &budget).is_empty());
+    }
+}

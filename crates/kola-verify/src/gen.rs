@@ -11,8 +11,7 @@ use kola::db::Db;
 use kola::term::{Func, Pred, Query};
 use kola::types::Type;
 use kola::value::{ObjId, Value, ValueSet};
-use rand::rngs::StdRng;
-use rand::Rng;
+use kola_exec::rng::Rng;
 
 /// A generator bound to a database (for object references and schema
 /// primitives).
@@ -20,7 +19,7 @@ pub struct Gen<'a> {
     /// The database values refer into.
     pub db: &'a Db,
     /// RNG.
-    pub rng: StdRng,
+    pub rng: Rng,
 }
 
 /// The palette of ground types used to fill unconstrained positions
@@ -37,7 +36,7 @@ pub fn palette() -> Vec<Type> {
 
 impl<'a> Gen<'a> {
     /// Create a generator.
-    pub fn new(db: &'a Db, rng: StdRng) -> Self {
+    pub fn new(db: &'a Db, rng: Rng) -> Self {
         Gen { db, rng }
     }
 
@@ -52,7 +51,7 @@ impl<'a> Gen<'a> {
         match ty {
             Type::Unit => Value::Unit,
             Type::Bool => Value::Bool(self.rng.gen()),
-            Type::Int => Value::Int(self.rng.gen_range(-10..=40)),
+            Type::Int => Value::Int(self.rng.gen_range(-10..=40i64)),
             Type::Str => {
                 let words = ["a", "b", "c", "x", "y"];
                 Value::str(words[self.rng.gen_range(0..words.len())])
@@ -64,9 +63,20 @@ impl<'a> Gen<'a> {
                     idx: self.rng.gen_range(0..n),
                 })
             }
+            // Equality-sensitive rules (eq, and leq vs lt) only reveal
+            // themselves on pairs with equal components, which independent
+            // draws rarely produce; generate them deliberately often.
+            Type::Pair(a, b) if a == b => {
+                if self.rng.gen_bool(0.25) {
+                    let v = self.value(a);
+                    Value::pair(v.clone(), v)
+                } else {
+                    Value::pair(self.value(a), self.value(b))
+                }
+            }
             Type::Pair(a, b) => Value::pair(self.value(a), self.value(b)),
             Type::Set(t) => {
-                let n = self.rng.gen_range(0..=4);
+                let n = self.rng.gen_range(0..=4usize);
                 let mut s = ValueSet::new();
                 for _ in 0..n {
                     s.insert(self.value(t));
@@ -74,10 +84,10 @@ impl<'a> Gen<'a> {
                 Value::Set(s)
             }
             Type::Bag(t) => {
-                let n = self.rng.gen_range(0..=4);
+                let n = self.rng.gen_range(0..=4usize);
                 let mut b = kola::bag::ValueBag::new();
                 for _ in 0..n {
-                    let mult = self.rng.gen_range(1..=3);
+                    let mult = self.rng.gen_range(1..=3usize);
                     b.insert_n(self.value(t), mult);
                 }
                 Value::Bag(b)
@@ -147,7 +157,9 @@ impl<'a> Gen<'a> {
                 k::con(p, f, g)
             }
             7 => {
-                let Type::Pair(c, d) = output else { unreachable!() };
+                let Type::Pair(c, d) = output else {
+                    unreachable!()
+                };
                 let f = self.func(input, c, depth - 1);
                 let g = self.func(input, d, depth - 1);
                 k::pairf(f, g)
@@ -195,9 +207,7 @@ impl<'a> Gen<'a> {
         match options[self.rng.gen_range(0..options.len())] {
             0 => k::kp(self.rng.gen()),
             1 => Pred::Eq,
-            2 => [Pred::Lt, Pred::Leq, Pred::Gt, Pred::Geq]
-                [self.rng.gen_range(0..4)]
-            .clone(),
+            2 => [Pred::Lt, Pred::Leq, Pred::Gt, Pred::Geq][self.rng.gen_range(0..4usize)].clone(),
             3 => Pred::In,
             4 => {
                 // p ⊕ f with a comparison-friendly midpoint.
@@ -217,7 +227,9 @@ impl<'a> Gen<'a> {
             }
             6 => k::not(self.pred(input, depth - 1)),
             7 => {
-                let Type::Pair(a, b) = input else { unreachable!() };
+                let Type::Pair(a, b) = input else {
+                    unreachable!()
+                };
                 let sw = Type::pair((**b).clone(), (**a).clone());
                 k::inv(self.pred(&sw, depth - 1))
             }
@@ -231,7 +243,6 @@ mod tests {
     use super::*;
     use kola::typecheck::{typecheck_func, typecheck_pred, TypeEnv};
     use kola_exec::datagen::{generate, DataSpec};
-    use rand::SeedableRng;
 
     fn env() -> TypeEnv {
         TypeEnv::paper_env()
@@ -240,7 +251,7 @@ mod tests {
     #[test]
     fn generated_values_have_their_type() {
         let db = generate(&DataSpec::small(1));
-        let mut g = Gen::new(&db, StdRng::seed_from_u64(1));
+        let mut g = Gen::new(&db, Rng::seed_from_u64(1));
         for ty in palette() {
             for _ in 0..20 {
                 let v = g.value(&ty);
@@ -258,14 +269,13 @@ mod tests {
     #[test]
     fn generated_funcs_typecheck() {
         let db = generate(&DataSpec::small(2));
-        let mut g = Gen::new(&db, StdRng::seed_from_u64(2));
+        let mut g = Gen::new(&db, Rng::seed_from_u64(2));
         let types = palette();
         for i in 0..100 {
             let input = types[i % types.len()].clone();
             let output = types[(i * 7 + 3) % types.len()].clone();
             let f = g.func(&input, &output, 3);
-            let ft = typecheck_func(&env(), &f)
-                .unwrap_or_else(|e| panic!("{f} ill-typed: {e}"));
+            let ft = typecheck_func(&env(), &f).unwrap_or_else(|e| panic!("{f} ill-typed: {e}"));
             let mut u = kola::types::Unifier::new();
             assert!(
                 u.unify(&ft.input, &input).is_ok() && u.unify(&ft.output, &output).is_ok(),
@@ -277,12 +287,12 @@ mod tests {
     #[test]
     fn generated_preds_typecheck() {
         let db = generate(&DataSpec::small(3));
-        let mut g = Gen::new(&db, StdRng::seed_from_u64(3));
+        let mut g = Gen::new(&db, Rng::seed_from_u64(3));
         for ty in palette() {
             for _ in 0..30 {
                 let p = g.pred(&ty, 3);
-                let pt = typecheck_pred(&env(), &p)
-                    .unwrap_or_else(|e| panic!("{p} ill-typed: {e}"));
+                let pt =
+                    typecheck_pred(&env(), &p).unwrap_or_else(|e| panic!("{p} ill-typed: {e}"));
                 let mut u = kola::types::Unifier::new();
                 assert!(u.unify(&pt, &ty).is_ok(), "{p} : {pt} vs {ty}");
             }
@@ -294,15 +304,14 @@ mod tests {
         // Well-typed generated functions must not get stuck on well-typed
         // generated inputs.
         let db = generate(&DataSpec::small(4));
-        let mut g = Gen::new(&db, StdRng::seed_from_u64(4));
+        let mut g = Gen::new(&db, Rng::seed_from_u64(4));
         for i in 0..200 {
             let tys = palette();
             let input = tys[i % tys.len()].clone();
             let output = tys[(i * 3 + 1) % tys.len()].clone();
             let f = g.func(&input, &output, 2);
             let x = g.value(&input);
-            kola::eval::eval_func(&db, &f, &x)
-                .unwrap_or_else(|e| panic!("{f} ! {x}: {e}"));
+            kola::eval::eval_func(&db, &f, &x).unwrap_or_else(|e| panic!("{f} ! {x}: {e}"));
         }
     }
 }

@@ -7,7 +7,9 @@
 //! on generated databases. A single disagreement is a counterexample. See
 //! DESIGN.md §4 for the substitution rationale.
 pub mod check;
+pub mod containment;
 pub mod gen;
 
 pub use check::{check_rule, verify_catalog, RuleReport};
+pub use containment::{check_containment, run_invariants, verify_containment, ContainmentReport};
 pub use gen::{palette, Gen};

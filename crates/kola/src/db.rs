@@ -50,7 +50,11 @@ pub enum DbError {
 impl fmt::Display for DbError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DbError::ArityMismatch { class, expected, got } => {
+            DbError::ArityMismatch {
+                class,
+                expected,
+                got,
+            } => {
                 write!(f, "class {} expects {expected} attrs, got {got}", class.0)
             }
             DbError::NoSuchObject(o) => write!(f, "dangling object #{}.{}", o.class.0, o.idx),
@@ -256,7 +260,10 @@ mod tests {
     fn set_attr_updates() {
         let mut db = tiny_db();
         let person = db.schema().class_id("Person").unwrap();
-        let p = ObjId { class: person, idx: 0 };
+        let p = ObjId {
+            class: person,
+            idx: 0,
+        };
         db.set_attr(p, "age", Value::Int(41)).unwrap();
         assert_eq!(db.get_attr(&Value::Obj(p), "age").unwrap(), Value::Int(41));
     }

@@ -306,7 +306,10 @@ mod tests {
 
     #[test]
     fn pred_notation() {
-        let p = and(oplus(gt(), pairf(prim("age"), kf(Value::Int(25)))), kp(true));
+        let p = and(
+            oplus(gt(), pairf(prim("age"), kf(Value::Int(25)))),
+            kp(true),
+        );
         assert_eq!(p.to_string(), "gt @ (age, Kf(25)) & Kp(T)");
         let q = not(oplus(leq(), pi1()));
         assert_eq!(q.to_string(), "~(leq @ pi1)");

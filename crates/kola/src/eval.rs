@@ -243,9 +243,7 @@ pub fn eval_func(db: &Db, f: &Func, x: &Value) -> EvalResult {
         }
         Func::SetUnion => {
             let (a, b) = as_pair_owned("union", x.clone())?;
-            Ok(Value::Set(
-                as_set("union", &a)?.union(as_set("union", &b)?),
-            ))
+            Ok(Value::Set(as_set("union", &a)?.union(as_set("union", &b)?)))
         }
         Func::SetIntersect => {
             let (a, b) = as_pair_owned("intersect", x.clone())?;
@@ -330,9 +328,7 @@ pub fn eval_query(db: &Db, q: &Query) -> EvalResult {
         Query::Union(a, b) => {
             let a = eval_query(db, a)?;
             let b = eval_query(db, b)?;
-            Ok(Value::Set(
-                as_set("union", &a)?.union(as_set("union", &b)?),
-            ))
+            Ok(Value::Set(as_set("union", &a)?.union(as_set("union", &b)?)))
         }
         Query::Intersect(a, b) => {
             let a = eval_query(db, a)?;
@@ -369,7 +365,10 @@ mod tests {
 
     #[test]
     fn t1_id() {
-        assert_eq!(eval_func(&db(), &id(), &Value::Int(7)).unwrap(), Value::Int(7));
+        assert_eq!(
+            eval_func(&db(), &id(), &Value::Int(7)).unwrap(),
+            Value::Int(7)
+        );
     }
 
     #[test]
@@ -409,10 +408,7 @@ mod tests {
         // (π1 ∘ π2) ! [a, [b, c]] = b
         let d = db();
         let f = o(pi1(), pi2());
-        let v = Value::pair(
-            Value::Int(1),
-            Value::pair(Value::Int(2), Value::Int(3)),
-        );
+        let v = Value::pair(Value::Int(1), Value::pair(Value::Int(2), Value::Int(3)));
         assert_eq!(eval_func(&d, &f, &v).unwrap(), Value::Int(2));
     }
 
@@ -464,7 +460,10 @@ mod tests {
         // con(gt ⊕ ⟨id, Kf(0)⟩, Kf("pos"), Kf("neg"))
         let p = oplus(gt(), pairf(id(), kf(Value::Int(0))));
         let f = con(p, kf(Value::str("pos")), kf(Value::str("neg")));
-        assert_eq!(eval_func(&d, &f, &Value::Int(5)).unwrap(), Value::str("pos"));
+        assert_eq!(
+            eval_func(&d, &f, &Value::Int(5)).unwrap(),
+            Value::str("pos")
+        );
         assert_eq!(
             eval_func(&d, &f, &Value::Int(-5)).unwrap(),
             Value::str("neg")
@@ -503,7 +502,10 @@ mod tests {
         // iterate(x > 2, id) over {1,2,3,4}
         let p = oplus(gt(), pairf(id(), kf(Value::Int(2))));
         let f = iterate(p, id());
-        assert_eq!(eval_func(&d, &f, &iset([1, 2, 3, 4])).unwrap(), iset([3, 4]));
+        assert_eq!(
+            eval_func(&d, &f, &iset([1, 2, 3, 4])).unwrap(),
+            iset([3, 4])
+        );
     }
 
     #[test]
@@ -584,12 +586,7 @@ mod tests {
         let b = iset([10]);
         // p: first < 2 (so only 1 joins)
         let p = oplus(lt(), pairf(pi1(), kf(Value::Int(2))));
-        let joined = eval_func(
-            &d,
-            &join(p, id()),
-            &Value::pair(a.clone(), b.clone()),
-        )
-        .unwrap();
+        let joined = eval_func(&d, &join(p, id()), &Value::pair(a.clone(), b.clone())).unwrap();
         let nested = eval_func(&d, &nest(pi1(), pi2()), &Value::pair(joined, a)).unwrap();
         let keys: Vec<Value> = nested
             .as_set()
@@ -667,10 +664,7 @@ mod tests {
         let p1 = mk_person(&mut d, nyc, 20, "b");
         d.bind_extent("P", Value::set([Value::Obj(p0), Value::Obj(p1)]));
 
-        let q = app(
-            iterate(kp(true), o(prim("city"), prim("addr"))),
-            ext("P"),
-        );
+        let q = app(iterate(kp(true), o(prim("city"), prim("addr"))), ext("P"));
         assert_eq!(
             eval_query(&d, &q).unwrap(),
             Value::set([Value::str("Boston"), Value::str("NYC")])

@@ -34,11 +34,7 @@ fn line(out: &mut String, prefix: &str, text: &str) {
 }
 
 /// Children are rendered with box-drawing connectors.
-fn branches<'a>(
-    prefix: &str,
-    children: Vec<(&'static str, Node<'a>)>,
-    out: &mut String,
-) {
+fn branches<'a>(prefix: &str, children: Vec<(&'static str, Node<'a>)>, out: &mut String) {
     let n = children.len();
     for (i, (label, child)) in children.into_iter().enumerate() {
         let last = i + 1 == n;
@@ -84,19 +80,11 @@ fn query(q: &Query, prefix: &str, out: &mut String) {
         }
         Query::App(f, inner) => {
             line(out, prefix, "! apply");
-            branches(
-                prefix,
-                vec![("", Node::F(f)), ("to", Node::Q(inner))],
-                out,
-            );
+            branches(prefix, vec![("", Node::F(f)), ("to", Node::Q(inner))], out);
         }
         Query::Test(p, inner) => {
             line(out, prefix, "? test");
-            branches(
-                prefix,
-                vec![("", Node::P(p)), ("on", Node::Q(inner))],
-                out,
-            );
+            branches(prefix, vec![("", Node::P(p)), ("on", Node::Q(inner))], out);
         }
         Query::Union(a, b) => {
             line(out, prefix, "union");
@@ -169,11 +157,7 @@ fn func(f: &Func, prefix: &str, out: &mut String) {
         }
         Func::Unnest(k, v) => {
             line(out, prefix, "unnest");
-            branches(
-                prefix,
-                vec![("key", Node::F(k)), ("set", Node::F(v))],
-                out,
-            );
+            branches(prefix, vec![("key", Node::F(k)), ("set", Node::F(v))], out);
         }
         Func::PairWith(a, b) => {
             line(out, prefix, "⟨,⟩ pairing");
@@ -187,7 +171,11 @@ fn func(f: &Func, prefix: &str, out: &mut String) {
             line(out, prefix, "con (if)");
             branches(
                 prefix,
-                vec![("if", Node::P(p)), ("then", Node::F(a)), ("else", Node::F(b))],
+                vec![
+                    ("if", Node::P(p)),
+                    ("then", Node::F(a)),
+                    ("else", Node::F(b)),
+                ],
                 out,
             );
         }
@@ -275,10 +263,8 @@ mod tests {
 
     #[test]
     fn connectors_are_well_formed() {
-        let q = parse_query(
-            "iterate(Kp(T), con(gt @ (age, Kf(25)), (id, child), Kf({}))) ! P",
-        )
-        .unwrap();
+        let q = parse_query("iterate(Kp(T), con(gt @ (age, Kf(25)), (id, child), Kf({}))) ! P")
+            .unwrap();
         let tree = explain_query(&q);
         for l in tree.lines() {
             assert!(!l.trim_end().is_empty(), "no blank lines: {tree:?}");

@@ -27,10 +27,10 @@ pub mod typecheck;
 pub mod types;
 pub mod value;
 
+pub use bag::ValueBag;
 pub use db::Db;
 pub use eval::{eval_func, eval_pred, eval_query, EvalError};
 pub use schema::Schema;
 pub use term::{Func, Pred, Query};
 pub use types::{FuncType, Type};
-pub use bag::ValueBag;
 pub use value::{Value, ValueSet};

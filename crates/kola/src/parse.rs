@@ -246,8 +246,8 @@ pub fn lex(src: &str) -> Result<Vec<Tok>, ParseError> {
 
 const PRED_KEYWORDS: &[&str] = &["eq", "lt", "leq", "gt", "geq", "in", "Kp", "Cp", "inv"];
 const FUNC_KEYWORDS: &[&str] = &[
-    "id", "pi1", "pi2", "flat", "sunion", "sinter", "sdiff", "Kf", "Cf", "con", "iterate",
-    "iter", "join", "nest", "unnest", "bagify", "dedup", "biterate", "bunion", "bflat",
+    "id", "pi1", "pi2", "flat", "sunion", "sinter", "sdiff", "Kf", "Cf", "con", "iterate", "iter",
+    "join", "nest", "unnest", "bagify", "dedup", "biterate", "bunion", "bflat",
 ];
 const QUERY_KEYWORDS: &[&str] = &["union", "intersect", "diff", "T", "F"];
 
@@ -693,10 +693,7 @@ impl Parser {
     }
 }
 
-fn parse_complete<T>(
-    src: &str,
-    f: impl FnOnce(&mut Parser) -> PResult<T>,
-) -> PResult<T> {
+fn parse_complete<T>(src: &str, f: impl FnOnce(&mut Parser) -> PResult<T>) -> PResult<T> {
     let mut p = Parser::new(src)?;
     let t = f(&mut p)?;
     if !p.at_end() {
@@ -818,10 +815,7 @@ mod tests {
 
     #[test]
     fn precedence_not_tighter_than_oplus() {
-        assert_eq!(
-            parse_pred("~leq @ pi1").unwrap(),
-            oplus(not(leq()), pi1())
-        );
+        assert_eq!(parse_pred("~leq @ pi1").unwrap(), oplus(not(leq()), pi1()));
         assert_eq!(
             parse_pred("~(leq @ pi1)").unwrap(),
             not(oplus(leq(), pi1()))

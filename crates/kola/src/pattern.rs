@@ -163,11 +163,9 @@ impl PFunc {
                 Self::from_concrete(a),
                 Self::from_concrete(b)
             ),
-            Func::Times(a, b) => map2!(
-                PFunc::Times,
-                Self::from_concrete(a),
-                Self::from_concrete(b)
-            ),
+            Func::Times(a, b) => {
+                map2!(PFunc::Times, Self::from_concrete(a), Self::from_concrete(b))
+            }
             Func::ConstF(q) => PFunc::ConstF(Box::new(PQuery::from_concrete(q))),
             Func::CurryF(f, q) => PFunc::CurryF(
                 Box::new(Self::from_concrete(f)),
@@ -374,7 +372,9 @@ impl PQuery {
                 Self::from_concrete(a),
                 Self::from_concrete(b)
             ),
-            Query::App(f, q) => PQuery::App(PFunc::from_concrete(f), Box::new(Self::from_concrete(q))),
+            Query::App(f, q) => {
+                PQuery::App(PFunc::from_concrete(f), Box::new(Self::from_concrete(q)))
+            }
             Query::Test(p, q) => {
                 PQuery::Test(PPred::from_concrete(p), Box::new(Self::from_concrete(q)))
             }
@@ -388,11 +388,9 @@ impl PQuery {
                 Self::from_concrete(a),
                 Self::from_concrete(b)
             ),
-            Query::Diff(a, b) => map2!(
-                PQuery::Diff,
-                Self::from_concrete(a),
-                Self::from_concrete(b)
-            ),
+            Query::Diff(a, b) => {
+                map2!(PQuery::Diff, Self::from_concrete(a), Self::from_concrete(b))
+            }
         }
     }
 
@@ -452,10 +450,7 @@ mod tests {
 
     #[test]
     fn vars_block_concretization() {
-        let p = PFunc::Compose(
-            Box::new(PFunc::Var(Arc::from("f"))),
-            Box::new(PFunc::Id),
-        );
+        let p = PFunc::Compose(Box::new(PFunc::Var(Arc::from("f"))), Box::new(PFunc::Id));
         assert!(p.to_concrete().is_none());
         let mut vs = vec![];
         p.vars(&mut vs);

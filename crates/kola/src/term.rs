@@ -32,7 +32,7 @@ use crate::value::{Sym, Value};
 // argument — KOLA has no variables, so that is true by construction.
 
 /// A KOLA function. Invoked with `f ! x` (see [`crate::eval::eval_func`]).
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Func {
     /// The identity function: `id ! x = x`.
     Id,
@@ -89,6 +89,65 @@ pub enum Func {
     SetIntersect,
     /// Binary set difference: `diff ! [A, B] = A \ B`.
     SetDiff,
+}
+
+// A derived `Clone` spends one stack frame per node, which overflows on
+// the deep ∘-chains this algebra routinely builds (a few thousand segments
+// kill a 2 MiB thread). Cloning therefore walks ∘-spines with an explicit
+// stack — structure-preserving for every tree shape — so chain depth costs
+// heap, not stack. Non-∘ nesting still recurses, one frame per level.
+impl Clone for Func {
+    fn clone(&self) -> Func {
+        match self {
+            Func::Id => Func::Id,
+            Func::Pi1 => Func::Pi1,
+            Func::Pi2 => Func::Pi2,
+            Func::Prim(s) => Func::Prim(s.clone()),
+            Func::Compose(_, _) => {
+                enum Task<'a> {
+                    Visit(&'a Func),
+                    Build,
+                }
+                let mut tasks = vec![Task::Visit(self)];
+                let mut out: Vec<Func> = Vec::new();
+                while let Some(t) = tasks.pop() {
+                    match t {
+                        Task::Visit(Func::Compose(a, b)) => {
+                            tasks.push(Task::Build);
+                            tasks.push(Task::Visit(b));
+                            tasks.push(Task::Visit(a));
+                        }
+                        Task::Visit(leaf) => out.push(leaf.clone()),
+                        Task::Build => {
+                            let b = out.pop().expect("∘ has two children");
+                            let a = out.pop().expect("∘ has two children");
+                            out.push(Func::Compose(Box::new(a), Box::new(b)));
+                        }
+                    }
+                }
+                out.pop().expect("spine rebuild yields one term")
+            }
+            Func::PairWith(f, g) => Func::PairWith(f.clone(), g.clone()),
+            Func::Times(f, g) => Func::Times(f.clone(), g.clone()),
+            Func::ConstF(q) => Func::ConstF(q.clone()),
+            Func::CurryF(f, q) => Func::CurryF(f.clone(), q.clone()),
+            Func::Cond(p, f, g) => Func::Cond(p.clone(), f.clone(), g.clone()),
+            Func::Flat => Func::Flat,
+            Func::Iterate(p, f) => Func::Iterate(p.clone(), f.clone()),
+            Func::Iter(p, f) => Func::Iter(p.clone(), f.clone()),
+            Func::Join(p, f) => Func::Join(p.clone(), f.clone()),
+            Func::Nest(f, g) => Func::Nest(f.clone(), g.clone()),
+            Func::Unnest(f, g) => Func::Unnest(f.clone(), g.clone()),
+            Func::Bagify => Func::Bagify,
+            Func::Dedup => Func::Dedup,
+            Func::BIterate(p, f) => Func::BIterate(p.clone(), f.clone()),
+            Func::BUnion => Func::BUnion,
+            Func::BFlat => Func::BFlat,
+            Func::SetUnion => Func::SetUnion,
+            Func::SetIntersect => Func::SetIntersect,
+            Func::SetDiff => Func::SetDiff,
+        }
+    }
 }
 
 /// A KOLA predicate. Invoked with `p ? x` (see [`crate::eval::eval_pred`]).
@@ -175,10 +234,9 @@ impl Func {
             Func::ConstF(q) => 1 + q.size(),
             Func::CurryF(f, q) => 1 + f.size() + q.size(),
             Func::Cond(p, f, g) => 1 + p.size() + f.size() + g.size(),
-            Func::Iterate(p, f)
-            | Func::Iter(p, f)
-            | Func::Join(p, f)
-            | Func::BIterate(p, f) => 1 + p.size() + f.size(),
+            Func::Iterate(p, f) | Func::Iter(p, f) | Func::Join(p, f) | Func::BIterate(p, f) => {
+                1 + p.size() + f.size()
+            }
             Func::Nest(f, g) | Func::Unnest(f, g) => 1 + f.size() + g.size(),
         }
     }
@@ -204,10 +262,9 @@ impl Func {
             Func::ConstF(q) => 1 + q.depth(),
             Func::CurryF(f, q) => 1 + f.depth().max(q.depth()),
             Func::Cond(p, f, g) => 1 + p.depth().max(f.depth()).max(g.depth()),
-            Func::Iterate(p, f)
-            | Func::Iter(p, f)
-            | Func::Join(p, f)
-            | Func::BIterate(p, f) => 1 + p.depth().max(f.depth()),
+            Func::Iterate(p, f) | Func::Iter(p, f) | Func::Join(p, f) | Func::BIterate(p, f) => {
+                1 + p.depth().max(f.depth())
+            }
             Func::Nest(f, g) | Func::Unnest(f, g) => 1 + f.depth().max(g.depth()),
         }
     }
@@ -217,34 +274,40 @@ impl Func {
     /// (rule 1 of Figure 5). Matching in `kola-rewrite` assumes this form.
     pub fn normalize(&self) -> Func {
         match self {
-            Func::Compose(f, g) => {
-                let f = f.normalize();
-                let g = g.normalize();
-                match f {
-                    Func::Compose(f1, f2) => {
-                        // ((f1 ∘ f2) ∘ g) => f1 ∘ (f2 ∘ g), then re-normalize
-                        Func::Compose(f1, Box::new(Func::Compose(f2, Box::new(g))))
-                            .normalize()
+            Func::Compose(..) => {
+                // Flatten the whole ∘-spine with an explicit stack, normalize
+                // each (non-Compose) segment, and rebuild right-associated.
+                // Linear in chain length and safe on chains of any depth —
+                // the naive "normalize children then re-associate" recursion
+                // is quadratic and overflows the native stack on long
+                // left-associated chains.
+                let mut segs: Vec<&Func> = Vec::new();
+                let mut work = vec![self];
+                while let Some(f) = work.pop() {
+                    match f {
+                        Func::Compose(a, b) => {
+                            work.push(b);
+                            work.push(a);
+                        }
+                        leaf => segs.push(leaf),
                     }
-                    other => Func::Compose(Box::new(other), Box::new(g)),
                 }
+                let mut it = segs.into_iter().rev().map(|f| f.normalize());
+                let last = it.next().expect("compose spine has segments");
+                it.fold(last, |acc, f| Func::Compose(Box::new(f), Box::new(acc)))
             }
             Func::PairWith(f, g) => {
                 Func::PairWith(Box::new(f.normalize()), Box::new(g.normalize()))
             }
             Func::Times(f, g) => Func::Times(Box::new(f.normalize()), Box::new(g.normalize())),
             Func::ConstF(q) => Func::ConstF(Box::new(q.normalize())),
-            Func::CurryF(f, q) => {
-                Func::CurryF(Box::new(f.normalize()), Box::new(q.normalize()))
-            }
+            Func::CurryF(f, q) => Func::CurryF(Box::new(f.normalize()), Box::new(q.normalize())),
             Func::Cond(p, f, g) => Func::Cond(
                 Box::new(p.normalize()),
                 Box::new(f.normalize()),
                 Box::new(g.normalize()),
             ),
-            Func::Iterate(p, f) => {
-                Func::Iterate(Box::new(p.normalize()), Box::new(f.normalize()))
-            }
+            Func::Iterate(p, f) => Func::Iterate(Box::new(p.normalize()), Box::new(f.normalize())),
             Func::Iter(p, f) => Func::Iter(Box::new(p.normalize()), Box::new(f.normalize())),
             Func::BIterate(p, f) => {
                 Func::BIterate(Box::new(p.normalize()), Box::new(f.normalize()))
@@ -261,13 +324,7 @@ impl Pred {
     /// Number of AST nodes.
     pub fn size(&self) -> usize {
         match self {
-            Pred::Eq
-            | Pred::Lt
-            | Pred::Leq
-            | Pred::Gt
-            | Pred::Geq
-            | Pred::In
-            | Pred::PrimP(_) => 1,
+            Pred::Eq | Pred::Lt | Pred::Leq | Pred::Gt | Pred::Geq | Pred::In | Pred::PrimP(_) => 1,
             Pred::Oplus(p, f) => 1 + p.size() + f.size(),
             Pred::And(p, q) | Pred::Or(p, q) => 1 + p.size() + q.size(),
             Pred::Not(p) | Pred::Conv(p) => 1 + p.size(),
@@ -302,9 +359,7 @@ impl Pred {
             Pred::Or(p, q) => Pred::Or(Box::new(p.normalize()), Box::new(q.normalize())),
             Pred::Not(p) => Pred::Not(Box::new(p.normalize())),
             Pred::Conv(p) => Pred::Conv(Box::new(p.normalize())),
-            Pred::CurryP(p, q) => {
-                Pred::CurryP(Box::new(p.normalize()), Box::new(q.normalize()))
-            }
+            Pred::CurryP(p, q) => Pred::CurryP(Box::new(p.normalize()), Box::new(q.normalize())),
             leaf => leaf.clone(),
         }
     }
@@ -402,5 +457,49 @@ mod tests {
     fn depth() {
         assert_eq!(Func::Id.depth(), 1);
         assert_eq!(o(Func::Id, o(Func::Id, Func::Id)).depth(), 3);
+    }
+
+    #[test]
+    fn clone_preserves_structure() {
+        let t = o(o(prim("a"), prim("b")), o(prim("c"), prim("d")));
+        assert_eq!(t.clone(), t);
+        let t = iterate(kp(true), o(prim("a"), o(prim("b"), prim("c"))));
+        assert_eq!(t.clone(), t);
+    }
+
+    #[test]
+    fn clone_survives_deep_chains_of_either_association() {
+        // 50k ∘-segments, alternating association so both spine directions
+        // are exercised; equality is checked with an explicit stack because
+        // derived PartialEq recurses.
+        let mut f = prim("age");
+        for i in 0..50_000usize {
+            f = if i % 2 == 0 {
+                o(Func::Id, f)
+            } else {
+                o(f, Func::Id)
+            };
+        }
+        let g = f.clone();
+        let mut pairs = vec![(&f, &g)];
+        while let Some((a, b)) = pairs.pop() {
+            match (a, b) {
+                (Func::Compose(a1, a2), Func::Compose(b1, b2)) => {
+                    pairs.push((a1, b1));
+                    pairs.push((a2, b2));
+                }
+                (x, y) => assert_eq!(x, y),
+            }
+        }
+        // Tear both down iteratively: derived drop glue also recurses.
+        for t in [f, g] {
+            let mut work = vec![t];
+            while let Some(x) = work.pop() {
+                if let Func::Compose(a, b) = x {
+                    work.push(*a);
+                    work.push(*b);
+                }
+            }
+        }
     }
 }

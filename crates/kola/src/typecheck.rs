@@ -32,14 +32,8 @@ impl TypeEnv {
         let person = schema.class_id("Person").expect("paper schema");
         let vehicle = schema.class_id("Vehicle").expect("paper schema");
         let mut extents = BTreeMap::new();
-        extents.insert(
-            Arc::from("P") as Sym,
-            Type::set(Type::Obj(person)),
-        );
-        extents.insert(
-            Arc::from("V") as Sym,
-            Type::set(Type::Obj(vehicle)),
-        );
+        extents.insert(Arc::from("P") as Sym, Type::set(Type::Obj(person)));
+        extents.insert(Arc::from("V") as Sym, Type::set(Type::Obj(vehicle)));
         TypeEnv { schema, extents }
     }
 
@@ -105,10 +99,7 @@ pub fn type_of_value(inf: &mut Inference, v: &Value) -> Result<Type, TypeError> 
         Value::Int(_) => Type::Int,
         Value::Str(_) => Type::Str,
         Value::Obj(o) => Type::Obj(o.class),
-        Value::Pair(p) => Type::pair(
-            type_of_value(inf, &p.0)?,
-            type_of_value(inf, &p.1)?,
-        ),
+        Value::Pair(p) => Type::pair(type_of_value(inf, &p.0)?, type_of_value(inf, &p.1)?),
         Value::Set(s) => {
             let elem = inf.unifier.fresh();
             for x in s.iter() {
@@ -224,10 +215,7 @@ pub fn infer_pfunc(
             let pair = Type::pair(a.clone(), b.clone());
             inf.unifier.unify(&pi, &pair)?;
             inf.unifier.unify(&fi, &pair)?;
-            Ok((
-                Type::pair(Type::set(a), Type::set(b)),
-                Type::set(fo),
-            ))
+            Ok((Type::pair(Type::set(a), Type::set(b)), Type::set(fo)))
         }
         PFunc::Nest(f, g) => {
             // f : a -> k, g : a -> v; [{a}, {k}] -> {[k, {v}]}
@@ -287,9 +275,7 @@ pub fn infer_ppred(env: &TypeEnv, inf: &mut Inference, p: &PPred) -> Result<Type
             let a = inf.unifier.fresh();
             Ok(Type::pair(a.clone(), a))
         }
-        PPred::Lt | PPred::Leq | PPred::Gt | PPred::Geq => {
-            Ok(Type::pair(Type::Int, Type::Int))
-        }
+        PPred::Lt | PPred::Leq | PPred::Gt | PPred::Geq => Ok(Type::pair(Type::Int, Type::Int)),
         PPred::In => {
             let a = inf.unifier.fresh();
             Ok(Type::pair(a.clone(), Type::set(a)))
@@ -431,8 +417,7 @@ mod tests {
     #[test]
     fn iterate_types() {
         // iterate(Kp(T), age) : {Person} -> {Int}
-        let t =
-            typecheck_func(&env(), &parse_func("iterate(Kp(T), age)").unwrap()).unwrap();
+        let t = typecheck_func(&env(), &parse_func("iterate(Kp(T), age)").unwrap()).unwrap();
         assert_eq!(t.input, Type::set(Type::Obj(ClassId(0))));
         assert_eq!(t.output, Type::set(Type::Int));
     }

@@ -56,8 +56,7 @@ fn main() {
     let runner = Runner::new(&catalog, &props);
 
     // The query: ages of people over 25, in its fused single-pass form.
-    let q = kola::parse::parse_query("iterate(gt @ (age, Kf(25)), age) ! P")
-        .expect("well-formed");
+    let q = kola::parse::parse_query("iterate(gt @ (age, Kf(25)), age) ! P").expect("well-formed");
     println!("input:\n  {q}\n");
 
     let mut plans = vec![q.clone()];

@@ -26,10 +26,8 @@ fn show(title: &str, start: &kola::Query, strategy: &Strategy) {
 
 fn main() {
     // Figure 4, left column: T1K.
-    let t1 = kola::parse::parse_query(
-        "iterate(Kp(T), city) . iterate(Kp(T), addr) ! P",
-    )
-    .expect("well-formed");
+    let t1 = kola::parse::parse_query("iterate(Kp(T), city) . iterate(Kp(T), addr) ! P")
+        .expect("well-formed");
     show(
         "Figure 4 — T1K (compose the maps)",
         &t1,
@@ -37,10 +35,8 @@ fn main() {
     );
 
     // Figure 4, right column: T2K.
-    let t2 = kola::parse::parse_query(
-        "iterate(Kp(T), age) . iterate(gt @ (age, Kf(25)), id) ! P",
-    )
-    .expect("well-formed");
+    let t2 = kola::parse::parse_query("iterate(Kp(T), age) . iterate(gt @ (age, Kf(25)), id) ! P")
+        .expect("well-formed");
     show(
         "Figure 4 — T2K (decompose the predicate)",
         &t2,

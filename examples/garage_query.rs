@@ -33,7 +33,10 @@ fn main() {
     println!("result is literally Figure 3's KG2. ✓\n");
 
     // Equivalence and cost on data, across scales.
-    println!("{:>8} {:>14} {:>14} {:>9}", "|V|+|P|", "KG1 ops", "KG2 ops (hash)", "speedup");
+    println!(
+        "{:>8} {:>14} {:>14} {:>9}",
+        "|V|+|P|", "KG1 ops", "KG2 ops (hash)", "speedup"
+    );
     for factor in [2, 4, 8, 16] {
         let db = generate(&DataSpec::scaled(factor, 7));
         let mut naive = Executor::new(&db, Mode::Smart);

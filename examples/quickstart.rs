@@ -25,10 +25,9 @@ fn main() {
     // 2. Parse a query in KOLA's concrete syntax. This one is Figure 4's
     //    T2 example: ages of people older than 25, written as a cascade of
     //    two set passes.
-    let query = kola::parse::parse_query(
-        "iterate(Kp(T), age) . iterate(gt @ (age, Kf(25)), id) ! P",
-    )
-    .expect("well-formed query");
+    let query =
+        kola::parse::parse_query("iterate(Kp(T), age) . iterate(gt @ (age, Kf(25)), id) ! P")
+            .expect("well-formed query");
     println!("input query:\n  {query}\n");
 
     // 3. Typecheck it.

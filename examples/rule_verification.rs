@@ -23,7 +23,9 @@ fn main() {
     let mut by_source = std::collections::BTreeMap::new();
     let mut failures = Vec::new();
     for (rule, report) in catalog.rules().iter().zip(&reports) {
-        let entry = by_source.entry(format!("{:?}", rule.source)).or_insert((0, 0));
+        let entry = by_source
+            .entry(format!("{:?}", rule.source))
+            .or_insert((0, 0));
         entry.0 += 1;
         if report.verified() {
             entry.1 += 1;
@@ -62,8 +64,16 @@ fn main() {
     assert!(failures.is_empty(), "catalog must verify");
 
     // Figure-5 provenance counts (E11).
-    let f5 = catalog.rules().iter().filter(|r| r.source == RuleSource::Figure5).count();
-    let f8 = catalog.rules().iter().filter(|r| r.source == RuleSource::Figure8).count();
+    let f5 = catalog
+        .rules()
+        .iter()
+        .filter(|r| r.source == RuleSource::Figure5)
+        .count();
+    let f8 = catalog
+        .rules()
+        .iter()
+        .filter(|r| r.source == RuleSource::Figure8)
+        .count();
     println!(
         "\nFigure 5 rules: {f5}; Figure 8 rules: {f8}; extended pool: {}",
         catalog.len() - f5 - f8

@@ -64,10 +64,7 @@ fn main() {
             cur = step.result.normalize();
         }
         match rewrite_once_query(&decide, &cur, &props) {
-            Some(step) => println!(
-                "{name}: rule 15 fires — loop removed\n  -> {}",
-                step.result
-            ),
+            Some(step) => println!("{name}: rule 15 fires — loop removed\n  -> {}", step.result),
             None => println!(
                 "{name}: rule 15 structurally inapplicable (its head wants \
                  `… @ pi1`, this query has `… @ pi2`) — no code consulted"

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, lints, release build, full test suite.
+# No network access is assumed anywhere (--offline); the workspace has no
+# external crate dependencies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo build --release"
+cargo build --workspace --release --offline
+
+echo "== cargo test"
+cargo test --workspace --offline -q
+
+echo "CI gate passed."

@@ -23,7 +23,7 @@ use kola_exec::datagen::{generate, DataSpec};
 use kola_exec::{Executor, Mode};
 use kola_rewrite::engine::Trace;
 use kola_rewrite::strategy::Runner;
-use kola_rewrite::{Catalog, PropDb};
+use kola_rewrite::{Catalog, PropDb, RewriteReport};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -52,18 +52,17 @@ fn parse(src: &str) -> Result<kola::Query, String> {
 fn optimize_with(
     strategy: &kola_rewrite::Strategy,
     q: kola::Query,
-) -> (kola::Query, Trace) {
+) -> (kola::Query, Trace, RewriteReport) {
     let catalog = Catalog::paper();
     let props = PropDb::new();
     let runner = Runner::new(&catalog, &props);
     let mut trace = Trace::new();
-    let (out, _) = runner.run(strategy, q, &mut trace);
-    (out, trace)
+    let (out, _, report) = runner.run_governed(strategy, q, &mut trace);
+    (out, trace, report)
 }
 
 fn run(args: &[String]) -> Result<(), String> {
-    let usage =
-        "usage: kolaq <explain|optimize|untangle|run|oql|aqua|cost|verify|rules> [arg]";
+    let usage = "usage: kolaq <explain|optimize|untangle|run|oql|aqua|cost|verify|rules> [arg]";
     let cmd = args.first().ok_or(usage)?;
     match cmd.as_str() {
         "explain" => {
@@ -74,16 +73,18 @@ fn run(args: &[String]) -> Result<(), String> {
         "optimize" => {
             let q = parse(arg(args)?)?;
             let strategy = simplify_strategy().map_err(|e| e.to_string())?;
-            let (out, trace) = optimize_with(&strategy, q);
+            let (out, trace, report) = optimize_with(&strategy, q);
             print_derivation(&trace);
+            eprintln!("-- {report}");
             println!("{out}");
             Ok(())
         }
         "untangle" => {
             let q = parse(arg(args)?)?;
             let strategy = untangle_strategy().map_err(|e| e.to_string())?;
-            let (out, trace) = optimize_with(&strategy, q);
+            let (out, trace, report) = optimize_with(&strategy, q);
             print_derivation(&trace);
+            eprintln!("-- {report}");
             println!("{out}");
             Ok(())
         }
@@ -106,8 +107,11 @@ fn run(args: &[String]) -> Result<(), String> {
             let q = kola_frontend::translate_query(&aqua).map_err(|e| e.to_string())?;
             eprintln!("-- KOLA: {q}");
             let strategy = untangle_strategy().map_err(|e| e.to_string())?;
-            let (out, trace) = optimize_with(&strategy, q);
-            eprintln!("-- optimized ({} rule applications): {out}", trace.steps.len());
+            let (out, trace, _) = optimize_with(&strategy, q);
+            eprintln!(
+                "-- optimized ({} rule applications): {out}",
+                trace.steps.len()
+            );
             let db = db();
             let mut ex = Executor::new(&db, Mode::Smart);
             let v = ex.run(&out).map_err(|e| e.to_string())?;
@@ -159,8 +163,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 }
                 None => {
                     let reports = kola_verify::verify_catalog(&env, &db, &catalog, 25, 1);
-                    let bad: Vec<_> =
-                        reports.iter().filter(|r| !r.verified()).collect();
+                    let bad: Vec<_> = reports.iter().filter(|r| !r.verified()).collect();
                     for r in &bad {
                         println!("{r}");
                     }

@@ -27,10 +27,7 @@ fn bag_combinator_semantics() {
     let db = db();
     // bagify then dedup round-trips.
     let q = parse_query("dedup ! bagify ! P").unwrap();
-    assert_eq!(
-        kola::eval_query(&db, &q).unwrap(),
-        db.extent("P").unwrap()
-    );
+    assert_eq!(kola::eval_query(&db, &q).unwrap(), db.extent("P").unwrap());
     // biterate preserves multiplicity: ages of A ⊎ ages of B counts
     // duplicates from both sides.
     let q = parse_query(
@@ -141,10 +138,8 @@ fn bag_syntax_round_trips() {
 #[test]
 fn bag_fusion_b6_mirrors_rule_11() {
     let db = db();
-    let q = parse_query(
-        "dedup . biterate(Kp(T), city) . biterate(Kp(T), addr) . bagify ! P",
-    )
-    .unwrap();
+    let q =
+        parse_query("dedup . biterate(Kp(T), city) . biterate(Kp(T), addr) . bagify ! P").unwrap();
     let catalog = Catalog::paper();
     let props = PropDb::new();
     let rule = catalog.get("b6").unwrap();

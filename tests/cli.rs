@@ -58,8 +58,7 @@ fn run_executes_and_reports_stats() {
 
 #[test]
 fn oql_pipeline_end_to_end() {
-    let (ok, stdout, stderr) =
-        kolaq(&["oql", "select p.age from p in P where p.age > 80"]);
+    let (ok, stdout, stderr) = kolaq(&["oql", "select p.age from p in P where p.age > 80"]);
     assert!(ok, "{stderr}");
     assert!(stderr.contains("-- AQUA:"), "{stderr}");
     assert!(stderr.contains("-- KOLA:"), "{stderr}");

@@ -82,7 +82,11 @@ fn explain_renders_every_pipeline_artifact() {
     let props = PropDb::new();
     // Every snapshot of the garage derivation renders without panicking
     // and with balanced tree connectors.
-    let out = untangle(&catalog, &props, &kola_rewrite::hidden_join::garage_query_kg1());
+    let out = untangle(
+        &catalog,
+        &props,
+        &kola_rewrite::hidden_join::garage_query_kg1(),
+    );
     for (name, q) in &out.snapshots {
         let tree = explain_query(q);
         assert!(!tree.is_empty(), "{name}");
@@ -125,9 +129,7 @@ fn explain_distinguishes_all_operator_kinds() {
 fn stats_collection_scales_with_data() {
     let small = Stats::collect(&generate(&DataSpec::scaled(2, 3)));
     let large = Stats::collect(&generate(&DataSpec::scaled(10, 3)));
-    assert!(
-        large.extent_card.get("P").unwrap() > small.extent_card.get("P").unwrap()
-    );
+    assert!(large.extent_card.get("P").unwrap() > small.extent_card.get("P").unwrap());
     // Average fanouts stay in the configured range regardless of scale.
     for stats in [&small, &large] {
         let cars = stats.avg_set_attr.get("cars").copied().unwrap();

@@ -12,11 +12,7 @@ use kola_rewrite::engine::Trace;
 use kola_rewrite::strategy::{apply, fix, seq, Runner};
 use kola_rewrite::{Catalog, PropDb};
 
-fn run_and_check(
-    start: &str,
-    strategy: kola_rewrite::Strategy,
-    expect_final: &str,
-) -> Trace {
+fn run_and_check(start: &str, strategy: kola_rewrite::Strategy, expect_final: &str) -> Trace {
     let catalog = Catalog::paper();
     let props = PropDb::new();
     let runner = Runner::new(&catalog, &props);
@@ -101,8 +97,7 @@ fn t2k_intermediate_matches_paper_form() {
     let catalog = Catalog::paper();
     let props = PropDb::new();
     let runner = Runner::new(&catalog, &props);
-    let q = parse_query("iterate(Kp(T), age) . iterate(gt @ (age, Kf(25)), id) ! P")
-        .unwrap();
+    let q = parse_query("iterate(Kp(T), age) . iterate(gt @ (age, Kf(25)), id) ! P").unwrap();
     let mut trace = Trace::new();
     let (out, _) = runner.run(
         &seq(vec![apply("11"), fix(&["3", "e32", "1"])]),

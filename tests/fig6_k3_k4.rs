@@ -31,18 +31,14 @@ fn k4_translation_matches_section_3_2() {
     let k4 = translate_query(&query_a4()).unwrap();
     assert_eq!(
         k4,
-        parse_query(
-            "iterate(Kp(T), (id, iter(gt @ (age . pi1, Kf(25)), pi2) . (id, child))) ! P"
-        )
-        .unwrap()
+        parse_query("iterate(Kp(T), (id, iter(gt @ (age . pi1, Kf(25)), pi2) . (id, child))) ! P")
+            .unwrap()
     );
     let k3 = translate_query(&query_a3()).unwrap();
     assert_eq!(
         k3,
-        parse_query(
-            "iterate(Kp(T), (id, iter(gt @ (age . pi2, Kf(25)), pi2) . (id, child))) ! P"
-        )
-        .unwrap()
+        parse_query("iterate(Kp(T), (id, iter(gt @ (age . pi2, Kf(25)), pi2) . (id, child))) ! P")
+            .unwrap()
     );
 }
 
@@ -58,10 +54,7 @@ fn k4_derivation_reaches_figure_6_result() {
     // conditional (`lt` where the figure prints `leq` — converse reading).
     assert_eq!(
         out,
-        parse_query(
-            "iterate(Kp(T), (id, con(Cp(lt, 25) @ age, child, Kf({})))) ! P"
-        )
-        .unwrap(),
+        parse_query("iterate(Kp(T), (id, con(Cp(lt, 25) @ age, child, Kf({})))) ! P").unwrap(),
         "\nderivation:\n{trace}"
     );
     // The paper's cited rules all fire.

@@ -37,7 +37,11 @@ fn near_miss_queries_waste_the_whole_dive() {
     for n in 1..=6 {
         let (hit, stats) = recognize(&near_miss(n));
         assert!(hit.is_none(), "depth {n} must be rejected");
-        assert!(stats.dive_depth >= n, "must dive {n} levels, got {}", stats.dive_depth);
+        assert!(
+            stats.dive_depth >= n,
+            "must dive {n} levels, got {}",
+            stats.dive_depth
+        );
         assert!(stats.nodes_visited > prev);
         prev = stats.nodes_visited;
     }
@@ -51,10 +55,8 @@ fn gradual_still_simplifies_what_monolithic_rejects() {
     // still breaks it into a composition chain and Step 2's plumbing
     // still simplifies — "the query has still been simplified enough that
     // other appropriate strategies can be simply considered".
-    let q = parse_query(
-        "iterate(Kp(T), (id, flat . iter(Kp(T), child . pi2) . (id, child))) ! A",
-    )
-    .unwrap();
+    let q = parse_query("iterate(Kp(T), (id, flat . iter(Kp(T), child . pi2) . (id, child))) ! A")
+        .unwrap();
     let (mono, _) = try_monolithic(&catalog, &props, &q);
     assert!(mono.is_none(), "monolithic rejects and does nothing");
 
@@ -107,12 +109,20 @@ fn pfunc_size(f: &kola::pattern::PFunc) -> usize {
     // so walk the structure.
     use kola::pattern::PFunc as F;
     match f {
-        F::Var(_) | F::Id | F::Pi1 | F::Pi2 | F::Prim(_) | F::Flat | F::SetUnion
-        | F::SetIntersect | F::SetDiff | F::Bagify | F::Dedup | F::BUnion
+        F::Var(_)
+        | F::Id
+        | F::Pi1
+        | F::Pi2
+        | F::Prim(_)
+        | F::Flat
+        | F::SetUnion
+        | F::SetIntersect
+        | F::SetDiff
+        | F::Bagify
+        | F::Dedup
+        | F::BUnion
         | F::BFlat => 1,
-        F::Compose(a, b) | F::PairWith(a, b) | F::Times(a, b) => {
-            1 + pfunc_size(a) + pfunc_size(b)
-        }
+        F::Compose(a, b) | F::PairWith(a, b) | F::Times(a, b) => 1 + pfunc_size(a) + pfunc_size(b),
         F::ConstF(q) => 1 + pquery_size(q),
         F::CurryF(a, q) => 1 + pfunc_size(a) + pquery_size(q),
         F::Cond(p, a, b) => 1 + ppred_size(p) + pfunc_size(a) + pfunc_size(b),
@@ -126,7 +136,14 @@ fn pfunc_size(f: &kola::pattern::PFunc) -> usize {
 fn ppred_size(p: &kola::pattern::PPred) -> usize {
     use kola::pattern::PPred as P;
     match p {
-        P::Var(_) | P::Eq | P::Lt | P::Leq | P::Gt | P::Geq | P::In | P::PrimP(_)
+        P::Var(_)
+        | P::Eq
+        | P::Lt
+        | P::Leq
+        | P::Gt
+        | P::Geq
+        | P::In
+        | P::PrimP(_)
         | P::ConstP(_) => 1,
         P::Oplus(a, f) => 1 + ppred_size(a) + pfunc_size(f),
         P::And(a, b) | P::Or(a, b) => 1 + ppred_size(a) + ppred_size(b),

@@ -45,8 +45,7 @@ fn garage_oql_to_optimized_execution() {
     let props = PropDb::new();
     let runner = Runner::new(&catalog, &props);
     let mut trace = Trace::new();
-    let (optimized, _) =
-        runner.run(&untangle_strategy().unwrap(), kola_q.clone(), &mut trace);
+    let (optimized, _) = runner.run(&untangle_strategy().unwrap(), kola_q.clone(), &mut trace);
     assert!(optimized.to_string().contains("join("), "{optimized}");
     assert_eq!(kola::eval_query(&db, &optimized).unwrap(), reference);
 
@@ -74,8 +73,7 @@ fn nested_oql_queries_translate_and_run() {
         "flatten(select p.child from p in P)",
     ] {
         let aqua = parse_oql(src).unwrap();
-        let aqua_val = kola_aqua::eval_closed(&db, &aqua)
-            .unwrap_or_else(|e| panic!("{src}: {e}"));
+        let aqua_val = kola_aqua::eval_closed(&db, &aqua).unwrap_or_else(|e| panic!("{src}: {e}"));
         let k = oql_to_kola(src).unwrap();
         let kola_val = kola::eval_query(&db, &k).unwrap_or_else(|e| panic!("{src}: {e}"));
         assert_eq!(aqua_val, kola_val, "{src}");

@@ -22,10 +22,7 @@ fn injective_inference_follows_the_papers_rule() {
 fn intersection_rule_gated_by_annotation() {
     let catalog = Catalog::paper();
     let rule = catalog.get("e100").unwrap();
-    let q = parse_query(
-        "(iterate(Kp(T), name) ! A) intersect (iterate(Kp(T), name) ! B)",
-    )
-    .unwrap();
+    let q = parse_query("(iterate(Kp(T), name) ! A) intersect (iterate(Kp(T), name) ! B)").unwrap();
     let rules = [Oriented::fwd(rule)];
 
     // No annotation: the rule must not fire.
@@ -64,9 +61,7 @@ fn gating_is_semantically_justified() {
     db.bind_extent("A", half_a);
     db.bind_extent("B", half_b);
 
-    let pushed = |f: &str| {
-        parse_query(&format!("iterate(Kp(T), {f}) ! (A intersect B)")).unwrap()
-    };
+    let pushed = |f: &str| parse_query(&format!("iterate(Kp(T), {f}) ! (A intersect B)")).unwrap();
     let unpushed = |f: &str| {
         parse_query(&format!(
             "(iterate(Kp(T), {f}) ! A) intersect (iterate(Kp(T), {f}) ! B)"

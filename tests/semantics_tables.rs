@@ -11,36 +11,36 @@ use kola_exec::{Executor, Mode};
 fn table_queries() -> Vec<&'static str> {
     vec![
         // --- Table 1 ---
-        "id ! 5",                                   // id
-        "pi1 ! [1, 2]",                             // π1
-        "pi2 ! [1, 2]",                             // π2
-        "eq ? [3, 3]",                              // eq
-        "lt ? [2, 3]",                              // lt (paper's leq; converse of gt)
-        "leq ? [3, 3]",                             // leq
-        "gt ? [4, 3]",                              // gt
-        "geq ? [4, 4]",                             // geq
-        "in ? [2, {1, 2, 3}]",                      // in
-        "iterate(Kp(T), age) ! P",                  // schema primitive
+        "id ! 5",                                                         // id
+        "pi1 ! [1, 2]",                                                   // π1
+        "pi2 ! [1, 2]",                                                   // π2
+        "eq ? [3, 3]",                                                    // eq
+        "lt ? [2, 3]",             // lt (paper's leq; converse of gt)
+        "leq ? [3, 3]",            // leq
+        "gt ? [4, 3]",             // gt
+        "geq ? [4, 4]",            // geq
+        "in ? [2, {1, 2, 3}]",     // in
+        "iterate(Kp(T), age) ! P", // schema primitive
         "iterate(Kp(T), city . addr) ! P union iterate(Kp(T), name) ! P", // ∘ + union
-        "iterate(Kp(T), (age, addr)) ! P",          // ⟨f, g⟩
+        "iterate(Kp(T), (age, addr)) ! P", // ⟨f, g⟩
         "iterate(Kp(T), age * age) ! join(Kp(T), id) ! [P, P]", // ×
-        "Kf(42) ! 7",                               // Kf
-        "Cf(pi1, 9) ! 1",                           // Cf
-        "con(gt, pi1, pi2) ! [5, 3]",               // con
-        "gt @ (pi2, pi1) ? [1, 2]",                 // ⊕
-        "gt & lt ? [1, 1]",                         // &
-        "gt | lt ? [1, 2]",                         // |
-        "~gt ? [1, 2]",                             // complement (our extension)
-        "inv(gt) ? [1, 2]",                         // converse (the paper's ⁻¹)
-        "Kp(T) ? 0",                                // Kp
-        "Cp(leq, 25) ? 30",                         // Cp
+        "Kf(42) ! 7",              // Kf
+        "Cf(pi1, 9) ! 1",          // Cf
+        "con(gt, pi1, pi2) ! [5, 3]", // con
+        "gt @ (pi2, pi1) ? [1, 2]", // ⊕
+        "gt & lt ? [1, 1]",        // &
+        "gt | lt ? [1, 2]",        // |
+        "~gt ? [1, 2]",            // complement (our extension)
+        "inv(gt) ? [1, 2]",        // converse (the paper's ⁻¹)
+        "Kp(T) ? 0",               // Kp
+        "Cp(leq, 25) ? 30",        // Cp
         // --- Table 2 ---
-        "flat ! {{1, 2}, {2, 3}}",                  // flat
-        "iterate(gt @ (id, Kf(2)), id) ! {1, 2, 3, 4}", // iterate
-        "iter(Kp(T), pi2) ! [0, {1, 2}]",           // iter
-        "join(eq, pi1) ! [{1, 2}, {2, 3}]",         // join
+        "flat ! {{1, 2}, {2, 3}}",                          // flat
+        "iterate(gt @ (id, Kf(2)), id) ! {1, 2, 3, 4}",     // iterate
+        "iter(Kp(T), pi2) ! [0, {1, 2}]",                   // iter
+        "join(eq, pi1) ! [{1, 2}, {2, 3}]",                 // join
         "nest(pi1, pi2) ! [{[1, 10], [2, 20]}, {1, 2, 3}]", // nest
-        "unnest(pi1, pi2) ! {[1, {10, 11}]}",       // unnest
+        "unnest(pi1, pi2) ! {[1, {10, 11}]}",               // unnest
         // --- compound / schema forms ---
         "iterate(Kp(T), city . addr) ! P",
         "iterate(gt @ (age, Kf(25)), age) ! P",
@@ -56,11 +56,12 @@ fn reference_and_executors_agree_on_every_row() {
     let db = generate(&DataSpec::small(314));
     for src in table_queries() {
         let q = parse_query(src).unwrap_or_else(|e| panic!("{src}: {e}"));
-        let reference =
-            kola::eval_query(&db, &q).unwrap_or_else(|e| panic!("{src}: {e}"));
+        let reference = kola::eval_query(&db, &q).unwrap_or_else(|e| panic!("{src}: {e}"));
         for mode in [Mode::Naive, Mode::Smart] {
             let mut ex = Executor::new(&db, mode);
-            let got = ex.run(&q).unwrap_or_else(|e| panic!("{src} [{mode:?}]: {e}"));
+            let got = ex
+                .run(&q)
+                .unwrap_or_else(|e| panic!("{src} [{mode:?}]: {e}"));
             assert_eq!(got, reference, "{src} under {mode:?}");
         }
     }
@@ -101,8 +102,8 @@ fn table_queries_round_trip_through_printer() {
     for src in table_queries() {
         let q = parse_query(src).unwrap();
         let printed = q.to_string();
-        let reparsed = parse_query(&printed)
-            .unwrap_or_else(|e| panic!("{src} printed as {printed}: {e}"));
+        let reparsed =
+            parse_query(&printed).unwrap_or_else(|e| panic!("{src} printed as {printed}: {e}"));
         // Structural round trip can differ for literal pairs/sets; check
         // semantic agreement instead.
         let db = generate(&DataSpec::small(314));

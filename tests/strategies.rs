@@ -20,15 +20,9 @@ fn bottom_up_sweep_cleans_everywhere_in_one_pass() {
         .map(|id| Oriented::fwd(c.get(id).unwrap()))
         .collect();
     // Identities buried at several depths.
-    let q = parse_query(
-        "iterate(Kp(T), (pi1 . (id . age, addr), id . city . id)) ! P",
-    )
-    .unwrap();
+    let q = parse_query("iterate(Kp(T), (pi1 . (id . age, addr), id . city . id)) ! P").unwrap();
     let (out, fires) = rewrite_bottom_up(&rules, &q, &p, 100);
-    assert_eq!(
-        out,
-        parse_query("iterate(Kp(T), (age, city)) ! P").unwrap()
-    );
+    assert_eq!(out, parse_query("iterate(Kp(T), (age, city)) ! P").unwrap());
     assert!(fires >= 3, "several positions rewritten: {fires}");
 }
 
@@ -51,11 +45,7 @@ fn bottom_up_agrees_with_fixpoint_on_confluent_sets() {
             .collect();
         let (bu, _) = rewrite_bottom_up(&rules, &q, &p, 100);
         let mut trace = Trace::new();
-        let (fx, _) = runner.run(
-            &fix(&cleanup),
-            q.clone(),
-            &mut trace,
-        );
+        let (fx, _) = runner.run(&fix(&cleanup), q.clone(), &mut trace);
         assert_eq!(bu, fx, "{src}");
     }
 }
@@ -63,20 +53,15 @@ fn bottom_up_agrees_with_fixpoint_on_confluent_sets() {
 #[test]
 fn coko_bu_keyword_compiles_and_runs() {
     let (c, p) = setup();
-    let program = parse_program(
-        "TRANSFORMATION Clean BEGIN BU { [1], [2], [9], [10] } END",
-    )
-    .unwrap();
+    let program =
+        parse_program("TRANSFORMATION Clean BEGIN BU { [1], [2], [9], [10] } END").unwrap();
     let strategy = compile(&program, "Clean").unwrap();
     assert!(matches!(strategy, Strategy::BottomUp(_)));
     let runner = Runner::new(&c, &p);
     let q = parse_query("iterate(Kp(T), pi2 . (age, id . city . addr)) ! P").unwrap();
     let mut trace = Trace::new();
     let (out, _) = runner.run(&strategy, q, &mut trace);
-    assert_eq!(
-        out,
-        parse_query("iterate(Kp(T), city . addr) ! P").unwrap()
-    );
+    assert_eq!(out, parse_query("iterate(Kp(T), city . addr) ! P").unwrap());
     // The sweep records a summary step.
     assert!(trace.steps.iter().any(|s| s.rule_id.starts_with("bu")));
 }
@@ -109,10 +94,7 @@ fn nested_repeat_choice_combinations() {
     let (c, p) = setup();
     let runner = Runner::new(&c, &p);
     // REPEAT { [2] | [1] } strips ids from either side.
-    let program = parse_program(
-        "TRANSFORMATION Strip BEGIN REPEAT { [2] | [1] } END",
-    )
-    .unwrap();
+    let program = parse_program("TRANSFORMATION Strip BEGIN REPEAT { [2] | [1] } END").unwrap();
     let strategy = compile(&program, "Strip").unwrap();
     let q = parse_query("id . age . id . id ! P").unwrap();
     let mut trace = Trace::new();

@@ -5,59 +5,66 @@
 
 use kola_aqua::ast::{CmpOp, Expr, Lambda};
 use kola_exec::datagen::{generate, DataSpec};
+use kola_exec::rng::Rng;
 use kola_frontend::{measure, sweep_query, translate_query};
-use proptest::prelude::*;
 
 /// A generator for well-scoped AQUA queries over the paper schema, set
 /// typed at every level so both evaluators accept them.
 ///
-/// `depth` levels of app/sel over Person sets; projections stay within
-/// schema reach.
-fn arb_person_query(depth: u32) -> impl Strategy<Value = Expr> {
-    let leaf = Just(Expr::extent("P"));
-    leaf.prop_recursive(depth, 24, 2, |inner| {
-        prop_oneof![
-            // sel(λx. x.age CMP k)(inner)
-            (inner.clone(), -5i64..60, 0..4usize).prop_map(|(src, k, op)| {
-                let op = [CmpOp::Gt, CmpOp::Lt, CmpOp::Geq, CmpOp::Leq][op];
-                Expr::sel(
-                    Lambda::new(
-                        "x",
-                        Expr::cmp(op, Expr::var("x").attr("age"), Expr::int(k)),
-                    ),
-                    src,
-                )
-            }),
-            // flatten(app(λx. x.child)(inner))
-            inner.clone().prop_map(|src| Expr::Flatten(Box::new(Expr::app(
+/// Up to `depth` levels of app/sel/flatten over Person sets; projections
+/// stay within schema reach.
+fn arb_person_query(rng: &mut Rng, depth: u32) -> Expr {
+    if depth == 0 || rng.gen_bool(0.25) {
+        return Expr::extent("P");
+    }
+    let src = arb_person_query(rng, depth - 1);
+    match rng.gen_range(0..3u32) {
+        0 => {
+            // sel(λx. x.age CMP k)(src)
+            let k = rng.gen_range(-5..60i64);
+            let op = [CmpOp::Gt, CmpOp::Lt, CmpOp::Geq, CmpOp::Leq][rng.gen_range(0..4usize)];
+            Expr::sel(
+                Lambda::new("x", Expr::cmp(op, Expr::var("x").attr("age"), Expr::int(k))),
+                src,
+            )
+        }
+        1 => {
+            // flatten(app(λx. x.child)(src))
+            Expr::Flatten(Box::new(Expr::app(
                 Lambda::new("x", Expr::var("x").attr("child")),
-                src
-            )))),
-            // app(λx. x)(inner)
-            inner.prop_map(|src| Expr::app(Lambda::new("x", Expr::var("x")), src)),
-        ]
-    })
+                src,
+            )))
+        }
+        _ => Expr::app(Lambda::new("x", Expr::var("x")), src),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn translation_preserves_semantics(q in arb_person_query(4), seed in 0u64..32) {
-        let db = generate(&DataSpec::small(seed));
+#[test]
+fn translation_preserves_semantics() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(seed);
+        let q = arb_person_query(&mut rng, 4);
+        let db = generate(&DataSpec::small(seed % 32));
         let aqua_val = kola_aqua::eval_closed(&db, &q).expect("aqua eval");
         let k = translate_query(&q).expect("translates");
         let kola_val = kola::eval_query(&db, &k).expect("kola eval");
-        prop_assert_eq!(aqua_val, kola_val);
+        assert_eq!(aqua_val, kola_val, "seed {seed}");
     }
+}
 
-    #[test]
-    fn translation_size_obeys_o_mn(q in arb_person_query(5)) {
+#[test]
+fn translation_size_obeys_o_mn() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(seed);
+        let q = arb_person_query(&mut rng, 5);
         let r = measure(&q).expect("measures");
         let m = r.env_depth.max(1);
-        prop_assert!(
+        assert!(
             r.kola_size <= 4 * m * r.aqua_size + 16,
-            "size {} vs bound 4*{}*{}", r.kola_size, m, r.aqua_size
+            "seed {seed}: size {} vs bound 4*{}*{}",
+            r.kola_size,
+            m,
+            r.aqua_size
         );
     }
 }

@@ -110,7 +110,7 @@ fn unsound_variants_of_paper_rules_are_rejected() {
         ),
     ];
     for m in mutants {
-        let report = kola_verify::check_rule(&env, &db, &m, 60, 99);
+        let report = kola_verify::check_rule(&env, &db, &m, 150, 99);
         assert!(!report.verified(), "mutant not caught: {report}");
     }
 }
