@@ -1,0 +1,190 @@
+//! Engine-mode comparison: the boxed reference engine vs the fast engine's
+//! three layers (interning, head-symbol indexing, normalization memo).
+//!
+//! Emits a machine-readable `BENCH_rewrite.json` at the repository root so
+//! the README table and CI gate consume the same numbers this binary
+//! prints. Environment switches:
+//!
+//! - `BENCH_SMOKE=1` — short warmup/batches (sub-second total), for CI.
+//! - `BENCH_ENFORCE=1` — exit nonzero if the indexed engine is slower than
+//!   the naive engine on the fig4 workload.
+
+use kola::term::{Func, Query};
+use kola_bench::{bench_ns, smoke_mode};
+use kola_rewrite::{
+    rewrite_fix_with, Budget, Catalog, Engine, EngineConfig, FaultPlan, Oriented, PropDb,
+};
+use std::hint::black_box;
+use std::sync::Arc;
+
+struct Workload {
+    name: &'static str,
+    /// Rule ids to orient forward; empty = the full forward catalog.
+    rule_ids: &'static [&'static str],
+    query: Query,
+}
+
+fn workloads() -> Vec<Workload> {
+    let fig4_t1 =
+        kola::parse::parse_query("iterate(Kp(T), city) . iterate(Kp(T), addr) ! P").unwrap();
+
+    // A ~2000-node already-normal sibling next to a 50-redex id-chain: the
+    // naive engine re-scans the sibling on every one of the 50 steps; the
+    // fast engine's normal-subtree marks and cached sizes keep each step
+    // O(changed subtree).
+    fn big_normal(depth: usize) -> Func {
+        if depth == 0 {
+            Func::Prim(Arc::from("age"))
+        } else {
+            Func::PairWith(
+                Box::new(big_normal(depth - 1)),
+                Box::new(big_normal(depth - 1)),
+            )
+        }
+    }
+    let mut chain = Func::Prim(Arc::from("age"));
+    for _ in 0..50 {
+        chain = Func::Compose(Box::new(Func::Id), Box::new(chain));
+    }
+    let sparse = Query::PairQ(
+        Box::new(Query::App(
+            big_normal(10),
+            Box::new(Query::Extent(Arc::from("P"))),
+        )),
+        Box::new(Query::App(chain, Box::new(Query::Extent(Arc::from("Q"))))),
+    );
+
+    vec![
+        // The enforced workload: the Figure 4 T1 derivation query against
+        // the full forward catalog — the realistic optimizer setting, where
+        // every step must consider every registered rule.
+        Workload {
+            name: "fig4",
+            rule_ids: &[],
+            query: fig4_t1.clone(),
+        },
+        // Same query, only the three rules its derivation needs: the
+        // best case for the naive engine (nothing to index away).
+        Workload {
+            name: "fig4_minimal",
+            rule_ids: &["11", "6", "5"],
+            query: fig4_t1,
+        },
+        // The sparse-redex workload: interning + normal-marks dominate.
+        Workload {
+            name: "sparse_redex",
+            rule_ids: &["1", "2"],
+            query: sparse,
+        },
+    ]
+}
+
+fn rules_for<'a>(catalog: &'a Catalog, ids: &[&str]) -> Vec<Oriented<'a>> {
+    if ids.is_empty() {
+        catalog.rules().iter().map(Oriented::fwd).collect()
+    } else {
+        ids.iter()
+            .map(|id| Oriented::fwd(catalog.get(id).expect("known rule id")))
+            .collect()
+    }
+}
+
+struct Row {
+    name: &'static str,
+    naive_ns: u128,
+    interned_ns: u128,
+    indexed_ns: u128,
+    memoized_ns: u128,
+}
+
+fn main() {
+    let catalog = Catalog::paper();
+    let props = PropDb::new();
+    let budget = Budget::default();
+    let faults = FaultPlan::default();
+
+    let mut rows = Vec::new();
+    for w in workloads() {
+        let rules = rules_for(&catalog, w.rule_ids);
+        let reference = rewrite_fix_with(&rules, &w.query, &props, &budget, &faults);
+
+        let naive_ns = bench_ns(&format!("{}/naive", w.name), || {
+            rewrite_fix_with(&rules, black_box(&w.query), &props, &budget, &faults)
+        });
+
+        let mut mode_ns = [0u128; 3];
+        let modes = [
+            ("interned", EngineConfig::interned_only()),
+            ("indexed", EngineConfig::indexed()),
+            ("memoized", EngineConfig::fast()),
+        ];
+        for (slot, (label, config)) in modes.into_iter().enumerate() {
+            let mut engine = Engine::new(rules_for(&catalog, w.rule_ids), &props, config);
+            // Parity sanity check before timing: a fast engine that wins by
+            // computing something else wins nothing.
+            let out = engine.normalize(&w.query, &budget);
+            assert_eq!(
+                out.query, reference.query,
+                "{}/{label} disagrees with the reference engine",
+                w.name
+            );
+            mode_ns[slot] = bench_ns(&format!("{}/{label}", w.name), || {
+                engine.normalize(black_box(&w.query), &budget)
+            });
+        }
+
+        rows.push(Row {
+            name: w.name,
+            naive_ns,
+            interned_ns: mode_ns[0],
+            indexed_ns: mode_ns[1],
+            memoized_ns: mode_ns[2],
+        });
+    }
+
+    let json = render_json(&rows);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_rewrite.json");
+    std::fs::write(path, &json).expect("write BENCH_rewrite.json");
+    println!("wrote {path}");
+
+    if std::env::var("BENCH_ENFORCE").is_ok_and(|v| !v.is_empty() && v != "0") {
+        let fig4 = rows.iter().find(|r| r.name == "fig4").expect("fig4 row");
+        if fig4.indexed_ns > fig4.naive_ns {
+            eprintln!(
+                "BENCH_ENFORCE: indexed engine ({} ns) slower than naive ({} ns) on fig4",
+                fig4.indexed_ns, fig4.naive_ns
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "BENCH_ENFORCE: ok (fig4 indexed {:.2}x naive)",
+            fig4.naive_ns as f64 / fig4.indexed_ns.max(1) as f64
+        );
+    }
+}
+
+fn render_json(rows: &[Row]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"engine_modes\",\n");
+    out.push_str(&format!("  \"smoke\": {},\n", smoke_mode()));
+    out.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let speedup = |ns: u128| r.naive_ns as f64 / ns.max(1) as f64;
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"naive_ns\": {}, \"interned_ns\": {}, \"indexed_ns\": {}, \
+             \"memoized_ns\": {}, \"speedup_interned\": {:.2}, \"speedup_indexed\": {:.2}, \
+             \"speedup_memoized\": {:.2}}}{}\n",
+            r.name,
+            r.naive_ns,
+            r.interned_ns,
+            r.indexed_ns,
+            r.memoized_ns,
+            speedup(r.interned_ns),
+            speedup(r.indexed_ns),
+            speedup(r.memoized_ns),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -427,6 +427,160 @@ pub fn measure_query(q: &Query) -> (usize, u64) {
     (size, h.finish())
 }
 
+/// Structural query equality in one explicit-stack walk (the derived
+/// `PartialEq` recurses and would overflow on pathological chains).
+pub fn queries_equal(a: &Query, b: &Query) -> bool {
+    let mut stack = vec![(Node::Q(a), Node::Q(b))];
+    while let Some(pair) = stack.pop() {
+        match pair {
+            (Node::Q(a), Node::Q(b)) => {
+                if std::mem::discriminant(a) != std::mem::discriminant(b) {
+                    return false;
+                }
+                match (a, b) {
+                    (Query::Lit(x), Query::Lit(y)) => {
+                        if x != y {
+                            return false;
+                        }
+                    }
+                    (Query::Extent(x), Query::Extent(y)) => {
+                        if x != y {
+                            return false;
+                        }
+                    }
+                    (Query::App(f, p), Query::App(g, q)) => {
+                        stack.push((Node::Q(p), Node::Q(q)));
+                        stack.push((Node::F(f), Node::F(g)));
+                    }
+                    (Query::Test(f, p), Query::Test(g, q)) => {
+                        stack.push((Node::Q(p), Node::Q(q)));
+                        stack.push((Node::P(f), Node::P(g)));
+                    }
+                    (Query::PairQ(x, y), Query::PairQ(u, v))
+                    | (Query::Union(x, y), Query::Union(u, v))
+                    | (Query::Intersect(x, y), Query::Intersect(u, v))
+                    | (Query::Diff(x, y), Query::Diff(u, v)) => {
+                        stack.push((Node::Q(y), Node::Q(v)));
+                        stack.push((Node::Q(x), Node::Q(u)));
+                    }
+                    _ => unreachable!("same discriminant"),
+                }
+            }
+            (Node::F(a), Node::F(b)) => {
+                if std::mem::discriminant(a) != std::mem::discriminant(b) {
+                    return false;
+                }
+                match (a, b) {
+                    (Func::Prim(x), Func::Prim(y)) if x != y => {
+                        return false;
+                    }
+                    (Func::Compose(x, y), Func::Compose(u, v))
+                    | (Func::PairWith(x, y), Func::PairWith(u, v))
+                    | (Func::Times(x, y), Func::Times(u, v))
+                    | (Func::Nest(x, y), Func::Nest(u, v))
+                    | (Func::Unnest(x, y), Func::Unnest(u, v)) => {
+                        stack.push((Node::F(y), Node::F(v)));
+                        stack.push((Node::F(x), Node::F(u)));
+                    }
+                    (Func::ConstF(x), Func::ConstF(y)) => {
+                        stack.push((Node::Q(x), Node::Q(y)));
+                    }
+                    (Func::CurryF(f, x), Func::CurryF(g, y)) => {
+                        stack.push((Node::Q(x), Node::Q(y)));
+                        stack.push((Node::F(f), Node::F(g)));
+                    }
+                    (Func::Cond(p, f, g), Func::Cond(q, u, v)) => {
+                        stack.push((Node::F(g), Node::F(v)));
+                        stack.push((Node::F(f), Node::F(u)));
+                        stack.push((Node::P(p), Node::P(q)));
+                    }
+                    (Func::Iterate(p, f), Func::Iterate(q, g))
+                    | (Func::Iter(p, f), Func::Iter(q, g))
+                    | (Func::Join(p, f), Func::Join(q, g))
+                    | (Func::BIterate(p, f), Func::BIterate(q, g)) => {
+                        stack.push((Node::F(f), Node::F(g)));
+                        stack.push((Node::P(p), Node::P(q)));
+                    }
+                    _ => {}
+                }
+            }
+            (Node::P(a), Node::P(b)) => {
+                if std::mem::discriminant(a) != std::mem::discriminant(b) {
+                    return false;
+                }
+                match (a, b) {
+                    (Pred::PrimP(x), Pred::PrimP(y)) if x != y => {
+                        return false;
+                    }
+                    (Pred::ConstP(x), Pred::ConstP(y)) if x != y => {
+                        return false;
+                    }
+                    (Pred::Oplus(p, f), Pred::Oplus(q, g)) => {
+                        stack.push((Node::F(f), Node::F(g)));
+                        stack.push((Node::P(p), Node::P(q)));
+                    }
+                    (Pred::And(x, y), Pred::And(u, v)) | (Pred::Or(x, y), Pred::Or(u, v)) => {
+                        stack.push((Node::P(y), Node::P(v)));
+                        stack.push((Node::P(x), Node::P(u)));
+                    }
+                    (Pred::Not(x), Pred::Not(y)) | (Pred::Conv(x), Pred::Conv(y)) => {
+                        stack.push((Node::P(x), Node::P(y)));
+                    }
+                    (Pred::CurryP(p, x), Pred::CurryP(q, y)) => {
+                        stack.push((Node::Q(x), Node::Q(y)));
+                        stack.push((Node::P(p), Node::P(q)));
+                    }
+                    _ => {}
+                }
+            }
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// Collision-safe cycle detection for the boxed fixpoint driver.
+///
+/// Terms are bucketed by their 64-bit [`measure_query`] fingerprint, but a
+/// fingerprint hit alone never declares a cycle: the candidate is compared
+/// *structurally* against every resident of the bucket first, so two distinct
+/// terms that happen to collide are kept apart. (The interned engine gets
+/// this for free — hash-consing makes pointer identity exact — but the boxed
+/// driver stores owned snapshots.)
+#[derive(Debug, Default)]
+pub struct CycleDetector {
+    buckets: std::collections::HashMap<u64, Vec<Query>>,
+}
+
+impl CycleDetector {
+    /// An empty detector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns true iff a term structurally equal to `q` was already seen;
+    /// otherwise records `q` (under the caller-computed fingerprint `fp`)
+    /// and returns false.
+    pub fn seen(&mut self, fp: u64, q: &Query) -> bool {
+        let bucket = self.buckets.entry(fp).or_default();
+        if bucket.iter().any(|r| queries_equal(r, q)) {
+            return true;
+        }
+        bucket.push(q.clone());
+        false
+    }
+
+    /// Number of distinct terms recorded.
+    pub fn len(&self) -> usize {
+        self.buckets.values().map(Vec::len).sum()
+    }
+
+    /// True iff nothing was recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -463,6 +617,35 @@ mod tests {
         let q = Query::App(f, Box::new(Query::Extent(std::sync::Arc::from("P"))));
         let (size, _) = measure_query(&q);
         assert_eq!(size, 20_003);
+    }
+
+    #[test]
+    fn forced_fingerprint_collision_does_not_conflate() {
+        // Two structurally distinct queries filed under the SAME (forced)
+        // fingerprint: the detector must keep them apart and only report a
+        // cycle when a structurally equal term really repeats.
+        let a = parse_query("age ! P").unwrap();
+        let b = parse_query("city ! P").unwrap();
+        let mut d = CycleDetector::new();
+        assert!(!d.seen(42, &a));
+        assert!(!d.seen(42, &b), "collision conflated two distinct terms");
+        assert_eq!(d.len(), 2);
+        assert!(d.seen(42, &a));
+        assert!(d.seen(42, &b));
+    }
+
+    #[test]
+    fn queries_equal_is_structural_and_stack_safe() {
+        let mk = |leaf: &str| {
+            let mut f = kola::term::Func::Prim(std::sync::Arc::from(leaf));
+            for _ in 0..10_000 {
+                f = kola::term::Func::Compose(Box::new(kola::term::Func::Id), Box::new(f));
+            }
+            Query::App(f, Box::new(Query::Extent(std::sync::Arc::from("P"))))
+        };
+        let (a, a2, b) = (mk("age"), mk("age"), mk("city"));
+        assert!(queries_equal(&a, &a2));
+        assert!(!queries_equal(&a, &b));
     }
 
     #[test]

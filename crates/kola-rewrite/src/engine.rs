@@ -8,13 +8,14 @@
 //! step sequencing, the five-step hidden-join strategy, COKO blocks) is
 //! built from it.
 
-use crate::budget::{measure_query, Budget, RewriteError, RewriteReport, StopReason};
+use crate::budget::{
+    measure_query, Budget, CycleDetector, RewriteError, RewriteReport, StopReason,
+};
 use crate::fault::{FaultKind, FaultPlan};
 use crate::props::PropDb;
 use crate::rule::{Direction, Precondition, Rule};
 use crate::subst::Subst;
 use kola::term::{Func, Pred, Query};
-use std::collections::HashSet;
 use std::fmt;
 
 /// A rule together with the orientation in which to try it.
@@ -109,11 +110,11 @@ fn preconditions_hold(pre: &[Precondition], s: &Subst, props: &PropDb) -> bool {
 /// derivation step (for step-selective faults), and the report that
 /// accumulates failures.
 pub(crate) struct Gov<'a> {
-    max_depth: usize,
-    quarantine_after: usize,
-    step: usize,
-    faults: &'a FaultPlan,
-    report: &'a mut RewriteReport,
+    pub(crate) max_depth: usize,
+    pub(crate) quarantine_after: usize,
+    pub(crate) step: usize,
+    pub(crate) faults: &'a FaultPlan,
+    pub(crate) report: &'a mut RewriteReport,
 }
 
 impl<'a> Gov<'a> {
@@ -133,7 +134,7 @@ impl<'a> Gov<'a> {
     }
 
     /// True (and flags the report) iff depth `d` is out of budget.
-    fn clip(&mut self, d: usize) -> bool {
+    pub(crate) fn clip(&mut self, d: usize) -> bool {
         if d >= self.max_depth {
             self.report.depth_clipped = true;
             true
@@ -142,7 +143,7 @@ impl<'a> Gov<'a> {
         }
     }
 
-    fn record_failure(&mut self, rule_id: &str, e: &RewriteError) {
+    pub(crate) fn record_failure(&mut self, rule_id: &str, e: &RewriteError) {
         self.report
             .record_failure(rule_id, e, self.quarantine_after);
     }
@@ -977,8 +978,8 @@ pub fn rewrite_fix_with(
         };
     }
 
-    let mut seen: HashSet<u64> = HashSet::new();
-    seen.insert(cur_fp);
+    let mut seen = CycleDetector::new();
+    seen.seen(cur_fp, &cur);
     let mut best = cur.clone();
     let mut best_size = cur_size;
 
@@ -1042,7 +1043,7 @@ pub fn rewrite_fix_with(
             best = cur.clone();
             best_size = next_size;
         }
-        if !seen.insert(next_fp) {
+        if seen.seen(next_fp, &cur) {
             report.stop = StopReason::CycleDetected;
             return Rewritten {
                 query: best,

@@ -1,0 +1,600 @@
+//! The performance stack over the rewrite engine: hash-consed terms,
+//! head-symbol rule dispatch, normal-subtree skipping, and a memoized
+//! normalization cache — all behind an [`EngineConfig`] so the boxed
+//! engine remains available as the differential-testing oracle.
+//!
+//! ## Exactness contract
+//!
+//! [`Engine::normalize_with`] is a drop-in replacement for
+//! [`crate::engine::rewrite_fix_with`]: same redex choice
+//! (leftmost-outermost, first matching rule in list order), same budgets,
+//! same fault injection, same quarantine behavior, same report and trace.
+//! Every layer preserves this:
+//!
+//! * **Interning** maps terms into the hash-cons arena of
+//!   [`kola::intern`]; equality and cycle detection become pointer
+//!   identity, size/depth checks read cached fields, and rule application
+//!   ([`crate::imatch`]) shares every bound subterm. The
+//!   [`crate::imatch::icompose`] invariant keeps every constructed term
+//!   right-normalized, so no whole-term `normalize()` pass is needed.
+//! * **Indexing** ([`RuleIndex`]) merges head-keyed buckets in ascending
+//!   rule position, so the candidate scan tries the same rules in the same
+//!   order, minus ones whose head constructor already rules them out.
+//! * **Normal-subtree marking** skips subtrees proven redex-free under the
+//!   *full* rule set. Marks are only committed for fully scanned subtrees
+//!   (no depth clip inside), in steps with no rule failures and no active
+//!   quarantine — normality under the full set implies normality under any
+//!   quarantined subset, so a skip can never hide a redex the boxed engine
+//!   would have found.
+//! * **Memoization** replays a previous *clean* derivation (normal-form
+//!   stop, zero failures, no depth clip, no faults, no deadline) when the
+//!   same input term recurs and the stored run fits inside the current
+//!   budget; otherwise it falls through to a live run.
+
+use crate::budget::{Budget, RewriteError, RewriteReport, StopReason};
+use crate::catalog::RuleIndex;
+use crate::engine::{rewrite_fix_with, Gov, Oriented, Rewritten, Step, Trace};
+use crate::fault::{FaultKind, FaultPlan};
+use crate::imatch::{
+    icompose, ipreconditions_hold, itry_apply_func, itry_apply_pred, itry_apply_query,
+};
+use crate::props::PropDb;
+use crate::rule::Direction;
+use kola::intern::{ITerm, Interner, Payload, Tag};
+use kola::term::Query;
+use std::collections::{HashMap, HashSet};
+
+/// Which layers of the performance stack are active. The default is the
+/// full stack; [`EngineConfig::naive`] delegates to the boxed engine so
+/// differential tests can compare the two.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Rewrite over hash-consed terms (prerequisite for the other layers).
+    pub interned: bool,
+    /// Dispatch rules through the head-symbol [`RuleIndex`].
+    pub indexed: bool,
+    /// Cache clean normalizations for replay.
+    pub memoized: bool,
+    /// Bounded LRU capacity of the normalization memo.
+    pub memo_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig::fast()
+    }
+}
+
+impl EngineConfig {
+    /// The boxed reference engine — no interning, no index, no memo.
+    pub fn naive() -> Self {
+        EngineConfig {
+            interned: false,
+            indexed: false,
+            memoized: false,
+            memo_capacity: 0,
+        }
+    }
+
+    /// Interned terms only (linear rule scan, no memo).
+    pub fn interned_only() -> Self {
+        EngineConfig {
+            interned: true,
+            indexed: false,
+            memoized: false,
+            memo_capacity: 0,
+        }
+    }
+
+    /// Interned terms + head-symbol rule index, no memo.
+    pub fn indexed() -> Self {
+        EngineConfig {
+            interned: true,
+            indexed: true,
+            memoized: false,
+            memo_capacity: 0,
+        }
+    }
+
+    /// The full stack: interned + indexed + memoized.
+    pub fn fast() -> Self {
+        EngineConfig {
+            interned: true,
+            indexed: true,
+            memoized: true,
+            memo_capacity: 1024,
+        }
+    }
+}
+
+/// A cached clean derivation: every step (for trace/report replay), the
+/// normal form, and the resource high-water marks that decide whether the
+/// run fits a later budget.
+#[derive(Debug)]
+struct MemoEntry {
+    result: ITerm,
+    steps: usize,
+    derivation: Vec<(String, Direction, ITerm)>,
+    max_size: usize,
+    max_depth: usize,
+    stamp: u64,
+}
+
+/// Bounded LRU keyed by interned-node identity. Eviction is a linear scan
+/// for the oldest stamp — capacities are small and eviction rare, so the
+/// simplicity beats a doubly-linked list.
+#[derive(Debug, Default)]
+struct Memo {
+    map: HashMap<usize, MemoEntry>,
+    tick: u64,
+    hits: u64,
+}
+
+impl Memo {
+    fn get(&mut self, key: usize) -> Option<&MemoEntry> {
+        self.tick += 1;
+        let t = self.tick;
+        let e = self.map.get_mut(&key)?;
+        e.stamp = t;
+        self.hits += 1;
+        Some(e)
+    }
+
+    fn put(&mut self, key: usize, mut e: MemoEntry, capacity: usize) {
+        if capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        e.stamp = self.tick;
+        if !self.map.contains_key(&key) && self.map.len() >= capacity {
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| *k)
+            {
+                self.map.remove(&victim);
+            }
+        }
+        self.map.insert(key, e);
+    }
+}
+
+/// A found redex, already rewritten into the whole-term result.
+struct AppliedI {
+    result: ITerm,
+    rule_id: String,
+    dir: Direction,
+}
+
+enum Level {
+    F,
+    P,
+    Q,
+}
+
+fn level_of(t: Tag) -> Level {
+    if t <= Tag::FSetDiff {
+        Level::F
+    } else if t <= Tag::PCurryP {
+        Level::P
+    } else {
+        Level::Q
+    }
+}
+
+/// Head key of a term node: for function nodes the chain's first segment
+/// (what the prefix matcher commits on), otherwise the node itself; the
+/// child component is that segment's first child, if any.
+fn term_key(t: &ITerm) -> (Tag, Option<Tag>) {
+    let mut seg = t;
+    while seg.tag() == Tag::FCompose {
+        seg = &seg.kids()[0];
+    }
+    (seg.tag(), seg.kids().first().map(ITerm::tag))
+}
+
+fn iinflate(out: ITerm, n: usize, level: &Level, it: &mut Interner) -> ITerm {
+    let mut acc = out;
+    for _ in 0..n {
+        let id = it.mk(Tag::FId, Payload::None, vec![]);
+        acc = match level {
+            Level::F => it.mk(Tag::FCompose, Payload::None, vec![id, acc]),
+            Level::P => it.mk(Tag::POplus, Payload::None, vec![acc, id]),
+            Level::Q => it.mk(Tag::QApp, Payload::None, vec![id, acc]),
+        };
+    }
+    acc
+}
+
+/// One redex search: borrows the engine's parts disjointly so the interner
+/// can be threaded mutably while rules/index stay shared.
+struct Search<'r, 'a> {
+    rules: &'r [Oriented<'a>],
+    props: &'r PropDb,
+    index: Option<&'r RuleIndex>,
+    normal: &'r HashSet<usize>,
+    visits: &'r mut u64,
+    consults: &'r mut [u64],
+    it: &'r mut Interner,
+    to_mark: Vec<usize>,
+    cand: Vec<usize>,
+}
+
+impl Search<'_, '_> {
+    /// Leftmost-outermost redex search, mirroring the boxed `ro_*` family:
+    /// clip first, rules at the node, then descend child by child.
+    fn search(&mut self, t: &ITerm, d: usize, gov: &mut Gov) -> Option<AppliedI> {
+        if gov.clip(d) {
+            return None;
+        }
+        *self.visits += 1;
+        if self.normal.contains(&t.id()) {
+            return None;
+        }
+        if let Some(found) = self.rules_at(t, gov) {
+            return Some(found);
+        }
+        let kids = t.kids();
+        for (i, kid) in kids.iter().enumerate() {
+            if let Some(a) = self.search(kid, d + 1, gov) {
+                let result = if t.tag() == Tag::FCompose && i == 0 {
+                    // A rewritten head segment may itself be a chain;
+                    // icompose re-associates so the invariant holds.
+                    icompose(self.it, a.result, kids[1].clone())
+                } else {
+                    let mut nk = kids.to_vec();
+                    nk[i] = a.result;
+                    self.it.mk(t.tag(), t.payload().clone(), nk)
+                };
+                return Some(AppliedI {
+                    result,
+                    rule_id: a.rule_id,
+                    dir: a.dir,
+                });
+            }
+        }
+        // Fully scanned, no redex: a candidate "normal" mark, valid only if
+        // no descendant was depth-clipped away.
+        if d + t.depth() <= gov.max_depth {
+            self.to_mark.push(t.id());
+        }
+        None
+    }
+
+    fn rules_at(&mut self, t: &ITerm, gov: &mut Gov) -> Option<AppliedI> {
+        let level = level_of(t.tag());
+        let mut cand = std::mem::take(&mut self.cand);
+        cand.clear();
+        match self.index {
+            Some(ix) => {
+                let (root, child) = term_key(t);
+                match level {
+                    Level::F => ix.func_candidates(root, child, &mut cand),
+                    Level::P => ix.pred_candidates(root, child, &mut cand),
+                    Level::Q => ix.query_candidates(root, child, &mut cand),
+                }
+            }
+            None => cand.extend(0..self.rules.len()),
+        }
+        let mut found = None;
+        for &pos in &cand {
+            let o = &self.rules[pos];
+            if gov.report.is_quarantined(&o.rule.id) {
+                continue;
+            }
+            self.consults[pos] += 1;
+            let attempt = match level {
+                Level::F => itry_apply_func(o.rule, t, o.dir, self.it),
+                Level::P => itry_apply_pred(o.rule, t, o.dir, self.it),
+                Level::Q => itry_apply_query(o.rule, t, o.dir, self.it),
+            };
+            match attempt {
+                Ok(None) => continue,
+                Ok(Some((out, s))) => {
+                    if !ipreconditions_hold(&o.rule.preconditions, &s, self.props) {
+                        continue;
+                    }
+                    match gov.faults.fault_for(&o.rule.id, gov.step) {
+                        None => {
+                            found = Some(AppliedI {
+                                result: out,
+                                rule_id: o.rule.id.clone(),
+                                dir: o.dir,
+                            });
+                            break;
+                        }
+                        Some(FaultKind::Oversize(n)) => {
+                            let inflated = iinflate(out, *n, &level, self.it);
+                            found = Some(AppliedI {
+                                result: inflated,
+                                rule_id: o.rule.id.clone(),
+                                dir: o.dir,
+                            });
+                            break;
+                        }
+                        Some(FaultKind::Fail) => {
+                            let e = RewriteError::RuleFailed {
+                                rule_id: o.rule.id.clone(),
+                                detail: "injected failure".into(),
+                            };
+                            gov.record_failure(&o.rule.id, &e);
+                            continue;
+                        }
+                    }
+                }
+                Err(e) => {
+                    gov.record_failure(&o.rule.id, &e);
+                    continue;
+                }
+            }
+        }
+        self.cand = cand;
+        found
+    }
+}
+
+/// The interned + indexed + memoized fixpoint engine. Holds its arena,
+/// rule index, normal-subtree marks, and memo across runs, so repeated
+/// normalizations (fuzz gates, strategy pipelines, benches) amortize.
+///
+/// Rules and property database are fixed at construction — the caches are
+/// only sound for the rule set they were built against.
+pub struct Engine<'a> {
+    rules: Vec<Oriented<'a>>,
+    props: &'a PropDb,
+    config: EngineConfig,
+    // Declared before `interner`: entries hold `ITerm`s that must drop
+    // while the arena's table is still alive.
+    memo: Memo,
+    normal: HashSet<usize>,
+    index: Option<RuleIndex>,
+    index_dirty: bool,
+    visits: u64,
+    consults: Vec<u64>,
+    interner: Interner,
+}
+
+impl<'a> Engine<'a> {
+    /// Engine over `rules` (tried in slice order) with `props` available to
+    /// preconditions.
+    pub fn new(rules: Vec<Oriented<'a>>, props: &'a PropDb, config: EngineConfig) -> Engine<'a> {
+        let consults = vec![0; rules.len()];
+        Engine {
+            rules,
+            props,
+            config,
+            memo: Memo::default(),
+            normal: HashSet::new(),
+            index: None,
+            index_dirty: false,
+            visits: 0,
+            consults,
+            interner: Interner::new(),
+        }
+    }
+
+    /// Normalize under `budget` with no fault injection.
+    pub fn normalize(&mut self, q: &Query, budget: &Budget) -> Rewritten {
+        self.normalize_with(q, budget, &FaultPlan::default())
+    }
+
+    /// Drop-in replacement for [`rewrite_fix_with`] (same redex choice,
+    /// budgets, faults, quarantine, report, and trace), over whichever
+    /// layers [`EngineConfig`] enables.
+    pub fn normalize_with(&mut self, q: &Query, budget: &Budget, faults: &FaultPlan) -> Rewritten {
+        if !self.config.interned {
+            return rewrite_fix_with(&self.rules, q, self.props, budget, faults);
+        }
+        if self.config.indexed {
+            if self.index.is_none() || self.index_dirty {
+                self.index = Some(RuleIndex::build(&self.rules));
+                self.index_dirty = false;
+            }
+        } else {
+            self.index = None;
+        }
+
+        let mut report = RewriteReport::new();
+        let mut trace = Trace::new();
+        let mut cur = self.interner.intern_query(&q.normalize());
+        if cur.size() > budget.max_term_size {
+            let e = RewriteError::TermTooLarge {
+                size: cur.size(),
+                limit: budget.max_term_size,
+            };
+            report.failures.push(e.to_string());
+            report.stop = StopReason::TermTooLarge;
+            return Rewritten {
+                query: cur.to_query(),
+                trace,
+                report,
+            };
+        }
+
+        let memo_eligible = self.config.memoized && faults.is_empty() && budget.deadline.is_none();
+        if memo_eligible {
+            if let Some(e) = self.memo.get(cur.id()) {
+                if e.steps < budget.max_steps
+                    && e.max_depth <= budget.max_depth
+                    && e.max_size <= budget.max_term_size
+                {
+                    for (rule_id, dir, after) in &e.derivation {
+                        report.record_fire(rule_id);
+                        trace.steps.push(Step {
+                            rule_id: rule_id.clone(),
+                            dir: *dir,
+                            after: after.to_query(),
+                        });
+                    }
+                    report.steps = e.steps;
+                    report.stop = StopReason::NormalForm;
+                    return Rewritten {
+                        query: e.result.to_query(),
+                        trace,
+                        report,
+                    };
+                }
+            }
+        }
+
+        let input = cur.clone();
+        let mut seen: HashSet<usize> = HashSet::new();
+        seen.insert(cur.id());
+        let mut best = cur.clone();
+        let mut best_size = cur.size();
+        let mut derivation: Vec<(String, Direction, ITerm)> = Vec::new();
+        let mut max_size = cur.size();
+        let mut max_depth = cur.depth();
+        let mut pruned = 0usize;
+
+        loop {
+            if report.steps >= budget.max_steps {
+                report.stop = StopReason::BudgetExhausted;
+                return Rewritten {
+                    query: best.to_query(),
+                    trace,
+                    report,
+                };
+            }
+            if budget.expired() {
+                report.stop = StopReason::DeadlineExpired;
+                return Rewritten {
+                    query: best.to_query(),
+                    trace,
+                    report,
+                };
+            }
+            // Quarantine must reach the index, not just the linear scan.
+            while pruned < report.quarantined.len() {
+                let id = report.quarantined[pruned].clone();
+                if let Some(ix) = &mut self.index {
+                    ix.remove(&id);
+                    // Quarantine is per-run state: rebuild for the next run.
+                    self.index_dirty = true;
+                }
+                pruned += 1;
+            }
+            let step = report.steps;
+            let fails_before = report.total_failures();
+            let (found, marks) = {
+                let mut gov = Gov::new(budget, faults, &mut report, step);
+                let mut s = Search {
+                    rules: &self.rules,
+                    props: self.props,
+                    index: self.index.as_ref(),
+                    normal: &self.normal,
+                    visits: &mut self.visits,
+                    consults: &mut self.consults,
+                    it: &mut self.interner,
+                    to_mark: Vec::new(),
+                    cand: Vec::new(),
+                };
+                let found = s.search(&cur, 0, &mut gov);
+                (found, s.to_mark)
+            };
+            // Marks are sound only when the scan saw the full, failure-free
+            // rule set: the marks persist across runs, while failures and
+            // quarantines are transient.
+            if report.total_failures() == fails_before && report.quarantined.is_empty() {
+                self.normal.extend(marks);
+            }
+            let Some(applied) = found else {
+                report.stop = StopReason::NormalForm;
+                if memo_eligible
+                    && !report.depth_clipped
+                    && report.quarantined.is_empty()
+                    && report.total_failures() == 0
+                {
+                    self.memo.put(
+                        input.id(),
+                        MemoEntry {
+                            result: cur.clone(),
+                            steps: report.steps,
+                            derivation,
+                            max_size,
+                            max_depth,
+                            stamp: 0,
+                        },
+                        self.config.memo_capacity,
+                    );
+                }
+                return Rewritten {
+                    query: cur.to_query(),
+                    trace,
+                    report,
+                };
+            };
+            let next = applied.result;
+            let next_size = next.size();
+            if next_size > budget.max_term_size {
+                let e = RewriteError::TermTooLarge {
+                    size: next_size,
+                    limit: budget.max_term_size,
+                };
+                report.record_failure(&applied.rule_id, &e, budget.quarantine_after);
+                if !report.is_quarantined(&applied.rule_id) {
+                    report.stop = StopReason::TermTooLarge;
+                    return Rewritten {
+                        query: best.to_query(),
+                        trace,
+                        report,
+                    };
+                }
+                continue;
+            }
+            cur = next;
+            report.steps += 1;
+            report.record_fire(&applied.rule_id);
+            trace.steps.push(Step {
+                rule_id: applied.rule_id.clone(),
+                dir: applied.dir,
+                after: cur.to_query(),
+            });
+            derivation.push((applied.rule_id, applied.dir, cur.clone()));
+            max_size = max_size.max(next_size);
+            max_depth = max_depth.max(cur.depth());
+            if next_size < best_size {
+                best = cur.clone();
+                best_size = next_size;
+            }
+            if !seen.insert(cur.id()) {
+                report.stop = StopReason::CycleDetected;
+                return Rewritten {
+                    query: best.to_query(),
+                    trace,
+                    report,
+                };
+            }
+        }
+    }
+
+    /// Total search work so far: node visits plus interner constructions
+    /// (cache misses). Used by regression tests to assert step cost is
+    /// O(changed subtree), not O(term).
+    pub fn work(&self) -> u64 {
+        self.visits + self.interner.constructed()
+    }
+
+    /// Memo replays so far.
+    pub fn memo_hits(&self) -> u64 {
+        self.memo.hits
+    }
+
+    /// How many times `rule_id` was actually consulted (application
+    /// attempted) at a node, across all runs.
+    pub fn consult_count(&self, rule_id: &str) -> u64 {
+        self.rules
+            .iter()
+            .zip(&self.consults)
+            .filter(|(o, _)| o.rule.id == rule_id)
+            .map(|(_, n)| *n)
+            .sum()
+    }
+
+    /// True iff the head-symbol index currently holds any bucket entry for
+    /// `rule_id`. False when indexing is off.
+    pub fn index_contains(&self, rule_id: &str) -> bool {
+        self.index.as_ref().is_some_and(|ix| ix.contains(rule_id))
+    }
+}

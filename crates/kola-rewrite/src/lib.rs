@@ -19,11 +19,16 @@
 //! - [`budget`] — resource governance: explicit step/depth/size/deadline
 //!   budgets, structured errors, and per-run reports.
 //! - [`fault`] — deterministic fault injection for robustness testing.
+//! - [`imatch`] — matching/instantiation over hash-consed terms.
+//! - [`fast`] — the interned + head-indexed + memoized engine behind
+//!   [`EngineConfig`], differentially tested against the boxed engine.
 pub mod budget;
 pub mod catalog;
 pub mod engine;
+pub mod fast;
 pub mod fault;
 pub mod hidden_join;
+pub mod imatch;
 pub mod matching;
 pub mod monolithic;
 pub mod props;
@@ -31,12 +36,13 @@ pub mod rule;
 pub mod strategy;
 pub mod subst;
 
-pub use budget::{Budget, RewriteError, RewriteReport, RuleStats, StopReason};
-pub use catalog::Catalog;
+pub use budget::{Budget, CycleDetector, RewriteError, RewriteReport, RuleStats, StopReason};
+pub use catalog::{Catalog, RuleIndex};
 pub use engine::{
     rewrite_fix, rewrite_fix_governed, rewrite_fix_with, rewrite_once_query, Oriented, Rewritten,
     Step, Trace,
 };
+pub use fast::{Engine, EngineConfig};
 pub use fault::{FaultKind, FaultPlan, FaultSpec, StepSelector};
 pub use props::{PropDb, PropKind, PropTerm};
 pub use rule::{Direction, Rule, RuleSource};

@@ -6,16 +6,18 @@
 //! parses COKO source into it. The hidden-join pipeline of §4.1 is five
 //! strategies run in sequence ([`crate::hidden_join`]).
 
-use crate::budget::{measure_query, Budget, RewriteError, RewriteReport, StopReason};
+use crate::budget::{
+    measure_query, Budget, CycleDetector, RewriteError, RewriteReport, StopReason,
+};
 use crate::catalog::Catalog;
 use crate::engine::{
     rewrite_bottom_up_governed, rewrite_fix_with, rewrite_once_governed, Oriented, Step, Trace,
     DEFAULT_FUEL,
 };
+use crate::fast::{Engine, EngineConfig};
 use crate::fault::FaultPlan;
 use crate::props::PropDb;
 use kola::term::Query;
-use std::collections::HashSet;
 use std::fmt;
 
 /// A firing strategy over the rule catalog.
@@ -101,6 +103,11 @@ pub struct Runner<'a> {
     pub budget: Budget,
     /// Injected faults (empty by default).
     pub faults: FaultPlan,
+    /// When set, `Fix` fixpoints run on the fast engine
+    /// ([`crate::fast::Engine`]) with this layer configuration instead of
+    /// the boxed reference engine. `None` (the default) keeps the slow
+    /// path — the two are differentially tested to be interchangeable.
+    pub engine: Option<EngineConfig>,
 }
 
 impl<'a> Runner<'a> {
@@ -112,6 +119,7 @@ impl<'a> Runner<'a> {
             fuel: DEFAULT_FUEL,
             budget: Budget::default(),
             faults: FaultPlan::default(),
+            engine: None,
         }
     }
 
@@ -126,6 +134,13 @@ impl<'a> Runner<'a> {
     /// Attach a fault plan (builder style).
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Run fixpoints on the fast engine with the given layer configuration
+    /// (builder style).
+    pub fn with_engine(mut self, config: EngineConfig) -> Self {
+        self.engine = Some(config);
         self
     }
 
@@ -233,8 +248,8 @@ impl<'a> Runner<'a> {
                 // (e.g. a forward/backward rule pair), so stop — repeating
                 // is deterministic and would never converge.
                 let mut cur = q;
-                let mut seen: HashSet<u64> = HashSet::new();
-                seen.insert(measure_query(&cur).1);
+                let mut seen = CycleDetector::new();
+                seen.seen(measure_query(&cur).1, &cur);
                 let mut converged = false;
                 for _ in 0..self.fuel {
                     if self.remaining(report) == 0 {
@@ -246,7 +261,7 @@ impl<'a> Runner<'a> {
                         converged = true;
                         break;
                     }
-                    if !seen.insert(measure_query(&cur).1) {
+                    if seen.seen(measure_query(&cur).1, &cur) {
                         Self::mark_stop(report, StopReason::CycleDetected);
                         converged = true;
                         break;
@@ -292,7 +307,14 @@ impl<'a> Runner<'a> {
                     max_steps: self.remaining(report),
                     ..self.budget.clone()
                 };
-                let r = rewrite_fix_with(&rules, &q, self.props, &sub, &self.faults);
+                let r = match &self.engine {
+                    Some(cfg) => Engine::new(rules, self.props, cfg.clone()).normalize_with(
+                        &q,
+                        &sub,
+                        &self.faults,
+                    ),
+                    None => rewrite_fix_with(&rules, &q, self.props, &sub, &self.faults),
+                };
                 trace.steps.extend(r.trace.steps);
                 report.merge(&r.report);
                 (r.query, Outcome::Success)
@@ -384,6 +406,21 @@ mod tests {
         let (out, oc) = r.run(&fix(&["1", "2"]), q, &mut t);
         assert_eq!(oc, Outcome::Success);
         assert_eq!(out, parse_query("age ! P").unwrap());
+    }
+
+    #[test]
+    fn fix_on_fast_engine_matches_reference() {
+        let (c, p) = setup();
+        let slow = Runner::new(&c, &p);
+        let fast = Runner::new(&c, &p).with_engine(EngineConfig::fast());
+        let q = parse_query("id . id . age . id ! P").unwrap();
+        let strat = fix(&["1", "2"]);
+        let (mut ts, mut tf) = (Trace::new(), Trace::new());
+        let (out_s, oc_s) = slow.run(&strat, q.clone(), &mut ts);
+        let (out_f, oc_f) = fast.run(&strat, q, &mut tf);
+        assert_eq!(oc_s, oc_f);
+        assert_eq!(out_s, out_f);
+        assert_eq!(ts.justifications(), tf.justifications());
     }
 
     #[test]

@@ -276,6 +276,49 @@ fn compare<T: PartialEq + fmt::Debug>(
     }
 }
 
+/// Verify that normalizing a query preserves its semantics: evaluate the
+/// query on `db` before and after running it to a fixpoint of `rule_ids`
+/// on the configured engine, and compare the results.
+///
+/// This complements the structural parity suite (fast engine vs boxed
+/// engine) with a *semantic* gate: even a derivation both engines agree on
+/// is wrong if it changes what the query computes. Trials where both sides
+/// are stuck (evaluation error) are treated as vacuously preserved, mirroring
+/// [`check_rule`]'s skip convention.
+pub fn check_normalization_semantics(
+    db: &Db,
+    catalog: &kola_rewrite::Catalog,
+    props: &kola_rewrite::PropDb,
+    rule_ids: &[&str],
+    q: &kola::term::Query,
+    config: kola_rewrite::EngineConfig,
+) -> Result<(), String> {
+    let runner = kola_rewrite::Runner::new(catalog, props).with_engine(config);
+    let mut trace = kola_rewrite::Trace::new();
+    let (normalized, _) = runner.run(
+        &kola_rewrite::strategy::fix(rule_ids),
+        q.clone(),
+        &mut trace,
+    );
+    match (
+        kola::eval::eval_query(db, q),
+        kola::eval::eval_query(db, &normalized),
+    ) {
+        (Ok(a), Ok(b)) if a == b => Ok(()),
+        (Ok(a), Ok(b)) => Err(format!(
+            "normalization changed semantics: {a:?} != {b:?}\n  in : {q}\n  out: {normalized}\n  via: {:?}",
+            trace.justifications()
+        )),
+        (Err(_), Err(_)) => Ok(()),
+        (Ok(a), Err(e)) => Err(format!(
+            "normalized query is stuck ({e}) but input evaluates to {a:?}\n  in : {q}\n  out: {normalized}"
+        )),
+        (Err(e), Ok(b)) => Err(format!(
+            "input is stuck ({e}) but normalized query evaluates to {b:?}\n  in : {q}\n  out: {normalized}"
+        )),
+    }
+}
+
 /// Verify every rule in a catalog. Returns one report per rule.
 pub fn verify_catalog(
     env: &TypeEnv,
@@ -348,6 +391,28 @@ mod tests {
         let corrected = Rule::pred("7", "ours", "inv(gt)", "lt");
         let report = check_rule(&env, &db, &corrected, 80, 19);
         assert!(report.verified(), "{report}");
+    }
+
+    #[test]
+    fn fast_normalization_preserves_semantics() {
+        let (_, db) = setup();
+        let catalog = kola_rewrite::Catalog::paper();
+        let props = kola_rewrite::PropDb::new();
+        let rules = ["1", "2", "3", "4"];
+        for src in [
+            "iterate(Kp(T), id . age) ! P",
+            "iterate(Kp(T), (id . age, id)) ! P",
+            "iterate(Kp(T) & Kp(T), age . id . id) ! V",
+        ] {
+            let q = kola::parse::parse_query(src).unwrap();
+            for config in [
+                kola_rewrite::EngineConfig::naive(),
+                kola_rewrite::EngineConfig::fast(),
+            ] {
+                check_normalization_semantics(&db, &catalog, &props, &rules, &q, config)
+                    .unwrap_or_else(|e| panic!("{src}: {e}"));
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,698 @@
+//! Hash-consed (interned) representation of KOLA terms.
+//!
+//! The paper's variable-free combinator terms are pure syntax — no binders,
+//! no α-renaming — which makes them ideal for *hash-consing*: every distinct
+//! subterm is built exactly once per [`Interner`], and structurally equal
+//! subterms are the *same* allocation. Within one interner this gives
+//!
+//! * O(1) structural equality ([`ITerm::ptr_eq`]),
+//! * O(1) size/depth queries (cached at construction, so budget enforcement
+//!   no longer re-walks the term each step),
+//! * a precomputed 64-bit structural fingerprint ([`ITerm::fp`]) for cycle
+//!   detection and memoization, and
+//! * free structural sharing: "cloning" a subtree is an `Arc` bump.
+//!
+//! The representation is a flat [`Tag`] + payload + children encoding rather
+//! than three mirrored enums: one node type covers [`Func`], [`Pred`] and
+//! [`Query`] uniformly, so the rewrite engine's generic machinery (matching,
+//! indexing, rebuilding along a path) is written once.
+//!
+//! Conversion is lossless both ways: [`Interner::intern_query`] and
+//! [`ITerm::to_query`] (and the `func`/`pred` analogues) round-trip every
+//! term, using explicit stacks so arbitrarily deep ∘-chains cost heap, not
+//! stack.
+//!
+//! **Drop discipline.** Interned nodes hold `Arc`s to their children, so
+//! dropping the last reference to a deep chain would recurse. The interner's
+//! [`Drop`] impl prevents this by releasing its table in decreasing-size
+//! order (a parent is strictly larger than any child, so every release
+//! cascades at most one level). Holders of `ITerm`s must therefore drop them
+//! *before* the interner that created them — in a struct, declare the
+//! `ITerm`-holding fields before the `Interner` field.
+
+use crate::term::{Func, Pred, Query};
+use crate::value::{Sym, Value};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Flat constructor tag covering all three term levels.
+///
+/// `F*` tags are [`Func`] constructors, `P*` tags are [`Pred`] constructors,
+/// `Q*` tags are [`Query`] constructors, in declaration order of the
+/// originals. The numeric discriminant participates in fingerprints.
+#[allow(missing_docs)] // one-to-one with the documented `Func`/`Pred`/`Query` variants
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Tag {
+    // Func
+    FId,
+    FPi1,
+    FPi2,
+    FPrim,
+    FCompose,
+    FPairWith,
+    FTimes,
+    FConstF,
+    FCurryF,
+    FCond,
+    FFlat,
+    FIterate,
+    FIter,
+    FJoin,
+    FNest,
+    FUnnest,
+    FBagify,
+    FDedup,
+    FBIterate,
+    FBUnion,
+    FBFlat,
+    FSetUnion,
+    FSetIntersect,
+    FSetDiff,
+    // Pred
+    PEq,
+    PLt,
+    PLeq,
+    PGt,
+    PGeq,
+    PIn,
+    PPrimP,
+    POplus,
+    PAnd,
+    POr,
+    PNot,
+    PConv,
+    PConstP,
+    PCurryP,
+    // Query
+    QLit,
+    QExtent,
+    QPairQ,
+    QApp,
+    QTest,
+    QUnion,
+    QIntersect,
+    QDiff,
+}
+
+impl Tag {
+    /// The tag of a concrete function's root constructor.
+    pub fn of_func(f: &Func) -> Tag {
+        match f {
+            Func::Id => Tag::FId,
+            Func::Pi1 => Tag::FPi1,
+            Func::Pi2 => Tag::FPi2,
+            Func::Prim(_) => Tag::FPrim,
+            Func::Compose(..) => Tag::FCompose,
+            Func::PairWith(..) => Tag::FPairWith,
+            Func::Times(..) => Tag::FTimes,
+            Func::ConstF(_) => Tag::FConstF,
+            Func::CurryF(..) => Tag::FCurryF,
+            Func::Cond(..) => Tag::FCond,
+            Func::Flat => Tag::FFlat,
+            Func::Iterate(..) => Tag::FIterate,
+            Func::Iter(..) => Tag::FIter,
+            Func::Join(..) => Tag::FJoin,
+            Func::Nest(..) => Tag::FNest,
+            Func::Unnest(..) => Tag::FUnnest,
+            Func::Bagify => Tag::FBagify,
+            Func::Dedup => Tag::FDedup,
+            Func::BIterate(..) => Tag::FBIterate,
+            Func::BUnion => Tag::FBUnion,
+            Func::BFlat => Tag::FBFlat,
+            Func::SetUnion => Tag::FSetUnion,
+            Func::SetIntersect => Tag::FSetIntersect,
+            Func::SetDiff => Tag::FSetDiff,
+        }
+    }
+
+    /// The tag of a concrete predicate's root constructor.
+    pub fn of_pred(p: &Pred) -> Tag {
+        match p {
+            Pred::Eq => Tag::PEq,
+            Pred::Lt => Tag::PLt,
+            Pred::Leq => Tag::PLeq,
+            Pred::Gt => Tag::PGt,
+            Pred::Geq => Tag::PGeq,
+            Pred::In => Tag::PIn,
+            Pred::PrimP(_) => Tag::PPrimP,
+            Pred::Oplus(..) => Tag::POplus,
+            Pred::And(..) => Tag::PAnd,
+            Pred::Or(..) => Tag::POr,
+            Pred::Not(_) => Tag::PNot,
+            Pred::Conv(_) => Tag::PConv,
+            Pred::ConstP(_) => Tag::PConstP,
+            Pred::CurryP(..) => Tag::PCurryP,
+        }
+    }
+
+    /// The tag of a concrete query's root constructor.
+    pub fn of_query(q: &Query) -> Tag {
+        match q {
+            Query::Lit(_) => Tag::QLit,
+            Query::Extent(_) => Tag::QExtent,
+            Query::PairQ(..) => Tag::QPairQ,
+            Query::App(..) => Tag::QApp,
+            Query::Test(..) => Tag::QTest,
+            Query::Union(..) => Tag::QUnion,
+            Query::Intersect(..) => Tag::QIntersect,
+            Query::Diff(..) => Tag::QDiff,
+        }
+    }
+}
+
+/// Non-child data carried by an interned node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Payload {
+    /// No payload (most constructors).
+    None,
+    /// A symbol (`Prim`, `PrimP`, `Extent`).
+    Sym(Sym),
+    /// A boolean (`ConstP`).
+    Bool(bool),
+    /// A literal value (`Lit`).
+    Value(Arc<Value>),
+}
+
+impl Payload {
+    fn hash64(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        match self {
+            Payload::None => 0u8.hash(&mut h),
+            Payload::Sym(s) => {
+                1u8.hash(&mut h);
+                s.hash(&mut h);
+            }
+            Payload::Bool(b) => {
+                2u8.hash(&mut h);
+                b.hash(&mut h);
+            }
+            Payload::Value(v) => {
+                3u8.hash(&mut h);
+                v.hash(&mut h);
+            }
+        }
+        h.finish()
+    }
+}
+
+/// One hash-consed node. Private: reached through [`ITerm`].
+#[derive(Debug)]
+struct INode {
+    tag: Tag,
+    payload: Payload,
+    kids: Box<[ITerm]>,
+    fp: u64,
+    size: usize,
+    depth: usize,
+}
+
+/// A handle to a hash-consed term (function, predicate or query level).
+///
+/// Cheap to clone (`Arc` bump). Within the [`Interner`] that created them,
+/// two `ITerm`s are structurally equal iff [`ITerm::ptr_eq`] — never compare
+/// handles from different interners.
+#[derive(Debug, Clone)]
+pub struct ITerm(Arc<INode>);
+
+impl ITerm {
+    /// Root constructor tag.
+    pub fn tag(&self) -> Tag {
+        self.0.tag
+    }
+
+    /// Non-child payload of the root.
+    pub fn payload(&self) -> &Payload {
+        &self.0.payload
+    }
+
+    /// Children, in the same order the rewrite engine descends the
+    /// boxed representation.
+    pub fn kids(&self) -> &[ITerm] {
+        &self.0.kids
+    }
+
+    /// Precomputed 64-bit structural fingerprint. Equal terms always have
+    /// equal fingerprints; distinct terms collide with probability ≈ 2⁻⁶⁴.
+    pub fn fp(&self) -> u64 {
+        self.0.fp
+    }
+
+    /// Cached node count (agrees with [`Func::size`] etc.).
+    pub fn size(&self) -> usize {
+        self.0.size
+    }
+
+    /// Cached maximum nesting depth (agrees with [`Func::depth`] etc.).
+    pub fn depth(&self) -> usize {
+        self.0.depth
+    }
+
+    /// Identity of the underlying allocation — usable as an exact key for
+    /// memo tables and cycle detection *within one interner*.
+    pub fn id(&self) -> usize {
+        Arc::as_ptr(&self.0) as usize
+    }
+
+    /// O(1) structural equality for terms from the same interner.
+    pub fn ptr_eq(&self, other: &ITerm) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+
+    /// Reify as a [`Func`]. Panics if this node is not function-level —
+    /// levels are static in every caller, so a mismatch is an engine bug.
+    pub fn to_func(&self) -> Func {
+        match self.reify() {
+            Out::F(f) => f,
+            _ => unreachable!("level mismatch: expected a Func node"),
+        }
+    }
+
+    /// Reify as a [`Pred`]. Panics on level mismatch (see [`ITerm::to_func`]).
+    pub fn to_pred(&self) -> Pred {
+        match self.reify() {
+            Out::P(p) => p,
+            _ => unreachable!("level mismatch: expected a Pred node"),
+        }
+    }
+
+    /// Reify as a [`Query`]. Panics on level mismatch (see [`ITerm::to_func`]).
+    pub fn to_query(&self) -> Query {
+        match self.reify() {
+            Out::Q(q) => q,
+            _ => unreachable!("level mismatch: expected a Query node"),
+        }
+    }
+
+    /// Stack-safe reification of this node back into boxed terms.
+    fn reify(&self) -> Out {
+        enum Walk<'a> {
+            Visit(&'a ITerm),
+            Build(&'a ITerm),
+        }
+        let mut tasks = vec![Walk::Visit(self)];
+        let mut out: Vec<Out> = Vec::new();
+        while let Some(task) = tasks.pop() {
+            match task {
+                Walk::Visit(t) => {
+                    tasks.push(Walk::Build(t));
+                    for k in t.kids().iter().rev() {
+                        tasks.push(Walk::Visit(k));
+                    }
+                }
+                Walk::Build(t) => {
+                    let kids = out.split_off(out.len() - t.kids().len());
+                    out.push(build_node(t.tag(), t.payload(), kids));
+                }
+            }
+        }
+        out.pop().expect("reify yields exactly one term")
+    }
+}
+
+/// Reified term at any of the three levels.
+enum Out {
+    F(Func),
+    P(Pred),
+    Q(Query),
+}
+
+impl Out {
+    fn f(self) -> Box<Func> {
+        match self {
+            Out::F(f) => Box::new(f),
+            _ => unreachable!("kid level mismatch: expected Func"),
+        }
+    }
+    fn p(self) -> Box<Pred> {
+        match self {
+            Out::P(p) => Box::new(p),
+            _ => unreachable!("kid level mismatch: expected Pred"),
+        }
+    }
+    fn q(self) -> Box<Query> {
+        match self {
+            Out::Q(q) => Box::new(q),
+            _ => unreachable!("kid level mismatch: expected Query"),
+        }
+    }
+}
+
+/// Build one boxed node from a tag, payload and already-reified children.
+fn build_node(tag: Tag, payload: &Payload, kids: Vec<Out>) -> Out {
+    let mut k = kids.into_iter();
+    let mut next = || k.next().expect("arity checked at intern time");
+    let sym = || match payload {
+        Payload::Sym(s) => s.clone(),
+        _ => unreachable!("payload mismatch: expected Sym"),
+    };
+    match tag {
+        Tag::FId => Out::F(Func::Id),
+        Tag::FPi1 => Out::F(Func::Pi1),
+        Tag::FPi2 => Out::F(Func::Pi2),
+        Tag::FPrim => Out::F(Func::Prim(sym())),
+        Tag::FCompose => Out::F(Func::Compose(next().f(), next().f())),
+        Tag::FPairWith => Out::F(Func::PairWith(next().f(), next().f())),
+        Tag::FTimes => Out::F(Func::Times(next().f(), next().f())),
+        Tag::FConstF => Out::F(Func::ConstF(next().q())),
+        Tag::FCurryF => Out::F(Func::CurryF(next().f(), next().q())),
+        Tag::FCond => Out::F(Func::Cond(next().p(), next().f(), next().f())),
+        Tag::FFlat => Out::F(Func::Flat),
+        Tag::FIterate => Out::F(Func::Iterate(next().p(), next().f())),
+        Tag::FIter => Out::F(Func::Iter(next().p(), next().f())),
+        Tag::FJoin => Out::F(Func::Join(next().p(), next().f())),
+        Tag::FNest => Out::F(Func::Nest(next().f(), next().f())),
+        Tag::FUnnest => Out::F(Func::Unnest(next().f(), next().f())),
+        Tag::FBagify => Out::F(Func::Bagify),
+        Tag::FDedup => Out::F(Func::Dedup),
+        Tag::FBIterate => Out::F(Func::BIterate(next().p(), next().f())),
+        Tag::FBUnion => Out::F(Func::BUnion),
+        Tag::FBFlat => Out::F(Func::BFlat),
+        Tag::FSetUnion => Out::F(Func::SetUnion),
+        Tag::FSetIntersect => Out::F(Func::SetIntersect),
+        Tag::FSetDiff => Out::F(Func::SetDiff),
+        Tag::PEq => Out::P(Pred::Eq),
+        Tag::PLt => Out::P(Pred::Lt),
+        Tag::PLeq => Out::P(Pred::Leq),
+        Tag::PGt => Out::P(Pred::Gt),
+        Tag::PGeq => Out::P(Pred::Geq),
+        Tag::PIn => Out::P(Pred::In),
+        Tag::PPrimP => Out::P(Pred::PrimP(sym())),
+        Tag::POplus => Out::P(Pred::Oplus(next().p(), next().f())),
+        Tag::PAnd => Out::P(Pred::And(next().p(), next().p())),
+        Tag::POr => Out::P(Pred::Or(next().p(), next().p())),
+        Tag::PNot => Out::P(Pred::Not(next().p())),
+        Tag::PConv => Out::P(Pred::Conv(next().p())),
+        Tag::PConstP => match payload {
+            Payload::Bool(b) => Out::P(Pred::ConstP(*b)),
+            _ => unreachable!("payload mismatch: expected Bool"),
+        },
+        Tag::PCurryP => Out::P(Pred::CurryP(next().p(), next().q())),
+        Tag::QLit => match payload {
+            Payload::Value(v) => Out::Q(Query::Lit((**v).clone())),
+            _ => unreachable!("payload mismatch: expected Value"),
+        },
+        Tag::QExtent => Out::Q(Query::Extent(sym())),
+        Tag::QPairQ => Out::Q(Query::PairQ(next().q(), next().q())),
+        Tag::QApp => Out::Q(Query::App(*next().f(), next().q())),
+        Tag::QTest => Out::Q(Query::Test(*next().p(), next().q())),
+        Tag::QUnion => Out::Q(Query::Union(next().q(), next().q())),
+        Tag::QIntersect => Out::Q(Query::Intersect(next().q(), next().q())),
+        Tag::QDiff => Out::Q(Query::Diff(next().q(), next().q())),
+    }
+}
+
+/// Source term at any of the three levels (borrowed, for interning).
+enum Src<'a> {
+    F(&'a Func),
+    P(&'a Pred),
+    Q(&'a Query),
+}
+
+impl<'a> Src<'a> {
+    /// Tag, payload, and borrowed children of this node, in intern order.
+    fn decompose(&self) -> (Tag, Payload, Vec<Src<'a>>) {
+        use Src::{F, P, Q};
+        match self {
+            F(f) => {
+                let tag = Tag::of_func(f);
+                match f {
+                    Func::Prim(s) => (tag, Payload::Sym(s.clone()), vec![]),
+                    Func::Compose(a, b)
+                    | Func::PairWith(a, b)
+                    | Func::Times(a, b)
+                    | Func::Nest(a, b)
+                    | Func::Unnest(a, b) => (tag, Payload::None, vec![F(a), F(b)]),
+                    Func::ConstF(q) => (tag, Payload::None, vec![Q(q)]),
+                    Func::CurryF(g, q) => (tag, Payload::None, vec![F(g), Q(q)]),
+                    Func::Cond(p, g, h) => (tag, Payload::None, vec![P(p), F(g), F(h)]),
+                    Func::Iterate(p, g)
+                    | Func::Iter(p, g)
+                    | Func::Join(p, g)
+                    | Func::BIterate(p, g) => (tag, Payload::None, vec![P(p), F(g)]),
+                    _ => (tag, Payload::None, vec![]),
+                }
+            }
+            P(p) => {
+                let tag = Tag::of_pred(p);
+                match p {
+                    Pred::PrimP(s) => (tag, Payload::Sym(s.clone()), vec![]),
+                    Pred::Oplus(q, g) => (tag, Payload::None, vec![P(q), F(g)]),
+                    Pred::And(a, b) | Pred::Or(a, b) => (tag, Payload::None, vec![P(a), P(b)]),
+                    Pred::Not(q) | Pred::Conv(q) => (tag, Payload::None, vec![P(q)]),
+                    Pred::ConstP(b) => (tag, Payload::Bool(*b), vec![]),
+                    Pred::CurryP(q, x) => (tag, Payload::None, vec![P(q), Q(x)]),
+                    _ => (tag, Payload::None, vec![]),
+                }
+            }
+            Q(q) => {
+                let tag = Tag::of_query(q);
+                match q {
+                    Query::Lit(v) => (tag, Payload::Value(Arc::new(v.clone())), vec![]),
+                    Query::Extent(s) => (tag, Payload::Sym(s.clone()), vec![]),
+                    Query::PairQ(a, b)
+                    | Query::Union(a, b)
+                    | Query::Intersect(a, b)
+                    | Query::Diff(a, b) => (tag, Payload::None, vec![Q(a), Q(b)]),
+                    Query::App(f, x) => (tag, Payload::None, vec![F(f), Q(x)]),
+                    Query::Test(p, x) => (tag, Payload::None, vec![P(p), Q(x)]),
+                }
+            }
+        }
+    }
+}
+
+/// 64-bit finalizer (splitmix64-style) used to mix fingerprints.
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// The hash-cons arena: owns every node it has built and deduplicates
+/// structurally equal constructions.
+#[derive(Debug, Default)]
+pub struct Interner {
+    /// fingerprint → nodes with that fingerprint (collision bucket).
+    table: HashMap<u64, Vec<ITerm>>,
+    /// Number of `mk` calls that had to *construct* (cache misses) — a
+    /// deterministic work counter for tests and benches.
+    constructed: u64,
+}
+
+impl Interner {
+    /// A fresh, empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct nodes constructed so far (cache misses).
+    pub fn constructed(&self) -> u64 {
+        self.constructed
+    }
+
+    /// Number of live distinct nodes in the arena.
+    pub fn len(&self) -> usize {
+        self.table.values().map(Vec::len).sum()
+    }
+
+    /// True iff no node has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Intern one node whose children are already interned. Returns the
+    /// canonical handle: if an identical node exists it is reused.
+    pub fn mk(&mut self, tag: Tag, payload: Payload, kids: Vec<ITerm>) -> ITerm {
+        let mut fp = mix((tag as u64).wrapping_add(0x9e37_79b9_7f4a_7c15));
+        if !matches!(payload, Payload::None) {
+            fp = mix(fp ^ payload.hash64());
+        }
+        for k in &kids {
+            fp = mix(fp.rotate_left(13) ^ k.fp());
+        }
+        let bucket = self.table.entry(fp).or_default();
+        for t in bucket.iter() {
+            if t.tag() == tag
+                && t.kids().len() == kids.len()
+                && t.kids().iter().zip(&kids).all(|(a, b)| a.ptr_eq(b))
+                && *t.payload() == payload
+            {
+                return t.clone();
+            }
+        }
+        let size = 1 + kids.iter().map(|k| k.size()).sum::<usize>();
+        let depth = 1 + kids.iter().map(|k| k.depth()).max().unwrap_or(0);
+        let node = ITerm(Arc::new(INode {
+            tag,
+            payload,
+            kids: kids.into_boxed_slice(),
+            fp,
+            size,
+            depth,
+        }));
+        bucket.push(node.clone());
+        self.constructed += 1;
+        node
+    }
+
+    /// Intern a concrete function.
+    pub fn intern_func(&mut self, f: &Func) -> ITerm {
+        self.intern(Src::F(f))
+    }
+
+    /// Intern a concrete predicate.
+    pub fn intern_pred(&mut self, p: &Pred) -> ITerm {
+        self.intern(Src::P(p))
+    }
+
+    /// Intern a concrete query.
+    pub fn intern_query(&mut self, q: &Query) -> ITerm {
+        self.intern(Src::Q(q))
+    }
+
+    /// Stack-safe bottom-up interning of a borrowed term.
+    fn intern(&mut self, root: Src<'_>) -> ITerm {
+        enum Walk<'a> {
+            Visit(Src<'a>),
+            Build(Tag, Payload, usize),
+        }
+        let mut tasks = vec![Walk::Visit(root)];
+        let mut out: Vec<ITerm> = Vec::new();
+        while let Some(task) = tasks.pop() {
+            match task {
+                Walk::Visit(src) => {
+                    let (tag, payload, kids) = src.decompose();
+                    tasks.push(Walk::Build(tag, payload, kids.len()));
+                    for k in kids.into_iter().rev() {
+                        tasks.push(Walk::Visit(k));
+                    }
+                }
+                Walk::Build(tag, payload, n) => {
+                    let kids = out.split_off(out.len() - n);
+                    out.push(self.mk(tag, payload, kids));
+                }
+            }
+        }
+        out.pop().expect("intern yields exactly one term")
+    }
+}
+
+impl Drop for Interner {
+    fn drop(&mut self) {
+        // Release nodes largest-first. A parent is strictly larger than any
+        // of its children and the table holds every node, so when a node's
+        // table reference goes away, all of its children are still pinned by
+        // their own (smaller, not-yet-released) table entries: each drop
+        // cascades at most one level and deep chains never recurse.
+        let mut nodes: Vec<ITerm> = self.table.drain().flat_map(|(_, v)| v).collect();
+        nodes.sort_by_key(|n| std::cmp::Reverse(n.size()));
+        for n in nodes {
+            drop(n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+
+    #[test]
+    fn hash_consing_dedups() {
+        let mut it = Interner::new();
+        let t = o(prim("age"), prim("addr"));
+        let a = it.intern_func(&t);
+        let b = it.intern_func(&t);
+        assert!(a.ptr_eq(&b));
+        assert_eq!(a.id(), b.id());
+        // Shared subterm: `age` inside both is one node.
+        let c = it.intern_func(&prim("age"));
+        assert!(a.kids()[0].ptr_eq(&c));
+    }
+
+    #[test]
+    fn cached_size_and_depth_agree_with_terms() {
+        let mut it = Interner::new();
+        for t in [
+            Func::Id,
+            o(Func::Id, Func::Pi1),
+            iterate(kp(true), o(prim("city"), prim("addr"))),
+            Func::Cond(
+                Box::new(kp(false)),
+                Box::new(prim("a")),
+                Box::new(o(prim("b"), prim("c"))),
+            ),
+        ] {
+            let i = it.intern_func(&t);
+            assert_eq!(i.size(), t.size(), "{t}");
+            assert_eq!(i.depth(), t.depth(), "{t}");
+        }
+        let q = app(iterate(kp(true), prim("age")), ext("P"));
+        let iq = it.intern_query(&q);
+        assert_eq!(iq.size(), q.size());
+        assert_eq!(iq.depth(), q.depth());
+    }
+
+    #[test]
+    fn round_trip_all_levels() {
+        let mut it = Interner::new();
+        let f = iterate(oplus(gt(), prim("age")), o(prim("city"), prim("addr")));
+        assert_eq!(it.intern_func(&f).to_func(), f);
+        let p = Pred::CurryP(
+            Box::new(Pred::Conv(Box::new(gt()))),
+            Box::new(Query::Lit(Value::Int(7))),
+        );
+        assert_eq!(it.intern_pred(&p).to_pred(), p);
+        let q = Query::Test(p.clone(), Box::new(app(f.clone(), ext("P"))));
+        assert_eq!(it.intern_query(&q).to_query(), q);
+    }
+
+    #[test]
+    fn equal_terms_share_fingerprint_distinct_terms_rarely_do() {
+        let mut it = Interner::new();
+        let a = it.intern_func(&o(prim("age"), prim("addr")));
+        let b = it.intern_func(&o(prim("age"), prim("addr")));
+        let c = it.intern_func(&o(prim("addr"), prim("age")));
+        assert_eq!(a.fp(), b.fp());
+        assert_ne!(a.fp(), c.fp(), "kid order must influence the fingerprint");
+    }
+
+    #[test]
+    fn deep_chain_roundtrip_and_drop() {
+        // 10k ∘-segments: interning, reification and interner drop must all
+        // be stack-safe. The reified term is torn down manually because the
+        // boxed representation's drop glue recurses.
+        const N: usize = 10_000;
+        let mut f = prim("age");
+        for _ in 0..N {
+            f = o(Func::Id, f);
+        }
+        // 1 leaf + N × (∘ node + id node); the boxed `size()` would itself
+        // recurse, so the expectation is arithmetic.
+        let want = 1 + 2 * N;
+        let mut it = Interner::new();
+        let i = it.intern_func(&f);
+        assert_eq!(i.size(), want);
+        let back = i.to_func();
+        // Tear down (and incidentally count) with explicit stacks.
+        for t in [f, back] {
+            let mut nodes = 0usize;
+            let mut work = vec![t];
+            while let Some(x) = work.pop() {
+                nodes += 1;
+                if let Func::Compose(a, b) = x {
+                    work.push(*a);
+                    work.push(*b);
+                }
+            }
+            assert_eq!(nodes, want);
+        }
+        drop(i);
+        drop(it); // must not overflow
+    }
+}

@@ -19,6 +19,7 @@ pub mod db;
 pub mod display;
 pub mod eval;
 pub mod explain;
+pub mod intern;
 pub mod parse;
 pub mod pattern;
 pub mod schema;
@@ -30,6 +31,7 @@ pub mod value;
 pub use bag::ValueBag;
 pub use db::Db;
 pub use eval::{eval_func, eval_pred, eval_query, EvalError};
+pub use intern::{ITerm, Interner};
 pub use schema::Schema;
 pub use term::{Func, Pred, Query};
 pub use types::{FuncType, Type};

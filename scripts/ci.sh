@@ -2,8 +2,21 @@
 # Offline CI gate: formatting, lints, release build, full test suite.
 # No network access is assumed anywhere (--offline); the workspace has no
 # external crate dependencies.
+#
+#   --bench-smoke   additionally run the engine-mode benchmark with short
+#                   iteration counts, regenerating BENCH_rewrite.json and
+#                   failing if the indexed engine is slower than the naive
+#                   engine on the fig4 workload.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+BENCH_SMOKE_RUN=0
+for arg in "$@"; do
+  case "$arg" in
+    --bench-smoke) BENCH_SMOKE_RUN=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "== cargo fmt --check"
 cargo fmt --all -- --check
@@ -16,5 +29,11 @@ cargo build --workspace --release --offline
 
 echo "== cargo test"
 cargo test --workspace --offline -q
+
+if [ "$BENCH_SMOKE_RUN" = 1 ]; then
+  echo "== bench smoke (engine_modes, enforced)"
+  BENCH_SMOKE=1 BENCH_ENFORCE=1 \
+    cargo bench -p kola-bench --bench engine_modes --offline
+fi
 
 echo "CI gate passed."
