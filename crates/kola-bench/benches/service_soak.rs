@@ -1,0 +1,117 @@
+//! Service latency/throughput under the chaos workload, across worker
+//! counts.
+//!
+//! Runs the deterministic chaos stream (same generator as the soak test,
+//! same seed) against a 1-, 4-, and 8-worker service and reports p50/p95/p99
+//! end-to-end latency plus throughput. The stream mixes clean requests,
+//! deep adversarial terms, poison rules, and flood phases, so the numbers
+//! describe the service *with* its degradation machinery engaged — not a
+//! happy-path microbenchmark.
+//!
+//! Emits `BENCH_service.json` at the repository root. `BENCH_SMOKE=1`
+//! shrinks the stream for CI.
+
+use kola_bench::smoke_mode;
+use kola_service::{percentile, run_chaos, ChaosConfig};
+use std::time::Instant;
+
+struct Row {
+    workers: usize,
+    requests: usize,
+    wall_ms: u128,
+    throughput_rps: f64,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+    overloaded: usize,
+    passthrough: usize,
+    caught_panics: usize,
+}
+
+fn main() {
+    let requests = if smoke_mode() { 300 } else { 4_000 };
+    let mut rows = Vec::new();
+    for workers in [1usize, 4, 8] {
+        let cfg = ChaosConfig {
+            requests,
+            workers,
+            // The gate re-evaluates every optimized plan; leave it off so
+            // the timing isolates queue + ladder + breaker overhead.
+            verify: false,
+            ..ChaosConfig::default()
+        };
+        let start = Instant::now();
+        let report = run_chaos(&cfg);
+        let wall = start.elapsed();
+
+        let violations = report.violations();
+        assert!(
+            violations.is_empty(),
+            "chaos invariants violated during bench:\n{}",
+            violations.join("\n")
+        );
+
+        let mut lat = report.latencies_us.clone();
+        lat.sort_unstable();
+        let row = Row {
+            workers,
+            requests: report.requests,
+            wall_ms: wall.as_millis(),
+            throughput_rps: report.requests as f64 / wall.as_secs_f64().max(1e-9),
+            p50_us: percentile(&lat, 50.0),
+            p95_us: percentile(&lat, 95.0),
+            p99_us: percentile(&lat, 99.0),
+            overloaded: report.overloaded,
+            passthrough: report.passthrough,
+            caught_panics: report.caught_panics,
+        };
+        println!(
+            "service/{}w: {} req in {} ms ({:.0} req/s)  p50 {} us  p95 {} us  p99 {} us  \
+             shed {}  passthrough {}  panics-caught {}",
+            row.workers,
+            row.requests,
+            row.wall_ms,
+            row.throughput_rps,
+            row.p50_us,
+            row.p95_us,
+            row.p99_us,
+            row.overloaded,
+            row.passthrough,
+            row.caught_panics,
+        );
+        rows.push(row);
+    }
+
+    let json = render_json(&rows);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
+    std::fs::write(path, &json).expect("write BENCH_service.json");
+    println!("wrote {path}");
+}
+
+fn render_json(rows: &[Row]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"service_soak\",\n");
+    out.push_str(&format!("  \"smoke\": {},\n", smoke_mode()));
+    out.push_str("  \"workload\": \"deterministic chaos stream, verify off\",\n");
+    out.push_str("  \"configs\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workers\": {}, \"requests\": {}, \"wall_ms\": {}, \
+             \"throughput_rps\": {:.1}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \
+             \"overloaded\": {}, \"passthrough\": {}, \"caught_panics\": {}}}{}\n",
+            r.workers,
+            r.requests,
+            r.wall_ms,
+            r.throughput_rps,
+            r.p50_us,
+            r.p95_us,
+            r.p99_us,
+            r.overloaded,
+            r.passthrough,
+            r.caught_panics,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -72,6 +72,11 @@ pub struct Executor<'a> {
     pub mode: Mode,
     /// Operation counters (reset per [`Executor::run`]).
     pub stats: ExecStats,
+    /// Recursion-depth guard (see [`Executor::run`]).
+    pub depth_limit: usize,
+    /// Native-stack position at [`Executor::run`] entry, for the
+    /// stack-budget backstop shared with `kola::eval`.
+    stack_base: usize,
 }
 
 impl<'a> Executor<'a> {
@@ -81,31 +86,50 @@ impl<'a> Executor<'a> {
             db,
             mode,
             stats: ExecStats::default(),
+            depth_limit: kola::eval::MAX_EVAL_DEPTH,
+            stack_base: 0,
         }
     }
 
-    /// Evaluate a query, counting operations. Resets stats first.
-    pub fn run(&mut self, q: &Query) -> EvalResult {
-        self.stats = ExecStats::default();
-        self.query(q)
+    #[inline]
+    fn guard(&self, d: usize) -> Result<(), EvalError> {
+        if d >= self.depth_limit || kola::eval::stack_exhausted(self.stack_base) {
+            Err(EvalError::DepthExceeded {
+                limit: self.depth_limit,
+            })
+        } else {
+            Ok(())
+        }
     }
 
-    fn query(&mut self, q: &Query) -> EvalResult {
+    /// Evaluate a query, counting operations. Resets stats first. Like the
+    /// reference evaluator, recursion is guarded by `self.depth_limit`
+    /// (default [`kola::MAX_EVAL_DEPTH`]) plus a native-stack budget
+    /// ([`kola::eval::EVAL_STACK_BUDGET`]): adversarially deep terms return
+    /// [`EvalError::DepthExceeded`] instead of overflowing the stack.
+    pub fn run(&mut self, q: &Query) -> EvalResult {
+        self.stats = ExecStats::default();
+        self.stack_base = kola::eval::stack_mark();
+        self.query(q, 0)
+    }
+
+    fn query(&mut self, q: &Query, d: usize) -> EvalResult {
+        self.guard(d)?;
         match q {
             Query::Lit(v) => Ok(v.clone()),
             Query::Extent(name) => Ok(self.db.extent(name).map_err(EvalError::Db)?),
-            Query::PairQ(a, b) => Ok(Value::pair(self.query(a)?, self.query(b)?)),
+            Query::PairQ(a, b) => Ok(Value::pair(self.query(a, d + 1)?, self.query(b, d + 1)?)),
             Query::App(f, q) => {
-                let arg = self.query(q)?;
-                self.func(f, &arg)
+                let arg = self.query(q, d + 1)?;
+                self.func(f, &arg, d + 1)
             }
             Query::Test(p, q) => {
-                let arg = self.query(q)?;
-                Ok(Value::Bool(self.pred(p, &arg)?))
+                let arg = self.query(q, d + 1)?;
+                Ok(Value::Bool(self.pred(p, &arg, d + 1)?))
             }
             Query::Union(a, b) | Query::Intersect(a, b) | Query::Diff(a, b) => {
-                let va = self.query(a)?;
-                let vb = self.query(b)?;
+                let va = self.query(a, d + 1)?;
+                let vb = self.query(b, d + 1)?;
                 let sa = as_set(&va)?;
                 let sb = as_set(&vb)?;
                 self.stats.elements_visited += sa.len() + sb.len();
@@ -119,23 +143,24 @@ impl<'a> Executor<'a> {
         }
     }
 
-    fn func(&mut self, f: &Func, x: &Value) -> EvalResult {
+    fn func(&mut self, f: &Func, x: &Value, d: usize) -> EvalResult {
+        self.guard(d)?;
         self.stats.func_calls += 1;
         match f {
-            Func::Join(p, body) if self.mode == Mode::Smart => self.smart_join(p, body, x),
-            Func::Nest(key, val) if self.mode == Mode::Smart => self.smart_nest(key, val, x),
+            Func::Join(p, body) if self.mode == Mode::Smart => self.smart_join(p, body, x, d),
+            Func::Nest(key, val) if self.mode == Mode::Smart => self.smart_nest(key, val, x, d),
             Func::Compose(a, b) => {
-                let mid = self.func(b, x)?;
-                self.func(a, &mid)
+                let mid = self.func(b, x, d + 1)?;
+                self.func(a, &mid, d + 1)
             }
             Func::Iterate(p, body) => {
                 let set = as_set(x)?.clone();
                 let mut out = ValueSet::new();
                 for v in set.iter() {
                     self.stats.elements_visited += 1;
-                    if self.pred(p, v)? {
+                    if self.pred(p, v, d + 1)? {
                         self.stats.set_inserts += 1;
-                        out.insert(self.func(body, v)?);
+                        out.insert(self.func(body, v, d + 1)?);
                     }
                 }
                 Ok(Value::Set(out))
@@ -147,8 +172,8 @@ impl<'a> Executor<'a> {
                 for y in set.iter() {
                     self.stats.elements_visited += 1;
                     let pair = Value::pair(e.clone(), y.clone());
-                    if self.pred(p, &pair)? {
-                        out.insert(self.func(body, &pair)?);
+                    if self.pred(p, &pair, d + 1)? {
+                        out.insert(self.func(body, &pair, d + 1)?);
                     }
                 }
                 Ok(Value::Set(out))
@@ -163,8 +188,8 @@ impl<'a> Executor<'a> {
                     for y in bset.iter() {
                         self.stats.elements_visited += 1;
                         let pair = Value::pair(x.clone(), y.clone());
-                        if self.pred(p, &pair)? {
-                            out.insert(self.func(body, &pair)?);
+                        if self.pred(p, &pair, d + 1)? {
+                            out.insert(self.func(body, &pair, d + 1)?);
                         }
                     }
                 }
@@ -180,8 +205,8 @@ impl<'a> Executor<'a> {
                     let mut group = ValueSet::new();
                     for x in aset.iter() {
                         self.stats.elements_visited += 1;
-                        if &self.func(key, x)? == y {
-                            group.insert(self.func(val, x)?);
+                        if &self.func(key, x, d + 1)? == y {
+                            group.insert(self.func(val, x, d + 1)?);
                         }
                     }
                     out.insert(Value::pair(y.clone(), Value::Set(group)));
@@ -193,8 +218,8 @@ impl<'a> Executor<'a> {
                 let mut out = ValueSet::new();
                 for v in set.iter() {
                     self.stats.elements_visited += 1;
-                    let k = self.func(key, v)?;
-                    let inner = self.func(val, v)?;
+                    let k = self.func(key, v, d + 1)?;
+                    let inner = self.func(val, v, d + 1)?;
                     for y in as_set(&inner)?.iter() {
                         self.stats.elements_visited += 1;
                         out.insert(Value::pair(k.clone(), y.clone()));
@@ -203,23 +228,29 @@ impl<'a> Executor<'a> {
                 Ok(Value::Set(out))
             }
             Func::Cond(p, f, g) => {
-                if self.pred(p, x)? {
-                    self.func(f, x)
+                if self.pred(p, x, d + 1)? {
+                    self.func(f, x, d + 1)
                 } else {
-                    self.func(g, x)
+                    self.func(g, x, d + 1)
                 }
             }
-            Func::PairWith(f, g) => Ok(Value::pair(self.func(f, x)?, self.func(g, x)?)),
+            Func::PairWith(f, g) => Ok(Value::pair(
+                self.func(f, x, d + 1)?,
+                self.func(g, x, d + 1)?,
+            )),
             Func::Times(f, g) => {
                 let (a, b) = as_pair(x)?;
                 let (a, b) = (a.clone(), b.clone());
-                Ok(Value::pair(self.func(f, &a)?, self.func(g, &b)?))
+                Ok(Value::pair(
+                    self.func(f, &a, d + 1)?,
+                    self.func(g, &b, d + 1)?,
+                ))
             }
-            Func::ConstF(q) => self.query(q),
+            Func::ConstF(q) => self.query(q, d + 1),
             Func::CurryF(f, q) => {
-                let payload = self.query(q)?;
+                let payload = self.query(q, d + 1)?;
                 let arg = Value::pair(payload, x.clone());
-                self.func(f, &arg)
+                self.func(f, &arg, d + 1)
             }
             Func::Flat => {
                 let set = as_set(x)?;
@@ -263,8 +294,8 @@ impl<'a> Executor<'a> {
                 let mut out = kola::bag::ValueBag::new();
                 for (v, n) in bag.iter() {
                     self.stats.elements_visited += 1;
-                    if self.pred(p, v)? {
-                        out.insert_n(self.func(body, v)?, n);
+                    if self.pred(p, v, d + 1)? {
+                        out.insert_n(self.func(body, v, d + 1)?, n);
                     }
                 }
                 Ok(Value::Bag(out))
@@ -288,25 +319,26 @@ impl<'a> Executor<'a> {
         }
     }
 
-    fn pred(&mut self, p: &Pred, x: &Value) -> Result<bool, EvalError> {
+    fn pred(&mut self, p: &Pred, x: &Value, d: usize) -> Result<bool, EvalError> {
+        self.guard(d)?;
         self.stats.predicate_tests += 1;
         match p {
             Pred::Oplus(inner, f) => {
-                let mid = self.func(f, x)?;
-                self.pred(inner, &mid)
+                let mid = self.func(f, x, d + 1)?;
+                self.pred(inner, &mid, d + 1)
             }
-            Pred::And(a, b) => Ok(self.pred(a, x)? && self.pred(b, x)?),
-            Pred::Or(a, b) => Ok(self.pred(a, x)? || self.pred(b, x)?),
-            Pred::Not(a) => Ok(!self.pred(a, x)?),
+            Pred::And(a, b) => Ok(self.pred(a, x, d + 1)? && self.pred(b, x, d + 1)?),
+            Pred::Or(a, b) => Ok(self.pred(a, x, d + 1)? || self.pred(b, x, d + 1)?),
+            Pred::Not(a) => Ok(!self.pred(a, x, d + 1)?),
             Pred::Conv(a) => {
                 let (l, r) = as_pair(x)?;
                 let sw = Value::pair(r.clone(), l.clone());
-                self.pred(a, &sw)
+                self.pred(a, &sw, d + 1)
             }
             Pred::CurryP(inner, q) => {
-                let payload = self.query(q)?;
+                let payload = self.query(q, d + 1)?;
                 let arg = Value::pair(payload, x.clone());
-                self.pred(inner, &arg)
+                self.pred(inner, &arg, d + 1)
             }
             _ => kola::eval::eval_pred(self.db, p, x),
         }
@@ -335,7 +367,7 @@ impl<'a> Executor<'a> {
     ///
     /// - `Eq`: right rows keyed by `g(y)`; probe with `f(x)`.
     /// - `In`: `g(y)` is a set; key every member; probe with `f(x)`.
-    fn smart_join(&mut self, p: &Pred, body: &Func, x: &Value) -> EvalResult {
+    fn smart_join(&mut self, p: &Pred, body: &Func, x: &Value, d: usize) -> EvalResult {
         let Some((kind, fl, fr)) = Self::hashable(p) else {
             // Not hashable: fall back to the nested loop.
             let (a, b) = as_pair(x)?;
@@ -347,8 +379,8 @@ impl<'a> Executor<'a> {
                 for y in bset.iter() {
                     self.stats.elements_visited += 1;
                     let pair = Value::pair(x.clone(), y.clone());
-                    if self.pred(p, &pair)? {
-                        out.insert(self.func(body, &pair)?);
+                    if self.pred(p, &pair, d + 1)? {
+                        out.insert(self.func(body, &pair, d + 1)?);
                     }
                 }
             }
@@ -366,7 +398,7 @@ impl<'a> Executor<'a> {
         let mut table: BTreeMap<Value, Vec<Value>> = BTreeMap::new();
         for y in bset.iter() {
             self.stats.elements_visited += 1;
-            let key = self.func(&fr, y)?;
+            let key = self.func(&fr, y, d + 1)?;
             match kind {
                 HashKind::Eq => {
                     self.stats.hash_ops += 1;
@@ -384,12 +416,12 @@ impl<'a> Executor<'a> {
         let mut out = ValueSet::new();
         for x in aset.iter() {
             self.stats.elements_visited += 1;
-            let key = self.func(&fl, x)?;
+            let key = self.func(&fl, x, d + 1)?;
             self.stats.hash_ops += 1;
             if let Some(matches) = table.get(&key) {
                 for y in matches.clone() {
                     let pair = Value::pair(x.clone(), y);
-                    out.insert(self.func(body, &pair)?);
+                    out.insert(self.func(body, &pair, d + 1)?);
                 }
             }
         }
@@ -398,7 +430,7 @@ impl<'a> Executor<'a> {
 
     /// Hash nest: one pass over A grouping by `key`, one pass over B
     /// emitting groups (empty for unmatched).
-    fn smart_nest(&mut self, key: &Func, val: &Func, x: &Value) -> EvalResult {
+    fn smart_nest(&mut self, key: &Func, val: &Func, x: &Value, d: usize) -> EvalResult {
         let (a, b) = as_pair(x)?;
         let aset = as_set(a)?.clone();
         let bset = as_set(b)?.clone();
@@ -410,13 +442,13 @@ impl<'a> Executor<'a> {
         let mut groups: BTreeMap<Value, ValueSet> = BTreeMap::new();
         for x in aset.iter() {
             self.stats.elements_visited += 1;
-            let k = self.func(key, x)?;
+            let k = self.func(key, x, d + 1)?;
             // `val` is only evaluated for rows some group will keep —
             // exactly when the reference semantics would evaluate it.
             if !bset.contains(&k) {
                 continue;
             }
-            let v = self.func(val, x)?;
+            let v = self.func(val, x, d + 1)?;
             self.stats.hash_ops += 1;
             groups.entry(k).or_default().insert(v);
         }
@@ -570,6 +602,30 @@ mod tests {
             kg2_smart < kg1_naive,
             "untangled+hash ({kg2_smart}) should beat hidden join ({kg1_naive})"
         );
+    }
+
+    #[test]
+    fn executor_depth_guard_matches_reference_evaluator() {
+        // Adversarially deep terms must yield EvalError::DepthExceeded from
+        // BOTH the op-counting executor and the reference evaluator, never a
+        // stack overflow — and with the same default limit.
+        let db = generate(&DataSpec::small(3));
+        let mut f = kola::term::Func::Id;
+        for _ in 0..50_000 {
+            f = kola::term::Func::Compose(Box::new(kola::term::Func::Id), Box::new(f));
+        }
+        let q = Query::App(f.clone(), Box::new(Query::Lit(Value::Int(1))));
+        let reference = eval_query(&db, &q);
+        for mode in [Mode::Naive, Mode::Smart] {
+            let mut ex = Executor::new(&db, mode);
+            assert_eq!(ex.run(&q), reference, "{mode:?}");
+            assert_eq!(
+                ex.run(&q),
+                Err(EvalError::DepthExceeded {
+                    limit: kola::MAX_EVAL_DEPTH
+                })
+            );
+        }
     }
 
     #[test]

@@ -13,3 +13,17 @@ pub mod to_kola;
 pub use oql::{oql_to_kola, parse_oql, OqlError};
 pub use size::{measure, sweep_query, SizeReport};
 pub use to_kola::{translate_query, TranslateError};
+
+/// Parse a request in either surface syntax: OQL (`select … from …`,
+/// detected by its leading keyword) is lowered through AQUA to KOLA;
+/// anything else is parsed as a KOLA query directly. This is the
+/// optimization service's front door — requests arrive as text in
+/// whichever notation the client speaks.
+pub fn parse_any_query(src: &str) -> Result<kola::term::Query, String> {
+    let first = src.trim_start().get(..6).unwrap_or("");
+    if first.eq_ignore_ascii_case("select") {
+        oql_to_kola(src).map_err(|e| format!("oql: {e}"))
+    } else {
+        kola::parse::parse_query(src).map_err(|e| format!("kola: {e}"))
+    }
+}

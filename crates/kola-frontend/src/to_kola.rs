@@ -97,11 +97,15 @@ impl EnvStack {
 /// Apply `f` to a translated query, fusing with an existing application so
 /// nested `app`s become composition chains (`f ∘ g ! x` rather than
 /// `f ! (g ! x)`) — the form the paper's figures print.
-fn apply_fused(f: Func, q: Query) -> Query {
-    match q {
-        Query::App(g, base) => Query::App(compose(f, g), base),
-        other => k::app(f, other),
+fn apply_fused(f: Func, mut q: Query) -> Query {
+    // `Query` has a manual `Drop`, so its fields can't be moved out by
+    // pattern; detach them with `mem::replace` instead.
+    if let Query::App(g, base) = &mut q {
+        let g = std::mem::replace(g, Func::Id);
+        let base = std::mem::replace(&mut **base, Query::Lit(kola::Value::Unit));
+        return Query::App(compose(f, g), Box::new(base));
     }
+    k::app(f, q)
 }
 
 /// Translate a *closed* AQUA expression to a KOLA query.

@@ -206,10 +206,14 @@ pub struct RuleStats {
     /// Failures (unbound body variables, injected faults, oversize
     /// results).
     pub failed: usize,
+    /// Derivation step of this rule's first contained failure, if any.
+    pub first_failed_step: Option<usize>,
+    /// Derivation step of this rule's most recent contained failure.
+    pub last_failed_step: Option<usize>,
 }
 
 /// What a governed rewrite run did and why it stopped.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RewriteReport {
     /// Rule applications taken (equals the derivation length).
     pub steps: usize,
@@ -239,11 +243,22 @@ impl RewriteReport {
             .fired += 1;
     }
 
-    /// Record a contained failure of `rule_id`; quarantines the rule once
-    /// its failure count reaches `quarantine_after`.
-    pub fn record_failure(&mut self, rule_id: &str, err: &RewriteError, quarantine_after: usize) {
+    /// Record a contained failure of `rule_id` at derivation step
+    /// `at_step`; quarantines the rule once its failure count reaches
+    /// `quarantine_after`.
+    pub fn record_failure(
+        &mut self,
+        rule_id: &str,
+        err: &RewriteError,
+        quarantine_after: usize,
+        at_step: usize,
+    ) {
         let stats = self.rule_stats.entry(rule_id.to_string()).or_default();
         stats.failed += 1;
+        if stats.first_failed_step.is_none() {
+            stats.first_failed_step = Some(at_step);
+        }
+        stats.last_failed_step = Some(at_step);
         if self.failures.len() < 8 {
             self.failures.push(err.to_string());
         }
@@ -258,6 +273,29 @@ impl RewriteReport {
     /// True iff `rule_id` is quarantined.
     pub fn is_quarantined(&self, rule_id: &str) -> bool {
         self.quarantined.iter().any(|q| q == rule_id)
+    }
+
+    /// Breaker/quarantine state observed in this run: one entry per
+    /// quarantined rule, in quarantine order, with its trip count and the
+    /// derivation steps of its first and last contained failures. Lets
+    /// service metrics and tests observe breaker trips directly instead of
+    /// inferring them from counters.
+    pub fn quarantine_report(&self) -> QuarantineReport {
+        QuarantineReport {
+            entries: self
+                .quarantined
+                .iter()
+                .map(|id| {
+                    let s = self.rule_stats.get(id).copied().unwrap_or_default();
+                    QuarantineEntry {
+                        rule_id: id.clone(),
+                        trips: s.failed,
+                        first_failure: s.first_failed_step,
+                        last_failure: s.last_failed_step,
+                    }
+                })
+                .collect(),
+        }
     }
 
     /// Total failures across all rules.
@@ -277,6 +315,19 @@ impl RewriteReport {
             let e = self.rule_stats.entry(id.clone()).or_default();
             e.fired += s.fired;
             e.failed += s.failed;
+            // `other`'s step indices are relative to its own sub-run; keep
+            // a global ordering by offsetting with the steps already
+            // accumulated here (added to self.steps above).
+            let offset = self.steps - other.steps;
+            if let Some(fs) = s.first_failed_step {
+                let fs = fs + offset;
+                if e.first_failed_step.is_none() {
+                    e.first_failed_step = Some(fs);
+                }
+            }
+            if let Some(ls) = s.last_failed_step {
+                e.last_failed_step = Some(ls + offset);
+            }
         }
         for q in &other.quarantined {
             if !self.is_quarantined(q) {
@@ -289,6 +340,53 @@ impl RewriteReport {
                 self.failures.push(m.clone());
             }
         }
+    }
+}
+
+/// One quarantined rule's trip record (see
+/// [`RewriteReport::quarantine_report`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineEntry {
+    /// Id of the quarantined rule.
+    pub rule_id: String,
+    /// How many contained failures tripped the breaker.
+    pub trips: usize,
+    /// Derivation step of the first contained failure.
+    pub first_failure: Option<usize>,
+    /// Derivation step of the most recent contained failure.
+    pub last_failure: Option<usize>,
+}
+
+/// Quarantine state extracted from a run: the rules whose circuit breaker
+/// tripped, with per-rule trip counts and failure steps.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QuarantineReport {
+    /// One entry per quarantined rule, in quarantine order.
+    pub entries: Vec<QuarantineEntry>,
+}
+
+impl QuarantineReport {
+    /// True iff no rule is quarantined.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl fmt::Display for QuarantineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.entries.is_empty() {
+            return write!(f, "no rules quarantined");
+        }
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{}×{}", e.rule_id, e.trips)?;
+            if let (Some(a), Some(b)) = (e.first_failure, e.last_failure) {
+                write!(f, " (steps {a}–{b})")?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -655,11 +753,17 @@ mod tests {
             rule_id: "x".into(),
             detail: "injected".into(),
         };
-        r.record_failure("x", &err, 3);
-        r.record_failure("x", &err, 3);
+        r.record_failure("x", &err, 3, 0);
+        r.record_failure("x", &err, 3, 4);
         assert!(!r.is_quarantined("x"));
-        r.record_failure("x", &err, 3);
+        r.record_failure("x", &err, 3, 9);
         assert!(r.is_quarantined("x"));
+        let qr = r.quarantine_report();
+        assert_eq!(qr.entries.len(), 1);
+        assert_eq!(qr.entries[0].rule_id, "x");
+        assert_eq!(qr.entries[0].trips, 3);
+        assert_eq!(qr.entries[0].first_failure, Some(0));
+        assert_eq!(qr.entries[0].last_failure, Some(9));
     }
 
     #[test]

@@ -92,6 +92,25 @@ impl Catalog {
         })
     }
 
+    /// Ids of all rules, in insertion order — the forward-orientation rule
+    /// universe a service breaker tracks.
+    pub fn forward_ids(&self) -> Vec<String> {
+        self.rules.iter().map(|r| r.id.clone()).collect()
+    }
+
+    /// Restrict a run's quarantine state to rules this catalog owns: the
+    /// catalog-level accessor for breaker observability. Entries for rules
+    /// the catalog does not know (e.g. from a merged foreign report) are
+    /// dropped.
+    pub fn quarantine_report(
+        &self,
+        report: &crate::budget::RewriteReport,
+    ) -> crate::budget::QuarantineReport {
+        let mut qr = report.quarantine_report();
+        qr.entries.retain(|e| self.get(&e.rule_id).is_some());
+        qr
+    }
+
     /// The full paper catalog: Figures 5 + 8, structural rules, extended
     /// pool.
     pub fn paper() -> Catalog {

@@ -145,7 +145,7 @@ impl<'a> Gov<'a> {
 
     pub(crate) fn record_failure(&mut self, rule_id: &str, e: &RewriteError) {
         self.report
-            .record_failure(rule_id, e, self.quarantine_after);
+            .record_failure(rule_id, e, self.quarantine_after, self.step);
     }
 }
 
@@ -165,6 +165,8 @@ fn injected<T>(
             rule_id: o.rule.id.clone(),
             detail: "injected failure".into(),
         }),
+        // A poison rule's bug is not a contained error: it unwinds.
+        Some(FaultKind::Panic) => crate::fault::poison_panic(&o.rule.id),
     }
 }
 
@@ -931,6 +933,25 @@ pub struct Rewritten {
     pub report: RewriteReport,
 }
 
+/// [`rewrite_fix_with`] behind a panic boundary: a poison rule that
+/// *unwinds* (a [`crate::fault::FaultKind::Panic`] fault, or a genuine rule
+/// bug) is caught and classified instead of propagating into the caller.
+/// All run state is function-local, so a caught panic leaves nothing
+/// inconsistent — the caller can immediately retry with the offending rule
+/// removed.
+pub fn try_rewrite_fix_with(
+    rules: &[Oriented],
+    q: &Query,
+    props: &PropDb,
+    budget: &Budget,
+    faults: &FaultPlan,
+) -> Result<Rewritten, crate::fault::CaughtPanic> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        rewrite_fix_with(rules, q, props, budget, faults)
+    }))
+    .map_err(crate::fault::CaughtPanic::from_payload)
+}
+
 /// [`rewrite_fix_with`] without fault injection.
 pub fn rewrite_fix_governed(
     rules: &[Oriented],
@@ -1020,7 +1041,7 @@ pub fn rewrite_fix_with(
                 size: next_size,
                 limit: budget.max_term_size,
             };
-            report.record_failure(&applied.rule_id, &e, budget.quarantine_after);
+            report.record_failure(&applied.rule_id, &e, budget.quarantine_after, report.steps);
             if !report.is_quarantined(&applied.rule_id) {
                 report.stop = StopReason::TermTooLarge;
                 return Rewritten {

@@ -321,6 +321,9 @@ impl Search<'_, '_> {
                             gov.record_failure(&o.rule.id, &e);
                             continue;
                         }
+                        // A poison rule's bug is not a contained error: it
+                        // unwinds (same as the boxed engine's behavior).
+                        Some(FaultKind::Panic) => crate::fault::poison_panic(&o.rule.id),
                     }
                 }
                 Err(e) => {
@@ -377,6 +380,25 @@ impl<'a> Engine<'a> {
     /// Normalize under `budget` with no fault injection.
     pub fn normalize(&mut self, q: &Query, budget: &Budget) -> Rewritten {
         self.normalize_with(q, budget, &FaultPlan::default())
+    }
+
+    /// [`Engine::normalize_with`] behind a panic boundary: a rule that
+    /// unwinds (a [`FaultKind::Panic`] fault or a genuine bug) is caught
+    /// and classified instead of propagating. The engine's cross-run state
+    /// survives a caught panic intact: the interner is append-only (a
+    /// partially built term is just unreferenced garbage in the arena),
+    /// normal-subtree marks and the memo are only committed after clean
+    /// steps/runs, and the index is rebuilt from the rule list on demand.
+    pub fn try_normalize_with(
+        &mut self,
+        q: &Query,
+        budget: &Budget,
+        faults: &FaultPlan,
+    ) -> Result<Rewritten, crate::fault::CaughtPanic> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.normalize_with(q, budget, faults)
+        }))
+        .map_err(crate::fault::CaughtPanic::from_payload)
     }
 
     /// Drop-in replacement for [`rewrite_fix_with`] (same redex choice,
@@ -532,7 +554,7 @@ impl<'a> Engine<'a> {
                     size: next_size,
                     limit: budget.max_term_size,
                 };
-                report.record_failure(&applied.rule_id, &e, budget.quarantine_after);
+                report.record_failure(&applied.rule_id, &e, budget.quarantine_after, report.steps);
                 if !report.is_quarantined(&applied.rule_id) {
                     report.stop = StopReason::TermTooLarge;
                     return Rewritten {

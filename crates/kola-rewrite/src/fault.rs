@@ -19,6 +19,88 @@ pub enum FaultKind {
     /// The rule "succeeds" but wraps its result in `n` extra identity
     /// layers, inflating the term — exercises the size governor.
     Oversize(usize),
+    /// The rule *panics* mid-application, simulating a poison rule whose
+    /// implementation has a genuine bug. Unlike [`FaultKind::Fail`] this is
+    /// not a contained error: it unwinds out of the engine and must be
+    /// caught by the caller (see `try_*` entry points and the service's
+    /// `catch_unwind` worker isolation). The panic payload is a `String`
+    /// starting with [`POISON_PANIC_PREFIX`] followed by the rule id, so
+    /// the catcher can attribute the failure to its rule.
+    Panic,
+}
+
+/// Prefix of the panic-payload string produced by [`FaultKind::Panic`];
+/// the rule id follows. [`poison_rule_id`] parses it back out.
+pub const POISON_PANIC_PREFIX: &str = "poison rule panic: ";
+
+/// Panic with a payload attributing the failure to `rule_id`. Called by
+/// both engines when a [`FaultKind::Panic`] fault triggers.
+pub fn poison_panic(rule_id: &str) -> ! {
+    panic!("{POISON_PANIC_PREFIX}{rule_id}")
+}
+
+/// Extract the poisoned rule id from a caught panic payload, if the panic
+/// came from [`FaultKind::Panic`].
+pub fn poison_rule_id(payload: &(dyn std::any::Any + Send)) -> Option<String> {
+    let msg = payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| payload.downcast_ref::<&'static str>().copied())?;
+    msg.strip_prefix(POISON_PANIC_PREFIX).map(str::to_string)
+}
+
+/// A panic caught at a `try_*` engine boundary (see
+/// [`crate::engine::try_rewrite_fix_with`]): the best-effort message plus,
+/// when the panic came from a [`FaultKind::Panic`] fault, the rule it is
+/// attributed to — which is what a circuit breaker charges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaughtPanic {
+    /// The rule the panic is attributed to, when identifiable.
+    pub rule_id: Option<String>,
+    /// The panic message (or a placeholder for opaque payloads).
+    pub message: String,
+}
+
+impl CaughtPanic {
+    /// Classify a payload returned by `std::panic::catch_unwind`.
+    pub fn from_payload(payload: Box<dyn std::any::Any + Send>) -> Self {
+        let rule_id = poison_rule_id(payload.as_ref());
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| {
+                payload
+                    .downcast_ref::<&'static str>()
+                    .map(|s| s.to_string())
+            })
+            .unwrap_or_else(|| "opaque panic payload".to_string());
+        CaughtPanic { rule_id, message }
+    }
+}
+
+impl std::fmt::Display for CaughtPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.rule_id {
+            Some(id) => write!(f, "panic in rule {id}: {}", self.message),
+            None => write!(f, "panic: {}", self.message),
+        }
+    }
+}
+
+/// Install (once, process-wide) a panic-hook filter that silences the
+/// default backtrace spam for [`FaultKind::Panic`] payloads — they are
+/// *expected* panics, caught and classified at the `try_*` boundaries —
+/// while delegating every other panic to the previously installed hook.
+pub fn silence_poison_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if poison_rule_id(info.payload()).is_none() {
+                prev(info);
+            }
+        }));
+    });
 }
 
 /// Which derivation steps the fault triggers on.

@@ -36,14 +36,17 @@ pub mod rule;
 pub mod strategy;
 pub mod subst;
 
-pub use budget::{Budget, CycleDetector, RewriteError, RewriteReport, RuleStats, StopReason};
+pub use budget::{
+    Budget, CycleDetector, QuarantineEntry, QuarantineReport, RewriteError, RewriteReport,
+    RuleStats, StopReason,
+};
 pub use catalog::{Catalog, RuleIndex};
 pub use engine::{
-    rewrite_fix, rewrite_fix_governed, rewrite_fix_with, rewrite_once_query, Oriented, Rewritten,
-    Step, Trace,
+    rewrite_fix, rewrite_fix_governed, rewrite_fix_with, rewrite_once_query, try_rewrite_fix_with,
+    Oriented, Rewritten, Step, Trace,
 };
 pub use fast::{Engine, EngineConfig};
-pub use fault::{FaultKind, FaultPlan, FaultSpec, StepSelector};
+pub use fault::{CaughtPanic, FaultKind, FaultPlan, FaultSpec, StepSelector};
 pub use props::{PropDb, PropKind, PropTerm};
 pub use rule::{Direction, Rule, RuleSource};
 pub use strategy::{Runner, Strategy};

@@ -541,17 +541,9 @@ mod tests {
         }
         assert_eq!(chain_segments(&left).len(), 100_001);
         assert_eq!(chain_segments(&right).len(), 100_001);
-        // Tear the terms down iteratively too — the derived recursive Drop
-        // would blow the stack at this depth.
-        for f in [left, right] {
-            let mut work = vec![f];
-            while let Some(f) = work.pop() {
-                if let Func::Compose(a, b) = f {
-                    work.push(*a);
-                    work.push(*b);
-                }
-            }
-        }
+        // Plain drop is fine: `Func` tears down with an explicit worklist.
+        drop(left);
+        drop(right);
     }
 
     #[test]

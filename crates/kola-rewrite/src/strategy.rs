@@ -206,6 +206,24 @@ impl<'a> Runner<'a> {
         (q, out, report)
     }
 
+    /// [`Runner::run_governed`] behind a panic boundary: a rule that
+    /// unwinds (a [`crate::fault::FaultKind::Panic`] fault or a genuine
+    /// bug) is caught and classified instead of propagating — the per-rung
+    /// entry point the optimization service's degradation ladder uses. On
+    /// `Err`, `trace` holds whatever steps completed before the panic;
+    /// treat it as diagnostic only.
+    pub fn try_run_governed(
+        &self,
+        strategy: &Strategy,
+        q: Query,
+        trace: &mut Trace,
+    ) -> Result<(Query, Outcome, RewriteReport), crate::fault::CaughtPanic> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.run_governed(strategy, q, trace)
+        }))
+        .map_err(crate::fault::CaughtPanic::from_payload)
+    }
+
     fn go(
         &self,
         strategy: &Strategy,
@@ -346,7 +364,12 @@ impl<'a> Runner<'a> {
                         size,
                         limit: self.budget.max_term_size,
                     };
-                    report.record_failure(&applied.rule_id, &e, self.budget.quarantine_after);
+                    report.record_failure(
+                        &applied.rule_id,
+                        &e,
+                        self.budget.quarantine_after,
+                        report.steps,
+                    );
                     return (q, Outcome::Failure);
                 }
                 report.steps += 1;

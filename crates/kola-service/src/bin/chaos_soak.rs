@@ -1,0 +1,46 @@
+//! Chaos soak driver for the optimization service.
+//!
+//! ```sh
+//! CHAOS_REQUESTS=10000 cargo run -p kola-service --bin chaos-soak --release
+//! ```
+//!
+//! Environment:
+//! - `CHAOS_REQUESTS` — requests to generate (default 10000)
+//! - `CHAOS_SEED` — master seed (default 0xC0FFEE)
+//! - `CHAOS_WORKERS` — worker threads (default 4)
+//!
+//! Exits nonzero if any soak invariant is violated (unclassified request,
+//! escaped panic, invalid classification, semantic-gate failure).
+
+use kola_service::{run_chaos, ChaosConfig};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let cfg = ChaosConfig {
+        requests: env_u64("CHAOS_REQUESTS", 10_000) as usize,
+        seed: env_u64("CHAOS_SEED", 0xC0FFEE),
+        workers: env_u64("CHAOS_WORKERS", 4) as usize,
+        ..ChaosConfig::default()
+    };
+    println!(
+        "chaos soak: {} requests, seed {:#x}, {} workers",
+        cfg.requests, cfg.seed, cfg.workers
+    );
+    let report = run_chaos(&cfg);
+    println!("{}", report.summary());
+    let violations = report.violations();
+    if violations.is_empty() {
+        println!("soak passed: every request terminated classified, no escaped panics");
+    } else {
+        for v in &violations {
+            eprintln!("VIOLATION: {v}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,157 @@
+//! Cross-request per-rule circuit breakers.
+//!
+//! `kola-rewrite`'s budget layer quarantines a rule *within one run*; a
+//! service sees the same poisoned rule again on the very next request. The
+//! [`Breaker`] lifts that quarantine across requests: each rule implicated
+//! in a failed request (a caught poison-rule panic, an injected fault, an
+//! oversize result) is charged once per request, and after `threshold`
+//! charged requests the breaker *opens* — the rule is dropped from the rule
+//! set handed to the engines, which also evicts it from the fast engine's
+//! head-symbol `RuleIndex` (the index is built from exactly that set).
+//!
+//! An open breaker is a deliberate operator-visible state, not a timeout:
+//! rules are data that someone registered, and a rule that keeps panicking
+//! should stay out of service until a human (or a test) calls
+//! [`Breaker::reset`]. All methods take `&self`; the state sits behind a
+//! mutex so workers share one breaker.
+
+use kola_rewrite::{QuarantineEntry, QuarantineReport};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Failure record for one rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BreakerEntry {
+    /// Requests in which this rule was implicated in a failure.
+    pub trips: usize,
+    /// Whether the breaker is open (rule evicted from service).
+    pub open: bool,
+    /// Id of the first request that charged this rule.
+    pub first_request: Option<u64>,
+    /// Id of the most recent request that charged this rule.
+    pub last_request: Option<u64>,
+}
+
+/// A shared per-rule circuit breaker (see module docs).
+#[derive(Debug)]
+pub struct Breaker {
+    threshold: usize,
+    state: Mutex<HashMap<String, BreakerEntry>>,
+}
+
+impl Breaker {
+    /// A breaker that opens a rule after `threshold` charged requests
+    /// (`0` is treated as `1`; `usize::MAX` never opens).
+    pub fn new(threshold: usize) -> Self {
+        Breaker {
+            threshold: threshold.max(1),
+            state: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Charge `rule_id` for a failure in request `request_id`. Returns
+    /// `true` iff the breaker is open after the charge. Callers charge a
+    /// rule at most once per request (the ladder dedupes).
+    pub fn charge(&self, rule_id: &str, request_id: u64) -> bool {
+        let mut state = self.state.lock().unwrap();
+        let e = state.entry(rule_id.to_string()).or_default();
+        e.trips += 1;
+        if e.first_request.is_none() {
+            e.first_request = Some(request_id);
+        }
+        e.last_request = Some(request_id);
+        if self.threshold != usize::MAX && e.trips >= self.threshold {
+            e.open = true;
+        }
+        e.open
+    }
+
+    /// True iff `rule_id`'s breaker is open.
+    pub fn is_open(&self, rule_id: &str) -> bool {
+        self.state
+            .lock()
+            .unwrap()
+            .get(rule_id)
+            .is_some_and(|e| e.open)
+    }
+
+    /// Ids of all open-breaker rules, sorted.
+    pub fn open_rules(&self) -> Vec<String> {
+        let state = self.state.lock().unwrap();
+        let mut v: Vec<String> = state
+            .iter()
+            .filter(|(_, e)| e.open)
+            .map(|(id, _)| id.clone())
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Close `rule_id`'s breaker and forget its trip history, readmitting
+    /// the rule. Returns `true` iff there was state to clear.
+    pub fn reset(&self, rule_id: &str) -> bool {
+        self.state.lock().unwrap().remove(rule_id).is_some()
+    }
+
+    /// Every rule with breaker state, sorted by rule id.
+    pub fn snapshot(&self) -> Vec<(String, BreakerEntry)> {
+        let state = self.state.lock().unwrap();
+        let mut v: Vec<(String, BreakerEntry)> =
+            state.iter().map(|(id, e)| (id.clone(), *e)).collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// The open rules as a [`QuarantineReport`] — the same observability
+    /// shape the per-run quarantine uses, with request ids in the step
+    /// slots.
+    pub fn report(&self) -> QuarantineReport {
+        QuarantineReport {
+            entries: self
+                .snapshot()
+                .into_iter()
+                .filter(|(_, e)| e.open)
+                .map(|(rule_id, e)| QuarantineEntry {
+                    rule_id,
+                    trips: e.trips,
+                    first_failure: e.first_request.map(|r| r as usize),
+                    last_failure: e.last_request.map(|r| r as usize),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_open_at_threshold_and_reset_closes() {
+        let b = Breaker::new(3);
+        assert!(!b.charge("9", 1));
+        assert!(!b.charge("9", 2));
+        assert!(!b.is_open("9"));
+        assert!(b.charge("9", 7));
+        assert!(b.is_open("9"));
+        assert_eq!(b.open_rules(), vec!["9".to_string()]);
+        let report = b.report();
+        assert_eq!(report.entries.len(), 1);
+        assert_eq!(report.entries[0].trips, 3);
+        assert_eq!(report.entries[0].first_failure, Some(1));
+        assert_eq!(report.entries[0].last_failure, Some(7));
+        assert!(b.reset("9"));
+        assert!(!b.is_open("9"));
+        assert!(b.open_rules().is_empty());
+        assert!(!b.reset("9"));
+    }
+
+    #[test]
+    fn never_threshold_never_opens() {
+        let b = Breaker::new(usize::MAX);
+        for i in 0..1000 {
+            assert!(!b.charge("2", i));
+        }
+        assert!(!b.is_open("2"));
+    }
+}

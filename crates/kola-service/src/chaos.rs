@@ -1,0 +1,383 @@
+//! Deterministic chaos soak for the optimization service.
+//!
+//! One seeded [`ChaosConfig`] fully determines the request stream: a mix
+//! of well-formed OQL/KOLA text, adversarially deep AST payloads,
+//! poison-rule fault plans (rules that panic mid-rewrite), injected rung
+//! faults, random deadlines, and artificial holds that push the queue into
+//! overload. Thread scheduling still varies run to run — which requests
+//! get shed, which deadlines expire — but the service's *invariants* must
+//! not: every request terminates with exactly one classified outcome, no
+//! panic escapes a worker, and every optimized plan passes the semantic
+//! gate. [`ChaosReport::violations`] checks exactly those
+//! scheduling-independent properties.
+
+use crate::request::{Outcome, Payload, Request, RequestOptions};
+use crate::service::{Service, ServiceConfig};
+use crate::Rung;
+use kola::term::{Func, Pred, Query};
+use kola::Value;
+use kola_exec::rng::{splitmix64, Rng};
+use kola_rewrite::{FaultKind, FaultPlan, FaultSpec, StepSelector};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Parameters of one soak.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Requests to generate.
+    pub requests: usize,
+    /// Master seed; the request stream is a pure function of it.
+    pub seed: u64,
+    /// Worker threads.
+    pub workers: usize,
+    /// Work-queue capacity (small enough that holds cause real shedding).
+    pub queue_capacity: usize,
+    /// Run the semantic gate on every optimized plan.
+    pub verify: bool,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            requests: 10_000,
+            seed: 0xC0FFEE,
+            workers: 4,
+            queue_capacity: 32,
+            verify: true,
+        }
+    }
+}
+
+/// What a soak observed.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosReport {
+    /// Requests generated (and therefore classified).
+    pub requests: usize,
+    /// `Optimized { rung: Fast }` replies.
+    pub optimized_fast: usize,
+    /// `Optimized { rung: Reference }` replies.
+    pub optimized_reference: usize,
+    /// `Passthrough` replies.
+    pub passthrough: usize,
+    /// Structured sheds at submission.
+    pub overloaded: usize,
+    /// `Invalid` replies (must stay zero: the generator only emits
+    /// parseable payloads within the size limit).
+    pub invalid: usize,
+    /// Retries taken across all requests.
+    pub retries: usize,
+    /// Poison-rule panics caught and attributed by the ladder.
+    pub caught_panics: usize,
+    /// Panics that reached a worker boundary unclassified (must be zero).
+    pub unexpected_panics: usize,
+    /// Optimized plans the semantic gate rejected (must be zero).
+    pub gate_failures: usize,
+    /// Rules whose cross-request breaker opened at least once.
+    pub breaker_opened: usize,
+    /// Per-request end-to-end latencies, microseconds, unsorted.
+    pub latencies_us: Vec<u64>,
+}
+
+impl ChaosReport {
+    /// The scheduling-independent invariants. Empty means the soak passed.
+    pub fn violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        let classified =
+            self.optimized_fast + self.optimized_reference + self.passthrough + self.overloaded;
+        if classified + self.invalid != self.requests {
+            v.push(format!(
+                "classification leak: {} of {} requests accounted for",
+                classified + self.invalid,
+                self.requests
+            ));
+        }
+        if self.invalid != 0 {
+            v.push(format!(
+                "{} generated requests classified Invalid",
+                self.invalid
+            ));
+        }
+        if self.unexpected_panics != 0 {
+            v.push(format!(
+                "{} panics escaped ladder classification",
+                self.unexpected_panics
+            ));
+        }
+        if self.gate_failures != 0 {
+            v.push(format!(
+                "{} optimized plans failed the semantic gate",
+                self.gate_failures
+            ));
+        }
+        v
+    }
+
+    /// Multi-line human summary.
+    pub fn summary(&self) -> String {
+        let mut sorted = self.latencies_us.clone();
+        sorted.sort_unstable();
+        format!(
+            "requests            {}\n\
+             optimized (fast)    {}\n\
+             optimized (ref)     {}\n\
+             passthrough         {}\n\
+             overloaded          {}\n\
+             invalid             {}\n\
+             retries             {}\n\
+             caught panics       {}\n\
+             unexpected panics   {}\n\
+             gate failures       {}\n\
+             breakers opened     {}\n\
+             latency p50/p95/p99 {} / {} / {} us",
+            self.requests,
+            self.optimized_fast,
+            self.optimized_reference,
+            self.passthrough,
+            self.overloaded,
+            self.invalid,
+            self.retries,
+            self.caught_panics,
+            self.unexpected_panics,
+            self.gate_failures,
+            self.breaker_opened,
+            percentile(&sorted, 50.0),
+            percentile(&sorted, 95.0),
+            percentile(&sorted, 99.0),
+        )
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice (0 if empty).
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn id_tower_text(height: usize) -> String {
+    let mut s = String::with_capacity(height * 5 + 10);
+    for _ in 0..height {
+        s.push_str("id . ");
+    }
+    s.push_str("age ! P");
+    s
+}
+
+fn deep_compose_ast(height: usize) -> Query {
+    let mut f = Func::Prim(Arc::from("age"));
+    for _ in 0..height {
+        f = Func::Compose(Box::new(Func::Id), Box::new(f));
+    }
+    Query::App(f, Box::new(Query::Extent(Arc::from("P"))))
+}
+
+fn deep_not_ast(height: usize) -> Query {
+    let mut p = Pred::Eq;
+    for _ in 0..height {
+        p = Pred::Not(Box::new(p));
+    }
+    Query::Test(p, Box::new(Query::Extent(Arc::from("P"))))
+}
+
+fn deep_pair_ast(height: usize) -> Query {
+    let mut q = Query::Lit(Value::Int(0));
+    for _ in 0..height {
+        q = Query::PairQ(Box::new(q), Box::new(Query::Extent(Arc::from("P"))));
+    }
+    q
+}
+
+const KOLA_TEMPLATES: &[&str] = &[
+    "iterate(Kp(T), city) . iterate(Kp(T), addr) ! P",
+    "iterate(Kp(T), city . addr) ! P",
+    "id . age ! P",
+    "age . id ! P",
+    "sunion ! [P, Q]",
+    "P union Q",
+    "gt ? [3, 2]",
+    "iterate(Kp(T), id . city) ! P",
+];
+
+const OQL_TEMPLATES: &[&str] = &[
+    "select p.age from p in P",
+    "select p from p in P",
+    "select p.age from p in P where p.age > 25",
+    "select p from p in P where p.age > 18 and not p.age > 65",
+];
+
+/// One generated request of the seeded chaos stream (public so the service
+/// benchmark can replay the same workload it soaks).
+pub fn generate_request(rng: &mut Rng) -> Request {
+    let mut options = RequestOptions {
+        backoff: Duration::from_micros(100 + rng.gen_range(0..200usize) as u64),
+        ..RequestOptions::default()
+    };
+    // Random deadlines on roughly a third of all requests — tight enough
+    // that some die in the queue or mid-rewrite, loose enough that most
+    // survive to an engine rung.
+    if rng.gen_bool(0.35) {
+        options.timeout = Some(Duration::from_micros(
+            1000 + rng.gen_range(0..8000usize) as u64,
+        ));
+    }
+    let roll = rng.gen_range(0..100usize);
+    let payload = if roll < 40 {
+        // Well-formed KOLA text, occasionally a tower with real redexes.
+        if rng.gen_bool(0.4) {
+            Payload::Text(id_tower_text(1 + rng.gen_range(0..12usize)))
+        } else {
+            Payload::Text(KOLA_TEMPLATES[rng.gen_range(0..KOLA_TEMPLATES.len())].to_string())
+        }
+    } else if roll < 50 {
+        Payload::Text(OQL_TEMPLATES[rng.gen_range(0..OQL_TEMPLATES.len())].to_string())
+    } else if roll < 65 {
+        // Adversarially deep ASTs: way past any recursion a naive engine
+        // would survive. Small step budget + tight deadline.
+        options.max_steps = 32;
+        options.timeout = Some(Duration::from_micros(
+            200 + rng.gen_range(0..1500usize) as u64,
+        ));
+        let h = 500 + rng.gen_range(0..2500usize);
+        Payload::Ast(match rng.gen_range(0..3usize) {
+            0 => deep_compose_ast(h),
+            1 => deep_not_ast(h),
+            _ => deep_pair_ast(h),
+        })
+    } else if roll < 75 {
+        // Injected rung faults: mostly transient (retry absorbs them),
+        // sometimes permanent (ladder degrades).
+        if rng.gen_bool(0.7) {
+            options.transient_fail = vec![Rung::Fast];
+        } else {
+            options.force_fail = vec![Rung::Fast];
+            if rng.gen_bool(0.3) {
+                options.force_fail.push(Rung::Reference);
+            }
+        }
+        Payload::Text(id_tower_text(1 + rng.gen_range(0..8usize)))
+    } else if roll < 90 {
+        // Poison rules: a rule that panics (or fails) mid-rewrite on a
+        // payload that actually exercises it ("app"/"e121" are the rules
+        // that fire on id-towers under the full forward catalog).
+        let rule = if rng.gen_bool(0.5) { "app" } else { "e121" };
+        let at = match rng.gen_range(0..3usize) {
+            0 => StepSelector::Always,
+            1 => StepSelector::Steps(vec![0, 1]),
+            _ => StepSelector::EveryNth(2),
+        };
+        let kind = if rng.gen_bool(0.7) {
+            FaultKind::Panic
+        } else {
+            FaultKind::Fail
+        };
+        options.faults = FaultPlan::new().with(FaultSpec {
+            rule_id: rule.to_string(),
+            at,
+            kind,
+        });
+        Payload::Text(id_tower_text(2 + rng.gen_range(0..8usize)))
+    } else {
+        // Slow requests: simulated pre-ladder work that backs the queue up
+        // and forces structured shedding.
+        options.hold_for = Some(Duration::from_micros(
+            200 + rng.gen_range(0..800usize) as u64,
+        ));
+        Payload::Text(KOLA_TEMPLATES[rng.gen_range(0..KOLA_TEMPLATES.len())].to_string())
+    };
+    // Every chaos request is bounded the way a real client's would be: a
+    // fallback deadline and a modest step cap. Without these, a request
+    // that arrives while the breaker has evicted a load-bearing structural
+    // rule (e.g. "app") can grind through the full default fuel instead of
+    // reaching a normal form in a handful of steps.
+    if options.timeout.is_none() {
+        options.timeout = Some(Duration::from_millis(15 + rng.gen_range(0..25usize) as u64));
+    }
+    options.max_steps = options.max_steps.min(300 + rng.gen_range(0..200usize));
+    Request { payload, options }
+}
+
+/// Run one soak: generate `cfg.requests` seeded requests, drive them
+/// through a fresh service, and tally the outcome taxonomy.
+pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
+    let service = Service::start(ServiceConfig {
+        workers: cfg.workers,
+        queue_capacity: cfg.queue_capacity,
+        verify: cfg.verify,
+        ..ServiceConfig::default()
+    });
+    let mut report = ChaosReport {
+        requests: cfg.requests,
+        ..ChaosReport::default()
+    };
+    let mut opened: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+
+    let mut pending = Vec::new();
+    let absorb = |resp: crate::request::Response, report: &mut ChaosReport| {
+        match resp.outcome {
+            Outcome::Optimized { rung: Rung::Fast } => report.optimized_fast += 1,
+            Outcome::Optimized {
+                rung: Rung::Reference,
+            } => report.optimized_reference += 1,
+            Outcome::Passthrough => report.passthrough += 1,
+            Outcome::Overloaded => report.overloaded += 1,
+            Outcome::Invalid => report.invalid += 1,
+        }
+        report.retries += resp.retries;
+        report.caught_panics += resp.panics.len();
+        if resp
+            .error
+            .as_deref()
+            .is_some_and(|e| e.contains("semantic gate:"))
+        {
+            report.gate_failures += 1;
+        }
+        report.latencies_us.push(resp.latency.as_micros() as u64);
+    };
+
+    let mut seed = cfg.seed;
+    for i in 0..cfg.requests {
+        let mut rng = Rng::seed_from_u64(splitmix64(&mut seed) ^ i as u64);
+        let request = generate_request(&mut rng);
+        match service.submit(request) {
+            Ok(p) => pending.push(p),
+            Err(rejection) => {
+                absorb(rejection, &mut report);
+                // Shed: let the workers catch up a little before the next
+                // burst, so the soak keeps exercising the engine lanes too.
+                for p in pending.drain(..pending.len().min(4)) {
+                    absorb(p.wait(), &mut report);
+                }
+            }
+        }
+        // Alternate paced and flood arrival. Paced phases keep the
+        // queue-wait share of each deadline bounded; flood phases submit
+        // without draining until the queue is full, forcing real
+        // structured sheds.
+        let flood = (i / 97) % 7 == 6;
+        if !flood {
+            while pending.len() >= (cfg.queue_capacity / 2).max(8) {
+                absorb(pending.remove(0).wait(), &mut report);
+            }
+        }
+        // Periodically note and reset opened breakers so the poison lane
+        // keeps exercising the panic path instead of being filtered out.
+        if i % 64 == 63 {
+            for rule in service.breaker().open_rules() {
+                opened.insert(rule.clone());
+                service.breaker().reset(&rule);
+            }
+        }
+    }
+    for p in pending {
+        let resp = p.wait();
+        absorb(resp, &mut report);
+    }
+    for rule in service.breaker().open_rules() {
+        opened.insert(rule);
+    }
+    report.breaker_opened = opened.len();
+    report.unexpected_panics = service.unexpected_panics();
+    report
+}

@@ -1,0 +1,368 @@
+//! The degradation ladder: fast engine → reference engine → passthrough.
+//!
+//! Each worker answers a request by climbing down this ladder. Rung 1 runs
+//! the fast (interned + head-indexed + memoized) engine; rung 2 the boxed
+//! reference engine — slower, simpler, and sharing no state with rung 1,
+//! so a fault that poisons one cannot poison the other; rung 3 returns the
+//! input query unoptimized. Every rung:
+//!
+//! - runs under the request's **remaining** deadline (the budget's
+//!   wall-clock cutoff is the request deadline, so a rung that overruns is
+//!   stopped by the engine itself, not by the ladder);
+//! - gets **one retry** after a deterministic jittered backoff, capped by
+//!   the remaining deadline — enough to ride out a transient injected
+//!   fault, never enough to blow the deadline;
+//! - is wrapped in the `try_*` panic boundary of `kola-rewrite`, so a
+//!   poison-rule panic is caught, attributed to its rule, and charged to
+//!   the cross-request [`Breaker`](crate::Breaker).
+//!
+//! A rung *fails* when it panics, when an injected rung fault says so, or
+//! when its report stops with `DeadlineExpired` or `TermTooLarge` — stops
+//! that mean "no trustworthy optimized plan". `BudgetExhausted` and
+//! `CycleDetected` are *successes*: the governed engines guarantee the best
+//! (smallest) query seen so far, which is a valid plan.
+//!
+//! Exactness: a rung runs `Runner::try_run_governed` with exactly the
+//! request's budget and fault plan, so a rung-1 success is byte-identical
+//! to a direct fast-engine `Runner` run and a rung-2 success to a direct
+//! reference run (the engines' differential-exactness contract lifts to
+//! the service; see `tests/service.rs`).
+
+use crate::breaker::Breaker;
+use crate::request::{Outcome, RequestOptions};
+use kola::term::Query;
+use kola_exec::rng::splitmix64;
+use kola_rewrite::strategy;
+use kola_rewrite::{
+    Catalog, CaughtPanic, EngineConfig, PropDb, QuarantineReport, RewriteReport, Runner,
+    StopReason, Trace,
+};
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+/// One engine rung of the ladder (the passthrough rung carries no engine
+/// and is represented by [`Outcome::Passthrough`] itself).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rung {
+    /// The interned + head-indexed + memoized engine (`kola_rewrite::fast`).
+    Fast,
+    /// The boxed reference engine (`kola_rewrite::engine`).
+    Reference,
+}
+
+/// The rungs in descending order of preference.
+pub const RUNGS: [Rung; 2] = [Rung::Fast, Rung::Reference];
+
+impl std::fmt::Display for Rung {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Rung::Fast => "fast",
+            Rung::Reference => "reference",
+        })
+    }
+}
+
+/// What the ladder produced for one request.
+#[derive(Debug, Clone)]
+pub struct LadderResult {
+    /// `Optimized { rung }` or `Passthrough` — never the rejection
+    /// outcomes; the ladder always answers.
+    pub outcome: Outcome,
+    /// The plan (the input itself on passthrough).
+    pub plan: Query,
+    /// The successful rung's report, untouched. `None` on passthrough.
+    pub report: Option<RewriteReport>,
+    /// Per-run quarantine state of the successful rung.
+    pub quarantine: QuarantineReport,
+    /// Panics caught across all attempts.
+    pub panics: Vec<CaughtPanic>,
+    /// Retries taken across all rungs.
+    pub retries: usize,
+    /// One note per failed attempt.
+    pub failures: Vec<String>,
+}
+
+/// How one rung attempt ended (private to the climb).
+enum Attempt {
+    Ok(Query, RewriteReport),
+    Failed(String, Option<RewriteReport>),
+    Panicked(CaughtPanic),
+}
+
+/// The ladder, borrowing the service's shared catalog, properties, and
+/// breaker.
+pub struct Ladder<'a> {
+    /// Rule catalog; the rule set handed to the engines is its forward
+    /// orientation minus open-breaker rules.
+    pub catalog: &'a Catalog,
+    /// Property database for rule preconditions.
+    pub props: &'a PropDb,
+    /// The cross-request circuit breaker to consult and charge.
+    pub breaker: &'a Breaker,
+}
+
+impl<'a> Ladder<'a> {
+    /// Climb the ladder for query `q` under `opts`, with the deadline
+    /// already anchored (at submission time). `request_id` seeds the retry
+    /// jitter and tags breaker charges.
+    pub fn run(
+        &self,
+        request_id: u64,
+        q: &Query,
+        opts: &RequestOptions,
+        deadline: Option<Instant>,
+    ) -> LadderResult {
+        // The rule set for this request: forward catalog minus open
+        // breakers. Dropping a rule here removes it from the fast engine's
+        // RuleIndex too — the index is built from exactly this set.
+        let refs_owned: Vec<String> = self
+            .catalog
+            .forward_ids()
+            .into_iter()
+            .filter(|id| !self.breaker.is_open(id))
+            .collect();
+        let refs: Vec<&str> = refs_owned.iter().map(String::as_str).collect();
+        let strategy = strategy::fix(&refs);
+
+        let mut panics: Vec<CaughtPanic> = Vec::new();
+        let mut failures: Vec<String> = Vec::new();
+        let mut retries = 0usize;
+        // Rules to charge — at most once per request, whatever the attempt
+        // count (so a breaker threshold of N means N bad *requests*).
+        let mut implicated: BTreeSet<String> = BTreeSet::new();
+
+        let mut success: Option<(Rung, Query, RewriteReport)> = None;
+        'climb: for (ri, rung) in RUNGS.iter().copied().enumerate() {
+            for attempt in 0..2u32 {
+                if expired(deadline) {
+                    break 'climb;
+                }
+                if attempt == 1 {
+                    // One jittered retry, capped by the remaining deadline.
+                    // Sleeping the full remainder is deliberate: if the
+                    // deadline dies during the backoff, the expiry check
+                    // above degrades us to the next rung (and ultimately to
+                    // passthrough) deterministically.
+                    let pause = cap_to_deadline(jittered(opts.backoff, request_id, ri), deadline);
+                    if !pause.is_zero() {
+                        std::thread::sleep(pause);
+                    }
+                    if expired(deadline) {
+                        break 'climb;
+                    }
+                    retries += 1;
+                }
+                match self.attempt(rung, attempt, q, opts, deadline, &strategy) {
+                    Attempt::Ok(plan, report) => {
+                        implicate_from_report(&report, &mut implicated);
+                        success = Some((rung, plan, report));
+                        break 'climb;
+                    }
+                    Attempt::Failed(why, report) => {
+                        let expired_stop = report
+                            .as_ref()
+                            .is_some_and(|r| r.stop == StopReason::DeadlineExpired);
+                        if let Some(r) = &report {
+                            implicate_from_report(r, &mut implicated);
+                        }
+                        failures.push(format!("{rung} attempt {attempt}: {why}"));
+                        if expired_stop {
+                            // Retrying against a dead deadline is pointless.
+                            break;
+                        }
+                    }
+                    Attempt::Panicked(p) => {
+                        if let Some(id) = &p.rule_id {
+                            implicated.insert(id.clone());
+                        }
+                        failures.push(format!("{rung} attempt {attempt}: {p}"));
+                        panics.push(p);
+                    }
+                }
+            }
+        }
+
+        for rule_id in &implicated {
+            self.breaker.charge(rule_id, request_id);
+        }
+
+        match success {
+            Some((rung, plan, report)) => {
+                let quarantine = self.catalog.quarantine_report(&report);
+                LadderResult {
+                    outcome: Outcome::Optimized { rung },
+                    plan,
+                    report: Some(report),
+                    quarantine,
+                    panics,
+                    retries,
+                    failures,
+                }
+            }
+            None => LadderResult {
+                outcome: Outcome::Passthrough,
+                plan: q.clone(),
+                report: None,
+                quarantine: QuarantineReport::default(),
+                panics,
+                retries,
+                failures,
+            },
+        }
+    }
+
+    fn attempt(
+        &self,
+        rung: Rung,
+        attempt: u32,
+        q: &Query,
+        opts: &RequestOptions,
+        deadline: Option<Instant>,
+        strategy: &strategy::Strategy,
+    ) -> Attempt {
+        if opts.force_fail.contains(&rung) {
+            return Attempt::Failed("injected rung fault (permanent)".into(), None);
+        }
+        if attempt == 0 && opts.transient_fail.contains(&rung) {
+            return Attempt::Failed("injected rung fault (transient)".into(), None);
+        }
+        let runner = Runner::new(self.catalog, self.props)
+            .with_budget(opts.budget(deadline))
+            .with_faults(opts.faults.clone());
+        let runner = match rung {
+            Rung::Fast => runner.with_engine(EngineConfig::fast()),
+            Rung::Reference => runner,
+        };
+        let mut trace = Trace::new();
+        match runner.try_run_governed(strategy, q.clone(), &mut trace) {
+            Err(p) => Attempt::Panicked(p),
+            Ok((plan, _outcome, report)) => match report.stop {
+                StopReason::DeadlineExpired => {
+                    Attempt::Failed("deadline expired mid-rewrite".into(), Some(report))
+                }
+                StopReason::TermTooLarge => {
+                    Attempt::Failed("input exceeds term-size cap".into(), Some(report))
+                }
+                // NormalForm, BudgetExhausted, CycleDetected: the governed
+                // engines return the best (smallest) query seen — a plan.
+                _ => Attempt::Ok(plan, report),
+            },
+        }
+    }
+}
+
+fn expired(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
+}
+
+fn cap_to_deadline(pause: Duration, deadline: Option<Instant>) -> Duration {
+    match deadline {
+        Some(d) => pause.min(d.saturating_duration_since(Instant::now())),
+        None => pause,
+    }
+}
+
+/// Deterministic jitter: base + up to 50% extra, derived from the request
+/// id and rung index so reruns of a seeded chaos scenario sleep alike.
+fn jittered(base: Duration, request_id: u64, rung_index: usize) -> Duration {
+    let mut s = request_id ^ ((rung_index as u64 + 1) << 32) ^ 0x9E37_79B9_7F4A_7C15;
+    let r = splitmix64(&mut s);
+    let extra = (base.as_nanos() as u64 / 2)
+        .checked_mul(r % 1024)
+        .map_or(Duration::ZERO, |n| Duration::from_nanos(n / 1024));
+    base + extra
+}
+
+/// Rules with contained failures in `report` (injected faults, oversize
+/// results) are implicated for breaker accounting.
+fn implicate_from_report(report: &RewriteReport, implicated: &mut BTreeSet<String>) {
+    for (id, stats) in &report.rule_stats {
+        if stats.failed > 0 {
+            implicated.insert(id.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kola::term::Func;
+    use std::sync::Arc;
+
+    fn tower(n: usize) -> Query {
+        let mut f = Func::Prim(Arc::from("age"));
+        for _ in 0..n {
+            f = Func::Compose(Box::new(Func::Id), Box::new(f));
+        }
+        Query::App(f, Box::new(Query::Extent(Arc::from("P"))))
+    }
+
+    #[test]
+    fn transient_fault_costs_one_retry_not_the_request() {
+        let catalog = Catalog::paper();
+        let props = PropDb::new();
+        let breaker = Breaker::new(usize::MAX);
+        let ladder = Ladder {
+            catalog: &catalog,
+            props: &props,
+            breaker: &breaker,
+        };
+        let opts = RequestOptions {
+            transient_fail: vec![Rung::Fast],
+            backoff: Duration::from_micros(50),
+            ..RequestOptions::default()
+        };
+        let r = ladder.run(1, &tower(4), &opts, None);
+        assert_eq!(r.outcome, Outcome::Optimized { rung: Rung::Fast });
+        assert_eq!(r.retries, 1);
+        assert_eq!(r.failures.len(), 1);
+        assert!(r.panics.is_empty());
+    }
+
+    #[test]
+    fn permanent_fast_fault_degrades_to_reference() {
+        let catalog = Catalog::paper();
+        let props = PropDb::new();
+        let breaker = Breaker::new(usize::MAX);
+        let ladder = Ladder {
+            catalog: &catalog,
+            props: &props,
+            breaker: &breaker,
+        };
+        let opts = RequestOptions {
+            force_fail: vec![Rung::Fast],
+            backoff: Duration::from_micros(50),
+            ..RequestOptions::default()
+        };
+        let r = ladder.run(2, &tower(4), &opts, None);
+        assert_eq!(
+            r.outcome,
+            Outcome::Optimized {
+                rung: Rung::Reference
+            }
+        );
+        assert_eq!(r.failures.len(), 2);
+    }
+
+    #[test]
+    fn both_rungs_down_returns_passthrough_plan() {
+        let catalog = Catalog::paper();
+        let props = PropDb::new();
+        let breaker = Breaker::new(usize::MAX);
+        let ladder = Ladder {
+            catalog: &catalog,
+            props: &props,
+            breaker: &breaker,
+        };
+        let opts = RequestOptions {
+            force_fail: vec![Rung::Fast, Rung::Reference],
+            backoff: Duration::from_micros(50),
+            ..RequestOptions::default()
+        };
+        let q = tower(4);
+        let r = ladder.run(3, &q, &opts, None);
+        assert_eq!(r.outcome, Outcome::Passthrough);
+        assert_eq!(r.plan, q);
+        assert!(r.report.is_none());
+    }
+}

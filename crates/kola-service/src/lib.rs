@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+//! # kola-service — a concurrent optimization service over the KOLA stack
+//!
+//! The paper treats the optimizer as a library; a deployed optimizer is a
+//! *service*: requests arrive concurrently as text, carry deadlines, and
+//! must always get an answer — a query optimizer that crashes or hangs
+//! takes the whole database front door with it. This crate wraps the
+//! governed rewrite engines of `kola-rewrite` in that service shell:
+//!
+//! - [`service::Service`] — a bounded work queue in front of a pool of
+//!   panic-isolated worker threads. A full queue sheds load with a
+//!   structured [`request::Outcome::Overloaded`] rejection instead of
+//!   blocking or growing without bound.
+//! - [`ladder::Ladder`] — the three-rung degradation ladder each worker
+//!   runs: the fast (interned + indexed + memoized) engine first, the boxed
+//!   reference engine second, and an unoptimized passthrough of the input
+//!   last. Every rung runs under the request's remaining deadline with one
+//!   jittered-backoff retry, so a transient injected fault costs a retry,
+//!   not the request.
+//! - [`breaker::Breaker`] — a cross-request per-rule circuit breaker: a
+//!   rule implicated in repeated failures (injected faults, poison-rule
+//!   panics, oversize results) is evicted from the rule set handed to the
+//!   engines — and thereby from the fast engine's `RuleIndex` — until an
+//!   operator resets it. This extends the per-run quarantine of
+//!   `kola-rewrite::budget` across requests.
+//! - [`chaos`] — a deterministic chaos-soak harness mixing well-formed
+//!   queries, adversarially deep terms, poison rules, and random deadlines,
+//!   asserting that every request terminates with a classified outcome and
+//!   that no panic escapes a worker.
+//!
+//! Degradation preserves exactness: with no faults injected the service
+//! answer is byte-identical to a direct [`kola_rewrite::Runner`] run on the
+//! fast engine, and with the fast rung forced down it is byte-identical to
+//! the boxed reference engine (see `tests/service.rs`).
+
+pub mod breaker;
+pub mod chaos;
+pub mod ladder;
+pub mod request;
+pub mod service;
+
+pub use breaker::{Breaker, BreakerEntry};
+pub use chaos::{percentile, run_chaos, ChaosConfig, ChaosReport};
+pub use ladder::{Ladder, LadderResult, Rung};
+pub use request::{Outcome, Payload, Request, RequestOptions, Response};
+pub use service::{Pending, Service, ServiceConfig};

@@ -1,0 +1,197 @@
+//! Request/response types for the optimization service.
+//!
+//! A request is a query in either surface syntax (OQL or KOLA text) or as
+//! an already-parsed AST, plus per-request resource options. A response is
+//! always produced — the service's contract is that every accepted request
+//! terminates with exactly one classified [`Outcome`].
+
+use crate::ladder::Rung;
+use kola::term::Query;
+use kola_rewrite::{Budget, CaughtPanic, FaultPlan, QuarantineReport, RewriteReport};
+use std::time::Duration;
+
+/// The query payload of a request.
+#[derive(Debug, Clone)]
+pub enum Payload {
+    /// Surface text: OQL (detected by its leading `select`) or KOLA
+    /// concrete syntax, parsed by `kola_frontend::parse_any_query`.
+    Text(String),
+    /// An already-parsed query. The chaos harness uses this lane for
+    /// adversarially deep terms whose concrete syntax would be megabytes.
+    Ast(Query),
+}
+
+/// Per-request resource options. Everything a client may bound about its
+/// own request; service-wide limits (queue depth, worker count, request
+/// size) live in [`crate::service::ServiceConfig`].
+#[derive(Debug, Clone)]
+pub struct RequestOptions {
+    /// Step cap for each ladder rung (see [`Budget::max_steps`]).
+    pub max_steps: usize,
+    /// Traversal-depth cap (see [`Budget::max_depth`]).
+    pub max_depth: usize,
+    /// Intermediate-term size cap (see [`Budget::max_term_size`]).
+    pub max_term_size: usize,
+    /// Per-run rule quarantine threshold (see [`Budget::quarantine_after`]).
+    pub quarantine_after: usize,
+    /// Wall-clock deadline, measured from *submission* — queue wait counts
+    /// against it, as it does for the client.
+    pub timeout: Option<Duration>,
+    /// Injected faults, forwarded to the engines (testing/chaos surface).
+    pub faults: FaultPlan,
+    /// Base retry backoff; the actual sleep is jittered deterministically
+    /// from the request id and capped by the remaining deadline.
+    pub backoff: Duration,
+    /// Injected *permanent* rung failures: listed rungs fail on every
+    /// attempt (testing/chaos surface — how the parity suite forces the
+    /// service down to the reference engine).
+    pub force_fail: Vec<Rung>,
+    /// Injected *transient* rung failures: listed rungs fail on their first
+    /// attempt only, so the jittered-backoff retry succeeds.
+    pub transient_fail: Vec<Rung>,
+    /// Simulated pre-ladder work (testing/chaos surface — deterministic
+    /// queue backpressure for the overload tests).
+    pub hold_for: Option<Duration>,
+}
+
+impl Default for RequestOptions {
+    fn default() -> Self {
+        let b = Budget::default();
+        RequestOptions {
+            max_steps: b.max_steps,
+            max_depth: b.max_depth,
+            max_term_size: b.max_term_size,
+            quarantine_after: b.quarantine_after,
+            timeout: None,
+            faults: FaultPlan::default(),
+            backoff: Duration::from_micros(200),
+            force_fail: Vec::new(),
+            transient_fail: Vec::new(),
+            hold_for: None,
+        }
+    }
+}
+
+impl RequestOptions {
+    /// The per-rung [`Budget`] these options describe. The deadline is
+    /// supplied by the caller (it is anchored at submission time, not at
+    /// budget-construction time).
+    pub fn budget(&self, deadline: Option<std::time::Instant>) -> Budget {
+        let mut b = Budget::default()
+            .steps(self.max_steps)
+            .depth(self.max_depth)
+            .term_size(self.max_term_size)
+            .quarantine_after(self.quarantine_after);
+        b.deadline = deadline;
+        b
+    }
+}
+
+/// One optimization request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The query to optimize.
+    pub payload: Payload,
+    /// Per-request resource options.
+    pub options: RequestOptions,
+}
+
+impl Request {
+    /// A request with default options.
+    pub fn text(src: impl Into<String>) -> Self {
+        Request {
+            payload: Payload::Text(src.into()),
+            options: RequestOptions::default(),
+        }
+    }
+
+    /// An AST request with default options.
+    pub fn ast(q: Query) -> Self {
+        Request {
+            payload: Payload::Ast(q),
+            options: RequestOptions::default(),
+        }
+    }
+
+    /// Replace the options (builder style).
+    pub fn with_options(mut self, options: RequestOptions) -> Self {
+        self.options = options;
+        self
+    }
+}
+
+/// Terminal classification of a request. Every submitted request ends in
+/// exactly one of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// A ladder rung produced an optimized plan within budget.
+    Optimized {
+        /// Which rung succeeded.
+        rung: Rung,
+    },
+    /// Every engine rung failed or the deadline expired: the input query is
+    /// returned unoptimized. Slower for the executor, but correct — and an
+    /// answer, not an error.
+    Passthrough,
+    /// The work queue was full at submission; the request was never
+    /// admitted. Structured load shedding, not an error path.
+    Overloaded,
+    /// The request could not be parsed or violated a service-wide limit;
+    /// see [`Response::error`].
+    Invalid,
+}
+
+impl std::fmt::Display for Outcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Outcome::Optimized { rung } => write!(f, "optimized({rung})"),
+            Outcome::Passthrough => write!(f, "passthrough"),
+            Outcome::Overloaded => write!(f, "overloaded"),
+            Outcome::Invalid => write!(f, "invalid"),
+        }
+    }
+}
+
+/// What the service sends back for one request.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Service-assigned request id (also the jitter seed).
+    pub id: u64,
+    /// Terminal classification.
+    pub outcome: Outcome,
+    /// The plan: the optimized query, or the input itself on
+    /// [`Outcome::Passthrough`]. `None` only for `Overloaded`/`Invalid`.
+    pub plan: Option<Query>,
+    /// The successful rung's rewrite report, untouched — byte-identical to
+    /// what a direct [`kola_rewrite::Runner`] run would report.
+    pub report: Option<RewriteReport>,
+    /// Per-run quarantine state (satellite of the successful rung's
+    /// report), restricted to rules the catalog owns.
+    pub quarantine: QuarantineReport,
+    /// Poison-rule panics caught (and attributed) during the ladder run.
+    pub panics: Vec<CaughtPanic>,
+    /// Retries taken across all rungs.
+    pub retries: usize,
+    /// Human-readable notes for every failed rung attempt, plus the parse
+    /// or gate error when `outcome` is `Invalid`/degraded.
+    pub error: Option<String>,
+    /// End-to-end latency from submission to reply (includes queue wait).
+    pub latency: Duration,
+}
+
+impl Response {
+    /// Structured rejection for a request that was never admitted.
+    pub(crate) fn rejected(id: u64, outcome: Outcome, why: String) -> Self {
+        Response {
+            id,
+            outcome,
+            plan: None,
+            report: None,
+            quarantine: QuarantineReport::default(),
+            panics: Vec::new(),
+            retries: 0,
+            error: Some(why),
+            latency: Duration::ZERO,
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! The concurrent optimization service: bounded queue, worker pool, panic
+//! isolation, and the semantic gate.
+//!
+//! Request lifecycle (README "Serving" has the picture):
+//!
+//! ```text
+//! submit ──full?──▶ Overloaded (structured rejection, never blocks)
+//!    │
+//!    ▼ queued (deadline anchored here: queue wait counts)
+//! worker: parse text ──err──▶ Invalid
+//!    │
+//!    ▼ ladder: fast ▷ reference ▷ passthrough   (each rung: retry once,
+//!    │          under remaining deadline, panics caught & attributed)
+//!    ▼ semantic gate (optional): plan ≡ input on a sample database,
+//!    │          else degrade to Passthrough
+//!    ▼ reply: Optimized{rung} | Passthrough
+//! ```
+//!
+//! Workers run on dedicated threads with oversized stacks (deep-term
+//! traversals are explicit-stack throughout the engine layer, but debug
+//! evaluator frames are large) and wrap each request in `catch_unwind`:
+//! the ladder already isolates poison-rule panics, so anything reaching
+//! the worker boundary is counted in
+//! [`Service::unexpected_panics`] and answered with `Invalid` — the
+//! thread, and the service, survive.
+
+use crate::breaker::Breaker;
+use crate::ladder::Ladder;
+use crate::request::{Outcome, Payload, Request, Response};
+use kola::Db;
+use kola_exec::datagen::{generate, DataSpec};
+use kola_rewrite::{Catalog, PropDb, QuarantineReport};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Instant;
+
+/// Service-wide limits and tuning.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads.
+    pub workers: usize,
+    /// Work-queue capacity; submissions beyond it are shed as
+    /// [`Outcome::Overloaded`].
+    pub queue_capacity: usize,
+    /// Cross-request breaker threshold: open a rule after this many
+    /// requests in which it was implicated in a failure.
+    pub breaker_threshold: usize,
+    /// Reject text payloads larger than this (bytes). Text parsing is
+    /// recursive; bounding the input bounds the parse.
+    pub max_request_bytes: usize,
+    /// Worker stack size in bytes.
+    pub stack_size: usize,
+    /// Run the semantic gate: evaluate input and plan on a small generated
+    /// database and degrade to passthrough if they disagree.
+    pub verify: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            queue_capacity: 64,
+            breaker_threshold: 3,
+            max_request_bytes: 64 * 1024,
+            stack_size: 16 * 1024 * 1024,
+            verify: false,
+        }
+    }
+}
+
+struct Job {
+    id: u64,
+    request: Request,
+    submitted: Instant,
+    deadline: Option<Instant>,
+    reply: mpsc::Sender<Response>,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    catalog: Catalog,
+    props: PropDb,
+    breaker: Breaker,
+    verify_db: Option<Db>,
+    queue: Mutex<QueueState>,
+    cv: Condvar,
+    capacity: usize,
+    max_request_bytes: usize,
+    unexpected_panics: AtomicUsize,
+}
+
+/// A ticket for a queued request; [`Pending::wait`] blocks for the reply.
+pub struct Pending {
+    id: u64,
+    rx: mpsc::Receiver<Response>,
+}
+
+impl Pending {
+    /// The service-assigned request id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Block until the worker replies. A worker always replies — every
+    /// admitted request terminates with a classified outcome.
+    pub fn wait(self) -> Response {
+        self.rx
+            .recv()
+            .expect("worker dropped reply channel without responding")
+    }
+}
+
+/// The running service. Dropping it drains the queue and joins the
+/// workers.
+pub struct Service {
+    shared: Arc<Shared>,
+    workers: Vec<thread::JoinHandle<()>>,
+    next_id: AtomicU64,
+}
+
+impl Service {
+    /// Start a service over the paper catalog with `config`.
+    pub fn start(config: ServiceConfig) -> Service {
+        // Poison-rule panics are caught and attributed; keep their default
+        // hook spam out of service logs (chains to the previous hook for
+        // everything else).
+        kola_rewrite::fault::silence_poison_panics();
+        let shared = Arc::new(Shared {
+            catalog: Catalog::paper(),
+            props: PropDb::new(),
+            breaker: Breaker::new(config.breaker_threshold),
+            verify_db: config.verify.then(|| generate(&DataSpec::small(123))),
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            capacity: config.queue_capacity.max(1),
+            max_request_bytes: config.max_request_bytes,
+            unexpected_panics: AtomicUsize::new(0),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("kola-svc-{i}"))
+                    .stack_size(config.stack_size)
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        Service {
+            shared,
+            workers,
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    /// Submit a request. `Err` carries the structured rejection (a full
+    /// queue or an oversized/invalid-at-the-door payload); `Ok` is a ticket
+    /// for the eventual reply. Never blocks.
+    // The Err arm is the cold shed path; boxing it would tax every caller
+    // for a variant built only under overload.
+    #[allow(clippy::result_large_err)]
+    pub fn submit(&self, request: Request) -> Result<Pending, Response> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        if let Payload::Text(src) = &request.payload {
+            if src.len() > self.shared.max_request_bytes {
+                return Err(Response::rejected(
+                    id,
+                    Outcome::Invalid,
+                    format!(
+                        "request too large: {} bytes (limit {})",
+                        src.len(),
+                        self.shared.max_request_bytes
+                    ),
+                ));
+            }
+        }
+        let submitted = Instant::now();
+        let deadline = request.options.timeout.map(|t| submitted + t);
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            id,
+            request,
+            submitted,
+            deadline,
+            reply: tx,
+        };
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            if q.jobs.len() >= self.shared.capacity {
+                return Err(Response::rejected(
+                    id,
+                    Outcome::Overloaded,
+                    format!("work queue full ({} requests)", self.shared.capacity),
+                ));
+            }
+            q.jobs.push_back(job);
+        }
+        self.shared.cv.notify_one();
+        Ok(Pending { id, rx })
+    }
+
+    /// Submit and wait: the synchronous client surface. An overloaded or
+    /// rejected submission comes back as the rejection response itself, so
+    /// every call yields exactly one classified [`Response`].
+    pub fn call(&self, request: Request) -> Response {
+        match self.submit(request) {
+            Ok(pending) => pending.wait(),
+            Err(rejection) => rejection,
+        }
+    }
+
+    /// The cross-request circuit breaker (observe trips, reset rules).
+    pub fn breaker(&self) -> &Breaker {
+        &self.shared.breaker
+    }
+
+    /// Panics that reached the worker boundary (i.e. were *not* classified
+    /// by the ladder's poison-rule isolation). The chaos soak asserts this
+    /// stays zero.
+    pub fn unexpected_panics(&self) -> usize {
+        self.shared.unexpected_panics.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.shutdown = true;
+        }
+        self.shared.cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break job;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.cv.wait(q).unwrap();
+            }
+        };
+        let id = job.id;
+        let submitted = job.submitted;
+        let reply = job.reply.clone();
+        let outcome = catch_unwind(AssertUnwindSafe(|| handle(shared, job)));
+        let response = outcome.unwrap_or_else(|_| {
+            // Nothing should reach this boundary — the ladder catches
+            // poison-rule panics itself. Count it, answer anyway.
+            shared.unexpected_panics.fetch_add(1, Ordering::Relaxed);
+            let mut r = Response::rejected(
+                id,
+                Outcome::Invalid,
+                "internal: request handler panicked".to_string(),
+            );
+            r.latency = submitted.elapsed();
+            r
+        });
+        // The client may have given up waiting; a dead receiver is fine.
+        let _ = reply.send(response);
+    }
+}
+
+fn handle(shared: &Shared, job: Job) -> Response {
+    let Job {
+        id,
+        request,
+        submitted,
+        deadline,
+        ..
+    } = job;
+    if let Some(hold) = request.options.hold_for {
+        thread::sleep(hold);
+    }
+    let input = match &request.payload {
+        Payload::Text(src) => match kola_frontend::parse_any_query(src) {
+            Ok(q) => q,
+            Err(e) => {
+                let mut r = Response::rejected(id, Outcome::Invalid, e);
+                r.latency = submitted.elapsed();
+                return r;
+            }
+        },
+        Payload::Ast(q) => q.clone(),
+    };
+
+    let ladder = Ladder {
+        catalog: &shared.catalog,
+        props: &shared.props,
+        breaker: &shared.breaker,
+    };
+    let mut result = ladder.run(id, &input, &request.options, deadline);
+
+    // Semantic gate: an optimized plan that disagrees with its input on
+    // the sample database is worse than no optimization — degrade it.
+    let mut gate_error = None;
+    if let (Some(db), Outcome::Optimized { .. }) = (&shared.verify_db, &result.outcome) {
+        if let Err(e) = kola_verify::check_plan_semantics(db, &input, &result.plan) {
+            gate_error = Some(format!("semantic gate: {e}"));
+            result.outcome = Outcome::Passthrough;
+            result.plan = input;
+            result.report = None;
+            result.quarantine = QuarantineReport::default();
+        }
+    }
+
+    let error = match (gate_error, result.failures.is_empty()) {
+        (Some(g), true) => Some(g),
+        (Some(g), false) => Some(format!("{g}; {}", result.failures.join("; "))),
+        (None, false) => Some(result.failures.join("; ")),
+        (None, true) => None,
+    };
+    Response {
+        id,
+        outcome: result.outcome,
+        plan: Some(result.plan),
+        report: result.report,
+        quarantine: result.quarantine,
+        panics: result.panics,
+        retries: result.retries,
+        error,
+        latency: submitted.elapsed(),
+    }
+}

@@ -1,0 +1,48 @@
+//! The chaos soak as a test: 10,000 seeded requests (override with
+//! `CHAOS_REQUESTS`) mixing well-formed queries, adversarially deep terms,
+//! poison rules, and random deadlines. Asserts the service's terminal
+//! invariants: every request classified, zero escaped panics, zero
+//! semantic-gate failures — and that the stream actually exercised every
+//! lane (panics caught, breakers opened, loads shed).
+
+use kola_service::{run_chaos, ChaosConfig};
+
+#[test]
+fn chaos_soak_classifies_every_request_and_escapes_no_panics() {
+    let requests = std::env::var("CHAOS_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
+    let cfg = ChaosConfig {
+        requests,
+        ..ChaosConfig::default()
+    };
+    let report = run_chaos(&cfg);
+    let violations = report.violations();
+    assert!(
+        violations.is_empty(),
+        "soak invariants violated:\n{}\n\n{}",
+        violations.join("\n"),
+        report.summary()
+    );
+    // The taxonomy is exactly Optimized{rung} / Passthrough / Overloaded.
+    assert_eq!(
+        report.optimized_fast + report.optimized_reference + report.passthrough + report.overloaded,
+        report.requests,
+        "{}",
+        report.summary()
+    );
+    assert_eq!(report.invalid, 0, "{}", report.summary());
+    assert_eq!(report.unexpected_panics, 0, "{}", report.summary());
+    assert_eq!(report.gate_failures, 0, "{}", report.summary());
+    if requests >= 2_000 {
+        // With the default stream the chaos lanes all fire: poison rules
+        // panic and are caught, their breakers open, flood phases shed.
+        assert!(report.caught_panics > 0, "{}", report.summary());
+        assert!(report.breaker_opened > 0, "{}", report.summary());
+        assert!(report.overloaded > 0, "{}", report.summary());
+        assert!(report.optimized_fast > 0, "{}", report.summary());
+        assert!(report.passthrough > 0, "{}", report.summary());
+        assert!(report.retries > 0, "{}", report.summary());
+    }
+}

@@ -319,6 +319,36 @@ pub fn check_normalization_semantics(
     }
 }
 
+/// The semantic gate for an already-produced plan: evaluate `input` and
+/// `plan` on `db` and require agreement. This is
+/// [`check_normalization_semantics`] with the normalization factored out —
+/// the optimization service uses it to gate every ladder rung's output
+/// (including degraded and passthrough plans) without rerunning the
+/// engine. Both sides stuck counts as vacuously preserved, mirroring
+/// [`check_rule`]'s skip convention.
+pub fn check_plan_semantics(
+    db: &Db,
+    input: &kola::term::Query,
+    plan: &kola::term::Query,
+) -> Result<(), String> {
+    match (
+        kola::eval::eval_query(db, input),
+        kola::eval::eval_query(db, plan),
+    ) {
+        (Ok(a), Ok(b)) if a == b => Ok(()),
+        (Ok(a), Ok(b)) => Err(format!(
+            "plan changed semantics: {a:?} != {b:?}\n  in  : {input}\n  plan: {plan}"
+        )),
+        (Err(_), Err(_)) => Ok(()),
+        (Ok(a), Err(e)) => Err(format!(
+            "plan is stuck ({e}) but input evaluates to {a:?}\n  in  : {input}\n  plan: {plan}"
+        )),
+        (Err(e), Ok(b)) => Err(format!(
+            "input is stuck ({e}) but plan evaluates to {b:?}\n  in  : {input}\n  plan: {plan}"
+        )),
+    }
+}
+
 /// Verify every rule in a catalog. Returns one report per rule.
 pub fn verify_catalog(
     env: &TypeEnv,

@@ -10,6 +10,8 @@ pub mod check;
 pub mod containment;
 pub mod gen;
 
-pub use check::{check_rule, verify_catalog, RuleReport};
+pub use check::{
+    check_normalization_semantics, check_plan_semantics, check_rule, verify_catalog, RuleReport,
+};
 pub use containment::{check_containment, run_invariants, verify_containment, ContainmentReport};
 pub use gen::{palette, Gen};

@@ -25,6 +25,13 @@ pub enum EvalError {
     },
     /// A database fault (unknown attribute/extent, dangling object, …).
     Db(DbError),
+    /// The term nests deeper than the evaluator's recursion guard allows.
+    /// Returned instead of overflowing the native stack on adversarially
+    /// deep terms — a structured error the caller can degrade on.
+    DepthExceeded {
+        /// The configured recursion limit.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for EvalError {
@@ -32,6 +39,9 @@ impl fmt::Display for EvalError {
         match self {
             EvalError::Stuck { what, got } => write!(f, "{what} applied to {got}"),
             EvalError::Db(e) => write!(f, "db error: {e}"),
+            EvalError::DepthExceeded { limit } => {
+                write!(f, "term exceeds evaluation depth limit {limit}")
+            }
         }
     }
 }
@@ -46,6 +56,49 @@ impl From<DbError> for EvalError {
 
 /// Shorthand result type for evaluation.
 pub type EvalResult<T = Value> = Result<T, EvalError>;
+
+/// Default recursion-depth guard for the evaluators — far above any
+/// legitimate query (paper derivations nest < 50 levels). Depth alone is
+/// not enough, though: evaluator stack frames vary by an order of
+/// magnitude between release (~1 KB) and debug (~16 KB) builds, so the
+/// guard pairs this structural cap with [`EVAL_STACK_BUDGET`], a bound on
+/// *actual* native-stack consumption. Whichever trips first yields
+/// [`EvalError::DepthExceeded`].
+pub const MAX_EVAL_DEPTH: usize = 192;
+
+/// Native-stack budget (bytes) for one evaluation, measured from the entry
+/// point. Sized so evaluation never overflows the 2 MiB default stack of a
+/// spawned thread, with headroom for the caller and error propagation.
+pub const EVAL_STACK_BUDGET: usize = 1_280 * 1024;
+
+/// Current native-stack position. Pair with [`stack_exhausted`] to bound
+/// recursion by measured consumption rather than guessed frame sizes.
+/// (Exposed for the `kola-exec` executor, which has the same shape of
+/// recursion; not part of the stable API.)
+#[doc(hidden)]
+#[inline(never)]
+pub fn stack_mark() -> usize {
+    let probe = 0u8;
+    std::hint::black_box(&probe as *const u8 as usize)
+}
+
+/// True when the stack has grown more than [`EVAL_STACK_BUDGET`] bytes past
+/// `base` (a prior [`stack_mark`]). Stacks grow downward on every platform
+/// this crate targets.
+#[doc(hidden)]
+#[inline]
+pub fn stack_exhausted(base: usize) -> bool {
+    base.saturating_sub(stack_mark()) > EVAL_STACK_BUDGET
+}
+
+#[inline]
+fn guard(d: usize, limit: usize, base: usize) -> EvalResult<()> {
+    if d >= limit || stack_exhausted(base) {
+        Err(EvalError::DepthExceeded { limit })
+    } else {
+        Ok(())
+    }
+}
 
 fn stuck<T>(what: &'static str, v: &Value) -> EvalResult<T> {
     Err(EvalError::Stuck {
@@ -79,7 +132,18 @@ fn cmp_ints(what: &'static str, v: &Value) -> EvalResult<(i64, i64)> {
 }
 
 /// Invoke a KOLA function: `f ! x` (Table 1 and Table 2 of the paper).
+/// Guarded by [`MAX_EVAL_DEPTH`]; see [`eval_func_depth`] for a custom cap.
 pub fn eval_func(db: &Db, f: &Func, x: &Value) -> EvalResult {
+    func_at(db, f, x, 0, MAX_EVAL_DEPTH, stack_mark())
+}
+
+/// [`eval_func`] with an explicit recursion-depth cap.
+pub fn eval_func_depth(db: &Db, f: &Func, x: &Value, limit: usize) -> EvalResult {
+    func_at(db, f, x, 0, limit, stack_mark())
+}
+
+fn func_at(db: &Db, f: &Func, x: &Value, d: usize, limit: usize, base: usize) -> EvalResult {
+    guard(d, limit, base)?;
     match f {
         // --- Table 1: basic combinators ---
         Func::Id => Ok(x.clone()),
@@ -93,24 +157,30 @@ pub fn eval_func(db: &Db, f: &Func, x: &Value) -> EvalResult {
         },
         Func::Prim(name) => Ok(db.get_attr(x, name)?),
         Func::Compose(f, g) => {
-            let mid = eval_func(db, g, x)?;
-            eval_func(db, f, &mid)
+            let mid = func_at(db, g, x, d + 1, limit, base)?;
+            func_at(db, f, &mid, d + 1, limit, base)
         }
-        Func::PairWith(f, g) => Ok(Value::pair(eval_func(db, f, x)?, eval_func(db, g, x)?)),
+        Func::PairWith(f, g) => Ok(Value::pair(
+            func_at(db, f, x, d + 1, limit, base)?,
+            func_at(db, g, x, d + 1, limit, base)?,
+        )),
         Func::Times(f, g) => {
             let (a, b) = as_pair_owned("times", x.clone())?;
-            Ok(Value::pair(eval_func(db, f, &a)?, eval_func(db, g, &b)?))
+            Ok(Value::pair(
+                func_at(db, f, &a, d + 1, limit, base)?,
+                func_at(db, g, &b, d + 1, limit, base)?,
+            ))
         }
-        Func::ConstF(q) => eval_query(db, q),
+        Func::ConstF(q) => query_at(db, q, d + 1, limit, base),
         Func::CurryF(f, q) => {
-            let arg = Value::pair(eval_query(db, q)?, x.clone());
-            eval_func(db, f, &arg)
+            let arg = Value::pair(query_at(db, q, d + 1, limit, base)?, x.clone());
+            func_at(db, f, &arg, d + 1, limit, base)
         }
         Func::Cond(p, f, g) => {
-            if eval_pred(db, p, x)? {
-                eval_func(db, f, x)
+            if pred_at(db, p, x, d + 1, limit, base)? {
+                func_at(db, f, x, d + 1, limit, base)
             } else {
-                eval_func(db, g, x)
+                func_at(db, g, x, d + 1, limit, base)
             }
         }
 
@@ -130,8 +200,8 @@ pub fn eval_func(db: &Db, f: &Func, x: &Value) -> EvalResult {
             let set = as_set("iterate", x)?;
             let mut out = ValueSet::new();
             for v in set.iter() {
-                if eval_pred(db, p, v)? {
-                    out.insert(eval_func(db, f, v)?);
+                if pred_at(db, p, v, d + 1, limit, base)? {
+                    out.insert(func_at(db, f, v, d + 1, limit, base)?);
                 }
             }
             Ok(Value::Set(out))
@@ -143,8 +213,8 @@ pub fn eval_func(db: &Db, f: &Func, x: &Value) -> EvalResult {
             let mut out = ValueSet::new();
             for y in set.iter() {
                 let pair = Value::pair(e.clone(), y.clone());
-                if eval_pred(db, p, &pair)? {
-                    out.insert(eval_func(db, f, &pair)?);
+                if pred_at(db, p, &pair, d + 1, limit, base)? {
+                    out.insert(func_at(db, f, &pair, d + 1, limit, base)?);
                 }
             }
             Ok(Value::Set(out))
@@ -157,8 +227,8 @@ pub fn eval_func(db: &Db, f: &Func, x: &Value) -> EvalResult {
             for x in aset.iter() {
                 for y in bset.iter() {
                     let pair = Value::pair(x.clone(), y.clone());
-                    if eval_pred(db, p, &pair)? {
-                        out.insert(eval_func(db, f, &pair)?);
+                    if pred_at(db, p, &pair, d + 1, limit, base)? {
+                        out.insert(func_at(db, f, &pair, d + 1, limit, base)?);
                     }
                 }
             }
@@ -173,8 +243,8 @@ pub fn eval_func(db: &Db, f: &Func, x: &Value) -> EvalResult {
             for y in bset.iter() {
                 let mut group = ValueSet::new();
                 for x in aset.iter() {
-                    if &eval_func(db, f, x)? == y {
-                        group.insert(eval_func(db, g, x)?);
+                    if &func_at(db, f, x, d + 1, limit, base)? == y {
+                        group.insert(func_at(db, g, x, d + 1, limit, base)?);
                     }
                 }
                 out.insert(Value::pair(y.clone(), Value::Set(group)));
@@ -186,8 +256,8 @@ pub fn eval_func(db: &Db, f: &Func, x: &Value) -> EvalResult {
             let set = as_set("unnest", x)?;
             let mut out = ValueSet::new();
             for v in set.iter() {
-                let key = eval_func(db, f, v)?;
-                let inner = eval_func(db, g, v)?;
+                let key = func_at(db, f, v, d + 1, limit, base)?;
+                let inner = func_at(db, g, v, d + 1, limit, base)?;
                 let inner = as_set("unnest (g result)", &inner)?;
                 for y in inner.iter() {
                     out.insert(Value::pair(key.clone(), y.clone()));
@@ -213,8 +283,8 @@ pub fn eval_func(db: &Db, f: &Func, x: &Value) -> EvalResult {
             };
             let mut out = crate::bag::ValueBag::new();
             for (v, n) in bag.iter() {
-                if eval_pred(db, p, v)? {
-                    out.insert_n(eval_func(db, f, v)?, n);
+                if pred_at(db, p, v, d + 1, limit, base)? {
+                    out.insert_n(func_at(db, f, v, d + 1, limit, base)?, n);
                 }
             }
             Ok(Value::Bag(out))
@@ -261,7 +331,18 @@ pub fn eval_func(db: &Db, f: &Func, x: &Value) -> EvalResult {
 }
 
 /// Invoke a KOLA predicate: `p ? x` (Table 1 of the paper).
+/// Guarded by [`MAX_EVAL_DEPTH`]; see [`eval_pred_depth`] for a custom cap.
 pub fn eval_pred(db: &Db, p: &Pred, x: &Value) -> EvalResult<bool> {
+    pred_at(db, p, x, 0, MAX_EVAL_DEPTH, stack_mark())
+}
+
+/// [`eval_pred`] with an explicit recursion-depth cap.
+pub fn eval_pred_depth(db: &Db, p: &Pred, x: &Value, limit: usize) -> EvalResult<bool> {
+    pred_at(db, p, x, 0, limit, stack_mark())
+}
+
+fn pred_at(db: &Db, p: &Pred, x: &Value, d: usize, limit: usize, base: usize) -> EvalResult<bool> {
+    guard(d, limit, base)?;
     match p {
         Pred::Eq => {
             let (a, b) = as_pair_owned("eq", x.clone())?;
@@ -280,21 +361,25 @@ pub fn eval_pred(db: &Db, p: &Pred, x: &Value) -> EvalResult<bool> {
             other => stuck("primitive predicate", &other),
         },
         Pred::Oplus(p, f) => {
-            let mid = eval_func(db, f, x)?;
-            eval_pred(db, p, &mid)
+            let mid = func_at(db, f, x, d + 1, limit, base)?;
+            pred_at(db, p, &mid, d + 1, limit, base)
         }
-        Pred::And(p, q) => Ok(eval_pred(db, p, x)? && eval_pred(db, q, x)?),
-        Pred::Or(p, q) => Ok(eval_pred(db, p, x)? || eval_pred(db, q, x)?),
-        Pred::Not(p) => Ok(!eval_pred(db, p, x)?),
+        Pred::And(p, q) => {
+            Ok(pred_at(db, p, x, d + 1, limit, base)? && pred_at(db, q, x, d + 1, limit, base)?)
+        }
+        Pred::Or(p, q) => {
+            Ok(pred_at(db, p, x, d + 1, limit, base)? || pred_at(db, q, x, d + 1, limit, base)?)
+        }
+        Pred::Not(p) => Ok(!pred_at(db, p, x, d + 1, limit, base)?),
         Pred::Conv(p) => {
             let (a, b) = as_pair_owned("inv", x.clone())?;
             let swapped = Value::pair(b, a);
-            eval_pred(db, p, &swapped)
+            pred_at(db, p, &swapped, d + 1, limit, base)
         }
         Pred::ConstP(b) => Ok(*b),
         Pred::CurryP(p, q) => {
-            let arg = Value::pair(eval_query(db, q)?, x.clone());
-            eval_pred(db, p, &arg)
+            let arg = Value::pair(query_at(db, q, d + 1, limit, base)?, x.clone());
+            pred_at(db, p, &arg, d + 1, limit, base)
         }
     }
 }
@@ -313,33 +398,46 @@ pub fn eval_pred(db: &Db, p: &Pred, x: &Value) -> EvalResult<bool> {
 /// );
 /// ```
 pub fn eval_query(db: &Db, q: &Query) -> EvalResult {
+    query_at(db, q, 0, MAX_EVAL_DEPTH, stack_mark())
+}
+
+/// [`eval_query`] with an explicit recursion-depth cap.
+pub fn eval_query_depth(db: &Db, q: &Query, limit: usize) -> EvalResult {
+    query_at(db, q, 0, limit, stack_mark())
+}
+
+fn query_at(db: &Db, q: &Query, d: usize, limit: usize, base: usize) -> EvalResult {
+    guard(d, limit, base)?;
     match q {
         Query::Lit(v) => Ok(v.clone()),
         Query::Extent(name) => Ok(db.extent(name)?),
-        Query::PairQ(a, b) => Ok(Value::pair(eval_query(db, a)?, eval_query(db, b)?)),
+        Query::PairQ(a, b) => Ok(Value::pair(
+            query_at(db, a, d + 1, limit, base)?,
+            query_at(db, b, d + 1, limit, base)?,
+        )),
         Query::App(f, q) => {
-            let arg = eval_query(db, q)?;
-            eval_func(db, f, &arg)
+            let arg = query_at(db, q, d + 1, limit, base)?;
+            func_at(db, f, &arg, d + 1, limit, base)
         }
         Query::Test(p, q) => {
-            let arg = eval_query(db, q)?;
-            Ok(Value::Bool(eval_pred(db, p, &arg)?))
+            let arg = query_at(db, q, d + 1, limit, base)?;
+            Ok(Value::Bool(pred_at(db, p, &arg, d + 1, limit, base)?))
         }
         Query::Union(a, b) => {
-            let a = eval_query(db, a)?;
-            let b = eval_query(db, b)?;
+            let a = query_at(db, a, d + 1, limit, base)?;
+            let b = query_at(db, b, d + 1, limit, base)?;
             Ok(Value::Set(as_set("union", &a)?.union(as_set("union", &b)?)))
         }
         Query::Intersect(a, b) => {
-            let a = eval_query(db, a)?;
-            let b = eval_query(db, b)?;
+            let a = query_at(db, a, d + 1, limit, base)?;
+            let b = query_at(db, b, d + 1, limit, base)?;
             Ok(Value::Set(
                 as_set("intersect", &a)?.intersect(as_set("intersect", &b)?),
             ))
         }
         Query::Diff(a, b) => {
-            let a = eval_query(db, a)?;
-            let b = eval_query(db, b)?;
+            let a = query_at(db, a, d + 1, limit, base)?;
+            let b = query_at(db, b, d + 1, limit, base)?;
             Ok(Value::Set(
                 as_set("diff", &a)?.difference(as_set("diff", &b)?),
             ))
@@ -707,6 +805,58 @@ mod tests {
         assert!(eval_func(&d, &biterate(kp(true), id()), &iset([1])).is_err());
         assert!(eval_func(&d, &bunion(), &iset([1])).is_err());
         assert!(eval_func(&d, &Func::BFlat, &iset([1])).is_err());
+    }
+
+    #[test]
+    fn adversarially_deep_terms_error_instead_of_overflowing() {
+        // A 100_000-deep ∘-chain: the recursive evaluator used to blow the
+        // native stack here; now it returns a structured error.
+        let d = db();
+        let mut f = id();
+        for _ in 0..100_000 {
+            f = o(id(), f);
+        }
+        let q = crate::builder::app(f.clone(), crate::builder::int(1));
+        assert_eq!(
+            eval_query(&d, &q),
+            Err(EvalError::DepthExceeded {
+                limit: MAX_EVAL_DEPTH
+            })
+        );
+        assert_eq!(
+            eval_func(&d, &f, &Value::Int(1)),
+            Err(EvalError::DepthExceeded {
+                limit: MAX_EVAL_DEPTH
+            })
+        );
+        // Deep predicates too.
+        let mut p = kp(true);
+        for _ in 0..100_000 {
+            p = not(p);
+        }
+        assert_eq!(
+            eval_pred(&d, &p, &Value::Unit),
+            Err(EvalError::DepthExceeded {
+                limit: MAX_EVAL_DEPTH
+            })
+        );
+    }
+
+    #[test]
+    fn depth_cap_is_configurable_and_generous_by_default() {
+        let d = db();
+        let mut f = id();
+        for _ in 0..60 {
+            f = o(id(), f);
+        }
+        // 60 levels fits the default cap (and, in debug builds with their
+        // ~16 KB evaluator frames, stays inside EVAL_STACK_BUDGET)…
+        assert_eq!(eval_func(&d, &f, &Value::Int(3)).unwrap(), Value::Int(3));
+        // …but not an explicit cap of 50.
+        assert_eq!(
+            eval_func_depth(&d, &f, &Value::Int(3), 50),
+            Err(EvalError::DepthExceeded { limit: 50 })
+        );
     }
 
     #[test]

@@ -679,19 +679,22 @@ mod tests {
         let i = it.intern_func(&f);
         assert_eq!(i.size(), want);
         let back = i.to_func();
-        // Tear down (and incidentally count) with explicit stacks.
-        for t in [f, back] {
+        // Count with an explicit reference stack; dropping the deep terms
+        // afterwards is safe now that `Func` has a worklist `Drop`.
+        for t in [&f, &back] {
             let mut nodes = 0usize;
             let mut work = vec![t];
             while let Some(x) = work.pop() {
                 nodes += 1;
                 if let Func::Compose(a, b) = x {
-                    work.push(*a);
-                    work.push(*b);
+                    work.push(a);
+                    work.push(b);
                 }
             }
             assert_eq!(nodes, want);
         }
+        drop(f);
+        drop(back);
         drop(i);
         drop(it); // must not overflow
     }

@@ -150,6 +150,143 @@ impl Clone for Func {
     }
 }
 
+// Derived drop glue is just as recursive as a derived `Clone` — and unlike
+// cloning, *every* deep term is eventually dropped, including ones an
+// unwinding worker abandons mid-flight. These impls tear terms down with an
+// explicit worklist: a node's children are detached (swapped for leaves)
+// onto a heap stack before the node itself is freed, so teardown depth
+// costs heap, not stack. The three term types nest through each other
+// (`Cond` holds a `Pred`, `Oplus` holds a `Func`, `ConstF` holds a
+// `Query`), so the worklist carries all three.
+enum Torn {
+    F(Func),
+    P(Pred),
+    Q(Query),
+}
+
+fn detach_func(f: &mut Func, out: &mut Vec<Torn>) {
+    use std::mem::replace;
+    match f {
+        Func::Id
+        | Func::Pi1
+        | Func::Pi2
+        | Func::Prim(_)
+        | Func::Flat
+        | Func::Bagify
+        | Func::Dedup
+        | Func::BUnion
+        | Func::BFlat
+        | Func::SetUnion
+        | Func::SetIntersect
+        | Func::SetDiff => {}
+        Func::Compose(a, b)
+        | Func::PairWith(a, b)
+        | Func::Times(a, b)
+        | Func::Nest(a, b)
+        | Func::Unnest(a, b) => {
+            out.push(Torn::F(replace(a, Func::Id)));
+            out.push(Torn::F(replace(b, Func::Id)));
+        }
+        Func::ConstF(q) => out.push(Torn::Q(replace(q, Query::Lit(Value::Unit)))),
+        Func::CurryF(g, q) => {
+            out.push(Torn::F(replace(g, Func::Id)));
+            out.push(Torn::Q(replace(q, Query::Lit(Value::Unit))));
+        }
+        Func::Cond(p, g, h) => {
+            out.push(Torn::P(replace(p, Pred::Eq)));
+            out.push(Torn::F(replace(g, Func::Id)));
+            out.push(Torn::F(replace(h, Func::Id)));
+        }
+        Func::Iterate(p, g) | Func::Iter(p, g) | Func::Join(p, g) | Func::BIterate(p, g) => {
+            out.push(Torn::P(replace(p, Pred::Eq)));
+            out.push(Torn::F(replace(g, Func::Id)));
+        }
+    }
+}
+
+fn detach_pred(p: &mut Pred, out: &mut Vec<Torn>) {
+    use std::mem::replace;
+    match p {
+        Pred::Eq
+        | Pred::Lt
+        | Pred::Leq
+        | Pred::Gt
+        | Pred::Geq
+        | Pred::In
+        | Pred::PrimP(_)
+        | Pred::ConstP(_) => {}
+        Pred::Oplus(q, f) => {
+            out.push(Torn::P(replace(q, Pred::Eq)));
+            out.push(Torn::F(replace(f, Func::Id)));
+        }
+        Pred::And(a, b) | Pred::Or(a, b) => {
+            out.push(Torn::P(replace(a, Pred::Eq)));
+            out.push(Torn::P(replace(b, Pred::Eq)));
+        }
+        Pred::Not(a) | Pred::Conv(a) => out.push(Torn::P(replace(a, Pred::Eq))),
+        Pred::CurryP(a, q) => {
+            out.push(Torn::P(replace(a, Pred::Eq)));
+            out.push(Torn::Q(replace(q, Query::Lit(Value::Unit))));
+        }
+    }
+}
+
+fn detach_query(q: &mut Query, out: &mut Vec<Torn>) {
+    use std::mem::replace;
+    match q {
+        Query::Lit(_) | Query::Extent(_) => {}
+        Query::PairQ(a, b) | Query::Union(a, b) | Query::Intersect(a, b) | Query::Diff(a, b) => {
+            out.push(Torn::Q(replace(a, Query::Lit(Value::Unit))));
+            out.push(Torn::Q(replace(b, Query::Lit(Value::Unit))));
+        }
+        Query::App(f, a) => {
+            out.push(Torn::F(replace(f, Func::Id)));
+            out.push(Torn::Q(replace(a, Query::Lit(Value::Unit))));
+        }
+        Query::Test(p, a) => {
+            out.push(Torn::P(replace(p, Pred::Eq)));
+            out.push(Torn::Q(replace(a, Query::Lit(Value::Unit))));
+        }
+    }
+}
+
+// Each popped node drops at the end of its match arm; its own `Drop` runs
+// again, but finds only detached-leaf children, so that nested call is O(1)
+// and allocation-free (`Vec::new` does not allocate until first push).
+fn teardown(mut out: Vec<Torn>) {
+    while let Some(t) = out.pop() {
+        match t {
+            Torn::F(mut f) => detach_func(&mut f, &mut out),
+            Torn::P(mut p) => detach_pred(&mut p, &mut out),
+            Torn::Q(mut q) => detach_query(&mut q, &mut out),
+        }
+    }
+}
+
+impl Drop for Func {
+    fn drop(&mut self) {
+        let mut out = Vec::new();
+        detach_func(self, &mut out);
+        teardown(out);
+    }
+}
+
+impl Drop for Pred {
+    fn drop(&mut self) {
+        let mut out = Vec::new();
+        detach_pred(self, &mut out);
+        teardown(out);
+    }
+}
+
+impl Drop for Query {
+    fn drop(&mut self) {
+        let mut out = Vec::new();
+        detach_query(self, &mut out);
+        teardown(out);
+    }
+}
+
 /// A KOLA predicate. Invoked with `p ? x` (see [`crate::eval::eval_pred`]).
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Pred {
@@ -437,9 +574,9 @@ mod tests {
     fn normalize_descends_into_formers() {
         let t = iterate(kp(true), o(o(prim("a"), prim("b")), prim("c")));
         let n = t.normalize();
-        match n {
+        match &n {
             Func::Iterate(_, f) => {
-                assert_eq!(*f, o(prim("a"), o(prim("b"), prim("c"))));
+                assert_eq!(**f, o(prim("a"), o(prim("b"), prim("c"))));
             }
             _ => panic!(),
         }
@@ -491,15 +628,26 @@ mod tests {
                 (x, y) => assert_eq!(x, y),
             }
         }
-        // Tear both down iteratively: derived drop glue also recurses.
-        for t in [f, g] {
-            let mut work = vec![t];
-            while let Some(x) = work.pop() {
-                if let Func::Compose(a, b) = x {
-                    work.push(*a);
-                    work.push(*b);
-                }
-            }
+        // Dropping the deep terms exercises the worklist `Drop` impls.
+        drop(f);
+        drop(g);
+    }
+
+    #[test]
+    fn drop_is_stack_safe_across_all_three_term_types() {
+        // Deep nesting that alternates Func/Pred/Query constructors so the
+        // teardown worklist crosses type boundaries, not just ∘-spines.
+        let mut q = Query::Lit(Value::Unit);
+        for i in 0..60_000 {
+            q = match i % 3 {
+                0 => Query::App(Func::ConstF(Box::new(q)), Box::new(Query::Lit(Value::Unit))),
+                1 => Query::Test(
+                    Pred::Not(Box::new(Pred::CurryP(Box::new(Pred::Eq), Box::new(q)))),
+                    Box::new(Query::Lit(Value::Unit)),
+                ),
+                _ => Query::PairQ(Box::new(q), Box::new(Query::Lit(Value::Unit))),
+            };
         }
+        drop(q); // must not overflow
     }
 }

@@ -7,13 +7,18 @@
 #                   iteration counts, regenerating BENCH_rewrite.json and
 #                   failing if the indexed engine is slower than the naive
 #                   engine on the fig4 workload.
+#   --chaos-smoke   additionally run a 100-request chaos soak against the
+#                   optimization service, failing on any escaped panic,
+#                   unclassified request, or semantic-gate violation.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_SMOKE_RUN=0
+CHAOS_SMOKE_RUN=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE_RUN=1 ;;
+    --chaos-smoke) CHAOS_SMOKE_RUN=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -34,6 +39,12 @@ if [ "$BENCH_SMOKE_RUN" = 1 ]; then
   echo "== bench smoke (engine_modes, enforced)"
   BENCH_SMOKE=1 BENCH_ENFORCE=1 \
     cargo bench -p kola-bench --bench engine_modes --offline
+fi
+
+if [ "$CHAOS_SMOKE_RUN" = 1 ]; then
+  echo "== chaos smoke (100-request service soak)"
+  CHAOS_REQUESTS=100 \
+    cargo run -p kola-service --bin chaos-soak --release --offline
 fi
 
 echo "CI gate passed."

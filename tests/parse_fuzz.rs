@@ -1,0 +1,114 @@
+//! Parser robustness: `kola::parse` must never panic, on anything.
+//!
+//! Two attacks: (1) ~1000 seeded byte-level mutations of valid concrete
+//! syntax — insertions, deletions, replacements, swaps, truncations, and
+//! non-ASCII garbage — must parse or fail, never panic; (2) the
+//! parse → display → parse round trip on the valid corpus must be the
+//! identity, so the printer and parser agree on every construct the
+//! service can receive as text.
+
+use kola_exec::rng::Rng;
+
+const CORPUS: &[&str] = &[
+    "P",
+    "()",
+    "{1, 2, 3}",
+    "[V, P]",
+    "P union Q",
+    "A union B intersect C",
+    "gt ? [3, 2]",
+    "id . age ! P",
+    "age . id ! P",
+    "sunion ! [P, Q]",
+    "iterate(Kp(T), age) ! P",
+    "iterate(Kp(T), city) . iterate(Kp(T), addr) ! P",
+    "iterate(Kp(T), city . addr) ! P",
+    "iterate(gt @ (age, Kf(25)), age) ! P",
+    "id . id . id . id . age ! P",
+];
+
+fn mutate(src: &str, rng: &mut Rng) -> String {
+    let mut bytes: Vec<u8> = src.as_bytes().to_vec();
+    let edits = 1 + rng.gen_range(0..4usize);
+    for _ in 0..edits {
+        let kind = rng.gen_range(0..6usize);
+        let pos = if bytes.is_empty() {
+            0
+        } else {
+            rng.gen_range(0..bytes.len())
+        };
+        match kind {
+            // Insert a printable or arbitrary byte.
+            0 => {
+                let b = if rng.gen_bool(0.7) {
+                    b' ' + (rng.gen_range(0..95usize) as u8)
+                } else {
+                    rng.gen_range(0..256usize) as u8
+                };
+                bytes.insert(pos, b);
+            }
+            // Delete.
+            1 => {
+                if !bytes.is_empty() {
+                    bytes.remove(pos);
+                }
+            }
+            // Replace.
+            2 => {
+                if !bytes.is_empty() {
+                    bytes[pos] = rng.gen_range(0..256usize) as u8;
+                }
+            }
+            // Swap two positions.
+            3 => {
+                if !bytes.is_empty() {
+                    let other = rng.gen_range(0..bytes.len());
+                    bytes.swap(pos, other);
+                }
+            }
+            // Truncate.
+            4 => bytes.truncate(pos),
+            // Duplicate a slice (grows nesting-ish shapes).
+            _ => {
+                if !bytes.is_empty() {
+                    let end = pos + rng.gen_range(0..(bytes.len() - pos).min(8) + 1);
+                    let slice: Vec<u8> = bytes[pos..end].to_vec();
+                    for (i, b) in slice.into_iter().enumerate() {
+                        bytes.insert(end + i, b);
+                    }
+                }
+            }
+        }
+    }
+    // Parsing operates on &str; lossily re-encode the mutated bytes.
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+#[test]
+fn thousand_seeded_mutations_never_panic_the_parser() {
+    for seed in 0..1000u64 {
+        let mut rng = Rng::seed_from_u64(seed);
+        let base = CORPUS[rng.gen_range(0..CORPUS.len())];
+        let mutated = mutate(base, &mut rng);
+        // Err is fine; a panic aborts the whole test.
+        let _ = kola::parse::parse_query(&mutated);
+        let _ = kola::parse::parse_func(&mutated);
+    }
+}
+
+#[test]
+fn parse_display_parse_is_the_identity_on_the_corpus() {
+    for src in CORPUS {
+        let q1 = kola::parse::parse_query(src)
+            .unwrap_or_else(|e| panic!("corpus entry must parse: {src}: {e}"));
+        let printed = q1.to_string();
+        let q2 = kola::parse::parse_query(&printed)
+            .unwrap_or_else(|e| panic!("printed form must reparse: {printed}: {e}"));
+        assert_eq!(q1, q2, "round trip changed the term for {src}");
+        assert_eq!(
+            printed,
+            q2.to_string(),
+            "display is not a fixpoint for {src}"
+        );
+    }
+}

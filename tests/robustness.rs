@@ -268,3 +268,50 @@ fn executor_agrees_or_both_fail() {
         }
     }
 }
+
+#[test]
+fn poison_rule_panics_are_caught_and_attributed_by_both_engines() {
+    use kola_rewrite::fault::{
+        silence_poison_panics, FaultKind, FaultPlan, FaultSpec, StepSelector,
+    };
+    use kola_rewrite::{Budget, Catalog, Engine, EngineConfig, Oriented, PropDb};
+
+    silence_poison_panics();
+    let catalog = Catalog::paper();
+    let props = PropDb::new();
+    // Rule 2 (id ∘ f ≡ f) is the only rule in this list that fires on an
+    // id tower, so a Panic fault on rule 2 must unwind from both engines.
+    let rules = vec![
+        Oriented::fwd(catalog.get("2").unwrap()),
+        Oriented::fwd(catalog.get("9").unwrap()),
+    ];
+    let q = kola::parse::parse_query("id . id . age ! P").unwrap();
+    let faults = FaultPlan::new().with(FaultSpec {
+        rule_id: "2".into(),
+        at: StepSelector::Always,
+        kind: FaultKind::Panic,
+    });
+    let budget = Budget::default();
+
+    let boxed = kola_rewrite::try_rewrite_fix_with(&rules, &q, &props, &budget, &faults);
+    let fast = Engine::new(rules.clone(), &props, EngineConfig::fast())
+        .try_normalize_with(&q, &budget, &faults);
+    for (name, r) in [("boxed", &boxed), ("fast", &fast)] {
+        let err = r
+            .as_ref()
+            .expect_err(&format!("{name}: poison rule must unwind"));
+        assert_eq!(err.rule_id.as_deref(), Some("2"), "{name}");
+    }
+
+    // Without the fault, both engines still agree byte-for-byte.
+    let clean_boxed =
+        kola_rewrite::try_rewrite_fix_with(&rules, &q, &props, &budget, &FaultPlan::new()).unwrap();
+    let clean_fast = Engine::new(rules, &props, EngineConfig::fast())
+        .try_normalize_with(&q, &budget, &FaultPlan::new())
+        .unwrap();
+    assert_eq!(clean_boxed.query, clean_fast.query);
+    assert_eq!(
+        format!("{}", clean_boxed.report),
+        format!("{}", clean_fast.report)
+    );
+}
