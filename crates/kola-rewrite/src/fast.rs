@@ -30,6 +30,18 @@
 //!   stop, zero failures, no depth clip, no faults, no deadline) when the
 //!   same input term recurs and the stored run fits inside the current
 //!   budget; otherwise it falls through to a live run.
+//!
+//! ## Long-lived engines
+//!
+//! An [`Engine`] is built to be *kept*: a service worker owns one for its
+//! whole lifetime and the arena, marks, and memo amortize across requests.
+//! Two APIs make that safe. [`Engine::set_epoch`] scopes the caches to a
+//! rule-set snapshot (breaker trips/resets swap epochs; marks and memo
+//! entries never cross one), masking disabled rules out of the candidate
+//! scan without rebuilding the index. [`EngineConfig::arena_capacity`]
+//! bounds arena growth: between runs, an over-cap arena is dropped wholesale
+//! together with every address-keyed cache ([`Engine::reset_caches`]), so a
+//! poison request costs one cold start, not permanent bloat.
 
 use crate::budget::{Budget, RewriteError, RewriteReport, StopReason};
 use crate::catalog::RuleIndex;
@@ -57,6 +69,13 @@ pub struct EngineConfig {
     pub memoized: bool,
     /// Bounded LRU capacity of the normalization memo.
     pub memo_capacity: usize,
+    /// Arena compaction threshold in live nodes (`0` = unbounded). A
+    /// long-lived engine checks this *between* runs: when a finished run
+    /// has left more interned nodes than the cap, the memo, the
+    /// normal-subtree marks, and the arena are all dropped before the next
+    /// run starts, so one adversarially large request cannot bloat a
+    /// persistent worker engine forever.
+    pub arena_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -73,6 +92,7 @@ impl EngineConfig {
             indexed: false,
             memoized: false,
             memo_capacity: 0,
+            arena_capacity: 0,
         }
     }
 
@@ -83,6 +103,7 @@ impl EngineConfig {
             indexed: false,
             memoized: false,
             memo_capacity: 0,
+            arena_capacity: 0,
         }
     }
 
@@ -93,6 +114,7 @@ impl EngineConfig {
             indexed: true,
             memoized: false,
             memo_capacity: 0,
+            arena_capacity: 0,
         }
     }
 
@@ -103,6 +125,7 @@ impl EngineConfig {
             indexed: true,
             memoized: true,
             memo_capacity: 1024,
+            arena_capacity: 1 << 16,
         }
     }
 }
@@ -118,6 +141,10 @@ struct MemoEntry {
     max_size: usize,
     max_depth: usize,
     stamp: u64,
+    /// Rule-set epoch the derivation was recorded under (see
+    /// [`Engine::set_epoch`]): a derivation is only replayable under the
+    /// exact rule set that produced it.
+    epoch: u64,
 }
 
 /// Bounded LRU keyed by interned-node identity. Eviction is a linear scan
@@ -131,13 +158,27 @@ struct Memo {
 }
 
 impl Memo {
-    fn get(&mut self, key: usize) -> Option<&MemoEntry> {
+    /// Look up `key`'s entry *for the given epoch*. An entry recorded under
+    /// a different rule-set epoch is stale — its derivation may fire rules
+    /// the current set masks (or miss rules a reset readmitted) — so it is
+    /// evicted on sight and the lookup misses.
+    fn get(&mut self, key: usize, epoch: u64) -> Option<&MemoEntry> {
         self.tick += 1;
         let t = self.tick;
-        let e = self.map.get_mut(&key)?;
-        e.stamp = t;
-        self.hits += 1;
-        Some(e)
+        let stale = match self.map.get_mut(&key) {
+            None => return None,
+            Some(e) if e.epoch != epoch => true,
+            Some(e) => {
+                e.stamp = t;
+                self.hits += 1;
+                false
+            }
+        };
+        if stale {
+            self.map.remove(&key);
+            return None;
+        }
+        self.map.get(&key)
     }
 
     fn put(&mut self, key: usize, mut e: MemoEntry, capacity: usize) {
@@ -213,6 +254,11 @@ struct Search<'r, 'a> {
     rules: &'r [Oriented<'a>],
     props: &'r PropDb,
     index: Option<&'r RuleIndex>,
+    /// Per-position activity mask from the current epoch's rule snapshot
+    /// (`None` = the full set). Skipping inactive positions in the
+    /// ascending-position candidate scan visits exactly the rules, in
+    /// exactly the order, of an index built over the active subset.
+    active: Option<&'r [bool]>,
     normal: &'r HashSet<usize>,
     visits: &'r mut u64,
     consults: &'r mut [u64],
@@ -279,6 +325,9 @@ impl Search<'_, '_> {
         }
         let mut found = None;
         for &pos in &cand {
+            if self.active.is_some_and(|m| !m[pos]) {
+                continue;
+            }
             let o = &self.rules[pos];
             if gov.report.is_quarantined(&o.rule.id) {
                 continue;
@@ -353,6 +402,13 @@ pub struct Engine<'a> {
     normal: HashSet<usize>,
     index: Option<RuleIndex>,
     index_dirty: bool,
+    /// Current rule-set epoch (see [`Engine::set_epoch`]).
+    epoch: u64,
+    /// Per-position activity mask for the current epoch; `None` = all.
+    active: Option<Vec<bool>>,
+    /// Arena compactions performed so far (see
+    /// [`EngineConfig::arena_capacity`]).
+    compactions: u64,
     visits: u64,
     consults: Vec<u64>,
     interner: Interner,
@@ -371,10 +427,69 @@ impl<'a> Engine<'a> {
             normal: HashSet::new(),
             index: None,
             index_dirty: false,
+            epoch: 0,
+            active: None,
+            compactions: 0,
             visits: 0,
             consults,
             interner: Interner::new(),
         }
+    }
+
+    /// Install the rule-set snapshot for subsequent runs: `epoch` names the
+    /// snapshot (a service uses its breaker generation) and `disabled`
+    /// lists rule ids excluded from it. The rules stay in place and the
+    /// head-symbol index is *not* rebuilt — excluded positions are masked
+    /// out of the candidate scan, which visits exactly the rules, in
+    /// exactly the order, of an index built over the remaining subset.
+    ///
+    /// Cheap when the epoch is unchanged (one comparison). On change the
+    /// normal-subtree marks are cleared and memo entries from other epochs
+    /// become unreplayable (evicted lazily on lookup): both record facts
+    /// about one rule set that do not transfer to another — a mark made
+    /// under a larger set is still sound under a subset, but a memoized
+    /// derivation may fire a now-masked rule, and after a reset the mask
+    /// grows back, invalidating subset-era marks. Epochs never repeat, so
+    /// clearing is equivalent to tagging.
+    pub fn set_epoch(&mut self, epoch: u64, disabled: &[String]) {
+        if epoch == self.epoch {
+            return;
+        }
+        self.epoch = epoch;
+        self.normal.clear();
+        self.active = if disabled.is_empty() {
+            None
+        } else {
+            let off: HashSet<&str> = disabled.iter().map(String::as_str).collect();
+            Some(
+                self.rules
+                    .iter()
+                    .map(|o| !off.contains(o.rule.id.as_str()))
+                    .collect(),
+            )
+        };
+    }
+
+    /// Drop every cross-run cache: memo entries first (they pin interned
+    /// nodes), then the normal-subtree marks (raw node addresses a fresh
+    /// arena could recycle), then the arena itself. The head-symbol index
+    /// survives — it holds rule positions, not terms. Counters
+    /// ([`Engine::work`], [`Engine::memo_hits`]) keep accumulating.
+    pub fn reset_caches(&mut self) {
+        self.memo.map.clear();
+        self.normal.clear();
+        self.interner.clear();
+        self.compactions += 1;
+    }
+
+    /// Live nodes currently in the intern arena.
+    pub fn arena_len(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// How many times the bounded-arena compaction has fired.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
     }
 
     /// Normalize under `budget` with no fault injection.
@@ -408,6 +523,12 @@ impl<'a> Engine<'a> {
         if !self.config.interned {
             return rewrite_fix_with(&self.rules, q, self.props, budget, faults);
         }
+        // Bounded arena growth: compact between runs, when no run-local
+        // handles exist, so `Interner::clear`'s largest-first release is
+        // safe and no address-keyed cache can alias a recycled node.
+        if self.config.arena_capacity != 0 && self.interner.len() > self.config.arena_capacity {
+            self.reset_caches();
+        }
         if self.config.indexed {
             if self.index.is_none() || self.index_dirty {
                 self.index = Some(RuleIndex::build(&self.rules));
@@ -436,7 +557,7 @@ impl<'a> Engine<'a> {
 
         let memo_eligible = self.config.memoized && faults.is_empty() && budget.deadline.is_none();
         if memo_eligible {
-            if let Some(e) = self.memo.get(cur.id()) {
+            if let Some(e) = self.memo.get(cur.id(), self.epoch) {
                 if e.steps < budget.max_steps
                     && e.max_depth <= budget.max_depth
                     && e.max_size <= budget.max_term_size
@@ -505,6 +626,7 @@ impl<'a> Engine<'a> {
                     rules: &self.rules,
                     props: self.props,
                     index: self.index.as_ref(),
+                    active: self.active.as_deref(),
                     normal: &self.normal,
                     visits: &mut self.visits,
                     consults: &mut self.consults,
@@ -537,6 +659,7 @@ impl<'a> Engine<'a> {
                             max_size,
                             max_depth,
                             stamp: 0,
+                            epoch: self.epoch,
                         },
                         self.config.memo_capacity,
                     );

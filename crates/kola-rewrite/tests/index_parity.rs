@@ -1,0 +1,124 @@
+//! Long-lived engine correctness: epoch-scoped caches and bounded arenas.
+//!
+//! A service worker keeps one [`Engine`] alive across many requests and
+//! many rule-set epochs (breaker trips and resets). These tests pin the
+//! two properties that reuse must preserve:
+//!
+//! 1. **Parity across epochs** — a persistent engine masking rules via
+//!    [`Engine::set_epoch`] answers byte-for-byte like a fresh engine
+//!    built over just the active subset, and stale-epoch memo entries are
+//!    never replayed into a different rule set.
+//! 2. **Bounded arena** — a thousand sequential requests through one
+//!    engine leave the intern arena bounded by the compaction cap plus a
+//!    fixed multiple of the largest single request, not by the request
+//!    count.
+
+use kola::term::{Func, Query};
+use kola_rewrite::{Budget, Catalog, Engine, EngineConfig, Oriented, PropDb};
+use std::sync::Arc;
+
+fn tower(height: usize, leaf: &str) -> Query {
+    let mut f = Func::Prim(Arc::from(leaf));
+    for _ in 0..height {
+        f = Func::Compose(Box::new(Func::Id), Box::new(f));
+    }
+    Query::App(f, Box::new(Query::Extent(Arc::from("P"))))
+}
+
+#[test]
+fn set_epoch_invalidates_memo_across_rule_set_swaps() {
+    let catalog = Catalog::paper();
+    let props = PropDb::new();
+    let budget = Budget::default();
+    let q = tower(6, "age");
+
+    // The persistent engine: full catalog, disabled rules masked per epoch.
+    let rules: Vec<Oriented<'_>> = catalog.rules().iter().map(Oriented::fwd).collect();
+    let mut engine = Engine::new(rules, &props, EngineConfig::fast());
+
+    // Fresh single-epoch engines to compare against, built over exactly
+    // the rule subset each epoch serves.
+    let run_fresh = |drop_id: Option<&str>| {
+        let subset: Vec<Oriented<'_>> = catalog
+            .rules()
+            .iter()
+            .filter(|r| drop_id != Some(r.id.as_str()))
+            .map(Oriented::fwd)
+            .collect();
+        Engine::new(subset, &props, EngineConfig::fast()).normalize(&q, &budget)
+    };
+    let full = run_fresh(None);
+    let reduced = run_fresh(Some("app"));
+    assert_ne!(
+        full.report.rule_stats, reduced.report.rule_stats,
+        "the swap must be observable: \"app\" fires on id-towers"
+    );
+
+    // Epoch 0, full set: parity, then a memo replay that must stay exact.
+    let r = engine.normalize(&q, &budget);
+    assert_eq!(r.query, full.query);
+    assert_eq!(r.report, full.report);
+    let replay = engine.normalize(&q, &budget);
+    assert_eq!(replay.query, full.query);
+    assert_eq!(replay.report, full.report);
+
+    // Epoch 1, "app" masked: the epoch-0 memo (whose derivations fired
+    // "app") must be invalidated, and the masked engine must match a fresh
+    // engine built over the subset — including consult-order-sensitive
+    // rule_stats, i.e. the mask is equivalent to an index over the subset.
+    engine.set_epoch(1, &["app".to_string()]);
+    let r = engine.normalize(&q, &budget);
+    assert_eq!(r.query, reduced.query);
+    assert_eq!(r.report, reduced.report);
+    assert!(!r.report.rule_stats.contains_key("app"));
+
+    // Epoch 2, full set again: the epoch-1 memo must not leak back either.
+    engine.set_epoch(2, &[]);
+    let r = engine.normalize(&q, &budget);
+    assert_eq!(r.query, full.query);
+    assert_eq!(r.report, full.report);
+}
+
+#[test]
+fn persistent_engine_arena_stays_bounded_over_1k_requests() {
+    let catalog = Catalog::paper();
+    let props = PropDb::new();
+    let budget = Budget::default();
+    let config = EngineConfig {
+        arena_capacity: 4096,
+        ..EngineConfig::fast()
+    };
+
+    // Every request uses fresh primitive names, so nothing is shared
+    // between requests and the arena would grow linearly without
+    // compaction (towers over a common leaf would hash-cons into each
+    // other and mask the leak).
+    let query = |i: usize| tower(1 + (i * 7) % 40, &format!("p{i}"));
+
+    let rules: Vec<Oriented<'_>> = catalog.rules().iter().map(Oriented::fwd).collect();
+    let mut engine = Engine::new(rules, &props, config.clone());
+    let mut peak = 0usize;
+    let mut max_fresh = 0usize;
+    for i in 0..1000 {
+        let q = query(i);
+        engine.normalize(&q, &budget);
+        peak = peak.max(engine.arena_len());
+        if 1 + (i * 7) % 40 == 40 {
+            // Sample the tallest request shape's arena footprint on a
+            // throwaway engine — the worst single-request growth.
+            let subset: Vec<Oriented<'_>> = catalog.rules().iter().map(Oriented::fwd).collect();
+            let mut fresh = Engine::new(subset, &props, config.clone());
+            fresh.normalize(&q, &budget);
+            max_fresh = max_fresh.max(fresh.arena_len());
+        }
+    }
+    assert!(
+        engine.compactions() > 0,
+        "1k disjoint requests over a 4096-node cap must compact (peak {peak})"
+    );
+    assert!(
+        peak <= config.arena_capacity + 4 * max_fresh,
+        "arena peaked at {peak} nodes — not bounded by cap {} + 4 × single-request {max_fresh}",
+        config.arena_capacity
+    );
+}

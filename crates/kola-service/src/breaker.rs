@@ -17,6 +17,7 @@
 
 use kola_rewrite::{QuarantineEntry, QuarantineReport};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Failure record for one rule.
@@ -37,6 +38,14 @@ pub struct BreakerEntry {
 pub struct Breaker {
     threshold: usize,
     state: Mutex<HashMap<String, BreakerEntry>>,
+    /// Bumped on every transition that changes the *served rule set* — a
+    /// breaker opening or an open breaker being reset. Snapshot publication
+    /// (see `crate::snapshot`) keys off this: readers compare one atomic
+    /// against their cached snapshot's epoch instead of taking the state
+    /// lock per request. The bump happens while the state lock is held, so
+    /// any reader that observed the new open-set under the lock is
+    /// guaranteed to observe the new generation too.
+    generation: AtomicU64,
 }
 
 impl Breaker {
@@ -46,7 +55,13 @@ impl Breaker {
         Breaker {
             threshold: threshold.max(1),
             state: Mutex::new(HashMap::new()),
+            generation: AtomicU64::new(0),
         }
+    }
+
+    /// The current rule-set generation (see the `generation` field docs).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
     }
 
     /// Charge `rule_id` for a failure in request `request_id`. Returns
@@ -60,8 +75,10 @@ impl Breaker {
             e.first_request = Some(request_id);
         }
         e.last_request = Some(request_id);
-        if self.threshold != usize::MAX && e.trips >= self.threshold {
+        if self.threshold != usize::MAX && e.trips >= self.threshold && !e.open {
             e.open = true;
+            // Inside the lock: see the `generation` field docs.
+            self.generation.fetch_add(1, Ordering::Release);
         }
         e.open
     }
@@ -90,7 +107,13 @@ impl Breaker {
     /// Close `rule_id`'s breaker and forget its trip history, readmitting
     /// the rule. Returns `true` iff there was state to clear.
     pub fn reset(&self, rule_id: &str) -> bool {
-        self.state.lock().unwrap().remove(rule_id).is_some()
+        let mut state = self.state.lock().unwrap();
+        let removed = state.remove(rule_id);
+        if removed.as_ref().is_some_and(|e| e.open) {
+            // Inside the lock: see the `generation` field docs.
+            self.generation.fetch_add(1, Ordering::Release);
+        }
+        removed.is_some()
     }
 
     /// Every rule with breaker state, sorted by rule id.
@@ -144,6 +167,31 @@ mod tests {
         assert!(!b.is_open("9"));
         assert!(b.open_rules().is_empty());
         assert!(!b.reset("9"));
+    }
+
+    #[test]
+    fn generation_moves_only_on_rule_set_changes() {
+        let b = Breaker::new(2);
+        assert_eq!(b.generation(), 0);
+        b.charge("app", 1);
+        // Charged but not open: the served rule set is unchanged.
+        assert_eq!(b.generation(), 0);
+        b.charge("app", 2);
+        assert!(b.is_open("app"));
+        assert_eq!(b.generation(), 1);
+        // Further charges on an already-open rule change nothing.
+        b.charge("app", 3);
+        assert_eq!(b.generation(), 1);
+        // Resetting a never-charged rule changes nothing.
+        b.reset("e121");
+        assert_eq!(b.generation(), 1);
+        // Resetting charged-but-closed state changes nothing either.
+        b.charge("9", 4);
+        b.reset("9");
+        assert_eq!(b.generation(), 1);
+        // Resetting the open rule readmits it: generation moves.
+        b.reset("app");
+        assert_eq!(b.generation(), 2);
     }
 
     #[test]

@@ -74,9 +74,21 @@ pub struct ChaosReport {
     pub gate_failures: usize,
     /// Rules whose cross-request breaker opened at least once.
     pub breaker_opened: usize,
+    /// High-water mark of any worker engine's intern arena, in live nodes
+    /// (must stay under [`PEAK_ARENA_BOUND`]: workers reuse their engine
+    /// across every request of the soak, so an unbounded arena would show
+    /// up here as linear growth in the request count).
+    pub peak_arena_nodes: usize,
     /// Per-request end-to-end latencies, microseconds, unsorted.
     pub latencies_us: Vec<u64>,
 }
+
+/// Upper bound on [`ChaosReport::peak_arena_nodes`]: the fast engine's
+/// compaction cap (`EngineConfig::fast().arena_capacity`, 64Ki nodes) plus
+/// a generous allowance for the growth of the single request that runs
+/// after the cap check — compaction fires *between* requests' normalize
+/// calls, so the peak is "cap + one request", never "requests × size".
+pub const PEAK_ARENA_BOUND: usize = (1 << 16) + (1 << 18);
 
 impl ChaosReport {
     /// The scheduling-independent invariants. Empty means the soak passed.
@@ -109,6 +121,13 @@ impl ChaosReport {
                 self.gate_failures
             ));
         }
+        if self.peak_arena_nodes > PEAK_ARENA_BOUND {
+            v.push(format!(
+                "worker arena peaked at {} nodes (bound {PEAK_ARENA_BOUND}): \
+                 compaction is not keeping persistent engines bounded",
+                self.peak_arena_nodes
+            ));
+        }
         v
     }
 
@@ -128,6 +147,7 @@ impl ChaosReport {
              unexpected panics   {}\n\
              gate failures       {}\n\
              breakers opened     {}\n\
+             peak arena nodes    {}\n\
              latency p50/p95/p99 {} / {} / {} us",
             self.requests,
             self.optimized_fast,
@@ -140,6 +160,7 @@ impl ChaosReport {
             self.unexpected_panics,
             self.gate_failures,
             self.breaker_opened,
+            self.peak_arena_nodes,
             percentile(&sorted, 50.0),
             percentile(&sorted, 95.0),
             percentile(&sorted, 99.0),
@@ -240,11 +261,11 @@ pub fn generate_request(rng: &mut Rng) -> Request {
             200 + rng.gen_range(0..1500usize) as u64,
         ));
         let h = 500 + rng.gen_range(0..2500usize);
-        Payload::Ast(match rng.gen_range(0..3usize) {
+        Payload::Ast(Arc::new(match rng.gen_range(0..3usize) {
             0 => deep_compose_ast(h),
             1 => deep_not_ast(h),
             _ => deep_pair_ast(h),
-        })
+        }))
     } else if roll < 75 {
         // Injected rung faults: mostly transient (retry absorbs them),
         // sometimes permanent (ladder degrades).
@@ -379,5 +400,157 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     }
     report.breaker_opened = opened.len();
     report.unexpected_panics = service.unexpected_panics();
+    report.peak_arena_nodes = service.peak_arena_nodes();
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Clean stream: the throughput-scaling workload.
+// ---------------------------------------------------------------------------
+
+/// Parameters of one clean-stream run (no faults, no poison rules, no
+/// adversarial terms — the workload for measuring how service throughput
+/// scales with the worker count).
+///
+/// Each request carries a fixed [`CleanConfig::stall`]: simulated
+/// per-request materialization work (catalog lookups, I/O) that the worker
+/// performs while holding no locks. On a single-core host — where this
+/// repo's benchmarks run — CPU-bound work cannot scale with workers at
+/// all, so the stall is what makes worker *concurrency* measurable: N
+/// workers overlap N stalls, and throughput scales with N until the
+/// rewrite work itself saturates the core. That is the honest claim the
+/// scaling gate checks; see `DESIGN.md` §5d.
+#[derive(Debug, Clone)]
+pub struct CleanConfig {
+    /// Requests to drive through the service in total.
+    pub requests: usize,
+    /// Master seed; the request stream is a pure function of it.
+    pub seed: u64,
+    /// Worker threads.
+    pub workers: usize,
+    /// Closed-loop client threads (each keeps exactly one request in
+    /// flight, so admission depth never exceeds this).
+    pub clients: usize,
+    /// Work-queue capacity; sized above `clients` so a clean stream never
+    /// sheds.
+    pub queue_capacity: usize,
+    /// Simulated per-request materialization stall (see type docs).
+    pub stall: Duration,
+}
+
+impl Default for CleanConfig {
+    fn default() -> Self {
+        CleanConfig {
+            requests: 4_000,
+            seed: 0xBEEF,
+            workers: 4,
+            clients: 16,
+            queue_capacity: 64,
+            stall: Duration::from_millis(2),
+        }
+    }
+}
+
+/// What a clean-stream run observed.
+#[derive(Debug, Clone, Default)]
+pub struct CleanReport {
+    /// Requests driven (all of them classified).
+    pub requests: usize,
+    /// `Optimized { rung: Fast }` replies — a clean stream must produce
+    /// nothing else.
+    pub optimized_fast: usize,
+    /// Replies with any other outcome (degradations, sheds, rejections).
+    pub other: usize,
+    /// High-water mark of any worker engine's arena, in live nodes.
+    pub peak_arena_nodes: usize,
+    /// Wall-clock for the whole run.
+    pub elapsed: Duration,
+    /// Per-request end-to-end latencies, microseconds, unsorted.
+    pub latencies_us: Vec<u64>,
+}
+
+impl CleanReport {
+    /// End-to-end throughput in requests per second.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.requests as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// One request of the seeded clean stream: a parseable query with real
+/// redexes, default budgets, **no** deadline and **no** faults — so the
+/// persistent engine's memo is eligible and the stream measures the
+/// service's fast path, not its failure handling.
+pub fn generate_clean_request(rng: &mut Rng, stall: Duration) -> Request {
+    let roll = rng.gen_range(0..100usize);
+    let payload = if roll < 55 {
+        Payload::Text(id_tower_text(4 + rng.gen_range(0..48usize)))
+    } else if roll < 80 {
+        Payload::Text(KOLA_TEMPLATES[rng.gen_range(0..KOLA_TEMPLATES.len())].to_string())
+    } else {
+        Payload::Text(OQL_TEMPLATES[rng.gen_range(0..OQL_TEMPLATES.len())].to_string())
+    };
+    Request {
+        payload,
+        options: RequestOptions {
+            hold_for: Some(stall),
+            ..RequestOptions::default()
+        },
+    }
+}
+
+/// Drive `cfg.requests` clean requests through a fresh service from
+/// `cfg.clients` closed-loop client threads and measure throughput.
+pub fn run_clean_stream(cfg: &CleanConfig) -> CleanReport {
+    let service = Service::start(ServiceConfig {
+        workers: cfg.workers,
+        queue_capacity: cfg.queue_capacity.max(cfg.clients),
+        verify: false,
+        ..ServiceConfig::default()
+    });
+    let clients = cfg.clients.max(1);
+    let per_client = cfg.requests / clients;
+    let remainder = cfg.requests % clients;
+    let started = std::time::Instant::now();
+    let mut partials: Vec<(usize, usize, Vec<u64>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let service = &service;
+                let n = per_client + usize::from(c < remainder);
+                let seed = cfg.seed ^ ((c as u64 + 1) << 32);
+                let stall = cfg.stall;
+                s.spawn(move || {
+                    let mut rng = Rng::seed_from_u64(seed);
+                    let mut fast = 0usize;
+                    let mut other = 0usize;
+                    let mut latencies = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let resp = service.call(generate_clean_request(&mut rng, stall));
+                        match resp.outcome {
+                            Outcome::Optimized { rung: Rung::Fast } => fast += 1,
+                            _ => other += 1,
+                        }
+                        latencies.push(resp.latency.as_micros() as u64);
+                    }
+                    (fast, other, latencies)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = started.elapsed();
+    let mut report = CleanReport {
+        requests: cfg.requests,
+        elapsed,
+        ..CleanReport::default()
+    };
+    for (fast, other, mut lat) in partials.drain(..) {
+        report.optimized_fast += fast;
+        report.other += other;
+        report.latencies_us.append(&mut lat);
+    }
+    report.peak_arena_nodes = service.peak_arena_nodes();
     report
 }

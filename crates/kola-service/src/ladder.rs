@@ -22,20 +22,32 @@
 //! `CycleDetected` are *successes*: the governed engines guarantee the best
 //! (smallest) query seen so far, which is a valid plan.
 //!
-//! Exactness: a rung runs `Runner::try_run_governed` with exactly the
-//! request's budget and fault plan, so a rung-1 success is byte-identical
-//! to a direct fast-engine `Runner` run and a rung-2 success to a direct
-//! reference run (the engines' differential-exactness contract lifts to
-//! the service; see `tests/service.rs`).
+//! The fast rung runs on a **borrowed, long-lived engine** — the worker's
+//! [`kola_rewrite::Engine`], whose arena, marks, and memo persist across
+//! requests ([`Ladder::run_with`]). The rule set comes from an immutable
+//! [`RuleSnapshot`]: the engine keeps the full catalog and index and masks
+//! disabled rules per epoch, so a breaker trip costs an epoch swap, not an
+//! engine rebuild.
+//!
+//! Exactness: the fast rung calls `Engine::try_normalize_with` with exactly
+//! the request's budget and fault plan — byte-identical to a direct
+//! fast-engine `Runner` run, whose `Fix` path folds the same engine report
+//! into a fresh one (a zero-offset merge). The reference rung runs
+//! `Runner::try_run_governed` over the snapshot's active set, byte-identical
+//! to a direct reference run. The engines' differential-exactness contract
+//! thereby lifts to the service — *including* cross-request reuse, because
+//! memo replays are byte-identical to live runs and epoch tagging confines
+//! them to one rule set (see `tests/service.rs`).
 
 use crate::breaker::Breaker;
 use crate::request::{Outcome, RequestOptions};
+use crate::snapshot::RuleSnapshot;
 use kola::term::Query;
 use kola_exec::rng::splitmix64;
 use kola_rewrite::strategy;
 use kola_rewrite::{
-    Catalog, CaughtPanic, EngineConfig, PropDb, QuarantineReport, RewriteReport, Runner,
-    StopReason, Trace,
+    Catalog, CaughtPanic, Engine, EngineConfig, Oriented, PropDb, QuarantineReport, RewriteReport,
+    Runner, StopReason, Trace,
 };
 use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
@@ -102,9 +114,11 @@ pub struct Ladder<'a> {
 }
 
 impl<'a> Ladder<'a> {
-    /// Climb the ladder for query `q` under `opts`, with the deadline
-    /// already anchored (at submission time). `request_id` seeds the retry
-    /// jitter and tags breaker charges.
+    /// One-shot convenience: climb with a *fresh* fast engine and a
+    /// snapshot built from the breaker's current state. Semantically
+    /// identical to [`Ladder::run_with`]; production workers use that form
+    /// with their long-lived engine instead of paying an engine build per
+    /// request.
     pub fn run(
         &self,
         request_id: u64,
@@ -112,17 +126,29 @@ impl<'a> Ladder<'a> {
         opts: &RequestOptions,
         deadline: Option<Instant>,
     ) -> LadderResult {
-        // The rule set for this request: forward catalog minus open
-        // breakers. Dropping a rule here removes it from the fast engine's
-        // RuleIndex too — the index is built from exactly this set.
-        let refs_owned: Vec<String> = self
-            .catalog
-            .forward_ids()
-            .into_iter()
-            .filter(|id| !self.breaker.is_open(id))
-            .collect();
-        let refs: Vec<&str> = refs_owned.iter().map(String::as_str).collect();
-        let strategy = strategy::fix(&refs);
+        let rules: Vec<Oriented<'_>> = self.catalog.rules().iter().map(Oriented::fwd).collect();
+        let mut engine = Engine::new(rules, self.props, EngineConfig::fast());
+        let snapshot = RuleSnapshot::build(self.breaker.generation(), self.catalog, self.breaker);
+        self.run_with(request_id, q, opts, deadline, &mut engine, &snapshot)
+    }
+
+    /// Climb the ladder for query `q` under `opts`, with the deadline
+    /// already anchored (at submission time). `request_id` seeds the retry
+    /// jitter and tags breaker charges. `engine` is the caller's persistent
+    /// fast engine (built over the full forward catalog, rules in catalog
+    /// order) and `snapshot` the rule-set snapshot this request runs under:
+    /// the engine's caches are scoped to the snapshot's epoch before the
+    /// climb, and disabled rules are masked out of its candidate scan.
+    pub fn run_with(
+        &self,
+        request_id: u64,
+        q: &Query,
+        opts: &RequestOptions,
+        deadline: Option<Instant>,
+        engine: &mut Engine<'_>,
+        snapshot: &RuleSnapshot,
+    ) -> LadderResult {
+        engine.set_epoch(snapshot.epoch, &snapshot.disabled);
 
         let mut panics: Vec<CaughtPanic> = Vec::new();
         let mut failures: Vec<String> = Vec::new();
@@ -152,7 +178,7 @@ impl<'a> Ladder<'a> {
                     }
                     retries += 1;
                 }
-                match self.attempt(rung, attempt, q, opts, deadline, &strategy) {
+                match self.attempt(rung, attempt, q, opts, deadline, engine, snapshot) {
                     Attempt::Ok(plan, report) => {
                         implicate_from_report(&report, &mut implicated);
                         success = Some((rung, plan, report));
@@ -211,6 +237,9 @@ impl<'a> Ladder<'a> {
         }
     }
 
+    // One parameter per climb-loop variable; bundling them into a struct
+    // would only move the argument list.
+    #[allow(clippy::too_many_arguments)]
     fn attempt(
         &self,
         rung: Rung,
@@ -218,7 +247,8 @@ impl<'a> Ladder<'a> {
         q: &Query,
         opts: &RequestOptions,
         deadline: Option<Instant>,
-        strategy: &strategy::Strategy,
+        engine: &mut Engine<'_>,
+        snapshot: &RuleSnapshot,
     ) -> Attempt {
         if opts.force_fail.contains(&rung) {
             return Attempt::Failed("injected rung fault (permanent)".into(), None);
@@ -226,28 +256,50 @@ impl<'a> Ladder<'a> {
         if attempt == 0 && opts.transient_fail.contains(&rung) {
             return Attempt::Failed("injected rung fault (transient)".into(), None);
         }
-        let runner = Runner::new(self.catalog, self.props)
-            .with_budget(opts.budget(deadline))
-            .with_faults(opts.faults.clone());
-        let runner = match rung {
-            Rung::Fast => runner.with_engine(EngineConfig::fast()),
-            Rung::Reference => runner,
-        };
-        let mut trace = Trace::new();
-        match runner.try_run_governed(strategy, q.clone(), &mut trace) {
-            Err(p) => Attempt::Panicked(p),
-            Ok((plan, _outcome, report)) => match report.stop {
-                StopReason::DeadlineExpired => {
-                    Attempt::Failed("deadline expired mid-rewrite".into(), Some(report))
+        match rung {
+            // The hot rung: straight into the borrowed persistent engine.
+            // Byte-identical to the old per-request `Runner` path — the
+            // `Fix` strategy ran this same `normalize_with` under the same
+            // budget and merged its report into a fresh one (offset zero).
+            Rung::Fast => {
+                let budget = opts.budget(deadline);
+                match engine.try_normalize_with(q, &budget, &opts.faults) {
+                    Err(p) => Attempt::Panicked(p),
+                    Ok(r) => classify(r.query, r.report),
                 }
-                StopReason::TermTooLarge => {
-                    Attempt::Failed("input exceeds term-size cap".into(), Some(report))
+            }
+            // The cold rung (only reached when the fast rung failed):
+            // per-call runner over the snapshot's active set — deliberately
+            // sharing no state with the fast engine.
+            Rung::Reference => {
+                let refs: Vec<&str> = snapshot.active.iter().map(String::as_str).collect();
+                let strategy = strategy::fix(&refs);
+                let runner = Runner::new(self.catalog, self.props)
+                    .with_budget(opts.budget(deadline))
+                    .with_faults(opts.faults.clone());
+                let mut trace = Trace::new();
+                match runner.try_run_governed(&strategy, q.clone(), &mut trace) {
+                    Err(p) => Attempt::Panicked(p),
+                    Ok((plan, _outcome, report)) => classify(plan, report),
                 }
-                // NormalForm, BudgetExhausted, CycleDetected: the governed
-                // engines return the best (smallest) query seen — a plan.
-                _ => Attempt::Ok(plan, report),
-            },
+            }
         }
+    }
+}
+
+/// Shared rung-outcome classification (see the module docs for why
+/// `BudgetExhausted`/`CycleDetected` are successes).
+fn classify(plan: Query, report: RewriteReport) -> Attempt {
+    match report.stop {
+        StopReason::DeadlineExpired => {
+            Attempt::Failed("deadline expired mid-rewrite".into(), Some(report))
+        }
+        StopReason::TermTooLarge => {
+            Attempt::Failed("input exceeds term-size cap".into(), Some(report))
+        }
+        // NormalForm, BudgetExhausted, CycleDetected: the governed
+        // engines return the best (smallest) query seen — a plan.
+        _ => Attempt::Ok(plan, report),
     }
 }
 

@@ -7,10 +7,17 @@
 //! takes the whole database front door with it. This crate wraps the
 //! governed rewrite engines of `kola-rewrite` in that service shell:
 //!
-//! - [`service::Service`] — a bounded work queue in front of a pool of
-//!   panic-isolated worker threads. A full queue sheds load with a
-//!   structured [`request::Outcome::Overloaded`] rejection instead of
-//!   blocking or growing without bound.
+//! - [`service::Service`] — a bounded, per-worker-sharded work queue (with
+//!   work-stealing) in front of a pool of panic-isolated worker threads,
+//!   each owning a long-lived fast engine whose arena, marks, and memo
+//!   persist across requests. A full queue sheds load with a structured
+//!   [`request::Outcome::Overloaded`] rejection — decided from one
+//!   lock-free depth counter — instead of blocking or growing without
+//!   bound.
+//! - [`snapshot::SnapshotCell`] — the read-mostly published rule-set
+//!   snapshot workers run under: one atomic load per request in steady
+//!   state, an `Arc` swap when the breaker trips or resets, and an epoch
+//!   that scopes the persistent engines' caches to one rule set.
 //! - [`ladder::Ladder`] — the three-rung degradation ladder each worker
 //!   runs: the fast (interned + indexed + memoized) engine first, the boxed
 //!   reference engine second, and an unoptimized passthrough of the input
@@ -38,9 +45,14 @@ pub mod chaos;
 pub mod ladder;
 pub mod request;
 pub mod service;
+pub mod snapshot;
 
 pub use breaker::{Breaker, BreakerEntry};
-pub use chaos::{percentile, run_chaos, ChaosConfig, ChaosReport};
+pub use chaos::{
+    generate_clean_request, percentile, run_chaos, run_clean_stream, ChaosConfig, ChaosReport,
+    CleanConfig, CleanReport, PEAK_ARENA_BOUND,
+};
 pub use ladder::{Ladder, LadderResult, Rung};
 pub use request::{Outcome, Payload, Request, RequestOptions, Response};
 pub use service::{Pending, Service, ServiceConfig};
+pub use snapshot::{RuleSnapshot, SnapshotCell};

@@ -8,6 +8,7 @@
 use crate::ladder::Rung;
 use kola::term::Query;
 use kola_rewrite::{Budget, CaughtPanic, FaultPlan, QuarantineReport, RewriteReport};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// The query payload of a request.
@@ -16,9 +17,12 @@ pub enum Payload {
     /// Surface text: OQL (detected by its leading `select`) or KOLA
     /// concrete syntax, parsed by `kola_frontend::parse_any_query`.
     Text(String),
-    /// An already-parsed query. The chaos harness uses this lane for
-    /// adversarially deep terms whose concrete syntax would be megabytes.
-    Ast(Query),
+    /// An already-parsed query, shared by `Arc`: submission, the queued
+    /// job, and the worker all borrow one allocation, so admission never
+    /// deep-copies a term on the submitting thread. The chaos harness uses
+    /// this lane for adversarially deep terms whose concrete syntax would
+    /// be megabytes.
+    Ast(Arc<Query>),
 }
 
 /// Per-request resource options. Everything a client may bound about its
@@ -106,9 +110,9 @@ impl Request {
     }
 
     /// An AST request with default options.
-    pub fn ast(q: Query) -> Self {
+    pub fn ast(q: impl Into<Arc<Query>>) -> Self {
         Request {
-            payload: Payload::Ast(q),
+            payload: Payload::Ast(q.into()),
             options: RequestOptions::default(),
         }
     }

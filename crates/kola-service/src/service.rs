@@ -1,20 +1,39 @@
-//! The concurrent optimization service: bounded queue, worker pool, panic
-//! isolation, and the semantic gate.
+//! The concurrent optimization service: sharded bounded queue, worker pool
+//! with persistent per-worker engines, panic isolation, and the semantic
+//! gate.
 //!
 //! Request lifecycle (README "Serving" has the picture):
 //!
 //! ```text
-//! submit ──full?──▶ Overloaded (structured rejection, never blocks)
+//! submit ──full?──▶ Overloaded (lock-free depth check, never blocks)
 //!    │
-//!    ▼ queued (deadline anchored here: queue wait counts)
+//!    ▼ queued on a per-worker shard (deadline anchored here: queue wait
+//!    │                               counts; idle workers steal)
 //! worker: parse text ──err──▶ Invalid
 //!    │
-//!    ▼ ladder: fast ▷ reference ▷ passthrough   (each rung: retry once,
-//!    │          under remaining deadline, panics caught & attributed)
+//!    ▼ snapshot refresh: one atomic load; epoch swap on breaker change
+//!    ▼ ladder: fast ▷ reference ▷ passthrough   (fast rung = the worker's
+//!    │          long-lived engine; each rung: retry once, under remaining
+//!    │          deadline, panics caught & attributed)
 //!    ▼ semantic gate (optional): plan ≡ input on a sample database,
 //!    │          else degrade to Passthrough
 //!    ▼ reply: Optimized{rung} | Passthrough
 //! ```
+//!
+//! Three structures keep the hot path off shared locks:
+//!
+//! - **Per-worker engines.** Each worker owns one `kola_rewrite::Engine`
+//!   for its lifetime: the intern arena, normal-subtree marks, and
+//!   normalization memo amortize across requests instead of being rebuilt
+//!   per request. Arena growth is bounded by the engine's compaction cap,
+//!   and [`Service::peak_arena_nodes`] exposes the high-water mark.
+//! - **Snapshot-swapped rule state.** The served rule set is an immutable
+//!   [`RuleSnapshot`](crate::snapshot::RuleSnapshot) behind an `Arc`;
+//!   workers detect breaker trips/resets with one atomic generation load
+//!   and swap epochs — no reader locks, no per-request catalog filtering.
+//! - **Sharded admission.** One bounded queue per worker with
+//!   work-stealing; the Overloaded decision reads a single lock-free depth
+//!   counter, and enqueue touches only the target shard's lock.
 //!
 //! Workers run on dedicated threads with oversized stacks (deep-term
 //! traversals are explicit-stack throughout the engine layer, but debug
@@ -22,28 +41,32 @@
 //! the ladder already isolates poison-rule panics, so anything reaching
 //! the worker boundary is counted in
 //! [`Service::unexpected_panics`] and answered with `Invalid` — the
-//! thread, and the service, survive.
+//! thread, and the service, survive. The engine's cross-run state survives
+//! a caught panic intact (see `Engine::try_normalize_with`), so the worker
+//! keeps its warm engine afterwards.
 
 use crate::breaker::Breaker;
 use crate::ladder::Ladder;
 use crate::request::{Outcome, Payload, Request, Response};
+use crate::snapshot::{RuleSnapshot, SnapshotCell};
+use kola::term::Query;
 use kola::Db;
 use kola_exec::datagen::{generate, DataSpec};
-use kola_rewrite::{Catalog, PropDb, QuarantineReport};
+use kola_rewrite::{Catalog, Engine, EngineConfig, Oriented, PropDb, QuarantineReport};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Service-wide limits and tuning.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Worker threads.
     pub workers: usize,
-    /// Work-queue capacity; submissions beyond it are shed as
-    /// [`Outcome::Overloaded`].
+    /// Total work-queue capacity across all shards; submissions beyond it
+    /// are shed as [`Outcome::Overloaded`].
     pub queue_capacity: usize,
     /// Cross-request breaker threshold: open a rule after this many
     /// requests in which it was implicated in a failure.
@@ -79,21 +102,39 @@ struct Job {
     reply: mpsc::Sender<Response>,
 }
 
-struct QueueState {
-    jobs: VecDeque<Job>,
-    shutdown: bool,
+/// One worker's slice of the admission queue. Enqueue and dequeue touch
+/// only this shard's lock; the global admission decision reads only
+/// `Shared::depth`.
+struct Shard {
+    jobs: Mutex<VecDeque<Job>>,
+    cv: Condvar,
 }
+
+/// An idle worker with an empty home shard parks this long before
+/// re-scanning its siblings for stealable work. Submissions to its own
+/// shard wake it immediately; work landing on a busy sibling's shard is
+/// picked up within one poll.
+const STEAL_POLL: Duration = Duration::from_micros(200);
 
 struct Shared {
     catalog: Catalog,
     props: PropDb,
     breaker: Breaker,
+    snapshots: SnapshotCell,
     verify_db: Option<Db>,
-    queue: Mutex<QueueState>,
-    cv: Condvar,
+    shards: Vec<Shard>,
+    /// Queued-but-unclaimed jobs across all shards: the lock-free input to
+    /// the Overloaded decision.
+    depth: AtomicUsize,
+    /// Round-robin shard cursor for submissions.
+    next_shard: AtomicUsize,
+    shutdown: AtomicBool,
     capacity: usize,
     max_request_bytes: usize,
     unexpected_panics: AtomicUsize,
+    /// High-water mark of any worker engine's arena, sampled after each
+    /// request (the chaos soak asserts boundedness).
+    peak_arena: AtomicUsize,
 }
 
 /// A ticket for a queued request; [`Pending::wait`] blocks for the reply.
@@ -132,27 +173,41 @@ impl Service {
         // hook spam out of service logs (chains to the previous hook for
         // everything else).
         kola_rewrite::fault::silence_poison_panics();
+        let catalog = Catalog::paper();
+        let breaker = Breaker::new(config.breaker_threshold);
+        let snapshots = SnapshotCell::new(RuleSnapshot::build(
+            breaker.generation(),
+            &catalog,
+            &breaker,
+        ));
+        let workers_n = config.workers.max(1);
         let shared = Arc::new(Shared {
-            catalog: Catalog::paper(),
+            catalog,
             props: PropDb::new(),
-            breaker: Breaker::new(config.breaker_threshold),
+            breaker,
+            snapshots,
             verify_db: config.verify.then(|| generate(&DataSpec::small(123))),
-            queue: Mutex::new(QueueState {
-                jobs: VecDeque::new(),
-                shutdown: false,
-            }),
-            cv: Condvar::new(),
+            shards: (0..workers_n)
+                .map(|_| Shard {
+                    jobs: Mutex::new(VecDeque::new()),
+                    cv: Condvar::new(),
+                })
+                .collect(),
+            depth: AtomicUsize::new(0),
+            next_shard: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
             capacity: config.queue_capacity.max(1),
             max_request_bytes: config.max_request_bytes,
             unexpected_panics: AtomicUsize::new(0),
+            peak_arena: AtomicUsize::new(0),
         });
-        let workers = (0..config.workers.max(1))
+        let workers = (0..workers_n)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 thread::Builder::new()
                     .name(format!("kola-svc-{i}"))
                     .stack_size(config.stack_size)
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i))
                     .expect("spawn service worker")
             })
             .collect();
@@ -165,7 +220,9 @@ impl Service {
 
     /// Submit a request. `Err` carries the structured rejection (a full
     /// queue or an oversized/invalid-at-the-door payload); `Ok` is a ticket
-    /// for the eventual reply. Never blocks.
+    /// for the eventual reply. Never blocks: the admission decision is a
+    /// lock-free reservation against the depth counter, and enqueue only
+    /// touches one shard's (uncontended in steady state) lock.
     // The Err arm is the cold shed path; boxing it would tax every caller
     // for a variant built only under overload.
     #[allow(clippy::result_large_err)]
@@ -184,6 +241,27 @@ impl Service {
                 ));
             }
         }
+        // Reserve a queue slot optimistically; losing a race just retries
+        // the compare-exchange against the fresher value.
+        let mut depth = self.shared.depth.load(Ordering::Relaxed);
+        loop {
+            if depth >= self.shared.capacity {
+                return Err(Response::rejected(
+                    id,
+                    Outcome::Overloaded,
+                    format!("work queue full ({} requests)", self.shared.capacity),
+                ));
+            }
+            match self.shared.depth.compare_exchange_weak(
+                depth,
+                depth + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(current) => depth = current,
+            }
+        }
         let submitted = Instant::now();
         let deadline = request.options.timeout.map(|t| submitted + t);
         let (tx, rx) = mpsc::channel();
@@ -194,18 +272,10 @@ impl Service {
             deadline,
             reply: tx,
         };
-        {
-            let mut q = self.shared.queue.lock().unwrap();
-            if q.jobs.len() >= self.shared.capacity {
-                return Err(Response::rejected(
-                    id,
-                    Outcome::Overloaded,
-                    format!("work queue full ({} requests)", self.shared.capacity),
-                ));
-            }
-            q.jobs.push_back(job);
-        }
-        self.shared.cv.notify_one();
+        let cursor = self.shared.next_shard.fetch_add(1, Ordering::Relaxed);
+        let shard = &self.shared.shards[cursor % self.shared.shards.len()];
+        shard.jobs.lock().unwrap().push_back(job);
+        shard.cv.notify_one();
         Ok(Pending { id, rx })
     }
 
@@ -230,39 +300,52 @@ impl Service {
     pub fn unexpected_panics(&self) -> usize {
         self.shared.unexpected_panics.load(Ordering::Relaxed)
     }
+
+    /// High-water mark of any worker engine's intern arena (live nodes),
+    /// sampled after each request. Bounded by the engine's compaction cap
+    /// plus one request's growth; the chaos soak asserts exactly that.
+    pub fn peak_arena_nodes(&self) -> usize {
+        self.shared.peak_arena.load(Ordering::Relaxed)
+    }
 }
 
 impl Drop for Service {
     fn drop(&mut self) {
-        {
-            let mut q = self.shared.queue.lock().unwrap();
-            q.shutdown = true;
+        self.shared.shutdown.store(true, Ordering::Release);
+        for shard in &self.shared.shards {
+            // Acquiring the shard lock pairs with the wait-side re-check,
+            // so no worker can sleep through the shutdown flag.
+            drop(shard.jobs.lock().unwrap());
+            shard.cv.notify_all();
         }
-        self.shared.cv.notify_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
     }
 }
 
-fn worker_loop(shared: &Shared) {
-    loop {
-        let job = {
-            let mut q = shared.queue.lock().unwrap();
-            loop {
-                if let Some(job) = q.jobs.pop_front() {
-                    break job;
-                }
-                if q.shutdown {
-                    return;
-                }
-                q = shared.cv.wait(q).unwrap();
-            }
-        };
+/// Per-worker persistent state: the engine whose arena/marks/memo survive
+/// across requests, and the cached rule-set snapshot.
+struct WorkerState<'a> {
+    engine: Engine<'a>,
+    snapshot: Arc<RuleSnapshot>,
+}
+
+fn worker_loop(shared: &Shared, index: usize) {
+    // The long-lived engine is built over the FULL forward catalog, in
+    // catalog order; per-request snapshots mask open-breaker rules out of
+    // its candidate scan (see `RuleSnapshot`), so a breaker trip swaps an
+    // epoch instead of forcing a rebuild.
+    let rules: Vec<Oriented<'_>> = shared.catalog.rules().iter().map(Oriented::fwd).collect();
+    let mut state = WorkerState {
+        engine: Engine::new(rules, &shared.props, EngineConfig::fast()),
+        snapshot: shared.snapshots.load(),
+    };
+    while let Some(job) = next_job(shared, index) {
         let id = job.id;
         let submitted = job.submitted;
         let reply = job.reply.clone();
-        let outcome = catch_unwind(AssertUnwindSafe(|| handle(shared, job)));
+        let outcome = catch_unwind(AssertUnwindSafe(|| handle(shared, job, &mut state)));
         let response = outcome.unwrap_or_else(|_| {
             // Nothing should reach this boundary — the ladder catches
             // poison-rule panics itself. Count it, answer anyway.
@@ -280,7 +363,41 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-fn handle(shared: &Shared, job: Job) -> Response {
+/// Claim the next job for worker `index`: home shard first, then steal
+/// from siblings, then park briefly on the home condvar. Returns `None`
+/// only at shutdown with every shard drained.
+fn next_job(shared: &Shared, index: usize) -> Option<Job> {
+    let shards = &shared.shards;
+    loop {
+        if let Some(job) = shards[index].jobs.lock().unwrap().pop_front() {
+            shared.depth.fetch_sub(1, Ordering::AcqRel);
+            return Some(job);
+        }
+        // Steal scan. `try_lock`: a contended shard is being served by its
+        // own worker right now, so skipping it loses nothing.
+        for k in 1..shards.len() {
+            let other = &shards[(index + k) % shards.len()];
+            if let Ok(mut jobs) = other.jobs.try_lock() {
+                if let Some(job) = jobs.pop_front() {
+                    drop(jobs);
+                    shared.depth.fetch_sub(1, Ordering::AcqRel);
+                    return Some(job);
+                }
+            }
+        }
+        if shared.shutdown.load(Ordering::Acquire) && shared.depth.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let jobs = shards[index].jobs.lock().unwrap();
+        if jobs.is_empty() && !shared.shutdown.load(Ordering::Acquire) {
+            // Timed wait, not indefinite: a job stolen *to* nobody — pushed
+            // to a busy sibling's shard — must still be found promptly.
+            let _ = shards[index].cv.wait_timeout(jobs, STEAL_POLL).unwrap();
+        }
+    }
+}
+
+fn handle(shared: &Shared, job: Job, state: &mut WorkerState<'_>) -> Response {
     let Job {
         id,
         request,
@@ -291,24 +408,38 @@ fn handle(shared: &Shared, job: Job) -> Response {
     if let Some(hold) = request.options.hold_for {
         thread::sleep(hold);
     }
-    let input = match &request.payload {
+    let input: Arc<Query> = match &request.payload {
         Payload::Text(src) => match kola_frontend::parse_any_query(src) {
-            Ok(q) => q,
+            Ok(q) => Arc::new(q),
             Err(e) => {
                 let mut r = Response::rejected(id, Outcome::Invalid, e);
                 r.latency = submitted.elapsed();
                 return r;
             }
         },
-        Payload::Ast(q) => q.clone(),
+        // By-Arc payloads are borrowed, never deep-cloned.
+        Payload::Ast(q) => Arc::clone(q),
     };
+
+    // One atomic load in steady state; an epoch swap when the breaker
+    // tripped or reset since this worker last looked.
+    shared
+        .snapshots
+        .refresh(&mut state.snapshot, &shared.catalog, &shared.breaker);
 
     let ladder = Ladder {
         catalog: &shared.catalog,
         props: &shared.props,
         breaker: &shared.breaker,
     };
-    let mut result = ladder.run(id, &input, &request.options, deadline);
+    let mut result = ladder.run_with(
+        id,
+        &input,
+        &request.options,
+        deadline,
+        &mut state.engine,
+        &state.snapshot,
+    );
 
     // Semantic gate: an optimized plan that disagrees with its input on
     // the sample database is worse than no optimization — degrade it.
@@ -317,11 +448,15 @@ fn handle(shared: &Shared, job: Job) -> Response {
         if let Err(e) = kola_verify::check_plan_semantics(db, &input, &result.plan) {
             gate_error = Some(format!("semantic gate: {e}"));
             result.outcome = Outcome::Passthrough;
-            result.plan = input;
+            result.plan = (*input).clone();
             result.report = None;
             result.quarantine = QuarantineReport::default();
         }
     }
+
+    shared
+        .peak_arena
+        .fetch_max(state.engine.arena_len(), Ordering::Relaxed);
 
     let error = match (gate_error, result.failures.is_empty()) {
         (Some(g), true) => Some(g),

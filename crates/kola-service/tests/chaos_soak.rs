@@ -45,4 +45,7 @@ fn chaos_soak_classifies_every_request_and_escapes_no_panics() {
         assert!(report.passthrough > 0, "{}", report.summary());
         assert!(report.retries > 0, "{}", report.summary());
     }
+    // Persistent engines really ran (the arena saw terms) and stayed
+    // bounded (the bound itself is enforced by `violations()` above).
+    assert!(report.peak_arena_nodes > 0, "{}", report.summary());
 }

@@ -226,6 +226,93 @@ fn breaker_trips_on_poison_rule_and_recovers_on_reset() {
     );
 }
 
+/// Cross-request memo correctness: a worker's persistent engine memoizes
+/// normalizations under snapshot epoch N; after a breaker trip (and again
+/// after a reset) swaps in epoch N+1, the same query must be re-derived
+/// under the *new* rule set — byte-identical to a fresh engine over that
+/// set — not replayed from the stale memo.
+#[test]
+fn persistent_engine_memo_does_not_leak_across_snapshot_swaps() {
+    let service = Service::start(ServiceConfig {
+        workers: 1,
+        breaker_threshold: 2,
+        ..ServiceConfig::default()
+    });
+    let catalog = Catalog::paper();
+    let props = PropDb::new();
+    let q = kola::parse::parse_query("id . id . age ! P").unwrap();
+
+    // Epoch 0: the clean request runs (and memoizes) under the full set.
+    let direct_run_for = |ids: Vec<String>| {
+        let refs: Vec<&str> = ids.iter().map(String::as_str).collect();
+        let runner = Runner::new(&catalog, &props)
+            .with_budget(Budget::default())
+            .with_engine(EngineConfig::fast());
+        let mut trace = Trace::new();
+        let (out, _o, report) = runner.run_governed(&strategy::fix(&refs), q.clone(), &mut trace);
+        (out, report)
+    };
+    let r = service.call(Request::ast(q.clone()));
+    assert_eq!(r.outcome, Outcome::Optimized { rung: Rung::Fast });
+    let (full_q, full_report) = direct_run_for(catalog.forward_ids());
+    assert_eq!(r.plan.as_ref(), Some(&full_q));
+    assert_eq!(r.report.as_ref(), Some(&full_report));
+    // Run it again: this answer may come from the memo — it must still be
+    // byte-identical (memo replays are exact).
+    let r = service.call(Request::ast(q.clone()));
+    assert_eq!(r.plan.as_ref(), Some(&full_q));
+    assert_eq!(r.report.as_ref(), Some(&full_report));
+
+    // Trip "app": two poisoned requests open its breaker → epoch 1.
+    let poison = RequestOptions {
+        faults: FaultPlan::new().with(FaultSpec {
+            rule_id: "app".to_string(),
+            at: StepSelector::Always,
+            kind: FaultKind::Panic,
+        }),
+        backoff: Duration::from_micros(10),
+        ..RequestOptions::default()
+    };
+    for _ in 0..2 {
+        service.call(Request::ast(q.clone()).with_options(poison.clone()));
+    }
+    assert_eq!(service.breaker().open_rules(), vec!["app".to_string()]);
+
+    // The same query under epoch 1 must match a fresh engine over the
+    // reduced set — if the epoch-0 memo leaked, "app" would appear in
+    // rule_stats (its derivations fired it) and the report would differ.
+    let r = service.call(Request::ast(q.clone()));
+    assert_eq!(r.outcome, Outcome::Optimized { rung: Rung::Fast });
+    let reduced: Vec<String> = catalog
+        .forward_ids()
+        .into_iter()
+        .filter(|id| id != "app")
+        .collect();
+    let (reduced_q, reduced_report) = direct_run_for(reduced);
+    assert_eq!(r.plan.as_ref(), Some(&reduced_q));
+    assert_eq!(r.report.as_ref(), Some(&reduced_report));
+    assert!(
+        !r.report.unwrap().rule_stats.contains_key("app"),
+        "stale epoch-0 memo (derived with \"app\") must not be replayed"
+    );
+
+    // Reset: epoch 2 restores the full set; the epoch-1 memo must not be
+    // replayed either — "app" fires again and the answer matches epoch 0's.
+    assert!(service.breaker().reset("app"));
+    let r = service.call(Request::ast(q.clone()));
+    assert_eq!(r.outcome, Outcome::Optimized { rung: Rung::Fast });
+    assert_eq!(r.plan.as_ref(), Some(&full_q));
+    assert_eq!(r.report.as_ref(), Some(&full_report));
+    assert!(
+        r.report
+            .unwrap()
+            .rule_stats
+            .get("app")
+            .is_some_and(|s| s.fired > 0),
+        "after reset the readmitted rule fires in the re-derivation"
+    );
+}
+
 /// Satellite regression: a deadline that dies inside/after the fast rung
 /// must degrade to the passthrough plan — the input itself — rather than
 /// surface an error.

@@ -505,6 +505,25 @@ impl Interner {
         self.table.is_empty()
     }
 
+    /// Release every node and empty the arena (the reset half of the
+    /// reset-or-retain contract long-lived holders need for bounded
+    /// growth). Uses the same largest-first release discipline as `Drop`,
+    /// so arbitrarily deep chains never recurse.
+    ///
+    /// Callers must drop any caches keyed by node *address* first: a fresh
+    /// arena may hand a recycled allocation the same address, and a stale
+    /// address key would then alias an unrelated node. Handles to deep
+    /// terms held outside the arena should also be dropped before calling
+    /// this — once the table no longer pins a chain's suffixes, dropping
+    /// such a handle cascades child by child.
+    pub fn clear(&mut self) {
+        let mut nodes: Vec<ITerm> = self.table.drain().flat_map(|(_, v)| v).collect();
+        nodes.sort_by_key(|n| std::cmp::Reverse(n.size()));
+        for n in nodes {
+            drop(n);
+        }
+    }
+
     /// Intern one node whose children are already interned. Returns the
     /// canonical handle: if an identical node exists it is reused.
     pub fn mk(&mut self, tag: Tag, payload: Payload, kids: Vec<ITerm>) -> ITerm {
@@ -589,11 +608,7 @@ impl Drop for Interner {
         // table reference goes away, all of its children are still pinned by
         // their own (smaller, not-yet-released) table entries: each drop
         // cascades at most one level and deep chains never recurse.
-        let mut nodes: Vec<ITerm> = self.table.drain().flat_map(|(_, v)| v).collect();
-        nodes.sort_by_key(|n| std::cmp::Reverse(n.size()));
-        for n in nodes {
-            drop(n);
-        }
+        self.clear();
     }
 }
 
@@ -697,5 +712,27 @@ mod tests {
         drop(back);
         drop(i);
         drop(it); // must not overflow
+    }
+
+    #[test]
+    fn clear_resets_the_arena_and_survives_deep_chains() {
+        const N: usize = 10_000;
+        let mut f = prim("age");
+        for _ in 0..N {
+            f = o(Func::Id, f);
+        }
+        let mut it = Interner::new();
+        let i = it.intern_func(&f);
+        // Distinct nodes: one `age`, one `id`, N compose spine nodes.
+        assert_eq!(it.len(), N + 2);
+        drop(i); // no out-of-arena handles may survive a clear
+        it.clear(); // must not overflow on the deep spine
+        assert!(it.is_empty());
+        assert_eq!(it.len(), 0);
+        // The arena restarts cleanly: interning after a clear rebuilds.
+        let a = it.intern_func(&prim("age"));
+        assert_eq!(it.len(), 1);
+        assert_eq!(a.to_func(), prim("age"));
+        drop(f);
     }
 }

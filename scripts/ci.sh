@@ -6,7 +6,8 @@
 #   --bench-smoke   additionally run the engine-mode benchmark with short
 #                   iteration counts, regenerating BENCH_rewrite.json and
 #                   failing if the indexed engine is slower than the naive
-#                   engine on the fig4 workload.
+#                   engine on the fig4 workload; then run the service soak
+#                   benchmark with its scaling gate (see below).
 #   --chaos-smoke   additionally run a 100-request chaos soak against the
 #                   optimization service, failing on any escaped panic,
 #                   unclassified request, or semantic-gate violation.
@@ -39,6 +40,16 @@ if [ "$BENCH_SMOKE_RUN" = 1 ]; then
   echo "== bench smoke (engine_modes, enforced)"
   BENCH_SMOKE=1 BENCH_ENFORCE=1 \
     cargo bench -p kola-bench --bench engine_modes --offline
+
+  # Scaling gate: clean-stream (no-fault) throughput at 4 workers must be
+  # >= 1.5x the 1-worker run. The real ratio on an idle host is ~4x — each
+  # request carries a 2 ms lock-free stall that N workers overlap, which is
+  # the only axis that can scale on this repo's single-core runners — so
+  # 1.5x is a generous floor that still fails on a serialized hot path
+  # (a global queue lock, per-request engine rebuilds).
+  echo "== bench smoke (service_soak, scaling gate enforced)"
+  BENCH_SMOKE=1 BENCH_ENFORCE=1 \
+    cargo bench -p kola-bench --bench service_soak --offline
 fi
 
 if [ "$CHAOS_SMOKE_RUN" = 1 ]; then
