@@ -18,12 +18,23 @@
 //! With `BENCH_ENFORCE=1` the run fails unless clean-stream 4-worker
 //! throughput is ≥ 1.5× 1-worker (the CI gate; the measured ratio on an
 //! idle host is ≈ 4×, so 1.5× leaves headroom for noisy shared runners).
+//! The clean stream runs with tracing **off** — the default service
+//! configuration — so the gate doubles as the zero-cost-when-disabled
+//! check for the observability layer: if disabled tracing leaked work
+//! onto the hot path, clean-stream scaling would pay for it here.
 //!
-//! Emits `BENCH_service.json` at the repository root. `BENCH_SMOKE=1`
-//! shrinks the streams for CI.
+//! The chaos rows run with tracing **on**: their numbers describe the
+//! service with the full degradation *and* provenance machinery engaged,
+//! and the 4-worker row's metric snapshot, trace-replay tally, and
+//! conservation verdict are emitted as `BENCH_obs.json`.
+//!
+//! Emits `BENCH_service.json` (and `BENCH_obs.json`) at the repository
+//! root. `BENCH_SMOKE=1` shrinks the streams for CI.
 
 use kola_bench::smoke_mode;
-use kola_service::{percentile, run_chaos, run_clean_stream, ChaosConfig, CleanConfig};
+use kola_service::{
+    percentile, run_chaos, run_clean_stream, ChaosConfig, ChaosReport, CleanConfig,
+};
 use std::time::Instant;
 
 struct Row {
@@ -67,8 +78,9 @@ impl Row {
 
 const WORKER_COUNTS: [usize; 3] = [1, 4, 8];
 
-fn chaos_rows(requests: usize) -> Vec<Row> {
+fn chaos_rows(requests: usize) -> (Vec<Row>, Option<(ChaosConfig, ChaosReport)>) {
     let mut rows = Vec::new();
+    let mut obs = None;
     for workers in WORKER_COUNTS {
         let cfg = ChaosConfig {
             requests,
@@ -76,6 +88,9 @@ fn chaos_rows(requests: usize) -> Vec<Row> {
             // The gate re-evaluates every optimized plan; leave it off so
             // the timing isolates queue + ladder + breaker overhead.
             verify: false,
+            // Tracing on: the chaos rows measure (and the 4-worker row
+            // exports) the service with provenance recording engaged.
+            tracing: true,
             ..ChaosConfig::default()
         };
         let start = Instant::now();
@@ -88,6 +103,9 @@ fn chaos_rows(requests: usize) -> Vec<Row> {
             "chaos invariants violated during bench:\n{}",
             violations.join("\n")
         );
+        if workers == 4 {
+            obs = Some((cfg.clone(), report.clone()));
+        }
 
         let mut lat = report.latencies_us.clone();
         lat.sort_unstable();
@@ -110,7 +128,7 @@ fn chaos_rows(requests: usize) -> Vec<Row> {
         row.print();
         rows.push(row);
     }
-    rows
+    (rows, obs)
 }
 
 fn clean_rows(requests: usize) -> Vec<Row> {
@@ -165,7 +183,7 @@ fn efficiency(rows: &[Row], workers: usize, throughput: f64) -> f64 {
 
 fn main() {
     let requests = if smoke_mode() { 300 } else { 4_000 };
-    let mut rows = chaos_rows(requests);
+    let (mut rows, obs) = chaos_rows(requests);
     rows.extend(clean_rows(requests));
 
     // The CI scaling gate (scripts/ci.sh --bench-smoke sets BENCH_ENFORCE):
@@ -201,6 +219,28 @@ fn main() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
     std::fs::write(path, &json).expect("write BENCH_service.json");
     println!("wrote {path}");
+
+    // Observability export: the traced 4-worker chaos row's full metric
+    // snapshot, trace-replay tally, and conservation verdict.
+    if let Some((cfg, report)) = obs {
+        assert!(
+            report.conservation.is_empty(),
+            "metric books unbalanced after quiescence:\n{}",
+            report.conservation.join("\n")
+        );
+        assert_eq!(
+            report.traces_divergent, 0,
+            "{} of {} replayed traces diverged from the reference engine",
+            report.traces_divergent, report.traces_replayed
+        );
+        let obs_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
+        std::fs::write(obs_path, report.obs_json("service_soak", &cfg))
+            .expect("write BENCH_obs.json");
+        println!(
+            "wrote {obs_path} ({} traces replayed exactly, books balanced)",
+            report.traces_replayed
+        );
+    }
 }
 
 fn render_json(rows: &[Row]) -> String {
@@ -208,8 +248,9 @@ fn render_json(rows: &[Row]) -> String {
     out.push_str("  \"bench\": \"service_soak\",\n");
     out.push_str(&format!("  \"smoke\": {},\n", smoke_mode()));
     out.push_str(
-        "  \"workload\": \"chaos: deterministic fault stream, verify off; \
-         clean: no-fault stream, 16 closed-loop clients, 2 ms per-request stall \
+        "  \"workload\": \"chaos: deterministic fault stream, verify off, tracing on; \
+         clean: no-fault stream, tracing off (default), 16 closed-loop clients, \
+         2 ms per-request stall \
          (single-core host: scaling measures worker concurrency)\",\n",
     );
     out.push_str("  \"configs\": [\n");

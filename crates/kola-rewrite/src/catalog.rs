@@ -298,6 +298,58 @@ impl RuleIndex {
     pub fn query_candidates(&self, root: Tag, child: Option<Tag>, out: &mut Vec<usize>) {
         self.query.candidates(root, child, out);
     }
+
+    /// Shape summary for observability: per level (func/pred/query), the
+    /// number of head-key buckets, total bucketed entries, and wildcard
+    /// entries. The wildcard count is the index's weak spot — every node at
+    /// that level pays for those rules — so it is the number worth watching
+    /// when the catalog grows.
+    pub fn describe(&self) -> IndexStats {
+        fn level(l: &LevelIndex) -> (usize, usize, usize) {
+            (
+                l.buckets.len(),
+                l.buckets.values().map(Vec::len).sum(),
+                l.wildcard.len(),
+            )
+        }
+        let (fb, fe, fw) = level(&self.func);
+        let (pb, pe, pw) = level(&self.pred);
+        let (qb, qe, qw) = level(&self.query);
+        IndexStats {
+            func_buckets: fb,
+            func_entries: fe,
+            func_wildcard: fw,
+            pred_buckets: pb,
+            pred_entries: pe,
+            pred_wildcard: pw,
+            query_buckets: qb,
+            query_entries: qe,
+            query_wildcard: qw,
+        }
+    }
+}
+
+/// Bucket shape of a [`RuleIndex`] (see [`RuleIndex::describe`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Distinct head-key buckets at the function level.
+    pub func_buckets: usize,
+    /// Total bucketed positions at the function level.
+    pub func_entries: usize,
+    /// Wildcard (metavariable-rooted) positions at the function level.
+    pub func_wildcard: usize,
+    /// Distinct head-key buckets at the predicate level.
+    pub pred_buckets: usize,
+    /// Total bucketed positions at the predicate level.
+    pub pred_entries: usize,
+    /// Wildcard positions at the predicate level.
+    pub pred_wildcard: usize,
+    /// Distinct head-key buckets at the query level.
+    pub query_buckets: usize,
+    /// Total bucketed positions at the query level.
+    pub query_entries: usize,
+    /// Wildcard positions at the query level.
+    pub query_wildcard: usize,
 }
 
 /// Figure 5: the sixteen general-purpose rules.

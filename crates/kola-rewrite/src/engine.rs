@@ -84,6 +84,23 @@ impl Trace {
     pub fn justifications(&self) -> Vec<String> {
         self.steps.iter().map(Step::justification).collect()
     }
+
+    /// Flatten each step to `(rule_id, dir, after-fingerprint, after-size)`
+    /// using a scratch interner. Fingerprints depend only on structure, so
+    /// any interner yields the same values — which is what lets a recorded
+    /// trace be compared against a replay that ran in a different arena.
+    pub fn records(
+        &self,
+        scratch: &mut kola::intern::Interner,
+    ) -> Vec<(String, Direction, u64, usize)> {
+        self.steps
+            .iter()
+            .map(|s| {
+                let t = scratch.intern_query(&s.after);
+                (s.rule_id.clone(), s.dir, t.fp(), t.size())
+            })
+            .collect()
+    }
 }
 
 impl fmt::Display for Trace {

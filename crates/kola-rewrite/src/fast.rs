@@ -8,7 +8,9 @@
 //! [`Engine::normalize_with`] is a drop-in replacement for
 //! [`crate::engine::rewrite_fix_with`]: same redex choice
 //! (leftmost-outermost, first matching rule in list order), same budgets,
-//! same fault injection, same quarantine behavior, same report and trace.
+//! same fault injection, same quarantine behavior, same report and trace
+//! (the trace only when [`EngineConfig::trace`] is on — turning it off
+//! changes nothing but leaves `Rewritten::trace` empty).
 //! Every layer preserves this:
 //!
 //! * **Interning** maps terms into the hash-cons arena of
@@ -76,6 +78,14 @@ pub struct EngineConfig {
     /// run starts, so one adversarially large request cannot bloat a
     /// persistent worker engine forever.
     pub arena_capacity: usize,
+    /// Record the per-step derivation [`Trace`] (each step reifies the
+    /// whole after-term back into a boxed [`Query`], an O(term) allocation
+    /// per step). `true` preserves the historical drop-in contract with
+    /// [`rewrite_fix_with`]; a service that does not need provenance turns
+    /// it off ([`Engine::set_trace`]) and the hot loop allocates nothing
+    /// per step beyond the rewritten term itself. The [`RewriteReport`]
+    /// (rule stats, stop reason, failures) is kept either way.
+    pub trace: bool,
 }
 
 impl Default for EngineConfig {
@@ -93,6 +103,7 @@ impl EngineConfig {
             memoized: false,
             memo_capacity: 0,
             arena_capacity: 0,
+            trace: true,
         }
     }
 
@@ -104,6 +115,7 @@ impl EngineConfig {
             memoized: false,
             memo_capacity: 0,
             arena_capacity: 0,
+            trace: true,
         }
     }
 
@@ -115,6 +127,7 @@ impl EngineConfig {
             memoized: false,
             memo_capacity: 0,
             arena_capacity: 0,
+            trace: true,
         }
     }
 
@@ -126,6 +139,7 @@ impl EngineConfig {
             memoized: true,
             memo_capacity: 1024,
             arena_capacity: 1 << 16,
+            trace: true,
         }
     }
 }
@@ -155,6 +169,9 @@ struct Memo {
     map: HashMap<usize, MemoEntry>,
     tick: u64,
     hits: u64,
+    /// Total lookups (hits + misses + stale evictions) — the denominator
+    /// observability needs to turn [`Memo::hits`] into a hit rate.
+    lookups: u64,
 }
 
 impl Memo {
@@ -164,6 +181,7 @@ impl Memo {
     /// evicted on sight and the lookup misses.
     fn get(&mut self, key: usize, epoch: u64) -> Option<&MemoEntry> {
         self.tick += 1;
+        self.lookups += 1;
         let t = self.tick;
         let stale = match self.map.get_mut(&key) {
             None => return None,
@@ -470,6 +488,19 @@ impl<'a> Engine<'a> {
         };
     }
 
+    /// Enable or disable per-step [`Trace`] recording for subsequent runs
+    /// (see [`EngineConfig::trace`]). Only the interned engine is affected:
+    /// the `naive` configuration delegates to [`rewrite_fix_with`], which
+    /// always traces. Flipping this touches no cache — traces are run-local.
+    pub fn set_trace(&mut self, on: bool) {
+        self.config.trace = on;
+    }
+
+    /// Whether per-step trace recording is currently on.
+    pub fn trace_enabled(&self) -> bool {
+        self.config.trace
+    }
+
     /// Drop every cross-run cache: memo entries first (they pin interned
     /// nodes), then the normal-subtree marks (raw node addresses a fresh
     /// arena could recycle), then the arena itself. The head-symbol index
@@ -564,11 +595,13 @@ impl<'a> Engine<'a> {
                 {
                     for (rule_id, dir, after) in &e.derivation {
                         report.record_fire(rule_id);
-                        trace.steps.push(Step {
-                            rule_id: rule_id.clone(),
-                            dir: *dir,
-                            after: after.to_query(),
-                        });
+                        if self.config.trace {
+                            trace.steps.push(Step {
+                                rule_id: rule_id.clone(),
+                                dir: *dir,
+                                after: after.to_query(),
+                            });
+                        }
                     }
                     report.steps = e.steps;
                     report.stop = StopReason::NormalForm;
@@ -691,11 +724,13 @@ impl<'a> Engine<'a> {
             cur = next;
             report.steps += 1;
             report.record_fire(&applied.rule_id);
-            trace.steps.push(Step {
-                rule_id: applied.rule_id.clone(),
-                dir: applied.dir,
-                after: cur.to_query(),
-            });
+            if self.config.trace {
+                trace.steps.push(Step {
+                    rule_id: applied.rule_id.clone(),
+                    dir: applied.dir,
+                    after: cur.to_query(),
+                });
+            }
             derivation.push((applied.rule_id, applied.dir, cur.clone()));
             max_size = max_size.max(next_size);
             max_depth = max_depth.max(cur.depth());
@@ -726,6 +761,13 @@ impl<'a> Engine<'a> {
         self.memo.hits
     }
 
+    /// Raw per-position consult counters (positions follow the rule list
+    /// given at construction). The allocation-free lane for callers that
+    /// delta-flush attempts into per-rule metrics after each run.
+    pub fn consults(&self) -> &[u64] {
+        &self.consults
+    }
+
     /// How many times `rule_id` was actually consulted (application
     /// attempted) at a node, across all runs.
     pub fn consult_count(&self, rule_id: &str) -> u64 {
@@ -742,4 +784,52 @@ impl<'a> Engine<'a> {
     pub fn index_contains(&self, rule_id: &str) -> bool {
         self.index.as_ref().is_some_and(|ix| ix.contains(rule_id))
     }
+
+    /// Lifetime counters for observability (all monotone except the live
+    /// arena length). Cheap to read — every field is already maintained by
+    /// the hot path; this just snapshots them.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            visits: self.visits,
+            constructed: self.interner.constructed(),
+            memo_hits: self.memo.hits,
+            memo_lookups: self.memo.lookups,
+            compactions: self.compactions,
+            arena_len: self.interner.len(),
+            arena_peak: self.interner.peak_len(),
+        }
+    }
+
+    /// Per-rule consult counts across all runs, as `(rule_id, consults)` in
+    /// rule-list order. A consult is an actual application attempt at a
+    /// node — the number the head-symbol index exists to minimize — so this
+    /// is the "rules attempted per head-key" surface for metrics.
+    pub fn consult_profile(&self) -> Vec<(String, u64)> {
+        self.rules
+            .iter()
+            .zip(&self.consults)
+            .map(|(o, n)| (o.rule.id.clone(), *n))
+            .collect()
+    }
+}
+
+/// A snapshot of an [`Engine`]'s lifetime counters (see [`Engine::stats`]).
+/// Subtracting two snapshots taken around a run gives that run's cost, which
+/// is how the service attributes engine work to individual requests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Node visits during redex search.
+    pub visits: u64,
+    /// Interner cache misses (nodes constructed).
+    pub constructed: u64,
+    /// Memo lookups that replayed a cached derivation.
+    pub memo_hits: u64,
+    /// Total memo lookups (hits + misses + stale evictions).
+    pub memo_lookups: u64,
+    /// Bounded-arena compactions fired.
+    pub compactions: u64,
+    /// Live nodes currently in the arena.
+    pub arena_len: usize,
+    /// High-water mark of live arena nodes over the engine's life.
+    pub arena_peak: usize,
 }

@@ -40,12 +40,12 @@ pub use budget::{
     Budget, CycleDetector, QuarantineEntry, QuarantineReport, RewriteError, RewriteReport,
     RuleStats, StopReason,
 };
-pub use catalog::{Catalog, RuleIndex};
+pub use catalog::{Catalog, IndexStats, RuleIndex};
 pub use engine::{
     rewrite_fix, rewrite_fix_governed, rewrite_fix_with, rewrite_once_query, try_rewrite_fix_with,
     Oriented, Rewritten, Step, Trace,
 };
-pub use fast::{Engine, EngineConfig};
+pub use fast::{Engine, EngineConfig, EngineStats};
 pub use fault::{CaughtPanic, FaultKind, FaultPlan, FaultSpec, StepSelector};
 pub use props::{PropDb, PropKind, PropTerm};
 pub use rule::{Direction, Rule, RuleSource};

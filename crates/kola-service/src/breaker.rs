@@ -46,6 +46,12 @@ pub struct Breaker {
     /// any reader that observed the new open-set under the lock is
     /// guaranteed to observe the new generation too.
     generation: AtomicU64,
+    /// Lifetime count of breaker openings (monotone; unlike `generation`
+    /// it counts only openings, so `opened - reset` trends tell an operator
+    /// whether trips are accumulating). Bumped inside the state lock.
+    opened_total: AtomicU64,
+    /// Lifetime count of open breakers reset (readmissions).
+    reset_total: AtomicU64,
 }
 
 impl Breaker {
@@ -56,6 +62,8 @@ impl Breaker {
             threshold: threshold.max(1),
             state: Mutex::new(HashMap::new()),
             generation: AtomicU64::new(0),
+            opened_total: AtomicU64::new(0),
+            reset_total: AtomicU64::new(0),
         }
     }
 
@@ -79,8 +87,29 @@ impl Breaker {
             e.open = true;
             // Inside the lock: see the `generation` field docs.
             self.generation.fetch_add(1, Ordering::Release);
+            self.opened_total.fetch_add(1, Ordering::Release);
         }
         e.open
+    }
+
+    /// Read-only failure record for `rule_id` — trip count, open state, and
+    /// the first/last implicating request ids — or `None` if the rule was
+    /// never charged. The per-request surface `QuarantineReport` only shows
+    /// *open* rules; this exposes the accumulating state below threshold,
+    /// which is what an operator watches to see a rule trending toward a
+    /// trip.
+    pub fn entry(&self, rule_id: &str) -> Option<BreakerEntry> {
+        self.state.lock().unwrap().get(rule_id).copied()
+    }
+
+    /// Lifetime count of breaker openings.
+    pub fn opened_total(&self) -> u64 {
+        self.opened_total.load(Ordering::Acquire)
+    }
+
+    /// Lifetime count of open breakers reset.
+    pub fn reset_total(&self) -> u64 {
+        self.reset_total.load(Ordering::Acquire)
     }
 
     /// True iff `rule_id`'s breaker is open.
@@ -112,6 +141,7 @@ impl Breaker {
         if removed.as_ref().is_some_and(|e| e.open) {
             // Inside the lock: see the `generation` field docs.
             self.generation.fetch_add(1, Ordering::Release);
+            self.reset_total.fetch_add(1, Ordering::Release);
         }
         removed.is_some()
     }
@@ -192,6 +222,45 @@ mod tests {
         // Resetting the open rule readmits it: generation moves.
         b.reset("app");
         assert_eq!(b.generation(), 2);
+    }
+
+    #[test]
+    fn entry_exposes_accumulating_state_across_trip_and_reset() {
+        let b = Breaker::new(3);
+        assert_eq!(b.entry("9"), None);
+        assert_eq!((b.opened_total(), b.reset_total()), (0, 0));
+
+        // Below threshold: visible through `entry`, invisible to the
+        // open-rules surfaces.
+        b.charge("9", 10);
+        b.charge("9", 11);
+        let e = b.entry("9").expect("charged rule has an entry");
+        assert_eq!(e.trips, 2);
+        assert!(!e.open);
+        assert_eq!(e.first_request, Some(10));
+        assert_eq!(e.last_request, Some(11));
+        assert!(b.report().entries.is_empty());
+        assert_eq!((b.opened_total(), b.reset_total()), (0, 0));
+
+        // Trip: entry flips open, opened_total moves once.
+        b.charge("9", 12);
+        let e = b.entry("9").unwrap();
+        assert!(e.open);
+        assert_eq!(e.trips, 3);
+        assert_eq!((b.opened_total(), b.reset_total()), (1, 0));
+        // Extra charges on an open breaker accumulate without re-opening.
+        b.charge("9", 13);
+        assert_eq!(b.entry("9").unwrap().trips, 4);
+        assert_eq!(b.opened_total(), 1);
+
+        // Reset: entry clears, reset_total moves once.
+        assert!(b.reset("9"));
+        assert_eq!(b.entry("9"), None);
+        assert_eq!((b.opened_total(), b.reset_total()), (1, 1));
+        // Resetting charged-but-never-open state is not a readmission.
+        b.charge("app", 20);
+        b.reset("app");
+        assert_eq!((b.opened_total(), b.reset_total()), (1, 1));
     }
 
     #[test]

@@ -11,13 +11,15 @@
 //! gate. [`ChaosReport::violations`] checks exactly those
 //! scheduling-independent properties.
 
+use crate::metrics::conservation_violations;
 use crate::request::{Outcome, Payload, Request, RequestOptions};
 use crate::service::{Service, ServiceConfig};
 use crate::Rung;
 use kola::term::{Func, Pred, Query};
 use kola::Value;
 use kola_exec::rng::{splitmix64, Rng};
-use kola_rewrite::{FaultKind, FaultPlan, FaultSpec, StepSelector};
+use kola_obs::{replay, Snapshot};
+use kola_rewrite::{Catalog, FaultKind, FaultPlan, FaultSpec, PropDb, StepSelector};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -34,6 +36,12 @@ pub struct ChaosConfig {
     pub queue_capacity: usize,
     /// Run the semantic gate on every optimized plan.
     pub verify: bool,
+    /// Record structured rewrite traces and, at the end of the soak,
+    /// replay every trace still in the ring against the boxed reference
+    /// engine (divergences are invariant violations).
+    pub tracing: bool,
+    /// Trace-ring capacity when `tracing` is on.
+    pub trace_capacity: usize,
 }
 
 impl Default for ChaosConfig {
@@ -44,6 +52,8 @@ impl Default for ChaosConfig {
             workers: 4,
             queue_capacity: 32,
             verify: true,
+            tracing: false,
+            trace_capacity: 512,
         }
     }
 }
@@ -81,6 +91,21 @@ pub struct ChaosReport {
     pub peak_arena_nodes: usize,
     /// Per-request end-to-end latencies, microseconds, unsorted.
     pub latencies_us: Vec<u64>,
+    /// Metric snapshot taken after the last reply (quiescent, so the
+    /// conservation invariants must hold on it).
+    pub metrics: Snapshot,
+    /// Conservation-invariant violations found in `metrics` (must be
+    /// empty; see [`crate::metrics`] for the two equations).
+    pub conservation: Vec<String>,
+    /// Structured traces recorded over the soak (0 unless
+    /// [`ChaosConfig::tracing`]).
+    pub traces_recorded: u64,
+    /// Traces evicted from the ring before the soak ended.
+    pub traces_dropped: u64,
+    /// Ring traces replayed step-by-step on the boxed reference engine.
+    pub traces_replayed: usize,
+    /// Replays that diverged from the recorded derivation (must be zero).
+    pub traces_divergent: usize,
 }
 
 /// Upper bound on [`ChaosReport::peak_arena_nodes`]: the fast engine's
@@ -128,7 +153,39 @@ impl ChaosReport {
                 self.peak_arena_nodes
             ));
         }
+        v.extend(self.conservation.iter().cloned());
+        if self.traces_divergent != 0 {
+            v.push(format!(
+                "{} of {} replayed traces diverged from the reference engine",
+                self.traces_divergent, self.traces_replayed
+            ));
+        }
         v
+    }
+
+    /// Render this report's observability slice — full metric snapshot,
+    /// trace-replay tally, conservation verdict — as the `BENCH_obs.json`
+    /// document both the chaos-soak binary and the service benchmark emit.
+    pub fn obs_json(&self, harness: &str, cfg: &ChaosConfig) -> String {
+        format!(
+            "{{\n  \"meta\": {{\"harness\": {}, \"requests\": {}, \"seed\": {}, \"workers\": {}, \"tracing\": {}}},\n  \"metrics\": {},\n  \"traces\": {{\"recorded\": {}, \"dropped\": {}, \"replayed\": {}, \"divergent\": {}}},\n  \"conservation\": {{\"ok\": {}, \"violations\": [{}]}}\n}}\n",
+            kola_obs::json::string(harness),
+            cfg.requests,
+            cfg.seed,
+            cfg.workers,
+            cfg.tracing,
+            self.metrics.to_json(),
+            self.traces_recorded,
+            self.traces_dropped,
+            self.traces_replayed,
+            self.traces_divergent,
+            self.conservation.is_empty(),
+            self.conservation
+                .iter()
+                .map(|v| kola_obs::json::string(v))
+                .collect::<Vec<_>>()
+                .join(", "),
+        )
     }
 
     /// Multi-line human summary.
@@ -148,6 +205,8 @@ impl ChaosReport {
              gate failures       {}\n\
              breakers opened     {}\n\
              peak arena nodes    {}\n\
+             conservation        {}\n\
+             traces rec/rep/div  {} / {} / {}\n\
              latency p50/p95/p99 {} / {} / {} us",
             self.requests,
             self.optimized_fast,
@@ -161,6 +220,14 @@ impl ChaosReport {
             self.gate_failures,
             self.breaker_opened,
             self.peak_arena_nodes,
+            if self.conservation.is_empty() {
+                "balanced"
+            } else {
+                "VIOLATED"
+            },
+            self.traces_recorded,
+            self.traces_replayed,
+            self.traces_divergent,
             percentile(&sorted, 50.0),
             percentile(&sorted, 95.0),
             percentile(&sorted, 99.0),
@@ -326,6 +393,8 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
         workers: cfg.workers,
         queue_capacity: cfg.queue_capacity,
         verify: cfg.verify,
+        tracing: cfg.tracing,
+        trace_capacity: cfg.trace_capacity,
         ..ServiceConfig::default()
     });
     let mut report = ChaosReport {
@@ -401,6 +470,26 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     report.breaker_opened = opened.len();
     report.unexpected_panics = service.unexpected_panics();
     report.peak_arena_nodes = service.peak_arena_nodes();
+    // Every reply is in hand: the service is quiescent, so the snapshot
+    // must balance its books.
+    report.metrics = service.metrics_snapshot();
+    report.conservation = conservation_violations(&report.metrics);
+    report.traces_recorded = report.metrics.counter("traces_recorded");
+    report.traces_dropped = report.metrics.counter("traces_dropped");
+    if cfg.tracing {
+        // Re-execute every trace still in the ring, step for step, on the
+        // boxed reference engine. Faulted runs re-inject their recorded
+        // fault plan; deadlines never shaped a successful derivation (see
+        // `kola_obs::replay`), so replay runs unclocked.
+        let catalog = Catalog::paper();
+        let props = PropDb::new();
+        for trace in service.traces() {
+            report.traces_replayed += 1;
+            if !replay(&trace, &catalog, &props).is_match() {
+                report.traces_divergent += 1;
+            }
+        }
+    }
     report
 }
 

@@ -40,10 +40,12 @@
 //! them to one rule set (see `tests/service.rs`).
 
 use crate::breaker::Breaker;
+use crate::metrics::ServiceMetrics;
 use crate::request::{Outcome, RequestOptions};
 use crate::snapshot::RuleSnapshot;
 use kola::term::Query;
 use kola_exec::rng::splitmix64;
+use kola_obs::{RewriteTrace, TraceRing};
 use kola_rewrite::strategy;
 use kola_rewrite::{
     Catalog, CaughtPanic, Engine, EngineConfig, Oriented, PropDb, QuarantineReport, RewriteReport,
@@ -94,15 +96,17 @@ pub struct LadderResult {
     pub failures: Vec<String>,
 }
 
-/// How one rung attempt ended (private to the climb).
+/// How one rung attempt ended (private to the climb). Success carries the
+/// rung's derivation trace so the observability sink can record it — empty
+/// when tracing is off (the engine skips per-step trace building entirely).
 enum Attempt {
-    Ok(Query, RewriteReport),
+    Ok(Query, RewriteReport, Trace),
     Failed(String, Option<RewriteReport>),
     Panicked(CaughtPanic),
 }
 
 /// The ladder, borrowing the service's shared catalog, properties, and
-/// breaker.
+/// breaker — plus the (optional) observability surfaces.
 pub struct Ladder<'a> {
     /// Rule catalog; the rule set handed to the engines is its forward
     /// orientation minus open-breaker rules.
@@ -111,6 +115,13 @@ pub struct Ladder<'a> {
     pub props: &'a PropDb,
     /// The cross-request circuit breaker to consult and charge.
     pub breaker: &'a Breaker,
+    /// Metric handles for per-rung failure counts; `None` runs unmetered.
+    pub metrics: Option<&'a ServiceMetrics>,
+    /// Trace sink. `Some` turns per-step trace recording ON for the fast
+    /// engine and records every successful rung's derivation; `None` (the
+    /// default service configuration) turns the engine's trace building
+    /// OFF, so the untraced hot path never allocates per step.
+    pub tracer: Option<&'a TraceRing>,
 }
 
 impl<'a> Ladder<'a> {
@@ -149,6 +160,7 @@ impl<'a> Ladder<'a> {
         snapshot: &RuleSnapshot,
     ) -> LadderResult {
         engine.set_epoch(snapshot.epoch, &snapshot.disabled);
+        engine.set_trace(self.tracer.is_some());
 
         let mut panics: Vec<CaughtPanic> = Vec::new();
         let mut failures: Vec<String> = Vec::new();
@@ -157,7 +169,7 @@ impl<'a> Ladder<'a> {
         // count (so a breaker threshold of N means N bad *requests*).
         let mut implicated: BTreeSet<String> = BTreeSet::new();
 
-        let mut success: Option<(Rung, Query, RewriteReport)> = None;
+        let mut success: Option<(Rung, Query, RewriteReport, Trace)> = None;
         'climb: for (ri, rung) in RUNGS.iter().copied().enumerate() {
             for attempt in 0..2u32 {
                 if expired(deadline) {
@@ -179,9 +191,9 @@ impl<'a> Ladder<'a> {
                     retries += 1;
                 }
                 match self.attempt(rung, attempt, q, opts, deadline, engine, snapshot) {
-                    Attempt::Ok(plan, report) => {
+                    Attempt::Ok(plan, report, trace) => {
                         implicate_from_report(&report, &mut implicated);
-                        success = Some((rung, plan, report));
+                        success = Some((rung, plan, report, trace));
                         break 'climb;
                     }
                     Attempt::Failed(why, report) => {
@@ -190,6 +202,9 @@ impl<'a> Ladder<'a> {
                             .is_some_and(|r| r.stop == StopReason::DeadlineExpired);
                         if let Some(r) = &report {
                             implicate_from_report(r, &mut implicated);
+                        }
+                        if let Some(m) = self.metrics {
+                            m.rung_failures.add(&rung.to_string(), 1);
                         }
                         failures.push(format!("{rung} attempt {attempt}: {why}"));
                         if expired_stop {
@@ -200,6 +215,9 @@ impl<'a> Ladder<'a> {
                     Attempt::Panicked(p) => {
                         if let Some(id) = &p.rule_id {
                             implicated.insert(id.clone());
+                        }
+                        if let Some(m) = self.metrics {
+                            m.rung_failures.add(&rung.to_string(), 1);
                         }
                         failures.push(format!("{rung} attempt {attempt}: {p}"));
                         panics.push(p);
@@ -213,7 +231,27 @@ impl<'a> Ladder<'a> {
         }
 
         match success {
-            Some((rung, plan, report)) => {
+            Some((rung, plan, report, trace)) => {
+                if let Some(ring) = self.tracer {
+                    // Wall-clock deadlines are intentionally not recorded:
+                    // a successful rung never stopped on one (classify
+                    // treats DeadlineExpired as failure), so the derivation
+                    // is deadline-independent and replays unclocked.
+                    ring.push(RewriteTrace::record(
+                        request_id,
+                        &rung.to_string(),
+                        q,
+                        snapshot.active.clone(),
+                        opts.max_steps,
+                        opts.max_depth,
+                        opts.max_term_size,
+                        opts.quarantine_after,
+                        opts.faults.clone(),
+                        &trace,
+                        report.stop,
+                        &plan,
+                    ));
+                }
                 let quarantine = self.catalog.quarantine_report(&report);
                 LadderResult {
                     outcome: Outcome::Optimized { rung },
@@ -265,7 +303,7 @@ impl<'a> Ladder<'a> {
                 let budget = opts.budget(deadline);
                 match engine.try_normalize_with(q, &budget, &opts.faults) {
                     Err(p) => Attempt::Panicked(p),
-                    Ok(r) => classify(r.query, r.report),
+                    Ok(r) => classify(r.query, r.report, r.trace),
                 }
             }
             // The cold rung (only reached when the fast rung failed):
@@ -280,7 +318,7 @@ impl<'a> Ladder<'a> {
                 let mut trace = Trace::new();
                 match runner.try_run_governed(&strategy, q.clone(), &mut trace) {
                     Err(p) => Attempt::Panicked(p),
-                    Ok((plan, _outcome, report)) => classify(plan, report),
+                    Ok((plan, _outcome, report)) => classify(plan, report, trace),
                 }
             }
         }
@@ -289,7 +327,7 @@ impl<'a> Ladder<'a> {
 
 /// Shared rung-outcome classification (see the module docs for why
 /// `BudgetExhausted`/`CycleDetected` are successes).
-fn classify(plan: Query, report: RewriteReport) -> Attempt {
+fn classify(plan: Query, report: RewriteReport, trace: Trace) -> Attempt {
     match report.stop {
         StopReason::DeadlineExpired => {
             Attempt::Failed("deadline expired mid-rewrite".into(), Some(report))
@@ -299,7 +337,7 @@ fn classify(plan: Query, report: RewriteReport) -> Attempt {
         }
         // NormalForm, BudgetExhausted, CycleDetected: the governed
         // engines return the best (smallest) query seen — a plan.
-        _ => Attempt::Ok(plan, report),
+        _ => Attempt::Ok(plan, report, trace),
     }
 }
 
@@ -358,6 +396,8 @@ mod tests {
             catalog: &catalog,
             props: &props,
             breaker: &breaker,
+            metrics: None,
+            tracer: None,
         };
         let opts = RequestOptions {
             transient_fail: vec![Rung::Fast],
@@ -380,6 +420,8 @@ mod tests {
             catalog: &catalog,
             props: &props,
             breaker: &breaker,
+            metrics: None,
+            tracer: None,
         };
         let opts = RequestOptions {
             force_fail: vec![Rung::Fast],
@@ -405,6 +447,8 @@ mod tests {
             catalog: &catalog,
             props: &props,
             breaker: &breaker,
+            metrics: None,
+            tracer: None,
         };
         let opts = RequestOptions {
             force_fail: vec![Rung::Fast, Rung::Reference],

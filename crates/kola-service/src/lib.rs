@@ -30,10 +30,19 @@
 //!   engines — and thereby from the fast engine's `RuleIndex` — until an
 //!   operator resets it. This extends the per-run quarantine of
 //!   `kola-rewrite::budget` across requests.
+//! - [`metrics`] — the service's lock-free metric surface (built on
+//!   `kola-obs`): request-lifecycle counters arranged as conservation
+//!   invariants the chaos soak audits, per-rule attempt/fire families,
+//!   latency/queue-depth histograms, and engine odometers delta-flushed
+//!   from each worker's persistent engine. With
+//!   [`service::ServiceConfig::tracing`] on, every successful optimization
+//!   also records a structured `kola_obs::RewriteTrace` that replays
+//!   byte-for-byte on the boxed reference engine.
 //! - [`chaos`] — a deterministic chaos-soak harness mixing well-formed
 //!   queries, adversarially deep terms, poison rules, and random deadlines,
-//!   asserting that every request terminates with a classified outcome and
-//!   that no panic escapes a worker.
+//!   asserting that every request terminates with a classified outcome,
+//!   that no panic escapes a worker, that the metric books balance, and
+//!   that every recorded trace replays exactly.
 //!
 //! Degradation preserves exactness: with no faults injected the service
 //! answer is byte-identical to a direct [`kola_rewrite::Runner`] run on the
@@ -43,6 +52,7 @@
 pub mod breaker;
 pub mod chaos;
 pub mod ladder;
+pub mod metrics;
 pub mod request;
 pub mod service;
 pub mod snapshot;
@@ -53,6 +63,7 @@ pub use chaos::{
     CleanConfig, CleanReport, PEAK_ARENA_BOUND,
 };
 pub use ladder::{Ladder, LadderResult, Rung};
+pub use metrics::{conservation_violations, ServiceMetrics};
 pub use request::{Outcome, Payload, Request, RequestOptions, Response};
 pub use service::{Pending, Service, ServiceConfig};
 pub use snapshot::{RuleSnapshot, SnapshotCell};

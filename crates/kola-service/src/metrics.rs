@@ -1,0 +1,215 @@
+//! The service's metric surface: every counter the request lifecycle
+//! touches, built on `kola-obs`'s lock-free instruments.
+//!
+//! The counters form two **conservation invariants** that hold whenever the
+//! service is quiescent (every submitted request has been answered):
+//!
+//! ```text
+//! submitted == overloaded + rejected_invalid + admitted
+//! admitted  == optimized_fast + optimized_reference + passthrough
+//!              + completed_invalid + panicked
+//! ```
+//!
+//! The first partitions admissions (shed at the door, rejected at the door,
+//! queued), the second partitions completions (each admitted request bumps
+//! exactly one terminal counter before its reply is sent, so a client that
+//! has every reply in hand can check the books). The chaos soak asserts
+//! both over its full run ([`conservation_violations`]).
+
+use kola_obs::{Counter, CounterFamily, Histogram, MaxGauge, Registry, Snapshot};
+use std::sync::Arc;
+
+/// Handles into the service's metric [`Registry`]. All hot-path recording
+/// goes through these `Arc`s — lock-free, allocation-free; the registry
+/// itself is only locked to snapshot.
+#[derive(Debug)]
+pub struct ServiceMetrics {
+    registry: Registry,
+    /// Requests presented to [`crate::Service::submit`].
+    pub submitted: Arc<Counter>,
+    /// Shed at the door: queue full.
+    pub overloaded: Arc<Counter>,
+    /// Rejected at the door: oversized payload.
+    pub rejected_invalid: Arc<Counter>,
+    /// Dequeued by a worker (every one terminates in exactly one of the
+    /// five completion counters below).
+    pub admitted: Arc<Counter>,
+    /// Completed `Optimized { rung: Fast }`.
+    pub optimized_fast: Arc<Counter>,
+    /// Completed `Optimized { rung: Reference }`.
+    pub optimized_reference: Arc<Counter>,
+    /// Completed `Passthrough` (ladder exhausted or semantic-gate degrade).
+    pub passthrough: Arc<Counter>,
+    /// Completed `Invalid` in the worker (parse failure).
+    pub completed_invalid: Arc<Counter>,
+    /// Panics that reached the worker boundary (answered `Invalid`; counted
+    /// here, not in `completed_invalid`, so the books distinguish them).
+    pub panicked: Arc<Counter>,
+    /// Ladder retries taken (all rungs).
+    pub retries: Arc<Counter>,
+    /// Poison-rule panics caught *and classified* by the ladder.
+    pub caught_panics: Arc<Counter>,
+    /// Optimized plans degraded to passthrough by the semantic gate.
+    pub gate_degradations: Arc<Counter>,
+    /// Failed rung attempts, labeled `fast` / `reference`.
+    pub rung_failures: Arc<CounterFamily>,
+    /// Engine node visits attributed to requests (delta-flushed per
+    /// request from the worker's persistent engine).
+    pub engine_visits: Arc<Counter>,
+    /// Engine interner constructions (arena cache misses).
+    pub engine_constructed: Arc<Counter>,
+    /// Normalization-memo replays.
+    pub engine_memo_hits: Arc<Counter>,
+    /// Normalization-memo lookups (hits + misses).
+    pub engine_memo_lookups: Arc<Counter>,
+    /// Bounded-arena compactions across all worker engines.
+    pub engine_compactions: Arc<Counter>,
+    /// High-water mark of any worker engine's arena (live nodes).
+    pub arena_peak: Arc<MaxGauge>,
+    /// Rule application *attempts* per rule id (the candidate scans the
+    /// head-symbol index could not rule out).
+    pub rules_attempted: Arc<CounterFamily>,
+    /// Successful rule firings per rule id.
+    pub rules_fired: Arc<CounterFamily>,
+    /// Queue depth observed at each successful admission.
+    pub queue_depth: Arc<Histogram>,
+    /// Deadline remaining (µs) when a worker dequeued the request — how
+    /// much of each budget the queue already spent.
+    pub deadline_remaining_us: Arc<Histogram>,
+    /// End-to-end latency (µs) of worker-completed requests.
+    pub latency_us: Arc<Histogram>,
+    /// Wall-clock µs workers spent handling requests (utilization numerator).
+    pub worker_busy_us: Arc<Counter>,
+}
+
+impl ServiceMetrics {
+    /// Metrics over the served catalog: `rule_ids` (catalog order) label
+    /// the per-rule families and `queue_capacity` shapes the depth
+    /// histogram.
+    pub fn new(rule_ids: &[String], queue_capacity: usize) -> ServiceMetrics {
+        let registry = Registry::new();
+        // One hour in µs comfortably tops any latency/deadline this
+        // service sees; pow2 buckets keep the scan short.
+        let us_cap = 3_600_000_000;
+        ServiceMetrics {
+            submitted: registry.counter("submitted"),
+            overloaded: registry.counter("overloaded"),
+            rejected_invalid: registry.counter("rejected_invalid"),
+            admitted: registry.counter("admitted"),
+            optimized_fast: registry.counter("optimized_fast"),
+            optimized_reference: registry.counter("optimized_reference"),
+            passthrough: registry.counter("passthrough"),
+            completed_invalid: registry.counter("completed_invalid"),
+            panicked: registry.counter("panicked"),
+            retries: registry.counter("retries"),
+            caught_panics: registry.counter("caught_panics"),
+            gate_degradations: registry.counter("gate_degradations"),
+            rung_failures: registry.family("rung_failures", ["fast", "reference"]),
+            engine_visits: registry.counter("engine_visits"),
+            engine_constructed: registry.counter("engine_constructed"),
+            engine_memo_hits: registry.counter("engine_memo_hits"),
+            engine_memo_lookups: registry.counter("engine_memo_lookups"),
+            engine_compactions: registry.counter("engine_compactions"),
+            arena_peak: registry.max_gauge("arena_peak"),
+            rules_attempted: registry.family("rules_attempted", rule_ids.iter().cloned()),
+            rules_fired: registry.family("rules_fired", rule_ids.iter().cloned()),
+            queue_depth: registry
+                .histogram("queue_depth", &pow2_bounds(queue_capacity.max(1) as u64)),
+            deadline_remaining_us: registry
+                .histogram("deadline_remaining_us", &pow2_bounds(us_cap)),
+            latency_us: registry.histogram("latency_us", &pow2_bounds(us_cap)),
+            worker_busy_us: registry.counter("worker_busy_us"),
+            registry,
+        }
+    }
+
+    /// Plain-data copy of every instrument.
+    pub fn snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+}
+
+fn pow2_bounds(cap: u64) -> Vec<u64> {
+    let mut bounds = Vec::new();
+    let mut b = 1u64;
+    loop {
+        bounds.push(b);
+        if b >= cap {
+            break;
+        }
+        b = b.saturating_mul(2);
+    }
+    bounds
+}
+
+/// Check the conservation invariants (module docs) against a quiescent
+/// snapshot. Returns one message per violated equation — empty means the
+/// books balance.
+pub fn conservation_violations(s: &Snapshot) -> Vec<String> {
+    let mut v = Vec::new();
+    let submitted = s.counter("submitted");
+    let admissions =
+        s.counter("overloaded") + s.counter("rejected_invalid") + s.counter("admitted");
+    if submitted != admissions {
+        v.push(format!(
+            "admission books unbalanced: submitted {} != overloaded {} + rejected_invalid {} + admitted {}",
+            submitted,
+            s.counter("overloaded"),
+            s.counter("rejected_invalid"),
+            s.counter("admitted"),
+        ));
+    }
+    let admitted = s.counter("admitted");
+    let completions = s.counter("optimized_fast")
+        + s.counter("optimized_reference")
+        + s.counter("passthrough")
+        + s.counter("completed_invalid")
+        + s.counter("panicked");
+    if admitted != completions {
+        v.push(format!(
+            "completion books unbalanced: admitted {} != optimized_fast {} + optimized_reference {} + passthrough {} + completed_invalid {} + panicked {}",
+            admitted,
+            s.counter("optimized_fast"),
+            s.counter("optimized_reference"),
+            s.counter("passthrough"),
+            s.counter("completed_invalid"),
+            s.counter("panicked"),
+        ));
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conservation_detects_imbalance() {
+        let m = ServiceMetrics::new(&["11".to_string()], 64);
+        assert!(conservation_violations(&m.snapshot()).is_empty());
+        m.submitted.add(3);
+        m.overloaded.inc();
+        m.admitted.add(2);
+        m.optimized_fast.inc();
+        // One admitted request unaccounted for.
+        let v = conservation_violations(&m.snapshot());
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("completion books"));
+        m.passthrough.inc();
+        assert!(conservation_violations(&m.snapshot()).is_empty());
+        m.submitted.inc();
+        let v = conservation_violations(&m.snapshot());
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("admission books"));
+    }
+
+    #[test]
+    fn families_label_rules() {
+        let m = ServiceMetrics::new(&["11".to_string(), "9".to_string()], 8);
+        m.rules_fired.add("9", 2);
+        m.rules_attempted.add_index(0, 5);
+        let s = m.snapshot();
+        assert_eq!(s.family("rules_fired"), &[("9".to_string(), 2)]);
+        assert_eq!(s.family("rules_attempted"), &[("11".to_string(), 5)]);
+    }
+}

@@ -46,13 +46,17 @@
 //! keeps its warm engine afterwards.
 
 use crate::breaker::Breaker;
-use crate::ladder::Ladder;
+use crate::ladder::{Ladder, Rung};
+use crate::metrics::ServiceMetrics;
 use crate::request::{Outcome, Payload, Request, Response};
 use crate::snapshot::{RuleSnapshot, SnapshotCell};
 use kola::term::Query;
 use kola::Db;
 use kola_exec::datagen::{generate, DataSpec};
-use kola_rewrite::{Catalog, Engine, EngineConfig, Oriented, PropDb, QuarantineReport};
+use kola_obs::{RewriteTrace, Snapshot as MetricsSnapshot, TraceRing};
+use kola_rewrite::{
+    Catalog, Engine, EngineConfig, EngineStats, Oriented, PropDb, QuarantineReport,
+};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -79,6 +83,14 @@ pub struct ServiceConfig {
     /// Run the semantic gate: evaluate input and plan on a small generated
     /// database and degrade to passthrough if they disagree.
     pub verify: bool,
+    /// Record a structured [`RewriteTrace`] for every successfully
+    /// optimized request. Off by default: with tracing off the fast
+    /// engine's per-step trace building is disabled entirely, so the hot
+    /// path carries no provenance cost (the scaling benchmark gates this).
+    pub tracing: bool,
+    /// Trace ring capacity when `tracing` is on — the ring keeps the most
+    /// recent this-many traces and counts evictions.
+    pub trace_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -90,6 +102,8 @@ impl Default for ServiceConfig {
             max_request_bytes: 64 * 1024,
             stack_size: 16 * 1024 * 1024,
             verify: false,
+            tracing: false,
+            trace_capacity: 1024,
         }
     }
 }
@@ -135,6 +149,10 @@ struct Shared {
     /// High-water mark of any worker engine's arena, sampled after each
     /// request (the chaos soak asserts boundedness).
     peak_arena: AtomicUsize,
+    /// Lock-free metric instruments (see [`crate::metrics`]).
+    metrics: ServiceMetrics,
+    /// Structured-trace sink, present iff [`ServiceConfig::tracing`].
+    tracer: Option<TraceRing>,
 }
 
 /// A ticket for a queued request; [`Pending::wait`] blocks for the reply.
@@ -181,6 +199,9 @@ impl Service {
             &breaker,
         ));
         let workers_n = config.workers.max(1);
+        let capacity = config.queue_capacity.max(1);
+        let rule_ids: Vec<String> = catalog.rules().iter().map(|r| r.id.clone()).collect();
+        let metrics = ServiceMetrics::new(&rule_ids, capacity);
         let shared = Arc::new(Shared {
             catalog,
             props: PropDb::new(),
@@ -196,10 +217,14 @@ impl Service {
             depth: AtomicUsize::new(0),
             next_shard: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
-            capacity: config.queue_capacity.max(1),
+            capacity,
             max_request_bytes: config.max_request_bytes,
             unexpected_panics: AtomicUsize::new(0),
             peak_arena: AtomicUsize::new(0),
+            metrics,
+            tracer: config
+                .tracing
+                .then(|| TraceRing::new(config.trace_capacity)),
         });
         let workers = (0..workers_n)
             .map(|i| {
@@ -228,8 +253,10 @@ impl Service {
     #[allow(clippy::result_large_err)]
     pub fn submit(&self, request: Request) -> Result<Pending, Response> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.shared.metrics.submitted.inc();
         if let Payload::Text(src) = &request.payload {
             if src.len() > self.shared.max_request_bytes {
+                self.shared.metrics.rejected_invalid.inc();
                 return Err(Response::rejected(
                     id,
                     Outcome::Invalid,
@@ -246,6 +273,7 @@ impl Service {
         let mut depth = self.shared.depth.load(Ordering::Relaxed);
         loop {
             if depth >= self.shared.capacity {
+                self.shared.metrics.overloaded.inc();
                 return Err(Response::rejected(
                     id,
                     Outcome::Overloaded,
@@ -262,6 +290,7 @@ impl Service {
                 Err(current) => depth = current,
             }
         }
+        self.shared.metrics.queue_depth.record(depth as u64 + 1);
         let submitted = Instant::now();
         let deadline = request.options.timeout.map(|t| submitted + t);
         let (tx, rx) = mpsc::channel();
@@ -307,6 +336,40 @@ impl Service {
     pub fn peak_arena_nodes(&self) -> usize {
         self.shared.peak_arena.load(Ordering::Relaxed)
     }
+
+    /// Plain-data snapshot of every metric instrument, with the breaker and
+    /// trace-ring odometers appended (`breaker_opened`, `breaker_reset`,
+    /// `traces_recorded`, `traces_dropped`) so one snapshot tells the whole
+    /// story. See [`crate::metrics`] for the conservation invariants the
+    /// counters obey.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut s = self.shared.metrics.snapshot();
+        s.counters.push((
+            "breaker_opened".to_string(),
+            self.shared.breaker.opened_total(),
+        ));
+        s.counters.push((
+            "breaker_reset".to_string(),
+            self.shared.breaker.reset_total(),
+        ));
+        let (recorded, dropped) = self
+            .shared
+            .tracer
+            .as_ref()
+            .map_or((0, 0), |t| (t.recorded(), t.dropped()));
+        s.counters.push(("traces_recorded".to_string(), recorded));
+        s.counters.push(("traces_dropped".to_string(), dropped));
+        s
+    }
+
+    /// The traces currently held by the ring (oldest first). Empty when the
+    /// service was started without [`ServiceConfig::tracing`].
+    pub fn traces(&self) -> Vec<RewriteTrace> {
+        self.shared
+            .tracer
+            .as_ref()
+            .map_or_else(Vec::new, |t| t.snapshot())
+    }
 }
 
 impl Drop for Service {
@@ -329,6 +392,35 @@ impl Drop for Service {
 struct WorkerState<'a> {
     engine: Engine<'a>,
     snapshot: Arc<RuleSnapshot>,
+    /// Engine odometer readings at the last flush; per-request deltas are
+    /// pushed into the service counters so one worker's engine stats never
+    /// double-count.
+    last: EngineStats,
+    /// Per-rule consult odometer readings at the last flush (engine rule
+    /// positions, i.e. catalog order).
+    last_consults: Vec<u64>,
+}
+
+/// Delta-flush the worker engine's odometers into the service counters.
+fn flush_engine_stats(shared: &Shared, state: &mut WorkerState<'_>) {
+    let m = &shared.metrics;
+    let now = state.engine.stats();
+    let last = &state.last;
+    m.engine_visits.add(now.visits - last.visits);
+    m.engine_constructed.add(now.constructed - last.constructed);
+    m.engine_memo_hits.add(now.memo_hits - last.memo_hits);
+    m.engine_memo_lookups
+        .add(now.memo_lookups - last.memo_lookups);
+    m.engine_compactions
+        .add(now.compactions - last.compactions);
+    m.arena_peak.record(now.arena_peak as u64);
+    state.last = now;
+    for (i, &c) in state.engine.consults().iter().enumerate() {
+        // `add_index` is the allocation-free positional lane: family labels
+        // were registered in catalog order, matching engine rule positions.
+        m.rules_attempted.add_index(i, c - state.last_consults[i]);
+        state.last_consults[i] = c;
+    }
 }
 
 fn worker_loop(shared: &Shared, index: usize) {
@@ -337,19 +429,24 @@ fn worker_loop(shared: &Shared, index: usize) {
     // its candidate scan (see `RuleSnapshot`), so a breaker trip swaps an
     // epoch instead of forcing a rebuild.
     let rules: Vec<Oriented<'_>> = shared.catalog.rules().iter().map(Oriented::fwd).collect();
+    let rule_count = rules.len();
     let mut state = WorkerState {
         engine: Engine::new(rules, &shared.props, EngineConfig::fast()),
         snapshot: shared.snapshots.load(),
+        last: EngineStats::default(),
+        last_consults: vec![0; rule_count],
     };
     while let Some(job) = next_job(shared, index) {
         let id = job.id;
         let submitted = job.submitted;
         let reply = job.reply.clone();
+        let busy = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| handle(shared, job, &mut state)));
         let response = outcome.unwrap_or_else(|_| {
             // Nothing should reach this boundary — the ladder catches
             // poison-rule panics itself. Count it, answer anyway.
             shared.unexpected_panics.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.panicked.inc();
             let mut r = Response::rejected(
                 id,
                 Outcome::Invalid,
@@ -358,6 +455,15 @@ fn worker_loop(shared: &Shared, index: usize) {
             r.latency = submitted.elapsed();
             r
         });
+        flush_engine_stats(shared, &mut state);
+        shared
+            .metrics
+            .worker_busy_us
+            .add(busy.elapsed().as_micros() as u64);
+        shared
+            .metrics
+            .latency_us
+            .record(response.latency.as_micros() as u64);
         // The client may have given up waiting; a dead receiver is fine.
         let _ = reply.send(response);
     }
@@ -371,6 +477,7 @@ fn next_job(shared: &Shared, index: usize) -> Option<Job> {
     loop {
         if let Some(job) = shards[index].jobs.lock().unwrap().pop_front() {
             shared.depth.fetch_sub(1, Ordering::AcqRel);
+            admit(shared, &job);
             return Some(job);
         }
         // Steal scan. `try_lock`: a contended shard is being served by its
@@ -381,6 +488,7 @@ fn next_job(shared: &Shared, index: usize) -> Option<Job> {
                 if let Some(job) = jobs.pop_front() {
                     drop(jobs);
                     shared.depth.fetch_sub(1, Ordering::AcqRel);
+                    admit(shared, &job);
                     return Some(job);
                 }
             }
@@ -394,6 +502,20 @@ fn next_job(shared: &Shared, index: usize) -> Option<Job> {
             // to a busy sibling's shard — must still be found promptly.
             let _ = shards[index].cv.wait_timeout(jobs, STEAL_POLL).unwrap();
         }
+    }
+}
+
+/// Account a dequeued job: it is now *admitted* (owned by a worker, certain
+/// to terminate in exactly one completion counter), and whatever deadline
+/// budget the queue wait left is sampled here.
+fn admit(shared: &Shared, job: &Job) {
+    shared.metrics.admitted.inc();
+    if let Some(deadline) = job.deadline {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        shared
+            .metrics
+            .deadline_remaining_us
+            .record(remaining.as_micros() as u64);
     }
 }
 
@@ -412,6 +534,7 @@ fn handle(shared: &Shared, job: Job, state: &mut WorkerState<'_>) -> Response {
         Payload::Text(src) => match kola_frontend::parse_any_query(src) {
             Ok(q) => Arc::new(q),
             Err(e) => {
+                shared.metrics.completed_invalid.inc();
                 let mut r = Response::rejected(id, Outcome::Invalid, e);
                 r.latency = submitted.elapsed();
                 return r;
@@ -431,6 +554,8 @@ fn handle(shared: &Shared, job: Job, state: &mut WorkerState<'_>) -> Response {
         catalog: &shared.catalog,
         props: &shared.props,
         breaker: &shared.breaker,
+        metrics: Some(&shared.metrics),
+        tracer: shared.tracer.as_ref(),
     };
     let mut result = ladder.run_with(
         id,
@@ -440,6 +565,14 @@ fn handle(shared: &Shared, job: Job, state: &mut WorkerState<'_>) -> Response {
         &mut state.engine,
         &state.snapshot,
     );
+    let m = &shared.metrics;
+    m.retries.add(result.retries as u64);
+    m.caught_panics.add(result.panics.len() as u64);
+    if let Some(report) = &result.report {
+        for (rule_id, rs) in &report.rule_stats {
+            m.rules_fired.add(rule_id, rs.fired as u64);
+        }
+    }
 
     // Semantic gate: an optimized plan that disagrees with its input on
     // the sample database is worse than no optimization — degrade it.
@@ -447,11 +580,23 @@ fn handle(shared: &Shared, job: Job, state: &mut WorkerState<'_>) -> Response {
     if let (Some(db), Outcome::Optimized { .. }) = (&shared.verify_db, &result.outcome) {
         if let Err(e) = kola_verify::check_plan_semantics(db, &input, &result.plan) {
             gate_error = Some(format!("semantic gate: {e}"));
+            m.gate_degradations.inc();
             result.outcome = Outcome::Passthrough;
             result.plan = (*input).clone();
             result.report = None;
             result.quarantine = QuarantineReport::default();
         }
+    }
+    match &result.outcome {
+        Outcome::Optimized { rung: Rung::Fast } => m.optimized_fast.inc(),
+        Outcome::Optimized {
+            rung: Rung::Reference,
+        } => m.optimized_reference.inc(),
+        Outcome::Passthrough => m.passthrough.inc(),
+        // The ladder never yields these; keep the books honest if it ever
+        // does.
+        Outcome::Invalid => m.completed_invalid.inc(),
+        Outcome::Overloaded => m.passthrough.inc(),
     }
 
     shared

@@ -3,9 +3,12 @@
 //! poison rules, and random deadlines. Asserts the service's terminal
 //! invariants: every request classified, zero escaped panics, zero
 //! semantic-gate failures — and that the stream actually exercised every
-//! lane (panics caught, breakers opened, loads shed).
+//! lane (panics caught, breakers opened, loads shed). Runs with tracing
+//! on, so it also asserts the observability invariants: the metric books
+//! balance (conservation), and every trace left in the ring replays
+//! byte-for-byte on the boxed reference engine.
 
-use kola_service::{run_chaos, ChaosConfig};
+use kola_service::{conservation_violations, run_chaos, ChaosConfig};
 
 #[test]
 fn chaos_soak_classifies_every_request_and_escapes_no_panics() {
@@ -15,6 +18,8 @@ fn chaos_soak_classifies_every_request_and_escapes_no_panics() {
         .unwrap_or(10_000);
     let cfg = ChaosConfig {
         requests,
+        tracing: true,
+        trace_capacity: 256,
         ..ChaosConfig::default()
     };
     let report = run_chaos(&cfg);
@@ -48,4 +53,37 @@ fn chaos_soak_classifies_every_request_and_escapes_no_panics() {
     // Persistent engines really ran (the arena saw terms) and stayed
     // bounded (the bound itself is enforced by `violations()` above).
     assert!(report.peak_arena_nodes > 0, "{}", report.summary());
+
+    // Conservation: over the whole soak the metric books balance —
+    // submitted == overloaded + rejected_invalid + admitted, and every
+    // admitted request bumped exactly one completion counter.
+    assert_eq!(
+        conservation_violations(&report.metrics),
+        Vec::<String>::new(),
+        "{}",
+        report.summary()
+    );
+    let s = &report.metrics;
+    assert_eq!(s.counter("submitted"), report.requests as u64);
+    assert_eq!(s.counter("overloaded"), report.overloaded as u64);
+    assert_eq!(s.counter("optimized_fast"), report.optimized_fast as u64);
+    assert_eq!(s.counter("retries"), report.retries as u64);
+    assert_eq!(s.counter("caught_panics"), report.caught_panics as u64);
+    // The fault lanes made the fast rung fail at least once, and the
+    // engine lanes attributed real work to the per-rule families.
+    assert!(s.family("rung_failures").iter().any(|(l, _)| l == "fast"));
+    assert!(s.counter("engine_visits") > 0, "{}", report.summary());
+    let fired: u64 = s.family("rules_fired").iter().map(|(_, n)| *n).sum();
+    let attempted: u64 = s.family("rules_attempted").iter().map(|(_, n)| *n).sum();
+    assert!(fired > 0 && attempted > 0, "{}", report.summary());
+    // The interner's own high-water mark dominates the after-request
+    // samples the service takes.
+    assert!(s.gauge("arena_peak") >= report.peak_arena_nodes as u64);
+
+    // Trace replay: traces were recorded and every one still in the ring
+    // re-executed byte-for-byte on the reference engine (enforced by
+    // `violations()` above; assert the lane actually fired).
+    assert!(report.traces_recorded > 0, "{}", report.summary());
+    assert!(report.traces_replayed > 0, "{}", report.summary());
+    assert_eq!(report.traces_divergent, 0, "{}", report.summary());
 }

@@ -344,6 +344,8 @@ fn deadline_expiry_between_rungs_body() {
         catalog: &catalog,
         props: &props,
         breaker: &breaker,
+        metrics: None,
+        tracer: None,
     };
     // A workload far too large for the deadline: the fast rung burns the
     // whole budget and stops with DeadlineExpired; by the time the ladder

@@ -482,6 +482,13 @@ pub struct Interner {
     /// Number of `mk` calls that had to *construct* (cache misses) — a
     /// deterministic work counter for tests and benches.
     constructed: u64,
+    /// Live nodes currently in the arena (maintained incrementally so
+    /// [`Interner::len`] and the peak tracking stay O(1)).
+    live: usize,
+    /// High-water mark of [`Interner::len`] across the arena's whole life,
+    /// *including* across [`Interner::clear`] compactions — the
+    /// observability hook long-lived engines export as "arena peak".
+    peak: usize,
 }
 
 impl Interner {
@@ -497,7 +504,15 @@ impl Interner {
 
     /// Number of live distinct nodes in the arena.
     pub fn len(&self) -> usize {
-        self.table.values().map(Vec::len).sum()
+        self.live
+    }
+
+    /// High-water mark of [`Interner::len`] over the arena's whole life.
+    /// Survives [`Interner::clear`]: a compaction resets the live count,
+    /// not the history — so a long-lived engine can report how large its
+    /// arena ever got, which is what capacity planning needs.
+    pub fn peak_len(&self) -> usize {
+        self.peak
     }
 
     /// True iff no node has been interned yet.
@@ -517,6 +532,7 @@ impl Interner {
     /// this — once the table no longer pins a chain's suffixes, dropping
     /// such a handle cascades child by child.
     pub fn clear(&mut self) {
+        self.live = 0;
         let mut nodes: Vec<ITerm> = self.table.drain().flat_map(|(_, v)| v).collect();
         nodes.sort_by_key(|n| std::cmp::Reverse(n.size()));
         for n in nodes {
@@ -556,6 +572,8 @@ impl Interner {
         }));
         bucket.push(node.clone());
         self.constructed += 1;
+        self.live += 1;
+        self.peak = self.peak.max(self.live);
         node
     }
 

@@ -11,15 +11,23 @@
 #   --chaos-smoke   additionally run a 100-request chaos soak against the
 #                   optimization service, failing on any escaped panic,
 #                   unclassified request, or semantic-gate violation.
+#   --obs-smoke     additionally run a traced 600-request chaos soak,
+#                   validate the metrics-conservation verdict and the
+#                   trace-replay tally in BENCH_obs.json, and re-run the
+#                   service scaling gate (clean stream, tracing disabled)
+#                   to confirm the observability layer costs nothing when
+#                   off.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_SMOKE_RUN=0
 CHAOS_SMOKE_RUN=0
+OBS_SMOKE_RUN=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE_RUN=1 ;;
     --chaos-smoke) CHAOS_SMOKE_RUN=1 ;;
+    --obs-smoke) OBS_SMOKE_RUN=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -56,6 +64,28 @@ if [ "$CHAOS_SMOKE_RUN" = 1 ]; then
   echo "== chaos smoke (100-request service soak)"
   CHAOS_REQUESTS=100 \
     cargo run -p kola-service --bin chaos-soak --release --offline
+fi
+
+if [ "$OBS_SMOKE_RUN" = 1 ]; then
+  # Traced soak: the binary records every successful optimization, replays
+  # each trace on the boxed reference engine, checks the conservation
+  # invariants on the quiescent metric snapshot, and exits nonzero on any
+  # violation. The grep re-checks the emitted artifact so a silently
+  # stale/unwritten BENCH_obs.json also fails the gate.
+  echo "== obs smoke (600-request traced soak + conservation check)"
+  CHAOS_REQUESTS=600 CHAOS_TRACE=1 \
+    cargo run -p kola-service --bin chaos-soak --release --offline
+  grep -q '"ok": true' BENCH_obs.json \
+    || { echo "BENCH_obs.json missing balanced-books verdict" >&2; exit 1; }
+  grep -q '"divergent": 0' BENCH_obs.json \
+    || { echo "BENCH_obs.json reports divergent trace replays" >&2; exit 1; }
+
+  # Zero-cost-when-disabled: the clean stream runs with tracing off (the
+  # default config); its 4-worker >= 1.5x 1-worker scaling gate fails if
+  # the disabled observability layer leaks work onto the hot path.
+  echo "== obs smoke (scaling gate with tracing disabled)"
+  BENCH_SMOKE=1 BENCH_ENFORCE=1 \
+    cargo bench -p kola-bench --bench service_soak --offline
 fi
 
 echo "CI gate passed."
