@@ -3,25 +3,32 @@
 //! **chaos** — the deterministic chaos stream (same generator and seed as
 //! the soak test): clean requests, deep adversarial terms, poison rules,
 //! flood phases. Numbers describe the service *with* its degradation
-//! machinery engaged — not a happy-path microbenchmark.
+//! machinery engaged — not a happy-path microbenchmark. Like the clean
+//! stream, every chaos request carries a fixed 2 ms materialization stall
+//! (timeouts are extended by the same stall, so expiry is
+//! stall-independent), and the chaos wall-clock is the *serving* window
+//! only — the post-hoc trace-replay audit is excluded.
 //!
 //! **clean** — the no-fault scaling stream: parseable queries with real
 //! redexes, driven by 16 closed-loop clients, each request carrying a
 //! fixed 2 ms simulated materialization stall (work a worker does while
-//! holding no locks). This is the stream the scaling efficiency and the CI
-//! scaling gate are computed from. The stall matters: this repo's
-//! benchmarks run on a **single core**, where CPU-bound work cannot scale
-//! with workers at all — what *can* scale is concurrency, N workers
-//! overlapping N stalls. `scaling_efficiency` = (throughput at N workers)
-//! / (N × throughput at 1 worker) against each stream's own 1-worker row.
+//! holding no locks). The stall matters: this repo's benchmarks run on a
+//! **single core**, where CPU-bound work cannot scale with workers at all
+//! — what *can* scale is concurrency, N workers overlapping N stalls.
+//! `scaling_efficiency` = (throughput at N workers) / (N × throughput at
+//! 1 worker) against each stream's own 1-worker row.
 //!
-//! With `BENCH_ENFORCE=1` the run fails unless clean-stream 4-worker
-//! throughput is ≥ 1.5× 1-worker (the CI gate; the measured ratio on an
-//! idle host is ≈ 4×, so 1.5× leaves headroom for noisy shared runners).
-//! The clean stream runs with tracing **off** — the default service
-//! configuration — so the gate doubles as the zero-cost-when-disabled
-//! check for the observability layer: if disabled tracing leaked work
-//! onto the hot path, clean-stream scaling would pay for it here.
+//! With `BENCH_ENFORCE=1` the run fails unless **both** streams scale:
+//! clean 4-worker throughput ≥ 1.5× 1-worker, and chaos 8-worker
+//! throughput ≥ 2× 1-worker (4-worker ≥ 1.5× in smoke mode, which skips
+//! the 8-worker-scale confidence a 300-request stream cannot give). The
+//! chaos gate is the one the degraded path earns: with the breaker, trace
+//! ring, and reference rung sharded per worker, a fault-saturated stream
+//! must scale too — a global lock on any failure surface would flatten it.
+//! The measured ratios on an idle host leave generous headroom for noisy
+//! shared runners. The clean stream runs with tracing **off** — the
+//! default service configuration — so its gate doubles as the
+//! zero-cost-when-disabled check for the observability layer.
 //!
 //! The chaos rows run with tracing **on**: their numbers describe the
 //! service with the full degradation *and* provenance machinery engaged,
@@ -35,7 +42,6 @@ use kola_bench::smoke_mode;
 use kola_service::{
     percentile, run_chaos, run_clean_stream, ChaosConfig, ChaosReport, CleanConfig,
 };
-use std::time::Instant;
 
 struct Row {
     stream: &'static str,
@@ -93,9 +99,7 @@ fn chaos_rows(requests: usize) -> (Vec<Row>, Option<(ChaosConfig, ChaosReport)>)
             tracing: true,
             ..ChaosConfig::default()
         };
-        let start = Instant::now();
         let report = run_chaos(&cfg);
-        let wall = start.elapsed();
 
         let violations = report.violations();
         assert!(
@@ -109,12 +113,14 @@ fn chaos_rows(requests: usize) -> (Vec<Row>, Option<(ChaosConfig, ChaosReport)>)
 
         let mut lat = report.latencies_us.clone();
         lat.sort_unstable();
-        let throughput = report.requests as f64 / wall.as_secs_f64().max(1e-9);
+        // Serving window only: the post-hoc replay audit is not the
+        // service's concurrency and must not dilute the scaling rows.
+        let throughput = report.throughput_rps();
         let row = Row {
             stream: "chaos",
             workers,
             requests: report.requests,
-            wall_ms: wall.as_millis(),
+            wall_ms: report.elapsed.as_millis(),
             throughput_rps: throughput,
             scaling_efficiency: efficiency(&rows, workers, throughput),
             p50_us: percentile(&lat, 50.0),
@@ -186,33 +192,55 @@ fn main() {
     let (mut rows, obs) = chaos_rows(requests);
     rows.extend(clean_rows(requests));
 
-    // The CI scaling gate (scripts/ci.sh --bench-smoke sets BENCH_ENFORCE):
-    // clean-stream throughput must actually scale with workers. The
-    // threshold is deliberately generous — 1.5× for 4 workers where an
-    // idle host measures ≈ 4× — because CI runners are shared and noisy;
-    // it still catches the regressions that matter (a global lock on the
-    // hot path, per-request engine rebuilds, a serialized queue).
-    let gate = |n: usize| -> f64 {
+    // The CI scaling gates (scripts/ci.sh --bench-smoke sets
+    // BENCH_ENFORCE): throughput must actually scale with workers on BOTH
+    // streams. The thresholds are deliberately generous — an idle host
+    // measures well past them — because CI runners are shared and noisy;
+    // they still catch the regressions that matter (a global lock on the
+    // hot or the failure path, per-request engine or rule-set rebuilds, a
+    // serialized queue or breaker).
+    let gate = |stream: &str, n: usize| -> f64 {
         let one = rows
             .iter()
-            .find(|r| r.stream == "clean" && r.workers == 1)
-            .expect("clean 1-worker row");
+            .find(|r| r.stream == stream && r.workers == 1)
+            .expect("1-worker row");
         let n_row = rows
             .iter()
-            .find(|r| r.stream == "clean" && r.workers == n)
-            .expect("clean N-worker row");
+            .find(|r| r.stream == stream && r.workers == n)
+            .expect("N-worker row");
         n_row.throughput_rps / one.throughput_rps.max(1e-9)
     };
-    let speedup4 = gate(4);
-    println!("clean-stream scaling: 4w/1w = {speedup4:.2}x");
+    let clean4 = gate("clean", 4);
+    let chaos4 = gate("chaos", 4);
+    let chaos8 = gate("chaos", 8);
+    println!("clean-stream scaling: 4w/1w = {clean4:.2}x");
+    println!("chaos-stream scaling: 4w/1w = {chaos4:.2}x, 8w/1w = {chaos8:.2}x");
     if std::env::var("BENCH_ENFORCE").is_ok_and(|v| v == "1") {
         assert!(
-            speedup4 >= 1.5,
+            clean4 >= 1.5,
             "scaling gate: clean-stream 4-worker throughput is only \
-             {speedup4:.2}x the 1-worker run (gate: 1.5x) — worker \
+             {clean4:.2}x the 1-worker run (gate: 1.5x) — worker \
              concurrency has regressed"
         );
-        println!("scaling gate passed (4w >= 1.5x 1w)");
+        if smoke_mode() {
+            // 300 requests cannot support an 8-worker claim; the smoke
+            // gate checks the same property at 4 workers.
+            assert!(
+                chaos4 >= 1.5,
+                "scaling gate: chaos-stream 4-worker throughput is only \
+                 {chaos4:.2}x the 1-worker run (smoke gate: 1.5x) — the \
+                 degraded path has re-serialized"
+            );
+            println!("scaling gates passed (clean 4w >= 1.5x, chaos 4w >= 1.5x)");
+        } else {
+            assert!(
+                chaos8 >= 2.0,
+                "scaling gate: chaos-stream 8-worker throughput is only \
+                 {chaos8:.2}x the 1-worker run (gate: 2x) — the degraded \
+                 path has re-serialized"
+            );
+            println!("scaling gates passed (clean 4w >= 1.5x, chaos 8w >= 2x)");
+        }
     }
 
     let json = render_json(&rows);
@@ -248,7 +276,8 @@ fn render_json(rows: &[Row]) -> String {
     out.push_str("  \"bench\": \"service_soak\",\n");
     out.push_str(&format!("  \"smoke\": {},\n", smoke_mode()));
     out.push_str(
-        "  \"workload\": \"chaos: deterministic fault stream, verify off, tracing on; \
+        "  \"workload\": \"chaos: deterministic fault stream, verify off, tracing on, \
+         2 ms per-request stall, serving window only (replay audit excluded); \
          clean: no-fault stream, tracing off (default), 16 closed-loop clients, \
          2 ms per-request stall \
          (single-core host: scaling measures worker concurrency)\",\n",

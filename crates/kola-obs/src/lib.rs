@@ -12,14 +12,17 @@
 //! - [`trace`] — structured rewrite provenance: a [`RewriteTrace`] records
 //!   one successful run as its input, active rule set, budget caps, fault
 //!   plan, and a fingerprint-chained step list, stored in a bounded
-//!   [`TraceRing`] shared across workers.
+//!   [`TraceRing`] — or, for multi-worker services, a [`ShardedTraceRing`]
+//!   giving each worker its own uncontended ring whose merged drain is
+//!   ordered by request id.
 //! - [`replay`] — re-executes a recorded trace on the boxed reference
 //!   engine and compares every step byte-for-byte (fingerprints, stop
 //!   reason, final plan). This turns the fast engine's exactness contract
 //!   into a property checkable against *live* traffic, in the spirit of
 //!   provenance-checked rewrite rules (see PAPERS.md): each optimization a
 //!   service performed leaves a record that an independent engine can
-//!   re-derive.
+//!   re-derive. Bulk audits go through a pooled [`ReplayWorker`] instead of
+//!   paying a thread spawn per trace.
 
 pub mod metrics;
 pub mod replay;
@@ -28,8 +31,8 @@ pub mod trace;
 pub use metrics::{
     Counter, CounterFamily, Histogram, HistogramSnapshot, MaxGauge, Registry, Snapshot,
 };
-pub use replay::{replay, ReplayOutcome};
-pub use trace::{RecordedStep, RewriteTrace, TraceRing};
+pub use replay::{replay, ReplayOutcome, ReplayWorker};
+pub use trace::{RecordedStep, RewriteTrace, ShardedTraceRing, TraceRing};
 
 /// Minimal JSON emission helpers (the workspace deliberately carries no
 /// external dependencies, so the bench/obs artifacts hand-roll JSON with a

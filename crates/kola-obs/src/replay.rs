@@ -13,14 +13,22 @@
 //! [`RewriteTrace::stop`]): a successful rung never stopped on one, so the
 //! derivation is deadline-independent and the replay runs unclocked —
 //! which is exactly what makes it deterministic on any machine.
+//!
+//! Two entry points share one implementation: the free [`replay`] function
+//! spawns a throwaway big-stack thread per call (fine for a single trace in
+//! a test), while [`ReplayWorker`] keeps one long-lived big-stack thread
+//! fed over a channel — the form the chaos soak uses, so auditing hundreds
+//! of traces pays one 32 MiB thread spawn total instead of one per trace.
 
 use crate::trace::RewriteTrace;
 use kola::intern::Interner;
-use kola_rewrite::{rewrite_fix_with, Budget, Catalog, Oriented, PropDb};
+use kola_rewrite::{rewrite_fix_with, Budget, Catalog, Oriented, PropDb, Rewritten};
+use std::sync::mpsc;
+use std::thread::JoinHandle;
 
-/// Stack size for the replay thread. The boxed engine recurses to the
+/// Stack size for replay threads. The boxed engine recurses to the
 /// recorded depth cap; a dedicated thread keeps that off the caller's
-/// (possibly small test-runner) stack and doubles as a panic boundary.
+/// (possibly small test-runner) stack.
 const REPLAY_STACK: usize = 32 * 1024 * 1024;
 
 /// How a replay compared against its record.
@@ -48,16 +56,15 @@ impl ReplayOutcome {
     }
 }
 
-/// Replay `trace` against the reference engine over `catalog`/`props`.
-///
-/// The active rule set is resolved from the recorded ids in recorded
-/// order, so a trace taken under an open breaker replays under the same
-/// masked set. Faults are re-injected from the recorded plan — they are
-/// deterministic (rule- and step-selective), so a derivation recorded
-/// *through* injected failures replays through the same failures.
-pub fn replay(trace: &RewriteTrace, catalog: &Catalog, props: &PropDb) -> ReplayOutcome {
+/// Replay `trace` on the *current* thread. The caller provides stack
+/// headroom for the recorded depth cap ([`replay`] and [`ReplayWorker`]
+/// both run this on a [`REPLAY_STACK`]-sized thread); panic containment is
+/// a `catch_unwind` around the reference run — a recorded fault plan can in
+/// principle carry a poison (panicking) fault the original run never
+/// reached, and that must classify as divergence, not tear down the pool.
+fn replay_on_this_stack(trace: &RewriteTrace, catalog: &Catalog, props: &PropDb) -> ReplayOutcome {
     let mut rules: Vec<Oriented<'_>> = Vec::with_capacity(trace.active_rules.len());
-    for id in &trace.active_rules {
+    for id in trace.active_rules.iter() {
         match catalog.get(id) {
             Some(rule) => rules.push(Oriented::fwd(rule)),
             None => {
@@ -75,29 +82,20 @@ pub fn replay(trace: &RewriteTrace, catalog: &Catalog, props: &PropDb) -> Replay
         .quarantine_after(trace.quarantine_after);
     budget.deadline = None;
 
-    // A dedicated thread for stack headroom and panic containment: a
-    // recorded fault plan can in principle carry a poison (panicking)
-    // fault the original run never reached.
-    let run = std::thread::scope(|scope| {
-        std::thread::Builder::new()
-            .name("kola-obs-replay".into())
-            .stack_size(REPLAY_STACK)
-            .spawn_scoped(scope, || {
-                rewrite_fix_with(&rules, &trace.input, props, &budget, &trace.faults)
-            })
-            .expect("spawn replay thread")
-            .join()
-    });
-    let rewritten = match run {
-        Ok(r) => r,
-        Err(_) => {
-            return ReplayOutcome::Divergence {
-                step: trace.steps.len(),
-                detail: "replay panicked where the recorded run did not".into(),
-            }
-        }
-    };
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        rewrite_fix_with(&rules, &trace.input, props, &budget, &trace.faults)
+    }));
+    match run {
+        Ok(rewritten) => compare(trace, &rewritten),
+        Err(_) => ReplayOutcome::Divergence {
+            step: trace.steps.len(),
+            detail: "replay panicked where the recorded run did not".into(),
+        },
+    }
+}
 
+/// Compare a finished reference run against the record.
+fn compare(trace: &RewriteTrace, rewritten: &Rewritten) -> ReplayOutcome {
     let mut scratch = Interner::new();
     let replayed = rewritten.trace.records(&mut scratch);
     if replayed.len() != trace.steps.len() {
@@ -159,6 +157,83 @@ pub fn replay(trace: &RewriteTrace, catalog: &Catalog, props: &PropDb) -> Replay
     }
 }
 
+/// Replay `trace` against the reference engine over `catalog`/`props`.
+///
+/// The active rule set is resolved from the recorded ids in recorded
+/// order, so a trace taken under an open breaker replays under the same
+/// masked set. Faults are re-injected from the recorded plan — they are
+/// deterministic (rule- and step-selective), so a derivation recorded
+/// *through* injected failures replays through the same failures.
+///
+/// Spawns a fresh [`REPLAY_STACK`]-sized thread per call; replaying many
+/// traces should go through a [`ReplayWorker`] instead.
+pub fn replay(trace: &RewriteTrace, catalog: &Catalog, props: &PropDb) -> ReplayOutcome {
+    std::thread::scope(|scope| {
+        std::thread::Builder::new()
+            .name("kola-obs-replay".into())
+            .stack_size(REPLAY_STACK)
+            .spawn_scoped(scope, || replay_on_this_stack(trace, catalog, props))
+            .expect("spawn replay thread")
+            .join()
+            .expect("replay thread never panics (catch_unwind inside)")
+    })
+}
+
+/// A pooled replay lane: one long-lived [`REPLAY_STACK`]-sized thread
+/// owning its catalog and property database, fed traces over a channel.
+/// Each [`ReplayWorker::replay`] call is a send plus a blocking receive —
+/// same outcome as the free [`replay`] function (both run
+/// `replay_on_this_stack`), without the per-trace thread spawn. Dropping
+/// the worker closes the channel and joins the thread.
+#[derive(Debug)]
+pub struct ReplayWorker {
+    tx: Option<mpsc::Sender<(RewriteTrace, mpsc::Sender<ReplayOutcome>)>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ReplayWorker {
+    /// Spawn the replay thread. It owns `catalog` and `props` for its whole
+    /// life, so callers hand traces over by value and nothing is re-resolved
+    /// per call but the trace's own rule list.
+    pub fn new(catalog: Catalog, props: PropDb) -> ReplayWorker {
+        let (tx, rx) = mpsc::channel::<(RewriteTrace, mpsc::Sender<ReplayOutcome>)>();
+        let handle = std::thread::Builder::new()
+            .name("kola-obs-replay-pool".into())
+            .stack_size(REPLAY_STACK)
+            .spawn(move || {
+                for (trace, reply) in rx {
+                    // A dropped reply receiver just discards the outcome.
+                    let _ = reply.send(replay_on_this_stack(&trace, &catalog, &props));
+                }
+            })
+            .expect("spawn pooled replay thread");
+        ReplayWorker {
+            tx: Some(tx),
+            handle: Some(handle),
+        }
+    }
+
+    /// Replay one trace on the pooled thread, blocking for its outcome.
+    pub fn replay(&self, trace: RewriteTrace) -> ReplayOutcome {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.tx
+            .as_ref()
+            .expect("replay worker channel open until drop")
+            .send((trace, reply_tx))
+            .expect("replay worker thread alive");
+        reply_rx.recv().expect("replay worker always replies")
+    }
+}
+
+impl Drop for ReplayWorker {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,7 +261,7 @@ mod tests {
             1,
             "reference",
             q,
-            active,
+            Arc::new(active),
             budget.max_steps,
             budget.max_depth,
             budget.max_term_size,
@@ -237,7 +312,33 @@ mod tests {
         assert!(!out2.is_match());
 
         let (mut t3, catalog3, props3) = record_reference_run(&tower(6), FaultPlan::default());
-        t3.active_rules.push("no-such-rule".into());
+        Arc::make_mut(&mut t3.active_rules).push("no-such-rule".into());
         assert!(!replay(&t3, &catalog3, &props3).is_match());
+    }
+
+    #[test]
+    fn pooled_worker_matches_the_free_function() {
+        // One long-lived worker replays many traces — clean and faulted —
+        // with outcomes identical to per-call `replay`, and tampered traces
+        // still classify as divergence without killing the pool.
+        let worker = ReplayWorker::new(Catalog::paper(), PropDb::new());
+        for n in [2, 5, 9] {
+            let (t, catalog, props) = record_reference_run(&tower(n), FaultPlan::default());
+            let direct = replay(&t, &catalog, &props);
+            assert_eq!(worker.replay(t), direct);
+        }
+        let faults = FaultPlan::new().with(FaultSpec {
+            rule_id: "11".into(),
+            at: StepSelector::Steps(vec![1]),
+            kind: FaultKind::Fail,
+        });
+        let (t, catalog, props) = record_reference_run(&tower(7), faults);
+        assert_eq!(worker.replay(t.clone()), replay(&t, &catalog, &props));
+        // Divergence does not wedge the worker for later traces.
+        let (mut bad, ..) = record_reference_run(&tower(4), FaultPlan::default());
+        bad.steps.clear();
+        assert!(!worker.replay(bad).is_match());
+        let (good, ..) = record_reference_run(&tower(3), FaultPlan::default());
+        assert!(worker.replay(good).is_match());
     }
 }

@@ -20,7 +20,7 @@ use kola_rewrite::engine::Trace;
 use kola_rewrite::{Direction, FaultPlan, StopReason};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// One applied rule inside a [`RewriteTrace`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,8 +52,10 @@ pub struct RewriteTrace {
     /// The input query, as submitted.
     pub input: Query,
     /// Active rule ids, in catalog order — the exact set the run saw
-    /// (open-breaker rules already excluded).
-    pub active_rules: Vec<String>,
+    /// (open-breaker rules already excluded). Shared, not cloned: the
+    /// recorder hands the published snapshot's own `Arc`, so recording a
+    /// trace costs a refcount bump instead of a deep copy of the rule list.
+    pub active_rules: Arc<Vec<String>>,
     /// Step cap the run was given.
     pub max_steps: usize,
     /// Depth cap the run was given.
@@ -88,7 +90,7 @@ impl RewriteTrace {
         request_id: u64,
         rung: &str,
         input: &Query,
-        active_rules: Vec<String>,
+        active_rules: Arc<Vec<String>>,
         max_steps: usize,
         max_depth: usize,
         max_term_size: usize,
@@ -152,12 +154,15 @@ impl RewriteTrace {
     }
 }
 
-/// Bounded ring buffer of [`RewriteTrace`]s, shared across worker threads.
-/// Pushing past capacity evicts the oldest record and counts it in
-/// [`TraceRing::dropped`] — a soak that outruns the ring loses history,
-/// never memory. The mutex is held only for the push/clone itself; traces
-/// are recorded on the *cold* side of a request (after the rung succeeded),
-/// never on the untraced hot path.
+/// Bounded ring buffer of [`RewriteTrace`]s. Pushing past capacity evicts
+/// the oldest record and counts it in [`TraceRing::dropped`] — a soak that
+/// outruns the ring loses history, never memory. The mutex is held only for
+/// the push itself; traces are recorded on the *cold* side of a request
+/// (after the rung succeeded), never on the untraced hot path.
+///
+/// A single ring shared by every worker serializes trace recording on one
+/// lock; services give each worker its own ring via [`ShardedTraceRing`]
+/// and this type becomes the per-worker shard.
 #[derive(Debug)]
 pub struct TraceRing {
     capacity: usize,
@@ -220,6 +225,87 @@ impl TraceRing {
     }
 }
 
+/// Per-worker trace storage: one [`TraceRing`] shard per worker, so
+/// recording a trace contends only with drains of that worker's own shard,
+/// never with the other workers' pushes. The fleet-wide surfaces —
+/// [`ShardedTraceRing::recorded`] / [`ShardedTraceRing::dropped`] odometers,
+/// [`ShardedTraceRing::snapshot`] / [`ShardedTraceRing::drain`] — fold the
+/// shards; the merged trace list is interleaved by request id, so replay
+/// order is deterministic regardless of which worker recorded which trace.
+#[derive(Debug)]
+pub struct ShardedTraceRing {
+    shards: Vec<TraceRing>,
+}
+
+impl ShardedTraceRing {
+    /// `shards` rings (one per worker; `0` is treated as `1`) each holding
+    /// at most `capacity_per_shard` traces.
+    pub fn new(shards: usize, capacity_per_shard: usize) -> ShardedTraceRing {
+        ShardedTraceRing {
+            shards: (0..shards.max(1))
+                .map(|_| TraceRing::new(capacity_per_shard))
+                .collect(),
+        }
+    }
+
+    /// Worker `i`'s own shard (wrapped modulo the shard count). Workers
+    /// push to this directly; it is an ordinary [`TraceRing`].
+    pub fn shard(&self, i: usize) -> &TraceRing {
+        &self.shards[i % self.shards.len()]
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Fleet-wide traces recorded (sum over shards, including evicted).
+    pub fn recorded(&self) -> u64 {
+        self.shards.iter().map(|s| s.recorded()).sum()
+    }
+
+    /// Fleet-wide traces evicted to make room (sum over shards).
+    pub fn dropped(&self) -> u64 {
+        self.shards.iter().map(|s| s.dropped()).sum()
+    }
+
+    /// Dropped as a percentage of recorded (`0.0` when nothing recorded).
+    pub fn dropped_pct(&self) -> f64 {
+        let recorded = self.recorded();
+        if recorded == 0 {
+            0.0
+        } else {
+            self.dropped() as f64 * 100.0 / recorded as f64
+        }
+    }
+
+    /// Records currently held across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// True iff no shard holds a record.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.is_empty())
+    }
+
+    /// Clone out the current contents of every shard, merged and sorted by
+    /// request id (ids are unique per service, so the order is total).
+    pub fn snapshot(&self) -> Vec<RewriteTrace> {
+        let mut v: Vec<RewriteTrace> = self.shards.iter().flat_map(|s| s.snapshot()).collect();
+        v.sort_by_key(|t| t.request_id);
+        v
+    }
+
+    /// Move out the current contents of every shard, merged and sorted by
+    /// request id, leaving all shards empty (odometers keep their totals).
+    pub fn drain(&self) -> Vec<RewriteTrace> {
+        let mut v: Vec<RewriteTrace> = self.shards.iter().flat_map(|s| s.drain()).collect();
+        v.sort_by_key(|t| t.request_id);
+        v
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,7 +318,7 @@ mod tests {
             id,
             "fast",
             &q,
-            vec!["11".into()],
+            Arc::new(vec!["11".into()]),
             100,
             64,
             1000,
@@ -267,7 +353,7 @@ mod tests {
             7,
             "fast",
             &input,
-            vec!["11".into()],
+            Arc::new(vec!["11".into()]),
             100,
             64,
             1000,
@@ -289,7 +375,7 @@ mod tests {
             7,
             "fast",
             &input,
-            vec!["11".into()],
+            Arc::new(vec!["11".into()]),
             100,
             64,
             1000,
@@ -321,5 +407,41 @@ mod tests {
         assert_eq!(d.len(), 2);
         assert!(ring.is_empty());
         assert_eq!(ring.recorded(), 3);
+    }
+
+    #[test]
+    fn sharded_ring_merges_by_request_id_and_folds_odometers() {
+        let ring = ShardedTraceRing::new(3, 2);
+        assert_eq!(ring.shard_count(), 3);
+        assert!(ring.is_empty());
+        // Interleave pushes across shards out of request-id order.
+        ring.shard(0).push(toy_trace(5));
+        ring.shard(1).push(toy_trace(2));
+        ring.shard(2).push(toy_trace(9));
+        ring.shard(0).push(toy_trace(1));
+        ring.shard(1).push(toy_trace(7));
+        // Overflow shard 0: trace 5 is evicted, counted fleet-wide.
+        ring.shard(0).push(toy_trace(3));
+        assert_eq!(ring.recorded(), 6);
+        assert_eq!(ring.dropped(), 1);
+        assert!((ring.dropped_pct() - 100.0 / 6.0).abs() < 1e-9);
+        assert_eq!(ring.len(), 5);
+        let ids = |v: Vec<RewriteTrace>| v.iter().map(|t| t.request_id).collect::<Vec<_>>();
+        // snapshot and drain interleave the shards by request id.
+        assert_eq!(ids(ring.snapshot()), vec![1, 2, 3, 7, 9]);
+        assert_eq!(ids(ring.drain()), vec![1, 2, 3, 7, 9]);
+        assert!(ring.is_empty());
+        assert_eq!(ring.recorded(), 6);
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn sharded_ring_wraps_shard_index_and_handles_empty() {
+        let ring = ShardedTraceRing::new(0, 1);
+        assert_eq!(ring.shard_count(), 1);
+        assert_eq!(ring.dropped_pct(), 0.0);
+        // Shard addressing wraps, so any worker index is valid.
+        ring.shard(7).push(toy_trace(4));
+        assert_eq!(ring.len(), 1);
     }
 }

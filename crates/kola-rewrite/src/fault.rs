@@ -23,25 +23,63 @@ pub enum FaultKind {
     /// implementation has a genuine bug. Unlike [`FaultKind::Fail`] this is
     /// not a contained error: it unwinds out of the engine and must be
     /// caught by the caller (see `try_*` entry points and the service's
-    /// `catch_unwind` worker isolation). The panic payload is a `String`
-    /// starting with [`POISON_PANIC_PREFIX`] followed by the rule id, so
-    /// the catcher can attribute the failure to its rule.
+    /// `catch_unwind` worker isolation). The panic message is
+    /// [`POISON_PANIC_PREFIX`] followed by the rule id, so the catcher can
+    /// attribute the failure to its rule; it is staged in a reusable
+    /// thread-local buffer and the payload itself is a zero-sized marker,
+    /// so panicking allocates nothing per failure (see [`poison_panic`]).
     Panic,
 }
 
-/// Prefix of the panic-payload string produced by [`FaultKind::Panic`];
-/// the rule id follows. [`poison_rule_id`] parses it back out.
+/// Prefix of the panic message produced by [`FaultKind::Panic`]; the rule
+/// id follows. [`poison_rule_id`] parses it back out.
 pub const POISON_PANIC_PREFIX: &str = "poison rule panic: ";
 
-/// Panic with a payload attributing the failure to `rule_id`. Called by
-/// both engines when a [`FaultKind::Panic`] fault triggers.
+/// Zero-sized payload of a [`poison_panic`]. The message lives in
+/// [`POISON_PAYLOAD`] on the panicking thread; boxing a ZST for
+/// `panic_any` does not allocate, so a service worker absorbing a stream
+/// of poison panics formats no fresh `String` per failure.
+struct PoisonPayload;
+
+std::thread_local! {
+    /// Reusable per-thread (per service worker) panic-message buffer for
+    /// [`poison_panic`]. Cleared and refilled in place on every poison
+    /// panic, read back by [`poison_rule_id`] / [`CaughtPanic::from_payload`]
+    /// — which therefore must run on the thread that panicked, as every
+    /// `try_*` boundary and the panic hook do (`catch_unwind` runs on the
+    /// unwinding thread).
+    static POISON_PAYLOAD: std::cell::RefCell<String> =
+        const { std::cell::RefCell::new(String::new()) };
+}
+
+/// Panic, attributing the failure to `rule_id`. Called by both engines
+/// when a [`FaultKind::Panic`] fault triggers. Allocation-free after the
+/// first poison panic on a thread: the message is rebuilt in place in
+/// [`POISON_PAYLOAD`] and the unwind payload is the zero-sized
+/// [`PoisonPayload`] marker.
 pub fn poison_panic(rule_id: &str) -> ! {
-    panic!("{POISON_PANIC_PREFIX}{rule_id}")
+    POISON_PAYLOAD.with(|buf| {
+        let mut buf = buf.borrow_mut();
+        buf.clear();
+        buf.push_str(POISON_PANIC_PREFIX);
+        buf.push_str(rule_id);
+    });
+    std::panic::panic_any(PoisonPayload)
 }
 
 /// Extract the poisoned rule id from a caught panic payload, if the panic
-/// came from [`FaultKind::Panic`].
+/// came from [`FaultKind::Panic`]. Also recognizes plain `String` /
+/// `&'static str` payloads carrying [`POISON_PANIC_PREFIX`], so callers
+/// simulating poison rules with ordinary `panic!` messages classify the
+/// same way.
 pub fn poison_rule_id(payload: &(dyn std::any::Any + Send)) -> Option<String> {
+    if payload.downcast_ref::<PoisonPayload>().is_some() {
+        return POISON_PAYLOAD.with(|buf| {
+            buf.borrow()
+                .strip_prefix(POISON_PANIC_PREFIX)
+                .map(str::to_string)
+        });
+    }
     let msg = payload
         .downcast_ref::<String>()
         .map(String::as_str)
@@ -62,8 +100,20 @@ pub struct CaughtPanic {
 }
 
 impl CaughtPanic {
-    /// Classify a payload returned by `std::panic::catch_unwind`.
+    /// Classify a payload returned by `std::panic::catch_unwind`. Must run
+    /// on the thread that panicked (true at every `try_*` boundary): a
+    /// poison payload is a marker whose message lives in the thread-local
+    /// [`POISON_PAYLOAD`] buffer.
     pub fn from_payload(payload: Box<dyn std::any::Any + Send>) -> Self {
+        if payload.downcast_ref::<PoisonPayload>().is_some() {
+            return POISON_PAYLOAD.with(|buf| {
+                let buf = buf.borrow();
+                CaughtPanic {
+                    rule_id: buf.strip_prefix(POISON_PANIC_PREFIX).map(str::to_string),
+                    message: buf.clone(),
+                }
+            });
+        }
         let rule_id = poison_rule_id(payload.as_ref());
         let message = payload
             .downcast_ref::<String>()
@@ -188,6 +238,30 @@ impl FaultPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn poison_panic_payload_classifies_and_buffer_is_reused() {
+        silence_poison_panics();
+        // First poison panic: marker payload, message from the thread-local
+        // buffer, rule id parsed back out.
+        let err = std::panic::catch_unwind(|| poison_panic("app")).unwrap_err();
+        assert_eq!(poison_rule_id(err.as_ref()), Some("app".to_string()));
+        let caught = CaughtPanic::from_payload(err);
+        assert_eq!(caught.rule_id.as_deref(), Some("app"));
+        assert_eq!(caught.message, format!("{POISON_PANIC_PREFIX}app"));
+        // Second panic on the same thread reuses the buffer in place.
+        let err = std::panic::catch_unwind(|| poison_panic("e121")).unwrap_err();
+        let caught = CaughtPanic::from_payload(err);
+        assert_eq!(caught.rule_id.as_deref(), Some("e121"));
+        // Plain string payloads with the prefix still classify (callers
+        // simulating poison rules with ordinary panic! messages).
+        let err = std::panic::catch_unwind(|| panic!("{POISON_PANIC_PREFIX}9")).unwrap_err();
+        assert_eq!(poison_rule_id(err.as_ref()), Some("9".to_string()));
+        // Unrelated panics stay unattributed.
+        let err = std::panic::catch_unwind(|| panic!("boom")).unwrap_err();
+        assert_eq!(poison_rule_id(err.as_ref()), None);
+        assert_eq!(CaughtPanic::from_payload(err).rule_id, None);
+    }
 
     #[test]
     fn empty_plan_injects_nothing() {

@@ -18,10 +18,10 @@ use crate::Rung;
 use kola::term::{Func, Pred, Query};
 use kola::Value;
 use kola_exec::rng::{splitmix64, Rng};
-use kola_obs::{replay, Snapshot};
+use kola_obs::{ReplayWorker, Snapshot};
 use kola_rewrite::{Catalog, FaultKind, FaultPlan, FaultSpec, PropDb, StepSelector};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Parameters of one soak.
 #[derive(Debug, Clone)]
@@ -40,8 +40,15 @@ pub struct ChaosConfig {
     /// replay every trace still in the ring against the boxed reference
     /// engine (divergences are invariant violations).
     pub tracing: bool,
-    /// Trace-ring capacity when `tracing` is on.
+    /// Per-worker trace-ring capacity when `tracing` is on.
     pub trace_capacity: usize,
+    /// Simulated per-request materialization stall, applied to **every**
+    /// generated request (generated timeouts are extended by the same
+    /// amount, so deadline semantics are stall-independent). Same rationale
+    /// as [`CleanConfig::stall`]: on a single-core host, overlapping stalls
+    /// are what makes worker concurrency measurable under chaos too; see
+    /// `DESIGN.md` §5d and §5f.
+    pub stall: Duration,
 }
 
 impl Default for ChaosConfig {
@@ -53,7 +60,8 @@ impl Default for ChaosConfig {
             queue_capacity: 32,
             verify: true,
             tracing: false,
-            trace_capacity: 512,
+            trace_capacity: 1024,
+            stall: Duration::from_millis(2),
         }
     }
 }
@@ -106,6 +114,10 @@ pub struct ChaosReport {
     pub traces_replayed: usize,
     /// Replays that diverged from the recorded derivation (must be zero).
     pub traces_divergent: usize,
+    /// Wall-clock of the *serving* window only: submit through last reply.
+    /// Post-hoc audits (trace replay, breaker sweeps) are excluded, so this
+    /// is the number worker-scaling claims divide by.
+    pub elapsed: Duration,
 }
 
 /// Upper bound on [`ChaosReport::peak_arena_nodes`]: the fast engine's
@@ -163,12 +175,32 @@ impl ChaosReport {
         v
     }
 
+    /// Serving-window throughput in requests per second (0 before
+    /// [`run_chaos`] fills [`ChaosReport::elapsed`]).
+    pub fn throughput_rps(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.requests as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Traces dropped as a percentage of traces recorded (`0.0` when
+    /// nothing was recorded) — the fleet-wide ring-loss figure the CI obs
+    /// gate bounds.
+    pub fn dropped_pct(&self) -> f64 {
+        if self.traces_recorded == 0 {
+            0.0
+        } else {
+            self.traces_dropped as f64 * 100.0 / self.traces_recorded as f64
+        }
+    }
+
     /// Render this report's observability slice — full metric snapshot,
     /// trace-replay tally, conservation verdict — as the `BENCH_obs.json`
     /// document both the chaos-soak binary and the service benchmark emit.
     pub fn obs_json(&self, harness: &str, cfg: &ChaosConfig) -> String {
         format!(
-            "{{\n  \"meta\": {{\"harness\": {}, \"requests\": {}, \"seed\": {}, \"workers\": {}, \"tracing\": {}}},\n  \"metrics\": {},\n  \"traces\": {{\"recorded\": {}, \"dropped\": {}, \"replayed\": {}, \"divergent\": {}}},\n  \"conservation\": {{\"ok\": {}, \"violations\": [{}]}}\n}}\n",
+            "{{\n  \"meta\": {{\"harness\": {}, \"requests\": {}, \"seed\": {}, \"workers\": {}, \"tracing\": {}}},\n  \"metrics\": {},\n  \"traces\": {{\"recorded\": {}, \"dropped\": {}, \"dropped_pct\": {:.2}, \"replayed\": {}, \"divergent\": {}}},\n  \"conservation\": {{\"ok\": {}, \"violations\": [{}]}}\n}}\n",
             kola_obs::json::string(harness),
             cfg.requests,
             cfg.seed,
@@ -177,6 +209,7 @@ impl ChaosReport {
             self.metrics.to_json(),
             self.traces_recorded,
             self.traces_dropped,
+            self.dropped_pct(),
             self.traces_replayed,
             self.traces_divergent,
             self.conservation.is_empty(),
@@ -296,19 +329,22 @@ const OQL_TEMPLATES: &[&str] = &[
 ];
 
 /// One generated request of the seeded chaos stream (public so the service
-/// benchmark can replay the same workload it soaks).
-pub fn generate_request(rng: &mut Rng) -> Request {
+/// benchmark can replay the same workload it soaks). Every request carries
+/// the configured materialization `stall` as its baseline hold, and every
+/// generated timeout is extended by the same stall, so which requests
+/// expire is a property of the stream — not of the stall.
+pub fn generate_request(rng: &mut Rng, stall: Duration) -> Request {
     let mut options = RequestOptions {
         backoff: Duration::from_micros(100 + rng.gen_range(0..200usize) as u64),
+        hold_for: (!stall.is_zero()).then_some(stall),
         ..RequestOptions::default()
     };
     // Random deadlines on roughly a third of all requests — tight enough
     // that some die in the queue or mid-rewrite, loose enough that most
     // survive to an engine rung.
     if rng.gen_bool(0.35) {
-        options.timeout = Some(Duration::from_micros(
-            1000 + rng.gen_range(0..8000usize) as u64,
-        ));
+        options.timeout =
+            Some(stall + Duration::from_micros(1000 + rng.gen_range(0..8000usize) as u64));
     }
     let roll = rng.gen_range(0..100usize);
     let payload = if roll < 40 {
@@ -324,9 +360,8 @@ pub fn generate_request(rng: &mut Rng) -> Request {
         // Adversarially deep ASTs: way past any recursion a naive engine
         // would survive. Small step budget + tight deadline.
         options.max_steps = 32;
-        options.timeout = Some(Duration::from_micros(
-            200 + rng.gen_range(0..1500usize) as u64,
-        ));
+        options.timeout =
+            Some(stall + Duration::from_micros(200 + rng.gen_range(0..1500usize) as u64));
         let h = 500 + rng.gen_range(0..2500usize);
         Payload::Ast(Arc::new(match rng.gen_range(0..3usize) {
             0 => deep_compose_ast(h),
@@ -367,11 +402,10 @@ pub fn generate_request(rng: &mut Rng) -> Request {
         });
         Payload::Text(id_tower_text(2 + rng.gen_range(0..8usize)))
     } else {
-        // Slow requests: simulated pre-ladder work that backs the queue up
-        // and forces structured shedding.
-        options.hold_for = Some(Duration::from_micros(
-            200 + rng.gen_range(0..800usize) as u64,
-        ));
+        // Slow requests: extra pre-ladder work on top of the baseline
+        // stall that backs the queue up and forces structured shedding.
+        options.hold_for =
+            Some(stall + Duration::from_micros(200 + rng.gen_range(0..800usize) as u64));
         Payload::Text(KOLA_TEMPLATES[rng.gen_range(0..KOLA_TEMPLATES.len())].to_string())
     };
     // Every chaos request is bounded the way a real client's would be: a
@@ -380,7 +414,8 @@ pub fn generate_request(rng: &mut Rng) -> Request {
     // rule (e.g. "app") can grind through the full default fuel instead of
     // reaching a normal form in a handful of steps.
     if options.timeout.is_none() {
-        options.timeout = Some(Duration::from_millis(15 + rng.gen_range(0..25usize) as u64));
+        options.timeout =
+            Some(stall + Duration::from_millis(15 + rng.gen_range(0..25usize) as u64));
     }
     options.max_steps = options.max_steps.min(300 + rng.gen_range(0..200usize));
     Request { payload, options }
@@ -427,9 +462,10 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     };
 
     let mut seed = cfg.seed;
+    let started = Instant::now();
     for i in 0..cfg.requests {
         let mut rng = Rng::seed_from_u64(splitmix64(&mut seed) ^ i as u64);
-        let request = generate_request(&mut rng);
+        let request = generate_request(&mut rng, cfg.stall);
         match service.submit(request) {
             Ok(p) => pending.push(p),
             Err(rejection) => {
@@ -464,6 +500,9 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
         let resp = p.wait();
         absorb(resp, &mut report);
     }
+    // Serving window ends with the last reply in hand; everything below is
+    // post-hoc audit and must not count against worker-scaling claims.
+    report.elapsed = started.elapsed();
     for rule in service.breaker().open_rules() {
         opened.insert(rule);
     }
@@ -477,15 +516,16 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     report.traces_recorded = report.metrics.counter("traces_recorded");
     report.traces_dropped = report.metrics.counter("traces_dropped");
     if cfg.tracing {
-        // Re-execute every trace still in the ring, step for step, on the
+        // Re-execute every trace still in the rings, step for step, on the
         // boxed reference engine. Faulted runs re-inject their recorded
         // fault plan; deadlines never shaped a successful derivation (see
-        // `kola_obs::replay`), so replay runs unclocked.
-        let catalog = Catalog::paper();
-        let props = PropDb::new();
+        // `kola_obs::replay`), so replay runs unclocked. One pooled
+        // deep-stack worker serves the whole audit instead of a fresh
+        // 32MiB thread per trace.
+        let auditor = ReplayWorker::new(Catalog::paper(), PropDb::new());
         for trace in service.traces() {
             report.traces_replayed += 1;
-            if !replay(&trace, &catalog, &props).is_match() {
+            if !auditor.replay(trace).is_match() {
                 report.traces_divergent += 1;
             }
         }

@@ -27,17 +27,25 @@
 //! requests ([`Ladder::run_with`]). The rule set comes from an immutable
 //! [`RuleSnapshot`]: the engine keeps the full catalog and index and masks
 //! disabled rules per epoch, so a breaker trip costs an epoch swap, not an
-//! engine rebuild.
+//! engine rebuild. The reference rung is persistent too: the worker's
+//! [`ReferenceRung`] caches the resolved active rule set, keyed by the same
+//! snapshot epoch, so a degraded request re-resolves nothing — the old
+//! per-request path rebuilt the id list, the strategy, *and* a `Runner` on
+//! every climb past the fast rung, which made degradation strictly more
+//! expensive per request than health.
 //!
 //! Exactness: the fast rung calls `Engine::try_normalize_with` with exactly
 //! the request's budget and fault plan — byte-identical to a direct
 //! fast-engine `Runner` run, whose `Fix` path folds the same engine report
-//! into a fresh one (a zero-offset merge). The reference rung runs
-//! `Runner::try_run_governed` over the snapshot's active set, byte-identical
-//! to a direct reference run. The engines' differential-exactness contract
-//! thereby lifts to the service — *including* cross-request reuse, because
-//! memo replays are byte-identical to live runs and epoch tagging confines
-//! them to one rule set (see `tests/service.rs`).
+//! into a fresh one (a zero-offset merge). The reference rung calls
+//! `try_rewrite_fix_with` over the cached resolved active set — the exact
+//! call the reference `Runner`'s `Fix` path bottoms out in, with the same
+//! zero-offset merge argument (`Runner::run_governed` merges the fix
+//! report into a fresh zero-step report and extends an empty trace, both
+//! identities). The engines' differential-exactness contract thereby lifts
+//! to the service — *including* cross-request reuse, because memo replays
+//! are byte-identical to live runs and epoch tagging confines them to one
+//! rule set (see `tests/service.rs`).
 
 use crate::breaker::Breaker;
 use crate::metrics::ServiceMetrics;
@@ -46,12 +54,13 @@ use crate::snapshot::RuleSnapshot;
 use kola::term::Query;
 use kola_exec::rng::splitmix64;
 use kola_obs::{RewriteTrace, TraceRing};
-use kola_rewrite::strategy;
 use kola_rewrite::{
-    Catalog, CaughtPanic, Engine, EngineConfig, Oriented, PropDb, QuarantineReport, RewriteReport,
-    Runner, StopReason, Trace,
+    try_rewrite_fix_with, Catalog, CaughtPanic, Engine, EngineConfig, Oriented, PropDb,
+    QuarantineReport, RewriteReport, StopReason, Trace,
 };
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// One engine rung of the ladder (the passthrough rung carries no engine
@@ -105,6 +114,95 @@ enum Attempt {
     Panicked(CaughtPanic),
 }
 
+/// The worker-resident reference rung: the snapshot's active rule set
+/// resolved against the catalog once per snapshot epoch, not once per
+/// degraded request. Lives in the worker's state next to the persistent
+/// fast engine and is invalidated by the same epoch counter — a breaker
+/// trip or reset re-resolves on the next degraded request; everything in
+/// between reuses the cached slice.
+#[derive(Default)]
+pub struct ReferenceRung<'a> {
+    /// Snapshot epoch `rules` was resolved under (`None` before first use).
+    epoch: Option<u64>,
+    /// The snapshot's active ids resolved to forward-oriented rules, in
+    /// snapshot (catalog) order — exactly what `strategy::fix` over the
+    /// active ids resolves to.
+    rules: Vec<Oriented<'a>>,
+}
+
+impl<'a> ReferenceRung<'a> {
+    /// An empty cache; the first [`Ladder::run_with`] that degrades fills
+    /// it.
+    pub fn new() -> ReferenceRung<'a> {
+        ReferenceRung::default()
+    }
+
+    /// Re-resolve iff `snapshot` is from a different epoch than the cache.
+    fn sync(&mut self, catalog: &'a Catalog, snapshot: &RuleSnapshot) {
+        if self.epoch == Some(snapshot.epoch) {
+            return;
+        }
+        self.rules.clear();
+        self.rules.extend(snapshot.active.iter().map(|id| {
+            let rule = catalog
+                .get(id)
+                .expect("snapshot active ids are drawn from this catalog");
+            Oriented::fwd(rule)
+        }));
+        self.epoch = Some(snapshot.epoch);
+    }
+}
+
+/// A worker's interruptible-backoff slot. The retry backoff used to be a
+/// plain `thread::sleep`, which parks the whole worker where neither new
+/// submissions nor shutdown can reach it; waiting on `park_timeout`
+/// instead lets the service cut a backoff short ([`RetryPark::interrupt`])
+/// when work lands on the worker's shard or the service shuts down — the
+/// worker finishes its degraded request sooner and returns to the queue.
+///
+/// An interrupted (or spuriously woken) backoff simply retries early:
+/// the backoff is advisory pacing, deadline-capped either way, and the
+/// climb re-checks the deadline after every wait.
+#[derive(Debug, Default)]
+pub struct RetryPark {
+    /// The worker thread to unpark; set once by [`RetryPark::register`].
+    thread: OnceLock<std::thread::Thread>,
+    /// True while the worker is inside [`RetryPark::wait`] — interrupters
+    /// skip the unpark syscall entirely outside that window.
+    parked: AtomicBool,
+}
+
+impl RetryPark {
+    /// An unregistered slot.
+    pub fn new() -> RetryPark {
+        RetryPark::default()
+    }
+
+    /// Bind this slot to the calling thread (the worker, at loop start).
+    pub fn register(&self) {
+        let _ = self.thread.set(std::thread::current());
+    }
+
+    /// Wait up to `pause` on the calling (registered) thread. Returns
+    /// early on [`RetryPark::interrupt`] — or on a stale park token from
+    /// an earlier interrupt, which only shortens one advisory backoff.
+    pub fn wait(&self, pause: Duration) {
+        self.parked.store(true, Ordering::Release);
+        std::thread::park_timeout(pause);
+        self.parked.store(false, Ordering::Release);
+    }
+
+    /// Cut an in-progress backoff short (no-op while the worker is not
+    /// waiting).
+    pub fn interrupt(&self) {
+        if self.parked.load(Ordering::Acquire) {
+            if let Some(t) = self.thread.get() {
+                t.unpark();
+            }
+        }
+    }
+}
+
 /// The ladder, borrowing the service's shared catalog, properties, and
 /// breaker — plus the (optional) observability surfaces.
 pub struct Ladder<'a> {
@@ -117,11 +215,18 @@ pub struct Ladder<'a> {
     pub breaker: &'a Breaker,
     /// Metric handles for per-rung failure counts; `None` runs unmetered.
     pub metrics: Option<&'a ServiceMetrics>,
-    /// Trace sink. `Some` turns per-step trace recording ON for the fast
-    /// engine and records every successful rung's derivation; `None` (the
-    /// default service configuration) turns the engine's trace building
-    /// OFF, so the untraced hot path never allocates per step.
+    /// Trace sink — the calling worker's own ring shard. `Some` turns
+    /// per-step trace recording ON for the fast engine and records every
+    /// successful rung's derivation; `None` (the default service
+    /// configuration) turns the engine's trace building OFF, so the
+    /// untraced hot path never allocates per step.
     pub tracer: Option<&'a TraceRing>,
+    /// Breaker shard all charges go through — the calling worker's index
+    /// (`0` for standalone use).
+    pub shard: usize,
+    /// The worker's interruptible-backoff slot; `None` falls back to a
+    /// plain sleep (standalone/test use).
+    pub park: Option<&'a RetryPark>,
 }
 
 impl<'a> Ladder<'a> {
@@ -140,7 +245,16 @@ impl<'a> Ladder<'a> {
         let rules: Vec<Oriented<'_>> = self.catalog.rules().iter().map(Oriented::fwd).collect();
         let mut engine = Engine::new(rules, self.props, EngineConfig::fast());
         let snapshot = RuleSnapshot::build(self.breaker.generation(), self.catalog, self.breaker);
-        self.run_with(request_id, q, opts, deadline, &mut engine, &snapshot)
+        let mut reference = ReferenceRung::new();
+        self.run_with(
+            request_id,
+            q,
+            opts,
+            deadline,
+            &mut engine,
+            &snapshot,
+            &mut reference,
+        )
     }
 
     /// Climb the ladder for query `q` under `opts`, with the deadline
@@ -150,6 +264,9 @@ impl<'a> Ladder<'a> {
     /// order) and `snapshot` the rule-set snapshot this request runs under:
     /// the engine's caches are scoped to the snapshot's epoch before the
     /// climb, and disabled rules are masked out of its candidate scan.
+    /// `reference` is the caller's persistent reference rung, re-resolved
+    /// only when the snapshot epoch moved.
+    #[allow(clippy::too_many_arguments)]
     pub fn run_with(
         &self,
         request_id: u64,
@@ -158,6 +275,7 @@ impl<'a> Ladder<'a> {
         deadline: Option<Instant>,
         engine: &mut Engine<'_>,
         snapshot: &RuleSnapshot,
+        reference: &mut ReferenceRung<'a>,
     ) -> LadderResult {
         engine.set_epoch(snapshot.epoch, &snapshot.disabled);
         engine.set_trace(self.tracer.is_some());
@@ -177,20 +295,27 @@ impl<'a> Ladder<'a> {
                 }
                 if attempt == 1 {
                     // One jittered retry, capped by the remaining deadline.
-                    // Sleeping the full remainder is deliberate: if the
+                    // Waiting the full remainder is deliberate: if the
                     // deadline dies during the backoff, the expiry check
                     // above degrades us to the next rung (and ultimately to
-                    // passthrough) deterministically.
+                    // passthrough) deterministically. The wait itself is
+                    // interruptible (see [`RetryPark`]): a submission
+                    // landing on this worker's shard cuts it short.
                     let pause = cap_to_deadline(jittered(opts.backoff, request_id, ri), deadline);
                     if !pause.is_zero() {
-                        std::thread::sleep(pause);
+                        match self.park {
+                            Some(p) => p.wait(pause),
+                            None => std::thread::sleep(pause),
+                        }
                     }
                     if expired(deadline) {
                         break 'climb;
                     }
                     retries += 1;
                 }
-                match self.attempt(rung, attempt, q, opts, deadline, engine, snapshot) {
+                match self.attempt(
+                    rung, attempt, q, opts, deadline, engine, snapshot, reference,
+                ) {
                     Attempt::Ok(plan, report, trace) => {
                         implicate_from_report(&report, &mut implicated);
                         success = Some((rung, plan, report, trace));
@@ -204,7 +329,9 @@ impl<'a> Ladder<'a> {
                             implicate_from_report(r, &mut implicated);
                         }
                         if let Some(m) = self.metrics {
-                            m.rung_failures.add(&rung.to_string(), 1);
+                            // Positional lane: family labels are RUNGS in
+                            // order, so the failure path formats nothing.
+                            m.rung_failures.add_index(ri, 1);
                         }
                         failures.push(format!("{rung} attempt {attempt}: {why}"));
                         if expired_stop {
@@ -217,7 +344,7 @@ impl<'a> Ladder<'a> {
                             implicated.insert(id.clone());
                         }
                         if let Some(m) = self.metrics {
-                            m.rung_failures.add(&rung.to_string(), 1);
+                            m.rung_failures.add_index(ri, 1);
                         }
                         failures.push(format!("{rung} attempt {attempt}: {p}"));
                         panics.push(p);
@@ -226,8 +353,15 @@ impl<'a> Ladder<'a> {
             }
         }
 
-        for rule_id in &implicated {
-            self.breaker.charge(rule_id, request_id);
+        // One batched breaker call per failed request, through this
+        // worker's own shard — the old loop took the breaker's state lock
+        // once per implicated rule.
+        if !implicated.is_empty() {
+            self.breaker.charge_many(
+                self.shard,
+                implicated.iter().map(String::as_str),
+                request_id,
+            );
         }
 
         match success {
@@ -241,7 +375,7 @@ impl<'a> Ladder<'a> {
                         request_id,
                         &rung.to_string(),
                         q,
-                        snapshot.active.clone(),
+                        Arc::clone(&snapshot.active),
                         opts.max_steps,
                         opts.max_depth,
                         opts.max_term_size,
@@ -287,6 +421,7 @@ impl<'a> Ladder<'a> {
         deadline: Option<Instant>,
         engine: &mut Engine<'_>,
         snapshot: &RuleSnapshot,
+        reference: &mut ReferenceRung<'a>,
     ) -> Attempt {
         if opts.force_fail.contains(&rung) {
             return Attempt::Failed("injected rung fault (permanent)".into(), None);
@@ -306,19 +441,18 @@ impl<'a> Ladder<'a> {
                     Ok(r) => classify(r.query, r.report, r.trace),
                 }
             }
-            // The cold rung (only reached when the fast rung failed):
-            // per-call runner over the snapshot's active set — deliberately
-            // sharing no state with the fast engine.
+            // The degraded rung (only reached when the fast rung failed):
+            // the boxed reference engine over the cached resolved active
+            // set — deliberately sharing no engine state with the fast
+            // rung, and re-resolving nothing per request. This is the
+            // exact call the old per-request `Runner`'s `Fix` strategy
+            // bottomed out in (see the module docs' exactness argument).
             Rung::Reference => {
-                let refs: Vec<&str> = snapshot.active.iter().map(String::as_str).collect();
-                let strategy = strategy::fix(&refs);
-                let runner = Runner::new(self.catalog, self.props)
-                    .with_budget(opts.budget(deadline))
-                    .with_faults(opts.faults.clone());
-                let mut trace = Trace::new();
-                match runner.try_run_governed(&strategy, q.clone(), &mut trace) {
+                reference.sync(self.catalog, snapshot);
+                let budget = opts.budget(deadline);
+                match try_rewrite_fix_with(&reference.rules, q, self.props, &budget, &opts.faults) {
                     Err(p) => Attempt::Panicked(p),
-                    Ok((plan, _outcome, report)) => classify(plan, report, trace),
+                    Ok(r) => classify(r.query, r.report, r.trace),
                 }
             }
         }
@@ -398,6 +532,8 @@ mod tests {
             breaker: &breaker,
             metrics: None,
             tracer: None,
+            shard: 0,
+            park: None,
         };
         let opts = RequestOptions {
             transient_fail: vec![Rung::Fast],
@@ -422,6 +558,8 @@ mod tests {
             breaker: &breaker,
             metrics: None,
             tracer: None,
+            shard: 0,
+            park: None,
         };
         let opts = RequestOptions {
             force_fail: vec![Rung::Fast],
@@ -449,6 +587,8 @@ mod tests {
             breaker: &breaker,
             metrics: None,
             tracer: None,
+            shard: 0,
+            park: None,
         };
         let opts = RequestOptions {
             force_fail: vec![Rung::Fast, Rung::Reference],

@@ -29,7 +29,11 @@
 //!   panics, oversize results) is evicted from the rule set handed to the
 //!   engines — and thereby from the fast engine's `RuleIndex` — until an
 //!   operator resets it. This extends the per-run quarantine of
-//!   `kola-rewrite::budget` across requests.
+//!   `kola-rewrite::budget` across requests. Failure charges land in
+//!   per-worker shards of relaxed atomic counters, so a fault-saturated
+//!   stream scales with workers; trips fold the shards and stay
+//!   byte-identical to the single-lock [`breaker::GlobalBreaker`] spec
+//!   (see `tests/breaker_parity.rs`).
 //! - [`metrics`] — the service's lock-free metric surface (built on
 //!   `kola-obs`): request-lifecycle counters arranged as conservation
 //!   invariants the chaos soak audits, per-rule attempt/fire families,
@@ -57,12 +61,12 @@ pub mod request;
 pub mod service;
 pub mod snapshot;
 
-pub use breaker::{Breaker, BreakerEntry};
+pub use breaker::{Breaker, BreakerEntry, GlobalBreaker};
 pub use chaos::{
     generate_clean_request, percentile, run_chaos, run_clean_stream, ChaosConfig, ChaosReport,
     CleanConfig, CleanReport, PEAK_ARENA_BOUND,
 };
-pub use ladder::{Ladder, LadderResult, Rung};
+pub use ladder::{Ladder, LadderResult, ReferenceRung, RetryPark, Rung};
 pub use metrics::{conservation_violations, ServiceMetrics};
 pub use request::{Outcome, Payload, Request, RequestOptions, Response};
 pub use service::{Pending, Service, ServiceConfig};

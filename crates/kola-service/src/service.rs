@@ -46,14 +46,14 @@
 //! keeps its warm engine afterwards.
 
 use crate::breaker::Breaker;
-use crate::ladder::{Ladder, Rung};
+use crate::ladder::{Ladder, ReferenceRung, RetryPark, Rung};
 use crate::metrics::ServiceMetrics;
 use crate::request::{Outcome, Payload, Request, Response};
 use crate::snapshot::{RuleSnapshot, SnapshotCell};
 use kola::term::Query;
 use kola::Db;
 use kola_exec::datagen::{generate, DataSpec};
-use kola_obs::{RewriteTrace, Snapshot as MetricsSnapshot, TraceRing};
+use kola_obs::{RewriteTrace, ShardedTraceRing, Snapshot as MetricsSnapshot};
 use kola_rewrite::{
     Catalog, Engine, EngineConfig, EngineStats, Oriented, PropDb, QuarantineReport,
 };
@@ -88,8 +88,9 @@ pub struct ServiceConfig {
     /// engine's per-step trace building is disabled entirely, so the hot
     /// path carries no provenance cost (the scaling benchmark gates this).
     pub tracing: bool,
-    /// Trace ring capacity when `tracing` is on — the ring keeps the most
-    /// recent this-many traces and counts evictions.
+    /// Per-worker trace ring capacity when `tracing` is on — each worker's
+    /// ring shard keeps the most recent this-many of *its* traces and
+    /// counts evictions; the fleet-wide odometers sum the shards.
     pub trace_capacity: usize,
 }
 
@@ -151,8 +152,12 @@ struct Shared {
     peak_arena: AtomicUsize,
     /// Lock-free metric instruments (see [`crate::metrics`]).
     metrics: ServiceMetrics,
-    /// Structured-trace sink, present iff [`ServiceConfig::tracing`].
-    tracer: Option<TraceRing>,
+    /// Structured-trace sink, present iff [`ServiceConfig::tracing`] — one
+    /// ring shard per worker, so recording never crosses workers.
+    tracer: Option<ShardedTraceRing>,
+    /// Per-worker interruptible-backoff slots (indexed like `shards`):
+    /// submissions landing on a shard cut its worker's retry backoff short.
+    parks: Vec<RetryPark>,
 }
 
 /// A ticket for a queued request; [`Pending::wait`] blocks for the reply.
@@ -192,15 +197,17 @@ impl Service {
         // everything else).
         kola_rewrite::fault::silence_poison_panics();
         let catalog = Catalog::paper();
-        let breaker = Breaker::new(config.breaker_threshold);
+        let workers_n = config.workers.max(1);
+        let capacity = config.queue_capacity.max(1);
+        let rule_ids: Vec<String> = catalog.rules().iter().map(|r| r.id.clone()).collect();
+        // Every catalog rule gets a lock-free breaker slot; charges go
+        // through the charging worker's own shard.
+        let breaker = Breaker::sharded(config.breaker_threshold, workers_n, rule_ids.clone());
         let snapshots = SnapshotCell::new(RuleSnapshot::build(
             breaker.generation(),
             &catalog,
             &breaker,
         ));
-        let workers_n = config.workers.max(1);
-        let capacity = config.queue_capacity.max(1);
-        let rule_ids: Vec<String> = catalog.rules().iter().map(|r| r.id.clone()).collect();
         let metrics = ServiceMetrics::new(&rule_ids, capacity);
         let shared = Arc::new(Shared {
             catalog,
@@ -224,7 +231,8 @@ impl Service {
             metrics,
             tracer: config
                 .tracing
-                .then(|| TraceRing::new(config.trace_capacity)),
+                .then(|| ShardedTraceRing::new(workers_n, config.trace_capacity)),
+            parks: (0..workers_n).map(|_| RetryPark::new()).collect(),
         });
         let workers = (0..workers_n)
             .map(|i| {
@@ -302,9 +310,13 @@ impl Service {
             reply: tx,
         };
         let cursor = self.shared.next_shard.fetch_add(1, Ordering::Relaxed);
-        let shard = &self.shared.shards[cursor % self.shared.shards.len()];
+        let target = cursor % self.shared.shards.len();
+        let shard = &self.shared.shards[target];
         shard.jobs.lock().unwrap().push_back(job);
         shard.cv.notify_one();
+        // If the shard's worker is mid-backoff on a degraded request, cut
+        // the wait short: it retries immediately and gets back to the queue.
+        self.shared.parks[target].interrupt();
         Ok(Pending { id, rx })
     }
 
@@ -381,6 +393,11 @@ impl Drop for Service {
             drop(shard.jobs.lock().unwrap());
             shard.cv.notify_all();
         }
+        for park in &self.shared.parks {
+            // A worker mid-backoff finishes its request promptly instead of
+            // waiting out the full pause before seeing the shutdown flag.
+            park.interrupt();
+        }
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -388,9 +405,11 @@ impl Drop for Service {
 }
 
 /// Per-worker persistent state: the engine whose arena/marks/memo survive
-/// across requests, and the cached rule-set snapshot.
+/// across requests, the cached rule-set snapshot, and the reference rung's
+/// resolved rule cache (invalidated by the same snapshot epoch).
 struct WorkerState<'a> {
     engine: Engine<'a>,
+    reference: ReferenceRung<'a>,
     snapshot: Arc<RuleSnapshot>,
     /// Engine odometer readings at the last flush; per-request deltas are
     /// pushed into the service counters so one worker's engine stats never
@@ -411,8 +430,7 @@ fn flush_engine_stats(shared: &Shared, state: &mut WorkerState<'_>) {
     m.engine_memo_hits.add(now.memo_hits - last.memo_hits);
     m.engine_memo_lookups
         .add(now.memo_lookups - last.memo_lookups);
-    m.engine_compactions
-        .add(now.compactions - last.compactions);
+    m.engine_compactions.add(now.compactions - last.compactions);
     m.arena_peak.record(now.arena_peak as u64);
     state.last = now;
     for (i, &c) in state.engine.consults().iter().enumerate() {
@@ -432,16 +450,20 @@ fn worker_loop(shared: &Shared, index: usize) {
     let rule_count = rules.len();
     let mut state = WorkerState {
         engine: Engine::new(rules, &shared.props, EngineConfig::fast()),
+        reference: ReferenceRung::new(),
         snapshot: shared.snapshots.load(),
         last: EngineStats::default(),
         last_consults: vec![0; rule_count],
     };
+    // Bind this thread to its backoff slot so submissions can interrupt an
+    // in-progress retry wait.
+    shared.parks[index].register();
     while let Some(job) = next_job(shared, index) {
         let id = job.id;
         let submitted = job.submitted;
         let reply = job.reply.clone();
         let busy = Instant::now();
-        let outcome = catch_unwind(AssertUnwindSafe(|| handle(shared, job, &mut state)));
+        let outcome = catch_unwind(AssertUnwindSafe(|| handle(shared, job, &mut state, index)));
         let response = outcome.unwrap_or_else(|_| {
             // Nothing should reach this boundary — the ladder catches
             // poison-rule panics itself. Count it, answer anyway.
@@ -519,7 +541,7 @@ fn admit(shared: &Shared, job: &Job) {
     }
 }
 
-fn handle(shared: &Shared, job: Job, state: &mut WorkerState<'_>) -> Response {
+fn handle<'a>(shared: &'a Shared, job: Job, state: &mut WorkerState<'a>, index: usize) -> Response {
     let Job {
         id,
         request,
@@ -555,7 +577,11 @@ fn handle(shared: &Shared, job: Job, state: &mut WorkerState<'_>) -> Response {
         props: &shared.props,
         breaker: &shared.breaker,
         metrics: Some(&shared.metrics),
-        tracer: shared.tracer.as_ref(),
+        // Each worker records into its own trace shard and charges its own
+        // breaker shard — no cross-worker contention on the failure path.
+        tracer: shared.tracer.as_ref().map(|t| t.shard(index)),
+        shard: index,
+        park: Some(&shared.parks[index]),
     };
     let mut result = ladder.run_with(
         id,
@@ -564,6 +590,7 @@ fn handle(shared: &Shared, job: Job, state: &mut WorkerState<'_>) -> Response {
         deadline,
         &mut state.engine,
         &state.snapshot,
+        &mut state.reference,
     );
     let m = &shared.metrics;
     m.retries.add(result.retries as u64);

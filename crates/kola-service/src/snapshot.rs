@@ -31,8 +31,9 @@ pub struct RuleSnapshot {
     /// cache epoch.
     pub epoch: u64,
     /// Forward catalog ids minus `disabled`, in catalog order — the rule
-    /// set the reference rung resolves.
-    pub active: Vec<String>,
+    /// set the reference rung resolves. Behind its own `Arc` so recording
+    /// a trace shares the list instead of deep-cloning it per request.
+    pub active: Arc<Vec<String>>,
     /// Open-breaker rule ids (sorted) — masked out of the fast engine's
     /// full-catalog candidate scan.
     pub disabled: Vec<String>,
@@ -50,7 +51,7 @@ impl RuleSnapshot {
             .collect();
         RuleSnapshot {
             epoch,
-            active,
+            active: Arc::new(active),
             disabled,
         }
     }

@@ -1,0 +1,188 @@
+//! Differential parity: the sharded [`Breaker`] against the original
+//! single-lock [`GlobalBreaker`] it replaced.
+//!
+//! The sharded breaker's contract is that sharding is *invisible*: for any
+//! serial charge/reset stream — whatever shard each charge lands on — every
+//! observable surface (charge return values, trip counts, open sets,
+//! first/last request ids, generation and odometers, `QuarantineReport`s)
+//! is byte-identical to the single-lock implementation's. These tests
+//! drive seeded random streams through both and compare after every
+//! operation, plus targeted cases for the edges that matter: a trip landing
+//! exactly at the threshold, and operator resets racing concurrent charges.
+
+use kola_exec::rng::{splitmix64, Rng};
+use kola_service::{Breaker, GlobalBreaker};
+
+/// The registered rule universe. "ghost" is deliberately *not* registered
+/// with the sharded breaker, so every stream also exercises its
+/// locked-fallback path against the same spec.
+const REGISTERED: [&str; 5] = ["app", "9", "11", "e121", "comp"];
+const ALL_RULES: [&str; 6] = ["app", "9", "11", "e121", "comp", "ghost"];
+
+fn compare_surfaces(sharded: &Breaker, global: &GlobalBreaker, seed: u64, op: usize) {
+    let ctx = format!("seed {seed}, after op {op}");
+    for rule in ALL_RULES {
+        assert_eq!(
+            sharded.is_open(rule),
+            global.is_open(rule),
+            "is_open({rule}) diverged ({ctx})"
+        );
+        assert_eq!(
+            sharded.entry(rule),
+            global.entry(rule),
+            "entry({rule}) diverged ({ctx})"
+        );
+    }
+    assert_eq!(
+        sharded.open_rules(),
+        global.open_rules(),
+        "open_rules diverged ({ctx})"
+    );
+    assert_eq!(
+        sharded.snapshot(),
+        global.snapshot(),
+        "snapshot diverged ({ctx})"
+    );
+    assert_eq!(sharded.report(), global.report(), "report diverged ({ctx})");
+    assert_eq!(
+        sharded.generation(),
+        global.generation(),
+        "generation diverged ({ctx})"
+    );
+    assert_eq!(
+        (sharded.opened_total(), sharded.reset_total()),
+        (global.opened_total(), global.reset_total()),
+        "odometers diverged ({ctx})"
+    );
+}
+
+/// One seeded serial stream: random charges (single and batched, from
+/// random shards), random operator resets, compared op by op.
+fn drive_stream(seed: u64, threshold: usize, shards: usize, ops: usize) {
+    let sharded = Breaker::sharded(threshold, shards, REGISTERED);
+    let global = GlobalBreaker::new(threshold);
+    let mut rng = Rng::seed_from_u64(seed);
+    for op in 0..ops {
+        let request_id = op as u64;
+        let roll = rng.gen_range(0..100usize);
+        if roll < 70 {
+            // Single charge from a random worker shard.
+            let rule = ALL_RULES[rng.gen_range(0..ALL_RULES.len())];
+            let shard = rng.gen_range(0..shards);
+            assert_eq!(
+                sharded.charge_from(shard, rule, request_id),
+                global.charge(rule, request_id),
+                "charge({rule}, {request_id}) via shard {shard} diverged (seed {seed})"
+            );
+        } else if roll < 85 {
+            // Batched charge: the ladder's one-call-per-failed-request
+            // entry point, mirrored as individual charges on the spec.
+            let shard = rng.gen_range(0..shards);
+            let count = 1 + rng.gen_range(0..3usize);
+            let start = rng.gen_range(0..ALL_RULES.len());
+            let batch: Vec<&str> = (0..count)
+                .map(|k| ALL_RULES[(start + k) % ALL_RULES.len()])
+                .collect();
+            sharded.charge_many(shard, batch.iter().copied(), request_id);
+            for rule in &batch {
+                global.charge(rule, request_id);
+            }
+        } else {
+            // Operator reset — sometimes of a rule with no state at all.
+            let rule = ALL_RULES[rng.gen_range(0..ALL_RULES.len())];
+            assert_eq!(
+                sharded.reset(rule),
+                global.reset(rule),
+                "reset({rule}) diverged (seed {seed}, op {op})"
+            );
+        }
+        compare_surfaces(&sharded, &global, seed, op);
+    }
+}
+
+#[test]
+fn seeded_streams_are_byte_identical_across_implementations() {
+    let mut master = 0xB12A_4E5Eu64;
+    for i in 0..500u64 {
+        let seed = splitmix64(&mut master) ^ i;
+        let mut rng = Rng::seed_from_u64(seed);
+        // Vary the shape too: thresholds small enough to trip often,
+        // shard counts from degenerate (1) to more-than-workers.
+        let threshold = 1 + rng.gen_range(0..5usize);
+        let shards = 1 + rng.gen_range(0..8usize);
+        drive_stream(seed, threshold, shards, 60);
+    }
+}
+
+#[test]
+fn trip_lands_exactly_at_threshold() {
+    for threshold in [1usize, 2, 3, 7] {
+        let sharded = Breaker::sharded(threshold, 4, REGISTERED);
+        let global = GlobalBreaker::new(threshold);
+        // threshold - 1 charges, spread round-robin across shards: both
+        // stay closed with identical accumulating entries.
+        for i in 0..threshold - 1 {
+            assert!(!sharded.charge_from(i % 4, "app", i as u64));
+            assert!(!global.charge("app", i as u64));
+            compare_surfaces(&sharded, &global, threshold as u64, i);
+        }
+        // The threshold-th charge trips both, with trips == threshold
+        // exactly (not one more) in the quarantine report.
+        let last = (threshold - 1) as u64;
+        assert!(sharded.charge_from(threshold % 4, "app", last));
+        assert!(global.charge("app", last));
+        compare_surfaces(&sharded, &global, threshold as u64, threshold);
+        let report = sharded.report();
+        assert_eq!(report.entries.len(), 1);
+        assert_eq!(report.entries[0].trips, threshold);
+        assert_eq!(report.entries[0].first_failure, Some(0));
+        assert_eq!(report.entries[0].last_failure, Some(last as usize));
+    }
+}
+
+#[test]
+fn operator_resets_race_concurrent_charges_without_losing_coherence() {
+    // True races cannot be compared against a serial spec; what must hold
+    // on the sharded breaker regardless of interleaving:
+    //   - no charge or reset panics or wedges,
+    //   - generation == opened_total + reset_total at quiescence (every
+    //     served-set transition is exactly one of the two),
+    //   - a final reset sweep leaves no open rules and no entries.
+    let breaker = Breaker::sharded(3, 4, REGISTERED);
+    std::thread::scope(|scope| {
+        for worker in 0..4usize {
+            let breaker = &breaker;
+            scope.spawn(move || {
+                let mut rng = Rng::seed_from_u64(0xDEAD ^ worker as u64);
+                for op in 0..2_000u64 {
+                    let rule = REGISTERED[rng.gen_range(0..REGISTERED.len())];
+                    breaker.charge_from(worker, rule, (worker as u64) << 32 | op);
+                }
+            });
+        }
+        // The operator: reset whatever looks open, while charges fly.
+        let breaker = &breaker;
+        scope.spawn(move || {
+            for _ in 0..200 {
+                for rule in breaker.open_rules() {
+                    breaker.reset(&rule);
+                }
+                std::thread::yield_now();
+            }
+        });
+    });
+    assert_eq!(
+        breaker.generation(),
+        breaker.opened_total() + breaker.reset_total(),
+        "every generation bump must be exactly one opening or one readmission"
+    );
+    for rule in REGISTERED {
+        breaker.reset(rule);
+    }
+    assert!(breaker.open_rules().is_empty());
+    assert!(breaker.snapshot().is_empty());
+    assert_eq!(
+        breaker.generation(),
+        breaker.opened_total() + breaker.reset_total()
+    );
+}

@@ -346,6 +346,8 @@ fn deadline_expiry_between_rungs_body() {
         breaker: &breaker,
         metrics: None,
         tracer: None,
+        shard: 0,
+        park: None,
     };
     // A workload far too large for the deadline: the fast rung burns the
     // whole budget and stops with DeadlineExpired; by the time the ladder
