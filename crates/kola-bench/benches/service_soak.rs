@@ -35,12 +35,33 @@
 //! and the 4-worker row's metric snapshot, trace-replay tally, and
 //! conservation verdict are emitted as `BENCH_obs.json`.
 //!
+//! **repeated** — the plan-cache workload: 8 closed-loop clients drawing
+//! Zipf-skewed repeats from a fixed 32-query pool at a configured target
+//! hit rate (0%, 50%, 90%), the rest a never-repeating unique tail. The
+//! 0% row is the baseline: every request takes a worker and its 2 ms
+//! stall. At 90% the cache answers nine requests in ten on the submitting
+//! thread — no queue slot, no worker, no stall — which is the asymmetry
+//! the rows measure. Both scaling streams run with the cache **off**
+//! (chaos via `cache_capacity: 0` / `repeated: 0.0`, clean inside
+//! `run_clean_stream`): their gates measure worker concurrency, and a
+//! cache would answer part of the stream without workers touching it.
+//! Cache-on chaos coverage lives in the chaos soak test.
+//!
+//! With `BENCH_ENFORCE=1` the repeated rows gate too: the 90%-target row
+//! must achieve ≥ 0.90 hits, serve a sub-10 µs p50 (the stream is
+//! hit-dominated, so its p50 *is* the cache-hit latency), and carry ≥ 10×
+//! the 0%-row throughput (≥ 6× in smoke mode, where the short stream
+//! leaves the ratio noisier). Every row also cross-checks the
+//! client-tallied caught panics against the metric counter — the
+//! per-row conservation audit.
+//!
 //! Emits `BENCH_service.json` (and `BENCH_obs.json`) at the repository
 //! root. `BENCH_SMOKE=1` shrinks the streams for CI.
 
 use kola_bench::smoke_mode;
 use kola_service::{
-    percentile, run_chaos, run_clean_stream, ChaosConfig, ChaosReport, CleanConfig,
+    percentile, run_chaos, run_clean_stream, run_repeated_stream, ChaosConfig, ChaosReport,
+    CleanConfig, RepeatedConfig,
 };
 
 struct Row {
@@ -57,6 +78,12 @@ struct Row {
     passthrough: usize,
     caught_panics: usize,
     peak_arena_nodes: usize,
+    /// Target plan-cache hit rate ([0, 1]; 0 for the non-repeated streams).
+    hit_target: f64,
+    /// Achieved hit rate over the timed window.
+    hit_actual: f64,
+    /// Plan-cache hits inside the timed window.
+    cache_hits: u64,
 }
 
 impl Row {
@@ -79,6 +106,16 @@ impl Row {
             self.caught_panics,
             self.peak_arena_nodes,
         );
+        if self.hit_target > 0.0 || self.cache_hits > 0 {
+            println!(
+                "service/{}/{}w: hit target {:.0}% -> achieved {:.1}% ({} hits)",
+                self.stream,
+                self.workers,
+                self.hit_target * 100.0,
+                self.hit_actual * 100.0,
+                self.cache_hits,
+            );
+        }
     }
 }
 
@@ -97,6 +134,10 @@ fn chaos_rows(requests: usize) -> (Vec<Row>, Option<(ChaosConfig, ChaosReport)>)
             // Tracing on: the chaos rows measure (and the 4-worker row
             // exports) the service with provenance recording engaged.
             tracing: true,
+            // Cache off: these are the worker-scaling rows (see the module
+            // docs); the repeated rows below are the cache benchmark.
+            cache_capacity: 0,
+            repeated: 0.0,
             ..ChaosConfig::default()
         };
         let report = run_chaos(&cfg);
@@ -106,6 +147,13 @@ fn chaos_rows(requests: usize) -> (Vec<Row>, Option<(ChaosConfig, ChaosReport)>)
             violations.is_empty(),
             "chaos invariants violated during bench:\n{}",
             violations.join("\n")
+        );
+        // Per-row conservation cross-check: every panic the clients saw in
+        // a reply is in the books, and nothing panicked unobserved.
+        assert_eq!(
+            report.metrics.counter("caught_panics"),
+            report.caught_panics as u64,
+            "chaos/{workers}w: caught-panic books diverge from client tally"
         );
         if workers == 4 {
             obs = Some((cfg.clone(), report.clone()));
@@ -130,6 +178,9 @@ fn chaos_rows(requests: usize) -> (Vec<Row>, Option<(ChaosConfig, ChaosReport)>)
             passthrough: report.passthrough,
             caught_panics: report.caught_panics,
             peak_arena_nodes: report.peak_arena_nodes,
+            hit_target: 0.0,
+            hit_actual: 0.0,
+            cache_hits: report.cache_hits,
         };
         row.print();
         rows.push(row);
@@ -169,6 +220,63 @@ fn clean_rows(requests: usize) -> Vec<Row> {
             passthrough: 0,
             caught_panics: 0,
             peak_arena_nodes: report.peak_arena_nodes,
+            hit_target: 0.0,
+            hit_actual: 0.0,
+            cache_hits: 0,
+        };
+        row.print();
+        rows.push(row);
+    }
+    rows
+}
+
+/// The plan-cache rows: one 4-worker repeated-traffic run per target hit
+/// rate. The 0% row is the all-miss baseline the 90% row's throughput
+/// gate compares against.
+fn repeated_rows(requests: usize) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for hit_target in [0.0, 0.5, 0.9] {
+        let cfg = RepeatedConfig {
+            requests,
+            hit_target,
+            // The baseline row disables the cache outright: its unique
+            // tail would never hit anyway, but a disabled cache also pays
+            // zero probe/claim overhead, making the comparison the honest
+            // "service without this feature" one.
+            cache_capacity: if hit_target > 0.0 { 2_048 } else { 0 },
+            ..RepeatedConfig::default()
+        };
+        let report = run_repeated_stream(&cfg);
+        assert!(
+            report.violations.is_empty(),
+            "repeated stream ({:.0}% target) violated invariants:\n{}",
+            hit_target * 100.0,
+            report.violations.join("\n")
+        );
+        // Per-row conservation cross-check (the repeated stream is
+        // fault-free, so both sides must be zero).
+        assert_eq!(report.caught_panics, 0);
+        assert_eq!(report.metrics.counter("caught_panics"), 0);
+        let mut lat = report.latencies_us.clone();
+        lat.sort_unstable();
+        let throughput = report.throughput_rps();
+        let row = Row {
+            stream: "repeated",
+            workers: cfg.workers,
+            requests: report.requests,
+            wall_ms: report.elapsed.as_millis(),
+            throughput_rps: throughput,
+            scaling_efficiency: 1.0,
+            p50_us: percentile(&lat, 50.0),
+            p95_us: percentile(&lat, 95.0),
+            p99_us: percentile(&lat, 99.0),
+            overloaded: 0,
+            passthrough: 0,
+            caught_panics: report.caught_panics,
+            peak_arena_nodes: 0,
+            hit_target,
+            hit_actual: report.hit_actual,
+            cache_hits: report.cache_hits,
         };
         row.print();
         rows.push(row);
@@ -189,8 +297,12 @@ fn efficiency(rows: &[Row], workers: usize, throughput: f64) -> f64 {
 
 fn main() {
     let requests = if smoke_mode() { 300 } else { 4_000 };
+    // The repeated rows need enough draws for the achieved hit rate to
+    // concentrate; 300 is too few for a tight ratio gate.
+    let repeated_requests = if smoke_mode() { 1_200 } else { 4_000 };
     let (mut rows, obs) = chaos_rows(requests);
     rows.extend(clean_rows(requests));
+    rows.extend(repeated_rows(repeated_requests));
 
     // The CI scaling gates (scripts/ci.sh --bench-smoke sets
     // BENCH_ENFORCE): throughput must actually scale with workers on BOTH
@@ -241,6 +353,45 @@ fn main() {
             );
             println!("scaling gates passed (clean 4w >= 1.5x, chaos 8w >= 2x)");
         }
+
+        // The plan-cache gates: the 90%-target repeated row must actually
+        // hit, must serve hits in microseconds, and must multiply
+        // throughput over the all-miss baseline. Both rows are bound by
+        // the same 2 ms worker stall, so the ratio is a worker-bypass
+        // measurement, not a CPU-speed one.
+        let repeated = |target: f64| -> &Row {
+            rows.iter()
+                .find(|r| r.stream == "repeated" && (r.hit_target - target).abs() < 1e-9)
+                .expect("repeated row")
+        };
+        let base = repeated(0.0);
+        let hot = repeated(0.9);
+        let speedup = hot.throughput_rps / base.throughput_rps.max(1e-9);
+        println!(
+            "repeated-stream cache: 90%-target hit rate {:.1}%, p50 {} us, \
+             {:.1}x the 0%-hit baseline",
+            hot.hit_actual * 100.0,
+            hot.p50_us,
+            speedup
+        );
+        assert!(
+            hot.hit_actual >= 0.90,
+            "cache gate: 90%-target stream achieved only {:.1}% hits",
+            hot.hit_actual * 100.0
+        );
+        assert!(
+            hot.p50_us < 10,
+            "cache gate: hit-dominated p50 is {} us (gate: < 10 us) — the \
+             hit path is doing more than a shard probe",
+            hot.p50_us
+        );
+        let speedup_gate = if smoke_mode() { 6.0 } else { 10.0 };
+        assert!(
+            speedup >= speedup_gate,
+            "cache gate: 90%-hit throughput is only {speedup:.1}x the all-miss \
+             baseline (gate: {speedup_gate:.0}x) — hits are not bypassing workers"
+        );
+        println!("cache gates passed (hits >= 90%, p50 < 10 us, >= {speedup_gate:.0}x baseline)");
     }
 
     let json = render_json(&rows);
@@ -277,10 +428,13 @@ fn render_json(rows: &[Row]) -> String {
     out.push_str(&format!("  \"smoke\": {},\n", smoke_mode()));
     out.push_str(
         "  \"workload\": \"chaos: deterministic fault stream, verify off, tracing on, \
-         2 ms per-request stall, serving window only (replay audit excluded); \
-         clean: no-fault stream, tracing off (default), 16 closed-loop clients, \
-         2 ms per-request stall \
-         (single-core host: scaling measures worker concurrency)\",\n",
+         cache off, 2 ms per-request stall, serving window only (replay audit excluded); \
+         clean: no-fault stream, tracing off (default), cache off, 16 closed-loop \
+         clients, 2 ms per-request stall \
+         (single-core host: scaling measures worker concurrency); \
+         repeated: Zipf-skewed 32-query pool at a target hit rate plus a unique \
+         tail, 8 closed-loop clients, 4 workers, 2 ms stall on worker passes \
+         (cache hits bypass workers entirely)\",\n",
     );
     out.push_str("  \"configs\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -289,7 +443,8 @@ fn render_json(rows: &[Row]) -> String {
              \"throughput_rps\": {:.1}, \"scaling_efficiency\": {:.3}, \
              \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \
              \"overloaded\": {}, \"passthrough\": {}, \"caught_panics\": {}, \
-             \"peak_arena_nodes\": {}}}{}\n",
+             \"peak_arena_nodes\": {}, \"hit_target\": {:.2}, \
+             \"hit_actual\": {:.4}, \"cache_hits\": {}}}{}\n",
             r.stream,
             r.workers,
             r.requests,
@@ -303,6 +458,9 @@ fn render_json(rows: &[Row]) -> String {
             r.passthrough,
             r.caught_panics,
             r.peak_arena_nodes,
+            r.hit_target,
+            r.hit_actual,
+            r.cache_hits,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }

@@ -49,6 +49,15 @@ pub struct ChaosConfig {
     /// are what makes worker concurrency measurable under chaos too; see
     /// `DESIGN.md` §5d and §5f.
     pub stall: Duration,
+    /// Plan-cache capacity for the soaked service (`0` disables). On by
+    /// default so the soak exercises cache invalidation *while* breakers
+    /// trip and reset.
+    pub cache_capacity: usize,
+    /// Fraction of generated requests drawn from a small fixed pool with
+    /// fixed budgets — the repeated-traffic lane that gives the cache
+    /// something to hit while the poison lanes move the rule generation
+    /// under it. `0.0` reproduces the pre-cache stream shape.
+    pub repeated: f64,
 }
 
 impl Default for ChaosConfig {
@@ -62,6 +71,8 @@ impl Default for ChaosConfig {
             tracing: false,
             trace_capacity: 1024,
             stall: Duration::from_millis(2),
+            cache_capacity: 2048,
+            repeated: 0.15,
         }
     }
 }
@@ -99,6 +110,16 @@ pub struct ChaosReport {
     pub peak_arena_nodes: usize,
     /// Per-request end-to-end latencies, microseconds, unsorted.
     pub latencies_us: Vec<u64>,
+    /// Plan-cache hits (direct + coalesced) over the soak.
+    pub cache_hits: u64,
+    /// Plan-cache misses that took an engine pass.
+    pub cache_misses: u64,
+    /// Identical concurrent misses coalesced onto one flight leader.
+    pub cache_coalesced: u64,
+    /// Stale-generation entries reclaimed on lookup — nonzero whenever the
+    /// repeated lane overlaps a breaker trip or reset, which is exactly
+    /// what the soak is for.
+    pub cache_stale: u64,
     /// Metric snapshot taken after the last reply (quiescent, so the
     /// conservation invariants must hold on it).
     pub metrics: Snapshot,
@@ -166,6 +187,67 @@ impl ChaosReport {
             ));
         }
         v.extend(self.conservation.iter().cloned());
+        // Client-side tallies vs the metric books, per outcome: worker
+        // completions plus cache serves (direct hits and coalesced
+        // waiters) must account for exactly the responses clients hold.
+        // This is what pins "zero stale-generation plans escape": a hit
+        // served past a generation bump would have been computed as a
+        // worker completion under the old books, and the taxonomy here
+        // would no longer balance against what clients observed.
+        let served = |label: &str| -> u64 {
+            self.metrics
+                .family("cache_served")
+                .iter()
+                .find(|(l, _)| l == label)
+                .map_or(0, |(_, n)| *n)
+        };
+        let cross = [
+            (
+                "optimized_fast",
+                self.optimized_fast,
+                self.metrics.counter("optimized_fast") + served("fast"),
+            ),
+            (
+                "optimized_reference",
+                self.optimized_reference,
+                self.metrics.counter("optimized_reference") + served("reference"),
+            ),
+            (
+                "passthrough",
+                self.passthrough,
+                self.metrics.counter("passthrough") + served("passthrough"),
+            ),
+            (
+                "overloaded",
+                self.overloaded,
+                self.metrics.counter("overloaded"),
+            ),
+            (
+                "invalid",
+                self.invalid,
+                self.metrics.counter("completed_invalid")
+                    + self.metrics.counter("rejected_invalid")
+                    + self.metrics.counter("panicked")
+                    + served("invalid"),
+            ),
+        ];
+        for (name, client, books) in cross {
+            if client as u64 != books {
+                v.push(format!(
+                    "taxonomy cross-check failed for {name}: clients hold {client}, books say {books}"
+                ));
+            }
+        }
+        // Caught panics conserve exactly: flights only form for fault-free
+        // requests, which never panic, so no coalesced reply can carry a
+        // second copy of a leader's panic attribution.
+        if self.caught_panics as u64 != self.metrics.counter("caught_panics") {
+            v.push(format!(
+                "caught-panic books unbalanced: clients hold {}, counter says {}",
+                self.caught_panics,
+                self.metrics.counter("caught_panics"),
+            ));
+        }
         if self.traces_divergent != 0 {
             v.push(format!(
                 "{} of {} replayed traces diverged from the reference engine",
@@ -238,6 +320,8 @@ impl ChaosReport {
              gate failures       {}\n\
              breakers opened     {}\n\
              peak arena nodes    {}\n\
+             cache hit/miss      {} / {}\n\
+             cache coal/stale    {} / {}\n\
              conservation        {}\n\
              traces rec/rep/div  {} / {} / {}\n\
              latency p50/p95/p99 {} / {} / {} us",
@@ -253,6 +337,10 @@ impl ChaosReport {
             self.gate_failures,
             self.breaker_opened,
             self.peak_arena_nodes,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_coalesced,
+            self.cache_stale,
             if self.conservation.is_empty() {
                 "balanced"
             } else {
@@ -332,8 +420,28 @@ const OQL_TEMPLATES: &[&str] = &[
 /// benchmark can replay the same workload it soaks). Every request carries
 /// the configured materialization `stall` as its baseline hold, and every
 /// generated timeout is extended by the same stall, so which requests
-/// expire is a property of the stream — not of the stall.
-pub fn generate_request(rng: &mut Rng, stall: Duration) -> Request {
+/// expire is a property of the stream — not of the stall. `repeated` is
+/// the probability of drawing from the repeated-traffic lane.
+pub fn generate_request(rng: &mut Rng, stall: Duration, repeated: f64) -> Request {
+    if repeated > 0.0 && rng.gen_bool(repeated) {
+        // Repeated lane: a small fixed pool under FIXED budgets, so
+        // identical draws share one plan-cache line (the stream's trailing
+        // budget randomization below would disperse the keys). Pure —
+        // no faults, no forced failures — so the requests are cacheable,
+        // and the poison lanes' breaker trips invalidate their entries
+        // mid-soak, which is the interaction this lane exists to exercise.
+        let pick = rng.gen_range(0..8usize);
+        let options = RequestOptions {
+            hold_for: (!stall.is_zero()).then_some(stall),
+            timeout: Some(stall + Duration::from_millis(25)),
+            max_steps: 400,
+            ..RequestOptions::default()
+        };
+        return Request {
+            payload: Payload::Text(id_tower_text(2 + pick)),
+            options,
+        };
+    }
     let mut options = RequestOptions {
         backoff: Duration::from_micros(100 + rng.gen_range(0..200usize) as u64),
         hold_for: (!stall.is_zero()).then_some(stall),
@@ -430,6 +538,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
         verify: cfg.verify,
         tracing: cfg.tracing,
         trace_capacity: cfg.trace_capacity,
+        cache_capacity: cfg.cache_capacity,
         ..ServiceConfig::default()
     });
     let mut report = ChaosReport {
@@ -465,7 +574,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     let started = Instant::now();
     for i in 0..cfg.requests {
         let mut rng = Rng::seed_from_u64(splitmix64(&mut seed) ^ i as u64);
-        let request = generate_request(&mut rng, cfg.stall);
+        let request = generate_request(&mut rng, cfg.stall, cfg.repeated);
         match service.submit(request) {
             Ok(p) => pending.push(p),
             Err(rejection) => {
@@ -513,6 +622,10 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     // must balance its books.
     report.metrics = service.metrics_snapshot();
     report.conservation = conservation_violations(&report.metrics);
+    report.cache_hits = report.metrics.counter("cache_hits");
+    report.cache_misses = report.metrics.counter("cache_misses");
+    report.cache_coalesced = report.metrics.counter("cache_coalesced");
+    report.cache_stale = report.metrics.counter("cache_stale");
     report.traces_recorded = report.metrics.counter("traces_recorded");
     report.traces_dropped = report.metrics.counter("traces_dropped");
     if cfg.tracing {
@@ -637,6 +750,11 @@ pub fn run_clean_stream(cfg: &CleanConfig) -> CleanReport {
         workers: cfg.workers,
         queue_capacity: cfg.queue_capacity.max(cfg.clients),
         verify: false,
+        // The clean stream measures worker scaling; its templates repeat
+        // heavily, so a cache would answer most of them at the door and
+        // the gate would measure the cache instead. The repeated-traffic
+        // stream ([`run_repeated_stream`]) is where the cache is measured.
+        cache_capacity: 0,
         ..ServiceConfig::default()
     });
     let clients = cfg.clients.max(1);
@@ -681,5 +799,232 @@ pub fn run_clean_stream(cfg: &CleanConfig) -> CleanReport {
         report.latencies_us.append(&mut lat);
     }
     report.peak_arena_nodes = service.peak_arena_nodes();
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Repeated stream: the plan-cache workload.
+// ---------------------------------------------------------------------------
+
+/// Parameters of one repeated-traffic run: clients draw from a fixed query
+/// pool with Zipf-ish skew at a configured target hit rate, with the rest
+/// of the stream unique misses. This is the millions-of-users traffic
+/// shape the plan cache exists for — overwhelmingly repetitive, with a
+/// long unique tail.
+#[derive(Debug, Clone)]
+pub struct RepeatedConfig {
+    /// Requests to drive through the service in total (timed window).
+    pub requests: usize,
+    /// Master seed; which requests are pool draws, and which pool member
+    /// each draws, is a pure function of it.
+    pub seed: u64,
+    /// Worker threads.
+    pub workers: usize,
+    /// Closed-loop client threads.
+    pub clients: usize,
+    /// Work-queue capacity.
+    pub queue_capacity: usize,
+    /// Simulated per-request materialization stall for requests that reach
+    /// a worker (cache hits never do — that asymmetry is the measurement).
+    pub stall: Duration,
+    /// Target hit rate in `[0, 1]`: the probability a request is a pool
+    /// draw. The pool is prewarmed outside the timed window, so every pool
+    /// draw is a hit and the achieved rate concentrates tightly here (the
+    /// draw probability carries a small overshoot so seeded runs clear the
+    /// target, not just approach it).
+    pub hit_target: f64,
+    /// Fixed pool size.
+    pub pool: usize,
+    /// Plan-cache capacity for the served service (`0` makes every request
+    /// a worker pass — the 0%-hit baseline rows).
+    pub cache_capacity: usize,
+}
+
+impl Default for RepeatedConfig {
+    fn default() -> Self {
+        RepeatedConfig {
+            requests: 4_000,
+            seed: 0xFACADE,
+            workers: 4,
+            clients: 8,
+            queue_capacity: 64,
+            stall: Duration::from_millis(2),
+            hit_target: 0.9,
+            pool: 32,
+            cache_capacity: 2048,
+        }
+    }
+}
+
+/// What a repeated-traffic run observed.
+#[derive(Debug, Clone, Default)]
+pub struct RepeatedReport {
+    /// Requests driven in the timed window (all of them classified).
+    pub requests: usize,
+    /// `Optimized { rung: Fast }` replies (worker passes and cache hits
+    /// alike — a repeated stream must produce nothing else).
+    pub optimized_fast: usize,
+    /// Replies with any other outcome (must be zero).
+    pub other: usize,
+    /// Plan-cache hits inside the timed window.
+    pub cache_hits: u64,
+    /// Achieved hit rate: `cache_hits / requests`.
+    pub hit_actual: f64,
+    /// Client-tallied caught panics (must be zero, and must equal the
+    /// metric counter — the per-row conservation cross-check).
+    pub caught_panics: usize,
+    /// Wall-clock of the timed window.
+    pub elapsed: Duration,
+    /// Per-request end-to-end latencies, microseconds, unsorted.
+    pub latencies_us: Vec<u64>,
+    /// Quiescent metric snapshot (prewarm included — the conservation
+    /// invariants hold over the service's whole life).
+    pub metrics: Snapshot,
+    /// Conservation violations in `metrics` plus the client-vs-books
+    /// cross-checks (must be empty).
+    pub violations: Vec<String>,
+}
+
+impl RepeatedReport {
+    /// Timed-window throughput in requests per second.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.requests as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Zipf-ish rank pick over `pool` members: rank `r` drawn with weight
+/// `1/(r+1)`. Integer cumulative weights keep the draw exact and seeded.
+fn zipf_pick(rng: &mut Rng, cumulative: &[u64]) -> usize {
+    let total = *cumulative.last().expect("non-empty pool");
+    let x = rng.gen_range(0..total as usize) as u64;
+    cumulative.partition_point(|&c| c <= x)
+}
+
+/// Drive `cfg.requests` repeated-traffic requests through a fresh service
+/// from `cfg.clients` closed-loop clients and measure hit rate, latency,
+/// and throughput. The pool is prewarmed (one sequential pass) before the
+/// timed window opens, so the window measures steady-state serving.
+pub fn run_repeated_stream(cfg: &RepeatedConfig) -> RepeatedReport {
+    let service = Service::start(ServiceConfig {
+        workers: cfg.workers,
+        queue_capacity: cfg.queue_capacity.max(cfg.clients),
+        verify: false,
+        cache_capacity: cfg.cache_capacity,
+        ..ServiceConfig::default()
+    });
+    let pool: Vec<String> = (0..cfg.pool.max(1)).map(|r| id_tower_text(4 + r)).collect();
+    // Integer Zipf weights, scaled to keep low-rank resolution: weight of
+    // rank r is round(K / (r+1)).
+    let mut cumulative = Vec::with_capacity(pool.len());
+    let mut acc = 0u64;
+    for r in 0..pool.len() {
+        acc += (1_000_000 / (r as u64 + 1)).max(1);
+        cumulative.push(acc);
+    }
+    let pool_request = |src: &str| Request {
+        payload: Payload::Text(src.to_string()),
+        options: RequestOptions {
+            hold_for: (!cfg.stall.is_zero()).then_some(cfg.stall),
+            ..RequestOptions::default()
+        },
+    };
+    // Prewarm: one sequential pass over the pool fills the cache (a no-op
+    // when the cache is disabled), outside the timed window.
+    for src in &pool {
+        let r = service.call(pool_request(src));
+        assert!(
+            matches!(r.outcome, Outcome::Optimized { rung: Rung::Fast }),
+            "pool prewarm must optimize on the fast rung, got {}",
+            r.outcome
+        );
+    }
+    // Small overshoot so the achieved rate clears the target on any seed
+    // (every pool draw is a hit after prewarm; uniques never are).
+    let draw_p = if cfg.hit_target > 0.0 {
+        (cfg.hit_target + 0.02).min(1.0)
+    } else {
+        0.0
+    };
+    let unique = std::sync::atomic::AtomicU64::new(0);
+    let clients = cfg.clients.max(1);
+    let per_client = cfg.requests / clients;
+    let remainder = cfg.requests % clients;
+    let hits_before = service.metrics_snapshot().counter("cache_hits");
+    let started = Instant::now();
+    let mut partials: Vec<(usize, usize, usize, Vec<u64>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let service = &service;
+                let pool = &pool;
+                let cumulative = &cumulative;
+                let unique = &unique;
+                let n = per_client + usize::from(c < remainder);
+                let seed = cfg.seed ^ ((c as u64 + 1) << 32);
+                s.spawn(move || {
+                    let mut rng = Rng::seed_from_u64(seed);
+                    let mut fast = 0usize;
+                    let mut other = 0usize;
+                    let mut panics = 0usize;
+                    let mut latencies = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let request = if draw_p > 0.0 && rng.gen_bool(draw_p) {
+                            pool_request(&pool[zipf_pick(&mut rng, cumulative)])
+                        } else {
+                            // The unique tail: never repeats, so never
+                            // hits — and (deliberately cacheable) fills
+                            // shards so eviction earns its keep.
+                            let n = unique.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            pool_request(&format!("gt ? [{}, 2]", n + 3))
+                        };
+                        let resp = service.call(request);
+                        match resp.outcome {
+                            Outcome::Optimized { rung: Rung::Fast } => fast += 1,
+                            _ => other += 1,
+                        }
+                        panics += resp.panics.len();
+                        latencies.push(resp.latency.as_micros() as u64);
+                    }
+                    (fast, other, panics, latencies)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = started.elapsed();
+    let mut report = RepeatedReport {
+        requests: cfg.requests,
+        elapsed,
+        ..RepeatedReport::default()
+    };
+    for (fast, other, panics, mut lat) in partials.drain(..) {
+        report.optimized_fast += fast;
+        report.other += other;
+        report.caught_panics += panics;
+        report.latencies_us.append(&mut lat);
+    }
+    report.metrics = service.metrics_snapshot();
+    report.cache_hits = report.metrics.counter("cache_hits") - hits_before;
+    report.hit_actual = if cfg.requests == 0 {
+        0.0
+    } else {
+        report.cache_hits as f64 / cfg.requests as f64
+    };
+    report.violations = conservation_violations(&report.metrics);
+    if report.other != 0 {
+        report.violations.push(format!(
+            "{} repeated-stream requests not optimized on the fast rung",
+            report.other
+        ));
+    }
+    if report.caught_panics as u64 != report.metrics.counter("caught_panics") {
+        report.violations.push(format!(
+            "caught-panic books unbalanced: clients hold {}, counter says {}",
+            report.caught_panics,
+            report.metrics.counter("caught_panics"),
+        ));
+    }
     report
 }

@@ -91,8 +91,10 @@ pub struct LadderResult {
     /// `Optimized { rung }` or `Passthrough` — never the rejection
     /// outcomes; the ladder always answers.
     pub outcome: Outcome,
-    /// The plan (the input itself on passthrough).
-    pub plan: Query,
+    /// The plan (the input itself on passthrough — an `Arc` clone of the
+    /// caller's term, so exhausting the ladder deep-copies nothing; on
+    /// success a freshly-allocated handle the plan cache can retain).
+    pub plan: Arc<Query>,
     /// The successful rung's report, untouched. `None` on passthrough.
     pub report: Option<RewriteReport>,
     /// Per-run quarantine state of the successful rung.
@@ -238,7 +240,7 @@ impl<'a> Ladder<'a> {
     pub fn run(
         &self,
         request_id: u64,
-        q: &Query,
+        q: &Arc<Query>,
         opts: &RequestOptions,
         deadline: Option<Instant>,
     ) -> LadderResult {
@@ -270,7 +272,7 @@ impl<'a> Ladder<'a> {
     pub fn run_with(
         &self,
         request_id: u64,
-        q: &Query,
+        q: &Arc<Query>,
         opts: &RequestOptions,
         deadline: Option<Instant>,
         engine: &mut Engine<'_>,
@@ -291,6 +293,10 @@ impl<'a> Ladder<'a> {
         'climb: for (ri, rung) in RUNGS.iter().copied().enumerate() {
             for attempt in 0..2u32 {
                 if expired(deadline) {
+                    // Note the expiry so a deadline-driven passthrough
+                    // always carries an error, even when the deadline died
+                    // before any rung got to run (e.g. queue wait ate it).
+                    failures.push(format!("{rung} attempt {attempt}: deadline expired"));
                     break 'climb;
                 }
                 if attempt == 1 {
@@ -309,6 +315,7 @@ impl<'a> Ladder<'a> {
                         }
                     }
                     if expired(deadline) {
+                        failures.push(format!("{rung} attempt {attempt}: deadline expired"));
                         break 'climb;
                     }
                     retries += 1;
@@ -389,7 +396,7 @@ impl<'a> Ladder<'a> {
                 let quarantine = self.catalog.quarantine_report(&report);
                 LadderResult {
                     outcome: Outcome::Optimized { rung },
-                    plan,
+                    plan: Arc::new(plan),
                     report: Some(report),
                     quarantine,
                     panics,
@@ -399,7 +406,7 @@ impl<'a> Ladder<'a> {
             }
             None => LadderResult {
                 outcome: Outcome::Passthrough,
-                plan: q.clone(),
+                plan: Arc::clone(q),
                 report: None,
                 quarantine: QuarantineReport::default(),
                 panics,
@@ -540,7 +547,7 @@ mod tests {
             backoff: Duration::from_micros(50),
             ..RequestOptions::default()
         };
-        let r = ladder.run(1, &tower(4), &opts, None);
+        let r = ladder.run(1, &Arc::new(tower(4)), &opts, None);
         assert_eq!(r.outcome, Outcome::Optimized { rung: Rung::Fast });
         assert_eq!(r.retries, 1);
         assert_eq!(r.failures.len(), 1);
@@ -566,7 +573,7 @@ mod tests {
             backoff: Duration::from_micros(50),
             ..RequestOptions::default()
         };
-        let r = ladder.run(2, &tower(4), &opts, None);
+        let r = ladder.run(2, &Arc::new(tower(4)), &opts, None);
         assert_eq!(
             r.outcome,
             Outcome::Optimized {
@@ -595,7 +602,7 @@ mod tests {
             backoff: Duration::from_micros(50),
             ..RequestOptions::default()
         };
-        let q = tower(4);
+        let q = Arc::new(tower(4));
         let r = ladder.run(3, &q, &opts, None);
         assert_eq!(r.outcome, Outcome::Passthrough);
         assert_eq!(r.plan, q);

@@ -54,6 +54,7 @@
 //! the boxed reference engine (see `tests/service.rs`).
 
 pub mod breaker;
+mod cache;
 pub mod chaos;
 pub mod ladder;
 pub mod metrics;
@@ -63,8 +64,9 @@ pub mod snapshot;
 
 pub use breaker::{Breaker, BreakerEntry, GlobalBreaker};
 pub use chaos::{
-    generate_clean_request, percentile, run_chaos, run_clean_stream, ChaosConfig, ChaosReport,
-    CleanConfig, CleanReport, PEAK_ARENA_BOUND,
+    generate_clean_request, percentile, run_chaos, run_clean_stream, run_repeated_stream,
+    ChaosConfig, ChaosReport, CleanConfig, CleanReport, RepeatedConfig, RepeatedReport,
+    PEAK_ARENA_BOUND,
 };
 pub use ladder::{Ladder, LadderResult, ReferenceRung, RetryPark, Rung};
 pub use metrics::{conservation_violations, ServiceMetrics};

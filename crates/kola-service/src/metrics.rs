@@ -5,16 +5,26 @@
 //! service is quiescent (every submitted request has been answered):
 //!
 //! ```text
-//! submitted == overloaded + rejected_invalid + admitted
-//! admitted  == optimized_fast + optimized_reference + passthrough
-//!              + completed_invalid + panicked
+//! submitted  == overloaded + rejected_invalid + admitted + cache_hits
+//! admitted   == optimized_fast + optimized_reference + passthrough
+//!               + completed_invalid + panicked
+//! cache_hits == Σ cache_served[label]
 //! ```
 //!
 //! The first partitions admissions (shed at the door, rejected at the door,
-//! queued), the second partitions completions (each admitted request bumps
-//! exactly one terminal counter before its reply is sent, so a client that
-//! has every reply in hand can check the books). The chaos soak asserts
-//! both over its full run ([`conservation_violations`]).
+//! queued, or answered at the door from the plan cache — a cache hit never
+//! consumes queue depth or a worker, so it is its own admission class), the
+//! second partitions completions (each admitted request bumps exactly one
+//! terminal counter before its reply is sent, so a client that has every
+//! reply in hand can check the books), and the third ties every cache hit
+//! to the outcome taxonomy it was served under. The chaos soak asserts all
+//! three over its full run ([`conservation_violations`]).
+//!
+//! `cache_hits` counts both direct hits (answered on the submitting thread
+//! from a resident entry) and coalesced identical misses (parked on an
+//! in-flight leader, answered from its one engine pass); the latter are
+//! additionally counted in `cache_coalesced`. The leader itself is an
+//! ordinary admitted request — only the waiters are hits.
 
 use kola_obs::{Counter, CounterFamily, Histogram, MaxGauge, Registry, Snapshot};
 use std::sync::Arc;
@@ -45,6 +55,30 @@ pub struct ServiceMetrics {
     /// Panics that reached the worker boundary (answered `Invalid`; counted
     /// here, not in `completed_invalid`, so the books distinguish them).
     pub panicked: Arc<Counter>,
+    /// Plan-cache hits: requests answered without admission (direct hits
+    /// plus coalesced waiters; see module docs).
+    pub cache_hits: Arc<Counter>,
+    /// Plan-cache misses that went on to an engine pass (flight leaders
+    /// and solo computations).
+    pub cache_misses: Arc<Counter>,
+    /// Identical concurrent misses parked on an in-flight leader instead
+    /// of consuming a queue slot (subset of `cache_hits`).
+    pub cache_coalesced: Arc<Counter>,
+    /// Stale-generation entries reclaimed lazily on lookup (the breaker
+    /// generation moved since the plan was derived).
+    pub cache_stale: Arc<Counter>,
+    /// Entries displaced by CLOCK/second-chance eviction.
+    pub cache_evicted: Arc<Counter>,
+    /// Plans inserted into the cache by flight leaders.
+    pub cache_insertions: Arc<Counter>,
+    /// Cache hits by the outcome they served, labeled
+    /// `fast` / `reference` / `passthrough` / `invalid` (only `fast` plans
+    /// are inserted today; the full taxonomy keeps the conservation
+    /// cross-check honest if that ever widens).
+    pub cache_served: Arc<CounterFamily>,
+    /// Submit-to-reply latency (µs) of direct cache hits — the headline
+    /// "served without touching a worker engine" number.
+    pub cache_hit_latency_us: Arc<Histogram>,
     /// Ladder retries taken (all rungs).
     pub retries: Arc<Counter>,
     /// Poison-rule panics caught *and classified* by the ladder.
@@ -101,6 +135,17 @@ impl ServiceMetrics {
             passthrough: registry.counter("passthrough"),
             completed_invalid: registry.counter("completed_invalid"),
             panicked: registry.counter("panicked"),
+            cache_hits: registry.counter("cache_hits"),
+            cache_misses: registry.counter("cache_misses"),
+            cache_coalesced: registry.counter("cache_coalesced"),
+            cache_stale: registry.counter("cache_stale"),
+            cache_evicted: registry.counter("cache_evicted"),
+            cache_insertions: registry.counter("cache_insertions"),
+            cache_served: registry.family(
+                "cache_served",
+                ["fast", "reference", "passthrough", "invalid"],
+            ),
+            cache_hit_latency_us: registry.histogram("cache_hit_latency_us", &pow2_bounds(us_cap)),
             retries: registry.counter("retries"),
             caught_panics: registry.counter("caught_panics"),
             gate_degradations: registry.counter("gate_degradations"),
@@ -148,15 +193,18 @@ fn pow2_bounds(cap: u64) -> Vec<u64> {
 pub fn conservation_violations(s: &Snapshot) -> Vec<String> {
     let mut v = Vec::new();
     let submitted = s.counter("submitted");
-    let admissions =
-        s.counter("overloaded") + s.counter("rejected_invalid") + s.counter("admitted");
+    let admissions = s.counter("overloaded")
+        + s.counter("rejected_invalid")
+        + s.counter("admitted")
+        + s.counter("cache_hits");
     if submitted != admissions {
         v.push(format!(
-            "admission books unbalanced: submitted {} != overloaded {} + rejected_invalid {} + admitted {}",
+            "admission books unbalanced: submitted {} != overloaded {} + rejected_invalid {} + admitted {} + cache_hits {}",
             submitted,
             s.counter("overloaded"),
             s.counter("rejected_invalid"),
             s.counter("admitted"),
+            s.counter("cache_hits"),
         ));
     }
     let admitted = s.counter("admitted");
@@ -174,6 +222,13 @@ pub fn conservation_violations(s: &Snapshot) -> Vec<String> {
             s.counter("passthrough"),
             s.counter("completed_invalid"),
             s.counter("panicked"),
+        ));
+    }
+    let hits = s.counter("cache_hits");
+    let served: u64 = s.family("cache_served").iter().map(|(_, n)| n).sum();
+    if hits != served {
+        v.push(format!(
+            "cache books unbalanced: cache_hits {hits} != Σ cache_served {served}",
         ));
     }
     v
@@ -201,6 +256,14 @@ mod tests {
         let v = conservation_violations(&m.snapshot());
         assert_eq!(v.len(), 1);
         assert!(v[0].contains("admission books"));
+        // A cache hit is its own admission class…
+        m.cache_hits.inc();
+        // …but must be tied to the outcome it served.
+        let v = conservation_violations(&m.snapshot());
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("cache books"));
+        m.cache_served.add_index(0, 1);
+        assert!(conservation_violations(&m.snapshot()).is_empty());
     }
 
     #[test]

@@ -165,7 +165,9 @@ pub struct Response {
     pub outcome: Outcome,
     /// The plan: the optimized query, or the input itself on
     /// [`Outcome::Passthrough`]. `None` only for `Overloaded`/`Invalid`.
-    pub plan: Option<Query>,
+    /// Shared by `Arc` so the plan cache can answer a hit — and a
+    /// passthrough can return its input — without deep-copying the term.
+    pub plan: Option<Arc<Query>>,
     /// The successful rung's rewrite report, untouched — byte-identical to
     /// what a direct [`kola_rewrite::Runner`] run would report.
     pub report: Option<RewriteReport>,

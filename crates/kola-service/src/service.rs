@@ -46,6 +46,7 @@
 //! keeps its warm engine afterwards.
 
 use crate::breaker::Breaker;
+use crate::cache::{CacheKey, CachedPlan, Claim, PlanCache, Probe};
 use crate::ladder::{Ladder, ReferenceRung, RetryPark, Rung};
 use crate::metrics::ServiceMetrics;
 use crate::request::{Outcome, Payload, Request, Response};
@@ -92,6 +93,14 @@ pub struct ServiceConfig {
     /// ring shard keeps the most recent this-many of *its* traces and
     /// counts evictions; the fleet-wide odometers sum the shards.
     pub trace_capacity: usize,
+    /// Total plan-cache capacity (resident normalized plans across all
+    /// cache shards). `0` disables the cache entirely — every request
+    /// takes the worker path, which is what the parity suite compares
+    /// against.
+    pub cache_capacity: usize,
+    /// Plan-cache shard count (clamped to at least 1 and at most the
+    /// capacity). More shards, less submit-side lock contention.
+    pub cache_shards: usize,
 }
 
 impl Default for ServiceConfig {
@@ -105,6 +114,8 @@ impl Default for ServiceConfig {
             verify: false,
             tracing: false,
             trace_capacity: 1024,
+            cache_capacity: 2048,
+            cache_shards: 8,
         }
     }
 }
@@ -115,6 +126,11 @@ struct Job {
     submitted: Instant,
     deadline: Option<Instant>,
     reply: mpsc::Sender<Response>,
+    /// The single-flight leadership ticket: `Some` iff this job registered
+    /// the in-flight marker for its cache key at admission. The worker
+    /// must complete it exactly once — insert the response if cacheable,
+    /// answer every coalesced waiter either way.
+    cache: Option<CacheKey>,
 }
 
 /// One worker's slice of the admission queue. Enqueue and dequeue touch
@@ -158,6 +174,9 @@ struct Shared {
     /// Per-worker interruptible-backoff slots (indexed like `shards`):
     /// submissions landing on a shard cut its worker's retry backoff short.
     parks: Vec<RetryPark>,
+    /// The fingerprint-keyed normalized-plan cache (see [`crate::cache`]);
+    /// `None` when [`ServiceConfig::cache_capacity`] is zero.
+    cache: Option<PlanCache>,
 }
 
 /// A ticket for a queued request; [`Pending::wait`] blocks for the reply.
@@ -233,6 +252,8 @@ impl Service {
                 .tracing
                 .then(|| ShardedTraceRing::new(workers_n, config.trace_capacity)),
             parks: (0..workers_n).map(|_| RetryPark::new()).collect(),
+            cache: (config.cache_capacity > 0)
+                .then(|| PlanCache::new(config.cache_capacity, config.cache_shards)),
         });
         let workers = (0..workers_n)
             .map(|i| {
@@ -276,6 +297,38 @@ impl Service {
                 ));
             }
         }
+        let submitted = Instant::now();
+        let deadline = request.options.timeout.map(|t| submitted + t);
+        let (tx, rx) = mpsc::channel();
+        // Plan-cache consult, BEFORE admission: a hit is answered right
+        // here on the submitting thread — no queue slot, no worker, no
+        // engine. An identical in-flight miss parks this sender on the
+        // leader. Both paths re-validate the breaker generation so no
+        // stale-generation plan is ever served (see `crate::cache`).
+        let key = self
+            .shared
+            .cache
+            .as_ref()
+            .and_then(|_| PlanCache::key_of(&request));
+        if let (Some(cache), Some(k)) = (self.shared.cache.as_ref(), &key) {
+            let gen = self.shared.breaker.generation();
+            match cache.probe(k, gen, id, submitted, &tx, &self.shared.metrics) {
+                Probe::Hit(value) => {
+                    if self.shared.breaker.generation() == gen {
+                        return Ok(self.serve_hit(id, submitted, &value, &tx, rx));
+                    }
+                    // The rule set moved between the generation read and
+                    // the lookup: fall through to the worker path rather
+                    // than risk a stale plan.
+                }
+                Probe::Coalesced => {
+                    self.shared.metrics.cache_hits.inc();
+                    self.shared.metrics.cache_coalesced.inc();
+                    return Ok(Pending { id, rx });
+                }
+                Probe::Miss => {}
+            }
+        }
         // Reserve a queue slot optimistically; losing a race just retries
         // the compare-exchange against the fresher value.
         let mut depth = self.shared.depth.load(Ordering::Relaxed);
@@ -298,16 +351,39 @@ impl Service {
                 Err(current) => depth = current,
             }
         }
+        // Re-decide under the shard lock now that a slot is held: an
+        // identical leader may have completed (serve the fresh entry and
+        // release the slot) or registered (park as a waiter and release
+        // the slot) between the probe and here; otherwise this request
+        // either becomes the flight leader or proceeds solo.
+        let mut ticket = None;
+        if let (Some(cache), Some(k)) = (self.shared.cache.as_ref(), key) {
+            let gen = self.shared.breaker.generation();
+            match cache.claim(k, gen, id, submitted, &tx, &self.shared.metrics) {
+                Claim::Hit(value) => {
+                    if self.shared.breaker.generation() == gen {
+                        self.shared.depth.fetch_sub(1, Ordering::AcqRel);
+                        return Ok(self.serve_hit(id, submitted, &value, &tx, rx));
+                    }
+                }
+                Claim::Coalesced => {
+                    self.shared.depth.fetch_sub(1, Ordering::AcqRel);
+                    self.shared.metrics.cache_hits.inc();
+                    self.shared.metrics.cache_coalesced.inc();
+                    return Ok(Pending { id, rx });
+                }
+                Claim::Lead(k) => ticket = Some(k),
+                Claim::Solo => {}
+            }
+        }
         self.shared.metrics.queue_depth.record(depth as u64 + 1);
-        let submitted = Instant::now();
-        let deadline = request.options.timeout.map(|t| submitted + t);
-        let (tx, rx) = mpsc::channel();
         let job = Job {
             id,
             request,
             submitted,
             deadline,
             reply: tx,
+            cache: ticket,
         };
         let cursor = self.shared.next_shard.fetch_add(1, Ordering::Relaxed);
         let target = cursor % self.shared.shards.len();
@@ -328,6 +404,28 @@ impl Service {
             Ok(pending) => pending.wait(),
             Err(rejection) => rejection,
         }
+    }
+
+    /// Answer a cache hit on the submitting thread: clone handles, stamp
+    /// the id and latency, send, and hand back the ticket. The plan itself
+    /// is never copied — the response shares the cached `Arc`.
+    fn serve_hit(
+        &self,
+        id: u64,
+        submitted: Instant,
+        value: &CachedPlan,
+        tx: &mpsc::Sender<Response>,
+        rx: mpsc::Receiver<Response>,
+    ) -> Pending {
+        let m = &self.shared.metrics;
+        m.cache_hits.inc();
+        m.cache_served.add_index(value.served_index(), 1);
+        let mut response = value.response(id);
+        response.latency = submitted.elapsed();
+        m.cache_hit_latency_us
+            .record(response.latency.as_micros() as u64);
+        let _ = tx.send(response);
+        Pending { id, rx }
     }
 
     /// The cross-request circuit breaker (observe trips, reset rules).
@@ -458,10 +556,13 @@ fn worker_loop(shared: &Shared, index: usize) {
     // Bind this thread to its backoff slot so submissions can interrupt an
     // in-progress retry wait.
     shared.parks[index].register();
-    while let Some(job) = next_job(shared, index) {
+    while let Some(mut job) = next_job(shared, index) {
         let id = job.id;
         let submitted = job.submitted;
         let reply = job.reply.clone();
+        // Take the single-flight ticket out before the panic boundary so a
+        // handler panic still retires the flight (waiters must never hang).
+        let ticket = job.cache.take();
         let busy = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| handle(shared, job, &mut state, index)));
         let response = outcome.unwrap_or_else(|_| {
@@ -477,6 +578,19 @@ fn worker_loop(shared: &Shared, index: usize) {
             r.latency = submitted.elapsed();
             r
         });
+        if let (Some(cache), Some(key)) = (shared.cache.as_ref(), &ticket) {
+            // Retire the flight this job led: insert the response if it is
+            // cacheable and the rule set did not move while it was being
+            // computed (`state.snapshot.epoch` is the epoch the ladder ran
+            // under), and answer every coalesced waiter from it either way.
+            cache.complete(
+                key,
+                &response,
+                state.snapshot.epoch,
+                shared.breaker.generation(),
+                &shared.metrics,
+            );
+        }
         flush_engine_stats(shared, &mut state);
         shared
             .metrics
@@ -609,7 +723,7 @@ fn handle<'a>(shared: &'a Shared, job: Job, state: &mut WorkerState<'a>, index: 
             gate_error = Some(format!("semantic gate: {e}"));
             m.gate_degradations.inc();
             result.outcome = Outcome::Passthrough;
-            result.plan = (*input).clone();
+            result.plan = Arc::clone(&input);
             result.report = None;
             result.quarantine = QuarantineReport::default();
         }

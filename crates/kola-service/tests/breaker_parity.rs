@@ -141,6 +141,58 @@ fn trip_lands_exactly_at_threshold() {
 }
 
 #[test]
+fn unregistered_ids_survive_concurrent_charge_many_from_every_shard() {
+    // The locked-map fallback is the lane for rule ids the breaker never
+    // saw at construction (a catalog extended after service start). Batch
+    // charges that mix registered slots with two such ghosts, from every
+    // worker shard concurrently, and require that the fallback loses
+    // nothing: exact trip counts, exactly one opening per rule, and the
+    // generation arithmetic intact.
+    const THREADS: usize = 8;
+    const OPS: u64 = 400;
+    const BATCH: [&str; 4] = ["app", "ghost-a", "e121", "ghost-b"];
+    let breaker = Breaker::sharded(5, THREADS, REGISTERED);
+    std::thread::scope(|scope| {
+        for shard in 0..THREADS {
+            let breaker = &breaker;
+            scope.spawn(move || {
+                for op in 0..OPS {
+                    breaker.charge_many(shard, BATCH, (shard as u64) << 32 | op);
+                }
+            });
+        }
+    });
+    let expected = THREADS * OPS as usize;
+    for rule in BATCH {
+        let e = breaker
+            .entry(rule)
+            .expect("every charged rule has an entry");
+        assert_eq!(e.trips, expected, "{rule}: charges were lost");
+        assert!(e.open, "{rule}: threshold 5 was crossed {expected} times");
+        assert!(breaker.is_open(rule));
+        assert!(e.first_request.is_some() && e.last_request.is_some());
+    }
+    // Each of the four rules opened exactly once, no reopenings, and every
+    // generation bump is accounted for.
+    assert_eq!(breaker.opened_total(), BATCH.len() as u64);
+    assert_eq!(breaker.reset_total(), 0);
+    assert_eq!(
+        breaker.generation(),
+        breaker.opened_total() + breaker.reset_total()
+    );
+    // Resetting a ghost goes through the same fallback map and clears it
+    // completely — entry gone, not just closed.
+    assert!(breaker.reset("ghost-a"));
+    assert!(!breaker.is_open("ghost-a"));
+    assert!(breaker.entry("ghost-a").is_none());
+    assert_eq!(breaker.reset_total(), 1);
+    assert_eq!(
+        breaker.generation(),
+        breaker.opened_total() + breaker.reset_total()
+    );
+}
+
+#[test]
 fn operator_resets_race_concurrent_charges_without_losing_coherence() {
     // True races cannot be compared against a serial spec; what must hold
     // on the sharded breaker regardless of interleaving:

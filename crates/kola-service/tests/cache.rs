@@ -1,0 +1,286 @@
+//! The plan cache's external contract, proven through the public service
+//! surface:
+//!
+//! 1. **Transparency** (`cache_on_is_byte_identical_to_cache_off`): across
+//!    500 seeded request streams — repeated pool queries in both text and
+//!    AST form, unique queries, injected rule faults that trip breakers
+//!    mid-stream, forced rung failures, and operator reset sweeps — a
+//!    cache-enabled service answers byte-identically to a cache-disabled
+//!    one, response by response. The cache may change *where* an answer
+//!    comes from, never *what* it is.
+//! 2. **Single-flight** (`identical_concurrent_misses_coalesce_onto_one_leader`):
+//!    N concurrent identical misses cost one engine pass; the other N−1
+//!    park on the leader and are served its answer.
+//! 3. **Invalidation** (`breaker_trip_invalidates_resident_plans`): a
+//!    breaker trip makes every resident plan stale; the next identical
+//!    request recomputes under the new rule set and re-caches.
+//!
+//! The cache's internal mechanics (CLOCK eviction, key aliasing, epoch
+//! reclaim) are unit-tested in `src/cache.rs`.
+
+use kola::parse::parse_query;
+use kola_exec::rng::{splitmix64, Rng};
+use kola_rewrite::{FaultKind, FaultPlan, FaultSpec, StepSelector};
+use kola_service::{Outcome, Request, RequestOptions, Response, Rung, Service, ServiceConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn id_tower_text(height: usize) -> String {
+    let mut s = String::new();
+    for _ in 0..height {
+        s.push_str("id . ");
+    }
+    s.push_str("age ! P");
+    s
+}
+
+/// Everything a client can observe about a response except the id (the
+/// two services number independently-submitted streams identically, but
+/// keep the comparison honest) and the latency (wall-clock, not semantic).
+fn fingerprint(r: &Response) -> String {
+    format!(
+        "{:?} | {:?} | {:?} | {:?} | retries={} | panics={} | {:?}",
+        r.outcome,
+        r.plan,
+        r.report,
+        r.quarantine,
+        r.retries,
+        r.panics.len(),
+        r.error
+    )
+}
+
+/// One deterministic parity request. No wall-clock options (timeouts and
+/// deadlines make outcomes timing-dependent with or without a cache);
+/// backoffs are microscopic so fault lanes don't stall the suite.
+fn gen_parity_request(rng: &mut Rng, op: usize, ast_pool: &[Arc<kola::term::Query>]) -> Request {
+    let tiny_backoff = RequestOptions {
+        backoff: Duration::from_micros(10),
+        ..RequestOptions::default()
+    };
+    let roll = rng.gen_range(0..100usize);
+    if roll < 45 {
+        // Repeated text pool: the cache's bread and butter.
+        Request::text(id_tower_text(2 + rng.gen_range(0..6usize)))
+    } else if roll < 60 {
+        // Repeated AST pool: the no-parse submission path, same cache.
+        Request::ast(Arc::clone(&ast_pool[rng.gen_range(0..ast_pool.len())]))
+    } else if roll < 75 {
+        // Unique query: always a miss, fills and churns the cache.
+        Request::text(format!("gt ? [{}, 2]", op + 3))
+    } else if roll < 90 {
+        // Deterministic rule fault: uncacheable by design, charges the
+        // breaker — this is what trips rules (and flips the cache
+        // generation) mid-stream.
+        Request::text(id_tower_text(2 + rng.gen_range(0..4usize))).with_options(RequestOptions {
+            faults: FaultPlan::new().with(FaultSpec {
+                rule_id: if rng.gen_bool(0.5) { "app" } else { "e121" }.to_string(),
+                at: StepSelector::Steps(vec![rng.gen_range(0..2usize)]),
+                kind: FaultKind::Fail,
+            }),
+            ..tiny_backoff
+        })
+    } else {
+        // Forced fast-rung failure: uncacheable, answered by the
+        // reference rung on both services.
+        Request::text(id_tower_text(1 + rng.gen_range(0..4usize))).with_options(RequestOptions {
+            force_fail: vec![Rung::Fast],
+            ..tiny_backoff
+        })
+    }
+}
+
+fn parity_service(cache_capacity: usize) -> Service {
+    Service::start(ServiceConfig {
+        workers: 1,
+        cache_capacity,
+        // Low enough that the fault lane trips rules inside a 30-request
+        // stream — every trip is a snapshot swap the cache must survive.
+        breaker_threshold: 3,
+        ..ServiceConfig::default()
+    })
+}
+
+#[test]
+fn cache_on_is_byte_identical_to_cache_off() {
+    let seeds: u64 = std::env::var("CACHE_PARITY_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(500);
+    const OPS: usize = 30;
+    let ast_pool: Vec<Arc<kola::term::Query>> = (2..5)
+        .map(|h| Arc::new(parse_query(&id_tower_text(h)).expect("pool parses")))
+        .collect();
+    let (mut total_hits, mut total_stale) = (0u64, 0u64);
+    let mut master = 0xCAC4E_u64;
+    for i in 0..seeds {
+        let seed = splitmix64(&mut master) ^ i;
+        let cached = parity_service(2_048);
+        let uncached = parity_service(0);
+        let mut rng = Rng::seed_from_u64(seed);
+        for op in 0..OPS {
+            let request = gen_parity_request(&mut rng, op, &ast_pool);
+            let a = cached.call(request.clone());
+            let b = uncached.call(request);
+            assert_eq!(
+                fingerprint(&a),
+                fingerprint(&b),
+                "seed {seed:#x} op {op}: cache-on diverged from cache-off"
+            );
+            // Periodic operator reset sweep — identical on both sides
+            // because the charge streams are identical (cache hits only
+            // happen for requests that charge nothing). Every reset of an
+            // open rule is another generation bump mid-stream.
+            if op % 11 == 10 {
+                let open = cached.breaker().open_rules();
+                assert_eq!(
+                    open,
+                    uncached.breaker().open_rules(),
+                    "seed {seed:#x} op {op}"
+                );
+                for rule in open {
+                    cached.breaker().reset(&rule);
+                    uncached.breaker().reset(&rule);
+                }
+            }
+        }
+        let s = cached.metrics_snapshot();
+        total_hits += s.counter("cache_hits");
+        total_stale += s.counter("cache_stale");
+        assert_eq!(
+            uncached.metrics_snapshot().counter("cache_hits"),
+            0,
+            "a zero-capacity cache must never hit"
+        );
+    }
+    // The suite exercised what it claims to: plenty of hits, and stale
+    // reclaims prove invalidation ran while plans were resident.
+    assert!(total_hits > 0, "parity streams never hit the cache");
+    assert!(
+        total_stale > 0,
+        "parity streams never reclaimed a stale plan (no trip landed while a plan was resident)"
+    );
+}
+
+#[test]
+fn identical_concurrent_misses_coalesce_onto_one_leader() {
+    let service = Service::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 32,
+        ..ServiceConfig::default()
+    });
+    // The leader holds its worker long enough for the followers to submit
+    // while the flight is open. `hold_for` is pacing, not key material —
+    // the followers carry default options and still share the key.
+    let src = id_tower_text(5);
+    let leader = service
+        .submit(Request::text(src.clone()).with_options(RequestOptions {
+            hold_for: Some(Duration::from_millis(300)),
+            ..RequestOptions::default()
+        }))
+        .expect("leader admitted");
+    let followers: Vec<_> = (0..5)
+        .map(|_| {
+            service
+                .submit(Request::text(src.clone()))
+                .expect("follower accepted")
+        })
+        .collect();
+    let lead_response = leader.wait();
+    let follower_responses: Vec<Response> = followers.into_iter().map(|p| p.wait()).collect();
+
+    assert_eq!(
+        lead_response.outcome,
+        Outcome::Optimized { rung: Rung::Fast }
+    );
+    for f in &follower_responses {
+        assert_eq!(f.outcome, lead_response.outcome);
+        assert_eq!(f.plan, lead_response.plan, "waiters get the leader's plan");
+        assert_eq!(f.report, lead_response.report);
+    }
+    let s = service.metrics_snapshot();
+    assert_eq!(
+        s.counter("cache_coalesced"),
+        5,
+        "five waiters parked on the flight"
+    );
+    assert_eq!(s.counter("admitted"), 1, "one engine pass for six requests");
+    assert_eq!(
+        s.counter("cache_hits"),
+        5,
+        "coalesced waiters count as hits"
+    );
+
+    // The flight retired into a resident entry: the next identical
+    // request is a direct hit, still with no admission.
+    let again = service.call(Request::text(src));
+    assert_eq!(again.outcome, lead_response.outcome);
+    assert_eq!(again.plan, lead_response.plan);
+    let s = service.metrics_snapshot();
+    assert_eq!(s.counter("admitted"), 1);
+    assert_eq!(s.counter("cache_hits"), 6);
+    assert_eq!(
+        s.counter("cache_hits"),
+        s.family("cache_served")
+            .iter()
+            .map(|(_, n)| *n)
+            .sum::<u64>(),
+        "every hit was served"
+    );
+}
+
+#[test]
+fn breaker_trip_invalidates_resident_plans() {
+    let service = Service::start(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let src = id_tower_text(6);
+
+    let first = service.call(Request::text(src.clone()));
+    assert_eq!(first.outcome, Outcome::Optimized { rung: Rung::Fast });
+    let second = service.call(Request::text(src.clone()));
+    assert_eq!(fmt_plan(&second), fmt_plan(&first));
+    let s = service.metrics_snapshot();
+    assert_eq!(s.counter("cache_insertions"), 1);
+    assert_eq!(s.counter("cache_hits"), 1);
+
+    // Operator-visible trip: open a rule directly. Generation moves, so
+    // the resident plan — computed under the old rule set — is dead.
+    for i in 0..10 {
+        service.breaker().charge("11", 1_000 + i);
+    }
+    assert!(service.breaker().is_open("11"));
+
+    let third = service.call(Request::text(src.clone()));
+    assert_eq!(
+        third.outcome,
+        Outcome::Optimized { rung: Rung::Fast },
+        "recompute under the reduced rule set still answers"
+    );
+    let s = service.metrics_snapshot();
+    assert_eq!(s.counter("cache_hits"), 1, "the stale entry must not serve");
+    assert_eq!(
+        s.counter("cache_stale"),
+        1,
+        "the stale entry was reclaimed on sight"
+    );
+    assert_eq!(s.counter("cache_insertions"), 2, "the recompute re-cached");
+
+    // And the re-cached plan serves under the new generation.
+    let fourth = service.call(Request::text(src));
+    assert_eq!(fmt_plan(&fourth), fmt_plan(&third));
+    assert_eq!(service.metrics_snapshot().counter("cache_hits"), 2);
+
+    // Reset moves the generation again: resident plans die once more.
+    service.breaker().reset("11");
+    let fifth = service.call(Request::text(id_tower_text(6)));
+    assert_eq!(fifth.outcome, Outcome::Optimized { rung: Rung::Fast });
+    assert_eq!(fmt_plan(&fifth), fmt_plan(&first), "full rule set is back");
+    let s = service.metrics_snapshot();
+    assert_eq!(s.counter("cache_stale"), 2);
+}
+
+fn fmt_plan(r: &Response) -> String {
+    format!("{:?}", r.plan)
+}

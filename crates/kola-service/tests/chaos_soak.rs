@@ -49,6 +49,14 @@ fn chaos_soak_classifies_every_request_and_escapes_no_panics() {
         assert!(report.optimized_fast > 0, "{}", report.summary());
         assert!(report.passthrough > 0, "{}", report.summary());
         assert!(report.retries > 0, "{}", report.summary());
+        // The repeated lane hit the plan cache, and the poison lanes'
+        // breaker trips invalidated resident entries mid-soak — the
+        // stale-reclaim odometer is the proof invalidation was exercised
+        // (zero *escaped* stale plans is enforced by the taxonomy
+        // cross-checks in `violations()`).
+        assert!(report.cache_hits > 0, "{}", report.summary());
+        assert!(report.cache_misses > 0, "{}", report.summary());
+        assert!(report.cache_stale > 0, "{}", report.summary());
     }
     // Persistent engines really ran (the arena saw terms) and stayed
     // bounded (the bound itself is enforced by `violations()` above).
@@ -66,9 +74,31 @@ fn chaos_soak_classifies_every_request_and_escapes_no_panics() {
     let s = &report.metrics;
     assert_eq!(s.counter("submitted"), report.requests as u64);
     assert_eq!(s.counter("overloaded"), report.overloaded as u64);
-    assert_eq!(s.counter("optimized_fast"), report.optimized_fast as u64);
-    assert_eq!(s.counter("retries"), report.retries as u64);
+    // Fast completions split between worker passes and cache serves; the
+    // sum must equal what clients tallied (also enforced per-outcome by
+    // `violations()` above).
+    let served_fast = s
+        .family("cache_served")
+        .iter()
+        .find(|(l, _)| l == "fast")
+        .map_or(0, |(_, n)| *n);
+    assert_eq!(
+        s.counter("optimized_fast") + served_fast,
+        report.optimized_fast as u64
+    );
+    // A coalesced waiter's reply carries its leader's retry count, so the
+    // client-side tally can exceed the per-computation counter — never
+    // undershoot it.
+    assert!(report.retries as u64 >= s.counter("retries"));
     assert_eq!(s.counter("caught_panics"), report.caught_panics as u64);
+    // The cache books tie out: hits all came from somewhere.
+    assert_eq!(
+        s.counter("cache_hits"),
+        s.family("cache_served")
+            .iter()
+            .map(|(_, n)| *n)
+            .sum::<u64>()
+    );
     // The fault lanes made the fast rung fail at least once, and the
     // engine lanes attributed real work to the per-rule families.
     assert!(s.family("rung_failures").iter().any(|(l, _)| l == "fast"));

@@ -79,7 +79,7 @@ fn service_output_is_byte_identical_to_direct_fast_engine_run() {
             Outcome::Optimized { rung: Rung::Fast },
             "seed {seed}"
         );
-        assert_eq!(response.plan.as_ref(), Some(&direct_q), "seed {seed}");
+        assert_eq!(response.plan.as_deref(), Some(&direct_q), "seed {seed}");
         let report = response.report.expect("fast rung report");
         assert_eq!(report, direct_report, "seed {seed}");
         // Byte-identity, literally: the rendered plans and reports match.
@@ -122,7 +122,7 @@ fn forced_fast_failure_is_byte_identical_to_reference_engine_run() {
             },
             "seed {seed}"
         );
-        assert_eq!(response.plan.as_ref(), Some(&direct_q), "seed {seed}");
+        assert_eq!(response.plan.as_deref(), Some(&direct_q), "seed {seed}");
         assert_eq!(
             response.report.expect("reference rung report"),
             direct_report,
@@ -136,6 +136,10 @@ fn full_queue_sheds_with_structured_overloaded() {
     let service = Service::start(ServiceConfig {
         workers: 1,
         queue_capacity: 2,
+        // This test floods the queue with *identical* requests; with the
+        // plan cache on they would coalesce onto the held leader instead
+        // of occupying queue slots, and nothing would shed.
+        cache_capacity: 0,
         ..ServiceConfig::default()
     });
     let slow = Request::text("id . age ! P").with_options(RequestOptions {
@@ -255,12 +259,12 @@ fn persistent_engine_memo_does_not_leak_across_snapshot_swaps() {
     let r = service.call(Request::ast(q.clone()));
     assert_eq!(r.outcome, Outcome::Optimized { rung: Rung::Fast });
     let (full_q, full_report) = direct_run_for(catalog.forward_ids());
-    assert_eq!(r.plan.as_ref(), Some(&full_q));
+    assert_eq!(r.plan.as_deref(), Some(&full_q));
     assert_eq!(r.report.as_ref(), Some(&full_report));
     // Run it again: this answer may come from the memo — it must still be
     // byte-identical (memo replays are exact).
     let r = service.call(Request::ast(q.clone()));
-    assert_eq!(r.plan.as_ref(), Some(&full_q));
+    assert_eq!(r.plan.as_deref(), Some(&full_q));
     assert_eq!(r.report.as_ref(), Some(&full_report));
 
     // Trip "app": two poisoned requests open its breaker → epoch 1.
@@ -289,7 +293,7 @@ fn persistent_engine_memo_does_not_leak_across_snapshot_swaps() {
         .filter(|id| id != "app")
         .collect();
     let (reduced_q, reduced_report) = direct_run_for(reduced);
-    assert_eq!(r.plan.as_ref(), Some(&reduced_q));
+    assert_eq!(r.plan.as_deref(), Some(&reduced_q));
     assert_eq!(r.report.as_ref(), Some(&reduced_report));
     assert!(
         !r.report.unwrap().rule_stats.contains_key("app"),
@@ -301,7 +305,7 @@ fn persistent_engine_memo_does_not_leak_across_snapshot_swaps() {
     assert!(service.breaker().reset("app"));
     let r = service.call(Request::ast(q.clone()));
     assert_eq!(r.outcome, Outcome::Optimized { rung: Rung::Fast });
-    assert_eq!(r.plan.as_ref(), Some(&full_q));
+    assert_eq!(r.plan.as_deref(), Some(&full_q));
     assert_eq!(r.report.as_ref(), Some(&full_report));
     assert!(
         r.report
@@ -354,7 +358,7 @@ fn deadline_expiry_between_rungs_body() {
     // reaches the reference rung the deadline is dead, so it never runs.
     // Run on an oversized stack, as the service's workers do — engine
     // traversal is depth-clipped but interning a deep input walks it.
-    let q = tower(20_000, "age");
+    let q = Arc::new(tower(20_000, "age"));
     let opts = RequestOptions {
         max_steps: 50_000,
         timeout: Some(Duration::from_millis(3)),
@@ -394,7 +398,7 @@ fn service_deadline_expiry_body() {
         ..RequestOptions::default()
     }));
     assert_eq!(r.outcome, Outcome::Passthrough);
-    assert_eq!(r.plan, Some(q));
+    assert_eq!(r.plan.as_deref(), Some(&q));
     assert!(r.error.is_some(), "failed rung attempts are reported");
 }
 

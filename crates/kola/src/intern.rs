@@ -473,6 +473,51 @@ fn mix(mut x: u64) -> u64 {
     x
 }
 
+/// The structural fingerprint of a borrowed query, computed without an
+/// arena: for every query `q` and every interner `it`,
+/// `query_fp(&q) == it.intern_query(&q).fp()`. One stack-safe post-order
+/// walk that interns (and allocates) nothing beyond its explicit stack —
+/// usable as a cache key on threads that own no interner (the plan cache
+/// in `kola-service` keys on it at submission time). Equal queries always
+/// agree; distinct queries collide with probability ≈ 2⁻⁶⁴, so callers
+/// that key on it must confirm hits structurally.
+pub fn query_fp(q: &Query) -> u64 {
+    // Second stack mirrors `Interner::intern`: fingerprints of completed
+    // subterms, consumed in arity-sized groups by their parent.
+    enum Walk<'a> {
+        Visit(Src<'a>),
+        Build(Tag, Payload, usize),
+    }
+    let mut tasks = vec![Walk::Visit(Src::Q(q))];
+    let mut out: Vec<u64> = Vec::new();
+    while let Some(task) = tasks.pop() {
+        match task {
+            Walk::Visit(src) => {
+                let (tag, payload, kids) = src.decompose();
+                tasks.push(Walk::Build(tag, payload, kids.len()));
+                for k in kids.into_iter().rev() {
+                    tasks.push(Walk::Visit(k));
+                }
+            }
+            Walk::Build(tag, payload, n) => {
+                let kids = out.split_off(out.len() - n);
+                // Exactly `Interner::mk`'s fingerprint computation — the
+                // equality contract above depends on the two never
+                // diverging.
+                let mut fp = mix((tag as u64).wrapping_add(0x9e37_79b9_7f4a_7c15));
+                if !matches!(payload, Payload::None) {
+                    fp = mix(fp ^ payload.hash64());
+                }
+                for k in kids {
+                    fp = mix(fp.rotate_left(13) ^ k);
+                }
+                out.push(fp);
+            }
+        }
+    }
+    out.pop().expect("fp walk yields exactly one value")
+}
+
 /// The hash-cons arena: owns every node it has built and deduplicates
 /// structurally equal constructions.
 #[derive(Debug, Default)]
@@ -646,6 +691,34 @@ mod tests {
         // Shared subterm: `age` inside both is one node.
         let c = it.intern_func(&prim("age"));
         assert!(a.kids()[0].ptr_eq(&c));
+    }
+
+    #[test]
+    fn query_fp_matches_interned_fingerprint() {
+        let mut it = Interner::new();
+        let mut corpus: Vec<Query> = vec![
+            app(Func::Id, ext("P")),
+            app(iterate(kp(true), o(prim("city"), prim("addr"))), ext("P")),
+            Query::Union(Box::new(ext("P")), Box::new(ext("Q"))),
+            Query::Lit(crate::Value::Int(42)),
+            Query::Test(oplus(gt(), prim("age")), Box::new(ext("P"))),
+            Query::PairQ(
+                Box::new(Query::Lit(crate::Value::Str("x".into()))),
+                Box::new(ext("P")),
+            ),
+        ];
+        // A deep chain: the arena-free walk must not recurse.
+        let mut f = prim("age");
+        for _ in 0..50_000 {
+            f = o(Func::Id, f);
+        }
+        corpus.push(app(f, ext("P")));
+        for q in &corpus {
+            assert_eq!(query_fp(q), it.intern_query(q).fp(), "{}", q.size());
+        }
+        // Distinct queries get distinct fingerprints (on this corpus).
+        let fps: std::collections::BTreeSet<u64> = corpus.iter().map(query_fp).collect();
+        assert_eq!(fps.len(), corpus.len());
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod value;
 pub use bag::ValueBag;
 pub use db::Db;
 pub use eval::{eval_func, eval_pred, eval_query, EvalError, MAX_EVAL_DEPTH};
-pub use intern::{ITerm, Interner};
+pub use intern::{query_fp, ITerm, Interner};
 pub use schema::Schema;
 pub use term::{Func, Pred, Query};
 pub use types::{FuncType, Type};

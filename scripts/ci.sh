@@ -11,6 +11,12 @@
 #   --chaos-smoke   additionally run a 100-request chaos soak against the
 #                   optimization service, failing on any escaped panic,
 #                   unclassified request, or semantic-gate violation.
+#   --cache-smoke   additionally run the plan-cache smoke gate: a short
+#                   repeated-traffic soak at a 90% target hit rate (fails
+#                   below 85% achieved, or on any conservation violation)
+#                   plus a cache-on vs cache-off parity stream with a
+#                   breaker trip and reset mid-stream (fails on any
+#                   response divergence).
 #   --obs-smoke     additionally run a traced 600-request chaos soak,
 #                   validate the metrics-conservation verdict, the
 #                   trace-replay tally, and the <5% trace-ring loss bound
@@ -23,11 +29,13 @@ cd "$(dirname "$0")/.."
 BENCH_SMOKE_RUN=0
 CHAOS_SMOKE_RUN=0
 OBS_SMOKE_RUN=0
+CACHE_SMOKE_RUN=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE_RUN=1 ;;
     --chaos-smoke) CHAOS_SMOKE_RUN=1 ;;
     --obs-smoke) OBS_SMOKE_RUN=1 ;;
+    --cache-smoke) CACHE_SMOKE_RUN=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -68,6 +76,12 @@ if [ "$CHAOS_SMOKE_RUN" = 1 ]; then
   echo "== chaos smoke (100-request service soak)"
   CHAOS_REQUESTS=100 \
     cargo run -p kola-service --bin chaos-soak --release --offline
+fi
+
+if [ "$CACHE_SMOKE_RUN" = 1 ]; then
+  echo "== cache smoke (repeated soak + parity with trips/resets)"
+  CACHE_SMOKE_REQUESTS=1200 \
+    cargo run -p kola-service --bin cache-smoke --release --offline
 fi
 
 if [ "$OBS_SMOKE_RUN" = 1 ]; then
