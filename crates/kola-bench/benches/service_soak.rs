@@ -55,13 +55,25 @@
 //! client-tallied caught panics against the metric counter — the
 //! per-row conservation audit.
 //!
+//! **tenant_solo / tenant_noisy** — the noisy-neighbor pair: a clean
+//! victim tenant measured twice on an 8-worker two-tenant service, once
+//! alone and once while an aggressor tenant pours poison-rule panics and
+//! admission floods into the same workers. Both rows report the
+//! *victim's* latency and throughput; the aggressor appears only through
+//! whatever damage it manages. With `BENCH_ENFORCE=1` the pair gates the
+//! isolation claim quantitatively: victim p99 under attack ≤ 2× its solo
+//! p99, and victim throughput ≥ 0.7× solo. The qualitative claims (victim
+//! taxonomy unchanged, no cross-tenant breaker charge or cache
+//! invalidation, balanced per-tenant books) are asserted unconditionally
+//! on both rows via `TenantChaosReport::violations`.
+//!
 //! Emits `BENCH_service.json` (and `BENCH_obs.json`) at the repository
 //! root. `BENCH_SMOKE=1` shrinks the streams for CI.
 
 use kola_bench::smoke_mode;
 use kola_service::{
-    percentile, run_chaos, run_clean_stream, run_repeated_stream, ChaosConfig, ChaosReport,
-    CleanConfig, RepeatedConfig,
+    percentile, run_chaos, run_clean_stream, run_noisy_neighbor, run_repeated_stream, ChaosConfig,
+    ChaosReport, CleanConfig, RepeatedConfig, TenantChaosConfig,
 };
 
 struct Row {
@@ -284,6 +296,68 @@ fn repeated_rows(requests: usize) -> Vec<Row> {
     rows
 }
 
+/// The noisy-neighbor rows: the same clean victim measured solo and under
+/// an aggressor tenant, on one 8-worker two-tenant service each. Row
+/// numbers are the **victim's** view; the aggressor's sheds are printed
+/// but gated only through the victim's degradation.
+fn tenant_rows(requests: usize) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for aggressor in [false, true] {
+        let cfg = TenantChaosConfig {
+            victim_requests: requests,
+            aggressor_requests: requests,
+            aggressor,
+            ..TenantChaosConfig::default()
+        };
+        let report = run_noisy_neighbor(&cfg);
+        let violations = report.violations();
+        assert!(
+            violations.is_empty(),
+            "tenant isolation violated during bench ({}):\n{}",
+            if aggressor { "noisy" } else { "solo" },
+            violations.join("\n")
+        );
+        let mut lat = report.victim.latencies_us.clone();
+        lat.sort_unstable();
+        let row = Row {
+            stream: if aggressor {
+                "tenant_noisy"
+            } else {
+                "tenant_solo"
+            },
+            workers: cfg.workers,
+            requests: report.victim.requests,
+            wall_ms: report.victim_elapsed.as_millis(),
+            throughput_rps: report.victim_throughput_rps(),
+            scaling_efficiency: 1.0,
+            p50_us: percentile(&lat, 50.0),
+            p95_us: percentile(&lat, 95.0),
+            p99_us: percentile(&lat, 99.0),
+            overloaded: report.victim.overloaded,
+            passthrough: report.victim.other,
+            caught_panics: report.victim.caught_panics,
+            peak_arena_nodes: report.peak_arena_nodes,
+            hit_target: 0.0,
+            hit_actual: 0.0,
+            cache_hits: report.metrics.counter("cache_hits"),
+        };
+        row.print();
+        if aggressor {
+            println!(
+                "service/tenant_noisy/{}w: aggressor drove {} req ({} quota sheds, \
+                 {} caught panics, {} breaker trips) without touching the victim",
+                cfg.workers,
+                report.aggressor.requests,
+                report.aggressor.overloaded,
+                report.aggressor.caught_panics,
+                report.aggressor_breaker_opened,
+            );
+        }
+        rows.push(row);
+    }
+    rows
+}
+
 /// throughput_N / (N × throughput_1), against this stream's own 1-worker
 /// row (1.0 for the 1-worker row itself).
 fn efficiency(rows: &[Row], workers: usize, throughput: f64) -> f64 {
@@ -303,6 +377,7 @@ fn main() {
     let (mut rows, obs) = chaos_rows(requests);
     rows.extend(clean_rows(requests));
     rows.extend(repeated_rows(repeated_requests));
+    rows.extend(tenant_rows(requests));
 
     // The CI scaling gates (scripts/ci.sh --bench-smoke sets
     // BENCH_ENFORCE): throughput must actually scale with workers on BOTH
@@ -392,6 +467,41 @@ fn main() {
              baseline (gate: {speedup_gate:.0}x) — hits are not bypassing workers"
         );
         println!("cache gates passed (hits >= 90%, p50 < 10 us, >= {speedup_gate:.0}x baseline)");
+
+        // The noisy-neighbor gates: the victim's service quality under an
+        // aggressor flooding poison at 8 workers must stay within a small
+        // constant of its solo run. The thresholds leave room for the real
+        // cost the aggressor is *allowed* to impose — shared worker time —
+        // while catching the failure modes the tenant walls exist for
+        // (cross-tenant breaker trips recomputing victim plans, quota
+        // exhaustion shedding victim traffic, trace/metric contention).
+        let by_stream = |stream: &str| -> &Row {
+            rows.iter()
+                .find(|r| r.stream == stream)
+                .expect("tenant row")
+        };
+        let solo = by_stream("tenant_solo");
+        let noisy = by_stream("tenant_noisy");
+        let p99_ratio = noisy.p99_us as f64 / (solo.p99_us as f64).max(1e-9);
+        let tput_ratio = noisy.throughput_rps / solo.throughput_rps.max(1e-9);
+        println!(
+            "noisy-neighbor: victim p99 {} -> {} us ({p99_ratio:.2}x), \
+             throughput {:.0} -> {:.0} rps ({tput_ratio:.2}x)",
+            solo.p99_us, noisy.p99_us, solo.throughput_rps, noisy.throughput_rps
+        );
+        assert!(
+            p99_ratio <= 2.0,
+            "isolation gate: victim p99 under attack is {p99_ratio:.2}x its \
+             solo p99 (gate: 2x) — the aggressor is bleeding through the \
+             tenant walls"
+        );
+        assert!(
+            tput_ratio >= 0.7,
+            "isolation gate: victim throughput under attack is only \
+             {tput_ratio:.2}x its solo run (gate: 0.7x) — the aggressor is \
+             starving the victim"
+        );
+        println!("isolation gates passed (victim p99 <= 2x solo, throughput >= 0.7x solo)");
     }
 
     let json = render_json(&rows);
@@ -434,7 +544,10 @@ fn render_json(rows: &[Row]) -> String {
          (single-core host: scaling measures worker concurrency); \
          repeated: Zipf-skewed 32-query pool at a target hit rate plus a unique \
          tail, 8 closed-loop clients, 4 workers, 2 ms stall on worker passes \
-         (cache hits bypass workers entirely)\",\n",
+         (cache hits bypass workers entirely); \
+         tenant_solo/tenant_noisy: clean victim tenant on an 8-worker \
+         two-tenant service, measured alone and under an aggressor tenant's \
+         poison+flood stream (rows report the victim's view)\",\n",
     );
     out.push_str("  \"configs\": [\n");
     for (i, r) in rows.iter().enumerate() {

@@ -529,4 +529,35 @@ mod tests {
         assert!(j.contains("\"p50\": 4"));
         assert!(j.contains("\"x\": 5"));
     }
+
+    /// Tenant names are user-supplied strings that end up as metric names,
+    /// histogram names, and family labels. Hostile names — embedded quotes,
+    /// backslashes, control characters — must come out of `to_json` as
+    /// valid escaped JSON strings, never as raw structure-breaking bytes.
+    #[test]
+    fn hostile_names_and_labels_are_escaped_in_json() {
+        let hostile = "ten\"ant\\evil\nname\u{1}";
+        let r = Registry::new();
+        r.counter(hostile).add(7);
+        r.histogram(&format!("latency/{hostile}"), &[1, 2])
+            .record(1);
+        let f = r.family("tenant_submitted", [hostile, "ok"]);
+        f.add(hostile, 3);
+        let j = r.snapshot().to_json();
+        // The escaped form appears wherever the name was used…
+        let escaped = "ten\\\"ant\\\\evil\\nname\\u0001";
+        assert!(j.contains(&format!("\"{escaped}\": 7")), "{j}");
+        assert!(j.contains(&format!("\"latency/{escaped}\"")), "{j}");
+        assert!(j.contains(&format!("\"{escaped}\": 3")), "{j}");
+        // …and no raw control byte or unescaped quote sequence leaks out.
+        assert!(!j.chars().any(|c| (c as u32) < 0x20 && c != '\n'));
+        assert!(!j.contains("ten\"ant"));
+        assert!(!j.contains("evil\nname"));
+        // Structural sanity: braces and brackets still balance.
+        let balance = |open: char, close: char| {
+            j.chars().filter(|&c| c == open).count() == j.chars().filter(|&c| c == close).count()
+        };
+        assert!(balance('{', '}'));
+        assert!(balance('[', ']'));
+    }
 }

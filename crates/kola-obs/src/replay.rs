@@ -259,6 +259,7 @@ mod tests {
         let r = rewrite_fix_with(&rules, q, &props, &budget, &faults);
         let t = RewriteTrace::record(
             1,
+            Arc::from("default"),
             "reference",
             q,
             Arc::new(active),

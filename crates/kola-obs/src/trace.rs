@@ -47,6 +47,10 @@ pub struct RecordedStep {
 pub struct RewriteTrace {
     /// Service request id the run answered.
     pub request_id: u64,
+    /// Tenant namespace the request ran under (`"default"` for
+    /// single-tenant services). Shared, not cloned: the recorder hands the
+    /// service's own tenant-name `Arc`.
+    pub tenant: Arc<str>,
     /// Ladder rung that produced it (`"fast"` or `"reference"`).
     pub rung: String,
     /// The input query, as submitted.
@@ -88,6 +92,7 @@ impl RewriteTrace {
     #[allow(clippy::too_many_arguments)]
     pub fn record(
         request_id: u64,
+        tenant: Arc<str>,
         rung: &str,
         input: &Query,
         active_rules: Arc<Vec<String>>,
@@ -127,6 +132,7 @@ impl RewriteTrace {
         let r = scratch.intern_query(result);
         RewriteTrace {
             request_id,
+            tenant,
             rung: rung.to_string(),
             input: input.clone(),
             active_rules,
@@ -316,6 +322,7 @@ mod tests {
         let q = Query::Extent(Arc::from("P"));
         RewriteTrace::record(
             id,
+            Arc::from("default"),
             "fast",
             &q,
             Arc::new(vec!["11".into()]),
@@ -351,6 +358,7 @@ mod tests {
         });
         let rec = RewriteTrace::record(
             7,
+            Arc::from("default"),
             "fast",
             &input,
             Arc::new(vec!["11".into()]),
@@ -373,6 +381,7 @@ mod tests {
         // Same run, recorded twice: identical records.
         let rec2 = RewriteTrace::record(
             7,
+            Arc::from("default"),
             "fast",
             &input,
             Arc::new(vec!["11".into()]),

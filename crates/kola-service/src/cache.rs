@@ -27,7 +27,19 @@
 //! - **Single flight.** A miss registers an in-flight marker before it is
 //!   enqueued; concurrent identical misses attach as waiters instead of
 //!   consuming queue slots and engine passes. The leader's completion
-//!   answers every waiter from the one computed response.
+//!   answers every waiter from the one computed response — *when* that
+//!   response is serveable (cacheable, derived at the current generation).
+//!   A leader that failed, degraded, panicked, or raced a generation bump
+//!   instead hands its waiters back to the worker, which requeues each as
+//!   a fresh solo job: a waiter is never answered with a reply its own
+//!   engine pass would not have produced, and never parks past its
+//!   leader's failure.
+//! - **Tenancy.** Keys are salted with the request's resolved tenant
+//!   index, and entries and flights carry the tenant and compare it on
+//!   match — a cross-tenant hit or coalesce is structurally impossible,
+//!   not just 2⁻⁶⁴ unlikely. Because invalidation compares each entry's
+//!   epoch against *its own tenant's* breaker generation, one tenant's
+//!   trip reclaims only that tenant's plans.
 //!
 //! Only *pure* requests participate (no injected faults or forced rung
 //! failures), and only fast-rung successes with no retries, no caught
@@ -95,6 +107,9 @@ struct BudgetKey {
 #[derive(Debug, Clone)]
 pub(crate) struct CacheKey {
     hash: u64,
+    /// Resolved tenant index, folded into `hash` and compared on every
+    /// match: one tenant's lines and flights are invisible to another's.
+    tenant: usize,
     input: KeyInput,
     budget: BudgetKey,
 }
@@ -111,13 +126,15 @@ pub(crate) struct CachedPlan {
 }
 
 impl CachedPlan {
-    /// Materialize the response this plan answers request `id` with.
-    /// Identical to what the worker path produced when the entry was
-    /// inserted: insertion requires no retries, no panics, no failures,
-    /// and no error text, so those fields are constants here.
-    pub(crate) fn response(&self, id: u64) -> Response {
+    /// Materialize the response this plan answers request `id` with,
+    /// labeled for `tenant`. Identical to what the worker path produced
+    /// when the entry was inserted: insertion requires no retries, no
+    /// panics, no failures, and no error text, so those fields are
+    /// constants here.
+    pub(crate) fn response(&self, id: u64, tenant: Arc<str>) -> Response {
         Response {
             id,
+            tenant,
             outcome: self.outcome.clone(),
             plan: Some(Arc::clone(&self.plan)),
             report: self.report.clone(),
@@ -148,17 +165,31 @@ fn served_index(outcome: &Outcome) -> usize {
     }
 }
 
-/// A coalesced identical miss, parked on the leader's flight.
-struct Waiter {
-    id: u64,
-    submitted: Instant,
-    tx: mpsc::Sender<Response>,
+/// A coalesced identical miss, parked on the leader's flight. Carries the
+/// original request so a failed leader's completion can hand the waiter
+/// back to the worker for requeue as a fresh solo job ([`PlanCache::complete`]).
+pub(crate) struct Waiter {
+    /// Service-assigned id of the parked request.
+    pub(crate) id: u64,
+    /// Submission instant (the waiter's latency clock, whether it is
+    /// answered from the leader's pass or requeued).
+    pub(crate) submitted: Instant,
+    /// The parked request's own deadline, carried into the requeued job.
+    pub(crate) deadline: Option<Instant>,
+    /// Resolved tenant index (same as the leader's — cross-tenant
+    /// coalescing is structurally impossible).
+    pub(crate) tenant: usize,
+    /// The parked request, cloned at park time for the requeue path.
+    pub(crate) request: Request,
+    /// The parked submitter's reply channel.
+    pub(crate) tx: mpsc::Sender<Response>,
 }
 
 /// One in-flight leader computation.
 struct Flight {
     input: KeyInput,
     budget: BudgetKey,
+    tenant: usize,
     /// Breaker generation the leader registered under; waiters only
     /// attach at the same generation (a coalesced reply must be the reply
     /// the waiter's own engine pass would have produced).
@@ -170,6 +201,7 @@ struct Flight {
 struct Entry {
     input: KeyInput,
     budget: BudgetKey,
+    tenant: usize,
     /// Breaker generation the plan was derived under; a mismatch with the
     /// reader's generation is staleness, reclaimed on sight.
     epoch: u64,
@@ -264,12 +296,13 @@ impl PlanCache {
         }
     }
 
-    /// Derive the cache key for `request`, or `None` when the request
-    /// must not touch the cache: injected faults and forced rung failures
-    /// make the outcome a function of more than (term, rule set, budget).
-    /// Timeouts, backoff, and holds stay cacheable — they shape *when* a
-    /// plan arrives, never *which* plan (see [`BudgetKey`]).
-    pub(crate) fn key_of(request: &Request) -> Option<CacheKey> {
+    /// Derive the cache key for `request` under resolved tenant index
+    /// `tenant`, or `None` when the request must not touch the cache:
+    /// injected faults and forced rung failures make the outcome a
+    /// function of more than (term, rule set, budget). Timeouts, backoff,
+    /// and holds stay cacheable — they shape *when* a plan arrives, never
+    /// *which* plan (see [`BudgetKey`]).
+    pub(crate) fn key_of(request: &Request, tenant: usize) -> Option<CacheKey> {
         let o = &request.options;
         if !o.faults.is_empty() || !o.force_fail.is_empty() || !o.transient_fail.is_empty() {
             return None;
@@ -294,8 +327,10 @@ impl PlanCache {
         let mut h = DefaultHasher::new();
         salted.hash(&mut h);
         budget.hash(&mut h);
+        tenant.hash(&mut h);
         Some(CacheKey {
             hash: h.finish(),
+            tenant,
             input,
             budget,
         })
@@ -305,18 +340,22 @@ impl PlanCache {
         &self.shards[(hash as usize) % self.shards.len()]
     }
 
-    /// Pre-admission consult at breaker generation `gen`. A [`Probe::Hit`]
-    /// never touches the depth counter; [`Probe::Coalesced`] parks
-    /// `(id, submitted, tx)` on the in-flight leader. Miss decisions are
-    /// re-made under the lock by [`PlanCache::claim`] after the caller has
-    /// reserved a queue slot — the two-step shape keeps the depth CAS out
-    /// of every shard critical section.
+    /// Pre-admission consult at the key's tenant's breaker generation
+    /// `gen`. A [`Probe::Hit`] never touches the depth counter;
+    /// [`Probe::Coalesced`] parks the request on the in-flight leader
+    /// (cloning it, so a failed leader can hand it back for requeue).
+    /// Miss decisions are re-made under the lock by [`PlanCache::claim`]
+    /// after the caller has reserved a queue slot — the two-step shape
+    /// keeps the depth CAS out of every shard critical section.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn probe(
         &self,
         key: &CacheKey,
         gen: u64,
         id: u64,
+        request: &Request,
         submitted: Instant,
+        deadline: Option<Instant>,
         tx: &mpsc::Sender<Response>,
         metrics: &ServiceMetrics,
     ) -> Probe {
@@ -326,12 +365,16 @@ impl PlanCache {
         }
         if let Some(flight) = inner.flights.get_mut(&key.hash) {
             if flight.generation == gen
+                && flight.tenant == key.tenant
                 && flight.budget == key.budget
                 && flight.input.matches(&key.input)
             {
                 flight.waiters.push(Waiter {
                     id,
                     submitted,
+                    deadline,
+                    tenant: key.tenant,
+                    request: request.clone(),
                     tx: tx.clone(),
                 });
                 return Probe::Coalesced;
@@ -345,12 +388,15 @@ impl PlanCache {
     /// may have moved between [`PlanCache::probe`] and here: an identical
     /// leader may have completed (→ [`Claim::Hit`]) or registered
     /// (→ [`Claim::Coalesced`]).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn claim(
         &self,
         key: CacheKey,
         gen: u64,
         id: u64,
+        request: &Request,
         submitted: Instant,
+        deadline: Option<Instant>,
         tx: &mpsc::Sender<Response>,
         metrics: &ServiceMetrics,
     ) -> Claim {
@@ -360,12 +406,16 @@ impl PlanCache {
         }
         if let Some(flight) = inner.flights.get_mut(&key.hash) {
             if flight.generation == gen
+                && flight.tenant == key.tenant
                 && flight.budget == key.budget
                 && flight.input.matches(&key.input)
             {
                 flight.waiters.push(Waiter {
                     id,
                     submitted,
+                    deadline,
+                    tenant: key.tenant,
+                    request: request.clone(),
                     tx: tx.clone(),
                 });
                 return Claim::Coalesced;
@@ -382,6 +432,7 @@ impl PlanCache {
             Flight {
                 input: key.input.clone(),
                 budget: key.budget,
+                tenant: key.tenant,
                 generation: gen,
                 waiters: Vec::new(),
             },
@@ -389,10 +440,18 @@ impl PlanCache {
         Claim::Lead(key)
     }
 
-    /// Leader completion: retire the flight, insert the response when it
-    /// is cacheable (derived at `epoch == gen`, fast rung, pure — see
-    /// module docs), and answer every parked waiter from it. Called by
-    /// the worker after the response is built, panic path included.
+    /// Leader completion: retire the flight and, when the response is
+    /// serveable — cacheable (fast rung, pure) *and* derived at
+    /// `epoch == gen` — insert it and answer every parked waiter from it,
+    /// doing the waiters' hit accounting here (a coalesced park is not a
+    /// hit until its leader actually delivers). Otherwise the waiters are
+    /// returned and the caller **must requeue each as a fresh job**: the
+    /// leader failed, degraded, panicked, or raced a generation bump, so
+    /// its reply is not the reply the waiters' own engine passes would
+    /// produce. Called by the worker after the response is built, panic
+    /// path included — which is what guarantees a waiter never parks past
+    /// its leader's failure.
+    #[must_use = "unserved waiters must be requeued as fresh jobs"]
     pub(crate) fn complete(
         &self,
         key: &CacheKey,
@@ -400,11 +459,12 @@ impl PlanCache {
         epoch: u64,
         gen: u64,
         metrics: &ServiceMetrics,
-    ) {
+    ) -> Vec<Waiter> {
+        let serveable = cacheable_response(response) && epoch == gen;
         let waiters = {
             let mut inner = self.shard(key.hash).lock().unwrap();
             let flight = inner.flights.remove(&key.hash);
-            if cacheable_response(response) && epoch == gen {
+            if serveable {
                 if let Some(plan) = &response.plan {
                     let value = Arc::new(CachedPlan {
                         outcome: response.outcome.clone(),
@@ -417,17 +477,24 @@ impl PlanCache {
             }
             flight.map(|f| f.waiters).unwrap_or_default()
         };
+        if !serveable {
+            return waiters;
+        }
         // Answer waiters outside the shard lock: sends are cheap but
         // there is no reason to serialize other submitters behind them.
         for w in waiters {
+            metrics.cache_hits.inc();
+            metrics.cache_coalesced.inc();
             metrics
                 .cache_served
                 .add_index(served_index(&response.outcome), 1);
+            metrics.tenant_cache_hits.add_index(w.tenant, 1);
             let mut r = response.clone();
             r.id = w.id;
             r.latency = w.submitted.elapsed();
             let _ = w.tx.send(r);
         }
+        Vec::new()
     }
 
     /// Locked lookup: confirm the fingerprint structurally, compare the
@@ -441,7 +508,10 @@ impl PlanCache {
     ) -> Option<Arc<CachedPlan>> {
         let slot = *inner.index.get(&key.hash)?;
         let entry = inner.slots[slot].as_mut()?;
-        if entry.budget != key.budget || !entry.input.matches(&key.input) {
+        if entry.tenant != key.tenant
+            || entry.budget != key.budget
+            || !entry.input.matches(&key.input)
+        {
             return None;
         }
         if entry.epoch != gen {
@@ -475,6 +545,7 @@ impl PlanCache {
         let entry = Entry {
             input: key.input.clone(),
             budget: key.budget,
+            tenant: key.tenant,
             epoch,
             referenced: true,
             value,
@@ -496,7 +567,12 @@ impl PlanCache {
                 let i = inner.hand;
                 inner.hand = (inner.hand + 1) % inner.slots.len();
                 match &mut inner.slots[i] {
-                    Some(e) if e.epoch != epoch => {
+                    // Eager-stale eviction compares epochs only within the
+                    // inserting tenant: another tenant's generation is a
+                    // different counter, and judging its entries by ours
+                    // would let a trip-churning tenant preferentially
+                    // evict its neighbors' fresh plans.
+                    Some(e) if e.tenant == key.tenant && e.epoch != epoch => {
                         victim = Some(i);
                         break;
                     }
@@ -585,21 +661,47 @@ mod tests {
     }
 
     fn key_for(src: &str) -> CacheKey {
-        PlanCache::key_of(&Request::text(src)).expect("pure request")
+        PlanCache::key_of(&Request::text(src), 0).expect("pure request")
     }
 
     #[test]
     fn text_and_ast_forms_never_alias() {
         let q = kola::parse::parse_query("id . age ! P").unwrap();
-        let text = PlanCache::key_of(&Request::text("id . age ! P")).unwrap();
-        let ast = PlanCache::key_of(&Request::ast(q)).unwrap();
+        let text = PlanCache::key_of(&Request::text("id . age ! P"), 0).unwrap();
+        let ast = PlanCache::key_of(&Request::ast(q), 0).unwrap();
         assert_ne!(text.hash, ast.hash);
         // Same payload, different budget: different line.
         let tight = Request::text("id . age ! P").with_options(RequestOptions {
             max_steps: 7,
             ..RequestOptions::default()
         });
-        assert_ne!(PlanCache::key_of(&tight).unwrap().hash, text.hash);
+        assert_ne!(PlanCache::key_of(&tight, 0).unwrap().hash, text.hash);
+        // Same payload, different tenant: different line.
+        assert_ne!(
+            PlanCache::key_of(&Request::text("id . age ! P"), 1)
+                .unwrap()
+                .hash,
+            text.hash
+        );
+    }
+
+    #[test]
+    fn tenant_entries_never_serve_other_tenants() {
+        let cache = PlanCache::new(8, 1);
+        let m = metrics();
+        let for_a = PlanCache::key_of(&Request::text("id . age ! P"), 0).unwrap();
+        let for_b = PlanCache::key_of(&Request::text("id . age ! P"), 1).unwrap();
+        let mut inner = cache.shards[0].lock().unwrap();
+        cache.insert_locked(&mut inner, &for_a, 0, plan_for("age ! P"), &m);
+        // Tenant b misses on the identical query even at the same
+        // generation — and even if the hashes ever collided, the stored
+        // tenant tag would refuse the match.
+        assert!(cache.lookup_locked(&mut inner, &for_b, 0, &m).is_none());
+        assert!(cache.lookup_locked(&mut inner, &for_a, 0, &m).is_some());
+        // b's lines are invalidated by *b's* generation, not a's.
+        cache.insert_locked(&mut inner, &for_b, 3, plan_for("age ! P"), &m);
+        assert!(cache.lookup_locked(&mut inner, &for_b, 3, &m).is_some());
+        assert!(cache.lookup_locked(&mut inner, &for_a, 0, &m).is_some());
     }
 
     #[test]
@@ -613,12 +715,12 @@ mod tests {
             }),
             ..RequestOptions::default()
         });
-        assert!(PlanCache::key_of(&faulted).is_none());
+        assert!(PlanCache::key_of(&faulted, 0).is_none());
         let forced = Request::text("id . age ! P").with_options(RequestOptions {
             force_fail: vec![Rung::Fast],
             ..RequestOptions::default()
         });
-        assert!(PlanCache::key_of(&forced).is_none());
+        assert!(PlanCache::key_of(&forced, 0).is_none());
     }
 
     #[test]
@@ -680,6 +782,7 @@ mod tests {
         let big = Query::App(f, Box::new(Query::Extent(Arc::from("P"))));
         let r = Response {
             id: 0,
+            tenant: Arc::from(crate::tenant::DEFAULT_TENANT),
             outcome: Outcome::Optimized { rung: Rung::Fast },
             plan: Some(Arc::new(big)),
             report: Some(RewriteReport::default()),
@@ -690,5 +793,102 @@ mod tests {
             latency: Duration::ZERO,
         };
         assert!(!cacheable_response(&r));
+    }
+
+    #[test]
+    fn failed_leader_hands_waiters_back_for_requeue() {
+        let cache = PlanCache::new(8, 1);
+        let m = metrics();
+        let req = Request::text("id . age ! P");
+        let key = PlanCache::key_of(&req, 0).unwrap();
+        let now = Instant::now();
+        let (lead_tx, _lead_rx) = mpsc::channel();
+        let Claim::Lead(lead_key) = cache.claim(key.clone(), 0, 1, &req, now, None, &lead_tx, &m)
+        else {
+            panic!("first claim must lead");
+        };
+        // A second identical submission parks on the flight.
+        let (tx, rx) = mpsc::channel();
+        assert!(matches!(
+            cache.probe(&key, 0, 2, &req, now, None, &tx, &m),
+            Probe::Coalesced
+        ));
+        // The leader degrades to passthrough (not serveable): the waiter
+        // comes back for requeue instead of being answered, no hit is
+        // booked, and nothing was sent on its channel.
+        let degraded = Response {
+            id: 1,
+            tenant: Arc::from(crate::tenant::DEFAULT_TENANT),
+            outcome: Outcome::Passthrough,
+            plan: Some(Arc::new(kola::parse::parse_query("age ! P").unwrap())),
+            report: None,
+            quarantine: QuarantineReport::default(),
+            panics: Vec::new(),
+            retries: 1,
+            error: Some("fast: injected".into()),
+            latency: Duration::ZERO,
+        };
+        let unserved = cache.complete(&lead_key, &degraded, 0, 0, &m);
+        assert_eq!(unserved.len(), 1);
+        assert_eq!(unserved[0].id, 2);
+        assert_eq!(unserved[0].tenant, 0);
+        assert_eq!(m.cache_hits.get(), 0);
+        assert_eq!(m.cache_coalesced.get(), 0);
+        assert!(rx.try_recv().is_err(), "waiter must not see the failure");
+        // The flight is retired: the returned request can lead afresh.
+        assert!(matches!(
+            cache.claim(
+                PlanCache::key_of(&unserved[0].request, 0).unwrap(),
+                0,
+                2,
+                &unserved[0].request,
+                now,
+                None,
+                &tx,
+                &m
+            ),
+            Claim::Lead(_)
+        ));
+    }
+
+    #[test]
+    fn successful_leader_answers_waiters_with_hit_accounting() {
+        let cache = PlanCache::new(8, 1);
+        let m = metrics();
+        let req = Request::text("id . age ! P");
+        let key = PlanCache::key_of(&req, 0).unwrap();
+        let now = Instant::now();
+        let (lead_tx, _lead_rx) = mpsc::channel();
+        let Claim::Lead(lead_key) = cache.claim(key.clone(), 0, 1, &req, now, None, &lead_tx, &m)
+        else {
+            panic!("first claim must lead");
+        };
+        let (tx, rx) = mpsc::channel();
+        assert!(matches!(
+            cache.probe(&key, 0, 2, &req, now, None, &tx, &m),
+            Probe::Coalesced
+        ));
+        let ok = Response {
+            id: 1,
+            tenant: Arc::from(crate::tenant::DEFAULT_TENANT),
+            outcome: Outcome::Optimized { rung: Rung::Fast },
+            plan: Some(Arc::new(kola::parse::parse_query("age ! P").unwrap())),
+            report: Some(RewriteReport::default()),
+            quarantine: QuarantineReport::default(),
+            panics: Vec::new(),
+            retries: 0,
+            error: None,
+            latency: Duration::ZERO,
+        };
+        let unserved = cache.complete(&lead_key, &ok, 0, 0, &m);
+        assert!(unserved.is_empty());
+        let reply = rx.try_recv().expect("waiter answered at completion");
+        assert_eq!(reply.id, 2);
+        // Hit accounting happens at completion, once per waiter.
+        assert_eq!(m.cache_hits.get(), 1);
+        assert_eq!(m.cache_coalesced.get(), 1);
+        assert_eq!(m.cache_insertions.get(), 1);
+        let s = m.snapshot();
+        assert_eq!(s.family("tenant_cache_hits"), &[("default".to_string(), 1)]);
     }
 }

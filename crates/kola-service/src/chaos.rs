@@ -440,6 +440,7 @@ pub fn generate_request(rng: &mut Rng, stall: Duration, repeated: f64) -> Reques
         return Request {
             payload: Payload::Text(id_tower_text(2 + pick)),
             options,
+            tenant: None,
         };
     }
     let mut options = RequestOptions {
@@ -526,7 +527,11 @@ pub fn generate_request(rng: &mut Rng, stall: Duration, repeated: f64) -> Reques
             Some(stall + Duration::from_millis(15 + rng.gen_range(0..25usize) as u64));
     }
     options.max_steps = options.max_steps.min(300 + rng.gen_range(0..200usize));
-    Request { payload, options }
+    Request {
+        payload,
+        options,
+        tenant: None,
+    }
 }
 
 /// Run one soak: generate `cfg.requests` seeded requests, drive them
@@ -740,6 +745,7 @@ pub fn generate_clean_request(rng: &mut Rng, stall: Duration) -> Request {
             hold_for: Some(stall),
             ..RequestOptions::default()
         },
+        tenant: None,
     }
 }
 
@@ -930,6 +936,7 @@ pub fn run_repeated_stream(cfg: &RepeatedConfig) -> RepeatedReport {
             hold_for: (!cfg.stall.is_zero()).then_some(cfg.stall),
             ..RequestOptions::default()
         },
+        tenant: None,
     };
     // Prewarm: one sequential pass over the pool fills the cache (a no-op
     // when the cache is disabled), outside the timed window.
@@ -1026,5 +1033,442 @@ pub fn run_repeated_stream(cfg: &RepeatedConfig) -> RepeatedReport {
             report.metrics.counter("caught_panics"),
         ));
     }
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Noisy neighbor: the multi-tenant isolation workload.
+// ---------------------------------------------------------------------------
+
+/// Parameters of one noisy-neighbor run: a clean **victim** tenant served
+/// alongside an **aggressor** tenant that pours poison-rule panics and
+/// admission floods into the same service. Tenant namespaces are the unit
+/// of isolation under test: the aggressor must trip only its own breaker,
+/// invalidate only its own plan-cache lines, and exhaust only its own
+/// admission quota — the victim's outcome taxonomy must be exactly what it
+/// would be running solo (every reply `Optimized { rung: Fast }`, zero
+/// sheds, zero panics). Set [`TenantChaosConfig::aggressor`] to `false`
+/// for the solo baseline the bench compares against.
+#[derive(Debug, Clone)]
+pub struct TenantChaosConfig {
+    /// Requests the victim's closed-loop clients drive in total.
+    pub victim_requests: usize,
+    /// Requests the aggressor's clients drive in total (ignored when
+    /// `aggressor` is off).
+    pub aggressor_requests: usize,
+    /// Master seed; both tenants' streams are pure functions of it.
+    pub seed: u64,
+    /// Worker threads.
+    pub workers: usize,
+    /// Closed-loop victim client threads (keep this at or under
+    /// `tenant_quota`, so a solo victim never sheds).
+    pub victim_clients: usize,
+    /// Aggressor client threads.
+    pub aggressor_clients: usize,
+    /// Work-queue capacity (global backpressure wall).
+    pub queue_capacity: usize,
+    /// Per-tenant admission quota — the noisy-neighbor wall. Sized so the
+    /// aggressor's floods hit it while the victim's closed loop never does.
+    pub tenant_quota: usize,
+    /// Simulated per-request materialization stall (see [`CleanConfig`]).
+    pub stall: Duration,
+    /// Plan-cache capacity (tenant-salted keys; the victim's repeats hit).
+    pub cache_capacity: usize,
+    /// Run the aggressor at all (`false` = solo-victim baseline).
+    pub aggressor: bool,
+    /// Run the semantic gate on every optimized plan.
+    pub verify: bool,
+}
+
+impl Default for TenantChaosConfig {
+    fn default() -> Self {
+        TenantChaosConfig {
+            victim_requests: 2_000,
+            aggressor_requests: 2_000,
+            seed: 0x7E4A47,
+            workers: 8,
+            victim_clients: 4,
+            aggressor_clients: 4,
+            queue_capacity: 64,
+            tenant_quota: 8,
+            stall: Duration::from_millis(2),
+            cache_capacity: 2048,
+            aggressor: true,
+            verify: false,
+        }
+    }
+}
+
+/// One tenant's client-side tally of a noisy-neighbor run.
+#[derive(Debug, Clone, Default)]
+pub struct TenantTally {
+    /// Requests this tenant's clients drove (all of them classified).
+    pub requests: usize,
+    /// `Optimized { rung: Fast }` replies.
+    pub optimized_fast: usize,
+    /// Replies with any other completed outcome (degradations, rejections).
+    pub other: usize,
+    /// Structured sheds at submission (quota or queue).
+    pub overloaded: usize,
+    /// `Invalid` replies.
+    pub invalid: usize,
+    /// Poison-rule panics caught and attributed by the ladder.
+    pub caught_panics: usize,
+    /// Per-request end-to-end latencies, microseconds, unsorted.
+    pub latencies_us: Vec<u64>,
+}
+
+impl TenantTally {
+    fn absorb(&mut self, resp: &crate::request::Response) {
+        self.requests += 1;
+        match resp.outcome {
+            Outcome::Optimized { rung: Rung::Fast } => self.optimized_fast += 1,
+            Outcome::Overloaded => self.overloaded += 1,
+            Outcome::Invalid => self.invalid += 1,
+            _ => self.other += 1,
+        }
+        self.caught_panics += resp.panics.len();
+        self.latencies_us.push(resp.latency.as_micros() as u64);
+    }
+
+    /// Nearest-rank p99 latency in microseconds.
+    pub fn p99_us(&self) -> u64 {
+        let mut sorted = self.latencies_us.clone();
+        sorted.sort_unstable();
+        percentile(&sorted, 99.0)
+    }
+}
+
+/// What a noisy-neighbor run observed.
+#[derive(Debug, Clone, Default)]
+pub struct TenantChaosReport {
+    /// Whether the aggressor ran (`false` = solo baseline).
+    pub aggressor_enabled: bool,
+    /// The clean tenant's client-side tally.
+    pub victim: TenantTally,
+    /// The poison tenant's client-side tally.
+    pub aggressor: TenantTally,
+    /// The victim's breaker generation after the run (must be 0: no
+    /// cross-tenant charge ever reached it).
+    pub victim_breaker_generation: u64,
+    /// Times the aggressor's breaker opened a rule (must be nonzero when
+    /// the aggressor ran — otherwise the aggression never landed and the
+    /// isolation claim was not exercised).
+    pub aggressor_breaker_opened: u64,
+    /// Panics that reached a worker boundary unclassified (must be zero).
+    pub unexpected_panics: usize,
+    /// High-water mark of any worker engine's intern arena, in live nodes.
+    pub peak_arena_nodes: usize,
+    /// Quiescent metric snapshot (per-tenant and aggregate books must
+    /// balance on it).
+    pub metrics: Snapshot,
+    /// Conservation violations in `metrics` (aggregate equations, every
+    /// per-tenant lane, and the Σ-tenant partition checks).
+    pub conservation: Vec<String>,
+    /// Wall-clock from first submit to the victim's last reply — the
+    /// window victim throughput divides by.
+    pub victim_elapsed: Duration,
+    /// Wall-clock of the whole serving window (both tenants drained).
+    pub elapsed: Duration,
+}
+
+impl TenantChaosReport {
+    /// The isolation invariants. Empty means the victim never noticed its
+    /// neighbor.
+    pub fn violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        v.extend(self.conservation.iter().cloned());
+        // The victim's outcome taxonomy must be exactly its solo taxonomy:
+        // every reply optimized on the fast rung.
+        if self.victim.optimized_fast != self.victim.requests {
+            v.push(format!(
+                "victim taxonomy polluted: {} of {} replies fast ({} degraded, \
+                 {} overloaded, {} invalid)",
+                self.victim.optimized_fast,
+                self.victim.requests,
+                self.victim.other,
+                self.victim.overloaded,
+                self.victim.invalid
+            ));
+        }
+        if self.victim.caught_panics != 0 {
+            v.push(format!(
+                "{} poison panics leaked into victim replies",
+                self.victim.caught_panics
+            ));
+        }
+        if self.victim_breaker_generation != 0 {
+            v.push(format!(
+                "victim breaker generation moved to {}: a cross-tenant \
+                 charge landed",
+                self.victim_breaker_generation
+            ));
+        }
+        // All aggressor traffic is uncacheable (every request carries a
+        // fault plan) and the victim's generation never moves, so no cache
+        // line anywhere can go stale: a nonzero reclaim count means some
+        // tenant's entries were invalidated across the namespace wall.
+        if self.metrics.counter("cache_stale") != 0 {
+            v.push(format!(
+                "{} cache entries reclaimed as stale: an invalidation \
+                 crossed the tenant wall",
+                self.metrics.counter("cache_stale")
+            ));
+        }
+        if self.aggressor_enabled && self.aggressor_breaker_opened == 0 {
+            v.push("aggression never landed: the aggressor's breaker never opened".to_string());
+        }
+        if self.unexpected_panics != 0 {
+            v.push(format!(
+                "{} panics escaped ladder classification",
+                self.unexpected_panics
+            ));
+        }
+        if self.peak_arena_nodes > PEAK_ARENA_BOUND {
+            v.push(format!(
+                "worker arena peaked at {} nodes (bound {PEAK_ARENA_BOUND})",
+                self.peak_arena_nodes
+            ));
+        }
+        // Client-side per-tenant submission counts vs the books.
+        let lane = |family: &str, label: &str| -> u64 {
+            self.metrics
+                .family(family)
+                .iter()
+                .find(|(l, _)| l == label)
+                .map_or(0, |(_, n)| *n)
+        };
+        for (name, tally) in [("victim", &self.victim), ("aggressor", &self.aggressor)] {
+            let books = lane("tenant_submitted", name);
+            if tally.requests as u64 != books {
+                v.push(format!(
+                    "tenant {name:?} submission books unbalanced: clients drove {}, \
+                     books say {books}",
+                    tally.requests
+                ));
+            }
+        }
+        let client_panics = (self.victim.caught_panics + self.aggressor.caught_panics) as u64;
+        if client_panics != self.metrics.counter("caught_panics") {
+            v.push(format!(
+                "caught-panic books unbalanced: clients hold {client_panics}, \
+                 counter says {}",
+                self.metrics.counter("caught_panics")
+            ));
+        }
+        v
+    }
+
+    /// Victim throughput in requests per second over the victim's window.
+    pub fn victim_throughput_rps(&self) -> f64 {
+        if self.victim_elapsed.is_zero() {
+            return 0.0;
+        }
+        self.victim.requests as f64 / self.victim_elapsed.as_secs_f64()
+    }
+
+    /// Multi-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "aggressor           {}\n\
+             victim req/fast     {} / {}\n\
+             victim ovl/inv/oth  {} / {} / {}\n\
+             victim p99          {} us\n\
+             victim throughput   {:.0} rps\n\
+             aggressor req/fast  {} / {}\n\
+             aggressor ovl/oth   {} / {}\n\
+             aggressor panics    {}\n\
+             aggressor trips     {}\n\
+             victim breaker gen  {}\n\
+             unexpected panics   {}\n\
+             conservation        {}",
+            if self.aggressor_enabled {
+                "ON"
+            } else {
+                "off (solo baseline)"
+            },
+            self.victim.requests,
+            self.victim.optimized_fast,
+            self.victim.overloaded,
+            self.victim.invalid,
+            self.victim.other,
+            self.victim.p99_us(),
+            self.victim_throughput_rps(),
+            self.aggressor.requests,
+            self.aggressor.optimized_fast,
+            self.aggressor.overloaded,
+            self.aggressor.other,
+            self.aggressor.caught_panics,
+            self.aggressor_breaker_opened,
+            self.victim_breaker_generation,
+            self.unexpected_panics,
+            if self.conservation.is_empty() {
+                "balanced"
+            } else {
+                "VIOLATED"
+            },
+        )
+    }
+}
+
+/// One aggressor request: an id-tower that exercises "app"/"e121" with a
+/// fault plan that panics (or fails) those rules mid-rewrite. Every
+/// aggressor request carries a fault plan, so none of them are cacheable —
+/// the victim's plan lines are the only lines in the cache.
+fn aggressor_request(rng: &mut Rng, stall: Duration) -> Request {
+    let mut options = RequestOptions {
+        backoff: Duration::from_micros(100 + rng.gen_range(0..200usize) as u64),
+        hold_for: (!stall.is_zero()).then_some(stall),
+        timeout: Some(stall + Duration::from_millis(15)),
+        max_steps: 400,
+        ..RequestOptions::default()
+    };
+    let rule = if rng.gen_bool(0.5) { "app" } else { "e121" };
+    let kind = if rng.gen_bool(0.7) {
+        FaultKind::Panic
+    } else {
+        FaultKind::Fail
+    };
+    options.faults = FaultPlan::new().with(FaultSpec {
+        rule_id: rule.to_string(),
+        at: StepSelector::Always,
+        kind,
+    });
+    Request {
+        payload: Payload::Text(id_tower_text(2 + rng.gen_range(0..8usize))),
+        options,
+        tenant: None,
+    }
+    .for_tenant("aggressor")
+}
+
+/// Run one noisy-neighbor soak: a clean closed-loop victim stream against
+/// an aggressor mixing poison calls (~75%) with admission floods (~25%,
+/// bursts submitted without draining so the aggressor's quota wall does
+/// real shedding), on one service with tenants `["victim", "aggressor"]`.
+pub fn run_noisy_neighbor(cfg: &TenantChaosConfig) -> TenantChaosReport {
+    let service = Service::start(ServiceConfig {
+        workers: cfg.workers,
+        queue_capacity: cfg.queue_capacity,
+        verify: cfg.verify,
+        cache_capacity: cfg.cache_capacity,
+        tenants: vec!["victim".to_string(), "aggressor".to_string()],
+        tenant_quota: cfg.tenant_quota,
+        ..ServiceConfig::default()
+    });
+    let victim_clients = cfg.victim_clients.max(1);
+    let v_per = cfg.victim_requests / victim_clients;
+    let v_rem = cfg.victim_requests % victim_clients;
+    let aggressor_clients = cfg.aggressor_clients.max(1);
+    let a_total = if cfg.aggressor {
+        cfg.aggressor_requests
+    } else {
+        0
+    };
+    let a_per = a_total / aggressor_clients;
+    let a_rem = a_total % aggressor_clients;
+    let started = Instant::now();
+    let (victim_parts, aggressor_parts): (Vec<(TenantTally, Duration)>, Vec<TenantTally>) =
+        std::thread::scope(|s| {
+            let victims: Vec<_> = (0..victim_clients)
+                .map(|c| {
+                    let service = &service;
+                    let n = v_per + usize::from(c < v_rem);
+                    let seed = cfg.seed ^ ((c as u64 + 1) << 32);
+                    let stall = cfg.stall;
+                    s.spawn(move || {
+                        let mut rng = Rng::seed_from_u64(seed);
+                        let mut tally = TenantTally::default();
+                        for _ in 0..n {
+                            let request =
+                                generate_clean_request(&mut rng, stall).for_tenant("victim");
+                            tally.absorb(&service.call(request));
+                        }
+                        (tally, started.elapsed())
+                    })
+                })
+                .collect();
+            let aggressors: Vec<_> = (0..aggressor_clients)
+                .map(|c| {
+                    let service = &service;
+                    let n = a_per + usize::from(c < a_rem);
+                    let seed = cfg.seed ^ 0xA66E ^ ((c as u64 + 101) << 32);
+                    let stall = cfg.stall;
+                    s.spawn(move || {
+                        let mut rng = Rng::seed_from_u64(seed);
+                        let mut tally = TenantTally::default();
+                        let mut done = 0usize;
+                        while done < n {
+                            if rng.gen_bool(0.75) {
+                                // Poison lane: one synchronous call whose
+                                // fault plan panics a rule this payload
+                                // actually fires — charges land on the
+                                // aggressor's breaker shards only.
+                                tally.absorb(&service.call(aggressor_request(&mut rng, stall)));
+                                done += 1;
+                            } else {
+                                // Flood lane: a burst submitted without
+                                // draining, so concurrent aggressor depth
+                                // blows through the tenant quota and the
+                                // quota wall sheds — while the victim's
+                                // closed loop stays under its own quota.
+                                let burst = (n - done).min(8);
+                                let mut pending = Vec::with_capacity(burst);
+                                for _ in 0..burst {
+                                    match service.submit(aggressor_request(&mut rng, stall)) {
+                                        Ok(p) => pending.push(p),
+                                        Err(rejection) => tally.absorb(&rejection),
+                                    }
+                                    done += 1;
+                                }
+                                for p in pending {
+                                    tally.absorb(&p.wait());
+                                }
+                            }
+                        }
+                        tally
+                    })
+                })
+                .collect();
+            (
+                victims.into_iter().map(|h| h.join().unwrap()).collect(),
+                aggressors.into_iter().map(|h| h.join().unwrap()).collect(),
+            )
+        });
+    let elapsed = started.elapsed();
+    let mut report = TenantChaosReport {
+        aggressor_enabled: cfg.aggressor,
+        elapsed,
+        ..TenantChaosReport::default()
+    };
+    for (tally, window) in victim_parts {
+        report.victim.requests += tally.requests;
+        report.victim.optimized_fast += tally.optimized_fast;
+        report.victim.other += tally.other;
+        report.victim.overloaded += tally.overloaded;
+        report.victim.invalid += tally.invalid;
+        report.victim.caught_panics += tally.caught_panics;
+        report.victim.latencies_us.extend(tally.latencies_us);
+        report.victim_elapsed = report.victim_elapsed.max(window);
+    }
+    for tally in aggressor_parts {
+        report.aggressor.requests += tally.requests;
+        report.aggressor.optimized_fast += tally.optimized_fast;
+        report.aggressor.other += tally.other;
+        report.aggressor.overloaded += tally.overloaded;
+        report.aggressor.invalid += tally.invalid;
+        report.aggressor.caught_panics += tally.caught_panics;
+        report.aggressor.latencies_us.extend(tally.latencies_us);
+    }
+    report.victim_breaker_generation = service
+        .tenant_breaker("victim")
+        .map_or(0, |b| b.generation());
+    report.aggressor_breaker_opened = service
+        .tenant_breaker("aggressor")
+        .map_or(0, |b| b.opened_total());
+    report.unexpected_panics = service.unexpected_panics();
+    report.peak_arena_nodes = service.peak_arena_nodes();
+    report.metrics = service.metrics_snapshot();
+    report.conservation = conservation_violations(&report.metrics);
     report
 }

@@ -140,8 +140,11 @@ impl<'a> ReferenceRung<'a> {
     }
 
     /// Re-resolve iff `snapshot` is from a different epoch than the cache.
+    /// Keys on the *engine* epoch — unique per (generation, tenant) — so a
+    /// rung shared across tenant lanes can never serve one tenant the
+    /// other's resolved rule set.
     fn sync(&mut self, catalog: &'a Catalog, snapshot: &RuleSnapshot) {
-        if self.epoch == Some(snapshot.epoch) {
+        if self.epoch == Some(snapshot.engine_epoch) {
             return;
         }
         self.rules.clear();
@@ -151,7 +154,7 @@ impl<'a> ReferenceRung<'a> {
                 .expect("snapshot active ids are drawn from this catalog");
             Oriented::fwd(rule)
         }));
-        self.epoch = Some(snapshot.epoch);
+        self.epoch = Some(snapshot.engine_epoch);
     }
 }
 
@@ -229,6 +232,9 @@ pub struct Ladder<'a> {
     /// The worker's interruptible-backoff slot; `None` falls back to a
     /// plain sleep (standalone/test use).
     pub park: Option<&'a RetryPark>,
+    /// Tenant name recorded in traces; `None` records `"default"`
+    /// (standalone/test use).
+    pub tenant: Option<&'a Arc<str>>,
 }
 
 impl<'a> Ladder<'a> {
@@ -279,7 +285,10 @@ impl<'a> Ladder<'a> {
         snapshot: &RuleSnapshot,
         reference: &mut ReferenceRung<'a>,
     ) -> LadderResult {
-        engine.set_epoch(snapshot.epoch, &snapshot.disabled);
+        // The *engine* epoch, not the raw generation: on a multi-tenant
+        // service the shared engine's memo must never alias two tenants'
+        // rule masks (snapshot.rs maps generations injectively per tenant).
+        engine.set_epoch(snapshot.engine_epoch, &snapshot.disabled);
         engine.set_trace(self.tracer.is_some());
 
         let mut panics: Vec<CaughtPanic> = Vec::new();
@@ -380,6 +389,9 @@ impl<'a> Ladder<'a> {
                     // is deadline-independent and replays unclocked.
                     ring.push(RewriteTrace::record(
                         request_id,
+                        self.tenant
+                            .map(Arc::clone)
+                            .unwrap_or_else(|| Arc::from(crate::tenant::DEFAULT_TENANT)),
                         &rung.to_string(),
                         q,
                         Arc::clone(&snapshot.active),
@@ -541,6 +553,7 @@ mod tests {
             tracer: None,
             shard: 0,
             park: None,
+            tenant: None,
         };
         let opts = RequestOptions {
             transient_fail: vec![Rung::Fast],
@@ -567,6 +580,7 @@ mod tests {
             tracer: None,
             shard: 0,
             park: None,
+            tenant: None,
         };
         let opts = RequestOptions {
             force_fail: vec![Rung::Fast],
@@ -596,6 +610,7 @@ mod tests {
             tracer: None,
             shard: 0,
             park: None,
+            tenant: None,
         };
         let opts = RequestOptions {
             force_fail: vec![Rung::Fast, Rung::Reference],

@@ -42,6 +42,12 @@
 //!   [`service::ServiceConfig::tracing`] on, every successful optimization
 //!   also records a structured `kola_obs::RewriteTrace` that replays
 //!   byte-for-byte on the boxed reference engine.
+//! - [`tenant`] — named tenant namespaces: each tenant owns its own
+//!   breaker, published rule-set snapshot, and admission quota, with
+//!   tenant-salted plan-cache keys and per-tenant metric families, so one
+//!   tenant's poison traffic trips, invalidates, and backpressures only
+//!   itself ([`chaos::run_noisy_neighbor`] proves the victim's outcome
+//!   taxonomy is unchanged under an aggressor).
 //! - [`chaos`] — a deterministic chaos-soak harness mixing well-formed
 //!   queries, adversarially deep terms, poison rules, and random deadlines,
 //!   asserting that every request terminates with a classified outcome,
@@ -61,15 +67,17 @@ pub mod metrics;
 pub mod request;
 pub mod service;
 pub mod snapshot;
+pub mod tenant;
 
 pub use breaker::{Breaker, BreakerEntry, GlobalBreaker};
 pub use chaos::{
-    generate_clean_request, percentile, run_chaos, run_clean_stream, run_repeated_stream,
-    ChaosConfig, ChaosReport, CleanConfig, CleanReport, RepeatedConfig, RepeatedReport,
-    PEAK_ARENA_BOUND,
+    generate_clean_request, percentile, run_chaos, run_clean_stream, run_noisy_neighbor,
+    run_repeated_stream, ChaosConfig, ChaosReport, CleanConfig, CleanReport, RepeatedConfig,
+    RepeatedReport, TenantChaosConfig, TenantChaosReport, PEAK_ARENA_BOUND,
 };
 pub use ladder::{Ladder, LadderResult, ReferenceRung, RetryPark, Rung};
 pub use metrics::{conservation_violations, ServiceMetrics};
 pub use request::{Outcome, Payload, Request, RequestOptions, Response};
 pub use service::{Pending, Service, ServiceConfig};
-pub use snapshot::{RuleSnapshot, SnapshotCell};
+pub use snapshot::{EpochScope, RuleSnapshot, SnapshotCell};
+pub use tenant::{TenantState, Tenants, DEFAULT_TENANT};

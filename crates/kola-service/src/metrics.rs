@@ -25,8 +25,19 @@
 //! in-flight leader, answered from its one engine pass); the latter are
 //! additionally counted in `cache_coalesced`. The leader itself is an
 //! ordinary admitted request — only the waiters are hits.
+//!
+//! On a multi-tenant service every lifecycle counter above also has a
+//! per-tenant **family** (`tenant_submitted`, `tenant_admitted`, …) labeled
+//! by tenant name, and a per-tenant latency histogram
+//! (`tenant_latency_us/<name>`). The conservation invariants then hold
+//! twice over: per tenant label, and in aggregate — with the additional
+//! cross-check that each family sums to its aggregate counter. A request
+//! naming a tenant the service does not serve lands in the family's
+//! catch-all `other` lane, which participates in the per-label equations
+//! like any tenant.
 
 use kola_obs::{Counter, CounterFamily, Histogram, MaxGauge, Registry, Snapshot};
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// Handles into the service's metric [`Registry`]. All hot-path recording
@@ -114,14 +125,56 @@ pub struct ServiceMetrics {
     pub latency_us: Arc<Histogram>,
     /// Wall-clock µs workers spent handling requests (utilization numerator).
     pub worker_busy_us: Arc<Counter>,
+    /// Per-tenant `submitted`, labeled by tenant name (unknown tenants
+    /// land in the family's `other` lane).
+    pub tenant_submitted: Arc<CounterFamily>,
+    /// Per-tenant `overloaded` — includes requests shed by the tenant's own
+    /// admission quota while other tenants kept admitting.
+    pub tenant_overloaded: Arc<CounterFamily>,
+    /// Per-tenant `rejected_invalid` (oversized payloads and unknown
+    /// tenant names; the latter count in `other`).
+    pub tenant_rejected_invalid: Arc<CounterFamily>,
+    /// Per-tenant `admitted`.
+    pub tenant_admitted: Arc<CounterFamily>,
+    /// Per-tenant `cache_hits` — zero cross-tenant hits is an isolation
+    /// invariant, so these sum to the aggregate exactly.
+    pub tenant_cache_hits: Arc<CounterFamily>,
+    /// Per-tenant `optimized_fast`.
+    pub tenant_optimized_fast: Arc<CounterFamily>,
+    /// Per-tenant `optimized_reference`.
+    pub tenant_optimized_reference: Arc<CounterFamily>,
+    /// Per-tenant `passthrough`.
+    pub tenant_passthrough: Arc<CounterFamily>,
+    /// Per-tenant `completed_invalid`.
+    pub tenant_completed_invalid: Arc<CounterFamily>,
+    /// Per-tenant `panicked`.
+    pub tenant_panicked: Arc<CounterFamily>,
+    /// Per-tenant end-to-end latency histograms, indexed by tenant slot;
+    /// registered as `tenant_latency_us/<name>` (names escape in JSON).
+    pub tenant_latency_us: Vec<Arc<Histogram>>,
 }
 
 impl ServiceMetrics {
-    /// Metrics over the served catalog: `rule_ids` (catalog order) label
-    /// the per-rule families and `queue_capacity` shapes the depth
-    /// histogram.
+    /// Single-tenant metrics: one `"default"` tenant lane behind the
+    /// aggregate counters.
     pub fn new(rule_ids: &[String], queue_capacity: usize) -> ServiceMetrics {
+        ServiceMetrics::with_tenants(
+            rule_ids,
+            queue_capacity,
+            &[crate::tenant::DEFAULT_TENANT.to_string()],
+        )
+    }
+
+    /// Metrics over the served catalog: `rule_ids` (catalog order) label
+    /// the per-rule families, `queue_capacity` shapes the depth histogram,
+    /// and `tenant_names` label the per-tenant lifecycle families.
+    pub fn with_tenants(
+        rule_ids: &[String],
+        queue_capacity: usize,
+        tenant_names: &[String],
+    ) -> ServiceMetrics {
         let registry = Registry::new();
+        let tenants = |name: &str| registry.family(name, tenant_names.iter().cloned());
         // One hour in µs comfortably tops any latency/deadline this
         // service sees; pow2 buckets keep the scan short.
         let us_cap = 3_600_000_000;
@@ -164,6 +217,22 @@ impl ServiceMetrics {
                 .histogram("deadline_remaining_us", &pow2_bounds(us_cap)),
             latency_us: registry.histogram("latency_us", &pow2_bounds(us_cap)),
             worker_busy_us: registry.counter("worker_busy_us"),
+            tenant_submitted: tenants("tenant_submitted"),
+            tenant_overloaded: tenants("tenant_overloaded"),
+            tenant_rejected_invalid: tenants("tenant_rejected_invalid"),
+            tenant_admitted: tenants("tenant_admitted"),
+            tenant_cache_hits: tenants("tenant_cache_hits"),
+            tenant_optimized_fast: tenants("tenant_optimized_fast"),
+            tenant_optimized_reference: tenants("tenant_optimized_reference"),
+            tenant_passthrough: tenants("tenant_passthrough"),
+            tenant_completed_invalid: tenants("tenant_completed_invalid"),
+            tenant_panicked: tenants("tenant_panicked"),
+            tenant_latency_us: tenant_names
+                .iter()
+                .map(|name| {
+                    registry.histogram(&format!("tenant_latency_us/{name}"), &pow2_bounds(us_cap))
+                })
+                .collect(),
             registry,
         }
     }
@@ -231,6 +300,89 @@ pub fn conservation_violations(s: &Snapshot) -> Vec<String> {
             "cache books unbalanced: cache_hits {hits} != Σ cache_served {served}",
         ));
     }
+
+    // Per-tenant books: the same two equations per tenant label, plus the
+    // cross-check that each per-tenant family sums to its aggregate
+    // counter. Family snapshots report only nonzero lanes, so take the
+    // union of labels across all ten families (this includes the `other`
+    // catch-all lane unknown-tenant submissions land in).
+    const TENANT_FAMILIES: [&str; 10] = [
+        "tenant_submitted",
+        "tenant_overloaded",
+        "tenant_rejected_invalid",
+        "tenant_admitted",
+        "tenant_cache_hits",
+        "tenant_optimized_fast",
+        "tenant_optimized_reference",
+        "tenant_passthrough",
+        "tenant_completed_invalid",
+        "tenant_panicked",
+    ];
+    let lane = |family: &str, label: &str| -> u64 {
+        s.family(family)
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|&(_, n)| n)
+            .unwrap_or(0)
+    };
+    let labels: BTreeSet<String> = TENANT_FAMILIES
+        .iter()
+        .flat_map(|f| s.family(f).iter().map(|(l, _)| l.clone()))
+        .collect();
+    for label in &labels {
+        let submitted = lane("tenant_submitted", label);
+        let admissions = lane("tenant_overloaded", label)
+            + lane("tenant_rejected_invalid", label)
+            + lane("tenant_admitted", label)
+            + lane("tenant_cache_hits", label);
+        if submitted != admissions {
+            v.push(format!(
+                "tenant {label:?} admission books unbalanced: submitted {} != overloaded {} + rejected_invalid {} + admitted {} + cache_hits {}",
+                submitted,
+                lane("tenant_overloaded", label),
+                lane("tenant_rejected_invalid", label),
+                lane("tenant_admitted", label),
+                lane("tenant_cache_hits", label),
+            ));
+        }
+        let admitted = lane("tenant_admitted", label);
+        let completions = lane("tenant_optimized_fast", label)
+            + lane("tenant_optimized_reference", label)
+            + lane("tenant_passthrough", label)
+            + lane("tenant_completed_invalid", label)
+            + lane("tenant_panicked", label);
+        if admitted != completions {
+            v.push(format!(
+                "tenant {label:?} completion books unbalanced: admitted {} != optimized_fast {} + optimized_reference {} + passthrough {} + completed_invalid {} + panicked {}",
+                admitted,
+                lane("tenant_optimized_fast", label),
+                lane("tenant_optimized_reference", label),
+                lane("tenant_passthrough", label),
+                lane("tenant_completed_invalid", label),
+                lane("tenant_panicked", label),
+            ));
+        }
+    }
+    for (family, aggregate) in [
+        ("tenant_submitted", "submitted"),
+        ("tenant_overloaded", "overloaded"),
+        ("tenant_rejected_invalid", "rejected_invalid"),
+        ("tenant_admitted", "admitted"),
+        ("tenant_cache_hits", "cache_hits"),
+        ("tenant_optimized_fast", "optimized_fast"),
+        ("tenant_optimized_reference", "optimized_reference"),
+        ("tenant_passthrough", "passthrough"),
+        ("tenant_completed_invalid", "completed_invalid"),
+        ("tenant_panicked", "panicked"),
+    ] {
+        let total: u64 = s.family(family).iter().map(|(_, n)| n).sum();
+        let agg = s.counter(aggregate);
+        if total != agg {
+            v.push(format!(
+                "tenant partition unbalanced: Σ {family} {total} != {aggregate} {agg}",
+            ));
+        }
+    }
     v
 }
 
@@ -242,28 +394,95 @@ mod tests {
     fn conservation_detects_imbalance() {
         let m = ServiceMetrics::new(&["11".to_string()], 64);
         assert!(conservation_violations(&m.snapshot()).is_empty());
+        // Each lifecycle event lands in the aggregate counter *and* its
+        // tenant lane, so an imbalance shows up in both sets of books.
         m.submitted.add(3);
+        m.tenant_submitted.add_index(0, 3);
         m.overloaded.inc();
+        m.tenant_overloaded.add_index(0, 1);
         m.admitted.add(2);
+        m.tenant_admitted.add_index(0, 2);
         m.optimized_fast.inc();
-        // One admitted request unaccounted for.
+        m.tenant_optimized_fast.add_index(0, 1);
+        // One admitted request unaccounted for — aggregate and per-tenant.
         let v = conservation_violations(&m.snapshot());
-        assert_eq!(v.len(), 1);
-        assert!(v[0].contains("completion books"));
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|v| v.contains("completion books")));
         m.passthrough.inc();
+        m.tenant_passthrough.add_index(0, 1);
         assert!(conservation_violations(&m.snapshot()).is_empty());
         m.submitted.inc();
+        m.tenant_submitted.add_index(0, 1);
         let v = conservation_violations(&m.snapshot());
-        assert_eq!(v.len(), 1);
-        assert!(v[0].contains("admission books"));
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|v| v.contains("admission books")));
         // A cache hit is its own admission class…
         m.cache_hits.inc();
+        m.tenant_cache_hits.add_index(0, 1);
         // …but must be tied to the outcome it served.
         let v = conservation_violations(&m.snapshot());
         assert_eq!(v.len(), 1);
         assert!(v[0].contains("cache books"));
         m.cache_served.add_index(0, 1);
         assert!(conservation_violations(&m.snapshot()).is_empty());
+    }
+
+    #[test]
+    fn tenant_books_are_checked_per_label_and_against_aggregates() {
+        let two_tenants = || {
+            ServiceMetrics::with_tenants(
+                &["11".to_string()],
+                64,
+                &["victim".to_string(), "aggressor".to_string()],
+            )
+        };
+
+        // Balanced: one fast completion for victim, one panic for
+        // aggressor, fully mirrored in the aggregates — and an unknown
+        // tenant rejected into the `other` catch-all lane, which obeys the
+        // per-label equations like any tenant.
+        let m = two_tenants();
+        m.submitted.add(3);
+        m.admitted.add(2);
+        m.optimized_fast.inc();
+        m.panicked.inc();
+        m.rejected_invalid.inc();
+        m.tenant_submitted.add("victim", 1);
+        m.tenant_admitted.add("victim", 1);
+        m.tenant_optimized_fast.add("victim", 1);
+        m.tenant_submitted.add("aggressor", 1);
+        m.tenant_admitted.add("aggressor", 1);
+        m.tenant_panicked.add("aggressor", 1);
+        m.tenant_submitted.add_index(usize::MAX, 1);
+        m.tenant_rejected_invalid.add_index(usize::MAX, 1);
+        assert!(conservation_violations(&m.snapshot()).is_empty());
+
+        // A completion charged to the wrong tenant balances in aggregate
+        // but trips both tenants' per-label books.
+        let m = two_tenants();
+        m.submitted.inc();
+        m.admitted.inc();
+        m.passthrough.inc();
+        m.tenant_submitted.add("victim", 1);
+        m.tenant_admitted.add("victim", 1);
+        m.tenant_passthrough.add("aggressor", 1);
+        let v = conservation_violations(&m.snapshot());
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().any(|v| v.contains("\"victim\" completion")));
+        assert!(v.iter().any(|v| v.contains("\"aggressor\" completion")));
+
+        // Σ family must equal the aggregate: a request counted only in the
+        // aggregates (no tenant lane at all) balances the aggregate books
+        // and trips no per-label equation — only the partition cross-check
+        // catches it.
+        let m = two_tenants();
+        m.submitted.inc();
+        m.cache_hits.inc();
+        m.cache_served.add_index(0, 1);
+        let v = conservation_violations(&m.snapshot());
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().any(|v| v.contains("Σ tenant_submitted")));
+        assert!(v.iter().any(|v| v.contains("Σ tenant_cache_hits")));
     }
 
     #[test]

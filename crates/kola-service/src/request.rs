@@ -98,6 +98,11 @@ pub struct Request {
     pub payload: Payload,
     /// Per-request resource options.
     pub options: RequestOptions,
+    /// Tenant namespace this request runs under. `None` resolves to the
+    /// service's first configured tenant (`"default"` on a single-tenant
+    /// service); a name the service does not serve is rejected
+    /// [`Outcome::Invalid`] at the door.
+    pub tenant: Option<Arc<str>>,
 }
 
 impl Request {
@@ -106,6 +111,7 @@ impl Request {
         Request {
             payload: Payload::Text(src.into()),
             options: RequestOptions::default(),
+            tenant: None,
         }
     }
 
@@ -114,12 +120,19 @@ impl Request {
         Request {
             payload: Payload::Ast(q.into()),
             options: RequestOptions::default(),
+            tenant: None,
         }
     }
 
     /// Replace the options (builder style).
     pub fn with_options(mut self, options: RequestOptions) -> Self {
         self.options = options;
+        self
+    }
+
+    /// Address the request to tenant `name` (builder style).
+    pub fn for_tenant(mut self, name: impl Into<Arc<str>>) -> Self {
+        self.tenant = Some(name.into());
         self
     }
 }
@@ -161,6 +174,10 @@ impl std::fmt::Display for Outcome {
 pub struct Response {
     /// Service-assigned request id (also the jitter seed).
     pub id: u64,
+    /// Tenant namespace that served the request (the resolved name, so a
+    /// `None`-tenant submission comes back labeled with the tenant it
+    /// actually ran under).
+    pub tenant: Arc<str>,
     /// Terminal classification.
     pub outcome: Outcome,
     /// The plan: the optimized query, or the input itself on
@@ -190,6 +207,7 @@ impl Response {
     pub(crate) fn rejected(id: u64, outcome: Outcome, why: String) -> Self {
         Response {
             id,
+            tenant: Arc::from(crate::tenant::DEFAULT_TENANT),
             outcome,
             plan: None,
             report: None,

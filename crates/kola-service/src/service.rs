@@ -46,11 +46,12 @@
 //! keeps its warm engine afterwards.
 
 use crate::breaker::Breaker;
-use crate::cache::{CacheKey, CachedPlan, Claim, PlanCache, Probe};
+use crate::cache::{CacheKey, CachedPlan, Claim, PlanCache, Probe, Waiter};
 use crate::ladder::{Ladder, ReferenceRung, RetryPark, Rung};
 use crate::metrics::ServiceMetrics;
 use crate::request::{Outcome, Payload, Request, Response};
-use crate::snapshot::{RuleSnapshot, SnapshotCell};
+use crate::snapshot::RuleSnapshot;
+use crate::tenant::Tenants;
 use kola::term::Query;
 use kola::Db;
 use kola_exec::datagen::{generate, DataSpec};
@@ -101,6 +102,17 @@ pub struct ServiceConfig {
     /// Plan-cache shard count (clamped to at least 1 and at most the
     /// capacity). More shards, less submit-side lock contention.
     pub cache_shards: usize,
+    /// Tenant namespaces to serve, in order (the first is where unlabeled
+    /// requests go). Empty means one `"default"` tenant — the
+    /// single-tenant service, unchanged. Each tenant owns its own breaker,
+    /// rule-set snapshot generation, admission quota, and plan-cache key
+    /// space (see [`crate::tenant`]).
+    pub tenants: Vec<String>,
+    /// Per-tenant admission quota: the most queued jobs one tenant may
+    /// hold at once, layered under the global `queue_capacity`. A tenant
+    /// at quota is shed [`Outcome::Overloaded`] while the others keep
+    /// admitting. `0` means "no per-tenant cap beyond the global one".
+    pub tenant_quota: usize,
 }
 
 impl Default for ServiceConfig {
@@ -116,6 +128,8 @@ impl Default for ServiceConfig {
             trace_capacity: 1024,
             cache_capacity: 2048,
             cache_shards: 8,
+            tenants: Vec::new(),
+            tenant_quota: 0,
         }
     }
 }
@@ -128,9 +142,12 @@ struct Job {
     reply: mpsc::Sender<Response>,
     /// The single-flight leadership ticket: `Some` iff this job registered
     /// the in-flight marker for its cache key at admission. The worker
-    /// must complete it exactly once — insert the response if cacheable,
-    /// answer every coalesced waiter either way.
+    /// must complete it exactly once — insert the response if cacheable
+    /// and answer every coalesced waiter, or requeue the waiters when the
+    /// response turned out unserveable.
     cache: Option<CacheKey>,
+    /// Resolved tenant index (into `Shared::tenants`).
+    tenant: usize,
 }
 
 /// One worker's slice of the admission queue. Enqueue and dequeue touch
@@ -150,8 +167,9 @@ const STEAL_POLL: Duration = Duration::from_micros(200);
 struct Shared {
     catalog: Catalog,
     props: PropDb,
-    breaker: Breaker,
-    snapshots: SnapshotCell,
+    /// The tenant table: per-tenant breaker, snapshot cell, and quota
+    /// depth. A single-tenant service is a one-entry table.
+    tenants: Tenants,
     verify_db: Option<Db>,
     shards: Vec<Shard>,
     /// Queued-but-unclaimed jobs across all shards: the lock-free input to
@@ -219,20 +237,28 @@ impl Service {
         let workers_n = config.workers.max(1);
         let capacity = config.queue_capacity.max(1);
         let rule_ids: Vec<String> = catalog.rules().iter().map(|r| r.id.clone()).collect();
-        // Every catalog rule gets a lock-free breaker slot; charges go
-        // through the charging worker's own shard.
-        let breaker = Breaker::sharded(config.breaker_threshold, workers_n, rule_ids.clone());
-        let snapshots = SnapshotCell::new(RuleSnapshot::build(
-            breaker.generation(),
+        // Each tenant gets its own breaker (every catalog rule in a
+        // lock-free slot, charges through the charging worker's own shard)
+        // and its own scoped snapshot cell. A quota of 0 means the global
+        // capacity is the only cap.
+        let quota = if config.tenant_quota == 0 {
+            usize::MAX
+        } else {
+            config.tenant_quota
+        };
+        let tenants = Tenants::new(
+            &config.tenants,
+            config.breaker_threshold,
+            workers_n,
+            &rule_ids,
             &catalog,
-            &breaker,
-        ));
-        let metrics = ServiceMetrics::new(&rule_ids, capacity);
+            quota,
+        );
+        let metrics = ServiceMetrics::with_tenants(&rule_ids, capacity, &tenants.names());
         let shared = Arc::new(Shared {
             catalog,
             props: PropDb::new(),
-            breaker,
-            snapshots,
+            tenants,
             verify_db: config.verify.then(|| generate(&DataSpec::small(123))),
             shards: (0..workers_n)
                 .map(|_| Shard {
@@ -282,11 +308,36 @@ impl Service {
     #[allow(clippy::result_large_err)]
     pub fn submit(&self, request: Request) -> Result<Pending, Response> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.shared.metrics.submitted.inc();
+        let m = &self.shared.metrics;
+        m.submitted.inc();
+        // Resolve the tenant at the door. An unknown name is Invalid —
+        // accepting it into some default namespace would let a typo'd
+        // label consume (and trip) another tenant's state. The rejection
+        // is accounted in the families' `other` catch-all lane.
+        let Some(tenant) = self.shared.tenants.resolve(request.tenant.as_deref()) else {
+            m.tenant_submitted.add_index(usize::MAX, 1);
+            m.rejected_invalid.inc();
+            m.tenant_rejected_invalid.add_index(usize::MAX, 1);
+            let mut r = Response::rejected(
+                id,
+                Outcome::Invalid,
+                format!(
+                    "unknown tenant {:?}",
+                    request.tenant.as_deref().unwrap_or_default()
+                ),
+            );
+            if let Some(name) = &request.tenant {
+                r.tenant = Arc::clone(name);
+            }
+            return Err(r);
+        };
+        m.tenant_submitted.add_index(tenant, 1);
+        let ten = self.shared.tenants.get(tenant);
         if let Payload::Text(src) = &request.payload {
             if src.len() > self.shared.max_request_bytes {
-                self.shared.metrics.rejected_invalid.inc();
-                return Err(Response::rejected(
+                m.rejected_invalid.inc();
+                m.tenant_rejected_invalid.add_index(tenant, 1);
+                let mut r = Response::rejected(
                     id,
                     Outcome::Invalid,
                     format!(
@@ -294,7 +345,9 @@ impl Service {
                         src.len(),
                         self.shared.max_request_bytes
                     ),
-                ));
+                );
+                r.tenant = Arc::clone(&ten.name);
+                return Err(r);
             }
         }
         let submitted = Instant::now();
@@ -303,43 +356,76 @@ impl Service {
         // Plan-cache consult, BEFORE admission: a hit is answered right
         // here on the submitting thread — no queue slot, no worker, no
         // engine. An identical in-flight miss parks this sender on the
-        // leader. Both paths re-validate the breaker generation so no
-        // stale-generation plan is ever served (see `crate::cache`).
+        // leader. Both paths re-validate the tenant's breaker generation
+        // so no stale-generation plan is ever served (see `crate::cache`).
+        // Keys are tenant-salted: this tenant can only ever see its own
+        // lines and flights.
         let key = self
             .shared
             .cache
             .as_ref()
-            .and_then(|_| PlanCache::key_of(&request));
+            .and_then(|_| PlanCache::key_of(&request, tenant));
         if let (Some(cache), Some(k)) = (self.shared.cache.as_ref(), &key) {
-            let gen = self.shared.breaker.generation();
-            match cache.probe(k, gen, id, submitted, &tx, &self.shared.metrics) {
+            let gen = ten.breaker.generation();
+            match cache.probe(k, gen, id, &request, submitted, deadline, &tx, m) {
                 Probe::Hit(value) => {
-                    if self.shared.breaker.generation() == gen {
-                        return Ok(self.serve_hit(id, submitted, &value, &tx, rx));
+                    if ten.breaker.generation() == gen {
+                        return Ok(self.serve_hit(id, tenant, submitted, &value, &tx, rx));
                     }
                     // The rule set moved between the generation read and
                     // the lookup: fall through to the worker path rather
                     // than risk a stale plan.
                 }
                 Probe::Coalesced => {
-                    self.shared.metrics.cache_hits.inc();
-                    self.shared.metrics.cache_coalesced.inc();
+                    // No hit accounting yet: a park only becomes a hit
+                    // when its leader delivers (PlanCache::complete); a
+                    // failed leader requeues this request instead.
                     return Ok(Pending { id, rx });
                 }
                 Probe::Miss => {}
             }
         }
-        // Reserve a queue slot optimistically; losing a race just retries
-        // the compare-exchange against the fresher value.
+        // Per-tenant quota first: a tenant at its cap is shed while other
+        // tenants keep admitting — the noisy-neighbor backpressure wall.
+        let mut ten_depth = ten.depth.load(Ordering::Relaxed);
+        loop {
+            if ten_depth >= ten.quota {
+                m.overloaded.inc();
+                m.tenant_overloaded.add_index(tenant, 1);
+                let mut r = Response::rejected(
+                    id,
+                    Outcome::Overloaded,
+                    format!("tenant {:?} at quota ({} requests)", &*ten.name, ten.quota),
+                );
+                r.tenant = Arc::clone(&ten.name);
+                return Err(r);
+            }
+            match ten.depth.compare_exchange_weak(
+                ten_depth,
+                ten_depth + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(current) => ten_depth = current,
+            }
+        }
+        // Then the global backpressure wall. Reserve a queue slot
+        // optimistically; losing a race just retries the compare-exchange
+        // against the fresher value.
         let mut depth = self.shared.depth.load(Ordering::Relaxed);
         loop {
             if depth >= self.shared.capacity {
-                self.shared.metrics.overloaded.inc();
-                return Err(Response::rejected(
+                ten.depth.fetch_sub(1, Ordering::AcqRel);
+                m.overloaded.inc();
+                m.tenant_overloaded.add_index(tenant, 1);
+                let mut r = Response::rejected(
                     id,
                     Outcome::Overloaded,
                     format!("work queue full ({} requests)", self.shared.capacity),
-                ));
+                );
+                r.tenant = Arc::clone(&ten.name);
+                return Err(r);
             }
             match self.shared.depth.compare_exchange_weak(
                 depth,
@@ -353,30 +439,30 @@ impl Service {
         }
         // Re-decide under the shard lock now that a slot is held: an
         // identical leader may have completed (serve the fresh entry and
-        // release the slot) or registered (park as a waiter and release
-        // the slot) between the probe and here; otherwise this request
+        // release the slots) or registered (park as a waiter and release
+        // the slots) between the probe and here; otherwise this request
         // either becomes the flight leader or proceeds solo.
         let mut ticket = None;
         if let (Some(cache), Some(k)) = (self.shared.cache.as_ref(), key) {
-            let gen = self.shared.breaker.generation();
-            match cache.claim(k, gen, id, submitted, &tx, &self.shared.metrics) {
+            let gen = ten.breaker.generation();
+            match cache.claim(k, gen, id, &request, submitted, deadline, &tx, m) {
                 Claim::Hit(value) => {
-                    if self.shared.breaker.generation() == gen {
+                    if ten.breaker.generation() == gen {
                         self.shared.depth.fetch_sub(1, Ordering::AcqRel);
-                        return Ok(self.serve_hit(id, submitted, &value, &tx, rx));
+                        ten.depth.fetch_sub(1, Ordering::AcqRel);
+                        return Ok(self.serve_hit(id, tenant, submitted, &value, &tx, rx));
                     }
                 }
                 Claim::Coalesced => {
                     self.shared.depth.fetch_sub(1, Ordering::AcqRel);
-                    self.shared.metrics.cache_hits.inc();
-                    self.shared.metrics.cache_coalesced.inc();
+                    ten.depth.fetch_sub(1, Ordering::AcqRel);
                     return Ok(Pending { id, rx });
                 }
                 Claim::Lead(k) => ticket = Some(k),
                 Claim::Solo => {}
             }
         }
-        self.shared.metrics.queue_depth.record(depth as u64 + 1);
+        m.queue_depth.record(depth as u64 + 1);
         let job = Job {
             id,
             request,
@@ -384,15 +470,9 @@ impl Service {
             deadline,
             reply: tx,
             cache: ticket,
+            tenant,
         };
-        let cursor = self.shared.next_shard.fetch_add(1, Ordering::Relaxed);
-        let target = cursor % self.shared.shards.len();
-        let shard = &self.shared.shards[target];
-        shard.jobs.lock().unwrap().push_back(job);
-        shard.cv.notify_one();
-        // If the shard's worker is mid-backoff on a degraded request, cut
-        // the wait short: it retries immediately and gets back to the queue.
-        self.shared.parks[target].interrupt();
+        push_job(&self.shared, job);
         Ok(Pending { id, rx })
     }
 
@@ -412,6 +492,7 @@ impl Service {
     fn serve_hit(
         &self,
         id: u64,
+        tenant: usize,
         submitted: Instant,
         value: &CachedPlan,
         tx: &mpsc::Sender<Response>,
@@ -420,7 +501,8 @@ impl Service {
         let m = &self.shared.metrics;
         m.cache_hits.inc();
         m.cache_served.add_index(value.served_index(), 1);
-        let mut response = value.response(id);
+        m.tenant_cache_hits.add_index(tenant, 1);
+        let mut response = value.response(id, Arc::clone(&self.shared.tenants.get(tenant).name));
         response.latency = submitted.elapsed();
         m.cache_hit_latency_us
             .record(response.latency.as_micros() as u64);
@@ -428,9 +510,21 @@ impl Service {
         Pending { id, rx }
     }
 
-    /// The cross-request circuit breaker (observe trips, reset rules).
+    /// The first tenant's cross-request circuit breaker (observe trips,
+    /// reset rules) — *the* breaker on a single-tenant service.
     pub fn breaker(&self) -> &Breaker {
-        &self.shared.breaker
+        &self.shared.tenants.get(0).breaker
+    }
+
+    /// Tenant `name`'s circuit breaker, if the service serves that tenant.
+    /// Trips and operator resets through it are scoped to that tenant.
+    pub fn tenant_breaker(&self, name: &str) -> Option<&Breaker> {
+        self.shared.tenants.by_name(name).map(|t| &t.breaker)
+    }
+
+    /// The tenant table (names, quotas, queue depths).
+    pub fn tenants(&self) -> &Tenants {
+        &self.shared.tenants
     }
 
     /// Panics that reached the worker boundary (i.e. were *not* classified
@@ -454,14 +548,23 @@ impl Service {
     /// counters obey.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         let mut s = self.shared.metrics.snapshot();
-        s.counters.push((
-            "breaker_opened".to_string(),
-            self.shared.breaker.opened_total(),
-        ));
-        s.counters.push((
-            "breaker_reset".to_string(),
-            self.shared.breaker.reset_total(),
-        ));
+        // Aggregate breaker odometers sum the tenants; each tenant also
+        // gets its own `breaker_opened/<name>` / `breaker_reset/<name>`
+        // pair (names are user-supplied — `to_json` escapes them).
+        let mut opened = 0;
+        let mut reset = 0;
+        for t in self.shared.tenants.iter() {
+            opened += t.breaker.opened_total();
+            reset += t.breaker.reset_total();
+            s.counters.push((
+                format!("breaker_opened/{}", t.name),
+                t.breaker.opened_total(),
+            ));
+            s.counters
+                .push((format!("breaker_reset/{}", t.name), t.breaker.reset_total()));
+        }
+        s.counters.push(("breaker_opened".to_string(), opened));
+        s.counters.push(("breaker_reset".to_string(), reset));
         let (recorded, dropped) = self
             .shared
             .tracer
@@ -502,13 +605,70 @@ impl Drop for Service {
     }
 }
 
+/// Enqueue `job` on the next round-robin shard and wake its worker.
+fn push_job(shared: &Shared, job: Job) {
+    let cursor = shared.next_shard.fetch_add(1, Ordering::Relaxed);
+    let target = cursor % shared.shards.len();
+    let shard = &shared.shards[target];
+    shard.jobs.lock().unwrap().push_back(job);
+    shard.cv.notify_one();
+    // If the shard's worker is mid-backoff on a degraded request, cut
+    // the wait short: it retries immediately and gets back to the queue.
+    shared.parks[target].interrupt();
+}
+
+/// Requeue the waiters of a failed flight leader as fresh solo jobs.
+///
+/// Each waiter was parked expecting the leader's one engine pass to stand
+/// in for its own; the leader failed (or degraded, panicked, or raced a
+/// generation bump), so that pass no longer represents what the waiter's
+/// own run would produce — and the waiter must not hang until its deadline
+/// either. It re-enters the queue with **no cache key**: no re-probe and
+/// no second park, so one failed leader costs its waiters exactly one
+/// extra queue round-trip, never a loop. The depth bumps here deliberately
+/// bypass the admission walls — these requests were already admitted once
+/// and shed-on-requeue would break the "every submission gets exactly one
+/// classified reply" contract; the transient overshoot is bounded by the
+/// waiter count of one flight. Conservation stays balanced: each requeued
+/// waiter's `submitted` is answered by the `admitted` it counts at
+/// dequeue.
+fn requeue_waiters(shared: &Shared, waiters: Vec<Waiter>) {
+    for w in waiters {
+        shared.depth.fetch_add(1, Ordering::AcqRel);
+        shared
+            .tenants
+            .get(w.tenant)
+            .depth
+            .fetch_add(1, Ordering::AcqRel);
+        push_job(
+            shared,
+            Job {
+                id: w.id,
+                request: w.request,
+                submitted: w.submitted,
+                deadline: w.deadline,
+                reply: w.tx,
+                cache: None,
+                tenant: w.tenant,
+            },
+        );
+    }
+}
+
+/// One tenant's lane of a worker's persistent state: the cached rule-set
+/// snapshot and the reference rung's resolved rule cache, both scoped to
+/// that tenant's epochs (the fast engine is shared across lanes — its
+/// memo is partitioned by the snapshot's scoped `engine_epoch`).
+struct TenantLane<'a> {
+    snapshot: Arc<RuleSnapshot>,
+    reference: ReferenceRung<'a>,
+}
+
 /// Per-worker persistent state: the engine whose arena/marks/memo survive
-/// across requests, the cached rule-set snapshot, and the reference rung's
-/// resolved rule cache (invalidated by the same snapshot epoch).
+/// across requests, plus one [`TenantLane`] per served tenant.
 struct WorkerState<'a> {
     engine: Engine<'a>,
-    reference: ReferenceRung<'a>,
-    snapshot: Arc<RuleSnapshot>,
+    lanes: Vec<TenantLane<'a>>,
     /// Engine odometer readings at the last flush; per-request deltas are
     /// pushed into the service counters so one worker's engine stats never
     /// double-count.
@@ -548,8 +708,14 @@ fn worker_loop(shared: &Shared, index: usize) {
     let rule_count = rules.len();
     let mut state = WorkerState {
         engine: Engine::new(rules, &shared.props, EngineConfig::fast()),
-        reference: ReferenceRung::new(),
-        snapshot: shared.snapshots.load(),
+        lanes: shared
+            .tenants
+            .iter()
+            .map(|t| TenantLane {
+                snapshot: t.snapshots.load(),
+                reference: ReferenceRung::new(),
+            })
+            .collect(),
         last: EngineStats::default(),
         last_consults: vec![0; rule_count],
     };
@@ -558,48 +724,59 @@ fn worker_loop(shared: &Shared, index: usize) {
     shared.parks[index].register();
     while let Some(mut job) = next_job(shared, index) {
         let id = job.id;
+        let tenant = job.tenant;
         let submitted = job.submitted;
         let reply = job.reply.clone();
         // Take the single-flight ticket out before the panic boundary so a
-        // handler panic still retires the flight (waiters must never hang).
+        // handler panic still retires the flight (waiters must never hang
+        // — they are requeued below).
         let ticket = job.cache.take();
         let busy = Instant::now();
-        let outcome = catch_unwind(AssertUnwindSafe(|| handle(shared, job, &mut state, index)));
+        let engine = &mut state.engine;
+        let lane = &mut state.lanes[tenant];
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            handle(shared, job, engine, lane, index)
+        }));
         let response = outcome.unwrap_or_else(|_| {
             // Nothing should reach this boundary — the ladder catches
             // poison-rule panics itself. Count it, answer anyway.
             shared.unexpected_panics.fetch_add(1, Ordering::Relaxed);
             shared.metrics.panicked.inc();
+            shared.metrics.tenant_panicked.add_index(tenant, 1);
             let mut r = Response::rejected(
                 id,
                 Outcome::Invalid,
                 "internal: request handler panicked".to_string(),
             );
+            r.tenant = Arc::clone(&shared.tenants.get(tenant).name);
             r.latency = submitted.elapsed();
             r
         });
         if let (Some(cache), Some(key)) = (shared.cache.as_ref(), &ticket) {
-            // Retire the flight this job led: insert the response if it is
-            // cacheable and the rule set did not move while it was being
-            // computed (`state.snapshot.epoch` is the epoch the ladder ran
-            // under), and answer every coalesced waiter from it either way.
-            cache.complete(
+            // Retire the flight this job led: insert the response and
+            // answer every coalesced waiter if it is cacheable and the
+            // tenant's rule set did not move while it was being computed
+            // (`lane.snapshot.epoch` is the generation the ladder ran
+            // under); otherwise the waiters come back for requeue as
+            // fresh jobs — they are never answered with a failed leader's
+            // reply and never left parked.
+            let unserved = cache.complete(
                 key,
                 &response,
-                state.snapshot.epoch,
-                shared.breaker.generation(),
+                state.lanes[tenant].snapshot.epoch,
+                shared.tenants.get(tenant).breaker.generation(),
                 &shared.metrics,
             );
+            requeue_waiters(shared, unserved);
         }
         flush_engine_stats(shared, &mut state);
         shared
             .metrics
             .worker_busy_us
             .add(busy.elapsed().as_micros() as u64);
-        shared
-            .metrics
-            .latency_us
-            .record(response.latency.as_micros() as u64);
+        let latency_us = response.latency.as_micros() as u64;
+        shared.metrics.latency_us.record(latency_us);
+        shared.metrics.tenant_latency_us[tenant].record(latency_us);
         // The client may have given up waiting; a dead receiver is fine.
         let _ = reply.send(response);
     }
@@ -642,10 +819,17 @@ fn next_job(shared: &Shared, index: usize) -> Option<Job> {
 }
 
 /// Account a dequeued job: it is now *admitted* (owned by a worker, certain
-/// to terminate in exactly one completion counter), and whatever deadline
-/// budget the queue wait left is sampled here.
+/// to terminate in exactly one completion counter), its tenant's quota
+/// slot is released, and whatever deadline budget the queue wait left is
+/// sampled here.
 fn admit(shared: &Shared, job: &Job) {
+    shared
+        .tenants
+        .get(job.tenant)
+        .depth
+        .fetch_sub(1, Ordering::AcqRel);
     shared.metrics.admitted.inc();
+    shared.metrics.tenant_admitted.add_index(job.tenant, 1);
     if let Some(deadline) = job.deadline {
         let remaining = deadline.saturating_duration_since(Instant::now());
         shared
@@ -655,14 +839,22 @@ fn admit(shared: &Shared, job: &Job) {
     }
 }
 
-fn handle<'a>(shared: &'a Shared, job: Job, state: &mut WorkerState<'a>, index: usize) -> Response {
+fn handle<'a>(
+    shared: &'a Shared,
+    job: Job,
+    engine: &mut Engine<'a>,
+    lane: &mut TenantLane<'a>,
+    index: usize,
+) -> Response {
     let Job {
         id,
         request,
         submitted,
         deadline,
+        tenant,
         ..
     } = job;
+    let ten = shared.tenants.get(tenant);
     if let Some(hold) = request.options.hold_for {
         thread::sleep(hold);
     }
@@ -671,7 +863,9 @@ fn handle<'a>(shared: &'a Shared, job: Job, state: &mut WorkerState<'a>, index: 
             Ok(q) => Arc::new(q),
             Err(e) => {
                 shared.metrics.completed_invalid.inc();
+                shared.metrics.tenant_completed_invalid.add_index(tenant, 1);
                 let mut r = Response::rejected(id, Outcome::Invalid, e);
+                r.tenant = Arc::clone(&ten.name);
                 r.latency = submitted.elapsed();
                 return r;
             }
@@ -680,31 +874,33 @@ fn handle<'a>(shared: &'a Shared, job: Job, state: &mut WorkerState<'a>, index: 
         Payload::Ast(q) => Arc::clone(q),
     };
 
-    // One atomic load in steady state; an epoch swap when the breaker
-    // tripped or reset since this worker last looked.
-    shared
-        .snapshots
-        .refresh(&mut state.snapshot, &shared.catalog, &shared.breaker);
+    // One atomic load in steady state; an epoch swap when *this tenant's*
+    // breaker tripped or reset since this worker last served it.
+    ten.snapshots
+        .refresh(&mut lane.snapshot, &shared.catalog, &ten.breaker);
 
     let ladder = Ladder {
         catalog: &shared.catalog,
         props: &shared.props,
-        breaker: &shared.breaker,
+        // The request's own tenant's breaker: poison charges, trips, and
+        // the resulting rule masks never cross namespaces.
+        breaker: &ten.breaker,
         metrics: Some(&shared.metrics),
         // Each worker records into its own trace shard and charges its own
         // breaker shard — no cross-worker contention on the failure path.
         tracer: shared.tracer.as_ref().map(|t| t.shard(index)),
         shard: index,
         park: Some(&shared.parks[index]),
+        tenant: Some(&ten.name),
     };
     let mut result = ladder.run_with(
         id,
         &input,
         &request.options,
         deadline,
-        &mut state.engine,
-        &state.snapshot,
-        &mut state.reference,
+        engine,
+        &lane.snapshot,
+        &mut lane.reference,
     );
     let m = &shared.metrics;
     m.retries.add(result.retries as u64);
@@ -729,20 +925,35 @@ fn handle<'a>(shared: &'a Shared, job: Job, state: &mut WorkerState<'a>, index: 
         }
     }
     match &result.outcome {
-        Outcome::Optimized { rung: Rung::Fast } => m.optimized_fast.inc(),
+        Outcome::Optimized { rung: Rung::Fast } => {
+            m.optimized_fast.inc();
+            m.tenant_optimized_fast.add_index(tenant, 1);
+        }
         Outcome::Optimized {
             rung: Rung::Reference,
-        } => m.optimized_reference.inc(),
-        Outcome::Passthrough => m.passthrough.inc(),
+        } => {
+            m.optimized_reference.inc();
+            m.tenant_optimized_reference.add_index(tenant, 1);
+        }
+        Outcome::Passthrough => {
+            m.passthrough.inc();
+            m.tenant_passthrough.add_index(tenant, 1);
+        }
         // The ladder never yields these; keep the books honest if it ever
         // does.
-        Outcome::Invalid => m.completed_invalid.inc(),
-        Outcome::Overloaded => m.passthrough.inc(),
+        Outcome::Invalid => {
+            m.completed_invalid.inc();
+            m.tenant_completed_invalid.add_index(tenant, 1);
+        }
+        Outcome::Overloaded => {
+            m.passthrough.inc();
+            m.tenant_passthrough.add_index(tenant, 1);
+        }
     }
 
     shared
         .peak_arena
-        .fetch_max(state.engine.arena_len(), Ordering::Relaxed);
+        .fetch_max(engine.arena_len(), Ordering::Relaxed);
 
     let error = match (gate_error, result.failures.is_empty()) {
         (Some(g), true) => Some(g),
@@ -752,6 +963,7 @@ fn handle<'a>(shared: &'a Shared, job: Job, state: &mut WorkerState<'a>, index: 
     };
     Response {
         id,
+        tenant: Arc::clone(&ten.name),
         outcome: result.outcome,
         plan: Some(result.plan),
         report: result.report,

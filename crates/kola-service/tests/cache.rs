@@ -281,6 +281,148 @@ fn breaker_trip_invalidates_resident_plans() {
     assert_eq!(s.counter("cache_stale"), 2);
 }
 
+/// Satellite of the single-flight fix: a leader whose pass turns out
+/// unserveable (here: its deadline expires mid-hold, so the ladder
+/// degrades to Passthrough) must hand its parked waiters back to the
+/// queue as solo passes — never answer them with the failed reply, never
+/// leave them parked until their own deadlines.
+#[test]
+fn failed_leader_requeues_waiters_as_solo_passes() {
+    let service = Service::start(ServiceConfig {
+        workers: 1,
+        queue_capacity: 32,
+        ..ServiceConfig::default()
+    });
+    let src = id_tower_text(5);
+    // The leader holds its worker past its own deadline: the ladder runs
+    // with the budget already exhausted and degrades to Passthrough —
+    // which is not cacheable, so the flight retires empty-handed.
+    let leader = service
+        .submit(Request::text(src.clone()).with_options(RequestOptions {
+            hold_for: Some(Duration::from_millis(300)),
+            timeout: Some(Duration::from_millis(50)),
+            ..RequestOptions::default()
+        }))
+        .expect("leader admitted");
+    let followers: Vec<_> = (0..5)
+        .map(|_| {
+            service
+                .submit(Request::text(src.clone()))
+                .expect("follower accepted")
+        })
+        .collect();
+    let lead_response = leader.wait();
+    assert_eq!(
+        lead_response.outcome,
+        Outcome::Passthrough,
+        "the leader's expired deadline must degrade it"
+    );
+    // Every waiter fell through to its own engine pass and optimized.
+    for f in followers {
+        let r = f.wait();
+        assert_eq!(
+            r.outcome,
+            Outcome::Optimized { rung: Rung::Fast },
+            "requeued waiter must answer from its own pass"
+        );
+    }
+    let s = service.metrics_snapshot();
+    assert_eq!(s.counter("cache_hits"), 0, "nothing was served from cache");
+    assert_eq!(
+        s.counter("cache_coalesced"),
+        0,
+        "no waiter was answered by the leader"
+    );
+    assert_eq!(
+        s.counter("cache_insertions"),
+        0,
+        "a Passthrough never caches"
+    );
+    assert_eq!(
+        s.counter("admitted"),
+        6,
+        "leader + five requeued waiters each took a queue slot"
+    );
+    assert_eq!(
+        kola_service::conservation_violations(&s),
+        Vec::<String>::new(),
+        "requeue keeps the books balanced"
+    );
+}
+
+/// Satellite of the tenant split: one tenant's breaker trip moves only
+/// its own cache generation. The other tenant's resident plans keep
+/// serving; the tripped tenant recomputes under its reduced rule set.
+#[test]
+fn tenant_trip_leaves_other_tenants_plans_resident() {
+    let service = Service::start(ServiceConfig {
+        workers: 1,
+        tenants: vec!["a".to_string(), "b".to_string()],
+        ..ServiceConfig::default()
+    });
+    let src = id_tower_text(6);
+    // Warm one line per tenant — same query text, tenant-salted keys.
+    let a1 = service.call(Request::text(src.clone()).for_tenant("a"));
+    let b1 = service.call(Request::text(src.clone()).for_tenant("b"));
+    assert_eq!(a1.outcome, Outcome::Optimized { rung: Rung::Fast });
+    assert_eq!(b1.outcome, Outcome::Optimized { rung: Rung::Fast });
+    let s = service.metrics_snapshot();
+    assert_eq!(s.counter("cache_insertions"), 2, "one line per tenant");
+    assert_eq!(s.counter("cache_hits"), 0);
+
+    // Operator-visible trip on tenant "a" only.
+    let a_breaker = service.tenant_breaker("a").expect("tenant a exists");
+    for i in 0..10 {
+        a_breaker.charge("11", 2_000 + i);
+    }
+    assert!(a_breaker.is_open("11"));
+    assert_eq!(
+        service
+            .tenant_breaker("b")
+            .expect("tenant b exists")
+            .generation(),
+        0,
+        "b's generation must not move on a's trip"
+    );
+
+    // b's repeats keep hitting — ten straight, zero recomputes.
+    for _ in 0..10 {
+        let b = service.call(Request::text(src.clone()).for_tenant("b"));
+        assert_eq!(fmt_plan(&b), fmt_plan(&b1), "b serves its resident plan");
+    }
+    let s = service.metrics_snapshot();
+    assert_eq!(s.counter("cache_hits"), 10, "every b repeat was a hit");
+    assert_eq!(s.counter("cache_stale"), 0, "no line went stale yet");
+
+    // a recomputes under its reduced rule set and re-caches.
+    let a2 = service.call(Request::text(src.clone()).for_tenant("a"));
+    assert_eq!(
+        a2.outcome,
+        Outcome::Optimized { rung: Rung::Fast },
+        "a still answers under the reduced rule set"
+    );
+    let s = service.metrics_snapshot();
+    assert_eq!(s.counter("cache_stale"), 1, "a's stale line was reclaimed");
+    assert_eq!(s.counter("cache_insertions"), 3, "a's recompute re-cached");
+    // The hit books are tenant-labelled: all ten hits were b's (plus a's
+    // re-cached line serving its next repeat).
+    let a3 = service.call(Request::text(src).for_tenant("a"));
+    assert_eq!(fmt_plan(&a3), fmt_plan(&a2));
+    let s = service.metrics_snapshot();
+    let lane = |label: &str| {
+        s.family("tenant_cache_hits")
+            .iter()
+            .find(|(l, _)| l == label)
+            .map_or(0, |(_, n)| *n)
+    };
+    assert_eq!(lane("b"), 10);
+    assert_eq!(lane("a"), 1);
+    assert_eq!(
+        kola_service::conservation_violations(&s),
+        Vec::<String>::new()
+    );
+}
+
 fn fmt_plan(r: &Response) -> String {
     format!("{:?}", r.plan)
 }

@@ -352,6 +352,7 @@ fn deadline_expiry_between_rungs_body() {
         tracer: None,
         shard: 0,
         park: None,
+        tenant: None,
     };
     // A workload far too large for the deadline: the fast rung burns the
     // whole budget and stops with DeadlineExpired; by the time the ladder
@@ -423,6 +424,7 @@ fn unparseable_and_oversized_requests_classify_invalid() {
     let r = service.call(Request {
         payload: Payload::Text(big),
         options: RequestOptions::default(),
+        tenant: None,
     });
     assert_eq!(r.outcome, Outcome::Invalid);
     assert!(r.error.as_deref().unwrap().contains("request too large"));

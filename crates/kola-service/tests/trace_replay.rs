@@ -73,7 +73,11 @@ fn generate(rng: &mut Rng) -> Request {
         options.force_fail = vec![Rung::Fast];
         Payload::Text(tower_text(1 + rng.gen_range(0..6usize)))
     };
-    Request { payload, options }
+    Request {
+        payload,
+        options,
+        tenant: None,
+    }
 }
 
 /// Run the seeded stream through a fresh single-worker traced service and

@@ -8,9 +8,16 @@
 #                   failing if the indexed engine is slower than the naive
 #                   engine on the fig4 workload; then run the service soak
 #                   benchmark with its scaling gate (see below).
-#   --chaos-smoke   additionally run a 100-request chaos soak against the
-#                   optimization service, failing on any escaped panic,
-#                   unclassified request, or semantic-gate violation.
+#   --chaos-smoke   additionally run a 5-seed matrix of 100-request chaos
+#                   soaks against the optimization service, failing on any
+#                   escaped panic, unclassified request, or semantic-gate
+#                   violation under any seed.
+#   --tenant-smoke  additionally run a two-tenant noisy-neighbor soak: a
+#                   clean victim tenant against an aggressor pouring
+#                   poison-rule panics and admission floods into the same
+#                   workers, failing if the victim's outcome taxonomy
+#                   changes, a breaker charge or cache invalidation crosses
+#                   the tenant wall, or the per-tenant books don't balance.
 #   --cache-smoke   additionally run the plan-cache smoke gate: a short
 #                   repeated-traffic soak at a 90% target hit rate (fails
 #                   below 85% achieved, or on any conservation violation)
@@ -30,12 +37,14 @@ BENCH_SMOKE_RUN=0
 CHAOS_SMOKE_RUN=0
 OBS_SMOKE_RUN=0
 CACHE_SMOKE_RUN=0
+TENANT_SMOKE_RUN=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE_RUN=1 ;;
     --chaos-smoke) CHAOS_SMOKE_RUN=1 ;;
     --obs-smoke) OBS_SMOKE_RUN=1 ;;
     --cache-smoke) CACHE_SMOKE_RUN=1 ;;
+    --tenant-smoke) TENANT_SMOKE_RUN=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -73,9 +82,23 @@ if [ "$BENCH_SMOKE_RUN" = 1 ]; then
 fi
 
 if [ "$CHAOS_SMOKE_RUN" = 1 ]; then
-  echo "== chaos smoke (100-request service soak)"
-  CHAOS_REQUESTS=100 \
-    cargo run -p kola-service --bin chaos-soak --release --offline
+  # Seed matrix: the soak's invariants are scheduling-independent, but each
+  # seed shapes a different stream (which rules poison, which requests
+  # flood, which deadlines bite) — five seeds cover more of that space than
+  # one longer run at the same cost.
+  # 12648430 is the soak's default seed (0xC0FFEE) in the decimal form the
+  # binary's env parser accepts.
+  for seed in 12648430 1 2 3 4; do
+    echo "== chaos smoke (100-request service soak, seed ${seed})"
+    CHAOS_REQUESTS=100 CHAOS_SEED="${seed}" \
+      cargo run -p kola-service --bin chaos-soak --release --offline
+  done
+fi
+
+if [ "$TENANT_SMOKE_RUN" = 1 ]; then
+  echo "== tenant smoke (two-tenant noisy-neighbor soak)"
+  TENANT_REQUESTS=1000 \
+    cargo run -p kola-service --bin tenant-smoke --release --offline
 fi
 
 if [ "$CACHE_SMOKE_RUN" = 1 ]; then
