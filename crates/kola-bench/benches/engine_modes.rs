@@ -1,13 +1,16 @@
 //! Engine-mode comparison: the boxed reference engine vs the fast engine's
-//! three layers (interning, head-symbol indexing, normalization memo).
+//! three layers (interning, discrimination-tree indexing, normalization
+//! memo) — plus the catalog-size sweep behind the flat-match gate.
 //!
 //! Emits a machine-readable `BENCH_rewrite.json` at the repository root so
 //! the README table and CI gate consume the same numbers this binary
 //! prints. Environment switches:
 //!
 //! - `BENCH_SMOKE=1` — short warmup/batches (sub-second total), for CI.
-//! - `BENCH_ENFORCE=1` — exit nonzero if the indexed engine is slower than
-//!   the naive engine on the fig4 workload.
+//! - `BENCH_ENFORCE=1` — exit nonzero if (a) the indexed engine is slower
+//!   than the naive engine on the fig4 workload, or (b) per-step match cost
+//!   under the tree index is not flat (±20%) from the 154-rule seed catalog
+//!   to the full 500+-rule closed catalog (the `sweep` rows).
 
 use kola::term::{Func, Query};
 use kola_bench::{bench_ns, smoke_mode};
@@ -97,6 +100,85 @@ struct Row {
     memoized_ns: u128,
 }
 
+/// One catalog-size point of the flat-match sweep: the fig4 query
+/// normalized over the first `rules` catalog rules, tree-indexed vs
+/// head-indexed, cost expressed per rewrite step.
+struct SweepRow {
+    rules: usize,
+    steps: usize,
+    tree_ns: u128,
+    head_ns: u128,
+}
+
+impl SweepRow {
+    fn tree_per_step(&self) -> f64 {
+        self.tree_ns as f64 / self.steps.max(1) as f64
+    }
+    fn head_per_step(&self) -> f64 {
+        self.head_ns as f64 / self.steps.max(1) as f64
+    }
+}
+
+/// Seed-catalog size: figures 5+8, structural, and the first extended pool
+/// — the rule count before the n-family and the systematic closure were
+/// added. The sweep's baseline point.
+const SEED_RULES: usize = 154;
+
+/// Measure fresh-normalization cost at each catalog-prefix size. Engines
+/// are reused (index built once, outside the timing), but caches are
+/// dropped before every iteration so each measures a cold normalization
+/// through a warm index — per-step *match* cost, not memo replay.
+///
+/// The sizes are measured in three interleaved rounds and each point
+/// keeps its fastest round: the gate below compares points *against each
+/// other*, so a CPU-throttling window or background load landing on one
+/// slice of a sequential run must not masquerade as catalog-size growth.
+/// A genuine O(rules) cost survives the min — it inflates every round of
+/// the larger points equally.
+fn sweep(catalog: &Catalog, props: &PropDb, sizes: &[usize], query: &Query) -> Vec<SweepRow> {
+    let budget = Budget::default();
+    let mut points: Vec<(usize, usize, Engine, Engine)> = sizes
+        .iter()
+        .map(|&size| {
+            let rules: Vec<Oriented> = catalog.rules()[..size].iter().map(Oriented::fwd).collect();
+            let mut tree = Engine::new(rules.clone(), props, EngineConfig::indexed());
+            let mut head = Engine::new(rules, props, EngineConfig::head_indexed());
+            let reference = tree.normalize(query, &budget);
+            let check = head.normalize(query, &budget);
+            assert_eq!(
+                check.query, reference.query,
+                "sweep@{size}: head-indexed engine disagrees with tree-indexed"
+            );
+            (size, reference.report.steps, tree, head)
+        })
+        .collect();
+
+    let mut rows: Vec<SweepRow> = points
+        .iter()
+        .map(|&(rules, steps, ..)| SweepRow {
+            rules,
+            steps,
+            tree_ns: u128::MAX,
+            head_ns: u128::MAX,
+        })
+        .collect();
+    for round in 0..3 {
+        for (row, (size, _, tree, head)) in rows.iter_mut().zip(points.iter_mut()) {
+            let tree_ns = bench_ns(&format!("sweep{size}/tree#{round}"), || {
+                tree.reset_caches();
+                tree.normalize(black_box(query), &budget)
+            });
+            let head_ns = bench_ns(&format!("sweep{size}/head#{round}"), || {
+                head.reset_caches();
+                head.normalize(black_box(query), &budget)
+            });
+            row.tree_ns = row.tree_ns.min(tree_ns);
+            row.head_ns = row.head_ns.min(head_ns);
+        }
+    }
+    rows
+}
+
 fn main() {
     let catalog = Catalog::paper();
     let props = PropDb::new();
@@ -142,7 +224,26 @@ fn main() {
         });
     }
 
-    let json = render_json(&rows);
+    // Catalog-size sweep: the same fig4 query over growing catalog
+    // prefixes. The 154-rule prefix is exactly the pre-closure seed
+    // catalog; the last point is the full closed pool. The claim under
+    // test: the discrimination tree keeps per-step match cost flat as the
+    // pool grows past the paper's 500-rule operating point.
+    let fig4_query =
+        kola::parse::parse_query("iterate(Kp(T), city) . iterate(Kp(T), addr) ! P").unwrap();
+    assert!(
+        catalog.len() >= 500,
+        "closed catalog below the 500-rule operating point: {}",
+        catalog.len()
+    );
+    let sweep = sweep(
+        &catalog,
+        &props,
+        &[SEED_RULES, 300, catalog.len()],
+        &fig4_query,
+    );
+
+    let json = render_json(&rows, &sweep);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_rewrite.json");
     std::fs::write(path, &json).expect("write BENCH_rewrite.json");
     println!("wrote {path}");
@@ -160,10 +261,32 @@ fn main() {
             "BENCH_ENFORCE: ok (fig4 indexed {:.2}x naive)",
             fig4.naive_ns as f64 / fig4.indexed_ns.max(1) as f64
         );
+
+        // The flat-match gate: per-step cost at the full closed catalog
+        // must stay within +20% of the seed-catalog cost. Only an upper
+        // bound — getting *faster* with more rules is not a failure.
+        let seed = &sweep[0];
+        let full = sweep.last().expect("sweep has points");
+        let ratio = full.tree_per_step() / seed.tree_per_step().max(f64::MIN_POSITIVE);
+        if ratio > 1.2 {
+            eprintln!(
+                "BENCH_ENFORCE: per-step match cost not flat across catalog sizes: \
+                 {:.1} ns/step @ {} rules vs {:.1} ns/step @ {} rules (ratio {ratio:.3} > 1.2)",
+                seed.tree_per_step(),
+                seed.rules,
+                full.tree_per_step(),
+                full.rules,
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "BENCH_ENFORCE: ok (per-step cost {} -> {} rules: ratio {ratio:.3})",
+            seed.rules, full.rules
+        );
     }
 }
 
-fn render_json(rows: &[Row]) -> String {
+fn render_json(rows: &[Row], sweep: &[SweepRow]) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"engine_modes\",\n");
     out.push_str(&format!("  \"smoke\": {},\n", smoke_mode()));
@@ -183,6 +306,21 @@ fn render_json(rows: &[Row]) -> String {
             speedup(r.indexed_ns),
             speedup(r.memoized_ns),
             if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"sweep\": [\n");
+    for (i, s) in sweep.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rules\": {}, \"steps\": {}, \"tree_ns\": {}, \"head_ns\": {}, \
+             \"tree_per_step_ns\": {:.1}, \"head_per_step_ns\": {:.1}}}{}\n",
+            s.rules,
+            s.steps,
+            s.tree_ns,
+            s.head_ns,
+            s.tree_per_step(),
+            s.head_per_step(),
+            if i + 1 < sweep.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");

@@ -17,11 +17,13 @@
 //! Structural rules have letter ids (`app`, `18a`, …); extended-pool rules
 //! are prefixed `e`.
 
+use crate::dtree::IndexStats;
 use crate::engine::Oriented;
 use crate::matching::{func_head_key, pred_head_key, query_head_key, HeadKey};
 use crate::props::{PropKind, PropTerm};
 use crate::rule::{Direction, RewritePair, Rule, RuleSource};
 use kola::intern::Tag;
+use kola::pattern::{PFunc, PPred, PQuery};
 use std::collections::{BTreeMap, HashMap};
 
 /// A rule pool with id-based lookup.
@@ -112,7 +114,10 @@ impl Catalog {
     }
 
     /// The full paper catalog: Figures 5 + 8, structural rules, extended
-    /// pool.
+    /// pool, the n-family Bool/set/aggregate identities, and the systematic
+    /// context closure of all of the above (see [`closures`]). Every rule is
+    /// machine-verified by `kola-verify`; the closure takes the pool past the
+    /// paper's "500 rules" operating point.
     pub fn paper() -> Catalog {
         let mut c = Catalog::new();
         for r in figure5() {
@@ -126,6 +131,13 @@ impl Catalog {
         }
         for r in extended() {
             c.add(r.from_source(RuleSource::Extended));
+        }
+        for r in nfamily() {
+            c.add(r.from_source(RuleSource::Extended));
+        }
+        let closed = closures(c.rules());
+        for r in closed {
+            c.add(r);
         }
         c
     }
@@ -207,7 +219,10 @@ impl LevelIndex {
     }
 }
 
-/// Head-symbol discrimination index over an oriented rule list.
+/// Head-symbol discrimination index over an oriented rule list — the
+/// depth-1 predecessor of the discrimination tree ([`crate::dtree::RuleIndex`]),
+/// kept as a differential oracle and as the `EngineConfig::head_indexed`
+/// dispatch mode.
 ///
 /// Built once per engine run from the *oriented* heads (a backward
 /// orientation indexes the rule's right-hand side; backward orientations of
@@ -217,17 +232,17 @@ impl LevelIndex {
 /// tried in the same order, minus the ones whose head constructor already
 /// rules them out.
 #[derive(Debug, Clone, Default)]
-pub struct RuleIndex {
+pub struct HeadIndex {
     func: LevelIndex,
     pred: LevelIndex,
     query: LevelIndex,
     ids: Vec<String>,
 }
 
-impl RuleIndex {
+impl HeadIndex {
     /// Build the index for `rules` (positions refer to this slice).
-    pub fn build(rules: &[Oriented]) -> RuleIndex {
-        let mut ix = RuleIndex::default();
+    pub fn build(rules: &[Oriented]) -> HeadIndex {
+        let mut ix = HeadIndex::default();
         for (pos, o) in rules.iter().enumerate() {
             ix.ids.push(o.rule.id.clone());
             if o.dir == Direction::Backward && !o.rule.bidirectional {
@@ -303,7 +318,8 @@ impl RuleIndex {
     /// number of head-key buckets, total bucketed entries, and wildcard
     /// entries. The wildcard count is the index's weak spot — every node at
     /// that level pays for those rules — so it is the number worth watching
-    /// when the catalog grows.
+    /// when the catalog grows. The `tree_*` fields of [`IndexStats`] belong
+    /// to the discrimination tree and stay zero here.
     pub fn describe(&self) -> IndexStats {
         fn level(l: &LevelIndex) -> (usize, usize, usize) {
             (
@@ -325,31 +341,9 @@ impl RuleIndex {
             query_buckets: qb,
             query_entries: qe,
             query_wildcard: qw,
+            ..IndexStats::default()
         }
     }
-}
-
-/// Bucket shape of a [`RuleIndex`] (see [`RuleIndex::describe`]).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct IndexStats {
-    /// Distinct head-key buckets at the function level.
-    pub func_buckets: usize,
-    /// Total bucketed positions at the function level.
-    pub func_entries: usize,
-    /// Wildcard (metavariable-rooted) positions at the function level.
-    pub func_wildcard: usize,
-    /// Distinct head-key buckets at the predicate level.
-    pub pred_buckets: usize,
-    /// Total bucketed positions at the predicate level.
-    pub pred_entries: usize,
-    /// Wildcard positions at the predicate level.
-    pub pred_wildcard: usize,
-    /// Distinct head-key buckets at the query level.
-    pub query_buckets: usize,
-    /// Total bucketed positions at the query level.
-    pub query_entries: usize,
-    /// Wildcard positions at the query level.
-    pub query_wildcard: usize,
 }
 
 /// Figure 5: the sixteen general-purpose rules.
@@ -921,6 +915,225 @@ pub fn cleanup_ids() -> Vec<&'static str> {
     vec![
         "1", "2", "3", "4", "4a", "5", "6", "8", "9", "10", "e32", "e6", "e3",
     ]
+}
+
+/// New identities beyond the paper's figures and the first extended pool:
+/// Boolean algebra over predicates (contradiction, excluded middle,
+/// absorption, totality of the comparison order), set algebra over queries
+/// (associativity, distributivity, difference laws), and aggregate-style
+/// function laws over the set combinators (`sunion`/`sinter`/`sdiff` units,
+/// empty-source collapse). Ids are prefixed `n`.
+pub fn nfamily() -> Vec<Rule> {
+    vec![
+        // --- Boolean / predicate identities ---
+        Rule::pred("n1", "and-contradiction", "%p & ~%p", "Kp(F)"),
+        Rule::pred("n2", "or-excluded-middle", "%p | ~%p", "Kp(T)"),
+        Rule::pred("n3", "and-absorb-idem", "%p & (%p & %q)", "%p & %q"),
+        Rule::pred("n4", "or-absorb-idem", "%p | (%p | %q)", "%p | %q"),
+        Rule::pred("n5", "case-split", "(%p & %q) | (%p & ~%q)", "%p"),
+        Rule::pred("n6", "conv-const-true", "inv(Kp(T))", "Kp(T)"),
+        Rule::pred("n7", "conv-const-false", "inv(Kp(F))", "Kp(F)"),
+        Rule::pred("n8", "eq-lt-disjoint", "eq & lt", "Kp(F)"),
+        Rule::pred("n9", "eq-gt-disjoint", "eq & gt", "Kp(F)"),
+        Rule::pred("n10", "leq-geq-total", "leq | geq", "Kp(T)"),
+        Rule::pred("n11", "lt-geq-total", "lt | geq", "Kp(T)"),
+        Rule::pred("n12", "gt-leq-total", "gt | leq", "Kp(T)"),
+        Rule::pred("n13", "and-absorb-or", "%p & (%p | %q)", "%p"),
+        Rule::pred("n14", "or-absorb-and", "%p | (%p & %q)", "%p"),
+        // --- set algebra (query level) ---
+        Rule::query(
+            "n20",
+            "intersect-assoc",
+            "(^A intersect ^B) intersect ^C",
+            "^A intersect (^B intersect ^C)",
+        ),
+        Rule::query(
+            "n21",
+            "partition",
+            "(^A intersect ^B) union (^A diff ^B)",
+            "^A",
+        ),
+        Rule::query(
+            "n22",
+            "diff-diff",
+            "(^A diff ^B) diff ^C",
+            "^A diff (^B union ^C)",
+        ),
+        Rule::query(
+            "n23",
+            "diff-roundtrip",
+            "^A diff (^A diff ^B)",
+            "^A intersect ^B",
+        ),
+        Rule::query(
+            "n24",
+            "intersect-diff-assoc",
+            "^A intersect (^B diff ^C)",
+            "(^A intersect ^B) diff ^C",
+        ),
+        Rule::query(
+            "n25",
+            "union-intersect-distrib",
+            "^A union (^B intersect ^C)",
+            "(^A union ^B) intersect (^A union ^C)",
+        ),
+        Rule::query(
+            "n26",
+            "intersect-union-distrib",
+            "^A intersect (^B union ^C)",
+            "(^A intersect ^B) union (^A intersect ^C)",
+        ),
+        // --- aggregate-style function laws ---
+        Rule::func("n30", "swap-pairing", "(pi2, pi1) . ($f, $g)", "($g, $f)"),
+        Rule::func("n31", "sunion-empty-left", "sunion . (Kf({}), id)", "id"),
+        Rule::func("n32", "sunion-empty-right", "sunion . (id, Kf({}))", "id"),
+        Rule::func("n33", "sdiff-empty-right", "sdiff . (id, Kf({}))", "id"),
+        Rule::func("n34", "sunion-self", "sunion . (id, id)", "id"),
+        Rule::func("n35", "sinter-self", "sinter . (id, id)", "id"),
+        Rule::func("n36", "sdiff-self", "sdiff . (id, id)", "Kf({})"),
+        Rule::func(
+            "n37",
+            "iterate-empty-source",
+            "iterate(%p, $f) . Kf({})",
+            "Kf({})",
+        ),
+    ]
+}
+
+/// Rules excluded from closure generation because the closed form is
+/// ill-typed: `union` forces both operands to be sets, but these rules'
+/// sides are pair-valued (`e122`, `e123`) or Boolean-valued (`e154`).
+const CLOSURE_SKIP: &[&str] = &["e122", "e123", "e154"];
+
+/// Systematic context closure of a verified pool: embed each equivalence
+/// `L == R` into every discriminating one-hole context the algebra offers.
+/// If `L == R` holds, so does `C[L] == C[R]` for any context `C` — so every
+/// generated rule is sound by congruence, and each is still independently
+/// machine-verified by `kola-verify` like any handwritten rule.
+///
+/// Families (suffix appended to the base id):
+///
+/// - function rules: `pw` pair-with `(L, $zz) == (R, $zz)`, `ap` application
+///   `L ! ^zx == R ! ^zx`, `cd` conditional branch
+///   `con(%zp, L, $zz) == con(%zp, R, $zz)`;
+/// - predicate rules: `op` precomposition `L @ $zz == R @ $zz`, `nt`
+///   negation `~L == ~R`, `ts` test `L ? ^zx == R ? ^zx`;
+/// - query rules: `un` union `L union ^zq == R union ^zq`.
+///
+/// Every family wraps the base pattern under a *concrete* head constructor,
+/// so the discrimination tree keeps telling the closure apart from
+/// unrelated probes after one or two edges — per-step match cost stays flat
+/// as the pool grows (the benchmark gate in `kola-bench`). The one closure
+/// family deliberately *not* generated is right-composition
+/// `L . $zz == R . $zz`: its first chain segment is identical to the base
+/// rule's, so it would shadow the base rule in every index bucket, never
+/// fire (the base rule's prefix match wins at a lower position), and double
+/// the failed-match work at every composition node.
+///
+/// Preconditioned rules are skipped (the closure would need to re-prove the
+/// precondition about a subterm of the new pattern), as are the ill-typed
+/// combinations in [`CLOSURE_SKIP`]. One-way rules produce one-way closures.
+pub fn closures(base: &[Rule]) -> Vec<Rule> {
+    let fresh_f = || Box::new(PFunc::Var("zz".into()));
+    let fresh_p = || Box::new(PPred::Var("zp".into()));
+    let fresh_q = || Box::new(PQuery::Var("zq".into()));
+    let fresh_x = || Box::new(PQuery::Var("zx".into()));
+    let mut out = Vec::new();
+    for r in base {
+        if !r.preconditions.is_empty() || CLOSURE_SKIP.contains(&r.id.as_str()) {
+            continue;
+        }
+        match &r.alts[0] {
+            RewritePair::F(..) => {
+                close(&mut out, r, "pw", "pair-with", |a| {
+                    let RewritePair::F(l, r) = a else {
+                        unreachable!()
+                    };
+                    RewritePair::F(
+                        PFunc::PairWith(Box::new(l.clone()), fresh_f()),
+                        PFunc::PairWith(Box::new(r.clone()), fresh_f()),
+                    )
+                });
+                close(&mut out, r, "ap", "applied", |a| {
+                    let RewritePair::F(l, r) = a else {
+                        unreachable!()
+                    };
+                    RewritePair::Q(
+                        PQuery::App(l.clone(), fresh_x()),
+                        PQuery::App(r.clone(), fresh_x()),
+                    )
+                });
+                close(&mut out, r, "cd", "cond-branch", |a| {
+                    let RewritePair::F(l, r) = a else {
+                        unreachable!()
+                    };
+                    RewritePair::F(
+                        PFunc::Cond(fresh_p(), Box::new(l.clone()), fresh_f()),
+                        PFunc::Cond(fresh_p(), Box::new(r.clone()), fresh_f()),
+                    )
+                });
+            }
+            RewritePair::P(..) => {
+                close(&mut out, r, "op", "oplus", |a| {
+                    let RewritePair::P(l, r) = a else {
+                        unreachable!()
+                    };
+                    RewritePair::P(
+                        PPred::Oplus(Box::new(l.clone()), fresh_f()),
+                        PPred::Oplus(Box::new(r.clone()), fresh_f()),
+                    )
+                });
+                close(&mut out, r, "nt", "negated", |a| {
+                    let RewritePair::P(l, r) = a else {
+                        unreachable!()
+                    };
+                    RewritePair::P(
+                        PPred::Not(Box::new(l.clone())),
+                        PPred::Not(Box::new(r.clone())),
+                    )
+                });
+                close(&mut out, r, "ts", "tested", |a| {
+                    let RewritePair::P(l, r) = a else {
+                        unreachable!()
+                    };
+                    RewritePair::Q(
+                        PQuery::Test(l.clone(), fresh_x()),
+                        PQuery::Test(r.clone(), fresh_x()),
+                    )
+                });
+            }
+            RewritePair::Q(..) => {
+                close(&mut out, r, "un", "unioned", |a| {
+                    let RewritePair::Q(l, r) = a else {
+                        unreachable!()
+                    };
+                    RewritePair::Q(
+                        PQuery::Union(Box::new(l.clone()), fresh_q()),
+                        PQuery::Union(Box::new(r.clone()), fresh_q()),
+                    )
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Build one closure rule by mapping `map` over every alternative of `r`.
+fn close(
+    out: &mut Vec<Rule>,
+    r: &Rule,
+    suffix: &str,
+    name: &str,
+    map: impl Fn(&RewritePair) -> RewritePair,
+) {
+    out.push(Rule {
+        id: format!("{}{}", r.id, suffix),
+        name: format!("{}-{}", r.name, name),
+        alts: r.alts.iter().map(&map).collect(),
+        preconditions: Vec::new(),
+        bidirectional: r.bidirectional,
+        source: RuleSource::Closure,
+    });
 }
 
 #[cfg(test)]

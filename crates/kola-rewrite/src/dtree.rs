@@ -1,0 +1,739 @@
+//! Discrimination-tree (path-indexed) rule dispatch over interned terms.
+//!
+//! The head-symbol index ([`crate::catalog::HeadIndex`]) discriminates one
+//! constructor deep: a node's root tag plus its first child's tag pick a
+//! bucket, and everything in the bucket is tried. That is the degenerate
+//! depth-1 form of a *discrimination tree* — the classic term-indexing
+//! structure (Stickel/McCune) this module implements in full: every oriented
+//! rule head is serialized into its **preorder constructor walk** (one
+//! [`Edge::Sym`] per concrete constructor, one [`Edge::Star`] per
+//! metavariable, which stands for a whole subtree) and inserted into a trie.
+//! Candidate selection at a redex is then a single walk of the interned
+//! term's own preorder against the trie, following `Sym` edges where tags
+//! agree and `Star` edges always (popping the whole subtree), collecting
+//! rule positions at accepting nodes.
+//!
+//! ## Exactness contract
+//!
+//! The walk returns a **superset** of the rules whose head can match the
+//! node, in **ascending rule position** (candidates are sorted, so "first
+//! matching rule in list order" is preserved bit-for-bit). Sources of
+//! over-approximation, all deliberate:
+//!
+//! * payloads are not discriminated — `Prim("age")` and `Prim("addr")` share
+//!   the `Sym(FPrim)` edge (tag-only edges keep the alphabet small);
+//! * walks longer than [`MAX_WALK`] edges are truncated, accepting early
+//!   (deep patterns admit a few extra candidates instead of growing the
+//!   trie without bound);
+//! * at the function level only the **first chain segment** of the pattern
+//!   is indexed, mirroring [`crate::matching::match_func_prefix`], which
+//!   commits on the first segment before examining the window's tail.
+//!
+//! Under-approximation is impossible by construction: every edge the walk
+//! refuses corresponds to a constructor disagreement that would also make
+//! [`crate::imatch`]'s structural matcher fail.
+//!
+//! ## Quarantine pruning
+//!
+//! Mid-run quarantine must reach the index, not just the linear scan. The
+//! head-symbol index handled this by deleting bucket entries and rebuilding
+//! the whole index before the next run. Here removal is **journaled**:
+//! [`RuleIndex::remove`] deletes the rule's accept entries (O(pattern
+//! depth) — the sites map knows exactly which nodes hold them) and records
+//! each deletion; [`RuleIndex::restore`] replays the journal in reverse,
+//! putting every entry back at its original offset. A breaker trip therefore
+//! costs a handful of `Vec::remove`s instead of an index rebuild, and the
+//! next run starts from the full tree with two memmoves per evicted rule.
+
+use crate::engine::Oriented;
+use crate::matching::{pchain_segments, pfunc_tag, ppred_tag, pquery_tag};
+use crate::rule::{Direction, RewritePair};
+use kola::intern::{ITerm, Tag};
+use kola::pattern::{PFunc, PPred, PQuery};
+
+/// Truncation cap on a pattern's edge walk. Patterns longer than this accept
+/// early (superset semantics); the deepest catalog head is well under it.
+const MAX_WALK: usize = 32;
+
+/// Sentinel for "no node".
+const NONE: u32 = u32::MAX;
+
+/// One edge label of the trie: a concrete constructor or a metavariable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Edge {
+    /// A metavariable: consumes one whole subtree of the term.
+    Star,
+    /// A concrete constructor: consumes one node, descends into its kids.
+    Sym(Tag),
+}
+
+/// A trie node. Children are a small sorted-by-insertion linear-scan vec —
+/// fanout is bounded by the tag alphabet and in practice tiny.
+#[derive(Debug, Clone, Default)]
+struct DNode {
+    /// The `*` child, if any.
+    star: u32,
+    /// Concrete-constructor children.
+    kids: Vec<(Tag, u32)>,
+    /// Rule positions whose pattern walk ends here (ascending — patterns
+    /// are inserted in rule-position order).
+    accepts: Vec<usize>,
+}
+
+impl DNode {
+    fn new() -> DNode {
+        DNode {
+            star: NONE,
+            kids: Vec::new(),
+            accepts: Vec::new(),
+        }
+    }
+
+    fn kid(&self, tag: Tag) -> Option<u32> {
+        self.kids.iter().find(|(t, _)| *t == tag).map(|(_, n)| *n)
+    }
+}
+
+/// One level's trie (func, pred, or query), with node 0 the root.
+#[derive(Debug, Clone)]
+struct DTree {
+    nodes: Vec<DNode>,
+}
+
+impl Default for DTree {
+    fn default() -> Self {
+        DTree {
+            nodes: vec![DNode::new()],
+        }
+    }
+}
+
+impl DTree {
+    /// Walk `edges` from the root, creating nodes as needed; returns the
+    /// final node's index.
+    fn insert_path(&mut self, edges: &[Edge]) -> u32 {
+        let mut at = 0u32;
+        for e in edges {
+            let next = match e {
+                Edge::Star => self.nodes[at as usize].star,
+                Edge::Sym(t) => self.nodes[at as usize].kid(*t).unwrap_or(NONE),
+            };
+            at = if next != NONE {
+                next
+            } else {
+                let fresh = self.nodes.len() as u32;
+                self.nodes.push(DNode::new());
+                match e {
+                    Edge::Star => self.nodes[at as usize].star = fresh,
+                    Edge::Sym(t) => self.nodes[at as usize].kids.push((*t, fresh)),
+                }
+                fresh
+            };
+        }
+        at
+    }
+
+    /// Collect accepts along every trie path compatible with the term whose
+    /// preorder remainder sits on `stack` (top = next subtree). Arriving at
+    /// a node yields its accepts unconditionally: for full patterns the
+    /// preorder serialization is prefix-free (arity is tag-determined), so
+    /// arrival means the whole skeleton agreed; for truncated patterns
+    /// arrival early is exactly the intended superset.
+    fn walk(&self, at: u32, stack: &mut Vec<&ITerm>, out: &mut Vec<usize>) {
+        let node = &self.nodes[at as usize];
+        out.extend_from_slice(&node.accepts);
+        let Some(&t) = stack.last() else { return };
+        if node.star != NONE {
+            stack.pop();
+            self.walk(node.star, stack, out);
+            stack.push(t);
+        }
+        if let Some(next) = node.kid(t.tag()) {
+            stack.pop();
+            let kids = t.kids();
+            for k in kids.iter().rev() {
+                stack.push(k);
+            }
+            self.walk(next, stack, out);
+            for _ in kids {
+                stack.pop();
+            }
+            stack.push(t);
+        }
+    }
+
+    /// Nodes reachable from `at`, accept entries among them, and max depth.
+    fn subtree_stats(&self, at: u32, depth: usize, acc: &mut (usize, usize, usize)) {
+        let node = &self.nodes[at as usize];
+        acc.0 += 1;
+        acc.1 += node.accepts.len();
+        acc.2 = acc.2.max(depth);
+        if node.star != NONE {
+            self.subtree_stats(node.star, depth + 1, acc);
+        }
+        for (_, n) in &node.kids {
+            self.subtree_stats(*n, depth + 1, acc);
+        }
+    }
+}
+
+/// Which level's tree an accept entry lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LevelTag {
+    F,
+    P,
+    Q,
+}
+
+/// A journaled accept removal: enough to reinsert the entry exactly where
+/// it was.
+#[derive(Debug, Clone)]
+struct Removed {
+    level: LevelTag,
+    node: u32,
+    offset: usize,
+    pos: usize,
+}
+
+/// Discrimination-tree index over an oriented rule list (see module docs).
+///
+/// This is the engine's default dispatch structure; the depth-1
+/// [`crate::catalog::HeadIndex`] it replaces is kept as a differential
+/// oracle. The public name `RuleIndex` is preserved so downstream callers
+/// ([`crate::fast::Engine`], kola-service snapshots) follow the upgrade
+/// without renaming.
+#[derive(Debug, Clone, Default)]
+pub struct RuleIndex {
+    func: DTree,
+    pred: DTree,
+    query: DTree,
+    ids: Vec<String>,
+    /// Per rule position: the accept sites `(level, node)` holding it —
+    /// what makes [`RuleIndex::remove`] O(pattern depth).
+    sites: Vec<Vec<(LevelTag, u32)>>,
+    /// Reverse-order journal of removals since the last [`RuleIndex::restore`].
+    journal: Vec<Removed>,
+}
+
+impl RuleIndex {
+    /// Build the index for `rules` (positions refer to this slice).
+    /// Backward orientations of one-way rules are unreachable and are not
+    /// indexed, exactly as the head-symbol index skips them.
+    pub fn build(rules: &[Oriented]) -> RuleIndex {
+        let mut ix = RuleIndex::default();
+        for (pos, o) in rules.iter().enumerate() {
+            ix.ids.push(o.rule.id.clone());
+            ix.sites.push(Vec::new());
+            if o.dir == Direction::Backward && !o.rule.bidirectional {
+                continue;
+            }
+            for alt in &o.rule.alts {
+                let (level, tree, edges) = match alt {
+                    RewritePair::F(l, r) => {
+                        let head = if o.dir == Direction::Forward { l } else { r };
+                        (LevelTag::F, &mut ix.func, func_edges(head))
+                    }
+                    RewritePair::P(l, r) => {
+                        let head = if o.dir == Direction::Forward { l } else { r };
+                        (LevelTag::P, &mut ix.pred, pred_edges(head))
+                    }
+                    RewritePair::Q(l, r) => {
+                        let head = if o.dir == Direction::Forward { l } else { r };
+                        (LevelTag::Q, &mut ix.query, query_edges(head))
+                    }
+                };
+                let node = tree.insert_path(&edges);
+                let accepts = &mut tree.nodes[node as usize].accepts;
+                // A rule's alternatives are processed consecutively; two
+                // alts with the same skeleton would double-insert.
+                if accepts.last() != Some(&pos) {
+                    accepts.push(pos);
+                    ix.sites[pos].push((level, node));
+                }
+            }
+        }
+        ix
+    }
+
+    fn tree(&self, level: LevelTag) -> &DTree {
+        match level {
+            LevelTag::F => &self.func,
+            LevelTag::P => &self.pred,
+            LevelTag::Q => &self.query,
+        }
+    }
+
+    fn tree_mut(&mut self, level: LevelTag) -> &mut DTree {
+        match level {
+            LevelTag::F => &mut self.func,
+            LevelTag::P => &mut self.pred,
+            LevelTag::Q => &mut self.query,
+        }
+    }
+
+    /// Remove every accept entry for `rule_id` (all positions carrying that
+    /// id), journaling each deletion for [`RuleIndex::restore`]. Cost is
+    /// O(accept sites) = O(pattern depth), not O(index).
+    pub fn remove(&mut self, rule_id: &str) {
+        for pos in 0..self.ids.len() {
+            if self.ids[pos] != rule_id {
+                continue;
+            }
+            let sites = std::mem::take(&mut self.sites[pos]);
+            for &(level, node) in &sites {
+                let accepts = &mut self.tree_mut(level).nodes[node as usize].accepts;
+                if let Some(offset) = accepts.iter().position(|&p| p == pos) {
+                    accepts.remove(offset);
+                    self.journal.push(Removed {
+                        level,
+                        node,
+                        offset,
+                        pos,
+                    });
+                }
+            }
+            self.sites[pos] = sites;
+        }
+    }
+
+    /// Undo every removal since the last restore, in reverse order, putting
+    /// each accept entry back at its original offset. Quarantine is per-run
+    /// state: the engine calls this at the start of the next run instead of
+    /// rebuilding the index.
+    pub fn restore(&mut self) {
+        while let Some(r) = self.journal.pop() {
+            let accepts = &mut self.tree_mut(r.level).nodes[r.node as usize].accepts;
+            accepts.insert(r.offset, r.pos);
+        }
+    }
+
+    /// True iff a restore-pending removal journal is nonempty.
+    pub fn has_pending_removals(&self) -> bool {
+        !self.journal.is_empty()
+    }
+
+    /// True iff any accept entry for `rule_id` is still present.
+    pub fn contains(&self, rule_id: &str) -> bool {
+        (0..self.ids.len())
+            .filter(|&pos| self.ids[pos] == rule_id)
+            .any(|pos| {
+                self.sites[pos].iter().any(|&(level, node)| {
+                    self.tree(level).nodes[node as usize].accepts.contains(&pos)
+                })
+            })
+    }
+
+    /// Candidate rule positions for a function node, ascending. The walk
+    /// starts at the chain's first segment — what the prefix matcher
+    /// commits on — mirroring the pattern side.
+    pub fn func_candidates(&self, t: &ITerm, out: &mut Vec<usize>) {
+        let mut seg = t;
+        while seg.tag() == Tag::FCompose {
+            seg = &seg.kids()[0];
+        }
+        self.candidates(&self.func, seg, out);
+    }
+
+    /// Candidate rule positions for a predicate node, ascending.
+    pub fn pred_candidates(&self, t: &ITerm, out: &mut Vec<usize>) {
+        self.candidates(&self.pred, t, out);
+    }
+
+    /// Candidate rule positions for a query node, ascending.
+    pub fn query_candidates(&self, t: &ITerm, out: &mut Vec<usize>) {
+        self.candidates(&self.query, t, out);
+    }
+
+    fn candidates(&self, tree: &DTree, t: &ITerm, out: &mut Vec<usize>) {
+        out.clear();
+        let mut stack = vec![t];
+        tree.walk(0, &mut stack, out);
+        out.sort_unstable();
+        out.dedup();
+    }
+
+    /// Tree-shape summary for observability (see [`IndexStats`]).
+    pub fn describe(&self) -> IndexStats {
+        fn level(t: &DTree) -> (usize, usize, usize, usize, usize, usize) {
+            let mut acc = (0usize, 0usize, 0usize);
+            t.subtree_stats(0, 0, &mut acc);
+            let (nodes, entries, max_depth) = acc;
+            let root = &t.nodes[0];
+            let edges: usize = t
+                .nodes
+                .iter()
+                .map(|n| n.kids.len() + usize::from(n.star != NONE))
+                .sum();
+            let stars: usize = t.nodes.iter().map(|n| usize::from(n.star != NONE)).sum();
+            let root_fanout = root.kids.len() + usize::from(root.star != NONE);
+            (nodes, entries, max_depth, edges, stars, root_fanout)
+        }
+        let (fn_, fe, fd, fed, fs, fb) = level(&self.func);
+        let (pn, pe, pd, ped, ps, pb) = level(&self.pred);
+        let (qn, qe, qd, qed, qs, qb) = level(&self.query);
+        let nodes = fn_ + pn + qn;
+        let edges = fed + ped + qed;
+        let interior = nodes.saturating_sub(
+            [&self.func, &self.pred, &self.query]
+                .iter()
+                .flat_map(|t| t.nodes.iter())
+                .filter(|n| n.kids.is_empty() && n.star == NONE)
+                .count(),
+        );
+        IndexStats {
+            func_buckets: fb,
+            func_entries: fe,
+            func_wildcard: wildcard_accepts(&self.func),
+            pred_buckets: pb,
+            pred_entries: pe,
+            pred_wildcard: wildcard_accepts(&self.pred),
+            query_buckets: qb,
+            query_entries: qe,
+            query_wildcard: wildcard_accepts(&self.query),
+            tree_nodes: nodes,
+            tree_max_depth: fd.max(pd).max(qd),
+            tree_edges: edges,
+            tree_wildcard_edges: fs + ps + qs,
+            tree_mean_fanout_milli: (edges * 1000).checked_div(interior).unwrap_or(0),
+        }
+    }
+}
+
+/// Accept entries sitting in the root's `*` subtree — the rules every node
+/// at that level must consider regardless of shape (the tree analogue of
+/// the head index's wildcard bucket).
+fn wildcard_accepts(t: &DTree) -> usize {
+    let root = &t.nodes[0];
+    if root.star == NONE {
+        return 0;
+    }
+    let mut acc = (0usize, 0usize, 0usize);
+    t.subtree_stats(root.star, 1, &mut acc);
+    acc.1
+}
+
+/// Shape summary of a rule index (see [`RuleIndex::describe`] and
+/// [`crate::catalog::HeadIndex::describe`]). The per-level
+/// `{buckets,entries,wildcard}` triples predate the discrimination tree and
+/// keep their meaning (for the tree: root fanout, accept entries, accepts
+/// under the root `*` edge); the `tree_*` fields are zero for the
+/// head-symbol index.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Distinct root-level choices at the function level.
+    pub func_buckets: usize,
+    /// Total indexed positions at the function level.
+    pub func_entries: usize,
+    /// Wildcard (metavariable-rooted) positions at the function level.
+    pub func_wildcard: usize,
+    /// Distinct root-level choices at the predicate level.
+    pub pred_buckets: usize,
+    /// Total indexed positions at the predicate level.
+    pub pred_entries: usize,
+    /// Wildcard positions at the predicate level.
+    pub pred_wildcard: usize,
+    /// Distinct root-level choices at the query level.
+    pub query_buckets: usize,
+    /// Total indexed positions at the query level.
+    pub query_entries: usize,
+    /// Wildcard positions at the query level.
+    pub query_wildcard: usize,
+    /// Total trie nodes across the three levels (0 for the head index).
+    pub tree_nodes: usize,
+    /// Deepest pattern walk in edges (0 for the head index).
+    pub tree_max_depth: usize,
+    /// Total trie edges across the three levels (0 for the head index).
+    pub tree_edges: usize,
+    /// Trie edges labelled `*` (0 for the head index).
+    pub tree_wildcard_edges: usize,
+    /// Mean fanout of interior nodes, in milli-edges (×1000, 0 for the
+    /// head index). Integer so the struct stays `Eq`.
+    pub tree_mean_fanout_milli: usize,
+}
+
+/// Preorder edge walk of a function head: the first chain segment only
+/// (see module docs), truncated at [`MAX_WALK`].
+fn func_edges(pat: &PFunc) -> Vec<Edge> {
+    let first = pchain_segments(pat)[0];
+    let mut out = Vec::new();
+    emit_func(first, &mut out);
+    out
+}
+
+fn pred_edges(pat: &PPred) -> Vec<Edge> {
+    let mut out = Vec::new();
+    emit_pred(pat, &mut out);
+    out
+}
+
+fn query_edges(pat: &PQuery) -> Vec<Edge> {
+    let mut out = Vec::new();
+    emit_query(pat, &mut out);
+    out
+}
+
+fn emit_func(p: &PFunc, out: &mut Vec<Edge>) {
+    if out.len() >= MAX_WALK {
+        return;
+    }
+    let Some(tag) = pfunc_tag(p) else {
+        out.push(Edge::Star);
+        return;
+    };
+    out.push(Edge::Sym(tag));
+    // Children in the interner's kid order (constructor declaration order).
+    match p {
+        PFunc::Compose(a, b)
+        | PFunc::PairWith(a, b)
+        | PFunc::Times(a, b)
+        | PFunc::Nest(a, b)
+        | PFunc::Unnest(a, b) => {
+            emit_func(a, out);
+            emit_func(b, out);
+        }
+        PFunc::ConstF(q) => emit_query(q, out),
+        PFunc::CurryF(f, q) => {
+            emit_func(f, out);
+            emit_query(q, out);
+        }
+        PFunc::Cond(c, f, g) => {
+            emit_pred(c, out);
+            emit_func(f, out);
+            emit_func(g, out);
+        }
+        PFunc::Iterate(c, f) | PFunc::Iter(c, f) | PFunc::Join(c, f) | PFunc::BIterate(c, f) => {
+            emit_pred(c, out);
+            emit_func(f, out);
+        }
+        _ => {}
+    }
+}
+
+fn emit_pred(p: &PPred, out: &mut Vec<Edge>) {
+    if out.len() >= MAX_WALK {
+        return;
+    }
+    let Some(tag) = ppred_tag(p) else {
+        out.push(Edge::Star);
+        return;
+    };
+    out.push(Edge::Sym(tag));
+    match p {
+        PPred::Oplus(a, f) => {
+            emit_pred(a, out);
+            emit_func(f, out);
+        }
+        PPred::And(a, b) | PPred::Or(a, b) => {
+            emit_pred(a, out);
+            emit_pred(b, out);
+        }
+        PPred::Not(a) | PPred::Conv(a) => emit_pred(a, out),
+        PPred::CurryP(a, q) => {
+            emit_pred(a, out);
+            emit_query(q, out);
+        }
+        _ => {}
+    }
+}
+
+fn emit_query(p: &PQuery, out: &mut Vec<Edge>) {
+    if out.len() >= MAX_WALK {
+        return;
+    }
+    let Some(tag) = pquery_tag(p) else {
+        out.push(Edge::Star);
+        return;
+    };
+    out.push(Edge::Sym(tag));
+    match p {
+        PQuery::PairQ(a, b)
+        | PQuery::Union(a, b)
+        | PQuery::Intersect(a, b)
+        | PQuery::Diff(a, b) => {
+            emit_query(a, out);
+            emit_query(b, out);
+        }
+        PQuery::App(f, q) => {
+            emit_func(f, out);
+            emit_query(q, out);
+        }
+        PQuery::Test(c, q) => {
+            emit_pred(c, out);
+            emit_query(q, out);
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{Catalog, HeadIndex};
+    use kola::intern::Interner;
+    use kola::parse::{parse_func, parse_pred, parse_query};
+
+    fn full_forward(c: &Catalog) -> Vec<Oriented<'_>> {
+        c.rules().iter().map(Oriented::fwd).collect()
+    }
+
+    #[test]
+    fn walk_is_superset_of_head_index_matches() {
+        // Against every (term, level) probe below, the tree's candidate set
+        // must contain every rule whose oriented head actually matches —
+        // verified indirectly: each tree candidate set must contain the
+        // rules the *head index* would try AND match. (Full behavioral
+        // equality is pinned by the engine parity suites.)
+        let catalog = Catalog::paper();
+        let rules = full_forward(&catalog);
+        let tree = RuleIndex::build(&rules);
+        let head = HeadIndex::build(&rules);
+        let mut it = Interner::new();
+
+        let funcs = [
+            "pi1 . (age, addr)",
+            "id . age",
+            "iterate(Kp(T), city) . iterate(Kp(T), addr)",
+            "con(Kp(T), pi1, pi2) . age",
+            "dedup . bagify",
+            "(pi2, pi1) . (pi2, pi1)",
+        ];
+        let mut tout = Vec::new();
+        let mut hout = Vec::new();
+        for src in funcs {
+            let t = it.intern_func(&parse_func(src).unwrap());
+            tree.func_candidates(&t, &mut tout);
+            let mut seg = &t;
+            while seg.tag() == Tag::FCompose {
+                seg = &seg.kids()[0];
+            }
+            head.func_candidates(seg.tag(), seg.kids().first().map(|k| k.tag()), &mut hout);
+            for pos in &hout {
+                let o = &rules[*pos];
+                if o.rule
+                    .try_apply_func(&parse_func(src).unwrap(), o.dir)
+                    .ok()
+                    .flatten()
+                    .is_some()
+                {
+                    assert!(
+                        tout.contains(pos),
+                        "{src}: tree dropped matching rule {}",
+                        o.rule.id
+                    );
+                }
+            }
+            assert!(tout.windows(2).all(|w| w[0] < w[1]), "{src}: not ascending");
+        }
+
+        let preds = ["Kp(T) & Kp(T)", "~~lt", "inv(gt)", "eq @ (pi2, pi1)"];
+        for src in preds {
+            let t = it.intern_pred(&parse_pred(src).unwrap());
+            tree.pred_candidates(&t, &mut tout);
+            head.pred_candidates(t.tag(), t.kids().first().map(|k| k.tag()), &mut hout);
+            for pos in &hout {
+                let o = &rules[*pos];
+                if o.rule
+                    .try_apply_pred(&parse_pred(src).unwrap(), o.dir)
+                    .ok()
+                    .flatten()
+                    .is_some()
+                {
+                    assert!(tout.contains(pos), "{src}: tree dropped rule {}", o.rule.id);
+                }
+            }
+        }
+
+        let queries = ["P union P", "id ! P", "{} intersect P"];
+        for src in queries {
+            let t = it.intern_query(&parse_query(src).unwrap());
+            tree.query_candidates(&t, &mut tout);
+            head.query_candidates(t.tag(), t.kids().first().map(|k| k.tag()), &mut hout);
+            for pos in &hout {
+                let o = &rules[*pos];
+                if o.rule
+                    .try_apply_query(&parse_query(src).unwrap(), o.dir)
+                    .ok()
+                    .flatten()
+                    .is_some()
+                {
+                    assert!(tout.contains(pos), "{src}: tree dropped rule {}", o.rule.id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_prunes_more_than_head_buckets() {
+        // The point of the exercise: at a node whose head bucket is wide,
+        // deeper discrimination must cut the candidate list.
+        let catalog = Catalog::paper();
+        let rules = full_forward(&catalog);
+        let tree = RuleIndex::build(&rules);
+        let head = HeadIndex::build(&rules);
+        let mut it = Interner::new();
+        // An iterate-headed chain: the head index lumps every
+        // iterate-rooted rule into one bucket keyed (FIterate, PConstP).
+        let t = it.intern_func(&parse_func("iterate(Kp(F), age) . flat").unwrap());
+        let (mut tout, mut hout) = (Vec::new(), Vec::new());
+        tree.func_candidates(&t, &mut tout);
+        head.func_candidates(Tag::FIterate, Some(Tag::PConstP), &mut hout);
+        assert!(
+            tout.len() < hout.len(),
+            "tree ({}) should discriminate deeper than head buckets ({})",
+            tout.len(),
+            hout.len()
+        );
+        for pos in &tout {
+            assert!(hout.contains(pos), "tree invented candidate {pos}");
+        }
+    }
+
+    #[test]
+    fn remove_restore_roundtrip_is_exact() {
+        let catalog = Catalog::paper();
+        let rules = full_forward(&catalog);
+        let mut ix = RuleIndex::build(&rules);
+        let baseline = {
+            let mut it = Interner::new();
+            let t = it.intern_func(&parse_func("pi1 . (age, addr)").unwrap());
+            let mut out = Vec::new();
+            ix.func_candidates(&t, &mut out);
+            out
+        };
+        assert!(ix.contains("9"));
+        ix.remove("9");
+        ix.remove("e1");
+        assert!(!ix.contains("9"));
+        assert!(!ix.contains("e1"));
+        assert!(ix.has_pending_removals());
+        {
+            let mut it = Interner::new();
+            let t = it.intern_func(&parse_func("pi1 . (age, addr)").unwrap());
+            let mut out = Vec::new();
+            ix.func_candidates(&t, &mut out);
+            let pos9 = rules.iter().position(|o| o.rule.id == "9").unwrap();
+            assert!(!out.contains(&pos9), "removed rule still a candidate");
+        }
+        ix.restore();
+        assert!(!ix.has_pending_removals());
+        assert!(ix.contains("9") && ix.contains("e1"));
+        let mut it = Interner::new();
+        let t = it.intern_func(&parse_func("pi1 . (age, addr)").unwrap());
+        let mut out = Vec::new();
+        ix.func_candidates(&t, &mut out);
+        assert_eq!(out, baseline, "restore must reproduce the exact order");
+    }
+
+    #[test]
+    fn describe_reports_tree_shape() {
+        let catalog = Catalog::paper();
+        let rules = full_forward(&catalog);
+        let stats = RuleIndex::build(&rules).describe();
+        assert!(stats.tree_nodes > 100, "got {} nodes", stats.tree_nodes);
+        assert!(stats.tree_max_depth >= 4);
+        assert!(stats.tree_edges >= stats.tree_nodes - 3);
+        assert!(stats.tree_wildcard_edges > 0);
+        assert!(stats.tree_mean_fanout_milli >= 1000);
+        assert!(stats.func_entries > 0 && stats.pred_entries > 0 && stats.query_entries > 0);
+    }
+}

@@ -1,7 +1,8 @@
 //! The performance stack over the rewrite engine: hash-consed terms,
-//! head-symbol rule dispatch, normal-subtree skipping, and a memoized
-//! normalization cache — all behind an [`EngineConfig`] so the boxed
-//! engine remains available as the differential-testing oracle.
+//! discrimination-tree rule dispatch, normal-subtree skipping, and a
+//! memoized normalization cache — all behind an [`EngineConfig`] so the
+//! boxed engine (and the depth-1 head-symbol index the tree replaced)
+//! remain available as differential-testing oracles.
 //!
 //! ## Exactness contract
 //!
@@ -19,9 +20,12 @@
 //!   ([`crate::imatch`]) shares every bound subterm. The
 //!   [`crate::imatch::icompose`] invariant keeps every constructed term
 //!   right-normalized, so no whole-term `normalize()` pass is needed.
-//! * **Indexing** ([`RuleIndex`]) merges head-keyed buckets in ascending
-//!   rule position, so the candidate scan tries the same rules in the same
-//!   order, minus ones whose head constructor already rules them out.
+//! * **Indexing** walks the interned node through the discrimination tree
+//!   ([`RuleIndex`]) — or, under [`EngineConfig::head_indexed`], merges the
+//!   head-symbol [`HeadIndex`]'s buckets — returning candidates in
+//!   ascending rule position, so the candidate scan tries the same rules in
+//!   the same order, minus ones whose pattern skeleton already rules them
+//!   out.
 //! * **Normal-subtree marking** skips subtrees proven redex-free under the
 //!   *full* rule set. Marks are only committed for fully scanned subtrees
 //!   (no depth clip inside), in steps with no rule failures and no active
@@ -46,7 +50,8 @@
 //! poison request costs one cold start, not permanent bloat.
 
 use crate::budget::{Budget, RewriteError, RewriteReport, StopReason};
-use crate::catalog::RuleIndex;
+use crate::catalog::HeadIndex;
+use crate::dtree::RuleIndex;
 use crate::engine::{rewrite_fix_with, Gov, Oriented, Rewritten, Step, Trace};
 use crate::fault::{FaultKind, FaultPlan};
 use crate::imatch::{
@@ -65,8 +70,13 @@ use std::collections::{HashMap, HashSet};
 pub struct EngineConfig {
     /// Rewrite over hash-consed terms (prerequisite for the other layers).
     pub interned: bool,
-    /// Dispatch rules through the head-symbol [`RuleIndex`].
+    /// Dispatch rules through an index instead of a linear scan.
     pub indexed: bool,
+    /// Which index: the discrimination tree ([`RuleIndex`], the default) or
+    /// the depth-1 head-symbol [`HeadIndex`] it replaced (kept as a
+    /// differential oracle; see [`EngineConfig::head_indexed`]). Ignored
+    /// when `indexed` is off.
+    pub tree_index: bool,
     /// Cache clean normalizations for replay.
     pub memoized: bool,
     /// Bounded LRU capacity of the normalization memo.
@@ -100,6 +110,7 @@ impl EngineConfig {
         EngineConfig {
             interned: false,
             indexed: false,
+            tree_index: false,
             memoized: false,
             memo_capacity: 0,
             arena_capacity: 0,
@@ -112,6 +123,7 @@ impl EngineConfig {
         EngineConfig {
             interned: true,
             indexed: false,
+            tree_index: false,
             memoized: false,
             memo_capacity: 0,
             arena_capacity: 0,
@@ -119,11 +131,12 @@ impl EngineConfig {
         }
     }
 
-    /// Interned terms + head-symbol rule index, no memo.
+    /// Interned terms + discrimination-tree rule index, no memo.
     pub fn indexed() -> Self {
         EngineConfig {
             interned: true,
             indexed: true,
+            tree_index: true,
             memoized: false,
             memo_capacity: 0,
             arena_capacity: 0,
@@ -131,11 +144,27 @@ impl EngineConfig {
         }
     }
 
-    /// The full stack: interned + indexed + memoized.
+    /// Interned terms + the depth-1 head-symbol index, no memo — the
+    /// pre-tree dispatch, kept for three-way differential testing
+    /// (tree ≡ head ≡ naive) and benchmark comparison.
+    pub fn head_indexed() -> Self {
+        EngineConfig {
+            interned: true,
+            indexed: true,
+            tree_index: false,
+            memoized: false,
+            memo_capacity: 0,
+            arena_capacity: 0,
+            trace: true,
+        }
+    }
+
+    /// The full stack: interned + tree-indexed + memoized.
     pub fn fast() -> Self {
         EngineConfig {
             interned: true,
             indexed: true,
+            tree_index: true,
             memoized: true,
             memo_capacity: 1024,
             arena_capacity: 1 << 16,
@@ -219,6 +248,25 @@ impl Memo {
     }
 }
 
+/// The engine's built dispatch structure: the discrimination tree (the
+/// default) or the head-symbol index kept as its differential oracle. Both
+/// return candidate positions in ascending rule order, so [`Search`] is
+/// agnostic to which one it holds.
+#[derive(Debug)]
+enum BuiltIndex {
+    Head(HeadIndex),
+    Tree(RuleIndex),
+}
+
+impl BuiltIndex {
+    fn contains(&self, rule_id: &str) -> bool {
+        match self {
+            BuiltIndex::Head(ix) => ix.contains(rule_id),
+            BuiltIndex::Tree(ix) => ix.contains(rule_id),
+        }
+    }
+}
+
 /// A found redex, already rewritten into the whole-term result.
 struct AppliedI {
     result: ITerm,
@@ -271,7 +319,7 @@ fn iinflate(out: ITerm, n: usize, level: &Level, it: &mut Interner) -> ITerm {
 struct Search<'r, 'a> {
     rules: &'r [Oriented<'a>],
     props: &'r PropDb,
-    index: Option<&'r RuleIndex>,
+    index: Option<&'r BuiltIndex>,
     /// Per-position activity mask from the current epoch's rule snapshot
     /// (`None` = the full set). Skipping inactive positions in the
     /// ascending-position candidate scan visits exactly the rules, in
@@ -331,7 +379,7 @@ impl Search<'_, '_> {
         let mut cand = std::mem::take(&mut self.cand);
         cand.clear();
         match self.index {
-            Some(ix) => {
+            Some(BuiltIndex::Head(ix)) => {
                 let (root, child) = term_key(t);
                 match level {
                     Level::F => ix.func_candidates(root, child, &mut cand),
@@ -339,6 +387,11 @@ impl Search<'_, '_> {
                     Level::Q => ix.query_candidates(root, child, &mut cand),
                 }
             }
+            Some(BuiltIndex::Tree(ix)) => match level {
+                Level::F => ix.func_candidates(t, &mut cand),
+                Level::P => ix.pred_candidates(t, &mut cand),
+                Level::Q => ix.query_candidates(t, &mut cand),
+            },
             None => cand.extend(0..self.rules.len()),
         }
         let mut found = None;
@@ -418,7 +471,7 @@ pub struct Engine<'a> {
     // while the arena's table is still alive.
     memo: Memo,
     normal: HashSet<usize>,
-    index: Option<RuleIndex>,
+    index: Option<BuiltIndex>,
     index_dirty: bool,
     /// Current rule-set epoch (see [`Engine::set_epoch`]).
     epoch: u64,
@@ -457,7 +510,7 @@ impl<'a> Engine<'a> {
     /// Install the rule-set snapshot for subsequent runs: `epoch` names the
     /// snapshot (a service uses its breaker generation) and `disabled`
     /// lists rule ids excluded from it. The rules stay in place and the
-    /// head-symbol index is *not* rebuilt — excluded positions are masked
+    /// rule index is *not* rebuilt — excluded positions are masked
     /// out of the candidate scan, which visits exactly the rules, in
     /// exactly the order, of an index built over the remaining subset.
     ///
@@ -503,7 +556,7 @@ impl<'a> Engine<'a> {
 
     /// Drop every cross-run cache: memo entries first (they pin interned
     /// nodes), then the normal-subtree marks (raw node addresses a fresh
-    /// arena could recycle), then the arena itself. The head-symbol index
+    /// arena could recycle), then the arena itself. The rule index
     /// survives — it holds rule positions, not terms. Counters
     /// ([`Engine::work`], [`Engine::memo_hits`]) keep accumulating.
     pub fn reset_caches(&mut self) {
@@ -561,9 +614,23 @@ impl<'a> Engine<'a> {
             self.reset_caches();
         }
         if self.config.indexed {
-            if self.index.is_none() || self.index_dirty {
-                self.index = Some(RuleIndex::build(&self.rules));
+            let want_tree = self.config.tree_index;
+            let rebuild = self.index_dirty
+                || !matches!(
+                    (&self.index, want_tree),
+                    (Some(BuiltIndex::Tree(_)), true) | (Some(BuiltIndex::Head(_)), false)
+                );
+            if rebuild {
+                self.index = Some(if want_tree {
+                    BuiltIndex::Tree(RuleIndex::build(&self.rules))
+                } else {
+                    BuiltIndex::Head(HeadIndex::build(&self.rules))
+                });
                 self.index_dirty = false;
+            } else if let Some(BuiltIndex::Tree(ix)) = &mut self.index {
+                // Quarantine is per-run state: un-journal last run's
+                // evictions (O(evicted rules), not an index rebuild).
+                ix.restore();
             }
         } else {
             self.index = None;
@@ -644,10 +711,18 @@ impl<'a> Engine<'a> {
             // Quarantine must reach the index, not just the linear scan.
             while pruned < report.quarantined.len() {
                 let id = report.quarantined[pruned].clone();
-                if let Some(ix) = &mut self.index {
-                    ix.remove(&id);
-                    // Quarantine is per-run state: rebuild for the next run.
-                    self.index_dirty = true;
+                match &mut self.index {
+                    Some(BuiltIndex::Tree(ix)) => {
+                        // Journaled leaf pruning: O(pattern depth) now,
+                        // exact restore at the start of the next run.
+                        ix.remove(&id);
+                    }
+                    Some(BuiltIndex::Head(ix)) => {
+                        ix.remove(&id);
+                        // The head index has no journal: rebuild next run.
+                        self.index_dirty = true;
+                    }
+                    None => {}
                 }
                 pruned += 1;
             }
@@ -779,10 +854,19 @@ impl<'a> Engine<'a> {
             .sum()
     }
 
-    /// True iff the head-symbol index currently holds any bucket entry for
-    /// `rule_id`. False when indexing is off.
+    /// True iff the rule index (tree or head-symbol) currently holds any
+    /// entry for `rule_id`. False when indexing is off.
     pub fn index_contains(&self, rule_id: &str) -> bool {
         self.index.as_ref().is_some_and(|ix| ix.contains(rule_id))
+    }
+
+    /// Shape of the currently built index ([`crate::dtree::IndexStats`]),
+    /// or `None` when indexing is off or no run has built one yet.
+    pub fn index_stats(&self) -> Option<crate::dtree::IndexStats> {
+        self.index.as_ref().map(|ix| match ix {
+            BuiltIndex::Head(h) => h.describe(),
+            BuiltIndex::Tree(t) => t.describe(),
+        })
     }
 
     /// Lifetime counters for observability (all monotone except the live

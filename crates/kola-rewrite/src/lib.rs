@@ -20,10 +20,13 @@
 //!   budgets, structured errors, and per-run reports.
 //! - [`fault`] — deterministic fault injection for robustness testing.
 //! - [`imatch`] — matching/instantiation over hash-consed terms.
-//! - [`fast`] — the interned + head-indexed + memoized engine behind
+//! - [`dtree`] — the discrimination-tree rule index: flat per-step match
+//!   cost as the catalog grows past the paper's 500-rule pool.
+//! - [`fast`] — the interned + tree-indexed + memoized engine behind
 //!   [`EngineConfig`], differentially tested against the boxed engine.
 pub mod budget;
 pub mod catalog;
+pub mod dtree;
 pub mod engine;
 pub mod fast;
 pub mod fault;
@@ -40,7 +43,8 @@ pub use budget::{
     Budget, CycleDetector, QuarantineEntry, QuarantineReport, RewriteError, RewriteReport,
     RuleStats, StopReason,
 };
-pub use catalog::{Catalog, IndexStats, RuleIndex};
+pub use catalog::{Catalog, HeadIndex};
+pub use dtree::{IndexStats, RuleIndex};
 pub use engine::{
     rewrite_fix, rewrite_fix_governed, rewrite_fix_with, rewrite_once_query, try_rewrite_fix_with,
     Oriented, Rewritten, Step, Trace,

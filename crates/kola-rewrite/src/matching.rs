@@ -260,7 +260,10 @@ pub struct HeadKey {
     pub child: Option<Tag>,
 }
 
-fn pfunc_tag(p: &PFunc) -> Option<Tag> {
+/// Constructor tag of a function pattern's root (`None` = metavariable).
+/// Shared with the discrimination tree ([`crate::dtree`]), whose edge
+/// alphabet is exactly these tags.
+pub(crate) fn pfunc_tag(p: &PFunc) -> Option<Tag> {
     Some(match p {
         PFunc::Var(_) => return None,
         PFunc::Id => Tag::FId,
@@ -290,7 +293,8 @@ fn pfunc_tag(p: &PFunc) -> Option<Tag> {
     })
 }
 
-fn ppred_tag(p: &PPred) -> Option<Tag> {
+/// Constructor tag of a predicate pattern's root (`None` = metavariable).
+pub(crate) fn ppred_tag(p: &PPred) -> Option<Tag> {
     Some(match p {
         PPred::Var(_) => return None,
         PPred::Eq => Tag::PEq,
@@ -310,7 +314,8 @@ fn ppred_tag(p: &PPred) -> Option<Tag> {
     })
 }
 
-fn pquery_tag(p: &PQuery) -> Option<Tag> {
+/// Constructor tag of a query pattern's root (`None` = metavariable).
+pub(crate) fn pquery_tag(p: &PQuery) -> Option<Tag> {
     Some(match p {
         PQuery::Var(_) => return None,
         PQuery::Lit(_) => Tag::QLit,

@@ -70,6 +70,9 @@ pub enum RuleSource {
     /// Part of the extended verified pool.
     #[default]
     Extended,
+    /// Systematically generated context closure of another verified rule
+    /// (see [`crate::catalog::closures`]).
+    Closure,
 }
 
 /// A named, declarative rewrite rule.

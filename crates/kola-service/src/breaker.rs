@@ -7,7 +7,8 @@
 //! oversize result) is charged once per request, and after `threshold`
 //! charged requests the breaker *opens* — the rule is dropped from the rule
 //! set handed to the engines, which also evicts it from the fast engine's
-//! head-symbol `RuleIndex` (the index is built from exactly that set).
+//! discrimination-tree `RuleIndex` (the index is built from exactly that
+//! set).
 //!
 //! An open breaker is a deliberate operator-visible state, not a timeout:
 //! rules are data that someone registered, and a rule that keeps panicking

@@ -111,8 +111,20 @@ pub struct ServiceMetrics {
     pub engine_compactions: Arc<Counter>,
     /// High-water mark of any worker engine's arena (live nodes).
     pub arena_peak: Arc<MaxGauge>,
+    /// Discrimination-tree shape, as reported by the worker engines'
+    /// [`kola_rewrite::IndexStats`]: total trie nodes across the three
+    /// per-level trees.
+    pub index_tree_nodes: Arc<MaxGauge>,
+    /// Deepest path in any level's tree (pattern-walk length).
+    pub index_tree_max_depth: Arc<MaxGauge>,
+    /// Total edges (symbol + wildcard) across the trees.
+    pub index_tree_edges: Arc<MaxGauge>,
+    /// Wildcard (metavariable) edges — the non-discriminating fraction.
+    pub index_tree_wildcard_edges: Arc<MaxGauge>,
+    /// Mean interior-node fanout, in thousandths (gauges are integers).
+    pub index_tree_mean_fanout_milli: Arc<MaxGauge>,
     /// Rule application *attempts* per rule id (the candidate scans the
-    /// head-symbol index could not rule out).
+    /// discrimination-tree index could not rule out).
     pub rules_attempted: Arc<CounterFamily>,
     /// Successful rule firings per rule id.
     pub rules_fired: Arc<CounterFamily>,
@@ -209,6 +221,11 @@ impl ServiceMetrics {
             engine_memo_lookups: registry.counter("engine_memo_lookups"),
             engine_compactions: registry.counter("engine_compactions"),
             arena_peak: registry.max_gauge("arena_peak"),
+            index_tree_nodes: registry.max_gauge("index_tree_nodes"),
+            index_tree_max_depth: registry.max_gauge("index_tree_max_depth"),
+            index_tree_edges: registry.max_gauge("index_tree_edges"),
+            index_tree_wildcard_edges: registry.max_gauge("index_tree_wildcard_edges"),
+            index_tree_mean_fanout_milli: registry.max_gauge("index_tree_mean_fanout_milli"),
             rules_attempted: registry.family("rules_attempted", rule_ids.iter().cloned()),
             rules_fired: registry.family("rules_fired", rule_ids.iter().cloned()),
             queue_depth: registry

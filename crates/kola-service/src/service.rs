@@ -690,6 +690,15 @@ fn flush_engine_stats(shared: &Shared, state: &mut WorkerState<'_>) {
         .add(now.memo_lookups - last.memo_lookups);
     m.engine_compactions.add(now.compactions - last.compactions);
     m.arena_peak.record(now.arena_peak as u64);
+    if let Some(ix) = state.engine.index_stats() {
+        m.index_tree_nodes.record(ix.tree_nodes as u64);
+        m.index_tree_max_depth.record(ix.tree_max_depth as u64);
+        m.index_tree_edges.record(ix.tree_edges as u64);
+        m.index_tree_wildcard_edges
+            .record(ix.tree_wildcard_edges as u64);
+        m.index_tree_mean_fanout_milli
+            .record(ix.tree_mean_fanout_milli as u64);
+    }
     state.last = now;
     for (i, &c) in state.engine.consults().iter().enumerate() {
         // `add_index` is the allocation-free positional lane: family labels

@@ -193,6 +193,114 @@ fn unregistered_ids_survive_concurrent_charge_many_from_every_shard() {
 }
 
 #[test]
+fn breaker_trip_and_reset_keep_engine_parity_across_index_kinds() {
+    // The full trip lifecycle as the service drives it: a faulting rule is
+    // quarantined mid-run (the engine prunes it from its rule index *in
+    // place* — journaled accept-list removal on the discrimination tree,
+    // not a rebuild), the quarantine report charges the breaker, the open
+    // set becomes the next snapshot's disabled mask (`set_epoch`), and an
+    // operator reset readmits the rule. At every phase, the tree-indexed
+    // and head-indexed engines must agree with a naive run over the
+    // equivalent filtered pool.
+    use kola::term::Query;
+    use kola_rewrite::fault::{FaultKind, FaultSpec, StepSelector};
+    use kola_rewrite::{Budget, Catalog, Engine, EngineConfig, FaultPlan, Oriented, PropDb};
+    use std::sync::Arc;
+
+    let catalog = Catalog::paper();
+    let props = PropDb::new();
+    let rules: Vec<Oriented> = ["9", "2"]
+        .iter()
+        .map(|id| Oriented::fwd(catalog.get(id).unwrap()))
+        .collect();
+    let budget = Budget::with_steps(100).quarantine_after(1);
+    let faults = FaultPlan::new().with(FaultSpec {
+        rule_id: "9".into(),
+        at: StepSelector::Always,
+        kind: FaultKind::Fail,
+    });
+    let f = kola::parse::parse_func("pi1 . (age, city) . id . id . age").unwrap();
+    let q = Query::App(f, Box::new(Query::Extent(Arc::from("P"))));
+
+    let breaker = Breaker::sharded(1, 2, ["9", "2"]);
+    let mut tree = Engine::new(rules.clone(), &props, EngineConfig::indexed());
+    let mut head = Engine::new(rules.clone(), &props, EngineConfig::head_indexed());
+
+    let same = |label: &str, got: &kola_rewrite::Rewritten, want: &kola_rewrite::Rewritten| {
+        assert_eq!(got.query, want.query, "[{label}] normal form");
+        assert_eq!(got.report.steps, want.report.steps, "[{label}] steps");
+        assert_eq!(
+            got.report.rule_stats, want.report.rule_stats,
+            "[{label}] rule tallies"
+        );
+        assert_eq!(
+            got.trace.justifications(),
+            want.trace.justifications(),
+            "[{label}] derivation"
+        );
+    };
+
+    // Phase 1 — trip: the faulting rule is quarantined mid-run and pruned
+    // from the live index without a rebuild.
+    let naive = kola_rewrite::rewrite_fix_with(&rules, &q, &props, &budget, &faults);
+    let got_tree = tree.normalize_with(&q, &budget, &faults);
+    let got_head = head.normalize_with(&q, &budget, &faults);
+    same("trip/tree", &got_tree, &naive);
+    same("trip/head", &got_head, &naive);
+    assert_eq!(got_tree.report.quarantined, vec!["9".to_string()]);
+    assert!(
+        !tree.index_contains("9"),
+        "tree still serves the quarantined rule"
+    );
+    assert!(!head.index_contains("9"));
+
+    // The ladder charges the breaker once per quarantined rule.
+    for rule in &got_tree.report.quarantined {
+        assert!(breaker.charge_from(0, rule, 1), "threshold 1 must trip");
+    }
+    assert!(breaker.is_open("9"));
+
+    // Phase 2 — open: the breaker's open set becomes the snapshot's
+    // disabled mask. Engines must match a naive run over the filtered
+    // pool, and the tree must have *restored* its pruned accepts at the
+    // start of the run — masking, not eviction, hides tripped rules across
+    // requests.
+    let disabled = breaker.open_rules();
+    let filtered: Vec<Oriented> = rules
+        .iter()
+        .filter(|o| !disabled.contains(&o.rule.id))
+        .cloned()
+        .collect();
+    tree.set_epoch(breaker.generation(), &disabled);
+    head.set_epoch(breaker.generation(), &disabled);
+    let naive =
+        kola_rewrite::rewrite_fix_with(&filtered, &q, &props, &budget, &FaultPlan::default());
+    same("open/tree", &tree.normalize(&q, &budget), &naive);
+    same("open/head", &head.normalize(&q, &budget), &naive);
+    assert!(
+        tree.index_contains("9"),
+        "after a clean run the journaled prune must be restored"
+    );
+
+    // Phase 3 — reset: the operator readmits the rule; a fresh epoch with
+    // an empty mask serves the full pool again, fault-free.
+    assert!(breaker.reset("9"));
+    tree.set_epoch(breaker.generation(), &breaker.open_rules());
+    head.set_epoch(breaker.generation(), &breaker.open_rules());
+    let naive = kola_rewrite::rewrite_fix_with(&rules, &q, &props, &budget, &FaultPlan::default());
+    same("reset/tree", &tree.normalize(&q, &budget), &naive);
+    same("reset/head", &head.normalize(&q, &budget), &naive);
+    assert!(
+        naive
+            .report
+            .rule_stats
+            .iter()
+            .any(|(id, s)| id == "9" && s.fired > 0),
+        "rule 9 must actually fire again after readmission"
+    );
+}
+
+#[test]
 fn operator_resets_race_concurrent_charges_without_losing_coherence() {
     // True races cannot be compared against a serial spec; what must hold
     // on the sharded breaker regardless of interleaving:

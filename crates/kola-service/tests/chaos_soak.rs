@@ -109,6 +109,14 @@ fn chaos_soak_classifies_every_request_and_escapes_no_panics() {
     // The interner's own high-water mark dominates the after-request
     // samples the service takes.
     assert!(s.gauge("arena_peak") >= report.peak_arena_nodes as u64);
+    // The discrimination-tree shape gauges were populated from the worker
+    // engines' index: a 500+-rule catalog makes a tree with thousands of
+    // nodes, real depth, and at least one metavariable edge.
+    assert!(s.gauge("index_tree_nodes") > 500, "{}", report.summary());
+    assert!(s.gauge("index_tree_max_depth") >= 4);
+    assert!(s.gauge("index_tree_edges") >= s.gauge("index_tree_wildcard_edges"));
+    assert!(s.gauge("index_tree_wildcard_edges") > 0);
+    assert!(s.gauge("index_tree_mean_fanout_milli") >= 1000);
 
     // Trace replay: traces were recorded and every one still in the ring
     // re-executed byte-for-byte on the reference engine (enforced by

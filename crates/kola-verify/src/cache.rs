@@ -1,0 +1,275 @@
+//! Persistent per-rule verification cache.
+//!
+//! Re-verifying a 600-rule catalog from scratch on every test run is pure
+//! waste: a rule's verdict is a deterministic function of (a) the rule's
+//! structure, (b) the trial count and seed it will be run with, and (c) the
+//! version of the generator/checker logic. This module fingerprints exactly
+//! those inputs and persists the set of fingerprints that have *passed*
+//! under `target/` (the build's scratch space — wiped by `cargo clean`,
+//! never committed).
+//!
+//! Only successful verdicts are cached. A failing or vacuous rule is
+//! re-checked on every run, so a regression can never hide behind a stale
+//! cache entry, and [`GENERATOR_VERSION`] invalidates the whole cache
+//! whenever the random-term generator or trial logic changes shape.
+//!
+//! Fingerprints use FNV-1a rather than `std`'s `DefaultHasher`: the latter
+//! is randomly keyed per process and therefore useless as a persistent key.
+
+use crate::check::{check_rules_parallel, rule_seed, RuleReport};
+use kola::db::Db;
+use kola::typecheck::TypeEnv;
+use kola_rewrite::rule::Rule;
+use std::collections::HashSet;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Version of the trial/generator logic baked into every fingerprint. Bump
+/// this whenever `check.rs` or `gen.rs` changes what a trial means — the
+/// whole cache is invalidated at once.
+pub const GENERATOR_VERSION: u32 = 1;
+
+/// 64-bit FNV-1a over a byte stream — stable across processes and builds.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Structural fingerprint of one verification work item: the rule as
+/// displayed (id, name, and every alternative's two sides), its direction
+/// and preconditions, the trial budget, the seed its trial stream will use,
+/// and [`GENERATOR_VERSION`].
+pub fn fingerprint(rule: &Rule, trials: usize, seed: u64) -> u64 {
+    let text = format!(
+        "v{}|t{}|s{:016x}|{}|bidi={}|pre={:?}",
+        GENERATOR_VERSION, trials, seed, rule, rule.bidirectional, rule.preconditions
+    );
+    fnv1a(text.as_bytes())
+}
+
+/// The on-disk set of fingerprints whose rules verified successfully.
+#[derive(Debug)]
+pub struct VerifyCache {
+    path: PathBuf,
+    passed: HashSet<u64>,
+    dirty: bool,
+}
+
+impl VerifyCache {
+    /// Default location: `target/kola-verify-cache.v1.txt` at the workspace
+    /// root, resolved relative to this crate so it works from any test cwd.
+    pub fn default_path() -> PathBuf {
+        PathBuf::from(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/kola-verify-cache.v1.txt"
+        ))
+    }
+
+    /// Load the cache at the default path (empty if absent or unreadable).
+    pub fn load_default() -> VerifyCache {
+        Self::load(Self::default_path())
+    }
+
+    /// Load a cache file: one lowercase-hex fingerprint per line. Unparsable
+    /// lines are dropped — the worst outcome of a corrupt cache is a
+    /// re-verification, never a false "verified".
+    pub fn load(path: impl Into<PathBuf>) -> VerifyCache {
+        let path = path.into();
+        let passed = std::fs::read_to_string(&path)
+            .map(|text| {
+                text.lines()
+                    .filter_map(|l| u64::from_str_radix(l.trim(), 16).ok())
+                    .collect()
+            })
+            .unwrap_or_default();
+        VerifyCache {
+            path,
+            passed,
+            dirty: false,
+        }
+    }
+
+    /// Number of cached successful verdicts.
+    pub fn len(&self) -> usize {
+        self.passed.len()
+    }
+
+    /// True iff no verdicts are cached.
+    pub fn is_empty(&self) -> bool {
+        self.passed.is_empty()
+    }
+
+    /// True iff this fingerprint passed on a previous run.
+    pub fn contains(&self, fp: u64) -> bool {
+        self.passed.contains(&fp)
+    }
+
+    /// Record a successful verdict.
+    pub fn insert(&mut self, fp: u64) {
+        if self.passed.insert(fp) {
+            self.dirty = true;
+        }
+    }
+
+    /// Persist atomically (write temp file, rename over the target), so a
+    /// crashed writer leaves either the old cache or the new one — never a
+    /// torn file. No-op when nothing changed.
+    pub fn save(&mut self) -> std::io::Result<()> {
+        if !self.dirty {
+            return Ok(());
+        }
+        if let Some(dir) = self.path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let tmp = self.path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            let mut lines: Vec<u64> = self.passed.iter().copied().collect();
+            lines.sort_unstable();
+            for fp in lines {
+                writeln!(f, "{fp:016x}")?;
+            }
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        self.dirty = false;
+        Ok(())
+    }
+
+    /// The file this cache persists to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// [`crate::verify_catalog`] with a persistent cache: rules whose
+/// fingerprint already passed are reported as `cached` without running a
+/// single trial; everything else runs fresh (in parallel), and new passes
+/// are written back through `cache.save()`.
+///
+/// Reports come back in catalog order and are trial-for-trial identical to
+/// an uncached run for every rule that actually runs — the per-rule seed is
+/// a function of catalog position, not of which rules were skipped.
+pub fn verify_catalog_cached(
+    env: &TypeEnv,
+    db: &Db,
+    catalog: &kola_rewrite::Catalog,
+    trials: usize,
+    seed: u64,
+    cache: &mut VerifyCache,
+) -> Vec<RuleReport> {
+    let rules = catalog.rules();
+    let fps: Vec<u64> = rules
+        .iter()
+        .enumerate()
+        .map(|(i, r)| fingerprint(r, trials, rule_seed(seed, i)))
+        .collect();
+
+    let misses: Vec<(usize, &Rule)> = rules
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !cache.contains(fps[*i]))
+        .collect();
+    let fresh = check_rules_parallel(env, db, &misses, trials, seed);
+
+    let mut fresh_at = misses
+        .iter()
+        .map(|(i, _)| *i)
+        .zip(fresh)
+        .collect::<std::collections::BTreeMap<usize, RuleReport>>();
+    let reports: Vec<RuleReport> = rules
+        .iter()
+        .enumerate()
+        .map(|(i, rule)| match fresh_at.remove(&i) {
+            Some(report) => {
+                if report.verified() {
+                    cache.insert(fps[i]);
+                }
+                report
+            }
+            None => RuleReport {
+                rule_id: rule.id.clone(),
+                trials: 0,
+                passed: 0,
+                skipped: 0,
+                failures: Vec::new(),
+                cached: true,
+            },
+        })
+        .collect();
+    if let Err(e) = cache.save() {
+        eprintln!(
+            "warning: could not persist verify cache at {}: {e}",
+            cache.path().display()
+        );
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kola_exec::datagen::{generate, DataSpec};
+
+    fn setup() -> (TypeEnv, Db) {
+        (TypeEnv::paper_env(), generate(&DataSpec::small(99)))
+    }
+
+    fn tmp_cache(name: &str) -> VerifyCache {
+        let path = std::env::temp_dir().join(format!("kola-verify-cache-test-{name}.txt"));
+        let _ = std::fs::remove_file(&path);
+        VerifyCache::load(path)
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_input_sensitive() {
+        let r = Rule::func("9", "pi1-pairing", "pi1 . ($f, $g)", "$f");
+        assert_eq!(fingerprint(&r, 25, 7), fingerprint(&r, 25, 7));
+        assert_ne!(fingerprint(&r, 25, 7), fingerprint(&r, 26, 7));
+        assert_ne!(fingerprint(&r, 25, 7), fingerprint(&r, 25, 8));
+        let r2 = Rule::func("9", "pi1-pairing", "pi1 . ($f, $g)", "$g");
+        assert_ne!(fingerprint(&r, 25, 7), fingerprint(&r2, 25, 7));
+        let one_way = Rule::func("9", "pi1-pairing", "pi1 . ($f, $g)", "$f").one_way();
+        assert_ne!(fingerprint(&r, 25, 7), fingerprint(&one_way, 25, 7));
+    }
+
+    #[test]
+    fn second_run_is_all_cache_hits_and_failures_never_cache() {
+        let (env, db) = setup();
+        let mut catalog = kola_rewrite::Catalog::new();
+        catalog.add(Rule::func("t1", "good", "id . $f", "$f"));
+        catalog.add(Rule::func("bad", "bad", "pi1 . ($f, $g)", "$g"));
+
+        let mut cache = tmp_cache("roundtrip");
+        let first = verify_catalog_cached(&env, &db, &catalog, 30, 7, &mut cache);
+        assert!(first[0].verified() && !first[0].cached);
+        assert!(!first[1].verified());
+
+        // Reload from disk: the pass is persisted, the failure is not.
+        let mut cache = VerifyCache::load(cache.path().to_path_buf());
+        assert_eq!(cache.len(), 1);
+        let second = verify_catalog_cached(&env, &db, &catalog, 30, 7, &mut cache);
+        assert!(second[0].verified() && second[0].cached);
+        assert!(!second[1].verified() && !second[1].cached);
+        let _ = std::fs::remove_file(cache.path());
+    }
+
+    #[test]
+    fn parallel_reports_match_sequential_seeds() {
+        let (env, db) = setup();
+        let catalog = kola_rewrite::Catalog::paper();
+        let slice: Vec<(usize, &Rule)> = catalog.rules().iter().enumerate().take(12).collect();
+        let par = check_rules_parallel(&env, &db, &slice, 10, 0xBEEF);
+        for (i, report) in par.iter().enumerate() {
+            let seq =
+                crate::check::check_rule(&env, &db, slice[i].1, 10, rule_seed(0xBEEF, slice[i].0));
+            assert_eq!(report.passed, seq.passed, "rule {}", report.rule_id);
+            assert_eq!(report.skipped, seq.skipped, "rule {}", report.rule_id);
+            assert_eq!(report.failures, seq.failures, "rule {}", report.rule_id);
+        }
+    }
+}

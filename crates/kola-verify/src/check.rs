@@ -42,17 +42,24 @@ pub struct RuleReport {
     pub skipped: usize,
     /// Counterexamples found (empty = verified).
     pub failures: Vec<String>,
+    /// True when the verdict came from the persistent fingerprint cache
+    /// (see [`crate::cache`]) instead of fresh trials.
+    pub cached: bool,
 }
 
 impl RuleReport {
-    /// Verified = no counterexample and at least one meaningful trial.
+    /// Verified = no counterexample and at least one meaningful trial (or a
+    /// cache hit recording that an identical run already passed).
     pub fn verified(&self) -> bool {
-        self.failures.is_empty() && self.passed > 0
+        self.failures.is_empty() && (self.passed > 0 || self.cached)
     }
 }
 
 impl fmt::Display for RuleReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.cached {
+            return write!(f, "rule {:>5}: verified (cached)", self.rule_id);
+        }
         write!(
             f,
             "rule {:>5}: {:>4}/{} passed, {} skipped{}",
@@ -77,6 +84,7 @@ pub fn check_rule(env: &TypeEnv, db: &Db, rule: &Rule, trials: usize, seed: u64)
         passed: 0,
         skipped: 0,
         failures: Vec::new(),
+        cached: false,
     };
     let mut rng = Rng::seed_from_u64(seed);
     for alt in &rule.alts {
@@ -349,7 +357,20 @@ pub fn check_plan_semantics(
     }
 }
 
-/// Verify every rule in a catalog. Returns one report per rule.
+/// The per-rule seed used by [`verify_catalog`]: a pure function of the
+/// catalog seed and the rule's *position*, so results are deterministic no
+/// matter which worker thread picks the rule up.
+pub fn rule_seed(seed: u64, position: usize) -> u64 {
+    seed ^ (position as u64) << 8
+}
+
+/// Verify every rule in a catalog. Returns one report per rule, in catalog
+/// order.
+///
+/// Rules are checked across `available_parallelism` worker threads pulling
+/// from a shared atomic cursor. Each rule's trial stream is seeded by
+/// [`rule_seed`] from its catalog position alone, so the reports are
+/// bit-identical to a sequential run regardless of scheduling.
 pub fn verify_catalog(
     env: &TypeEnv,
     db: &Db,
@@ -357,11 +378,51 @@ pub fn verify_catalog(
     trials: usize,
     seed: u64,
 ) -> Vec<RuleReport> {
-    catalog
-        .rules()
-        .iter()
-        .enumerate()
-        .map(|(i, rule)| check_rule(env, db, rule, trials, seed ^ (i as u64) << 8))
+    let indexed: Vec<(usize, &kola_rewrite::rule::Rule)> =
+        catalog.rules().iter().enumerate().collect();
+    check_rules_parallel(env, db, &indexed, trials, seed)
+}
+
+/// Parallel driver shared by [`verify_catalog`] and the cached variant in
+/// [`crate::cache`]: check `(position, rule)` pairs on worker threads and
+/// return reports in input order. Positions feed [`rule_seed`], so a subset
+/// run (cache misses only) reproduces exactly the trials a full run would
+/// have given those rules.
+pub(crate) fn check_rules_parallel(
+    env: &TypeEnv,
+    db: &Db,
+    rules: &[(usize, &kola_rewrite::rule::Rule)],
+    trials: usize,
+    seed: u64,
+) -> Vec<RuleReport> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let n = rules.len();
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+    let cursor = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<RuleReport>>> = Mutex::new(vec![None; n]);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let at = cursor.fetch_add(1, Ordering::Relaxed);
+                if at >= n {
+                    break;
+                }
+                let (pos, rule) = rules[at];
+                let report = check_rule(env, db, rule, trials, rule_seed(seed, pos));
+                slots.lock().unwrap()[at] = Some(report);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|r| r.expect("worker filled every slot"))
         .collect()
 }
 

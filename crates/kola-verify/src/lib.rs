@@ -6,12 +6,15 @@
 //! instantiated with random well-typed terms and both sides are evaluated
 //! on generated databases. A single disagreement is a counterexample. See
 //! DESIGN.md §4 for the substitution rationale.
+pub mod cache;
 pub mod check;
 pub mod containment;
 pub mod gen;
 
+pub use cache::{fingerprint, verify_catalog_cached, VerifyCache, GENERATOR_VERSION};
 pub use check::{
-    check_normalization_semantics, check_plan_semantics, check_rule, verify_catalog, RuleReport,
+    check_normalization_semantics, check_plan_semantics, check_rule, rule_seed, verify_catalog,
+    RuleReport,
 };
 pub use containment::{check_containment, run_invariants, verify_containment, ContainmentReport};
 pub use gen::{palette, Gen};

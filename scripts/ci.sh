@@ -6,8 +6,12 @@
 #   --bench-smoke   additionally run the engine-mode benchmark with short
 #                   iteration counts, regenerating BENCH_rewrite.json and
 #                   failing if the indexed engine is slower than the naive
-#                   engine on the fig4 workload; then run the service soak
-#                   benchmark with its scaling gate (see below).
+#                   engine on the fig4 workload, or if the catalog-size
+#                   sweep shows per-step match cost under the
+#                   discrimination-tree index growing more than 20% from
+#                   the 154-rule seed catalog to the full 500+-rule closed
+#                   catalog; then run the service soak benchmark with its
+#                   scaling gate (see below).
 #   --chaos-smoke   additionally run a 5-seed matrix of 100-request chaos
 #                   soaks against the optimization service, failing on any
 #                   escaped panic, unclassified request, or semantic-gate
