@@ -8,14 +8,18 @@
 //!
 //! - `BENCH_SMOKE=1` — short warmup/batches (sub-second total), for CI.
 //! - `BENCH_ENFORCE=1` — exit nonzero if (a) the indexed engine is slower
-//!   than the naive engine on the fig4 workload, or (b) per-step match cost
+//!   than the naive engine on the fig4 workload, (b) per-step match cost
 //!   under the tree index is not flat (±20%) from the 154-rule seed catalog
-//!   to the full 500+-rule closed catalog (the `sweep` rows).
+//!   to the full 500+-rule closed catalog (the `sweep` rows), or (c) the
+//!   saturating engine's extracted plan costs more than the fixpoint
+//!   engine's output at any sweep point, or its per-step cost is not flat
+//!   across the same catalog sizes (the `saturation` rows).
 
 use kola::term::{Func, Query};
 use kola_bench::{bench_ns, smoke_mode};
+use kola_rewrite::saturate::term_cost;
 use kola_rewrite::{
-    rewrite_fix_with, Budget, Catalog, Engine, EngineConfig, FaultPlan, Oriented, PropDb,
+    rewrite_fix_with, Budget, Catalog, Engine, EngineConfig, FaultPlan, Oriented, PropDb, TermSize,
 };
 use std::hint::black_box;
 use std::sync::Arc;
@@ -124,6 +128,40 @@ impl SweepRow {
 /// added. The sweep's baseline point.
 const SEED_RULES: usize = 154;
 
+/// One catalog-size point of the saturation sweep: the same query run
+/// through the saturating engine, with the structural cost gate's inputs
+/// (extracted vs fixpoint cost under term size) recorded alongside.
+struct SatRow {
+    rules: usize,
+    steps: usize,
+    sat_ns: u128,
+    extracted_cost: u64,
+    fixpoint_cost: u64,
+}
+
+impl SatRow {
+    fn per_step(&self) -> f64 {
+        self.sat_ns as f64 / self.steps.max(1) as f64
+    }
+}
+
+fn size_cost(q: &Query) -> u64 {
+    let mut it = kola::intern::Interner::new();
+    term_cost(&it.intern_query(&q.normalize()), &TermSize)
+}
+
+/// The sweep workload: the fig4 T1 derivation with an id-compose tower
+/// spliced into each chain. Plain fig4 normalizes in **one** step at every
+/// catalog size, so its "per-step" cost was really per-run overhead — the
+/// tower forces a genuinely multi-step derivation (one id-elimination per
+/// `id ∘`) through full candidate dispatch on every step, which is the
+/// thing the flat-match gate claims stays flat.
+fn sweep_query() -> Query {
+    let ids = "id . ".repeat(20);
+    let s = format!("iterate(Kp(T), city) . {ids}iterate(Kp(T), addr) . {ids}city ! P");
+    kola::parse::parse_query(&s).unwrap()
+}
+
 /// Measure fresh-normalization cost at each catalog-prefix size. Engines
 /// are reused (index built once, outside the timing), but caches are
 /// dropped before every iteration so each measures a cold normalization
@@ -148,6 +186,12 @@ fn sweep(catalog: &Catalog, props: &PropDb, sizes: &[usize], query: &Query) -> V
             assert_eq!(
                 check.query, reference.query,
                 "sweep@{size}: head-indexed engine disagrees with tree-indexed"
+            );
+            assert!(
+                reference.report.steps > 1,
+                "sweep@{size}: workload normalized in {} step(s) — per-step \
+                 cost would be per-run overhead, not match cost",
+                reference.report.steps
             );
             (size, reference.report.steps, tree, head)
         })
@@ -177,6 +221,39 @@ fn sweep(catalog: &Catalog, props: &PropDb, sizes: &[usize], query: &Query) -> V
         }
     }
     rows
+}
+
+/// The saturation sweep: the same query and catalog prefixes through
+/// `EngineConfig::saturating()`. Per-step cost covers the internal seed
+/// wave plus match-apply-rebuild rounds; the cost columns feed the
+/// structural gate (extracted ≤ fixpoint, under the extraction model).
+fn sat_sweep(catalog: &Catalog, props: &PropDb, sizes: &[usize], query: &Query) -> Vec<SatRow> {
+    // Saturation explores strictly more than the fixpoint run; give it a
+    // bounded step budget so each point measures a comparable workload.
+    let budget = Budget::with_steps(256).depth(64).term_size(16_384);
+    sizes
+        .iter()
+        .map(|&size| {
+            let rules: Vec<Oriented> = catalog.rules()[..size].iter().map(Oriented::fwd).collect();
+            let mut fix = Engine::new(rules.clone(), props, EngineConfig::indexed());
+            let fixpoint_cost = size_cost(&fix.normalize(query, &budget).query);
+            let mut sat = Engine::new(rules, props, EngineConfig::saturating());
+            let out = sat.normalize(query, &budget);
+            let steps = out.report.steps;
+            let extracted_cost = size_cost(&out.query);
+            let sat_ns = bench_ns(&format!("saturation{size}"), || {
+                sat.reset_caches();
+                sat.normalize(black_box(query), &budget)
+            });
+            SatRow {
+                rules: size,
+                steps,
+                sat_ns,
+                extracted_cost,
+                fixpoint_cost,
+            }
+        })
+        .collect()
 }
 
 fn main() {
@@ -224,26 +301,22 @@ fn main() {
         });
     }
 
-    // Catalog-size sweep: the same fig4 query over growing catalog
+    // Catalog-size sweep: a multi-step fig4 variant over growing catalog
     // prefixes. The 154-rule prefix is exactly the pre-closure seed
     // catalog; the last point is the full closed pool. The claim under
     // test: the discrimination tree keeps per-step match cost flat as the
     // pool grows past the paper's 500-rule operating point.
-    let fig4_query =
-        kola::parse::parse_query("iterate(Kp(T), city) . iterate(Kp(T), addr) ! P").unwrap();
+    let q = sweep_query();
     assert!(
         catalog.len() >= 500,
         "closed catalog below the 500-rule operating point: {}",
         catalog.len()
     );
-    let sweep = sweep(
-        &catalog,
-        &props,
-        &[SEED_RULES, 300, catalog.len()],
-        &fig4_query,
-    );
+    let sizes = [SEED_RULES, 300, catalog.len()];
+    let sweep = sweep(&catalog, &props, &sizes, &q);
+    let saturation = sat_sweep(&catalog, &props, &sizes, &q);
 
-    let json = render_json(&rows, &sweep);
+    let json = render_json(&rows, &sweep, &saturation);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_rewrite.json");
     std::fs::write(path, &json).expect("write BENCH_rewrite.json");
     println!("wrote {path}");
@@ -283,10 +356,43 @@ fn main() {
             "BENCH_ENFORCE: ok (per-step cost {} -> {} rules: ratio {ratio:.3})",
             seed.rules, full.rules
         );
+
+        // The saturation gates. (1) Structural: the extracted plan never
+        // costs more than the fixpoint output — the seed wave makes this
+        // an invariant, so a violation is an engine bug, not noise. (2)
+        // Flat match: the e-graph trie walk must inherit the tree index's
+        // catalog-size independence.
+        for s in &saturation {
+            if s.extracted_cost > s.fixpoint_cost {
+                eprintln!(
+                    "BENCH_ENFORCE: saturation@{} extracted cost {} > fixpoint {}",
+                    s.rules, s.extracted_cost, s.fixpoint_cost
+                );
+                std::process::exit(1);
+            }
+        }
+        let seed = &saturation[0];
+        let full = saturation.last().expect("saturation has points");
+        let ratio = full.per_step() / seed.per_step().max(f64::MIN_POSITIVE);
+        if ratio > 1.2 {
+            eprintln!(
+                "BENCH_ENFORCE: saturation per-step cost not flat across catalog sizes: \
+                 {:.1} ns/step @ {} rules vs {:.1} ns/step @ {} rules (ratio {ratio:.3} > 1.2)",
+                seed.per_step(),
+                seed.rules,
+                full.per_step(),
+                full.rules,
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "BENCH_ENFORCE: ok (saturation extracted<=fixpoint at every point; \
+             per-step ratio {ratio:.3})"
+        );
     }
 }
 
-fn render_json(rows: &[Row], sweep: &[SweepRow]) -> String {
+fn render_json(rows: &[Row], sweep: &[SweepRow], saturation: &[SatRow]) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"engine_modes\",\n");
     out.push_str(&format!("  \"smoke\": {},\n", smoke_mode()));
@@ -321,6 +427,21 @@ fn render_json(rows: &[Row], sweep: &[SweepRow]) -> String {
             s.tree_per_step(),
             s.head_per_step(),
             if i + 1 < sweep.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"saturation\": [\n");
+    for (i, s) in saturation.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rules\": {}, \"steps\": {}, \"sat_ns\": {}, \"per_step_ns\": {:.1}, \
+             \"extracted_cost\": {}, \"fixpoint_cost\": {}}}{}\n",
+            s.rules,
+            s.steps,
+            s.sat_ns,
+            s.per_step(),
+            s.extracted_cost,
+            s.fixpoint_cost,
+            if i + 1 < saturation.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");

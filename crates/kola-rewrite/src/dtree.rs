@@ -45,6 +45,7 @@
 //! costs a handful of `Vec::remove`s instead of an index rebuild, and the
 //! next run starts from the full tree with two memmoves per evicted rule.
 
+use crate::egraph::{ClassId, EGraph};
 use crate::engine::Oriented;
 use crate::matching::{pchain_segments, pfunc_tag, ppred_tag, pquery_tag};
 use crate::rule::{Direction, RewritePair};
@@ -54,6 +55,13 @@ use kola::pattern::{PFunc, PPred, PQuery};
 /// Truncation cap on a pattern's edge walk. Patterns longer than this accept
 /// early (superset semantics); the deepest catalog head is well under it.
 const MAX_WALK: usize = 32;
+
+/// Node-visit budget for one e-graph trie walk ([`DTree::walk_eg`]). The
+/// walk branches over every same-tagged e-node of a class, so pathological
+/// graphs could explode; exhausting fuel truncates the walk (candidates
+/// already collected stand — bounded completeness, never unsoundness,
+/// since every candidate is still e-matched structurally).
+const WALK_EG_FUEL: usize = 4_096;
 
 /// Sentinel for "no node".
 const NONE: u32 = u32::MAX;
@@ -159,6 +167,52 @@ impl DTree {
                 stack.pop();
             }
             stack.push(t);
+        }
+    }
+
+    /// [`DTree::walk`] lifted to e-graph classes: the stack holds class ids
+    /// (top = next subtree), a `Star` edge consumes one class, and a `Sym`
+    /// edge tries **every** e-node of the top class with that tag,
+    /// descending into its kid classes. This is what makes candidate
+    /// selection complete over class *membership* rather than one
+    /// representative per class: a cheap `iterate` extraction can hide a
+    /// `∘` member (or a `×` hide a pair), and only the class walk sees
+    /// both. Each recursive call advances one trie edge, so cyclic classes
+    /// terminate — depth is bounded by the trie, not the graph.
+    fn walk_eg(
+        &self,
+        at: u32,
+        eg: &EGraph,
+        stack: &mut Vec<ClassId>,
+        out: &mut Vec<usize>,
+        fuel: &mut usize,
+    ) {
+        if *fuel == 0 {
+            return;
+        }
+        *fuel -= 1;
+        let node = &self.nodes[at as usize];
+        out.extend_from_slice(&node.accepts);
+        let Some(&c) = stack.last() else { return };
+        if node.star != NONE {
+            stack.pop();
+            self.walk_eg(node.star, eg, stack, out, fuel);
+            stack.push(c);
+        }
+        if node.kids.is_empty() {
+            return;
+        }
+        let depth = stack.len();
+        for en in eg.nodes(eg.find(c)) {
+            if let Some(next) = node.kid(en.tag) {
+                stack.pop();
+                for &k in en.kids.iter().rev() {
+                    stack.push(k);
+                }
+                self.walk_eg(next, eg, stack, out, fuel);
+                stack.truncate(depth - 1);
+                stack.push(c);
+            }
         }
     }
 
@@ -348,6 +402,63 @@ impl RuleIndex {
         out.clear();
         let mut stack = vec![t];
         tree.walk(0, &mut stack, out);
+        out.sort_unstable();
+        out.dedup();
+    }
+
+    /// Candidate rule positions for a function-level e-class, ascending.
+    /// Function patterns index their first chain segment, so the walk runs
+    /// once per *segment head*: every class reachable from `c` by following
+    /// `∘` e-nodes' left kids (cycle-guarded) that owns at least one
+    /// non-`∘` member. This mirrors [`RuleIndex::func_candidates`]'s
+    /// leading-compose strip, generalized to all members of the class.
+    pub fn func_candidates_class(&self, eg: &EGraph, c: ClassId, out: &mut Vec<usize>) {
+        out.clear();
+        let mut heads: Vec<ClassId> = Vec::new();
+        let mut seen: Vec<ClassId> = Vec::new();
+        let mut work = vec![eg.find(c)];
+        while let Some(h) = work.pop() {
+            if seen.contains(&h) {
+                continue;
+            }
+            seen.push(h);
+            let mut plain = false;
+            for en in eg.nodes(h) {
+                if en.tag == Tag::FCompose {
+                    work.push(eg.find(en.kids[0]));
+                } else {
+                    plain = true;
+                }
+            }
+            if plain {
+                heads.push(h);
+            }
+        }
+        heads.sort_unstable();
+        let mut fuel = WALK_EG_FUEL;
+        for h in heads {
+            let mut stack = vec![h];
+            self.func.walk_eg(0, eg, &mut stack, out, &mut fuel);
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+
+    /// Candidate rule positions for a predicate-level e-class, ascending.
+    pub fn pred_candidates_class(&self, eg: &EGraph, c: ClassId, out: &mut Vec<usize>) {
+        self.candidates_class(&self.pred, eg, c, out);
+    }
+
+    /// Candidate rule positions for a query-level e-class, ascending.
+    pub fn query_candidates_class(&self, eg: &EGraph, c: ClassId, out: &mut Vec<usize>) {
+        self.candidates_class(&self.query, eg, c, out);
+    }
+
+    fn candidates_class(&self, tree: &DTree, eg: &EGraph, c: ClassId, out: &mut Vec<usize>) {
+        out.clear();
+        let mut stack = vec![eg.find(c)];
+        let mut fuel = WALK_EG_FUEL;
+        tree.walk_eg(0, eg, &mut stack, out, &mut fuel);
         out.sort_unstable();
         out.dedup();
     }

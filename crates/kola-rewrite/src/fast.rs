@@ -53,12 +53,14 @@ use crate::budget::{Budget, RewriteError, RewriteReport, StopReason};
 use crate::catalog::HeadIndex;
 use crate::dtree::RuleIndex;
 use crate::engine::{rewrite_fix_with, Gov, Oriented, Rewritten, Step, Trace};
+use crate::extract::{CostModel, TermSize};
 use crate::fault::{FaultKind, FaultPlan};
 use crate::imatch::{
     icompose, ipreconditions_hold, itry_apply_func, itry_apply_pred, itry_apply_query,
 };
 use crate::props::PropDb;
 use crate::rule::Direction;
+use crate::saturate::{saturate_from_trajectory, SaturationParams};
 use kola::intern::{ITerm, Interner, Payload, Tag};
 use kola::term::Query;
 use std::collections::{HashMap, HashSet};
@@ -96,6 +98,16 @@ pub struct EngineConfig {
     /// per step beyond the rewritten term itself. The [`RewriteReport`]
     /// (rule stats, stop reason, failures) is kept either way.
     pub trace: bool,
+    /// Equality-saturation mode: after the ordinary destructive fixpoint
+    /// run (the *seed wave*), apply the catalog non-destructively over an
+    /// e-graph to saturation and return the cheapest equivalent plan under
+    /// the engine's [`CostModel`] ([`Engine::set_cost_model`]). Never worse
+    /// than the fixpoint output under the extraction model — the wave is
+    /// unioned into the root class before saturating. Requires the tree
+    /// index ([`EngineConfig::tree_index`]); falls back to plain fixpoint
+    /// otherwise, and whenever faults are injected (fault semantics are
+    /// defined against the destructive engine).
+    pub saturate: bool,
 }
 
 impl Default for EngineConfig {
@@ -115,6 +127,7 @@ impl EngineConfig {
             memo_capacity: 0,
             arena_capacity: 0,
             trace: true,
+            saturate: false,
         }
     }
 
@@ -128,6 +141,7 @@ impl EngineConfig {
             memo_capacity: 0,
             arena_capacity: 0,
             trace: true,
+            saturate: false,
         }
     }
 
@@ -141,6 +155,7 @@ impl EngineConfig {
             memo_capacity: 0,
             arena_capacity: 0,
             trace: true,
+            saturate: false,
         }
     }
 
@@ -156,6 +171,7 @@ impl EngineConfig {
             memo_capacity: 0,
             arena_capacity: 0,
             trace: true,
+            saturate: false,
         }
     }
 
@@ -169,6 +185,24 @@ impl EngineConfig {
             memo_capacity: 1024,
             arena_capacity: 1 << 16,
             trace: true,
+            saturate: false,
+        }
+    }
+
+    /// Equality-saturation mode: interned + tree-indexed, destructive wave
+    /// then non-destructive saturation + cost-based extraction. No memo —
+    /// the output depends on the cost model, not only on the input term,
+    /// and the normalization memo stores fixpoint derivations.
+    pub fn saturating() -> Self {
+        EngineConfig {
+            interned: true,
+            indexed: true,
+            tree_index: true,
+            memoized: false,
+            memo_capacity: 0,
+            arena_capacity: 1 << 16,
+            trace: true,
+            saturate: true,
         }
     }
 }
@@ -482,6 +516,8 @@ pub struct Engine<'a> {
     compactions: u64,
     visits: u64,
     consults: Vec<u64>,
+    /// Extraction objective for saturation mode (unused by fixpoint runs).
+    cost_model: Box<dyn CostModel>,
     interner: Interner,
 }
 
@@ -503,8 +539,21 @@ impl<'a> Engine<'a> {
             compactions: 0,
             visits: 0,
             consults,
+            cost_model: Box::new(TermSize),
             interner: Interner::new(),
         }
+    }
+
+    /// Install the extraction objective for saturation mode (default:
+    /// [`TermSize`]). Ignored by fixpoint runs. Swapping models touches no
+    /// cache — extraction is recomputed per run.
+    pub fn set_cost_model(&mut self, model: Box<dyn CostModel>) {
+        self.cost_model = model;
+    }
+
+    /// Display name of the current extraction cost model.
+    pub fn cost_model_name(&self) -> &'static str {
+        self.cost_model.name()
     }
 
     /// Install the rule-set snapshot for subsequent runs: `epoch` names the
@@ -636,6 +685,22 @@ impl<'a> Engine<'a> {
             self.index = None;
         }
 
+        // Saturation mode: seed wave + e-graph saturation + extraction.
+        // Fault plans stay on the destructive path — fault semantics are
+        // defined step-by-step against it — as does a non-tree index.
+        if self.config.saturate && faults.is_empty() {
+            if let Some(r) = self.saturate_run(q, budget, faults) {
+                return r;
+            }
+        }
+        self.fixpoint_run(q, budget, faults)
+    }
+
+    /// The destructive leftmost-outermost fixpoint loop (the historical
+    /// body of [`Engine::normalize_with`]; that entry now also hosts the
+    /// cache maintenance and the saturation-mode branch). Assumes caches
+    /// and index are already prepared for this run.
+    fn fixpoint_run(&mut self, q: &Query, budget: &Budget, faults: &FaultPlan) -> Rewritten {
         let mut report = RewriteReport::new();
         let mut trace = Trace::new();
         let mut cur = self.interner.intern_query(&q.normalize());
@@ -822,6 +887,69 @@ impl<'a> Engine<'a> {
                 };
             }
         }
+    }
+
+    /// Saturation mode: run the destructive engine once (trace forced on so
+    /// the full trajectory is captured), seed an e-graph with that wave,
+    /// saturate under the remaining budget, and extract the cheapest
+    /// equivalent plan under the engine's cost model. Returns `None` when
+    /// the built index is not the discrimination tree (saturation matches
+    /// through it) — the caller then falls back to plain fixpoint.
+    fn saturate_run(
+        &mut self,
+        q: &Query,
+        budget: &Budget,
+        faults: &FaultPlan,
+    ) -> Option<Rewritten> {
+        if !matches!(self.index, Some(BuiltIndex::Tree(_))) {
+            return None;
+        }
+        let trace_was = self.config.trace;
+        self.config.trace = true;
+        let fix = self.fixpoint_run(q, budget, faults);
+        self.config.trace = trace_was;
+        if fix.report.stop == StopReason::TermTooLarge && fix.trace.steps.is_empty() {
+            // The input itself blew the size budget — nothing to saturate.
+            return Some(fix);
+        }
+        let mut trajectory: Vec<Query> = fix.trace.steps.iter().map(|s| s.after.clone()).collect();
+        trajectory.push(fix.query.clone());
+        // Saturation extends the wave's report: steps already spent count
+        // against the same budget, quarantines keep suppressing rules.
+        let mut report = fix.report.clone();
+        let Engine {
+            ref rules,
+            props,
+            ref index,
+            ref active,
+            ref cost_model,
+            ref mut interner,
+            ..
+        } = *self;
+        let Some(BuiltIndex::Tree(ix)) = index.as_ref() else {
+            return None;
+        };
+        let params = SaturationParams {
+            rules,
+            props,
+            index: ix,
+            active: active.as_deref(),
+            match_cap: 24,
+        };
+        let sat = saturate_from_trajectory(
+            q,
+            &trajectory,
+            &params,
+            budget,
+            cost_model.as_ref(),
+            &mut report,
+            interner,
+        );
+        Some(Rewritten {
+            query: sat.query,
+            trace: if trace_was { fix.trace } else { Trace::new() },
+            report,
+        })
     }
 
     /// Total search work so far: node visits plus interner constructions

@@ -24,10 +24,16 @@
 //!   cost as the catalog grows past the paper's 500-rule pool.
 //! - [`fast`] — the interned + tree-indexed + memoized engine behind
 //!   [`EngineConfig`], differentially tested against the boxed engine.
+//! - [`egraph`], [`saturate`], [`extract`] — the equality-saturation
+//!   engine: e-classes with union-find and congruence closure over the
+//!   hash-consed arena, non-destructive rule application to saturation,
+//!   and cost-based extraction under a pluggable [`CostModel`].
 pub mod budget;
 pub mod catalog;
 pub mod dtree;
+pub mod egraph;
 pub mod engine;
+pub mod extract;
 pub mod fast;
 pub mod fault;
 pub mod hidden_join;
@@ -36,6 +42,7 @@ pub mod matching;
 pub mod monolithic;
 pub mod props;
 pub mod rule;
+pub mod saturate;
 pub mod strategy;
 pub mod subst;
 
@@ -45,13 +52,16 @@ pub use budget::{
 };
 pub use catalog::{Catalog, HeadIndex};
 pub use dtree::{IndexStats, RuleIndex};
+pub use egraph::{ClassId, EClass, EGraph, ENode};
 pub use engine::{
     rewrite_fix, rewrite_fix_governed, rewrite_fix_with, rewrite_once_query, try_rewrite_fix_with,
     Oriented, Rewritten, Step, Trace,
 };
+pub use extract::{CostModel, Extractor, OpWeight, TermSize};
 pub use fast::{Engine, EngineConfig, EngineStats};
 pub use fault::{CaughtPanic, FaultKind, FaultPlan, FaultSpec, StepSelector};
 pub use props::{PropDb, PropKind, PropTerm};
 pub use rule::{Direction, Rule, RuleSource};
+pub use saturate::{SaturationParams, SaturationResult};
 pub use strategy::{Runner, Strategy};
 pub use subst::Subst;

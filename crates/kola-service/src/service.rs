@@ -113,6 +113,12 @@ pub struct ServiceConfig {
     /// at quota is shed [`Outcome::Overloaded`] while the others keep
     /// admitting. `0` means "no per-tenant cap beyond the global one".
     pub tenant_quota: usize,
+    /// Configuration for the long-lived worker engines. Defaults to
+    /// [`EngineConfig::fast`]; [`EngineConfig::saturating`] opts the whole
+    /// worker fleet into equality saturation with cost-based extraction
+    /// (the ladder's rungs, snapshot masking, and breaker charging are
+    /// engine-mode agnostic).
+    pub engine: EngineConfig,
 }
 
 impl Default for ServiceConfig {
@@ -130,6 +136,7 @@ impl Default for ServiceConfig {
             cache_shards: 8,
             tenants: Vec::new(),
             tenant_quota: 0,
+            engine: EngineConfig::fast(),
         }
     }
 }
@@ -195,6 +202,8 @@ struct Shared {
     /// The fingerprint-keyed normalized-plan cache (see [`crate::cache`]);
     /// `None` when [`ServiceConfig::cache_capacity`] is zero.
     cache: Option<PlanCache>,
+    /// Worker-engine configuration ([`ServiceConfig::engine`]).
+    engine_config: EngineConfig,
 }
 
 /// A ticket for a queued request; [`Pending::wait`] blocks for the reply.
@@ -280,6 +289,7 @@ impl Service {
             parks: (0..workers_n).map(|_| RetryPark::new()).collect(),
             cache: (config.cache_capacity > 0)
                 .then(|| PlanCache::new(config.cache_capacity, config.cache_shards)),
+            engine_config: config.engine.clone(),
         });
         let workers = (0..workers_n)
             .map(|i| {
@@ -716,7 +726,7 @@ fn worker_loop(shared: &Shared, index: usize) {
     let rules: Vec<Oriented<'_>> = shared.catalog.rules().iter().map(Oriented::fwd).collect();
     let rule_count = rules.len();
     let mut state = WorkerState {
-        engine: Engine::new(rules, &shared.props, EngineConfig::fast()),
+        engine: Engine::new(rules, &shared.props, shared.engine_config.clone()),
         lanes: shared
             .tenants
             .iter()

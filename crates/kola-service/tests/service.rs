@@ -429,3 +429,63 @@ fn unparseable_and_oversized_requests_classify_invalid() {
     assert_eq!(r.outcome, Outcome::Invalid);
     assert!(r.error.as_deref().unwrap().contains("request too large"));
 }
+
+#[test]
+fn saturating_fleet_never_returns_a_larger_plan_than_the_fast_fleet() {
+    // The engine-config knob: a fleet built over `EngineConfig::saturating()`
+    // serves the same corpus through the same ladder, and every optimized
+    // plan is no larger (term size, the extraction model) than the fast
+    // fleet's — the e-graph seed wave makes that structural.
+    let fast = Service::start(ServiceConfig {
+        workers: 2,
+        cache_capacity: 0,
+        ..ServiceConfig::default()
+    });
+    let sat = Service::start(ServiceConfig {
+        workers: 2,
+        cache_capacity: 0,
+        engine: EngineConfig::saturating(),
+        ..ServiceConfig::default()
+    });
+    fn plan_size(q: &Query) -> usize {
+        match q {
+            Query::App(f, x) => {
+                fn fsize(f: &Func) -> usize {
+                    1 + match f {
+                        Func::Compose(a, b)
+                        | Func::PairWith(a, b)
+                        | Func::Times(a, b)
+                        | Func::Nest(a, b)
+                        | Func::Unnest(a, b) => fsize(a) + fsize(b),
+                        Func::Iterate(_, g) | Func::Iter(_, g) | Func::Join(_, g) => 1 + fsize(g),
+                        _ => 0,
+                    }
+                }
+                fsize(f) + plan_size(x)
+            }
+            Query::PairQ(a, b) => 1 + plan_size(a) + plan_size(b),
+            _ => 1,
+        }
+    }
+    for seed in 0..100u64 {
+        let q = corpus_query(seed);
+        let f = fast.call(Request::ast(q.clone()));
+        let s = sat.call(Request::ast(q.clone()));
+        assert!(
+            matches!(f.outcome, Outcome::Optimized { .. }),
+            "seed {seed}: fast fleet degraded: {:?}",
+            f.outcome
+        );
+        assert!(
+            matches!(s.outcome, Outcome::Optimized { .. }),
+            "seed {seed}: saturating fleet degraded: {:?}",
+            s.outcome
+        );
+        let fp = f.plan.expect("fast plan");
+        let sp = s.plan.expect("saturating plan");
+        assert!(
+            plan_size(&sp) <= plan_size(&fp),
+            "seed {seed}: saturating fleet returned a larger plan\n  fast: {fp}\n  sat : {sp}"
+        );
+    }
+}

@@ -162,8 +162,11 @@ impl Tag {
     }
 }
 
-/// Non-child data carried by an interned node.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Non-child data carried by an interned node. `Hash` hashes the payload
+/// *structurally* (the `Sym`/`Value` contents, not addresses), which is what
+/// lets the e-graph's hashcons key e-nodes on `(Tag, Payload, child classes)`;
+/// `Ord` gives e-nodes a total order so e-class contents stay canonical.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Payload {
     /// No payload (most constructors).
     None,

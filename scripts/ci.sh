@@ -12,6 +12,12 @@
 #                   the 154-rule seed catalog to the full 500+-rule closed
 #                   catalog; then run the service soak benchmark with its
 #                   scaling gate (see below).
+#   --egraph-smoke  additionally run the equality-saturation differential
+#                   gate at full depth: the 1000-seed parity corpus in
+#                   release mode (extracted cost <= fixpoint cost on every
+#                   seed, semantic spot-checks on a sampled subset). The
+#                   default path always runs a 50-seed release smoke of the
+#                   same gate plus the Figure 3 rediscovery test.
 #   --chaos-smoke   additionally run a 5-seed matrix of 100-request chaos
 #                   soaks against the optimization service, failing on any
 #                   escaped panic, unclassified request, or semantic-gate
@@ -42,6 +48,7 @@ CHAOS_SMOKE_RUN=0
 OBS_SMOKE_RUN=0
 CACHE_SMOKE_RUN=0
 TENANT_SMOKE_RUN=0
+EGRAPH_SMOKE_RUN=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE_RUN=1 ;;
@@ -49,6 +56,7 @@ for arg in "$@"; do
     --obs-smoke) OBS_SMOKE_RUN=1 ;;
     --cache-smoke) CACHE_SMOKE_RUN=1 ;;
     --tenant-smoke) TENANT_SMOKE_RUN=1 ;;
+    --egraph-smoke) EGRAPH_SMOKE_RUN=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -64,6 +72,19 @@ cargo build --workspace --release --offline
 
 echo "== cargo test"
 cargo test --workspace --offline -q
+
+# The equality-saturation gates ride the default path: a 50-seed release
+# run of the differential parity corpus (extracted cost <= fixpoint cost,
+# sampled semantic spot-checks) plus the Figure 3 rediscovery test (plain
+# saturation finds the hidden-join plan the scripted pipeline derives).
+echo "== egraph smoke (50-seed parity gate + Figure 3 rediscovery)"
+EGRAPH_SEEDS=50 cargo test --release --offline -q \
+  --test egraph_parity --test egraph_fig3
+
+if [ "$EGRAPH_SMOKE_RUN" = 1 ]; then
+  echo "== egraph full (1000-seed parity corpus, release)"
+  EGRAPH_SEEDS=1000 cargo test --release --offline -q --test egraph_parity
+fi
 
 if [ "$BENCH_SMOKE_RUN" = 1 ]; then
   echo "== bench smoke (engine_modes, enforced)"

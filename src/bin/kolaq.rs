@@ -4,6 +4,11 @@
 //! kolaq explain   '<kola query>'          render the operator tree
 //! kolaq optimize  '<kola query>'          run the COKO Simplify block
 //! kolaq untangle  '<kola query>'          run the §4.1 hidden-join pipeline
+//!
+//! `optimize` and `untangle` accept `--saturate`: run the same strategy on
+//! the equality-saturation engine (non-destructive rule application to a
+//! fixpoint, then cost-based extraction) instead of the destructive
+//! fixpoint engine.
 //! kolaq run       '<kola query>'          execute on a generated database
 //! kolaq oql       '<oql query>'           OQL -> AQUA -> KOLA (then optimize+run)
 //! kolaq aqua      '<aqua expr>'           AQUA -> KOLA translation
@@ -23,7 +28,7 @@ use kola_exec::datagen::{generate, DataSpec};
 use kola_exec::{Executor, Mode};
 use kola_rewrite::engine::Trace;
 use kola_rewrite::strategy::Runner;
-use kola_rewrite::{Catalog, PropDb, RewriteReport};
+use kola_rewrite::{Catalog, EngineConfig, PropDb, RewriteReport};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -52,10 +57,14 @@ fn parse(src: &str) -> Result<kola::Query, String> {
 fn optimize_with(
     strategy: &kola_rewrite::Strategy,
     q: kola::Query,
+    saturate: bool,
 ) -> (kola::Query, Trace, RewriteReport) {
     let catalog = Catalog::paper();
     let props = PropDb::new();
-    let runner = Runner::new(&catalog, &props);
+    let mut runner = Runner::new(&catalog, &props);
+    if saturate {
+        runner = runner.with_engine(EngineConfig::saturating());
+    }
     let mut trace = Trace::new();
     let (out, _, report) = runner.run_governed(strategy, q, &mut trace);
     (out, trace, report)
@@ -71,18 +80,20 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "optimize" => {
-            let q = parse(arg(args)?)?;
+            let (src, saturate) = query_and_flags(args)?;
+            let q = parse(src)?;
             let strategy = simplify_strategy().map_err(|e| e.to_string())?;
-            let (out, trace, report) = optimize_with(&strategy, q);
+            let (out, trace, report) = optimize_with(&strategy, q, saturate);
             print_derivation(&trace);
             eprintln!("-- {report}");
             println!("{out}");
             Ok(())
         }
         "untangle" => {
-            let q = parse(arg(args)?)?;
+            let (src, saturate) = query_and_flags(args)?;
+            let q = parse(src)?;
             let strategy = untangle_strategy().map_err(|e| e.to_string())?;
-            let (out, trace, report) = optimize_with(&strategy, q);
+            let (out, trace, report) = optimize_with(&strategy, q, saturate);
             print_derivation(&trace);
             eprintln!("-- {report}");
             println!("{out}");
@@ -107,7 +118,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let q = kola_frontend::translate_query(&aqua).map_err(|e| e.to_string())?;
             eprintln!("-- KOLA: {q}");
             let strategy = untangle_strategy().map_err(|e| e.to_string())?;
-            let (out, trace, _) = optimize_with(&strategy, q);
+            let (out, trace, _) = optimize_with(&strategy, q, false);
             eprintln!(
                 "-- optimized ({} rule applications): {out}",
                 trace.steps.len()
@@ -194,6 +205,27 @@ fn arg(args: &[String]) -> Result<&str, String> {
     args.get(1)
         .map(|s| s.as_str())
         .ok_or_else(|| "missing query argument".to_string())
+}
+
+/// One query argument plus the optional `--saturate` flag, in either order.
+fn query_and_flags(args: &[String]) -> Result<(&str, bool), String> {
+    let mut saturate = false;
+    let mut query = None;
+    for a in &args[1..] {
+        match a.as_str() {
+            "--saturate" => saturate = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other:?}"));
+            }
+            other => {
+                if query.replace(other).is_some() {
+                    return Err("expected exactly one query argument".into());
+                }
+            }
+        }
+    }
+    let query = query.ok_or_else(|| "missing query argument".to_string())?;
+    Ok((query, saturate))
 }
 
 fn print_derivation(trace: &Trace) {

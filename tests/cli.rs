@@ -49,6 +49,30 @@ fn untangle_produces_kg2() {
 }
 
 #[test]
+fn optimize_saturate_reaches_the_same_normal_form() {
+    // A monotone-downhill query: every strategy stage only shrinks it, so
+    // per-stage TermSize extraction agrees with the fixpoint engine. (On
+    // strategies that go uphill before coming down — e.g. iterate-fusion's
+    // `&`-introducing stage — extraction may keep the smaller input
+    // instead; the OpWeight-costed Figure 3 run in tests/egraph_fig3.rs
+    // covers that side.) The report counts wave + saturation steps.
+    let (ok, stdout, stderr) = kolaq(&["optimize", "--saturate", "id . id . id . age ! P"]);
+    assert!(ok, "{stderr}");
+    assert_eq!(stdout.trim(), "age ! P");
+    assert!(stderr.contains("stopped:"), "{stderr}");
+}
+
+#[test]
+fn saturate_flag_rejects_unknown_flags_and_extra_args() {
+    let (ok, _, stderr) = kolaq(&["optimize", "--frobnicate", "age ! P"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag"), "{stderr}");
+    let (ok, _, stderr) = kolaq(&["optimize", "age ! P", "city ! P"]);
+    assert!(!ok);
+    assert!(stderr.contains("exactly one query"), "{stderr}");
+}
+
+#[test]
 fn run_executes_and_reports_stats() {
     let (ok, stdout, stderr) = kolaq(&["run", "iterate(gt @ (age, Kf(80)), age) ! P"]);
     assert!(ok, "{stderr}");
